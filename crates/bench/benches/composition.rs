@@ -1,0 +1,101 @@
+//! E4 (Theorem 4, **Table 1**): the composition problem `Comp(Σα, Δα′)`.
+//!
+//! The three regimes of Table 1:
+//! * `#op(Σα) = 0` — NP-complete (row 1);
+//! * `#op(Σα) = 1` — NEXPTIME-complete (row 2; bounded here);
+//! * monotone `Δ` with all-open annotation — NP, independent of `Σα`
+//!   (column 2 / Lemma 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_chase::Mapping;
+use dx_core::compose::comp_membership;
+use dx_relation::Instance;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn chain_source(n: usize) -> Instance {
+    let mut s = Instance::new();
+    for i in 0..n {
+        s.insert_names("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    s
+}
+
+fn copy_target(n: usize) -> Instance {
+    let mut w = Instance::new();
+    for i in 0..n {
+        w.insert_names("F", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    w
+}
+
+fn bench_closed_sigma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition/table1_row_op0");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    let sigma = Mapping::parse("M(x:cl, y:cl) <- E(x, y)").unwrap();
+    let delta = Mapping::parse("F(x:cl, y:cl) <- M(x, y)").unwrap();
+    for n in [2usize, 4, 8, 16] {
+        let s = chain_source(n);
+        let w = copy_target(n);
+        group.bench_with_input(BenchmarkId::new("np_exact", n), &n, |b, _| {
+            b.iter(|| black_box(comp_membership(&sigma, &delta, &s, &w, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_sigma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition/table1_row_op1");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    // Σ introduces an open null; W demands two replicated M-values. The
+    // intermediate-enumeration space is the NEXPTIME exponent — keep a
+    // tight explicit budget so the bench measures the budgeted search.
+    let sigma = Mapping::parse("M(x:cl, z:op) <- E(x, y)").unwrap();
+    let delta = Mapping::parse("F(x:cl, y:cl) <- M(x, y)").unwrap();
+    for n in [1usize, 2] {
+        let s = chain_source(n);
+        let mut w = Instance::new();
+        for i in 0..n {
+            w.insert_names("F", &[&format!("v{i}"), &format!("a{i}")]);
+            w.insert_names("F", &[&format!("v{i}"), &format!("b{i}")]);
+        }
+        let budget = dx_solver::SearchBudget {
+            max_leaves: Some(100_000),
+            ..dx_solver::SearchBudget::bounded(1, n)
+        };
+        group.bench_with_input(BenchmarkId::new("nexptime_bounded", n), &n, |b, _| {
+            b.iter(|| black_box(comp_membership(&sigma, &delta, &s, &w, Some(&budget))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monotone_open_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition/table1_col_monotone_op");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    let delta = Mapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
+    for n in [2usize, 4, 8, 16] {
+        let s = chain_source(n);
+        let mut w = copy_target(n);
+        // Column claim (Lemma 3): Σ's annotation is irrelevant here.
+        w.insert_names("F", &["extra", "tuple"]);
+        for (label, sigma_rules) in [
+            ("sigma_cl", "M(x:cl, y:cl) <- E(x, y)"),
+            ("sigma_op", "M(x:op, y:op) <- E(x, y)"),
+        ] {
+            let sigma = Mapping::parse(sigma_rules).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(comp_membership(&sigma, &delta, &s, &w, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_sigma,
+    bench_open_sigma,
+    bench_monotone_open_delta
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E3 (Theorem 3): the DEQA trichotomy by `#op(Σα)`.
+//!
+//! Expected shape: the `#op = 0` (coNP) decision is exponential in the
+//! number of nulls but feasible; `#op = 1` (coNEXPTIME) pays an extra
+//! exponential in the replication budget — measured here at a fixed budget
+//! per instance size, showing the much steeper curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_bench::{closed_null_mapping, exhaust_query, open_null_mapping, unary_source};
+use dx_core::certain;
+use dx_relation::{Tuple, Value};
+use dx_solver::SearchBudget;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_closed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deqa/closed_op0");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let q = exhaust_query();
+    let empty = Tuple::new(Vec::<Value>::new());
+    for n in [1usize, 2, 3, 4] {
+        let s = unary_source(n);
+        let m = closed_null_mapping();
+        group.bench_with_input(BenchmarkId::new("conp_exhaustive", n), &n, |b, _| {
+            b.iter(|| black_box(certain::certain_contains(&m, &s, &q, &empty, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deqa/open_op1");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let q = exhaust_query();
+    let empty = Tuple::new(Vec::<Value>::new());
+    // Fixed replication budget: the cost grows with both the instance and
+    // the budget (the budget is the witness-space exponent of Lemma 2).
+    for n in [1usize, 2, 3] {
+        let s = unary_source(n);
+        let m = open_null_mapping();
+        for (blabel, budget) in [
+            ("budget_1x1", SearchBudget::bounded(1, 1)),
+            ("budget_2x2", SearchBudget::bounded(2, 2)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(blabel, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(certain::certain_contains(&m, &s, &q, &empty, Some(&budget)))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed, bench_open_one);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E1 (Theorem 2): the membership problem `T ∈ ⟦S⟧_Σα`.
+//!
+//! Expected shape: the all-open path (a `(S,T) |= Σ` check) scales
+//! polynomially; with closed annotations the valuation search appears —
+//! polynomial on easy instances, exponential on the tripartite-matching
+//! family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_bench::{copy2, path_source};
+use dx_core::semantics;
+use dx_workloads::tripartite;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_membership_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/copy");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for n in [4usize, 8, 16, 32] {
+        let s = path_source(n);
+        // The target: the exact copy.
+        let mut t = dx_relation::Instance::new();
+        for i in 0..n {
+            t.insert_names("Ep", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let open = copy2("op");
+        let closed = copy2("cl");
+        group.bench_with_input(BenchmarkId::new("all_open_ptime", n), &n, |b, _| {
+            b.iter(|| black_box(semantics::is_member(&open, &s, &t)))
+        });
+        group.bench_with_input(BenchmarkId::new("all_closed_np", n), &n, |b, _| {
+            b.iter(|| black_box(semantics::is_member(&closed, &s, &t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership_tripartite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/tripartite");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for n in [2usize, 3, 4] {
+        let inst = tripartite::TripartiteInstance::planted(n, n, 7);
+        let s = tripartite::source(&inst);
+        let t = tripartite::target(&inst);
+        let m = tripartite::mapping();
+        group.bench_with_input(BenchmarkId::new("planted", n), &n, |b, _| {
+            b.iter(|| black_box(semantics::is_member(&m, &s, &t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership_paths, bench_membership_tripartite);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E2 (Proposition 3 / Corollary 3): certain answers of positive queries
+//! are computed by naive evaluation on the canonical solution — polynomial
+//! for *every* annotation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_core::certain;
+use dx_workloads::conference;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_positive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("positive/conference");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    let q = conference::reviewed_query();
+    for n in [4usize, 8, 16, 32] {
+        let s = conference::source(n, 2);
+        let mixed = conference::mapping();
+        let open = mixed.all_open();
+        let closed = mixed.all_closed();
+        for (label, m) in [("mixed", &mixed), ("all_open", &open), ("all_closed", &closed)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| b.iter(|| black_box(certain::certain_answers(m, &s, &q, None))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_canonical_solution(c: &mut Criterion) {
+    // The substrate cost: CSol_A(S) is polynomial-time for any annotation.
+    let mut group = c.benchmark_group("positive/csol");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for n in [8usize, 32, 128] {
+        let s = conference::source(n, 2);
+        let m = conference::mapping();
+        group.bench_with_input(BenchmarkId::new("csol", n), &n, |b, _| {
+            b.iter(|| black_box(dx_chase::canonical_solution(&m, &s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_positive, bench_canonical_solution);
+criterion_main!(benches);

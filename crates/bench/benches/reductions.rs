@@ -1,0 +1,44 @@
+//! E9/E10 (Theorems 2 and 4): solving NP-complete problems *through* data
+//! exchange, against brute-force baselines.
+//!
+//! Expected shape: both the exchange-based and the brute-force solvers are
+//! exponential (the problems are NP-complete); the reduction overhead is a
+//! polynomial factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_workloads::{coloring, tripartite};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tripartite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/tripartite");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    for n in [2usize, 3, 4] {
+        let inst = tripartite::TripartiteInstance::planted(n, n, 13);
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| black_box(inst.solve_brute_force()))
+        });
+        group.bench_with_input(BenchmarkId::new("via_membership", n), &n, |b, _| {
+            b.iter(|| black_box(tripartite::solve_via_membership(&inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/coloring");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for n in [3usize, 4] {
+        let g = coloring::Graph::cycle(n);
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| black_box(g.color_brute_force()))
+        });
+        group.bench_with_input(BenchmarkId::new("via_composition", n), &n, |b, _| {
+            b.iter(|| black_box(coloring::solve_via_composition(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tripartite, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E8 (Theorem 1 / Proposition 2): the annotation spectrum.
+//!
+//! Membership cost across the `cl → mixed → op` chain on the same
+//! (source, target) pairs: the semantics grow along `⪯`, and the all-open
+//! endpoint switches to the PTIME path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_chase::Mapping;
+use dx_core::semantics;
+use dx_workloads::random_gen;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_annotation_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order/chain");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    let chain = [
+        ("cl_cl", "R(x:cl, z:cl) <- E(x, y)"),
+        ("cl_op", "R(x:cl, z:op) <- E(x, y)"),
+        ("op_op", "R(x:op, z:op) <- E(x, y)"),
+    ];
+    for n in [4usize, 8, 16] {
+        // A fixed member sampled under the most closed semantics: it is a
+        // member of all three (Theorem 1(3)).
+        let base = Mapping::parse(chain[0].1).unwrap();
+        let mut rng = random_gen::rng(99);
+        let schema = dx_relation::Schema::from_pairs([("E", 2)]);
+        let s = random_gen::random_instance(&schema, n, n, &mut rng);
+        let t = random_gen::sample_member(&base, &s, n, 0, &mut rng);
+        for (label, rules) in chain {
+            let m = Mapping::parse(rules).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(semantics::is_member(&m, &s, &t)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotation_chain);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E5 (Lemma 5 / Theorem 5): cost and output size of the syntactic SkSTD
+//! composition algorithm.
+//!
+//! Expected shape: for CQ inputs the composed mapping has one rule per
+//! combination of σ-rules chosen for the Δ-body atoms — rule count (and
+//! rewrite time) grows as `(#σ-rules)^(#Δ-atoms)`; the rewrite itself is
+//! otherwise cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_core::compose_alg::compose_skstd;
+use dx_core::skstd::SkMapping;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// σ with `k` rules producing `M`, Δ with `a` M-atoms in one body.
+fn inputs(k: usize, a: usize) -> (SkMapping, SkMapping) {
+    let mut sigma_rules = String::new();
+    for i in 0..k {
+        sigma_rules.push_str(&format!("M(x:op, mk{i}(x):op) <- A{i}(x);"));
+    }
+    let sigma = SkMapping::parse(&sigma_rules).unwrap();
+    let mut body = String::new();
+    for j in 0..a {
+        if j > 0 {
+            body.push_str(" & ");
+        }
+        body.push_str(&format!("M(y{j}, y{})", j + 1));
+    }
+    let delta = SkMapping::parse(&format!("F(y0:op, y{a}:op) <- {body}")).unwrap();
+    (sigma, delta)
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sk_composition/cq");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for (k, a) in [(1usize, 1usize), (2, 2), (3, 3), (4, 4)] {
+        let (sigma, delta) = inputs(k, a);
+        group.bench_with_input(
+            BenchmarkId::new("compose", format!("{k}rules_x_{a}atoms")),
+            &(k, a),
+            |b, _| b.iter(|| black_box(compose_skstd(&sigma, &delta).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fo_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sk_composition/fo_closed");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    // The all-closed FO class of Theorem 5(2): no disjunct expansion, one
+    // output rule per Δ rule.
+    for k in [1usize, 4, 16] {
+        let mut sigma_rules = String::new();
+        for i in 0..k {
+            sigma_rules.push_str(&format!("M(x:cl, fk{i}(x):cl) <- B{i}(x);"));
+        }
+        let sigma = SkMapping::parse(&sigma_rules).unwrap();
+        let delta =
+            SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
+        group.bench_with_input(BenchmarkId::new("compose", k), &k, |b, _| {
+            b.iter(|| black_box(compose_skstd(&sigma, &delta).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite, bench_fo_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E6 (Proposition 5): `∀*∃*` queries are coNP for every annotation — the
+//! witness space is polynomial, so the decision stays feasible even with
+//! open annotations (contrast with E3's `#op = 1` full-FO case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_bench::{closed_null_mapping, fd_query, open_null_mapping, unary_source};
+use dx_core::certain;
+use dx_relation::{Tuple, Value};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fd_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal/fd");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let q = fd_query();
+    let empty = Tuple::new(Vec::<Value>::new());
+    for n in [1usize, 2, 3] {
+        let s = unary_source(n);
+        for (label, m) in [
+            ("closed", closed_null_mapping()),
+            ("open", open_null_mapping()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(certain::certain_contains(&m, &s, &q, &empty, None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_inclusion_constraint(c: &mut Criterion) {
+    // A genuinely ∀∃ constraint: every R-value reappears as an R-key.
+    let mut group = c.benchmark_group("universal/inclusion");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    let q = dx_logic::Query::boolean(
+        dx_logic::parse_formula("forall x y. (R(x, y) -> exists w. R(y, w))").unwrap(),
+    );
+    let empty = Tuple::new(Vec::<Value>::new());
+    for n in [1usize, 2] {
+        let s = unary_source(n);
+        let m = open_null_mapping();
+        group.bench_with_input(BenchmarkId::new("open", n), &n, |b, _| {
+            b.iter(|| black_box(certain::certain_contains(&m, &s, &q, &empty, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_query, bench_inclusion_constraint);
+criterion_main!(benches);

@@ -1,0 +1,491 @@
+//! The experiment harness: regenerates, for every claim in the paper's
+//! "evaluation" (Theorems 1–5, Table 1, Propositions 2–7), the table that
+//! claim predicts. Output is markdown, ready for `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p dx-bench --bin experiments
+//! ```
+
+use dx_bench::{
+    closed_null_mapping, copy2, exhaust_query, fd_query, fmt_duration, open_null_mapping, path_source,
+    timed, unary_source, Table,
+};
+use dx_chase::Mapping;
+use dx_core::compose::comp_membership;
+use dx_core::compose_alg::compose_skstd;
+use dx_core::skstd::SkMapping;
+use dx_core::{certain, non_closure, semantics};
+use dx_relation::{Instance, Tuple, Value};
+use dx_solver::{Completeness, SearchBudget};
+use dx_workloads::{coloring, conference, tiling, tripartite};
+
+fn main() {
+    println!("# oc-exchange experiment run\n");
+    println!(
+        "(release-mode sweep; every row records paper-predicted vs measured behaviour)\n"
+    );
+    e1_membership();
+    e2_positive();
+    e3_deqa();
+    e4_composition_table1();
+    e5_sk_composition();
+    e6_universal();
+    e7_non_closure();
+    e8_spectrum();
+    e9_tripartite();
+    e10_coloring();
+    e11_tiling();
+    e12_codd();
+    e13_datalog();
+    e14_ctables();
+}
+
+/// E1 — Theorem 2: membership is PTIME all-open, NP otherwise.
+fn e1_membership() {
+    println!("## E1 — Theorem 2: membership `T ∈ ⟦S⟧_Σα`\n");
+    let mut t = Table::new(&["n (edges)", "all-open (PTIME path)", "all-closed (NP path)"]);
+    for n in [4usize, 8, 16, 32, 64] {
+        let s = path_source(n);
+        let mut target = Instance::new();
+        for i in 0..n {
+            target.insert_names("Ep", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let (_, d_open) = timed(|| semantics::is_member(&copy2("op"), &s, &target));
+        let (_, d_closed) = timed(|| semantics::is_member(&copy2("cl"), &s, &target));
+        t.row(vec![n.to_string(), fmt_duration(d_open), fmt_duration(d_closed)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: both polynomial on copy instances (easy case); \
+         NP-hardness shows on the tripartite family (E9).\n"
+    );
+}
+
+/// E2 — Proposition 3: positive queries by naive evaluation, any annotation.
+fn e2_positive() {
+    println!("## E2 — Proposition 3: positive-query certain answers\n");
+    let q = conference::reviewed_query();
+    let mut t = Table::new(&["n (papers)", "mixed", "all-open", "all-closed", "answers"]);
+    for n in [4usize, 8, 16, 32] {
+        let s = conference::source(n, 2);
+        let m = conference::mapping();
+        let (a1, d1) = timed(|| certain::certain_answers(&m, &s, &q, None));
+        let (_, d2) = timed(|| certain::certain_answers(&m.all_open(), &s, &q, None));
+        let (_, d3) = timed(|| certain::certain_answers(&m.all_closed(), &s, &q, None));
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d1),
+            fmt_duration(d2),
+            fmt_duration(d3),
+            a1.0.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape check: polynomial growth, identical answers across annotations.\n");
+}
+
+/// E3 — Theorem 3: the DEQA trichotomy.
+fn e3_deqa() {
+    println!("## E3 — Theorem 3: DEQA trichotomy by #op(Σα)\n");
+    // A certainly-true query: the decision must EXHAUST its witness space,
+    // exposing the exponential growth the theorem predicts.
+    let q = exhaust_query();
+    let empty = Tuple::new(Vec::<Value>::new());
+    let mut t = Table::new(&[
+        "n (facts)",
+        "#op=0 exact (coNP)",
+        "leaves",
+        "#op=1 budget(2,2)",
+        "leaves",
+        "completeness",
+    ]);
+    for n in [1usize, 2, 3] {
+        let s = unary_source(n);
+        let (o0, d0) = timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
+        let budget = SearchBudget {
+            max_leaves: Some(200_000),
+            ..SearchBudget::bounded(2, 2)
+        };
+        let (o1, d1) = timed(|| {
+            certain::certain_contains(&open_null_mapping(), &s, &q, &empty, Some(&budget))
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d0),
+            o0.leaves.to_string(),
+            fmt_duration(d1),
+            o1.leaves.to_string(),
+            format!("{:?}/{:?}", o0.completeness, o1.completeness),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: #op=0 grows exponentially in nulls but is exact; \
+         #op=1 explores a witness space larger by the replication budget \
+         (the Lemma 2 exponent) and is only budget-complete. #op>1 is \
+         undecidable (Theorem 3(3)) — no sweep exists.\n"
+    );
+}
+
+/// E4 — Theorem 4 / Table 1: composition.
+fn e4_composition_table1() {
+    println!("## E4 — Table 1: `Comp(Σα, Δα′)`\n");
+    let mut t = Table::new(&[
+        "n",
+        "#op=0 (NP, exact)",
+        "#op=1 (NEXPTIME, bounded)",
+        "monotone Δop (NP, any Σα)",
+    ]);
+    for n in [1usize, 2, 4] {
+        let s = {
+            let mut s = Instance::new();
+            for i in 0..n {
+                s.insert_names("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+            }
+            s
+        };
+        // Row 1: all-closed Σ.
+        let sig0 = Mapping::parse("M(x:cl, y:cl) <- E(x, y)").unwrap();
+        let del = Mapping::parse("F(x:cl, y:cl) <- M(x, y)").unwrap();
+        let mut w = Instance::new();
+        for i in 0..n {
+            w.insert_names("F", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let (_, d0) = timed(|| comp_membership(&sig0, &del, &s, &w, None));
+        // Row 2: #op = 1 (replicated target demands extra intermediates; the
+        // intermediate-enumeration space is the NEXPTIME exponent, so keep a
+        // hard leaf cap and small n).
+        let sig1 = Mapping::parse("M(x:cl, z:op) <- E(x, y)").unwrap();
+        let mut w1 = Instance::new();
+        for i in 0..n.min(2) {
+            w1.insert_names("F", &[&format!("v{i}"), &format!("a{i}")]);
+            w1.insert_names("F", &[&format!("v{i}"), &format!("b{i}")]);
+        }
+        let budget1 = SearchBudget {
+            max_leaves: Some(200_000),
+            ..SearchBudget::bounded(1, 2)
+        };
+        let (_, d1) = timed(|| comp_membership(&sig1, &del, &s, &w1, Some(&budget1)));
+        // Column: monotone Δop.
+        let delop = Mapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
+        let (_, d2) = timed(|| comp_membership(&sig1, &delop, &s, &w, None));
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d0),
+            fmt_duration(d1),
+            fmt_duration(d2),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: the monotone-Δop column stays cheap for any Σα \
+         (Lemma 3); #op=1 pays the intermediate-replication exponent; \
+         #op>1 is undecidable (no row).\n"
+    );
+}
+
+/// E5 — Lemma 5: syntactic composition cost and output size.
+fn e5_sk_composition() {
+    println!("## E5 — Lemma 5 / Theorem 5: syntactic SkSTD composition\n");
+    let mut t = Table::new(&["σ-rules × Δ-atoms", "time", "Γ rules", "class preserved"]);
+    for (k, a) in [(1usize, 1usize), (2, 2), (3, 3), (4, 4), (5, 4)] {
+        let mut sigma_rules = String::new();
+        for i in 0..k {
+            sigma_rules.push_str(&format!("M(x:op, mk{i}(x):op) <- A{i}(x);"));
+        }
+        let sigma = SkMapping::parse(&sigma_rules).unwrap();
+        let mut body = String::new();
+        for j in 0..a {
+            if j > 0 {
+                body.push_str(" & ");
+            }
+            body.push_str(&format!("M(y{j}, y{})", j + 1));
+        }
+        let delta = SkMapping::parse(&format!("F(y0:op, y{a}:op) <- {body}")).unwrap();
+        let (comp, d) = timed(|| compose_skstd(&sigma, &delta).unwrap());
+        t.row(vec![
+            format!("{k} × {a}"),
+            fmt_duration(d),
+            comp.mapping.stds.len().to_string(),
+            comp.mapping.has_cq_bodies().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape check: Γ has k^a rules (CQ re-normalization), rewrite time follows.\n");
+}
+
+/// E6 — Proposition 5: ∀*∃* queries stay coNP for open annotations.
+fn e6_universal() {
+    println!("## E6 — Proposition 5: ∀*∃* queries under open annotations\n");
+    let q = fd_query();
+    let empty = Tuple::new(Vec::<Value>::new());
+    let mut t = Table::new(&["n", "closed (exact)", "open (exact, Prop 5 budget)", "certain?"]);
+    for n in [1usize, 2, 3] {
+        let s = unary_source(n);
+        let (oc, dc) = timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
+        let (oo, do_) = timed(|| certain::certain_contains(&open_null_mapping(), &s, &q, &empty, None));
+        assert_eq!(oc.completeness, Completeness::Exact);
+        assert_eq!(oo.completeness, Completeness::Exact);
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(dc),
+            fmt_duration(do_),
+            format!("cl:{} / op:{}", oc.certain, oo.certain),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: both exact; the open case correctly flips the FD \
+         query to non-certain (replication breaks uniqueness).\n"
+    );
+}
+
+/// E7 — Proposition 6: non-closure witness.
+fn e7_non_closure() {
+    println!("## E7 — Proposition 6: plain STDs are not closed under composition\n");
+    let mut t = Table::new(&["n", "rectangle ∈ Σ∘Δ", "distinct ∈ Σ∘Δ", "time"]);
+    for n in [2usize, 3, 4, 5] {
+        let ((rect, dist), d) = timed(|| non_closure::demonstrate(n));
+        t.row(vec![
+            n.to_string(),
+            rect.to_string(),
+            dist.to_string(),
+            fmt_duration(d),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: rectangles in, distinct-values out — exactly Claim 6; \
+         any FO-STD Γ admits the distinct target for large n, so no Γ \
+         expresses the composition.\n"
+    );
+}
+
+/// E8 — Theorem 1(3): the annotation spectrum on one target family.
+fn e8_spectrum() {
+    println!("## E8 — Theorem 1 / Proposition 2: the OWA–CWA spectrum\n");
+    let chain = [
+        ("cl,cl", "R(x:cl, z:cl) <- E(x, y)"),
+        ("cl,op", "R(x:cl, z:op) <- E(x, y)"),
+        ("op,op", "R(x:op, z:op) <- E(x, y)"),
+    ];
+    let mut s = Instance::new();
+    s.insert_names("E", &["a", "b"]);
+    let targets = [
+        ("copy {(a,k)}", vec![vec!["a", "k"]]),
+        ("replicated {(a,k),(a,l)}", vec![vec!["a", "k"], vec!["a", "l"]]),
+        ("rogue {(a,k),(x,y)}", vec![vec!["a", "k"], vec!["x", "y"]]),
+    ];
+    let mut t = Table::new(&["target", "cl,cl", "cl,op", "op,op"]);
+    for (label, tuples) in targets {
+        let mut target = Instance::new();
+        for tup in &tuples {
+            target.insert_names("R", &[tup[0], tup[1]]);
+        }
+        let mut cells = vec![label.to_string()];
+        for (_, rules) in chain {
+            let m = Mapping::parse(rules).unwrap();
+            cells.push(semantics::is_member(&m, &s, &target).to_string());
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!("Shape check: membership grows monotonically left → right (α ⪯ α′).\n");
+}
+
+/// E9 — Theorem 2 reduction: tripartite matching through membership.
+fn e9_tripartite() {
+    println!("## E9 — Theorem 2 reduction: tripartite matching\n");
+    let mut t = Table::new(&["n", "triples", "brute force", "via exchange", "agree"]);
+    for n in [2usize, 3, 4] {
+        let inst = tripartite::TripartiteInstance::planted(n, n, 42 + n as u64);
+        let (b, db) = timed(|| inst.solve_brute_force().is_some());
+        let (e, de) = timed(|| tripartite::solve_via_membership(&inst));
+        t.row(vec![
+            n.to_string(),
+            inst.triples.len().to_string(),
+            fmt_duration(db),
+            fmt_duration(de),
+            (b == e).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape check: both exponential (NP-complete); verdicts agree.\n");
+}
+
+/// E10 — Theorem 4 reduction: 3-colorability through composition.
+fn e10_coloring() {
+    println!("## E10 — Theorem 4 reduction: 3-colorability\n");
+    let mut t = Table::new(&["graph", "brute force", "via composition", "agree"]);
+    let graphs = [
+        ("C3 (triangle)", coloring::Graph::cycle(3)),
+        ("C4", coloring::Graph::cycle(4)),
+        ("K4 (uncolorable)", coloring::Graph::complete(4)),
+        ("planted(4, 4)", coloring::Graph::planted_colorable(4, 4, 3)),
+    ];
+    for (label, g) in graphs {
+        let (b, db) = timed(|| g.color_brute_force().is_some());
+        let (e, de) = timed(|| coloring::solve_via_composition(&g));
+        t.row(vec![
+            label.to_string(),
+            fmt_duration(db),
+            fmt_duration(de),
+            (b == e).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape check: uncolorable graphs are exactly the non-members.\n");
+}
+
+/// E11 — Theorem 3's coNEXPTIME gadget: the tiling reduction, verification
+/// direction.
+fn e11_tiling() {
+    println!("## E11 — Theorem 3 hardness gadget: 2ⁿ×2ⁿ tiling\n");
+    let mut t = Table::new(&[
+        "system",
+        "grid",
+        "brute-force tiling",
+        "witness verifies (Rep_A + β)",
+    ]);
+    for (label, sys) in [
+        ("checkerboard", tiling::TilingSystem::checkerboard(1)),
+        ("unsolvable", tiling::TilingSystem::unsolvable(1)),
+    ] {
+        let side = sys.side();
+        let (tiled, d) = timed(|| sys.solve_brute_force());
+        let verdict = match tiled {
+            Some(_) => {
+                let (w, dv) = timed(|| tiling::verify_witness(&sys));
+                format!(
+                    "yes, verified in {} ({} tuples)",
+                    fmt_duration(dv),
+                    w.map(|i| i.tuple_count()).unwrap_or(0)
+                )
+            }
+            None => "no tiling (correctly unsolvable)".to_string(),
+        };
+        t.row(vec![
+            label.to_string(),
+            format!("{side}×{side}"),
+            fmt_duration(d),
+            verdict,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: the refutation search is genuinely NEXPTIME, so the \
+         harness machine-checks the *verification* direction (witness \
+         membership + β-satisfaction), which is polynomial.\n"
+    );
+}
+
+/// E12 — §3 complexity remark: Rep membership for Codd tables is PTIME
+/// (Hopcroft–Karp) vs NP for naive tables (generic backtracking). The
+/// deficient all-null family is a worst case for the backtracking search.
+fn e12_codd() {
+    use dx_relation::{AnnInstance, AnnTuple, Annotation, RelSym};
+    use dx_solver::repa::{codd_rep_membership, rep_a_membership_with};
+    println!("## E12 — Codd tables: PTIME membership vs generic search\n");
+    let mut t = Table::new(&["n nulls / n+1 values", "generic backtracking", "Hopcroft–Karp"]);
+    let rel = RelSym::new("XCodd");
+    for n in [2usize, 4, 6, 64, 256] {
+        let mut ground = Instance::new();
+        let mut ann = AnnInstance::new();
+        for i in 0..n {
+            let tu = Tuple::new(vec![Value::null(i as u32 + 1)]);
+            ground.insert(rel, tu.clone());
+            ann.insert(rel, AnnTuple::new(tu, Annotation::all_closed(1)));
+        }
+        let mut r = Instance::new();
+        for i in 0..=n {
+            r.insert_names("XCodd", &[&format!("c{i}")]);
+        }
+        let generic = if n <= 6 {
+            let (res, d) = timed(|| rep_a_membership_with(&ann, &r, true));
+            assert!(res.is_none());
+            fmt_duration(d)
+        } else {
+            "— (exponential)".to_string()
+        };
+        let (res, d) = timed(|| codd_rep_membership(&ground, &r));
+        assert!(res.is_none());
+        t.row(vec![n.to_string(), generic, fmt_duration(d)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: the backtracking wall appears by n = 6; the matching \
+         route stays polynomial past n = 256.\n"
+    );
+}
+
+/// E13 — §6 extension 1: certain answers for a PTIME language beyond FO
+/// (stratified Datalog transitive closure), annotation-independent for
+/// hom-preserved programs.
+fn e13_datalog() {
+    use dx_core::ptime_lang::certain_answers_ptime;
+    use dx_logic::datalog::DatalogQuery;
+    println!("## E13 — Stratified Datalog certain answers (PTIME language ⊋ FO)\n");
+    let tc = DatalogQuery::parse(
+        "XPath",
+        "XPath(x, y) <- XEdge(x, y); XPath(x, z) <- XPath(x, y) & XEdge(y, z)",
+    )
+    .expect("program parses");
+    let mut t = Table::new(&["n (chain)", "closed", "mixed (author op)", "answers agree"]);
+    for n in [4usize, 8, 16, 32] {
+        let mut s = Instance::new();
+        for i in 0..n {
+            s.insert_names("XSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let closed = Mapping::parse("XEdge(x:cl, y:cl) <- XSrc(x, y)").unwrap();
+        let mixed = Mapping::parse("XEdge(x:cl, y:op) <- XSrc(x, y)").unwrap();
+        let ((a1, _), d1) = timed(|| certain_answers_ptime(&closed, &s, &tc, None));
+        let ((a2, _), d2) = timed(|| certain_answers_ptime(&mixed, &s, &tc, None));
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d1),
+            fmt_duration(d2),
+            (a1 == a2).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: polynomial growth; identical certain answers across \
+         annotations (the monotone Proposition 3, beyond FO).\n"
+    );
+}
+
+/// E14 — the §2-cited Imieliński–Lipski mechanism: exact CWA certain
+/// answers for a difference query via c-tables, against the coNP valuation
+/// search (two independent exact engines).
+fn e14_ctables() {
+    use dx_core::ctable_bridge::certain_answers_cwa_ra;
+    use dx_ctables::RaExpr;
+    use dx_logic::Query;
+    println!("## E14 — Conditional tables vs coNP search (CWA, full RA)\n");
+    let m = Mapping::parse("XP(x:cl) <- XA(x, y); XQ(z:cl) <- XB(y, z)").unwrap();
+    let fo = Query::parse(&["x"], "XP(x) & !XQ(x)").unwrap();
+    let ra = RaExpr::rel("XP").diff(RaExpr::rel("XQ"));
+    let mut t = Table::new(&["n rows/side", "coNP search", "c-table route", "answers agree"]);
+    for n in [1usize, 2, 3] {
+        let mut s = Instance::new();
+        for i in 0..n {
+            s.insert_names("XA", &[&format!("a{i}"), &format!("t{i}")]);
+            s.insert_names("XB", &[&format!("u{i}"), &format!("b{i}")]);
+        }
+        let ((a1, _), d1) = timed(|| certain::certain_answers(&m, &s, &fo, None));
+        let (a2, d2) = timed(|| certain_answers_cwa_ra(&m, &s, &ra));
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d1),
+            fmt_duration(d2),
+            (a1 == a2).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: both engines are exponential in the null count (the \
+         problem is coNP-complete) and agree exactly; the c-table route \
+         spends its time in condition-validity checks instead of instance \
+         search.\n"
+    );
+}

@@ -1,0 +1,332 @@
+//! The annotated canonical (universal) solution `CSol_A(S)`.
+//!
+//! For each STD `ψ(x̄, z̄) :– φ(x̄, ȳ)` and each pair of tuples `(ā, b̄)` with
+//! `φ(ā, b̄)` true in the source, a fresh tuple of distinct nulls
+//! `⊥̄_(φ,ψ,ā,b̄)` is created and annotated head atoms are added so that
+//! `ψ(ā, ⊥̄)` holds. If `φ` evaluates to the empty set, *empty annotated
+//! tuples* are added for each head atom (§3, "Annotated canonical solution").
+//!
+//! The construction records one [`Justification`] per null — the object the
+//! CWA machinery of [Libkin'06] and the composition argument of Claim 5 both
+//! manipulate.
+
+use crate::mapping::Mapping;
+use crate::std_dep::Std;
+use dx_logic::{Assignment, Evaluator, Formula, Term};
+use dx_relation::{AnnInstance, AnnTuple, Instance, NullGen, NullId, Tuple, Value, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The justification of a null: which STD, which body witness, and which
+/// existential variable created it (`(φ, ψ, ā, b̄)` plus a variable among
+/// `z̄` in the paper's notation).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Justification {
+    /// Index of the STD in the mapping.
+    pub std_idx: usize,
+    /// The witness: values of the body's free variables, in
+    /// [`Std::body_vars`] order.
+    pub witness: Vec<Value>,
+    /// The existential head variable this null instantiates.
+    pub var: Var,
+}
+
+impl fmt::Display for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(std#{}, {:?}, {})", self.std_idx, self.witness, self.var)
+    }
+}
+
+impl fmt::Debug for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// The annotated canonical solution together with its justification
+/// bookkeeping.
+#[derive(Clone)]
+pub struct CanonicalSolution {
+    /// The annotated instance `CSol_A(S)`.
+    pub instance: AnnInstance,
+    /// Origin of each null.
+    pub null_origin: BTreeMap<NullId, Justification>,
+    /// For each STD (by index), the satisfying assignments of its body over
+    /// the source, in [`Std::body_vars`] order.
+    pub witnesses: Vec<Vec<Vec<Value>>>,
+}
+
+impl CanonicalSolution {
+    /// The unannotated canonical solution `CSol(S) = rel(CSol_A(S))`.
+    pub fn rel_part(&self) -> Instance {
+        self.instance.rel_part()
+    }
+
+    /// All nulls of the canonical solution, in creation order.
+    pub fn nulls(&self) -> Vec<NullId> {
+        self.null_origin.keys().copied().collect()
+    }
+
+    /// The null justified by `(std_idx, witness, var)`, if any.
+    pub fn null_for(&self, std_idx: usize, witness: &[Value], var: Var) -> Option<NullId> {
+        self.null_origin
+            .iter()
+            .find(|(_, j)| j.std_idx == std_idx && j.witness == witness && j.var == var)
+            .map(|(&n, _)| n)
+    }
+}
+
+impl fmt::Display for CanonicalSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.instance)
+    }
+}
+
+impl fmt::Debug for CanonicalSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Compute the annotated canonical solution `CSol_A(S)` of `source` under
+/// `mapping`, with nulls numbered deterministically from `⊥0`.
+///
+/// The source must be ground (a `Const`-instance), as required by the
+/// data-exchange setting.
+pub fn canonical_solution(mapping: &Mapping, source: &Instance) -> CanonicalSolution {
+    assert!(source.is_ground(), "source instances must be over Const");
+    let mut gen = NullGen::new();
+    let mut instance = AnnInstance::new();
+    let mut null_origin = BTreeMap::new();
+    let mut witnesses = Vec::with_capacity(mapping.stds.len());
+
+    // Make sure every target relation exists in the output, even if no STD
+    // fires (arities retrievable; harmless for semantics).
+    for std in &mapping.stds {
+        let rows = std_witnesses(std, source);
+
+        if rows.is_empty() {
+            // Empty annotated tuples, one per head atom.
+            for atom in &std.head {
+                instance.insert_empty_mark(atom.rel, atom.ann.clone());
+            }
+        }
+
+        for row in &rows {
+            let env = head_env(std, row, &mut gen, |var, null| {
+                null_origin.insert(
+                    null,
+                    Justification {
+                        std_idx: witnesses.len(),
+                        witness: row.clone(),
+                        var,
+                    },
+                );
+            });
+            for atom in &std.head {
+                let tuple = instantiate_atom(&atom.args, &env);
+                instance.insert(atom.rel, AnnTuple::new(tuple, atom.ann.clone()));
+            }
+        }
+        witnesses.push(rows);
+    }
+
+    CanonicalSolution {
+        instance,
+        null_origin,
+        witnesses,
+    }
+}
+
+/// The satisfying assignments of `std`'s body over `source`, in
+/// [`Std::body_vars`] order.
+pub fn std_witnesses(std: &Std, source: &Instance) -> Vec<Vec<Value>> {
+    let vars = std.body_vars();
+    let ev = Evaluator::for_formula(source, &std.body);
+    ev.satisfying_assignments(&std.body, &vars)
+}
+
+/// Build the head environment for one witness row: frontier variables get
+/// their witness values, existential variables get fresh nulls (reported to
+/// `on_null`).
+fn head_env(
+    std: &Std,
+    row: &[Value],
+    gen: &mut NullGen,
+    mut on_null: impl FnMut(Var, NullId),
+) -> BTreeMap<Var, Value> {
+    let mut env: BTreeMap<Var, Value> = std
+        .body_vars()
+        .into_iter()
+        .zip(row.iter().copied())
+        .collect();
+    for z in std.existential_vars() {
+        let null = gen.fresh();
+        on_null(z, null);
+        env.insert(z, Value::Null(null));
+    }
+    env
+}
+
+/// Instantiate head-atom arguments under an environment.
+fn instantiate_atom(args: &[Term], env: &BTreeMap<Var, Value>) -> Tuple {
+    Tuple::new(
+        args.iter()
+            .map(|t| match t {
+                Term::Var(v) => *env
+                    .get(v)
+                    .unwrap_or_else(|| panic!("head variable {v} unbound")),
+                Term::Const(c) => Value::Const(*c),
+                Term::App(_, _) => unreachable!("plain STDs have no function terms"),
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Evaluate whether `(source, target)` satisfies one STD under the classical
+/// (unannotated) reading `∀x̄∀ȳ (φ → ∃z̄ ψ)`; used by the OWA-solution check.
+pub fn std_satisfied(std: &Std, source: &Instance, target: &Instance) -> bool {
+    let rows = std_witnesses(std, source);
+    if rows.is_empty() {
+        return true;
+    }
+    // ∃z̄. ⋀ head atoms, evaluated over the target with frontier variables
+    // bound to witness values.
+    let zvars: Vec<Var> = std.existential_vars().into_iter().collect();
+    let head_formula = Formula::exists(
+        zvars,
+        Formula::and(
+            std.head
+                .iter()
+                .map(|a| Formula::Atom(a.rel, a.args.clone())),
+        ),
+    );
+    let body_vars = std.body_vars();
+    for row in rows {
+        // Quantifier domain: target adom plus the witness values themselves.
+        let mut dom = target.active_domain();
+        dom.extend(row.iter().copied());
+        let ev = Evaluator::with_domain_and_funcs(target, dom, &dx_logic::NoFuncs);
+        let mut asg = Assignment::new();
+        for (v, val) in body_vars.iter().zip(row.iter()) {
+            asg.bind(*v, *val);
+        }
+        if !ev.eval(&head_formula, &mut asg) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::{Ann, RelSym};
+
+    /// The paper's running example: E = {(a,c1),(a,c2),(b,c3)} under
+    /// R(x:cl, z:op) :- E(x,y) gives {(a^cl,⊥0^op),(a^cl,⊥1^op),(b^cl,⊥2^op)}.
+    #[test]
+    fn papers_running_example() {
+        let m = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "c1"]);
+        s.insert_names("E", &["a", "c2"]);
+        s.insert_names("E", &["b", "c3"]);
+        let csol = canonical_solution(&m, &s);
+        let r = csol.instance.relation(RelSym::new("R")).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(csol.null_origin.len(), 3);
+        // Each tuple has a constant first coordinate (cl) and a distinct null
+        // second coordinate (op).
+        let mut nulls = std::collections::BTreeSet::new();
+        for at in r.iter() {
+            assert!(at.tuple.get(0).is_const());
+            assert!(at.tuple.get(1).is_null());
+            assert_eq!(at.ann.get(0), Ann::Closed);
+            assert_eq!(at.ann.get(1), Ann::Open);
+            nulls.insert(at.tuple.get(1));
+        }
+        assert_eq!(nulls.len(), 3, "distinct nulls per justification");
+    }
+
+    /// Paper §3: STD R(x:op, z1:cl) ∧ R(x:cl, z2:op) with S = {(a,c)} gives
+    /// CSol_A(S) = {(a^op, ⊥1^cl), (a^cl, ⊥2^op)}.
+    #[test]
+    fn mixed_annotations_same_variable() {
+        let m = Mapping::parse("R(x:op, z1:cl), R(x:cl, z2:op) <- E(x, y)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "c"]);
+        let csol = canonical_solution(&m, &s);
+        let r = csol.instance.relation(RelSym::new("R")).unwrap();
+        assert_eq!(r.len(), 2);
+        let anns: Vec<_> = r.iter().map(|at| at.ann.clone()).collect();
+        assert!(anns.contains(&dx_relation::Annotation::new(vec![Ann::Open, Ann::Closed])));
+        assert!(anns.contains(&dx_relation::Annotation::new(vec![Ann::Closed, Ann::Open])));
+        assert_eq!(csol.null_origin.len(), 2);
+    }
+
+    #[test]
+    fn empty_source_produces_empty_marks() {
+        let m = Mapping::parse("R(x:cl, z:op) <- E(x, y); U(w:op) <- V(w)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("V", &["v1"]); // E empty, V nonempty
+        let csol = canonical_solution(&m, &s);
+        let r = csol.instance.relation(RelSym::new("R")).unwrap();
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.empty_marks().count(), 1);
+        let u = csol.instance.relation(RelSym::new("U")).unwrap();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.empty_marks().count(), 0);
+    }
+
+    #[test]
+    fn negation_in_body() {
+        // Reviews(x:cl, z:op) for unassigned papers only.
+        let m = Mapping::parse(
+            "Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)",
+        )
+        .unwrap();
+        let mut s = Instance::new();
+        s.insert_names("Papers", &["p1", "t1"]);
+        s.insert_names("Papers", &["p2", "t2"]);
+        s.insert_names("Assignments", &["p1", "rev1"]);
+        let csol = canonical_solution(&m, &s);
+        let r = csol.instance.relation(RelSym::new("Reviews")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().tuple.get(0), Value::c("p2"));
+    }
+
+    #[test]
+    fn justification_lookup() {
+        let m = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "b"]);
+        let csol = canonical_solution(&m, &s);
+        let witness = vec![Value::c("a"), Value::c("b")];
+        let n = csol.null_for(0, &witness, Var::new("z"));
+        assert!(n.is_some());
+        assert_eq!(csol.null_origin[&n.unwrap()].witness, witness);
+    }
+
+    #[test]
+    fn std_satisfied_owa_style() {
+        let std = Std::parse("R(x:op, z:op) <- E(x, y)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "b"]);
+        // Target with R(a, k) satisfies ∃z R(a,z).
+        let mut t = Instance::new();
+        t.insert_names("R", &["a", "k"]);
+        assert!(std_satisfied(&std, &s, &t));
+        // Empty target does not.
+        assert!(!std_satisfied(&std, &s, &Instance::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be over Const")]
+    fn non_ground_source_rejected() {
+        let m = Mapping::parse("R(x:cl) <- E(x)").unwrap();
+        let mut s = Instance::new();
+        s.insert(RelSym::new("E"), Tuple::new(vec![Value::null(0)]));
+        canonical_solution(&m, &s);
+    }
+}

@@ -1,0 +1,523 @@
+//! The standard (restricted) chase with target tgds and egds over annotated
+//! instances.
+//!
+//! Starting from `CSol_A(S)`, the chase repairs target-constraint violations:
+//! tgd triggers add (annotated) head tuples with fresh nulls for existential
+//! variables; egd triggers equate values — merging two nulls, or a null and
+//! a constant; two distinct constants make the chase **fail** (no solution).
+//! For weakly acyclic dependencies ([`crate::target_deps::is_weakly_acyclic`])
+//! the chase terminates; a step limit backstops the general case.
+//!
+//! Annotation policy (a design decision the paper leaves open, §6): tuples
+//! added by tgds carry the tgd's own head annotations; when an egd merges a
+//! null into another value, tuples are rewritten in place and keep their
+//! annotations. This conservatively extends the paper's semantics: the
+//! all-closed fragment reproduces the CWA chase of
+//! [Hernich–Schweikardt'07].
+
+use crate::canonical::CanonicalSolution;
+use crate::mapping::Mapping;
+use crate::target_deps::{Egd, TargetDep, Tgd};
+use dx_logic::Term;
+use dx_relation::{
+    AnnInstance, AnnTuple, Instance, NullGen, NullId, RelSym, Tuple, Valuation, Value, Var,
+};
+use std::collections::BTreeMap;
+
+/// Why a chase run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// All dependencies satisfied.
+    Satisfied,
+    /// An egd required two distinct constants to be equal — no solution
+    /// exists.
+    Failed {
+        /// The clashing constants.
+        left: Value,
+        /// The clashing constants.
+        right: Value,
+    },
+    /// The step limit was reached (possible for non-weakly-acyclic sets).
+    StepLimit,
+}
+
+/// Result of chasing an annotated instance.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The chased instance (meaningful for `Satisfied`; best-effort
+    /// otherwise).
+    pub instance: AnnInstance,
+    /// Number of chase steps applied.
+    pub steps: usize,
+    /// Outcome.
+    pub outcome: ChaseOutcome,
+}
+
+/// Default step limit for the chase.
+pub const DEFAULT_CHASE_LIMIT: usize = 10_000;
+
+/// Chase `instance` with `deps` (standard/restricted chase: a tgd fires only
+/// when its head is not already satisfiable). `gen` supplies fresh nulls.
+pub fn chase(
+    mut instance: AnnInstance,
+    deps: &[TargetDep],
+    gen: &mut NullGen,
+    max_steps: usize,
+) -> ChaseResult {
+    let mut steps = 0usize;
+    loop {
+        if steps >= max_steps {
+            return ChaseResult {
+                instance,
+                steps,
+                outcome: ChaseOutcome::StepLimit,
+            };
+        }
+        let mut fired = false;
+        for dep in deps {
+            match dep {
+                TargetDep::Tgd(tgd) => {
+                    if let Some(asg) = find_unsatisfied_trigger(&instance, tgd) {
+                        apply_tgd(&mut instance, tgd, &asg, gen);
+                        steps += 1;
+                        fired = true;
+                        break;
+                    }
+                }
+                TargetDep::Egd(egd) => match find_egd_violation(&instance, egd) {
+                    Some((Value::Const(a), Value::Const(b))) => {
+                        return ChaseResult {
+                            instance,
+                            steps,
+                            outcome: ChaseOutcome::Failed {
+                                left: Value::Const(a),
+                                right: Value::Const(b),
+                            },
+                        };
+                    }
+                    Some((l, r)) => {
+                        merge_values(&mut instance, l, r);
+                        steps += 1;
+                        fired = true;
+                        break;
+                    }
+                    None => {}
+                },
+            }
+        }
+        if !fired {
+            return ChaseResult {
+                instance,
+                steps,
+                outcome: ChaseOutcome::Satisfied,
+            };
+        }
+    }
+}
+
+/// Chase the canonical solution of `mapping` on `source` with target
+/// dependencies (the data-exchange-with-constraints pipeline of §6's cited
+/// works).
+pub fn canonical_solution_with_deps(
+    mapping: &Mapping,
+    deps: &[TargetDep],
+    source: &Instance,
+    max_steps: usize,
+) -> ChaseResult {
+    let csol: CanonicalSolution = crate::canonical::canonical_solution(mapping, source);
+    let mut gen = NullGen::after(csol.instance.nulls());
+    chase(csol.instance, deps, &mut gen, max_steps)
+}
+
+/// Does the (naive-table reading of the) instance satisfy all dependencies?
+pub fn satisfies_deps(instance: &AnnInstance, deps: &[TargetDep]) -> bool {
+    deps.iter().all(|dep| match dep {
+        TargetDep::Tgd(tgd) => find_unsatisfied_trigger(instance, tgd).is_none(),
+        TargetDep::Egd(egd) => find_egd_violation(instance, egd).is_none(),
+    })
+}
+
+/// Find an assignment satisfying the tgd's body whose head has no extension
+/// into the instance (a *restricted-chase* trigger).
+fn find_unsatisfied_trigger(
+    instance: &AnnInstance,
+    tgd: &Tgd,
+) -> Option<BTreeMap<Var, Value>> {
+    let rel_part = instance.rel_part();
+    let mut found = None;
+    for_each_body_match(&rel_part, &tgd.body, &mut |asg| {
+        if !head_satisfiable(&rel_part, tgd, asg) {
+            found = Some(asg.clone());
+            true // stop
+        } else {
+            false
+        }
+    });
+    found
+}
+
+/// Can the tgd's head be satisfied under `asg` with *some* values for the
+/// existential variables (drawn from the instance's tuples)?
+fn head_satisfiable(rel_part: &Instance, tgd: &Tgd, asg: &BTreeMap<Var, Value>) -> bool {
+    // Backtracking over head atoms, extending asg on existential variables.
+    fn go(
+        rel_part: &Instance,
+        atoms: &[crate::std_dep::TargetAtom],
+        i: usize,
+        asg: &mut BTreeMap<Var, Value>,
+    ) -> bool {
+        if i == atoms.len() {
+            return true;
+        }
+        let atom = &atoms[i];
+        'tuples: for tuple in rel_part.tuples(atom.rel) {
+            let mut bound: Vec<Var> = Vec::new();
+            for (j, term) in atom.args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if tuple.get(j) != Value::Const(*c) {
+                            for v in bound.drain(..) {
+                                asg.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match asg.get(v) {
+                        Some(&val) => {
+                            if tuple.get(j) != val {
+                                for v in bound.drain(..) {
+                                    asg.remove(&v);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            asg.insert(*v, tuple.get(j));
+                            bound.push(*v);
+                        }
+                    },
+                    Term::App(_, _) => unreachable!("tgd heads are function-free"),
+                }
+            }
+            if go(rel_part, atoms, i + 1, asg) {
+                return true;
+            }
+            for v in bound {
+                asg.remove(&v);
+            }
+        }
+        false
+    }
+    let mut asg = asg.clone();
+    go(rel_part, &tgd.head, 0, &mut asg)
+}
+
+/// Apply a tgd trigger: fresh nulls for the existential variables, insert
+/// annotated head tuples.
+fn apply_tgd(
+    instance: &mut AnnInstance,
+    tgd: &Tgd,
+    asg: &BTreeMap<Var, Value>,
+    gen: &mut NullGen,
+) {
+    let mut env = asg.clone();
+    for z in tgd.existential_vars() {
+        env.insert(z, Value::Null(gen.fresh()));
+    }
+    for atom in &tgd.head {
+        let vals: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => env[v],
+                Term::Const(c) => Value::Const(*c),
+                Term::App(_, _) => unreachable!(),
+            })
+            .collect();
+        instance.insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()));
+    }
+}
+
+/// Find an egd violation: a body match where the two sides differ.
+fn find_egd_violation(instance: &AnnInstance, egd: &Egd) -> Option<(Value, Value)> {
+    let rel_part = instance.rel_part();
+    let mut found = None;
+    for_each_body_match(&rel_part, &egd.body, &mut |asg| {
+        let term_val = |t: &Term| -> Value {
+            match t {
+                Term::Var(v) => asg[v],
+                Term::Const(c) => Value::Const(*c),
+                Term::App(_, _) => unreachable!("egds are function-free"),
+            }
+        };
+        let l = term_val(&egd.eq.0);
+        let r = term_val(&egd.eq.1);
+        if l != r {
+            found = Some((l, r));
+            true
+        } else {
+            false
+        }
+    });
+    found
+}
+
+/// Enumerate body matches (naive-table semantics: nulls are atomic values),
+/// invoking `visit`; stop when it returns `true`.
+fn for_each_body_match(
+    rel_part: &Instance,
+    body: &[(RelSym, Vec<Term>)],
+    visit: &mut dyn FnMut(&BTreeMap<Var, Value>) -> bool,
+) {
+    fn go(
+        rel_part: &Instance,
+        body: &[(RelSym, Vec<Term>)],
+        i: usize,
+        asg: &mut BTreeMap<Var, Value>,
+        visit: &mut dyn FnMut(&BTreeMap<Var, Value>) -> bool,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if i == body.len() {
+            *stop = visit(asg);
+            return;
+        }
+        let (rel, args) = &body[i];
+        let tuples: Vec<Tuple> = rel_part.tuples(*rel).cloned().collect();
+        'tuples: for tuple in tuples {
+            let mut bound: Vec<Var> = Vec::new();
+            for (j, term) in args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if tuple.get(j) != Value::Const(*c) {
+                            for v in bound.drain(..) {
+                                asg.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match asg.get(v) {
+                        Some(&val) => {
+                            if tuple.get(j) != val {
+                                for v in bound.drain(..) {
+                                    asg.remove(&v);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            asg.insert(*v, tuple.get(j));
+                            bound.push(*v);
+                        }
+                    },
+                    Term::App(_, _) => unreachable!("dependency bodies are function-free"),
+                }
+            }
+            go(rel_part, body, i + 1, asg, visit, stop);
+            for v in bound {
+                asg.remove(&v);
+            }
+            if *stop {
+                return;
+            }
+        }
+    }
+    let mut asg = BTreeMap::new();
+    let mut stop = false;
+    go(rel_part, body, 0, &mut asg, visit, &mut stop);
+}
+
+/// Merge `l` into `r` (at least one side is a null): replace the null by
+/// the other value throughout the instance.
+fn merge_values(instance: &mut AnnInstance, l: Value, r: Value) {
+    let (null, target) = match (l, r) {
+        (Value::Null(n), other) => (n, other),
+        (other, Value::Null(n)) => (n, other),
+        _ => unreachable!("constant/constant clashes fail the chase"),
+    };
+    let subst = match target {
+        Value::Const(c) => Valuation::from_pairs([(null, c)]),
+        Value::Null(m) => {
+            // Null-to-null: route through a substitution map.
+            let mut out = AnnInstance::new();
+            for (rel, arel) in instance.relations() {
+                for at in arel.iter() {
+                    let vals: Vec<Value> = at
+                        .tuple
+                        .iter()
+                        .map(|v| if v == Value::Null(null) { Value::Null(m) } else { v })
+                        .collect();
+                    out.insert(rel, AnnTuple::new(Tuple::new(vals), at.ann.clone()));
+                }
+                for mark in arel.empty_marks() {
+                    out.insert_empty_mark(rel, mark.clone());
+                }
+            }
+            *instance = out;
+            return;
+        }
+    };
+    *instance = instance.apply(&subst);
+}
+
+/// Convenience: the set of nulls introduced by a chase run beyond those of
+/// the input (diagnostics and tests).
+pub fn new_nulls(before: &AnnInstance, after: &AnnInstance) -> Vec<NullId> {
+    let old = before.nulls();
+    after.nulls().into_iter().filter(|n| !old.contains(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+
+    fn csol_of(rules: &str, facts: &[(&str, &[&str])]) -> AnnInstance {
+        let m = Mapping::parse(rules).unwrap();
+        let mut s = Instance::new();
+        for (rel, names) in facts {
+            s.insert_names(rel, names);
+        }
+        crate::canonical::canonical_solution(&m, &s).instance
+    }
+
+    #[test]
+    fn symmetry_tgd_closes_the_graph() {
+        let inst = csol_of("G(x:cl, y:cl) <- E(x, y)", &[("E", &["a", "b"])]);
+        let deps = TargetDep::parse_many("G(y:cl, x:cl) <- G(x, y)").unwrap();
+        assert!(crate::target_deps::is_weakly_acyclic(&deps));
+        let mut gen = NullGen::after(inst.nulls());
+        let out = chase(inst, &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied);
+        assert_eq!(out.steps, 1);
+        let g = out.instance.rel_part();
+        assert!(g.contains(RelSym::new("G"), &Tuple::from_names(&["b", "a"])));
+        assert!(satisfies_deps(&out.instance, &deps));
+    }
+
+    #[test]
+    fn inventing_tgd_creates_annotated_nulls() {
+        let inst = csol_of("Emp(e:cl) <- Src(e)", &[("Src", &["ada"])]);
+        let deps = TargetDep::parse_many("Dept(e:cl, d:op) <- Emp(e)").unwrap();
+        let mut gen = NullGen::after(inst.nulls());
+        let out = chase(inst, &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied);
+        let dept = out.instance.relation(RelSym::new("Dept")).unwrap();
+        assert_eq!(dept.len(), 1);
+        let at = dept.iter().next().unwrap();
+        assert!(at.tuple.get(1).is_null(), "existential d gets a fresh null");
+        assert_eq!(at.ann.get(1), dx_relation::Ann::Open, "tgd annotation kept");
+        // Restricted chase: re-running adds nothing.
+        let again = chase(out.instance.clone(), &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert_eq!(again.steps, 0);
+    }
+
+    #[test]
+    fn egd_merges_nulls() {
+        // Two tuples for key a with different nulls; FD forces them equal.
+        let inst = csol_of("R(x:cl, z:cl) <- E(x, y)", &[("E", &["a", "c1"])]);
+        let mut inst = inst;
+        // add a second R-tuple for the same key with another null.
+        inst.insert(
+            RelSym::new("R"),
+            AnnTuple::new(
+                Tuple::new(vec![Value::c("a"), Value::null(77)]),
+                dx_relation::Annotation::all_closed(2),
+            ),
+        );
+        let deps = TargetDep::parse_many("y1 = y2 <- R(x, y1) & R(x, y2)").unwrap();
+        let mut gen = NullGen::after(inst.nulls());
+        let out = chase(inst, &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied);
+        assert_eq!(
+            out.instance.relation(RelSym::new("R")).unwrap().len(),
+            1,
+            "merged tuples collapse"
+        );
+    }
+
+    #[test]
+    fn egd_null_to_constant() {
+        let mut inst = AnnInstance::new();
+        let r = RelSym::new("RC");
+        inst.insert(
+            r,
+            AnnTuple::new(
+                Tuple::new(vec![Value::c("a"), Value::null(0)]),
+                dx_relation::Annotation::all_closed(2),
+            ),
+        );
+        inst.insert(
+            r,
+            AnnTuple::new(
+                Tuple::from_names(&["a", "k"]),
+                dx_relation::Annotation::all_closed(2),
+            ),
+        );
+        let deps = TargetDep::parse_many("y1 = y2 <- RC(x, y1) & RC(x, y2)").unwrap();
+        let mut gen = NullGen::after(inst.nulls());
+        let out = chase(inst, &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied);
+        let rel = out.instance.relation(r).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.iter().next().unwrap().tuple, Tuple::from_names(&["a", "k"]));
+    }
+
+    #[test]
+    fn egd_constant_clash_fails() {
+        let mut inst = AnnInstance::new();
+        let r = RelSym::new("RF");
+        inst.insert(
+            r,
+            AnnTuple::new(Tuple::from_names(&["a", "k"]), dx_relation::Annotation::all_closed(2)),
+        );
+        inst.insert(
+            r,
+            AnnTuple::new(Tuple::from_names(&["a", "l"]), dx_relation::Annotation::all_closed(2)),
+        );
+        let deps = TargetDep::parse_many("y1 = y2 <- RF(x, y1) & RF(x, y2)").unwrap();
+        let mut gen = NullGen::new();
+        let out = chase(inst, &deps, &mut gen, DEFAULT_CHASE_LIMIT);
+        assert!(matches!(out.outcome, ChaseOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn non_weakly_acyclic_hits_step_limit() {
+        let mut inst = AnnInstance::new();
+        inst.insert(
+            RelSym::new("Chain"),
+            AnnTuple::new(
+                Tuple::from_names(&["a", "b"]),
+                dx_relation::Annotation::all_closed(2),
+            ),
+        );
+        let deps = TargetDep::parse_many("Chain(y:cl, z:cl) <- Chain(x, y)").unwrap();
+        assert!(!crate::target_deps::is_weakly_acyclic(&deps));
+        let mut gen = NullGen::new();
+        let out = chase(inst, &deps, &mut gen, 25);
+        assert_eq!(out.outcome, ChaseOutcome::StepLimit);
+        assert_eq!(out.steps, 25);
+    }
+
+    #[test]
+    fn full_pipeline_with_deps() {
+        let m = Mapping::parse("Team(p:cl, t:op) <- Person(p)").unwrap();
+        let deps = TargetDep::parse_many(
+            "Lead(t:cl, l:op) <- Team(p, t); l1 = l2 <- Lead(t, l1) & Lead(t, l2)",
+        )
+        .unwrap();
+        assert!(crate::target_deps::is_weakly_acyclic(&deps));
+        let mut s = Instance::new();
+        s.insert_names("Person", &["ada"]);
+        s.insert_names("Person", &["bob"]);
+        let out = canonical_solution_with_deps(&m, &deps, &s, DEFAULT_CHASE_LIMIT);
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied);
+        assert!(satisfies_deps(&out.instance, &deps));
+        // Every team value has exactly one leader.
+        let leads = out.instance.relation(RelSym::new("Lead")).unwrap();
+        let teams = out.instance.relation(RelSym::new("Team")).unwrap();
+        assert_eq!(leads.len(), teams.len());
+    }
+}

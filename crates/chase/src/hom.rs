@@ -1,0 +1,379 @@
+//! Homomorphisms of annotated instances.
+//!
+//! Following §3 of the paper, a homomorphism `h : T → T′` is a map from
+//! `Null` to `Null` (constants are fixed) such that for each annotated tuple
+//! `(t, α)` of a relation `R` in `T`, the tuple `(h(t), α)` is in `R′` —
+//! homomorphisms preserve annotations.
+//!
+//! Two search problems are implemented:
+//!
+//! * [`find_onto_hom`] — an `h` with `h(T) = T′` exactly (the
+//!   "homomorphic image" half of presolutions / Proposition 1);
+//! * [`find_hom_into_expansion`] — an `h` from `T` into *some expansion* of
+//!   `T′` (the second half of Proposition 1): each image tuple must coincide
+//!   with some `T′`-tuple on that tuple's closed positions.
+
+use dx_relation::{AnnInstance, AnnTuple, NullId, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A (partial) map `Null → Null`; identity outside its domain.
+pub type NullMap = BTreeMap<NullId, NullId>;
+
+/// Apply a null map to a tuple (identity outside the domain).
+pub fn apply_null_map_tuple(t: &Tuple, h: &NullMap) -> Tuple {
+    Tuple::new(
+        t.iter()
+            .map(|v| match v {
+                Value::Null(n) => Value::Null(*h.get(&n).unwrap_or(&n)),
+                c => c,
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Apply a null map to an annotated instance (annotations and empty markers
+/// are preserved; tuples may merge).
+pub fn apply_null_map(inst: &AnnInstance, h: &NullMap) -> AnnInstance {
+    let mut out = AnnInstance::new();
+    for (r, rel) in inst.relations() {
+        for at in rel.iter() {
+            out.insert(
+                r,
+                AnnTuple::new(apply_null_map_tuple(&at.tuple, h), at.ann.clone()),
+            );
+        }
+        for m in rel.empty_marks() {
+            out.insert_empty_mark(r, m.clone());
+        }
+    }
+    out
+}
+
+/// Search for a homomorphism `h` with `h(from) = to` **exactly** (same
+/// annotated tuples, same empty markers). Returns the witnessing map (total
+/// on the nulls of `from`) or `None`.
+pub fn find_onto_hom(from: &AnnInstance, to: &AnnInstance) -> Option<NullMap> {
+    // Empty markers are unaffected by homomorphisms: they must agree.
+    if !empty_marks_equal(from, to) {
+        return None;
+    }
+    // Collect constraints tuple by tuple: each from-tuple must map onto a
+    // to-tuple with identical annotation and identical constants.
+    let work: Vec<(&AnnTuple, Vec<&AnnTuple>)> = from
+        .relations()
+        .flat_map(|(r, rel)| {
+            rel.iter().map(move |at| {
+                let candidates: Vec<&AnnTuple> = to
+                    .tuples(r)
+                    .filter(|cand| cand.ann == at.ann && compatible(at, cand))
+                    .collect();
+                (at, candidates)
+            })
+        })
+        .collect();
+    // Fail fast if any tuple has no candidate.
+    if work.iter().any(|(_, c)| c.is_empty()) {
+        return None;
+    }
+    let mut h = NullMap::new();
+    search_onto(&work, 0, &mut h).and_then(|h| {
+        // Verify the image covers all of `to` (the "onto" requirement).
+        (apply_null_map(from, &h) == *to).then_some(h)
+    })
+}
+
+fn empty_marks_equal(a: &AnnInstance, b: &AnnInstance) -> bool {
+    let collect = |x: &AnnInstance| -> Vec<_> {
+        x.relations()
+            .flat_map(|(r, rel)| {
+                rel.empty_marks()
+                    .map(move |m| (r, m.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    collect(a) == collect(b)
+}
+
+/// Can `from`'s tuple possibly map to `cand` (constants equal, nulls map to
+/// nulls)? Null-consistency is resolved during search.
+fn compatible(from: &AnnTuple, cand: &AnnTuple) -> bool {
+    from.tuple
+        .iter()
+        .zip(cand.tuple.iter())
+        .all(|(a, b)| match a {
+            Value::Const(_) => a == b,
+            Value::Null(_) => b.is_null(),
+        })
+}
+
+fn search_onto(
+    work: &[(&AnnTuple, Vec<&AnnTuple>)],
+    i: usize,
+    h: &mut NullMap,
+) -> Option<NullMap> {
+    if i == work.len() {
+        return Some(h.clone());
+    }
+    let (at, candidates) = &work[i];
+    'cands: for cand in candidates {
+        let mut bound: Vec<NullId> = Vec::new();
+        for (a, b) in at.tuple.iter().zip(cand.tuple.iter()) {
+            if let (Value::Null(n), Value::Null(m)) = (a, b) {
+                match h.get(&n) {
+                    Some(&existing) if existing != m => {
+                        for n in bound.drain(..) {
+                            h.remove(&n);
+                        }
+                        continue 'cands;
+                    }
+                    Some(_) => {}
+                    None => {
+                        h.insert(n, m);
+                        bound.push(n);
+                    }
+                }
+            }
+        }
+        if let Some(found) = search_onto(work, i + 1, h) {
+            return Some(found);
+        }
+        for n in bound {
+            h.remove(&n);
+        }
+    }
+    None
+}
+
+/// Search for a homomorphism from `t` into **an expansion of** `csol`
+/// (Proposition 1): a map `h` on the nulls of `t` such that every image
+/// tuple `(h(t̄), α)` coincides with some tuple `(t̄₁, α₁)` of `csol` on the
+/// positions `α₁` marks closed, and every empty marker of `t` also occurs in
+/// `csol`.
+pub fn find_hom_into_expansion(t: &AnnInstance, csol: &AnnInstance) -> Option<NullMap> {
+    // Empty markers of t must occur in csol.
+    for (r, rel) in t.relations() {
+        for m in rel.empty_marks() {
+            let ok = csol
+                .relation(r)
+                .is_some_and(|cr| cr.empty_marks().any(|cm| cm == m));
+            if !ok {
+                return None;
+            }
+        }
+    }
+    // For each t-tuple, candidate matches: csol tuples (any annotation) whose
+    // closed positions can be realized by mapping t's nulls.
+    struct Constraint {
+        /// For each candidate: the null bindings it would force.
+        options: Vec<Vec<(NullId, NullId)>>,
+    }
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for (r, rel) in t.relations() {
+        let crel = match csol.relation(r) {
+            Some(c) => c,
+            None => {
+                if rel.len() > 0 {
+                    return None;
+                }
+                continue;
+            }
+        };
+        for at in rel.iter() {
+            let mut options = Vec::new();
+            'cands: for cand in crel.iter() {
+                let mut forced: Vec<(NullId, NullId)> = Vec::new();
+                for i in cand.ann.closed_positions() {
+                    match (at.tuple.get(i), cand.tuple.get(i)) {
+                        (Value::Const(a), Value::Const(b)) => {
+                            if a != b {
+                                continue 'cands;
+                            }
+                        }
+                        (Value::Const(_), Value::Null(_)) => continue 'cands,
+                        (Value::Null(_), Value::Const(_)) => {
+                            // h maps nulls to nulls; cannot hit a constant.
+                            continue 'cands;
+                        }
+                        (Value::Null(n), Value::Null(m)) => forced.push((n, m)),
+                    }
+                }
+                // Consistency within one candidate.
+                let mut local: BTreeMap<NullId, NullId> = BTreeMap::new();
+                let consistent = forced.iter().all(|&(n, m)| {
+                    *local.entry(n).or_insert(m) == m
+                });
+                if consistent {
+                    options.push(forced);
+                }
+            }
+            if options.is_empty() {
+                return None;
+            }
+            constraints.push(Constraint { options });
+        }
+    }
+    // Backtracking over per-tuple options.
+    fn go(cs: &[Constraint], i: usize, h: &mut NullMap) -> bool {
+        if i == cs.len() {
+            return true;
+        }
+        'opts: for opt in &cs[i].options {
+            let mut bound: Vec<NullId> = Vec::new();
+            for &(n, m) in opt {
+                match h.get(&n) {
+                    Some(&existing) if existing != m => {
+                        for n in bound.drain(..) {
+                            h.remove(&n);
+                        }
+                        continue 'opts;
+                    }
+                    Some(_) => {}
+                    None => {
+                        h.insert(n, m);
+                        bound.push(n);
+                    }
+                }
+            }
+            if go(cs, i + 1, h) {
+                return true;
+            }
+            for n in bound {
+                h.remove(&n);
+            }
+        }
+        false
+    }
+    let mut h = NullMap::new();
+    go(&constraints, 0, &mut h).then_some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::{Ann, AnnTuple, Annotation, RelSym, Tuple, Value};
+
+    fn at(vals: Vec<Value>, anns: Vec<Ann>) -> AnnTuple {
+        AnnTuple::new(Tuple::new(vals), Annotation::new(anns))
+    }
+
+    /// The paper's CWA example: CSol = {(a,⊥1),(a,⊥2),(b,⊥3)} (all-closed),
+    /// T = {(a,⊥10),(b,⊥11)} is a homomorphic image via ⊥1,⊥2↦⊥10, ⊥3↦⊥11.
+    #[test]
+    fn onto_hom_merges_nulls() {
+        let r = RelSym::new("HomR");
+        let cl2 = vec![Ann::Closed, Ann::Closed];
+        let mut csol = AnnInstance::new();
+        csol.insert(r, at(vec![Value::c("a"), Value::null(1)], cl2.clone()));
+        csol.insert(r, at(vec![Value::c("a"), Value::null(2)], cl2.clone()));
+        csol.insert(r, at(vec![Value::c("b"), Value::null(3)], cl2.clone()));
+        let mut t = AnnInstance::new();
+        t.insert(r, at(vec![Value::c("a"), Value::null(10)], cl2.clone()));
+        t.insert(r, at(vec![Value::c("b"), Value::null(11)], cl2.clone()));
+        let h = find_onto_hom(&csol, &t).expect("hom exists");
+        assert_eq!(h[&NullId(1)], NullId(10));
+        assert_eq!(h[&NullId(2)], NullId(10));
+        assert_eq!(h[&NullId(3)], NullId(11));
+        assert_eq!(apply_null_map(&csol, &h), t);
+    }
+
+    #[test]
+    fn onto_hom_requires_full_coverage() {
+        let r = RelSym::new("HomR2");
+        let cl2 = vec![Ann::Closed, Ann::Closed];
+        let mut csol = AnnInstance::new();
+        csol.insert(r, at(vec![Value::c("a"), Value::null(1)], cl2.clone()));
+        // T has an extra tuple that is not an image of anything.
+        let mut t = AnnInstance::new();
+        t.insert(r, at(vec![Value::c("a"), Value::null(10)], cl2.clone()));
+        t.insert(r, at(vec![Value::c("zzz"), Value::null(11)], cl2.clone()));
+        assert!(find_onto_hom(&csol, &t).is_none());
+    }
+
+    #[test]
+    fn onto_hom_respects_annotations() {
+        let r = RelSym::new("HomR3");
+        let mut csol = AnnInstance::new();
+        csol.insert(r, at(vec![Value::null(1)], vec![Ann::Open]));
+        let mut t = AnnInstance::new();
+        t.insert(r, at(vec![Value::null(10)], vec![Ann::Closed]));
+        assert!(find_onto_hom(&csol, &t).is_none(), "annotation must match");
+    }
+
+    #[test]
+    fn onto_hom_cannot_map_null_to_const() {
+        let r = RelSym::new("HomR4");
+        let cl = vec![Ann::Closed];
+        let mut csol = AnnInstance::new();
+        csol.insert(r, at(vec![Value::null(1)], cl.clone()));
+        let mut t = AnnInstance::new();
+        t.insert(r, at(vec![Value::c("a")], cl.clone()));
+        assert!(find_onto_hom(&csol, &t).is_none());
+    }
+
+    /// Expansion matching: (a^cl, ⊥1^op) in csol licenses any image tuple
+    /// agreeing on position 0.
+    #[test]
+    fn hom_into_expansion_open_positions_free() {
+        let r = RelSym::new("ExpR");
+        let mut csol = AnnInstance::new();
+        csol.insert(
+            r,
+            at(vec![Value::c("a"), Value::null(1)], vec![Ann::Closed, Ann::Open]),
+        );
+        let mut t = AnnInstance::new();
+        // Two tuples with different nulls at the open position: fine.
+        t.insert(
+            r,
+            at(vec![Value::c("a"), Value::null(10)], vec![Ann::Closed, Ann::Open]),
+        );
+        t.insert(
+            r,
+            at(vec![Value::c("a"), Value::null(11)], vec![Ann::Closed, Ann::Open]),
+        );
+        assert!(find_hom_into_expansion(&t, &csol).is_some());
+        // A tuple with a different closed value: no expansion allows it.
+        let mut bad = AnnInstance::new();
+        bad.insert(
+            r,
+            at(vec![Value::c("b"), Value::null(12)], vec![Ann::Closed, Ann::Open]),
+        );
+        assert!(find_hom_into_expansion(&bad, &csol).is_none());
+    }
+
+    /// Closed positions force null identification consistency.
+    #[test]
+    fn hom_into_expansion_closed_consistency() {
+        let r = RelSym::new("ExpR2");
+        let cl2 = vec![Ann::Closed, Ann::Closed];
+        let mut csol = AnnInstance::new();
+        csol.insert(r, at(vec![Value::null(1), Value::null(1)], cl2.clone()));
+        // (⊥10, ⊥11) must map both nulls to ⊥1 — fine (they merge).
+        let mut t = AnnInstance::new();
+        t.insert(r, at(vec![Value::null(10), Value::null(11)], cl2.clone()));
+        assert!(find_hom_into_expansion(&t, &csol).is_some());
+        // But if t insists ⊥10 maps to two different images, fail:
+        let mut csol2 = AnnInstance::new();
+        csol2.insert(r, at(vec![Value::null(1), Value::null(2)], cl2.clone()));
+        csol2.insert(r, at(vec![Value::null(3), Value::null(4)], cl2.clone()));
+        let mut t2 = AnnInstance::new();
+        // (⊥10,⊥10) needs an image (m,m) with both positions equal — none.
+        t2.insert(r, at(vec![Value::null(10), Value::null(10)], cl2));
+        assert!(find_hom_into_expansion(&t2, &csol2).is_none());
+    }
+
+    #[test]
+    fn empty_marks_must_carry_over() {
+        let r = RelSym::new("ExpR3");
+        let mut csol = AnnInstance::new();
+        csol.insert_empty_mark(r, Annotation::all_open(1));
+        let mut t = AnnInstance::new();
+        t.insert_empty_mark(r, Annotation::all_open(1));
+        assert!(find_hom_into_expansion(&t, &csol).is_some());
+        let mut t2 = AnnInstance::new();
+        t2.insert_empty_mark(r, Annotation::all_closed(1));
+        assert!(find_hom_into_expansion(&t2, &csol).is_none());
+        assert!(find_onto_hom(&csol, &t).is_some());
+        assert!(find_onto_hom(&csol, &t2).is_none());
+    }
+}

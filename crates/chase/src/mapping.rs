@@ -1,0 +1,262 @@
+//! Annotated schema mappings `(σ, τ, Σα)`.
+
+use crate::std_dep::Std;
+use dx_logic::classify::{self, QueryClass};
+use dx_logic::Term;
+use dx_relation::{Ann, Schema};
+use std::fmt;
+
+/// An annotated schema mapping: source schema `σ`, target schema `τ`, and a
+/// set of annotated STDs `Σα`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// The source schema `σ`.
+    pub source: Schema,
+    /// The target schema `τ`.
+    pub target: Schema,
+    /// The annotated STDs `Σα`.
+    pub stds: Vec<Std>,
+}
+
+impl Mapping {
+    /// Build a mapping with explicit schemas; panics if an STD uses a
+    /// relation not declared (or at the wrong arity) in the schemas.
+    pub fn new(source: Schema, target: Schema, stds: Vec<Std>) -> Self {
+        for std in &stds {
+            for (rel, arity) in std.body.relations() {
+                assert_eq!(
+                    source.arity(rel),
+                    Some(arity),
+                    "body relation {rel}/{arity} not in source schema"
+                );
+            }
+            for atom in &std.head {
+                assert_eq!(
+                    target.arity(atom.rel),
+                    Some(atom.arity()),
+                    "head relation {} not in target schema",
+                    atom.rel
+                );
+            }
+        }
+        Mapping {
+            source,
+            target,
+            stds,
+        }
+    }
+
+    /// Build a mapping inferring both schemas from the STDs.
+    pub fn from_stds(stds: Vec<Std>) -> Self {
+        let mut source = Schema::new();
+        let mut target = Schema::new();
+        for std in &stds {
+            for (rel, arity) in std.body.relations() {
+                source.add(rel, arity);
+            }
+            for atom in &std.head {
+                target.add(atom.rel, atom.arity());
+            }
+        }
+        Mapping {
+            source,
+            target,
+            stds,
+        }
+    }
+
+    /// Parse a `;`-separated list of rules and infer the schemas.
+    pub fn parse(src: &str) -> Result<Self, dx_logic::ParseError> {
+        let rules = dx_logic::parse_rules(src)?;
+        Ok(Self::from_stds(
+            rules.into_iter().map(Std::from_parsed).collect(),
+        ))
+    }
+
+    /// `#op(Σα)`: the maximum number of open positions per atom over all
+    /// STDs — the classification parameter of Theorems 3 and 4.
+    pub fn num_op(&self) -> usize {
+        self.stds
+            .iter()
+            .map(|s| s.max_open_per_atom())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `#cl(Σα)`: the maximum number of closed positions per atom — the
+    /// classification parameter of Theorem 2.
+    pub fn num_cl(&self) -> usize {
+        self.stds
+            .iter()
+            .map(|s| s.max_closed_per_atom())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Is every annotation open (the OWA semantics of [FKMP'05])?
+    pub fn is_all_open(&self) -> bool {
+        self.num_cl() == 0
+    }
+
+    /// Is every annotation closed (the CWA semantics of [Libkin'06])?
+    pub fn is_all_closed(&self) -> bool {
+        self.num_op() == 0
+    }
+
+    /// The mapping `Σop` / `Σcl`: every position re-annotated.
+    pub fn reannotated(&self, ann: Ann) -> Mapping {
+        Mapping {
+            source: self.source.clone(),
+            target: self.target.clone(),
+            stds: self.stds.iter().map(|s| s.reannotated(ann)).collect(),
+        }
+    }
+
+    /// Shorthand for [`Mapping::reannotated`] with [`Ann::Open`].
+    pub fn all_open(&self) -> Mapping {
+        self.reannotated(Ann::Open)
+    }
+
+    /// Shorthand for [`Mapping::reannotated`] with [`Ann::Closed`].
+    pub fn all_closed(&self) -> Mapping {
+        self.reannotated(Ann::Closed)
+    }
+
+    /// Pointwise annotation order `α ⪯ α′` between two annotations of the
+    /// same underlying STD set (Theorem 1(3)); `None` if the rules differ.
+    pub fn annotation_le(&self, other: &Mapping) -> Option<bool> {
+        if self.stds.len() != other.stds.len() {
+            return None;
+        }
+        let mut le = true;
+        for (a, b) in self.stds.iter().zip(other.stds.iter()) {
+            le &= a.annotation_le(b)?;
+        }
+        Some(le)
+    }
+
+    /// The most general query class containing every STD body
+    /// (`Conjunctive` < `Positive` < … < `FullFirstOrder`).
+    pub fn body_class(&self) -> QueryClass {
+        self.stds
+            .iter()
+            .map(|s| classify::classify(&s.body))
+            .max()
+            .unwrap_or(QueryClass::Conjunctive)
+    }
+
+    /// Do all bodies belong to a syntactically monotone class (CQ or
+    /// positive)? Such mappings are the "monotone STDs" of Lemma 3.
+    pub fn has_monotone_bodies(&self) -> bool {
+        self.body_class().is_monotone()
+    }
+
+    /// Do all bodies use conjunctive queries only (the setting of
+    /// [FKMP'05] and of the composition results for CQ-STDs)?
+    pub fn has_cq_bodies(&self) -> bool {
+        self.body_class() == QueryClass::Conjunctive
+    }
+
+    /// Is this a *copying* mapping (every STD of the form
+    /// `R′(x̄) :– R(x̄)`)? Copying mappings witness several lower bounds in
+    /// the paper (§4).
+    pub fn is_copying(&self) -> bool {
+        self.stds.iter().all(|s| {
+            s.head.len() == 1
+                && match &s.body {
+                    dx_logic::Formula::Atom(_, args) => {
+                        args == &s.head[0].args
+                            && args.iter().all(|t| matches!(t, Term::Var(_)))
+                    }
+                    _ => false,
+                }
+        })
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "σ = {}", self.source)?;
+        writeln!(f, "τ = {}", self.target)?;
+        for std in &self.stds {
+            writeln!(f, "  {std}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::RelSym;
+
+    fn conference() -> Mapping {
+        Mapping::parse(
+            "Submissions(x:cl, z:op) <- Papers(x, y);\n\
+             Reviews(x:cl, z:cl) <- Assignments(x, y);\n\
+             Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_inference() {
+        let m = conference();
+        assert_eq!(m.source.arity(RelSym::new("Papers")), Some(2));
+        assert_eq!(m.source.arity(RelSym::new("Assignments")), Some(2));
+        assert_eq!(m.target.arity(RelSym::new("Submissions")), Some(2));
+        assert_eq!(m.target.arity(RelSym::new("Reviews")), Some(2));
+    }
+
+    #[test]
+    fn op_cl_statistics() {
+        let m = conference();
+        assert_eq!(m.num_op(), 1);
+        assert_eq!(m.num_cl(), 2);
+        assert!(!m.is_all_open() && !m.is_all_closed());
+        assert!(m.all_open().is_all_open());
+        assert!(m.all_closed().is_all_closed());
+    }
+
+    #[test]
+    fn annotation_order_on_mappings() {
+        let m = conference();
+        assert_eq!(m.all_closed().annotation_le(&m), Some(true));
+        assert_eq!(m.annotation_le(&m.all_open()), Some(true));
+        assert_eq!(m.all_open().annotation_le(&m.all_closed()), Some(false));
+    }
+
+    #[test]
+    fn body_classification() {
+        let m = conference();
+        // The third rule has negation, so the mapping is not monotone.
+        assert!(!m.has_monotone_bodies());
+        let cq = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        assert!(cq.has_cq_bodies());
+    }
+
+    #[test]
+    fn copying_detection() {
+        let copy = Mapping::parse("Rp(x:cl, y:cl) <- R(x, y)").unwrap();
+        assert!(copy.is_copying());
+        let not_copy = Mapping::parse("Rp(x:cl, z:op) <- R(x, y)").unwrap();
+        assert!(!not_copy.is_copying());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in source schema")]
+    fn explicit_schema_validation() {
+        let std = Std::parse("R(x:cl) <- E(x, x)").unwrap();
+        Mapping::new(
+            Schema::from_pairs([("Other", 2)]),
+            Schema::from_pairs([("R", 1)]),
+            vec![std],
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Annotated source-to-target dependencies (STDs).
+
+use dx_logic::{Formula, ParsedRule, Term};
+use dx_relation::{Ann, Annotation, RelSym, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One atom of an STD head: a target relation applied to head terms, with a
+/// per-position annotation.
+///
+/// Head terms of plain STDs are variables or constants; Skolem applications
+/// are rejected here (they belong to `dx-core`'s SkSTDs).
+#[derive(Clone, PartialEq, Eq)]
+pub struct TargetAtom {
+    /// The target relation.
+    pub rel: RelSym,
+    /// Argument terms (`Var` or `Const` only).
+    pub args: Vec<Term>,
+    /// Per-position open/closed annotation.
+    pub ann: Annotation,
+}
+
+impl TargetAtom {
+    /// Build a target atom; panics on arity mismatch or Skolem terms.
+    pub fn new(rel: RelSym, args: Vec<Term>, ann: Annotation) -> Self {
+        assert_eq!(args.len(), ann.arity(), "annotation arity mismatch");
+        assert!(
+            args.iter().all(|t| matches!(t, Term::Var(_) | Term::Const(_))),
+            "plain STD heads may not contain function terms (use SkSTDs)"
+        );
+        TargetAtom { rel, args, ann }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.args.iter().flat_map(|t| t.vars()).collect()
+    }
+
+    /// The same atom with every position re-annotated to `ann`.
+    pub fn reannotated(&self, ann: Ann) -> TargetAtom {
+        TargetAtom {
+            rel: self.rel,
+            args: self.args.clone(),
+            ann: Annotation::new(vec![ann; self.args.len()]),
+        }
+    }
+}
+
+impl fmt::Display for TargetAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", t, self.ann.get(i))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for TargetAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An annotated source-to-target dependency `ψ(x̄, z̄) :– φ(x̄, ȳ)`:
+/// a conjunction of annotated target atoms (the head `ψ`) driven by an FO
+/// formula over the source schema (the body `φ`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Std {
+    /// Head atoms `ψ` (conjunction).
+    pub head: Vec<TargetAtom>,
+    /// Body formula `φ` over the source vocabulary.
+    pub body: Formula,
+}
+
+impl Std {
+    /// Build an STD; panics if the head is empty.
+    pub fn new(head: Vec<TargetAtom>, body: Formula) -> Self {
+        assert!(!head.is_empty(), "STD must have at least one head atom");
+        Std { head, body }
+    }
+
+    /// Parse from the rule syntax of `dx-logic` (e.g.
+    /// `Reviews(x:cl, z:op) <- Papers(x, y)`).
+    pub fn parse(src: &str) -> Result<Self, dx_logic::ParseError> {
+        Ok(Self::from_parsed(dx_logic::parse_rule(src)?))
+    }
+
+    /// Convert a [`ParsedRule`] into an STD.
+    pub fn from_parsed(rule: ParsedRule) -> Self {
+        let head = rule
+            .head
+            .into_iter()
+            .map(|a| TargetAtom::new(a.rel, a.args, Annotation::new(a.anns)))
+            .collect();
+        Std::new(head, rule.body)
+    }
+
+    /// The *frontier* variables `x̄`: head variables that also occur free in
+    /// the body (they carry source values into the target).
+    pub fn frontier_vars(&self) -> BTreeSet<Var> {
+        let body_vars = self.body.free_vars();
+        self.head_vars().intersection(&body_vars).copied().collect()
+    }
+
+    /// The *existential* variables `z̄`: head variables not bound by the body
+    /// (they are populated with fresh nulls by the canonical solution).
+    pub fn existential_vars(&self) -> BTreeSet<Var> {
+        let body_vars = self.body.free_vars();
+        self.head_vars()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .collect()
+    }
+
+    /// All head variables.
+    pub fn head_vars(&self) -> BTreeSet<Var> {
+        self.head.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Free variables of the body (`x̄ ∪ ȳ`), sorted — this is the canonical
+    /// witness order used by justifications.
+    pub fn body_vars(&self) -> Vec<Var> {
+        self.body.free_vars().into_iter().collect()
+    }
+
+    /// Max number of open positions over the head atoms (the per-STD
+    /// contribution to `#op(Σα)`, Theorem 3/4's classification parameter).
+    pub fn max_open_per_atom(&self) -> usize {
+        self.head.iter().map(|a| a.ann.count_open()).max().unwrap_or(0)
+    }
+
+    /// Max number of closed positions over the head atoms (`#cl`,
+    /// Theorem 2's parameter).
+    pub fn max_closed_per_atom(&self) -> usize {
+        self.head
+            .iter()
+            .map(|a| a.ann.count_closed())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The same STD with every position re-annotated (`Σop` / `Σcl`).
+    pub fn reannotated(&self, ann: Ann) -> Std {
+        Std {
+            head: self.head.iter().map(|a| a.reannotated(ann)).collect(),
+            body: self.body.clone(),
+        }
+    }
+
+    /// Pointwise annotation order `α ⪯ α′` between two structurally equal
+    /// STDs (Theorem 1(3)); `None` if the underlying rules differ.
+    pub fn annotation_le(&self, other: &Std) -> Option<bool> {
+        if self.body != other.body || self.head.len() != other.head.len() {
+            return None;
+        }
+        let mut le = true;
+        for (a, b) in self.head.iter().zip(other.head.iter()) {
+            if a.rel != b.rel || a.args != b.args {
+                return None;
+            }
+            le &= a.ann.le(&b.ann);
+        }
+        Some(le)
+    }
+}
+
+impl fmt::Display for Std {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " <- {}", self.body)
+    }
+}
+
+impl fmt::Debug for Std {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_vs_existential() {
+        let std = Std::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        assert_eq!(std.frontier_vars(), [Var::new("x")].into());
+        assert_eq!(std.existential_vars(), [Var::new("z")].into());
+        assert_eq!(std.body_vars(), vec![Var::new("x"), Var::new("y")]);
+    }
+
+    #[test]
+    fn open_closed_counts() {
+        // Paper's example for #op: T(x:cl, y:op) ∧ T(x:cl, z:op) has #op = 1.
+        let std = Std::parse("T(x:cl, y:op), T(x:cl, z:op) <- Phi(x)").unwrap();
+        assert_eq!(std.max_open_per_atom(), 1);
+        assert_eq!(std.max_closed_per_atom(), 1);
+    }
+
+    #[test]
+    fn reannotation() {
+        let std = Std::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        let open = std.reannotated(Ann::Open);
+        assert_eq!(open.max_closed_per_atom(), 0);
+        let closed = std.reannotated(Ann::Closed);
+        assert_eq!(closed.max_open_per_atom(), 0);
+    }
+
+    #[test]
+    fn annotation_order() {
+        let a = Std::parse("R(x:cl, z:cl) <- E(x, y)").unwrap();
+        let b = Std::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        assert_eq!(a.annotation_le(&b), Some(true));
+        assert_eq!(b.annotation_le(&a), Some(false));
+        let c = Std::parse("R(x:cl, z:op) <- E(y, x)").unwrap();
+        assert_eq!(a.annotation_le(&c), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "function terms")]
+    fn skolem_heads_rejected() {
+        Std::parse("R(f(x):cl) <- E(x, y)").unwrap();
+    }
+
+    #[test]
+    fn negated_body_allowed() {
+        let std =
+            Std::parse("Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)")
+                .unwrap();
+        assert_eq!(std.frontier_vars(), [Var::new("x")].into());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let std = Std::parse("R(x:cl, z:op), S(z:op) <- E(x, y) & x != y").unwrap();
+        let printed = std.to_string();
+        let reparsed = Std::parse(&printed).unwrap();
+        assert_eq!(std, reparsed);
+    }
+}

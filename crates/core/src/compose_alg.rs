@@ -1,0 +1,629 @@
+//! The syntactic composition algorithm for SkSTD mappings (Lemma 5 /
+//! Theorem 5).
+//!
+//! Given annotated SkSTD mappings `Σα : σ → τ` and `Δα′ : τ → ω`, the
+//! algorithm produces `Γα′ : σ → ω`:
+//!
+//! 1. rename `Σ`'s variables (and colliding function symbols) apart;
+//! 2. put `Σ` in *normal form* — one head atom per SkSTD;
+//! 3. replace every atom `R(ȳ)` in a `Δ` body by
+//!    `β_R(ȳ) = ⋁_j ∃z̄_j (φ_j(z̄_j) ∧ ȳ = ū_j)`, where
+//!    `R(ū_j) :– φ_j(z̄_j)` ranges over `Σ`'s normal-form rules for `R`
+//!    (each occurrence gets freshly renamed `z̄_j`);
+//! 4. if both inputs are CQ-SkSTDs, re-normalize: distribute the
+//!    disjunctions, split into one SkSTD per disjunct, and drop the
+//!    existential quantifiers (sound for SkSTDs — invented values are
+//!    function terms, so the quantifiers are inert).
+//!
+//! **Theorem 5**: the classes *all-open CQ-SkSTDs* (= the second-order tgds
+//! of [FKP&T'05]) and *all-closed FO-SkSTDs* are closed under this
+//! composition. `Γα′` always inherits `Δα′`'s heads and annotations.
+//!
+//! Finite-semantics note: our `Sol_F′(S)` evaluates bodies under
+//! *active-domain* semantics. To keep `β_R` faithful when a `φ_j` is not a
+//! safe CQ (e.g. contains negation), the algorithm relativizes each
+//! quantified `z̄_j` variable not guarded by a positive atom to the source
+//! active domain (the same `adom(·)` relativization the paper itself uses in
+//! Theorem 4's reduction).
+
+use crate::skstd::{SkMapping, SkStd};
+
+use dx_logic::{Formula, Term};
+use dx_relation::{FuncSym, RelSym, Schema, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors from the composition algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// A `Δ` body mentions a relation `Σ` does not produce.
+    SchemaMismatch(String),
+    /// CQ re-normalization would exceed the disjunct budget.
+    DisjunctExplosion {
+        /// Number of disjuncts that would have been produced.
+        disjuncts: usize,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ComposeError::DisjunctExplosion { disjuncts } => {
+                write!(f, "CQ re-normalization would produce {disjuncts} disjuncts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// The result of composing two SkSTD mappings.
+#[derive(Clone)]
+pub struct Composition {
+    /// The composed mapping `Γα′ : σ → ω`.
+    pub mapping: SkMapping,
+    /// Function symbols of `Σ` that had to be renamed (old → new) to avoid
+    /// collisions with `Δ`'s; apply this when combining `F′` and `G′` into
+    /// an `H′` table for `Γ` (Claim 7).
+    pub sigma_func_renames: BTreeMap<FuncSym, FuncSym>,
+    /// Whether CQ re-normalization was applied (both inputs were
+    /// CQ-SkSTDs).
+    pub cq_normalized: bool,
+}
+
+/// Which composition-closed class of Theorem 5 a pair of mappings falls in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClosureClass {
+    /// All-open annotations with CQ-SkSTDs (Theorem 5(1), = [FKP&T'05]).
+    AllOpenCq,
+    /// `Σ` all-closed with arbitrary FO-SkSTDs (Theorem 5(2)).
+    AllClosedFo,
+}
+
+/// Determine whether Lemma 5 guarantees `compose_skstd(Σ, Δ)` captures the
+/// semantic composition.
+pub fn closure_class(sigma: &SkMapping, delta: &SkMapping) -> Option<ClosureClass> {
+    if sigma.is_all_closed() {
+        return Some(ClosureClass::AllClosedFo);
+    }
+    if sigma.is_all_open()
+        && delta.is_all_open()
+        && sigma.has_cq_bodies()
+        && delta.has_cq_bodies()
+    {
+        return Some(ClosureClass::AllOpenCq);
+    }
+    // Lemma 5's first case actually only needs Δ all-open + monotone.
+    if delta.is_all_open() && delta.has_monotone_bodies() {
+        return Some(ClosureClass::AllOpenCq);
+    }
+    None
+}
+
+/// Maximum number of CQ disjuncts produced before bailing out.
+const MAX_DISJUNCTS: usize = 4096;
+
+/// Compose two annotated SkSTD mappings per Lemma 5.
+pub fn compose_skstd(sigma: &SkMapping, delta: &SkMapping) -> Result<Composition, ComposeError> {
+    // Schema check: Δ's body relations must be produced by Σ.
+    for std in &delta.stds {
+        for (rel, arity) in std.body.relations() {
+            if sigma.target.arity(rel) != Some(arity) {
+                return Err(ComposeError::SchemaMismatch(format!(
+                    "Δ body uses {rel}/{arity}, absent from Σ's target"
+                )));
+            }
+        }
+    }
+
+    // Step 1a: rename Σ's function symbols that collide with Δ's.
+    let delta_funcs: BTreeSet<FuncSym> = delta.funcs().into_iter().map(|(f, _)| f).collect();
+    let mut func_renames: BTreeMap<FuncSym, FuncSym> = BTreeMap::new();
+    for (f, _) in sigma.funcs() {
+        if delta_funcs.contains(&f) {
+            func_renames.insert(f, FuncSym::new(&format!("{}__sg", f.name())));
+        }
+    }
+
+    // Step 1b + 2: rename Σ's variables apart and split heads.
+    let mut normal: BTreeMap<RelSym, Vec<(Vec<Term>, Formula)>> = BTreeMap::new();
+    for (i, std) in sigma.stds.iter().enumerate() {
+        let var_map: BTreeMap<Var, Var> = std
+            .body
+            .all_vars()
+            .into_iter()
+            .chain(std.head.iter().flat_map(|a| {
+                a.args
+                    .iter()
+                    .flat_map(|t| t.vars())
+                    .collect::<Vec<_>>()
+            }))
+            .map(|v| (v, Var::new(&format!("sg{i}_{}", v.name()))))
+            .collect();
+        let body = rename_funcs_formula(&std.body.rename_vars(&var_map), &func_renames);
+        for atom in &std.head {
+            let args: Vec<Term> = atom
+                .args
+                .iter()
+                .map(|t| rename_funcs_term(&t.rename(&var_map), &func_renames))
+                .collect();
+            normal.entry(atom.rel).or_default().push((args, body.clone()));
+        }
+    }
+
+    // Step 3: rewrite Δ bodies.
+    let cq_inputs = sigma.has_cq_bodies() && delta.has_cq_bodies();
+    let mut out_stds: Vec<SkStd> = Vec::new();
+    let mut occurrence = 0usize;
+    for dstd in &delta.stds {
+        let body = dstd.body.rewrite_atoms(&mut |rel, args| {
+            if sigma.target.arity(rel).is_none() {
+                return None;
+            }
+            Some(beta_r(
+                &normal,
+                &sigma.source,
+                rel,
+                args,
+                &mut occurrence,
+                cq_inputs,
+            ))
+        });
+        out_stds.push(SkStd::new(dstd.head.clone(), body));
+    }
+
+    // Step 4: CQ re-normalization.
+    let mut cq_normalized = false;
+    if cq_inputs {
+        let mut renorm: Vec<SkStd> = Vec::new();
+        for std in &out_stds {
+            let ds = disjuncts(&std.body)?;
+            for d in ds {
+                renorm.push(SkStd::new(std.head.clone(), drop_exists(&d)));
+            }
+        }
+        out_stds = renorm;
+        cq_normalized = true;
+    }
+
+    Ok(Composition {
+        mapping: SkMapping {
+            source: sigma.source.clone(),
+            target: delta.target.clone(),
+            stds: out_stds,
+        },
+        sigma_func_renames: func_renames,
+        cq_normalized,
+    })
+}
+
+/// Build `β_R(args)` for one occurrence of `R(args)` in a `Δ` body.
+fn beta_r(
+    normal: &BTreeMap<RelSym, Vec<(Vec<Term>, Formula)>>,
+    sigma_source: &Schema,
+    rel: RelSym,
+    args: &[Term],
+    occurrence: &mut usize,
+    cq_inputs: bool,
+) -> Formula {
+    let rules = match normal.get(&rel) {
+        Some(r) => r,
+        None => return Formula::False, // Σ never produces R: the atom is unsatisfiable.
+    };
+    let mut disjuncts_out = Vec::with_capacity(rules.len());
+    for (u_j, phi_j) in rules {
+        *occurrence += 1;
+        let occ = *occurrence;
+        // Freshen this occurrence's copy of the rule.
+        let occ_map: BTreeMap<Var, Var> = phi_j
+            .all_vars()
+            .into_iter()
+            .chain(u_j.iter().flat_map(|t| t.vars()))
+            .map(|v| (v, Var::new(&format!("{}_o{occ}", v.name()))))
+            .collect();
+        let phi = phi_j.rename_vars(&occ_map);
+        let u: Vec<Term> = u_j.iter().map(|t| t.rename(&occ_map)).collect();
+        let zvars: Vec<Var> = phi.free_vars().into_iter().collect();
+
+        // Guards: relativize unguarded quantified variables to adom(σ)
+        // (skipped for CQ inputs, whose safe bodies confine variables
+        // already — and whose class must be preserved).
+        let mut conjuncts: Vec<Formula> = Vec::new();
+        if !cq_inputs {
+            let guarded = cq_guarded_vars(&phi);
+            for (gi, z) in zvars.iter().enumerate() {
+                if !guarded.contains(z) {
+                    conjuncts.push(adom_formula(*z, sigma_source, occ * 100 + gi));
+                }
+            }
+        }
+        conjuncts.push(phi);
+        for (a, u_i) in args.iter().zip(u.iter()) {
+            conjuncts.push(Formula::Eq(a.clone(), u_i.clone()));
+        }
+        disjuncts_out.push(Formula::exists(zvars, Formula::and(conjuncts)));
+    }
+    Formula::or(disjuncts_out)
+}
+
+/// Variables guarded by a positive relational atom in a conjunctive
+/// context.
+fn cq_guarded_vars(f: &Formula) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    fn go(f: &Formula, out: &mut BTreeSet<Var>) {
+        match f {
+            Formula::Atom(_, args) => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::And(fs) => {
+                for g in fs {
+                    go(g, out);
+                }
+            }
+            Formula::Exists(_, inner) => go(inner, out),
+            _ => {}
+        }
+    }
+    go(f, &mut out);
+    out
+}
+
+/// `adom_σ(z)`: `z` occurs in some position of some source relation.
+fn adom_formula(z: Var, schema: &Schema, uniq: usize) -> Formula {
+    let mut disjuncts = Vec::new();
+    for (rel, arity) in schema.iter() {
+        for pos in 0..arity {
+            let mut args = Vec::with_capacity(arity);
+            let mut others = Vec::new();
+            for k in 0..arity {
+                if k == pos {
+                    args.push(Term::Var(z));
+                } else {
+                    let w = Var::new(&format!("adw{uniq}_{pos}_{k}"));
+                    others.push(w);
+                    args.push(Term::Var(w));
+                }
+            }
+            disjuncts.push(Formula::exists(others, Formula::Atom(rel, args)));
+        }
+    }
+    Formula::or(disjuncts)
+}
+
+/// Distribute disjunction over conjunction and existential quantification,
+/// returning the list of disjuncts (each free of `Or`).
+fn disjuncts(f: &Formula) -> Result<Vec<Formula>, ComposeError> {
+    let out = match f {
+        Formula::Or(fs) => {
+            let mut all = Vec::new();
+            for g in fs {
+                all.extend(disjuncts(g)?);
+            }
+            all
+        }
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Formula>> = vec![Vec::new()];
+            for g in fs {
+                let gs = disjuncts(g)?;
+                let mut next = Vec::with_capacity(acc.len() * gs.len());
+                for prefix in &acc {
+                    for d in &gs {
+                        let mut row = prefix.clone();
+                        row.push(d.clone());
+                        next.push(row);
+                    }
+                    if next.len() > MAX_DISJUNCTS {
+                        return Err(ComposeError::DisjunctExplosion {
+                            disjuncts: next.len(),
+                        });
+                    }
+                }
+                acc = next;
+            }
+            acc.into_iter().map(Formula::and).collect()
+        }
+        Formula::Exists(vars, inner) => disjuncts(inner)?
+            .into_iter()
+            .map(|d| Formula::exists(vars.clone(), d))
+            .collect(),
+        other => vec![other.clone()],
+    };
+    if out.len() > MAX_DISJUNCTS {
+        return Err(ComposeError::DisjunctExplosion {
+            disjuncts: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Remove every existential quantifier from a (disjunction-free) formula.
+/// Sound for SkSTD bodies: invented values are function terms, so the
+/// variables quantified here never feed head terms (the paper's final step
+/// of Lemma 5).
+fn drop_exists(f: &Formula) -> Formula {
+    match f {
+        Formula::Exists(_, inner) => drop_exists(inner),
+        Formula::And(fs) => Formula::and(fs.iter().map(drop_exists)),
+        other => other.clone(),
+    }
+}
+
+fn rename_funcs_term(t: &Term, map: &BTreeMap<FuncSym, FuncSym>) -> Term {
+    match t {
+        Term::Var(_) | Term::Const(_) => t.clone(),
+        Term::App(f, args) => Term::App(
+            *map.get(f).unwrap_or(f),
+            args.iter().map(|a| rename_funcs_term(a, map)).collect(),
+        ),
+    }
+}
+
+fn rename_funcs_formula(f: &Formula, map: &BTreeMap<FuncSym, FuncSym>) -> Formula {
+    if map.is_empty() {
+        return f.clone();
+    }
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom(r, args) => Formula::Atom(
+            *r,
+            args.iter().map(|t| rename_funcs_term(t, map)).collect(),
+        ),
+        Formula::Eq(a, b) => Formula::Eq(rename_funcs_term(a, map), rename_funcs_term(b, map)),
+        Formula::Not(inner) => Formula::Not(Box::new(rename_funcs_formula(inner, map))),
+        Formula::And(fs) => {
+            Formula::And(fs.iter().map(|g| rename_funcs_formula(g, map)).collect())
+        }
+        Formula::Or(fs) => {
+            Formula::Or(fs.iter().map(|g| rename_funcs_formula(g, map)).collect())
+        }
+        Formula::Exists(vars, inner) => {
+            Formula::Exists(vars.clone(), Box::new(rename_funcs_formula(inner, map)))
+        }
+        Formula::Forall(vars, inner) => {
+            Formula::Forall(vars.clone(), Box::new(rename_funcs_formula(inner, map)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skstd::SkMapping;
+    use dx_logic::eval::FuncTable;
+    use dx_relation::{Instance, Value};
+
+    /// σ: employees → mid, Δ: mid → final; CQ all-open — the [FKP&T'05]
+    /// setting. The composed mapping must be CQ again (Theorem 5(1)).
+    #[test]
+    fn cq_composition_stays_cq() {
+        let sigma = SkMapping::parse("M(x:op, f(x, y):op) <- E(x, y)").unwrap();
+        let delta = SkMapping::parse("F(x:op, g(x, z):op) <- M(x, z)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        assert!(comp.cq_normalized);
+        assert!(comp.mapping.has_cq_bodies(), "CQ class preserved");
+        assert_eq!(
+            closure_class(&sigma, &delta),
+            Some(ClosureClass::AllOpenCq)
+        );
+        // One σ-rule per atom occurrence → exactly one composed rule.
+        assert_eq!(comp.mapping.stds.len(), 1);
+        // Γ's head is Δ's head (annotations preserved).
+        assert_eq!(comp.mapping.stds[0].head, delta.stds[0].head);
+    }
+
+    /// Claim 7(b) verified concretely: Sol_H′^Γ(S) = Sol_G′^Δ(rel Sol_F′^Σ(S))
+    /// for the all-closed case.
+    #[test]
+    fn claim7_solution_equality_all_closed() {
+        let sigma = SkMapping::parse("M(x:cl, f(x):cl) <- E(x)").unwrap();
+        let delta = SkMapping::parse("F(x:cl, y:cl, g(y):cl) <- M(x, y)").unwrap();
+        assert_eq!(
+            closure_class(&sigma, &delta),
+            Some(ClosureClass::AllClosedFo)
+        );
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+
+        let mut s = Instance::new();
+        s.insert_names("E", &["a"]);
+        s.insert_names("E", &["b"]);
+
+        // F′: f(a) = va, f(b) = vb.
+        let mut ft = FuncTable::new();
+        let f = FuncSym::new("f");
+        ft.define(f, vec![Value::c("a")], Value::c("va"));
+        ft.define(f, vec![Value::c("b")], Value::c("vb"));
+        let j = sigma.sol(&s, &ft).rel_part();
+        assert_eq!(j.tuple_count(), 2);
+
+        // G′: g on the mid values.
+        let mut gt = FuncTable::new();
+        let g = FuncSym::new("g");
+        gt.define(g, vec![Value::c("va")], Value::c("pa"));
+        gt.define(g, vec![Value::c("vb")], Value::c("pb"));
+        let expected = delta.sol(&j, &gt);
+
+        // H′ = F′ ∪ G′ (with σ-renames applied; none needed here).
+        let mut h = FuncTable::new();
+        for ((sym, args), val) in ft.iter().map(|(k, v)| (k.clone(), *v)) {
+            let renamed = *comp.sigma_func_renames.get(&sym).unwrap_or(&sym);
+            h.define(renamed, args, val);
+        }
+        for ((sym, args), val) in gt.iter().map(|(k, v)| (k.clone(), *v)) {
+            h.define(sym, args, val);
+        }
+        let got = comp.mapping.sol(&s, &h);
+        assert_eq!(got, expected, "Claim 7(b): Sol_H′^Γ = Sol_G′^Δ ∘ rel ∘ Sol_F′^Σ");
+    }
+
+    /// Colliding function symbols between Σ and Δ are renamed apart.
+    #[test]
+    fn function_collisions_renamed() {
+        let sigma = SkMapping::parse("M(x:cl, f(x):cl) <- E(x)").unwrap();
+        let delta = SkMapping::parse("F(x:cl, f(y):cl) <- M(x, y)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        assert_eq!(comp.sigma_func_renames.len(), 1);
+        let renamed = comp.sigma_func_renames[&FuncSym::new("f")];
+        assert_eq!(renamed.name(), "f__sg");
+        // Both symbols appear in Γ.
+        let funcs: BTreeSet<_> = comp
+            .mapping
+            .funcs()
+            .into_iter()
+            .map(|(f, _)| f.name())
+            .collect();
+        assert!(funcs.contains("f") && funcs.contains("f__sg"));
+    }
+
+    /// Multiple σ-rules for one relation produce a disjunction — and, in the
+    /// CQ case, multiple composed rules.
+    #[test]
+    fn multiple_rules_multiply() {
+        let sigma =
+            SkMapping::parse("M(x:op, f(x):op) <- A(x); M(x:op, h(x):op) <- B(x)").unwrap();
+        let delta = SkMapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        assert_eq!(comp.mapping.stds.len(), 2, "one per disjunct");
+        // With two M-atoms in the Δ body: 2 × 2 = 4 composed rules.
+        let delta2 = SkMapping::parse("F(x:op, w:op) <- M(x, y) & M(y, w)").unwrap();
+        let comp2 = compose_skstd(&sigma, &delta2).unwrap();
+        assert_eq!(comp2.mapping.stds.len(), 4);
+    }
+
+    /// FO Δ bodies (negation) survive composition un-normalized, and the
+    /// adom-relativization keeps unsafe σ-variables guarded.
+    #[test]
+    fn fo_delta_body_composition() {
+        let sigma = SkMapping::parse("M(x:cl, f(x):cl) <- E(x)").unwrap();
+        let delta =
+            SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        assert!(!comp.cq_normalized);
+        assert_eq!(comp.mapping.stds.len(), 1);
+        // The composed body mentions only σ-relations and functions.
+        for (rel, _) in comp.mapping.stds[0].body.relations() {
+            assert!(
+                sigma.source.contains(rel),
+                "composed body leaked non-source relation {rel}"
+            );
+        }
+    }
+
+    /// Claim 7(b) with an FO (negated) σ-body: the adom relativization keeps
+    /// the composed body's quantifiers aligned with Sol's active-domain
+    /// evaluation.
+    #[test]
+    fn claim7_with_negated_sigma_body() {
+        // Σ: M(f(x)) for every x in E that is NOT blocked.
+        let sigma =
+            SkMapping::parse("M(fneg(x):cl) <- E(x) & !Blocked(x)").unwrap();
+        let delta = SkMapping::parse("F(y:cl) <- M(y)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        assert!(!comp.cq_normalized);
+
+        let mut s = Instance::new();
+        s.insert_names("E", &["a"]);
+        s.insert_names("E", &["b"]);
+        s.insert_names("Blocked", &["b"]);
+
+        let mut ft = FuncTable::new();
+        let f = FuncSym::new("fneg");
+        ft.define(f, vec![Value::c("a")], Value::c("va"));
+        ft.define(f, vec![Value::c("b")], Value::c("vb"));
+        let j = sigma.sol(&s, &ft).rel_part();
+        // Only a's image: b is blocked.
+        assert_eq!(j.tuple_count(), 1);
+        let expected = delta.sol(&j, &FuncTable::new());
+
+        let mut h = FuncTable::new();
+        for ((sym, args), val) in ft.iter().map(|(k, v)| (k.clone(), *v)) {
+            let renamed = *comp.sigma_func_renames.get(&sym).unwrap_or(&sym);
+            h.define(renamed, args, val);
+        }
+        let got = comp.mapping.sol(&s, &h);
+        assert_eq!(got, expected, "negated σ-body composes faithfully");
+    }
+
+    /// A σ-body whose variable is guarded only by a negation gets the adom
+    /// relativization (and still composes faithfully).
+    #[test]
+    fn unguarded_sigma_variable_gets_adom_guard() {
+        // x appears only under negation: without the guard, the composed
+        // body's quantifier would range past Σ's active domain. A second
+        // rule gives the σ-schema a domain-supplying relation D.
+        let sigma =
+            SkMapping::parse("M(gneg(x):cl) <- !Blocked(x); K(y:cl) <- D(y)").unwrap();
+        let delta = SkMapping::parse("F(y:cl) <- M(y)").unwrap();
+        let comp = compose_skstd(&sigma, &delta).unwrap();
+        // The composed body carries the adom disjunction: it mentions D even
+        // though Δ never touched K.
+        let body_rels: BTreeSet<_> = comp.mapping.stds[0]
+            .body
+            .relations()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        assert!(body_rels.contains(&dx_relation::RelSym::new("Blocked")));
+        assert!(body_rels.contains(&dx_relation::RelSym::new("D")));
+
+        let mut s = Instance::new();
+        s.insert_names("Blocked", &["b"]);
+        s.insert_names("D", &["a"]);
+        s.insert_names("D", &["b"]);
+        let mut ft = FuncTable::new();
+        let g = FuncSym::new("gneg");
+        for c in ["a", "b"] {
+            ft.define(g, vec![Value::c(c)], Value::c(&format!("v{c}")));
+        }
+        let j = sigma.sol(&s, &ft).rel_part();
+        // Only a's image: b is blocked.
+        assert_eq!(
+            j.tuples(dx_relation::RelSym::new("M")).count(),
+            1,
+            "¬Blocked fires for a only (adom = {{a, b}})"
+        );
+        let expected = delta.sol(&j, &FuncTable::new());
+        let mut h = FuncTable::new();
+        for ((sym, args), val) in ft.iter().map(|(k, v)| (k.clone(), *v)) {
+            let renamed = *comp.sigma_func_renames.get(&sym).unwrap_or(&sym);
+            h.define(renamed, args, val);
+        }
+        let got = comp.mapping.sol(&s, &h);
+        assert_eq!(got, expected);
+    }
+
+    /// Δ-atoms over relations Σ never produces rewrite to `false`.
+    #[test]
+    fn unproduced_relation_is_false() {
+        let sigma = SkMapping::parse("M(x:cl) <- E(x)").unwrap();
+        // N is in Σ's target? No — so Comp must reject at schema check.
+        let delta = SkMapping::parse("F(x:cl) <- N(x)").unwrap();
+        assert!(matches!(
+            compose_skstd(&sigma, &delta),
+            Err(ComposeError::SchemaMismatch(_))
+        ));
+    }
+
+    /// Disjunct explosion is reported, not silently truncated.
+    #[test]
+    fn disjunct_budget_enforced() {
+        // 13 σ-rules for M, Δ body with 4 M-atoms → 13^4 = 28561 > 4096.
+        let mut sigma_rules = String::new();
+        for i in 0..13 {
+            sigma_rules.push_str(&format!("M(x:op, fx{i}(x):op) <- A{i}(x);"));
+        }
+        let sigma = SkMapping::parse(&sigma_rules).unwrap();
+        let delta = SkMapping::parse(
+            "F(a:op) <- M(a, b) & M(b, c) & M(c, d) & M(d, e)",
+        )
+        .unwrap();
+        assert!(matches!(
+            compose_skstd(&sigma, &delta),
+            Err(ComposeError::DisjunctExplosion { .. })
+        ));
+    }
+}

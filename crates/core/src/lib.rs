@@ -1,0 +1,50 @@
+//! # dx-core — data exchange in open and closed worlds
+//!
+//! The primary contribution of the reproduced paper (Libkin & Sirangelo,
+//! *Data exchange and schema mappings in open and closed worlds*, PODS'08 /
+//! JCSS'11), built on the substrates `dx-relation`/`dx-logic`/`dx-chase`/
+//! `dx-solver`:
+//!
+//! * [`semantics`] — the mixed open/closed-world semantics `⟦S⟧_Σα`:
+//!   membership (Theorem 2: PTIME when all-open, NP otherwise), the
+//!   OWA/CWA extremes (Theorem 1(1–2), Proposition 2) and the annotation
+//!   order (Theorem 1(3));
+//! * [`certain`] — certain answers `certain_Σα(Q, S)` and the `DEQA`
+//!   problem: naive evaluation for positive/monotone queries
+//!   (Proposition 3/4), the exact coNP procedures for `#op = 0` and for
+//!   `∀*∃*` queries (Proposition 5), the bounded-replication procedure for
+//!   `#op = 1` (Lemma 2), and budget-bounded refutation in the undecidable
+//!   regime (`#op > 1`);
+//! * [`compose`] — semantic composition `Comp(Σα, Δα′)` (Theorem 4 /
+//!   Table 1) with the monotone-`Δop` fast path (Lemma 3, Corollary 4);
+//! * [`skstd`] — Skolemized STDs, their semantics `Sol_F′(S)` (§5),
+//!   membership, and the Lemma 4 STD→SkSTD translation;
+//! * [`compose_alg`] — the Lemma 5 syntactic composition algorithm with CQ
+//!   re-normalization, giving the two composition-closed classes of
+//!   Theorem 5;
+//! * [`non_closure`] — the Proposition 6 counterexample: plain annotated
+//!   STD mappings do *not* compose;
+//! * [`ptime_lang`] — the §6 extension: certain answers for black-box PTIME
+//!   query languages beyond FO (instantiated for stratified Datalog);
+//! * [`ctable_bridge`] — exact, search-free CWA certain answers for full
+//!   relational algebra via the conditional tables of [`dx_ctables`]
+//!   (the §2-cited Imieliński–Lipski mechanism).
+
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod compose;
+pub mod ctable_bridge;
+pub mod compose_alg;
+pub mod non_closure;
+pub mod ptime_lang;
+pub mod semantics;
+pub mod skstd;
+
+pub use certain::{certain_answers, certain_contains, certain_contains_with, possible_contains, CertainOutcome, Deqa};
+pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, PtimeQuery};
+pub use compose::{comp_membership, CompOutcome};
+pub use ctable_bridge::{certain_answers_cwa_ra, csol_as_ctable, possible_answers_cwa_ra};
+pub use compose_alg::{compose_skstd, ComposeError};
+pub use semantics::{in_semantics, MembershipOutcome};
+pub use skstd::{SkAtom, SkMapping, SkStd};

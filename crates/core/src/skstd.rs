@@ -1,0 +1,702 @@
+//! Skolemized STDs (SkSTDs) and their semantics (§5).
+//!
+//! An annotated SkSTD is `ψτ(u₁, …, u_k) :– φσ(x₁, …, x_n)` where `φ` is an
+//! FO formula over `σ ∪ F` whose atomic subformulas are relational atoms or
+//! equalities `y = f(z̄)`, and each head term `uᵢ` is a variable or a Skolem
+//! term `f(z̄)`. Given *actual functions* `F′`, the solution `Sol_F′(S)` is
+//! built by evaluating each body over `S` (functions interpreted by `F′`)
+//! and instantiating the heads; the semantics is
+//! `⟦S⟧ = ⋃_{F′} Rep_A(Sol_F′(S))`.
+//!
+//! Lemma 4 ([`SkMapping::from_mapping`]) translates every plain annotated
+//! STD mapping into an equivalent SkSTD mapping: each existential variable
+//! `z` becomes a Skolem term `f_(φ,ψ,z)(x̄, ȳ)` — the same body witness then
+//! yields the same invented value, exactly mirroring the justification
+//! bookkeeping of the canonical solution.
+
+use dx_chase::Mapping;
+use dx_logic::eval::{FuncInterp, FuncTable};
+use dx_logic::{Assignment, Evaluator, Formula, ParsedRule, Query, Term};
+use dx_relation::{
+    Ann, AnnInstance, AnnTuple, Annotation, ConstId, FuncSym, Instance, NullGen, NullId, RelSym,
+    Schema, Tuple, Value,
+};
+use dx_solver::repa::rep_a_membership;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One head atom of an SkSTD: relation, argument terms (possibly Skolem
+/// applications), per-position annotation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SkAtom {
+    /// The target relation.
+    pub rel: RelSym,
+    /// Argument terms; [`Term::App`] encodes Skolem terms.
+    pub args: Vec<Term>,
+    /// Per-position annotation.
+    pub ann: Annotation,
+}
+
+impl SkAtom {
+    /// Build an SkAtom; panics on arity mismatch.
+    pub fn new(rel: RelSym, args: Vec<Term>, ann: Annotation) -> Self {
+        assert_eq!(args.len(), ann.arity(), "annotation arity mismatch");
+        SkAtom { rel, args, ann }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for SkAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", t, self.ann.get(i))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for SkAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An annotated Skolemized STD.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SkStd {
+    /// Head atoms.
+    pub head: Vec<SkAtom>,
+    /// Body formula over `σ ∪ F`.
+    pub body: Formula,
+}
+
+impl SkStd {
+    /// Build an SkSTD; panics if the head is empty.
+    pub fn new(head: Vec<SkAtom>, body: Formula) -> Self {
+        assert!(!head.is_empty(), "SkSTD must have at least one head atom");
+        SkStd { head, body }
+    }
+
+    /// Parse from the rule syntax (head terms may be Skolem applications,
+    /// e.g. `T(f(em):cl, em:cl, g(em, proj):op) <- S(em, proj)`).
+    pub fn parse(src: &str) -> Result<Self, dx_logic::ParseError> {
+        Ok(Self::from_parsed(dx_logic::parse_rule(src)?))
+    }
+
+    /// Convert a parsed rule.
+    pub fn from_parsed(rule: ParsedRule) -> Self {
+        SkStd::new(
+            rule.head
+                .into_iter()
+                .map(|a| SkAtom::new(a.rel, a.args, Annotation::new(a.anns)))
+                .collect(),
+            rule.body,
+        )
+    }
+
+    /// Function symbols (with arities) used anywhere in the SkSTD.
+    pub fn funcs(&self) -> BTreeSet<(FuncSym, usize)> {
+        let mut out = self.body.funcs();
+        for a in &self.head {
+            for t in &a.args {
+                out.extend(t.funcs());
+            }
+        }
+        out
+    }
+
+    /// Free variables of the body, sorted (the evaluation order for head
+    /// instantiation).
+    pub fn body_vars(&self) -> Vec<dx_relation::Var> {
+        self.body.free_vars().into_iter().collect()
+    }
+
+    /// Max open positions per head atom.
+    pub fn max_open_per_atom(&self) -> usize {
+        self.head.iter().map(|a| a.ann.count_open()).max().unwrap_or(0)
+    }
+
+    /// Max closed positions per head atom.
+    pub fn max_closed_per_atom(&self) -> usize {
+        self.head
+            .iter()
+            .map(|a| a.ann.count_closed())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Re-annotate every position.
+    pub fn reannotated(&self, ann: Ann) -> SkStd {
+        SkStd {
+            head: self
+                .head
+                .iter()
+                .map(|a| SkAtom {
+                    rel: a.rel,
+                    args: a.args.clone(),
+                    ann: Annotation::new(vec![ann; a.args.len()]),
+                })
+                .collect(),
+            body: self.body.clone(),
+        }
+    }
+}
+
+impl fmt::Display for SkStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " <- {}", self.body)
+    }
+}
+
+impl fmt::Debug for SkStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// An annotated SkSTD mapping `(σ, τ, Σα)`.
+#[derive(Clone)]
+pub struct SkMapping {
+    /// Source schema.
+    pub source: Schema,
+    /// Target schema.
+    pub target: Schema,
+    /// The SkSTDs.
+    pub stds: Vec<SkStd>,
+}
+
+/// A total-ized function interpretation: sites missing from the table map to
+/// one designated junk constant, making every evaluation well-defined. Any
+/// such interpretation *is* a legitimate `F′`, so searches over tables
+/// remain sound.
+struct Totalized<'a> {
+    table: &'a FuncTable,
+    junk: ConstId,
+}
+
+impl FuncInterp for Totalized<'_> {
+    fn apply(&self, f: FuncSym, args: &[Value]) -> Option<Value> {
+        Some(
+            self.table
+                .get(f, args)
+                .unwrap_or(Value::Const(self.junk)),
+        )
+    }
+}
+
+impl SkMapping {
+    /// Build from SkSTDs, inferring schemas (function symbols are excluded
+    /// from the source schema).
+    pub fn from_stds(stds: Vec<SkStd>) -> Self {
+        let mut source = Schema::new();
+        let mut target = Schema::new();
+        for std in &stds {
+            for (rel, arity) in std.body.relations() {
+                source.add(rel, arity);
+            }
+            for atom in &std.head {
+                target.add(atom.rel, atom.arity());
+            }
+        }
+        SkMapping {
+            source,
+            target,
+            stds,
+        }
+    }
+
+    /// Parse a `;`-separated list of Skolemized rules.
+    pub fn parse(src: &str) -> Result<Self, dx_logic::ParseError> {
+        let rules = dx_logic::parse_rules(src)?;
+        Ok(Self::from_stds(
+            rules.into_iter().map(SkStd::from_parsed).collect(),
+        ))
+    }
+
+    /// **Lemma 4**: translate a plain annotated STD mapping into an
+    /// equivalent SkSTD mapping. Each existential head variable `z` of STD
+    /// `i` becomes the Skolem term `f_i_z(x̄, ȳ)` applied to all body
+    /// variables; annotations and bodies are untouched.
+    pub fn from_mapping(mapping: &Mapping) -> Self {
+        let stds = mapping
+            .stds
+            .iter()
+            .enumerate()
+            .map(|(i, std)| {
+                let body_vars = std.body_vars();
+                let exist = std.existential_vars();
+                let args: Vec<Term> = body_vars.iter().map(|&v| Term::Var(v)).collect();
+                let mut subst: BTreeMap<dx_relation::Var, Term> = BTreeMap::new();
+                for z in exist {
+                    let f = FuncSym::new(&format!("sk_{}_{}", i, z.name()));
+                    subst.insert(z, Term::App(f, args.clone()));
+                }
+                SkStd::new(
+                    std.head
+                        .iter()
+                        .map(|a| {
+                            SkAtom::new(
+                                a.rel,
+                                a.args.iter().map(|t| t.subst(&subst)).collect(),
+                                a.ann.clone(),
+                            )
+                        })
+                        .collect(),
+                    std.body.clone(),
+                )
+            })
+            .collect();
+        SkMapping {
+            source: mapping.source.clone(),
+            target: mapping.target.clone(),
+            stds,
+        }
+    }
+
+    /// All function symbols (with arities).
+    pub fn funcs(&self) -> BTreeSet<(FuncSym, usize)> {
+        self.stds.iter().flat_map(|s| s.funcs()).collect()
+    }
+
+    /// `#op` statistic (max open positions per atom).
+    pub fn num_op(&self) -> usize {
+        self.stds
+            .iter()
+            .map(|s| s.max_open_per_atom())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Is every annotation open?
+    pub fn is_all_open(&self) -> bool {
+        self.stds
+            .iter()
+            .all(|s| s.head.iter().all(|a| a.ann.is_all_open()))
+    }
+
+    /// Is every annotation closed?
+    pub fn is_all_closed(&self) -> bool {
+        self.stds
+            .iter()
+            .all(|s| s.head.iter().all(|a| a.ann.is_all_closed()))
+    }
+
+    /// Re-annotate every position.
+    pub fn reannotated(&self, ann: Ann) -> SkMapping {
+        SkMapping {
+            source: self.source.clone(),
+            target: self.target.clone(),
+            stds: self.stds.iter().map(|s| s.reannotated(ann)).collect(),
+        }
+    }
+
+    /// Do all bodies belong to a syntactically monotone class?
+    pub fn has_monotone_bodies(&self) -> bool {
+        self.stds
+            .iter()
+            .all(|s| dx_logic::classify::is_monotone(&s.body))
+    }
+
+    /// Are all bodies conjunctive (CQ-SkSTDs, the class of [FKP&T'05])?
+    pub fn has_cq_bodies(&self) -> bool {
+        self.stds
+            .iter()
+            .all(|s| dx_logic::classify::try_cq(&s.body).is_some())
+    }
+
+    /// The solution `Sol_F′(S)`: evaluate each body over `source` with the
+    /// function table `funcs` (undefined sites read as a junk constant) and
+    /// instantiate the annotated heads. The result is a ground annotated
+    /// instance; bodies with no satisfying assignment contribute empty
+    /// annotated tuples.
+    pub fn sol(&self, source: &Instance, funcs: &FuncTable) -> AnnInstance {
+        assert!(source.is_ground(), "source instances are over Const");
+        // The paper's S is a σ-instance: evaluate over the σ-reduct so the
+        // active domain (and hence quantifier ranges and the composition
+        // algorithm's adom guards) ignore foreign relations.
+        let source = source.project_schema(&self.source);
+        let source = &source;
+        let junk = ConstId::new("⋆undef");
+        let total = Totalized { table: funcs, junk };
+        let mut out = AnnInstance::new();
+        for std in &self.stds {
+            // Evaluation domain: source adom + body constants. Bodies that
+            // mention function symbols (`y = f(z̄)` atoms produced by the
+            // Lemma 5 composition) additionally need the F′-range so those
+            // equalities are satisfiable; function-free bodies use plain
+            // active-domain semantics (matching `sol_with_site_nulls`), and
+            // the composition algorithm's adom guards keep the two aligned.
+            let mut dom: BTreeSet<Value> = source.active_domain();
+            dom.extend(std.body.constants().into_iter().map(Value::Const));
+            if !std.body.funcs().is_empty() {
+                dom.extend(funcs.range_values());
+            }
+            let ev = Evaluator::with_domain_and_funcs(source, dom, &total);
+            let vars = std.body_vars();
+            let rows = ev.satisfying_assignments(&std.body, &vars);
+            if rows.is_empty() {
+                for atom in &std.head {
+                    out.insert_empty_mark(atom.rel, atom.ann.clone());
+                }
+                continue;
+            }
+            for row in rows {
+                let mut asg = Assignment::new();
+                for (v, val) in vars.iter().zip(row.iter()) {
+                    asg.bind(*v, *val);
+                }
+                for atom in &std.head {
+                    let vals: Vec<Value> = atom
+                        .args
+                        .iter()
+                        .map(|t| ev.eval_term(t, &asg))
+                        .collect();
+                    out.insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// `T ∈ Rep_A(Sol_F′(S))` for a *given* function table — the
+    /// polynomial-time verification half of the semantics.
+    pub fn in_semantics_with(&self, source: &Instance, t: &Instance, funcs: &FuncTable) -> bool {
+        let sol = self.sol(source, funcs);
+        rep_a_membership(&sol, t).is_some()
+    }
+
+    /// Decide `(S, T) ∈ (|Σα|)`, i.e. whether `T ∈ Rep_A(Sol_F′(S))` for
+    /// *some* actual functions `F′`.
+    ///
+    /// For **function-free bodies** (the Lemma 4 image and hand-written
+    /// SkSTDs like example (8)) this is exact: unknown Skolem values are
+    /// represented as *site nulls* — one labelled null per application site
+    /// `f(c̄)` — and the question becomes plain `Rep_A` membership, decided
+    /// by valuation search (shared sites share a null, which is precisely
+    /// the "one id per name" semantics of example (8)).
+    ///
+    /// Bodies that themselves mention function symbols (e.g. outputs of the
+    /// Lemma 5 composition algorithm) are handled by
+    /// [`crate::compose_alg`]'s verification entry points, which know the
+    /// function tables; this method panics on them.
+    pub fn membership(&self, source: &Instance, t: &Instance) -> Option<dx_relation::Valuation> {
+        assert!(
+            self.stds.iter().all(|s| s.body.funcs().is_empty()),
+            "membership search requires function-free bodies; \
+             use in_semantics_with for composed mappings"
+        );
+        let sol = self.sol_with_site_nulls(source).0;
+        rep_a_membership(&sol, t)
+    }
+
+    /// Build `Sol` with unknown Skolem values as site nulls; also returns
+    /// the site registry (null → application site).
+    pub fn sol_with_site_nulls(
+        &self,
+        source: &Instance,
+    ) -> (AnnInstance, BTreeMap<NullId, (FuncSym, Vec<Value>)>) {
+        assert!(source.is_ground(), "source instances are over Const");
+        let source = source.project_schema(&self.source);
+        let source = &source;
+        let mut gen = NullGen::new();
+        let mut sites: BTreeMap<(FuncSym, Vec<Value>), NullId> = BTreeMap::new();
+        let mut out = AnnInstance::new();
+        for std in &self.stds {
+            assert!(
+                std.body.funcs().is_empty(),
+                "site-null construction requires function-free bodies"
+            );
+            let ev = Evaluator::for_formula(source, &std.body);
+            let vars = std.body_vars();
+            let rows = ev.satisfying_assignments(&std.body, &vars);
+            if rows.is_empty() {
+                for atom in &std.head {
+                    out.insert_empty_mark(atom.rel, atom.ann.clone());
+                }
+                continue;
+            }
+            for row in rows {
+                let env: BTreeMap<dx_relation::Var, Value> =
+                    vars.iter().copied().zip(row.iter().copied()).collect();
+                for atom in &std.head {
+                    let vals: Vec<Value> = atom
+                        .args
+                        .iter()
+                        .map(|term| eval_head_term(term, &env, &mut sites, &mut gen))
+                        .collect();
+                    out.insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()));
+                }
+            }
+        }
+        let registry = sites.into_iter().map(|(site, n)| (n, site)).collect();
+        (out, registry)
+    }
+}
+
+/// Evaluate a head term under a ground environment, mapping Skolem sites to
+/// canonical nulls.
+fn eval_head_term(
+    term: &Term,
+    env: &BTreeMap<dx_relation::Var, Value>,
+    sites: &mut BTreeMap<(FuncSym, Vec<Value>), NullId>,
+    gen: &mut NullGen,
+) -> Value {
+    match term {
+        Term::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("head variable {v} unbound in SkSTD")),
+        Term::Const(c) => Value::Const(*c),
+        Term::App(f, args) => {
+            let arg_vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_head_term(a, env, sites, gen))
+                .collect();
+            let key = (*f, arg_vals);
+            Value::Null(*sites.entry(key).or_insert_with(|| gen.fresh()))
+        }
+    }
+}
+
+impl fmt::Display for SkMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "σ = {}", self.source)?;
+        writeln!(f, "τ = {}", self.target)?;
+        for std in &self.stds {
+            writeln!(f, "  {std}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SkMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Proposition 7 helper: the second-order reading of an unannotated SkSTD
+/// set, `Ψ_Σ = ∃f̄ ⋀ ∀x̄ (φ → ψ)`. Under the all-open annotation, `(|Σop|)`
+/// coincides with `(S,T) |= Ψ_Σ`; this function checks the right-hand side
+/// directly for a given function table (used in tests of Proposition 7).
+pub fn satisfies_second_order_with(
+    mapping: &SkMapping,
+    source: &Instance,
+    target: &Instance,
+    funcs: &FuncTable,
+) -> bool {
+    let junk = ConstId::new("⋆undef");
+    let total = Totalized { table: funcs, junk };
+    for std in &mapping.stds {
+        let mut dom: BTreeSet<Value> = source.active_domain();
+        dom.extend(std.body.constants().into_iter().map(Value::Const));
+        dom.extend(funcs.range_values());
+        let ev = Evaluator::with_domain_and_funcs(source, dom.clone(), &total);
+        let vars = std.body_vars();
+        let rows = ev.satisfying_assignments(&std.body, &vars);
+        // Head atoms must hold in the target, with the same interpretation.
+        let tev = Evaluator::with_domain_and_funcs(target, dom, &total);
+        for row in rows {
+            let mut asg = Assignment::new();
+            for (v, val) in vars.iter().zip(row.iter()) {
+                asg.bind(*v, *val);
+            }
+            for atom in &std.head {
+                let vals: Vec<Value> =
+                    atom.args.iter().map(|t| tev.eval_term(t, &asg)).collect();
+                if !target.contains(atom.rel, &Tuple::new(vals)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A convenience: build a [`Query`] over the target schema checking one
+/// SkSTD head under an assignment — exposed mainly for doc-tests and the
+/// examples.
+pub fn head_as_query(std: &SkStd) -> Query {
+    let vars: Vec<dx_relation::Var> = std
+        .head
+        .iter()
+        .flat_map(|a| a.args.iter().flat_map(|t| t.vars()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    Query::new(
+        vars,
+        Formula::and(
+            std.head
+                .iter()
+                .map(|a| Formula::Atom(a.rel, a.args.clone())),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's example (8): ids are per-name, phones per (name, proj).
+    fn example8() -> SkMapping {
+        SkMapping::parse("T(f(em):cl, em:cl, g(em, proj):op) <- S(em, proj)").unwrap()
+    }
+
+    #[test]
+    fn sol_with_given_functions() {
+        // S = {(John, P1)}, f(John)=001, g(John,P1)=1234 →
+        // Sol = {(001^cl, John^cl, 1234^op)}.
+        let m = example8();
+        let mut s = Instance::new();
+        s.insert_names("S", &["John", "P1"]);
+        let mut ft = FuncTable::new();
+        ft.define(
+            FuncSym::new("f"),
+            vec![Value::c("John")],
+            Value::c("001"),
+        );
+        ft.define(
+            FuncSym::new("g"),
+            vec![Value::c("John"), Value::c("P1")],
+            Value::c("1234"),
+        );
+        let sol = m.sol(&s, &ft);
+        let t = sol.relation(RelSym::new("T")).unwrap();
+        assert_eq!(t.len(), 1);
+        let at = t.iter().next().unwrap();
+        assert_eq!(at.tuple, Tuple::from_names(&["001", "John", "1234"]));
+        assert_eq!(
+            at.ann,
+            Annotation::new(vec![Ann::Closed, Ann::Closed, Ann::Open])
+        );
+    }
+
+    /// The semantics of example (8): {(001, John, 1234), (001, John, 5678)}
+    /// is a member (open phone), but two different ids for John are not.
+    #[test]
+    fn example8_membership() {
+        let m = example8();
+        let mut s = Instance::new();
+        s.insert_names("S", &["John", "P1"]);
+        s.insert_names("S", &["John", "P2"]);
+        // Same id for both projects (f depends only on the name), distinct
+        // phones per project plus an extra phone (open position).
+        let mut good = Instance::new();
+        good.insert_names("T", &["001", "John", "1234"]);
+        good.insert_names("T", &["001", "John", "5678"]);
+        good.insert_names("T", &["001", "John", "9999"]);
+        assert!(m.membership(&s, &good).is_some());
+        // Two different ids for John: impossible — f(John) is one value.
+        let mut bad = Instance::new();
+        bad.insert_names("T", &["001", "John", "1234"]);
+        bad.insert_names("T", &["002", "John", "5678"]);
+        assert!(m.membership(&s, &bad).is_none());
+    }
+
+    /// Lemma 4: the SkSTD translation has the same semantics as the plain
+    /// STD mapping (checked by comparing membership on a batch of targets).
+    #[test]
+    fn lemma4_equivalence_on_samples() {
+        let plain = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+        let sk = SkMapping::from_mapping(&plain);
+        assert_eq!(sk.funcs().len(), 1);
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "c1"]);
+        s.insert_names("E", &["a", "c2"]);
+        let targets: Vec<Instance> = vec![
+            {
+                // Two values for the two (x=a) justifications + replication.
+                let mut t = Instance::new();
+                t.insert_names("R", &["a", "v1"]);
+                t.insert_names("R", &["a", "v2"]);
+                t.insert_names("R", &["a", "v3"]);
+                t
+            },
+            {
+                // Single value (both nulls merged).
+                let mut t = Instance::new();
+                t.insert_names("R", &["a", "v"]);
+                t
+            },
+            {
+                // Wrong closed value.
+                let mut t = Instance::new();
+                t.insert_names("R", &["b", "v"]);
+                t
+            },
+            Instance::new(),
+        ];
+        for t in &targets {
+            let plain_member = crate::semantics::is_member(&plain, &s, t);
+            let sk_member = sk.membership(&s, t).is_some();
+            assert_eq!(plain_member, sk_member, "disagreement on {t}");
+        }
+    }
+
+    /// Lemma 4 nuance: the Skolem argument tuple is (x̄, ȳ), so two source
+    /// tuples sharing x get DIFFERENT nulls (unlike `f(x)`).
+    #[test]
+    fn skolem_args_include_all_body_vars() {
+        let plain = Mapping::parse("R(x:cl, z:cl) <- E(x, y)").unwrap();
+        let sk = SkMapping::from_mapping(&plain);
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "c1"]);
+        s.insert_names("E", &["a", "c2"]);
+        let (sol, registry) = sk.sol_with_site_nulls(&s);
+        // Two distinct sites → two distinct nulls.
+        assert_eq!(registry.len(), 2);
+        assert_eq!(sol.relation(RelSym::new("R")).unwrap().len(), 2);
+    }
+
+    /// Empty bodies generate empty marks in Sol, matching CSol_A.
+    #[test]
+    fn empty_body_empty_marks() {
+        let m = SkMapping::parse("R(f(x):op) <- E(x)").unwrap();
+        let s = Instance::new();
+        let sol = m.sol(&s, &FuncTable::new());
+        let r = sol.relation(RelSym::new("R")).unwrap();
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.empty_marks().count(), 1);
+        // The empty instance is a member.
+        assert!(m.membership(&s, &Instance::new()).is_some());
+    }
+
+    /// Proposition 7 direction check: all-open SkSTD semantics = the
+    /// second-order reading, for sampled function tables.
+    #[test]
+    fn second_order_reading_agrees_when_open() {
+        let m = example8().reannotated(Ann::Open);
+        let mut s = Instance::new();
+        s.insert_names("S", &["John", "P1"]);
+        let mut ft = FuncTable::new();
+        ft.define(FuncSym::new("f"), vec![Value::c("John")], Value::c("001"));
+        ft.define(
+            FuncSym::new("g"),
+            vec![Value::c("John"), Value::c("P1")],
+            Value::c("1234"),
+        );
+        let mut t = Instance::new();
+        t.insert_names("T", &["001", "John", "1234"]);
+        t.insert_names("T", &["junk", "junk", "junk"]); // OWA: fine
+        assert!(satisfies_second_order_with(&m, &s, &t, &ft));
+        assert!(m.in_semantics_with(&s, &t, &ft));
+        let mut t2 = Instance::new();
+        t2.insert_names("T", &["junk", "junk", "junk"]);
+        assert!(!satisfies_second_order_with(&m, &s, &t2, &ft));
+        assert!(!m.in_semantics_with(&s, &t2, &ft));
+    }
+}

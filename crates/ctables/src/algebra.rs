@@ -1,0 +1,635 @@
+//! Positional relational algebra with Imieliński–Lipski conditional
+//! evaluation.
+//!
+//! [`RaExpr`] is full relational algebra — selection, projection, product,
+//! union, difference, intersection — over positional columns. Two evaluators
+//! are provided:
+//!
+//! * [`RaExpr::eval_ground`] — ordinary evaluation on a ground [`Instance`]
+//!   (used for cross-validation and by the tests);
+//! * [`RaExpr::eval_conditional`] — evaluation on a [`CInstance`], producing
+//!   a [`CTable`] whose guards record exactly when each tuple is present.
+//!   This is the Imieliński–Lipski representation theorem in code: for every
+//!   valuation `v` satisfying the global condition,
+//!   `v(eval_conditional(T)) = eval_ground(v(T))`.
+//!
+//! The key case is **difference**: a row `(t, φ)` of `e₁` survives iff `φ`
+//! holds and no row `(s, ψ)` of `e₂` is simultaneously present and equal to
+//! `t`, so its guard becomes `φ ∧ ⋀ ¬(ψ ∧ t ≐ s)` — a genuinely conditional
+//! guard even when both inputs are naive tables. Selection on nulls likewise
+//! produces `t ≐ c`-style guards. This is why naive tables are not closed
+//! under full RA and c-tables are.
+
+use crate::condition::Condition;
+use crate::ctable::{CInstance, CTable, CTuple};
+use dx_relation::{ConstId, Instance, RelSym, Relation, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A column reference or constant in a selection predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColRef {
+    /// The value of the `i`-th column (0-based).
+    Col(usize),
+    /// A constant.
+    Const(ConstId),
+}
+
+impl ColRef {
+    fn resolve(&self, t: &Tuple) -> Value {
+        match self {
+            ColRef::Col(i) => t.get(*i),
+            ColRef::Const(c) => Value::Const(*c),
+        }
+    }
+
+    fn max_col(&self) -> Option<usize> {
+        match self {
+            ColRef::Col(i) => Some(*i),
+            ColRef::Const(_) => None,
+        }
+    }
+}
+
+/// A selection predicate: boolean combinations of column/constant
+/// (in)equalities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaPred {
+    /// Always true.
+    True,
+    /// Equality of two references.
+    Eq(ColRef, ColRef),
+    /// Conjunction.
+    And(Vec<RaPred>),
+    /// Disjunction.
+    Or(Vec<RaPred>),
+    /// Negation.
+    Not(Box<RaPred>),
+}
+
+impl RaPred {
+    /// `col(i) = col(j)`.
+    pub fn cols_eq(i: usize, j: usize) -> RaPred {
+        RaPred::Eq(ColRef::Col(i), ColRef::Col(j))
+    }
+
+    /// `col(i) = 'c'`.
+    pub fn col_is(i: usize, c: &str) -> RaPred {
+        RaPred::Eq(ColRef::Col(i), ColRef::Const(ConstId::new(c)))
+    }
+
+    /// `col(i) ≠ col(j)`.
+    pub fn cols_neq(i: usize, j: usize) -> RaPred {
+        RaPred::Not(Box::new(Self::cols_eq(i, j)))
+    }
+
+    /// Ground evaluation on a tuple (nulls as atomic values — the naive
+    /// reading; only used on ground tuples in practice).
+    fn eval_ground(&self, t: &Tuple) -> bool {
+        match self {
+            RaPred::True => true,
+            RaPred::Eq(a, b) => a.resolve(t) == b.resolve(t),
+            RaPred::And(ps) => ps.iter().all(|p| p.eval_ground(t)),
+            RaPred::Or(ps) => ps.iter().any(|p| p.eval_ground(t)),
+            RaPred::Not(p) => !p.eval_ground(t),
+        }
+    }
+
+    /// Conditional reading on a tuple with nulls: the [`Condition`] under
+    /// which the predicate holds.
+    fn to_condition(&self, t: &Tuple) -> Condition {
+        match self {
+            RaPred::True => Condition::True,
+            RaPred::Eq(a, b) => Condition::eq(a.resolve(t), b.resolve(t)),
+            RaPred::And(ps) => Condition::and(ps.iter().map(|p| p.to_condition(t))),
+            RaPred::Or(ps) => Condition::or(ps.iter().map(|p| p.to_condition(t))),
+            RaPred::Not(p) => p.to_condition(t).negate(),
+        }
+    }
+
+    fn max_col(&self) -> Option<usize> {
+        match self {
+            RaPred::True => None,
+            RaPred::Eq(a, b) => a.max_col().max(b.max_col()),
+            RaPred::And(ps) | RaPred::Or(ps) => ps.iter().filter_map(|p| p.max_col()).max(),
+            RaPred::Not(p) => p.max_col(),
+        }
+    }
+}
+
+/// Errors raised when an algebra expression is ill-formed for a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaError {
+    /// A relation the expression mentions is absent.
+    UnknownRelation(RelSym),
+    /// Arity mismatch between the operands of a set operation.
+    ArityMismatch {
+        /// The operator.
+        op: &'static str,
+        /// Left arity.
+        left: usize,
+        /// Right arity.
+        right: usize,
+    },
+    /// A column index out of range.
+    ColumnOutOfRange {
+        /// The operator.
+        op: &'static str,
+        /// The offending index.
+        col: usize,
+        /// The operand arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            RaError::ArityMismatch { op, left, right } => {
+                write!(f, "{op}: arity mismatch {left} vs {right}")
+            }
+            RaError::ColumnOutOfRange { op, col, arity } => {
+                write!(f, "{op}: column {col} out of range for arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+/// A relational-algebra expression (positional).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A base relation.
+    Rel(RelSym),
+    /// A singleton constant relation `{(c₁, …, cₙ)}`.
+    Singleton(Vec<ConstId>),
+    /// The empty relation of a fixed arity.
+    Empty(usize),
+    /// Selection `σ_pred`.
+    Select(Box<RaExpr>, RaPred),
+    /// Projection `π_cols` (columns may repeat or reorder).
+    Project(Box<RaExpr>, Vec<usize>),
+    /// Cartesian product.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Set union.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Set difference.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Set intersection.
+    Intersect(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// A base relation by name.
+    pub fn rel(name: &str) -> RaExpr {
+        RaExpr::Rel(RelSym::new(name))
+    }
+
+    /// `σ_pred(self)`.
+    pub fn select(self, pred: RaPred) -> RaExpr {
+        RaExpr::Select(Box::new(self), pred)
+    }
+
+    /// `π_cols(self)`.
+    pub fn project(self, cols: impl Into<Vec<usize>>) -> RaExpr {
+        RaExpr::Project(Box::new(self), cols.into())
+    }
+
+    /// `self × other`.
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∖ other`.
+    pub fn diff(self, other: RaExpr) -> RaExpr {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(self, other: RaExpr) -> RaExpr {
+        RaExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// The output arity given a function resolving base-relation arities.
+    pub fn arity_with(
+        &self,
+        lookup: &impl Fn(RelSym) -> Option<usize>,
+    ) -> Result<usize, RaError> {
+        match self {
+            RaExpr::Rel(r) => lookup(*r).ok_or(RaError::UnknownRelation(*r)),
+            RaExpr::Singleton(cs) => Ok(cs.len()),
+            RaExpr::Empty(a) => Ok(*a),
+            RaExpr::Select(e, p) => {
+                let a = e.arity_with(lookup)?;
+                if let Some(c) = p.max_col() {
+                    if c >= a {
+                        return Err(RaError::ColumnOutOfRange {
+                            op: "select",
+                            col: c,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(a)
+            }
+            RaExpr::Project(e, cols) => {
+                let a = e.arity_with(lookup)?;
+                for &c in cols {
+                    if c >= a {
+                        return Err(RaError::ColumnOutOfRange {
+                            op: "project",
+                            col: c,
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(cols.len())
+            }
+            RaExpr::Product(l, r) => Ok(l.arity_with(lookup)? + r.arity_with(lookup)?),
+            RaExpr::Union(l, r) | RaExpr::Diff(l, r) | RaExpr::Intersect(l, r) => {
+                let (la, ra) = (l.arity_with(lookup)?, r.arity_with(lookup)?);
+                if la != ra {
+                    return Err(RaError::ArityMismatch {
+                        op: match self {
+                            RaExpr::Union(_, _) => "union",
+                            RaExpr::Diff(_, _) => "diff",
+                            _ => "intersect",
+                        },
+                        left: la,
+                        right: ra,
+                    });
+                }
+                Ok(la)
+            }
+        }
+    }
+
+    /// Ordinary evaluation on a ground instance. Relations absent from the
+    /// instance read as empty (their arity must then be inferable — use
+    /// [`RaExpr::arity_with`] with a schema for strict checking).
+    pub fn eval_ground(&self, inst: &Instance) -> Relation {
+        match self {
+            RaExpr::Rel(r) => inst
+                .relation(*r)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(0)),
+            RaExpr::Singleton(cs) => {
+                let mut rel = Relation::new(cs.len());
+                rel.insert(Tuple::from_consts(cs));
+                rel
+            }
+            RaExpr::Empty(a) => Relation::new(*a),
+            RaExpr::Select(e, p) => {
+                let base = e.eval_ground(inst);
+                let mut out = Relation::new(base.arity());
+                for t in base.iter() {
+                    if p.eval_ground(t) {
+                        out.insert(t.clone());
+                    }
+                }
+                out
+            }
+            RaExpr::Project(e, cols) => {
+                let base = e.eval_ground(inst);
+                let mut out = Relation::new(cols.len());
+                for t in base.iter() {
+                    out.insert(Tuple::new(
+                        cols.iter().map(|&c| t.get(c)).collect::<Vec<_>>(),
+                    ));
+                }
+                out
+            }
+            RaExpr::Product(l, r) => {
+                let (lt, rt) = (l.eval_ground(inst), r.eval_ground(inst));
+                let mut out = Relation::new(lt.arity() + rt.arity());
+                for a in lt.iter() {
+                    for b in rt.iter() {
+                        let mut vals: Vec<Value> = a.values().to_vec();
+                        vals.extend_from_slice(b.values());
+                        out.insert(Tuple::new(vals));
+                    }
+                }
+                out
+            }
+            RaExpr::Union(l, r) => {
+                let (lt, rt) = (l.eval_ground(inst), r.eval_ground(inst));
+                let mut out = Relation::new(lt.arity().max(rt.arity()));
+                for t in lt.iter().chain(rt.iter()) {
+                    out.insert(t.clone());
+                }
+                out
+            }
+            RaExpr::Diff(l, r) => {
+                let (lt, rt) = (l.eval_ground(inst), r.eval_ground(inst));
+                let mut out = Relation::new(lt.arity());
+                for t in lt.iter() {
+                    if !rt.contains(t) {
+                        out.insert(t.clone());
+                    }
+                }
+                out
+            }
+            RaExpr::Intersect(l, r) => {
+                let (lt, rt) = (l.eval_ground(inst), r.eval_ground(inst));
+                let mut out = Relation::new(lt.arity());
+                for t in lt.iter() {
+                    if rt.contains(t) {
+                        out.insert(t.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Imieliński–Lipski conditional evaluation on a c-instance: the result
+    /// c-table represents `{ eval_ground(v(T)) | v ⊨ global }`.
+    pub fn eval_conditional(&self, cinst: &CInstance) -> CTable {
+        match self {
+            RaExpr::Rel(r) => cinst
+                .table(*r)
+                .cloned()
+                .unwrap_or_else(|| CTable::new(0)),
+            RaExpr::Singleton(cs) => {
+                let mut t = CTable::new(cs.len());
+                t.push(CTuple::always(Tuple::from_consts(cs)));
+                t
+            }
+            RaExpr::Empty(a) => CTable::new(*a),
+            RaExpr::Select(e, p) => {
+                let base = e.eval_conditional(cinst);
+                let mut out = CTable::new(base.arity());
+                for row in base.rows() {
+                    out.push(CTuple::when(
+                        row.tuple.clone(),
+                        Condition::and([row.cond.clone(), p.to_condition(&row.tuple)]),
+                    ));
+                }
+                out
+            }
+            RaExpr::Project(e, cols) => {
+                let base = e.eval_conditional(cinst);
+                let mut out = CTable::new(cols.len());
+                for row in base.rows() {
+                    out.push(CTuple::when(
+                        Tuple::new(cols.iter().map(|&c| row.tuple.get(c)).collect::<Vec<_>>()),
+                        row.cond.clone(),
+                    ));
+                }
+                out
+            }
+            RaExpr::Product(l, r) => {
+                let (lt, rt) = (l.eval_conditional(cinst), r.eval_conditional(cinst));
+                let mut out = CTable::new(lt.arity() + rt.arity());
+                for a in lt.rows() {
+                    for b in rt.rows() {
+                        let mut vals: Vec<Value> = a.tuple.values().to_vec();
+                        vals.extend_from_slice(b.tuple.values());
+                        out.push(CTuple::when(
+                            Tuple::new(vals),
+                            Condition::and([a.cond.clone(), b.cond.clone()]),
+                        ));
+                    }
+                }
+                out
+            }
+            RaExpr::Union(l, r) => {
+                let (lt, rt) = (l.eval_conditional(cinst), r.eval_conditional(cinst));
+                let mut out = CTable::new(lt.arity().max(rt.arity()));
+                for row in lt.rows().chain(rt.rows()) {
+                    out.push(row.clone());
+                }
+                out
+            }
+            RaExpr::Diff(l, r) => {
+                let (lt, rt) = (l.eval_conditional(cinst), r.eval_conditional(cinst));
+                let mut out = CTable::new(lt.arity());
+                for a in lt.rows() {
+                    // a survives iff its guard holds and every b-row is
+                    // either absent or differs from a.
+                    let blockers = rt.rows().map(|b| {
+                        Condition::and([
+                            b.cond.clone(),
+                            Condition::tuples_equal(&a.tuple, &b.tuple),
+                        ])
+                        .negate()
+                    });
+                    out.push(CTuple::when(
+                        a.tuple.clone(),
+                        Condition::and(std::iter::once(a.cond.clone()).chain(blockers)),
+                    ));
+                }
+                out
+            }
+            RaExpr::Intersect(l, r) => {
+                let (lt, rt) = (l.eval_conditional(cinst), r.eval_conditional(cinst));
+                let mut out = CTable::new(lt.arity());
+                for a in lt.rows() {
+                    let supporters = Condition::or(rt.rows().map(|b| {
+                        Condition::and([
+                            b.cond.clone(),
+                            Condition::tuples_equal(&a.tuple, &b.tuple),
+                        ])
+                    }));
+                    out.push(CTuple::when(
+                        a.tuple.clone(),
+                        Condition::and([a.cond.clone(), supporters]),
+                    ));
+                }
+                out
+            }
+        }
+    }
+
+    /// All constants mentioned by the expression (selection predicates and
+    /// singletons).
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        fn pred_consts(p: &RaPred, out: &mut BTreeSet<ConstId>) {
+            match p {
+                RaPred::True => {}
+                RaPred::Eq(a, b) => {
+                    for r in [a, b] {
+                        if let ColRef::Const(c) = r {
+                            out.insert(*c);
+                        }
+                    }
+                }
+                RaPred::And(ps) | RaPred::Or(ps) => {
+                    for p in ps {
+                        pred_consts(p, out);
+                    }
+                }
+                RaPred::Not(p) => pred_consts(p, out),
+            }
+        }
+        let mut out = BTreeSet::new();
+        let mut stack = vec![self];
+        while let Some(e) = stack.pop() {
+            match e {
+                RaExpr::Rel(_) | RaExpr::Empty(_) => {}
+                RaExpr::Singleton(cs) => out.extend(cs.iter().copied()),
+                RaExpr::Select(inner, p) => {
+                    pred_consts(p, &mut out);
+                    stack.push(inner);
+                }
+                RaExpr::Project(inner, _) => stack.push(inner),
+                RaExpr::Product(l, r)
+                | RaExpr::Union(l, r)
+                | RaExpr::Diff(l, r)
+                | RaExpr::Intersect(l, r) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ground_edges() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("RaE", &["a", "b"]);
+        i.insert_names("RaE", &["b", "c"]);
+        i.insert_names("RaE", &["a", "c"]);
+        i
+    }
+
+    #[test]
+    fn ground_select_project() {
+        let e = RaExpr::rel("RaE")
+            .select(RaPred::col_is(0, "a"))
+            .project([1]);
+        let out = e.eval_ground(&ground_edges());
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::from_names(&["b"])));
+        assert!(out.contains(&Tuple::from_names(&["c"])));
+    }
+
+    #[test]
+    fn ground_product_join() {
+        // Two-hop pairs: π_{0,3}(σ_{1=2}(E × E)).
+        let e = RaExpr::rel("RaE")
+            .product(RaExpr::rel("RaE"))
+            .select(RaPred::cols_eq(1, 2))
+            .project([0, 3]);
+        let out = e.eval_ground(&ground_edges());
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::from_names(&["a", "c"])));
+    }
+
+    #[test]
+    fn ground_set_ops() {
+        let hop2 = RaExpr::rel("RaE")
+            .product(RaExpr::rel("RaE"))
+            .select(RaPred::cols_eq(1, 2))
+            .project([0, 3]);
+        // Direct edges that are ALSO two-hop reachable: {(a,c)}.
+        let both = RaExpr::rel("RaE").clone().intersect(hop2.clone());
+        assert_eq!(both.eval_ground(&ground_edges()).len(), 1);
+        // Direct edges NOT two-hop reachable.
+        let only_direct = RaExpr::rel("RaE").diff(hop2);
+        assert_eq!(only_direct.eval_ground(&ground_edges()).len(), 2);
+    }
+
+    #[test]
+    fn arity_checking() {
+        let lookup = |r: RelSym| (r == RelSym::new("RaE")).then_some(2);
+        assert_eq!(RaExpr::rel("RaE").arity_with(&lookup), Ok(2));
+        assert_eq!(
+            RaExpr::rel("RaE").project([0, 1, 1]).arity_with(&lookup),
+            Ok(3)
+        );
+        assert!(matches!(
+            RaExpr::rel("RaE").project([5]).arity_with(&lookup),
+            Err(RaError::ColumnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("RaE")
+                .union(RaExpr::rel("RaE").project([0]))
+                .arity_with(&lookup),
+            Err(RaError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            RaExpr::rel("Missing").arity_with(&lookup),
+            Err(RaError::UnknownRelation(_))
+        ));
+    }
+
+    /// The representation theorem on a hand-sized example:
+    /// `v(eval_conditional(T)) = eval_ground(v(T))` for every palette
+    /// valuation.
+    #[test]
+    fn conditional_commutes_with_valuations() {
+        let r = RelSym::new("RaC");
+        let mut ct = CInstance::new();
+        let table = ct.table_mut(r, 2);
+        table.push(CTuple::always(Tuple::new(vec![
+            Value::c("a"),
+            Value::null(1),
+        ])));
+        table.push(CTuple::always(Tuple::new(vec![
+            Value::null(1),
+            Value::null(2),
+        ])));
+        // Q = σ_{0='a'}(R) ∖ π_{1,0}(R).
+        let q = RaExpr::rel("RaC")
+            .select(RaPred::col_is(0, "a"))
+            .diff(RaExpr::rel("RaC").project([1, 0]));
+        let cond_result = q.eval_conditional(&ct);
+        for (ground, v) in ct.rep_members(&BTreeSet::new()) {
+            let direct = q.eval_ground(&ground);
+            let via_ctable: BTreeSet<Tuple> = cond_result
+                .apply(&v)
+                .into_iter()
+                .collect();
+            let direct_set: BTreeSet<Tuple> = direct.iter().cloned().collect();
+            assert_eq!(via_ctable, direct_set, "valuation {:?}", v);
+        }
+    }
+
+    /// Selection over a null produces a genuinely conditional row.
+    #[test]
+    fn selection_on_null_guards() {
+        let r = RelSym::new("RaS");
+        let mut ct = CInstance::new();
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::null(7)])));
+        let q = RaExpr::rel("RaS").select(RaPred::col_is(0, "a"));
+        let out = q.eval_conditional(&ct);
+        assert_eq!(out.len(), 1);
+        let row = out.rows().next().unwrap();
+        assert_eq!(
+            row.cond,
+            Condition::eq(Value::null(7), Value::c("a"))
+        );
+    }
+
+    #[test]
+    fn difference_produces_blocker_guards() {
+        // R = {(⊥1)}, S = {(a)}: R ∖ S keeps ⊥1 guarded by ⊥1 ≠ a.
+        let (r, s) = (RelSym::new("RaD1"), RelSym::new("RaD2"));
+        let mut ct = CInstance::new();
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::null(1)])));
+        ct.table_mut(s, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::c("a")])));
+        let q = RaExpr::Rel(r).diff(RaExpr::Rel(s));
+        let out = q.eval_conditional(&ct);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.rows().next().unwrap().cond,
+            Condition::neq(Value::c("a"), Value::null(1))
+        );
+    }
+}

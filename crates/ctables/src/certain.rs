@@ -1,0 +1,272 @@
+//! Exact certain (and possible) answers of relational-algebra queries over
+//! conditional instances.
+//!
+//! Given the conditional result table `Q(T)` of [`RaExpr::eval_conditional`],
+//! a ground tuple `t` is a **certain answer** iff it appears in `v(Q(T))`
+//! for *every* valuation `v` satisfying the global condition — equivalently
+//! iff the *support disjunction*
+//!
+//! ```text
+//! global → ⋁_{(s, φ) ∈ Q(T)} (φ ∧ t ≐ s)
+//! ```
+//!
+//! is valid, which [`Condition::is_valid`] decides exactly over a generic
+//! palette. Dually, `t` is a **possible answer** iff the support disjunction
+//! (conjoined with `global`) is satisfiable.
+//!
+//! Candidate certain tuples are the *ground* rows of `Q(T)`: under the
+//! all-fresh-distinct valuation every null becomes a brand-new constant, so
+//! a ground certain tuple must literally appear as a ground row. Candidate
+//! possible tuples additionally include ground instantiations of null rows
+//! over the instance/query constants (plus fresh ones for the generic
+//! pattern).
+
+use crate::algebra::RaExpr;
+use crate::condition::Condition;
+use crate::ctable::{CInstance, CTable};
+use dx_relation::{ConstId, Relation, Tuple};
+use std::collections::BTreeSet;
+
+/// The certain answers `□Q(T)`: ground tuples present under every valuation
+/// satisfying the global condition. Exact (see module docs); worst-case
+/// exponential in the number of nulls per support condition, as certain
+/// answering for full RA is coNP-hard.
+pub fn certain_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
+    let result = query.eval_conditional(cinst);
+    let mut extra: BTreeSet<ConstId> = cinst.constants();
+    extra.extend(query.constants());
+    let mut out = Relation::new(result.arity());
+    // If the global condition is unsatisfiable, Rep is empty and every
+    // tuple is vacuously certain; we follow the data-exchange convention of
+    // returning the candidates (ground rows) in that degenerate case.
+    for row in result.rows() {
+        if !row.tuple.is_ground() {
+            continue;
+        }
+        if out.contains(&row.tuple) {
+            continue;
+        }
+        if support_condition(&result, &row.tuple, &cinst.global).is_valid(&extra) {
+            out.insert(row.tuple.clone());
+        }
+    }
+    out
+}
+
+/// The possible answers `◇Q(T)`: ground tuples present under at least one
+/// valuation satisfying the global condition. Candidates range over ground
+/// rows and ground instantiations of null positions by mentioned constants;
+/// tuples whose possible witnesses all involve *fresh* constants are
+/// reported via their canonical fresh pattern only if ground (i.e. they are
+/// not enumerated — possibility of generic tuples is signalled by
+/// [`has_generic_possible_rows`]).
+pub fn possible_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
+    let result = query.eval_conditional(cinst);
+    let mut extra: BTreeSet<ConstId> = cinst.constants();
+    extra.extend(query.constants());
+    let consts: Vec<ConstId> = extra.iter().copied().collect();
+    let mut out = Relation::new(result.arity());
+    let mut candidates: BTreeSet<Tuple> = BTreeSet::new();
+    for row in result.rows() {
+        if row.tuple.is_ground() {
+            candidates.insert(row.tuple.clone());
+        } else {
+            // Instantiate null positions over the mentioned constants.
+            let null_positions: Vec<usize> = (0..row.tuple.arity())
+                .filter(|&i| row.tuple.get(i).is_null())
+                .collect();
+            let mut stack = vec![row.tuple.clone()];
+            for &i in &null_positions {
+                let mut next = Vec::new();
+                for t in stack {
+                    for &c in &consts {
+                        let mut vals: Vec<_> = t.values().to_vec();
+                        vals[i] = dx_relation::Value::Const(c);
+                        next.push(Tuple::new(vals));
+                    }
+                }
+                stack = next;
+            }
+            candidates.extend(stack.into_iter().filter(|t| t.is_ground()));
+        }
+    }
+    for t in candidates {
+        let cond = Condition::and([
+            cinst.global.clone(),
+            support_condition_raw(&result, &t),
+        ]);
+        if cond.is_satisfiable(&extra) {
+            out.insert(t);
+        }
+    }
+    out
+}
+
+/// Are there rows with nulls whose guard is satisfiable — i.e. possible
+/// answers with "generic" (fresh) values not covered by
+/// [`possible_answers_ra`]'s enumeration?
+pub fn has_generic_possible_rows(query: &RaExpr, cinst: &CInstance) -> bool {
+    let result = query.eval_conditional(cinst);
+    let mut extra: BTreeSet<ConstId> = cinst.constants();
+    extra.extend(query.constants());
+    let found = result.rows().any(|row| {
+        !row.tuple.is_ground()
+            && Condition::and([cinst.global.clone(), row.cond.clone()]).is_satisfiable(&extra)
+    });
+    found
+}
+
+/// `global → ⋁ (φᵢ ∧ t ≐ sᵢ)` — the condition under which `t` is in the
+/// result.
+fn support_condition(result: &CTable, t: &Tuple, global: &Condition) -> Condition {
+    Condition::or([
+        global.clone().negate(),
+        support_condition_raw(result, t),
+    ])
+}
+
+fn support_condition_raw(result: &CTable, t: &Tuple) -> Condition {
+    Condition::or(result.rows().map(|row| {
+        Condition::and([
+            row.cond.clone(),
+            Condition::tuples_equal(&row.tuple, t),
+        ])
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::RaPred;
+    use crate::ctable::CTuple;
+    use dx_relation::{Instance, RelSym, Value};
+
+    /// The classic naive-evaluation failure: `Q = R ∖ S` on naive tables.
+    /// R = {(a)}, S = {(⊥)}: naive evaluation keeps (a) (⊥ ≠ a as syntax),
+    /// but (a) is NOT certain — v(⊥) = a removes it. The c-table engine gets
+    /// this right.
+    #[test]
+    fn difference_defeats_naive_evaluation() {
+        let (r, s) = (RelSym::new("CeR"), RelSym::new("CeS"));
+        let mut inst = Instance::new();
+        inst.insert(r, Tuple::from_names(&["a"]));
+        inst.insert(s, Tuple::new(vec![Value::null(1)]));
+        let ct = CInstance::from_naive(&inst);
+        let q = RaExpr::Rel(r).diff(RaExpr::Rel(s));
+        // Naive evaluation (ground eval with nulls as values) says {(a)}.
+        assert_eq!(q.eval_ground(&inst).len(), 1);
+        // Certain answers: none.
+        assert!(certain_answers_ra(&q, &ct).is_empty());
+        // But (a) is possible.
+        assert!(possible_answers_ra(&q, &ct).contains(&Tuple::from_names(&["a"])));
+    }
+
+    /// Excluded middle across two rows: R = {(a ‖ ⊥=c), (a ‖ ⊥≠c)} makes
+    /// (a) certain even though neither guard is valid alone.
+    #[test]
+    fn certain_by_case_split() {
+        let r = RelSym::new("CeCase");
+        let mut ct = CInstance::new();
+        let table = ct.table_mut(r, 1);
+        table.push(CTuple::when(
+            Tuple::from_names(&["a"]),
+            Condition::eq(Value::null(1), Value::c("c")),
+        ));
+        table.push(CTuple::when(
+            Tuple::from_names(&["a"]),
+            Condition::neq(Value::null(1), Value::c("c")),
+        ));
+        let q = RaExpr::Rel(r);
+        let certain = certain_answers_ra(&q, &ct);
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Tuple::from_names(&["a"])));
+    }
+
+    /// Certain answers of a selection on a naive table: only rows whose
+    /// selected column is the right CONSTANT are certain; null rows are
+    /// possible only.
+    #[test]
+    fn selection_certain_vs_possible() {
+        let r = RelSym::new("CeSel");
+        let mut inst = Instance::new();
+        inst.insert(r, Tuple::from_names(&["a", "x"]));
+        inst.insert(
+            r,
+            Tuple::new(vec![Value::c("a"), Value::null(1)]),
+        );
+        let ct = CInstance::from_naive(&inst);
+        let q = RaExpr::Rel(r).select(RaPred::col_is(1, "x")).project([0]);
+        let certain = certain_answers_ra(&q, &ct);
+        assert_eq!(certain.len(), 1, "the ground row witnesses (a)");
+        // Possible = certain here (a is the only output value).
+        let possible = possible_answers_ra(&q, &ct);
+        assert_eq!(possible, certain);
+    }
+
+    /// The global condition participates in certainty: with global ⊥=b,
+    /// a selection keeping only b-rows makes the null row certain.
+    #[test]
+    fn global_condition_enables_certainty() {
+        let r = RelSym::new("CeGlob");
+        let mut ct = CInstance::new();
+        ct.global = Condition::eq(Value::null(1), Value::c("b"));
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::from_names(&["b"])));
+        ct.table_mut(r, 1).push(CTuple::always(Tuple::new(vec![
+            Value::null(1),
+        ])));
+        let q = RaExpr::Rel(r);
+        let certain = certain_answers_ra(&q, &ct);
+        // (b) is certain twice over; and ⊥1 = b globally, so the null row
+        // adds nothing new.
+        assert_eq!(certain.len(), 1);
+        assert!(certain.contains(&Tuple::from_names(&["b"])));
+    }
+
+    /// Generic possible rows are flagged: R = {(⊥ ‖ ⊤)} has possible
+    /// answers of every fresh value — not enumerable, but detectable.
+    #[test]
+    fn generic_possible_rows_flagged() {
+        let r = RelSym::new("CeGen");
+        let mut ct = CInstance::new();
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::null(1)])));
+        let q = RaExpr::Rel(r);
+        assert!(has_generic_possible_rows(&q, &ct));
+        assert!(certain_answers_ra(&q, &ct).is_empty());
+    }
+
+    /// Cross-validation against brute-force Rep enumeration on a query with
+    /// every operator.
+    #[test]
+    fn agrees_with_brute_force() {
+        let (r, s) = (RelSym::new("CeBf1"), RelSym::new("CeBf2"));
+        let mut inst = Instance::new();
+        inst.insert(r, Tuple::new(vec![Value::c("a"), Value::null(1)]));
+        inst.insert(r, Tuple::new(vec![Value::null(1), Value::null(2)]));
+        inst.insert(s, Tuple::new(vec![Value::c("a")]));
+        inst.insert(s, Tuple::new(vec![Value::null(2)]));
+        let ct = CInstance::from_naive(&inst);
+        // π0(σ_{0=0}(R)) ∩ S ∖ π1(R)
+        let q = RaExpr::Rel(r)
+            .project([0])
+            .intersect(RaExpr::Rel(s))
+            .diff(RaExpr::Rel(r).project([1]));
+        let fast = certain_answers_ra(&q, &ct);
+        // Brute force: intersect ground evaluations over all Rep members.
+        let mut brute: Option<BTreeSet<Tuple>> = None;
+        for (ground, _) in ct.rep_members(&BTreeSet::new()) {
+            let ans: BTreeSet<Tuple> = q.eval_ground(&ground).iter().cloned().collect();
+            brute = Some(match brute {
+                None => ans,
+                Some(prev) => prev.intersection(&ans).cloned().collect(),
+            });
+        }
+        let brute = brute.unwrap();
+        let fast_set: BTreeSet<Tuple> = fast.iter().cloned().collect();
+        // Brute-force intersection may retain fresh-constant tuples only if
+        // they appear in EVERY member — impossible for fresh values, so the
+        // sets agree on ground tuples outright.
+        assert_eq!(fast_set, brute);
+    }
+}

@@ -1,0 +1,412 @@
+//! Conditions: boolean combinations of (in)equalities over `Const ∪ Null`.
+//!
+//! Conditions guard c-table tuples. The decision procedures
+//! ([`Condition::is_valid`], [`Condition::is_satisfiable`]) are exact: by
+//! genericity, a condition with nulls `⊥₁…⊥ₖ` holds under *every* valuation
+//! iff it holds under every valuation into the constants it mentions plus
+//! `k` fresh pairwise-distinct constants (a fresh value can only make
+//! equalities false, and one fresh value per null realizes every pattern of
+//! "equal to nothing mentioned").
+
+use dx_relation::{ConstId, NullId, Valuation, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A condition over constants and nulls.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Condition {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Value equality (either side may be a null or a constant).
+    Eq(Value, Value),
+    /// Value disequality.
+    Neq(Value, Value),
+    /// Conjunction.
+    And(Vec<Condition>),
+    /// Disjunction.
+    Or(Vec<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `a = b`, constant-folded.
+    pub fn eq(a: Value, b: Value) -> Condition {
+        match (a, b) {
+            (Value::Const(x), Value::Const(y)) => {
+                if x == y {
+                    Condition::True
+                } else {
+                    Condition::False
+                }
+            }
+            (a, b) if a == b => Condition::True,
+            (a, b) => Condition::Eq(a.min(b), a.max(b)),
+        }
+    }
+
+    /// `a ≠ b`, constant-folded.
+    pub fn neq(a: Value, b: Value) -> Condition {
+        match Condition::eq(a, b) {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Eq(x, y) => Condition::Neq(x, y),
+            _ => unreachable!("eq folds to True/False/Eq"),
+        }
+    }
+
+    /// Conjunction with short-circuit folding and flattening.
+    pub fn and(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut out: Vec<Condition> = Vec::new();
+        for c in conds {
+            match c {
+                Condition::True => {}
+                Condition::False => return Condition::False,
+                Condition::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => Condition::True,
+            1 => out.pop().expect("len checked"),
+            _ => Condition::And(out),
+        }
+    }
+
+    /// Disjunction with short-circuit folding and flattening.
+    pub fn or(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut out: Vec<Condition> = Vec::new();
+        for c in conds {
+            match c {
+                Condition::False => {}
+                Condition::True => return Condition::True,
+                Condition::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => Condition::False,
+            1 => out.pop().expect("len checked"),
+            _ => Condition::Or(out),
+        }
+    }
+
+    /// Negation with folding (pushes through `Not`, `Eq`/`Neq`).
+    pub fn negate(self) -> Condition {
+        match self {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Eq(a, b) => Condition::Neq(a, b),
+            Condition::Neq(a, b) => Condition::Eq(a, b),
+            Condition::Not(inner) => *inner,
+            other => Condition::Not(Box::new(other)),
+        }
+    }
+
+    /// The condition `t̄ = s̄` position-wise (arities must agree).
+    pub fn tuples_equal(t: &dx_relation::Tuple, s: &dx_relation::Tuple) -> Condition {
+        assert_eq!(t.arity(), s.arity(), "tuple arity mismatch in condition");
+        Condition::and(t.iter().zip(s.iter()).map(|(a, b)| Condition::eq(a, b)))
+    }
+
+    /// Evaluate under a valuation that must cover all nulls of the
+    /// condition.
+    pub fn eval(&self, v: &Valuation) -> bool {
+        let resolve = |val: Value| -> Value {
+            match val {
+                Value::Null(n) => v
+                    .get(n)
+                    .map(Value::Const)
+                    .expect("valuation must cover all condition nulls"),
+                c => c,
+            }
+        };
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Eq(a, b) => resolve(*a) == resolve(*b),
+            Condition::Neq(a, b) => resolve(*a) != resolve(*b),
+            Condition::And(cs) => cs.iter().all(|c| c.eval(v)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval(v)),
+            Condition::Not(c) => !c.eval(v),
+        }
+    }
+
+    /// All nulls mentioned.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        let mut out = BTreeSet::new();
+        self.collect_nulls(&mut out);
+        out
+    }
+
+    fn collect_nulls(&self, out: &mut BTreeSet<NullId>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Eq(a, b) | Condition::Neq(a, b) => {
+                for v in [a, b] {
+                    if let Value::Null(n) = v {
+                        out.insert(*n);
+                    }
+                }
+            }
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_nulls(out);
+                }
+            }
+            Condition::Not(c) => c.collect_nulls(out),
+        }
+    }
+
+    /// All constants mentioned.
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        let mut out = BTreeSet::new();
+        self.collect_consts(&mut out);
+        out
+    }
+
+    fn collect_consts(&self, out: &mut BTreeSet<ConstId>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Eq(a, b) | Condition::Neq(a, b) => {
+                for v in [a, b] {
+                    if let Value::Const(c) = v {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_consts(out);
+                }
+            }
+            Condition::Not(c) => c.collect_consts(out),
+        }
+    }
+
+    /// Is the condition true under **every** valuation of its nulls?
+    /// Exact, by generic-palette enumeration (see module docs). Exponential
+    /// in the number of nulls of the condition (validity of equality logic
+    /// is coNP-complete).
+    pub fn is_valid(&self, extra_consts: &BTreeSet<ConstId>) -> bool {
+        !self.clone().negate().is_satisfiable(extra_consts)
+    }
+
+    /// Is the condition true under **some** valuation of its nulls? Exact,
+    /// by generic-palette enumeration.
+    pub fn is_satisfiable(&self, extra_consts: &BTreeSet<ConstId>) -> bool {
+        let nulls: Vec<NullId> = self.nulls().into_iter().collect();
+        let mut palette: Vec<ConstId> = self
+            .constants()
+            .union(extra_consts)
+            .copied()
+            .collect();
+        // One fresh constant per null realizes every "new value" pattern.
+        for (i, n) in nulls.iter().enumerate() {
+            palette.push(ConstId::new(&format!("⋄fresh{}_{}", i, n.0)));
+        }
+        if nulls.is_empty() {
+            return self.eval(&Valuation::new());
+        }
+        let mut choice = vec![0usize; nulls.len()];
+        loop {
+            let mut v = Valuation::new();
+            for (n, &c) in nulls.iter().zip(choice.iter()) {
+                v.set(*n, palette[c]);
+            }
+            if self.eval(&v) {
+                return true;
+            }
+            // Next assignment.
+            let mut i = 0;
+            loop {
+                if i == nulls.len() {
+                    return false;
+                }
+                choice[i] += 1;
+                if choice[i] < palette.len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "⊤"),
+            Condition::False => write!(f, "⊥f"),
+            Condition::Eq(a, b) => write!(f, "{a}={b}"),
+            Condition::Neq(a, b) => write!(f, "{a}≠{b}"),
+            Condition::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Condition::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Condition::Not(c) => write!(f, "¬{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> Value {
+        Value::null(i)
+    }
+    fn c(s: &str) -> Value {
+        Value::c(s)
+    }
+    fn no_extra() -> BTreeSet<ConstId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Condition::eq(c("a"), c("a")), Condition::True);
+        assert_eq!(Condition::eq(c("a"), c("b")), Condition::False);
+        assert_eq!(Condition::neq(c("a"), c("b")), Condition::True);
+        assert_eq!(Condition::eq(n(1), n(1)), Condition::True);
+        assert_eq!(
+            Condition::and([Condition::True, Condition::False]),
+            Condition::False
+        );
+        assert_eq!(
+            Condition::or([Condition::False, Condition::True]),
+            Condition::True
+        );
+        assert_eq!(Condition::and([]), Condition::True);
+        assert_eq!(Condition::or([]), Condition::False);
+    }
+
+    #[test]
+    fn eval_under_valuation() {
+        let cond = Condition::and([
+            Condition::eq(n(1), c("a")),
+            Condition::neq(n(2), c("a")),
+        ]);
+        let mut v = Valuation::new();
+        v.set(NullId(1), ConstId::new("a"));
+        v.set(NullId(2), ConstId::new("b"));
+        assert!(cond.eval(&v));
+        let mut v2 = Valuation::new();
+        v2.set(NullId(1), ConstId::new("a"));
+        v2.set(NullId(2), ConstId::new("a"));
+        assert!(!cond.eval(&v2));
+    }
+
+    #[test]
+    fn validity_of_excluded_middle() {
+        // ⊥1 = a ∨ ⊥1 ≠ a — valid.
+        let cond = Condition::or([
+            Condition::eq(n(1), c("a")),
+            Condition::neq(n(1), c("a")),
+        ]);
+        assert!(cond.is_valid(&no_extra()));
+        // ⊥1 = a alone is satisfiable but not valid.
+        let cond2 = Condition::eq(n(1), c("a"));
+        assert!(cond2.is_satisfiable(&no_extra()));
+        assert!(!cond2.is_valid(&no_extra()));
+    }
+
+    #[test]
+    fn fresh_constants_matter() {
+        // ⊥1 = a ∨ ⊥1 = b is NOT valid: ⊥1 may be a third value. The fresh
+        // palette constant is what detects this.
+        let cond = Condition::or([
+            Condition::eq(n(1), c("a")),
+            Condition::eq(n(1), c("b")),
+        ]);
+        assert!(!cond.is_valid(&no_extra()));
+    }
+
+    #[test]
+    fn transitivity_is_valid() {
+        // (⊥1=⊥2 ∧ ⊥2=⊥3) → ⊥1=⊥3.
+        let premise = Condition::and([
+            Condition::eq(n(1), n(2)),
+            Condition::eq(n(2), n(3)),
+        ]);
+        let cond = Condition::or([premise.negate(), Condition::eq(n(1), n(3))]);
+        assert!(cond.is_valid(&no_extra()));
+    }
+
+    #[test]
+    fn pigeonhole_three_nulls_two_consts_unsat() {
+        // All of ⊥1,⊥2,⊥3 pairwise distinct AND each equal to a or b — unsat.
+        let in_ab = |x: Value| {
+            Condition::or([Condition::eq(x, c("a")), Condition::eq(x, c("b"))])
+        };
+        let cond = Condition::and([
+            Condition::neq(n(1), n(2)),
+            Condition::neq(n(2), n(3)),
+            Condition::neq(n(1), n(3)),
+            in_ab(n(1)),
+            in_ab(n(2)),
+            in_ab(n(3)),
+        ]);
+        assert!(!cond.is_satisfiable(&no_extra()));
+        // Dropping one membership constraint makes it satisfiable (fresh
+        // value for ⊥3).
+        let cond2 = Condition::and([
+            Condition::neq(n(1), n(2)),
+            Condition::neq(n(2), n(3)),
+            Condition::neq(n(1), n(3)),
+            in_ab(n(1)),
+            in_ab(n(2)),
+        ]);
+        assert!(cond2.is_satisfiable(&no_extra()));
+    }
+
+    #[test]
+    fn extra_constants_extend_palette() {
+        // ⊥1 ≠ a is satisfiable even with a as the only mentioned constant
+        // (fresh), and stays so with extras.
+        let cond = Condition::neq(n(1), c("a"));
+        assert!(cond.is_satisfiable(&no_extra()));
+        let extra: BTreeSet<ConstId> = [ConstId::new("zz")].into();
+        assert!(cond.is_satisfiable(&extra));
+    }
+
+    #[test]
+    fn tuples_equal_condition() {
+        use dx_relation::Tuple;
+        let t = Tuple::new(vec![c("a"), n(1)]);
+        let s = Tuple::new(vec![c("a"), c("b")]);
+        let cond = Condition::tuples_equal(&t, &s);
+        assert_eq!(cond, Condition::Eq(c("b"), n(1)));
+        let s2 = Tuple::new(vec![c("x"), c("b")]);
+        assert_eq!(Condition::tuples_equal(&t, &s2), Condition::False);
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let cond = Condition::eq(n(1), c("a"));
+        assert_eq!(cond.clone().negate().negate(), cond);
+    }
+}

@@ -1,0 +1,353 @@
+//! Conditional tables and instances.
+//!
+//! A **c-table** is a finite set of tuples over `Const ∪ Null`, each guarded
+//! by a local [`Condition`]; a **c-instance** assigns a c-table to each
+//! relation symbol and carries one global condition. Its semantics is
+//!
+//! ```text
+//! Rep(T) = { v(T) | v a valuation with global(v) true },
+//! v(T)   = { v(t) | (t, φ) ∈ T, φ(v) true }        (relation-wise)
+//! ```
+//!
+//! Naive tables (the canonical solutions of data exchange) are the special
+//! case where every condition is `⊤`.
+
+use crate::condition::Condition;
+use dx_relation::{ConstId, Instance, NullId, RelSym, Tuple, Valuation};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A conditional tuple: values guarded by a local condition.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CTuple {
+    /// The tuple over `Const ∪ Null`.
+    pub tuple: Tuple,
+    /// The guard: the tuple is present in `v(T)` iff the guard holds
+    /// under `v`.
+    pub cond: Condition,
+}
+
+impl CTuple {
+    /// A tuple with guard `⊤`.
+    pub fn always(tuple: Tuple) -> Self {
+        CTuple {
+            tuple,
+            cond: Condition::True,
+        }
+    }
+
+    /// A guarded tuple.
+    pub fn when(tuple: Tuple, cond: Condition) -> Self {
+        CTuple { tuple, cond }
+    }
+}
+
+impl fmt::Display for CTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ‖ {}", self.tuple, self.cond)
+    }
+}
+
+/// A conditional table: a set of conditional tuples of one arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CTable {
+    arity: usize,
+    rows: Vec<CTuple>,
+}
+
+impl CTable {
+    /// An empty c-table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        CTable {
+            arity,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Append a row; `False`-guarded rows are dropped eagerly, duplicate
+    /// rows are kept (they are harmless and may carry different guards).
+    pub fn push(&mut self, row: CTuple) {
+        assert_eq!(row.tuple.arity(), self.arity, "row arity mismatch");
+        if row.cond != Condition::False {
+            self.rows.push(row);
+        }
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> impl Iterator<Item = &CTuple> + '_ {
+        self.rows.iter()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table row-free?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Apply a valuation: keep rows whose guard holds, ground their tuples.
+    pub fn apply(&self, v: &Valuation) -> Vec<Tuple> {
+        self.rows
+            .iter()
+            .filter(|r| r.cond.eval(v))
+            .map(|r| {
+                Tuple::new(
+                    r.tuple
+                        .iter()
+                        .map(|val| v.apply_value(val))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// All nulls in tuples and guards.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        let mut out = BTreeSet::new();
+        for r in &self.rows {
+            out.extend(r.tuple.nulls());
+            out.extend(r.cond.nulls());
+        }
+        out
+    }
+
+    /// All constants in tuples and guards.
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        let mut out = BTreeSet::new();
+        for r in &self.rows {
+            out.extend(r.tuple.consts());
+            out.extend(r.cond.constants());
+        }
+        out
+    }
+}
+
+/// A conditional instance: c-tables per relation plus a global condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CInstance {
+    tables: BTreeMap<RelSym, CTable>,
+    /// The global condition: valuations violating it are excluded from
+    /// `Rep`.
+    pub global: Condition,
+}
+
+impl CInstance {
+    /// An empty c-instance with global condition `⊤`.
+    pub fn new() -> Self {
+        CInstance {
+            tables: BTreeMap::new(),
+            global: Condition::True,
+        }
+    }
+
+    /// Lift a naive table (instance with nulls, e.g. `CSol(S)`): every
+    /// tuple guarded by `⊤`.
+    pub fn from_naive(inst: &Instance) -> Self {
+        let mut out = CInstance::new();
+        for (r, rel) in inst.relations() {
+            let table = out.table_mut(r, rel.arity());
+            for t in rel.iter() {
+                table.push(CTuple::always(t.clone()));
+            }
+        }
+        out
+    }
+
+    /// Declare (or fetch) a table.
+    pub fn table_mut(&mut self, rel: RelSym, arity: usize) -> &mut CTable {
+        let t = self
+            .tables
+            .entry(rel)
+            .or_insert_with(|| CTable::new(arity));
+        assert_eq!(t.arity(), arity, "arity mismatch for {rel}");
+        t
+    }
+
+    /// The table for a relation, if declared.
+    pub fn table(&self, rel: RelSym) -> Option<&CTable> {
+        self.tables.get(&rel)
+    }
+
+    /// Iterate over (relation, table) pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (RelSym, &CTable)> + '_ {
+        self.tables.iter().map(|(&r, t)| (r, t))
+    }
+
+    /// Apply a valuation (which must satisfy the global condition) to
+    /// produce a ground member of `Rep`.
+    pub fn apply(&self, v: &Valuation) -> Option<Instance> {
+        if !self.global.eval(v) {
+            return None;
+        }
+        let mut out = Instance::new();
+        for (&r, table) in &self.tables {
+            out.declare(r, table.arity());
+            for t in table.apply(v) {
+                out.insert(r, t);
+            }
+        }
+        Some(out)
+    }
+
+    /// All nulls in tables and the global condition.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        let mut out: BTreeSet<NullId> = self.tables.values().flat_map(|t| t.nulls()).collect();
+        out.extend(self.global.nulls());
+        out
+    }
+
+    /// All constants in tables and the global condition.
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        let mut out: BTreeSet<ConstId> =
+            self.tables.values().flat_map(|t| t.constants()).collect();
+        out.extend(self.global.constants());
+        out
+    }
+
+    /// Enumerate `Rep` members over a **generic palette**: the instance's
+    /// own constants, the given extras, and one fresh constant per null.
+    /// Every isomorphism type of a `Rep` member is realized (the standard
+    /// genericity argument), so universally-quantified properties of `Rep`
+    /// can be decided exactly by iterating this enumeration.
+    pub fn rep_members<'a>(
+        &'a self,
+        extra_consts: &BTreeSet<ConstId>,
+    ) -> impl Iterator<Item = (Instance, Valuation)> + 'a {
+        let nulls: Vec<NullId> = self.nulls().into_iter().collect();
+        let mut palette: Vec<ConstId> = self
+            .constants()
+            .union(extra_consts)
+            .copied()
+            .collect();
+        for (i, n) in nulls.iter().enumerate() {
+            palette.push(ConstId::new(&format!("⋄rep{}_{}", i, n.0)));
+        }
+        let total = palette
+            .len()
+            .checked_pow(nulls.len() as u32)
+            .expect("palette space too large to enumerate");
+        (0..total).filter_map(move |mut code| {
+            let mut v = Valuation::new();
+            for n in &nulls {
+                v.set(*n, palette[code % palette.len()]);
+                code /= palette.len();
+            }
+            self.apply(&v).map(|i| (i, v))
+        })
+    }
+}
+
+impl Default for CInstance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for CInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.global != Condition::True {
+            writeln!(f, "global: {}", self.global)?;
+        }
+        for (r, table) in &self.tables {
+            writeln!(f, "{r}:")?;
+            for row in table.rows() {
+                writeln!(f, "  {row}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::Value;
+
+    #[test]
+    fn naive_lift_and_apply() {
+        let r = RelSym::new("CtR");
+        let mut inst = Instance::new();
+        inst.insert(r, Tuple::new(vec![Value::c("a"), Value::null(1)]));
+        let ct = CInstance::from_naive(&inst);
+        assert_eq!(ct.table(r).unwrap().len(), 1);
+        let mut v = Valuation::new();
+        v.set(NullId(1), ConstId::new("b"));
+        let ground = ct.apply(&v).unwrap();
+        assert!(ground.contains(r, &Tuple::from_names(&["a", "b"])));
+    }
+
+    #[test]
+    fn conditions_filter_rows() {
+        let r = RelSym::new("CtR2");
+        let mut ct = CInstance::new();
+        let table = ct.table_mut(r, 1);
+        table.push(CTuple::when(
+            Tuple::new(vec![Value::c("yes")]),
+            Condition::eq(Value::null(1), Value::c("a")),
+        ));
+        table.push(CTuple::when(
+            Tuple::new(vec![Value::c("no")]),
+            Condition::neq(Value::null(1), Value::c("a")),
+        ));
+        let mut v = Valuation::new();
+        v.set(NullId(1), ConstId::new("a"));
+        let g = ct.apply(&v).unwrap();
+        assert!(g.contains(r, &Tuple::from_names(&["yes"])));
+        assert!(!g.contains(r, &Tuple::from_names(&["no"])));
+    }
+
+    #[test]
+    fn global_condition_excludes_valuations() {
+        let r = RelSym::new("CtR3");
+        let mut ct = CInstance::new();
+        ct.global = Condition::neq(Value::null(1), Value::c("banned"));
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::null(1)])));
+        let mut v = Valuation::new();
+        v.set(NullId(1), ConstId::new("banned"));
+        assert!(ct.apply(&v).is_none());
+        let mut v2 = Valuation::new();
+        v2.set(NullId(1), ConstId::new("ok"));
+        assert!(ct.apply(&v2).is_some());
+    }
+
+    #[test]
+    fn false_rows_dropped() {
+        let mut t = CTable::new(1);
+        t.push(CTuple::when(
+            Tuple::new(vec![Value::c("x")]),
+            Condition::False,
+        ));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rep_members_cover_merge_and_split() {
+        // {(⊥1), (⊥2)}: members where they merge (1 tuple) and split (2).
+        let r = RelSym::new("CtR4");
+        let mut ct = CInstance::new();
+        let table = ct.table_mut(r, 1);
+        table.push(CTuple::always(Tuple::new(vec![Value::null(1)])));
+        table.push(CTuple::always(Tuple::new(vec![Value::null(2)])));
+        let sizes: BTreeSet<usize> = ct
+            .rep_members(&BTreeSet::new())
+            .map(|(i, _)| i.tuple_count())
+            .collect();
+        assert_eq!(sizes, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = CTable::new(2);
+        t.push(CTuple::always(Tuple::new(vec![Value::c("x")])));
+    }
+}

@@ -1,0 +1,403 @@
+//! Safe-range translation of first-order queries into relational algebra.
+//!
+//! The classic active-domain translation (Codd's theorem, constructive
+//! direction): every FO formula `φ(x̄)` becomes an [`RaExpr`] computing
+//! `{ t̄ over adom : φ(t̄) }`, where *adom* is the active domain of the
+//! instance **plus the constants of the formula** — exactly the evaluation
+//! domain of `dx-logic`'s active-domain evaluator, so the two agree on
+//! every ground instance (property-tested in `tests/properties_ext.rs`).
+//!
+//! Together with the conditional evaluation of [`crate::algebra`], this
+//! closes the loop the paper's §2 points at: *arbitrary* FO/RA queries over
+//! tables with nulls get exact certain answers through c-tables, not just
+//! hand-written algebra.
+//!
+//! Shape of the translation: `translate` returns `(expr, vars)` with one
+//! output column per free variable (sorted order); connective cases align
+//! columns by padding with the adom expression:
+//!
+//! * atoms — selections (constants, repeated variables) + projection;
+//! * `∧` — natural join (product, equality selection, projection);
+//! * `∨` — pad to the union of the variable sets, then union;
+//! * `¬` — complement against `adom^k`;
+//! * `∃` — projection; `∀x φ ≡ ¬∃x ¬φ`.
+
+use crate::algebra::{RaExpr, RaPred};
+use dx_logic::{Formula, Term};
+use dx_relation::{ConstId, RelSym, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a formula could not be translated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// Skolem/function terms have no RA counterpart.
+    FunctionTerm(String),
+    /// A relation used in the formula is missing from the schema given to
+    /// [`fo_to_ra`].
+    UnknownRelation(RelSym),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::FunctionTerm(t) => {
+                write!(f, "function term {t} is not translatable to RA")
+            }
+            TranslateError::UnknownRelation(r) => write!(f, "relation {r} not in schema"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The active-domain expression for a schema: the union of all column
+/// projections of all relations, plus the formula's constants. Arity 1.
+fn adom_expr(schema: &[(RelSym, usize)], consts: &BTreeSet<ConstId>) -> RaExpr {
+    let mut parts: Vec<RaExpr> = Vec::new();
+    for &(rel, arity) in schema {
+        for col in 0..arity {
+            parts.push(RaExpr::Rel(rel).project([col]));
+        }
+    }
+    for &c in consts {
+        parts.push(RaExpr::Singleton(vec![c]));
+    }
+    parts
+        .into_iter()
+        .reduce(|a, b| a.union(b))
+        .unwrap_or(RaExpr::Empty(1))
+}
+
+/// Translate a first-order query `φ` with output variables `head` into a
+/// relational-algebra expression over `schema` (relation, arity pairs).
+///
+/// The result has one column per `head` variable, in order. Head variables
+/// that do not occur freely in `φ` range over the active domain (the
+/// active-domain semantics' reading of a "free" output column). Function
+/// terms are rejected.
+pub fn fo_to_ra(
+    formula: &Formula,
+    head: &[Var],
+    schema: &[(RelSym, usize)],
+) -> Result<RaExpr, TranslateError> {
+    // Schema sanity: every relation the formula uses must be known.
+    let known: BTreeSet<RelSym> = schema.iter().map(|&(r, _)| r).collect();
+    for (rel, _) in formula.relations() {
+        if !known.contains(&rel) {
+            return Err(TranslateError::UnknownRelation(rel));
+        }
+    }
+    let adom = adom_expr(schema, &formula.constants());
+    let (expr, vars) = translate(formula, &adom)?;
+    // Align to the head: pad missing head variables with adom columns, then
+    // project into head order.
+    let mut padded = expr;
+    let mut cols: Vec<Var> = vars;
+    for &h in head {
+        if !cols.contains(&h) {
+            padded = padded.product(adom.clone());
+            cols.push(h);
+        }
+    }
+    let order: Vec<usize> = head
+        .iter()
+        .map(|h| cols.iter().position(|c| c == h).expect("just padded"))
+        .collect();
+    Ok(padded.project(order))
+}
+
+/// Core translation: returns the expression and its output variables (the
+/// formula's free variables, sorted), one column per variable.
+fn translate(f: &Formula, adom: &RaExpr) -> Result<(RaExpr, Vec<Var>), TranslateError> {
+    match f {
+        Formula::True => Ok((RaExpr::Singleton(vec![]), vec![])),
+        Formula::False => Ok((RaExpr::Empty(0), vec![])),
+        Formula::Atom(rel, args) => translate_atom(*rel, args),
+        Formula::Eq(a, b) => translate_eq(a, b, adom),
+        Formula::And(fs) => {
+            let mut acc: Option<(RaExpr, Vec<Var>)> = None;
+            for g in fs {
+                let t = translate(g, adom)?;
+                acc = Some(match acc {
+                    None => t,
+                    Some(prev) => join(prev, t),
+                });
+            }
+            Ok(acc.unwrap_or((RaExpr::Singleton(vec![]), vec![])))
+        }
+        Formula::Or(fs) => {
+            // Pad every disjunct to the union of the variable sets.
+            let mut all_vars: BTreeSet<Var> = BTreeSet::new();
+            for g in fs {
+                all_vars.extend(g.free_vars());
+            }
+            let all_vars: Vec<Var> = all_vars.into_iter().collect();
+            let mut acc: Option<RaExpr> = None;
+            for g in fs {
+                let t = translate(g, adom)?;
+                let aligned = align(t, &all_vars, adom);
+                acc = Some(match acc {
+                    None => aligned,
+                    Some(prev) => prev.union(aligned),
+                });
+            }
+            Ok((
+                acc.unwrap_or(RaExpr::Empty(all_vars.len())),
+                all_vars,
+            ))
+        }
+        Formula::Not(inner) => {
+            let (e, vars) = translate(inner, adom)?;
+            // Complement against adom^k.
+            let mut universe = RaExpr::Singleton(vec![]);
+            for _ in 0..vars.len() {
+                universe = universe.product(adom.clone());
+            }
+            Ok((universe.diff(e), vars))
+        }
+        Formula::Exists(vs, inner) => {
+            let (e, vars) = translate(inner, adom)?;
+            let keep: Vec<usize> = vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !vs.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            let kept_vars: Vec<Var> = keep.iter().map(|&i| vars[i]).collect();
+            Ok((e.project(keep), kept_vars))
+        }
+        Formula::Forall(vs, inner) => {
+            // ∀x̄ φ ≡ ¬∃x̄ ¬φ.
+            let rewritten = Formula::not(Formula::exists(
+                vs.clone(),
+                Formula::not((**inner).clone()),
+            ));
+            translate(&rewritten, adom)
+        }
+    }
+}
+
+/// Atom translation: base relation, constant/repeated-variable selections,
+/// projection to one column per distinct variable (sorted).
+fn translate_atom(rel: RelSym, args: &[Term]) -> Result<(RaExpr, Vec<Var>), TranslateError> {
+    let mut expr = RaExpr::Rel(rel);
+    let mut preds: Vec<RaPred> = Vec::new();
+    let mut var_cols: Vec<(Var, usize)> = Vec::new();
+    for (i, t) in args.iter().enumerate() {
+        match t {
+            Term::Const(c) => preds.push(RaPred::Eq(
+                crate::algebra::ColRef::Col(i),
+                crate::algebra::ColRef::Const(*c),
+            )),
+            Term::Var(v) => {
+                if let Some(&(_, j)) = var_cols.iter().find(|(w, _)| w == v) {
+                    preds.push(RaPred::cols_eq(j, i));
+                } else {
+                    var_cols.push((*v, i));
+                }
+            }
+            Term::App(f, _) => {
+                return Err(TranslateError::FunctionTerm(format!("{f}(…)")));
+            }
+        }
+    }
+    if !preds.is_empty() {
+        expr = expr.select(RaPred::And(preds));
+    }
+    var_cols.sort_by_key(|&(v, _)| v);
+    let cols: Vec<usize> = var_cols.iter().map(|&(_, c)| c).collect();
+    let vars: Vec<Var> = var_cols.iter().map(|&(v, _)| v).collect();
+    Ok((expr.project(cols), vars))
+}
+
+/// Equality translation over the active domain.
+fn translate_eq(a: &Term, b: &Term, adom: &RaExpr) -> Result<(RaExpr, Vec<Var>), TranslateError> {
+    let reject = |t: &Term| match t {
+        Term::App(f, _) => Err(TranslateError::FunctionTerm(format!("{f}(…)"))),
+        _ => Ok(()),
+    };
+    reject(a)?;
+    reject(b)?;
+    match (a, b) {
+        (Term::Const(c1), Term::Const(c2)) => Ok(if c1 == c2 {
+            (RaExpr::Singleton(vec![]), vec![])
+        } else {
+            (RaExpr::Empty(0), vec![])
+        }),
+        (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => Ok((
+            adom.clone().select(RaPred::Eq(
+                crate::algebra::ColRef::Col(0),
+                crate::algebra::ColRef::Const(*c),
+            )),
+            vec![*v],
+        )),
+        (Term::Var(v), Term::Var(w)) => {
+            if v == w {
+                Ok((adom.clone(), vec![*v]))
+            } else {
+                let (lo, hi) = if v < w { (*v, *w) } else { (*w, *v) };
+                Ok((
+                    adom.clone()
+                        .product(adom.clone())
+                        .select(RaPred::cols_eq(0, 1)),
+                    vec![lo, hi],
+                ))
+            }
+        }
+        (Term::App(_, _), _) | (_, Term::App(_, _)) => unreachable!("rejected above"),
+    }
+}
+
+/// Natural join of two translated pieces on their shared variables; output
+/// columns = sorted union of the variable sets.
+fn join(
+    (le, lv): (RaExpr, Vec<Var>),
+    (re, rv): (RaExpr, Vec<Var>),
+) -> (RaExpr, Vec<Var>) {
+    let mut preds: Vec<RaPred> = Vec::new();
+    for (j, w) in rv.iter().enumerate() {
+        if let Some(i) = lv.iter().position(|v| v == w) {
+            preds.push(RaPred::cols_eq(i, lv.len() + j));
+        }
+    }
+    let mut expr = le.product(re);
+    if !preds.is_empty() {
+        expr = expr.select(RaPred::And(preds));
+    }
+    // Output columns: all of lv, then rv-only variables — then sort.
+    let mut cols: Vec<(Var, usize)> = lv.iter().copied().zip(0..).collect();
+    for (j, w) in rv.iter().enumerate() {
+        if !lv.contains(w) {
+            cols.push((*w, lv.len() + j));
+        }
+    }
+    cols.sort_by_key(|&(v, _)| v);
+    let proj: Vec<usize> = cols.iter().map(|&(_, c)| c).collect();
+    let vars: Vec<Var> = cols.iter().map(|&(v, _)| v).collect();
+    (expr.project(proj), vars)
+}
+
+/// Pad/reorder a translated piece to exactly `target` variables (missing
+/// ones range over adom).
+fn align((e, vars): (RaExpr, Vec<Var>), target: &[Var], adom: &RaExpr) -> RaExpr {
+    let mut expr = e;
+    let mut cols: Vec<Var> = vars;
+    for &t in target {
+        if !cols.contains(&t) {
+            expr = expr.product(adom.clone());
+            cols.push(t);
+        }
+    }
+    let order: Vec<usize> = target
+        .iter()
+        .map(|t| cols.iter().position(|c| c == t).expect("padded"))
+        .collect();
+    expr.project(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_logic::parse_formula;
+    use dx_relation::{Instance, Tuple};
+
+    fn schema() -> Vec<(RelSym, usize)> {
+        vec![(RelSym::new("TrE"), 2), (RelSym::new("TrN"), 1)]
+    }
+
+    fn instance() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("TrE", &["a", "b"]);
+        i.insert_names("TrE", &["b", "c"]);
+        i.insert_names("TrE", &["c", "c"]);
+        i.insert_names("TrN", &["a"]);
+        i.insert_names("TrN", &["d"]);
+        i
+    }
+
+    /// Helper: RA translation agrees with the active-domain FO evaluator.
+    fn check(src: &str, head: &[&str]) {
+        let f = parse_formula(src).expect("parses");
+        let head_vars: Vec<Var> = head.iter().map(|h| Var::new(h)).collect();
+        let q = dx_logic::Query::new(head_vars.clone(), f.clone());
+        let expected = q.answers(&instance());
+        let ra = fo_to_ra(&f, &head_vars, &schema()).expect("translates");
+        let got = ra.eval_ground(&instance());
+        assert_eq!(got, expected, "query `{src}` heads {head:?}");
+    }
+
+    #[test]
+    fn atoms_and_joins() {
+        check("TrE(x, y)", &["x", "y"]);
+        check("exists y. TrE(x, y) & TrE(y, z)", &["x", "z"]);
+        check("TrE(x, x)", &["x"]);
+        check("TrE(x, 'b')", &["x"]);
+    }
+
+    #[test]
+    fn negation_and_difference() {
+        check("TrN(x) & !exists y. TrE(x, y)", &["x"]);
+        check("!TrN(x) & TrE(x, x)", &["x"]);
+    }
+
+    #[test]
+    fn disjunction_with_mismatched_vars() {
+        check("TrN(x) | (exists y. TrE(x, y))", &["x"]);
+        check("TrE(x, y) | (TrN(x) & TrN(y))", &["x", "y"]);
+    }
+
+    #[test]
+    fn quantifiers() {
+        check("exists y. TrE(x, y)", &["x"]);
+        check("forall y. (TrE(x, y) -> x = y)", &["x"]);
+        check("exists x. TrE(x, x)", &[]);
+    }
+
+    #[test]
+    fn equalities() {
+        check("x = 'a' & TrN(x)", &["x"]);
+        check("x = y & TrN(x)", &["x", "y"]);
+        check("TrN(x) & x = x", &["x"]);
+    }
+
+    #[test]
+    fn head_padding() {
+        // y is not free: ranges over the active domain.
+        check("TrN(x)", &["x", "y"]);
+        // Boolean query (empty head).
+        check("exists x y. TrE(x, y)", &[]);
+    }
+
+    #[test]
+    fn constants_extend_adom() {
+        // 'zzz' is not in the instance: x = 'zzz' must still be satisfiable
+        // because formula constants join the evaluation domain.
+        check("x = 'zzz'", &["x"]);
+    }
+
+    #[test]
+    fn function_terms_rejected() {
+        let f = parse_formula("x = f(y) & TrN(x) & TrN(y)").unwrap();
+        let err = fo_to_ra(&f, &[Var::new("x"), Var::new("y")], &schema()).unwrap_err();
+        assert!(matches!(err, TranslateError::FunctionTerm(_)));
+    }
+
+    #[test]
+    fn unknown_relations_rejected() {
+        let f = parse_formula("Ghost(x)").unwrap();
+        let err = fo_to_ra(&f, &[Var::new("x")], &schema()).unwrap_err();
+        assert!(matches!(err, TranslateError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn empty_instance_and_empty_schema() {
+        let f = parse_formula("!exists x. TrN(x)").unwrap();
+        let ra = fo_to_ra(&f, &[], &schema()).unwrap();
+        let empty = Instance::new();
+        let out = ra.eval_ground(&empty);
+        // Boolean TRUE = the singleton empty tuple.
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::new(Vec::<dx_relation::Value>::new())));
+    }
+}

@@ -1,0 +1,313 @@
+//! Syntactic query classification.
+//!
+//! The paper's complexity results are parameterized by query class:
+//! conjunctive / positive queries (Proposition 3), monotone queries
+//! (Proposition 4), `∀*∃*` queries (Proposition 5), and full FO (Theorems 3
+//! and 4). Classification here is *syntactic*: a logically-positive formula
+//! written with double negation will classify as full FO. All constructors
+//! in this workspace build formulas in the shape the classifier expects.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use dx_relation::{RelSym, Var};
+
+/// Syntactic class of a query/formula, from most to least specific.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum QueryClass {
+    /// `∃*` over a conjunction of relational atoms and equalities.
+    Conjunctive,
+    /// Built from `true/false/atoms/equalities` with `∧ ∨ ∃` only
+    /// (positive relational algebra; monotone).
+    Positive,
+    /// Prenex `∃*` with a quantifier-free matrix (may contain negation).
+    Existential,
+    /// Prenex `∀*∃*` with a quantifier-free matrix (includes pure `∀*`);
+    /// the class of Proposition 5 and of most integrity constraints.
+    UniversalExistential,
+    /// Anything else.
+    FullFirstOrder,
+}
+
+impl QueryClass {
+    /// Is this class guaranteed monotone (so Proposition 3/4 applies)?
+    pub fn is_monotone(self) -> bool {
+        matches!(self, QueryClass::Conjunctive | QueryClass::Positive)
+    }
+}
+
+/// Is the formula positive (no negation, no universal quantification)?
+pub fn is_positive(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::Not(_) | Formula::Forall(_, _) => false,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_positive),
+        Formula::Exists(_, inner) => is_positive(inner),
+    }
+}
+
+/// Is the formula *syntactically monotone*: built from atoms, (in)equalities
+/// and `∧ ∨ ∃` only? Negation is admitted exclusively on equality atoms —
+/// adding tuples to an instance can only add satisfying assignments, so
+/// answers only grow. This is the query class of Proposition 4 (conjunctive
+/// queries with inequalities are its hardness witnesses).
+pub fn is_monotone(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::Not(inner) => matches!(**inner, Formula::Eq(_, _)),
+        Formula::Forall(_, _) => false,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_monotone),
+        Formula::Exists(_, inner) => is_monotone(inner),
+    }
+}
+
+/// Is the formula quantifier-free?
+pub fn is_quantifier_free(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::Not(inner) => is_quantifier_free(inner),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_quantifier_free),
+        Formula::Exists(_, _) | Formula::Forall(_, _) => false,
+    }
+}
+
+/// The flattened pieces of a conjunctive query: `∃ vars. ⋀atoms ∧ ⋀eqs`.
+#[derive(Clone, Debug, Default)]
+pub struct CqParts {
+    /// Existentially quantified variables, in binding order.
+    pub exists: Vec<Var>,
+    /// Relational atoms.
+    pub atoms: Vec<(RelSym, Vec<Term>)>,
+    /// Equality atoms.
+    pub eqs: Vec<(Term, Term)>,
+}
+
+/// Try to read the formula as a conjunctive query.
+pub fn try_cq(f: &Formula) -> Option<CqParts> {
+    let mut parts = CqParts::default();
+    let mut cur = f;
+    while let Formula::Exists(vars, inner) = cur {
+        parts.exists.extend(vars.iter().copied());
+        cur = inner;
+    }
+    collect_conjuncts(cur, &mut parts).then_some(parts)
+}
+
+fn collect_conjuncts(f: &Formula, parts: &mut CqParts) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Atom(r, args) => {
+            parts.atoms.push((*r, args.clone()));
+            true
+        }
+        Formula::Eq(a, b) => {
+            parts.eqs.push((a.clone(), b.clone()));
+            true
+        }
+        Formula::And(fs) => fs.iter().all(|g| collect_conjuncts(g, parts)),
+        _ => false,
+    }
+}
+
+/// Negation normal form: negations pushed onto atoms, `True`/`False`
+/// simplified. Quantifier structure is preserved up to the `∀/∃` swap under
+/// negation.
+pub fn nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => f.clone(),
+        Formula::And(fs) => Formula::and(fs.iter().map(nnf)),
+        Formula::Or(fs) => Formula::or(fs.iter().map(nnf)),
+        Formula::Exists(vars, inner) => Formula::exists(vars.clone(), nnf(inner)),
+        Formula::Forall(vars, inner) => Formula::forall(vars.clone(), nnf(inner)),
+        Formula::Not(inner) => nnf_neg(inner),
+    }
+}
+
+fn nnf_neg(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Atom(_, _) | Formula::Eq(_, _) => Formula::Not(Box::new(f.clone())),
+        Formula::Not(inner) => nnf(inner),
+        Formula::And(fs) => Formula::or(fs.iter().map(nnf_neg)),
+        Formula::Or(fs) => Formula::and(fs.iter().map(nnf_neg)),
+        Formula::Exists(vars, inner) => Formula::forall(vars.clone(), nnf_neg(inner)),
+        Formula::Forall(vars, inner) => Formula::exists(vars.clone(), nnf_neg(inner)),
+    }
+}
+
+/// In an NNF formula: does some path from the root pass through an `∃`
+/// before reaching a `∀`? If not, the formula can be prenexed to `∀*∃*`.
+fn forall_under_exists(f: &Formula, under_exists: bool) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => false,
+        Formula::Not(inner) => forall_under_exists(inner, under_exists),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().any(|g| forall_under_exists(g, under_exists))
+        }
+        Formula::Exists(_, inner) => forall_under_exists(inner, true),
+        Formula::Forall(_, inner) => under_exists || forall_under_exists(inner, under_exists),
+    }
+}
+
+fn contains_forall(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => false,
+        Formula::Not(inner) => contains_forall(inner),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(contains_forall),
+        Formula::Exists(_, inner) => contains_forall(inner),
+        Formula::Forall(_, _) => true,
+    }
+}
+
+/// Total number of universally quantified variables in the NNF of `f` —
+/// this is `l`, the size of the `∃`-block of `¬f`'s prenex form, used to
+/// size Proposition 5's witness space.
+pub fn universal_var_count(f: &Formula) -> usize {
+    fn count(f: &Formula) -> usize {
+        match f {
+            Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => 0,
+            Formula::Not(inner) => count(inner),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(count).sum(),
+            Formula::Exists(_, inner) => count(inner),
+            Formula::Forall(vars, inner) => vars.len() + count(inner),
+        }
+    }
+    count(&nnf(f))
+}
+
+/// Is the formula **existential**: no universal quantifier in negation
+/// normal form (so `!exists` counts as universal, `!R(x)` does not)? The
+/// class behind the paper's §6 remark that compositions with
+/// existential-`Δ` bodies stay in NP for every annotation.
+pub fn is_existential(f: &Formula) -> bool {
+    !contains_forall(&nnf(f))
+}
+
+/// Classify a formula into the most specific [`QueryClass`].
+///
+/// The `∀*∃*`/`∃*` classes are detected on the negation normal form: a
+/// formula whose NNF never nests a `∀` inside an `∃` prenexes to `∀*∃*`
+/// (so e.g. `∀x̄ (φ → ∃ȳ ψ)` with quantifier-free `φ, ψ` qualifies, as the
+/// paper intends for integrity constraints).
+pub fn classify(f: &Formula) -> QueryClass {
+    if try_cq(f).is_some() {
+        return QueryClass::Conjunctive;
+    }
+    if is_positive(f) {
+        return QueryClass::Positive;
+    }
+    let n = nnf(f);
+    if !contains_forall(&n) {
+        return QueryClass::Existential;
+    }
+    if !forall_under_exists(&n, false) {
+        return QueryClass::UniversalExistential;
+    }
+    QueryClass::FullFirstOrder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(r: &str, vs: &[&str]) -> Formula {
+        Formula::atom(r, vs.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn cq_detection() {
+        // exists y. R(x,y) & S(y) & y = 'c'
+        let f = Formula::exists(
+            vec![v("y")],
+            Formula::and([
+                atom("R", &["x", "y"]),
+                atom("S", &["y"]),
+                Formula::eq(Term::var("y"), Term::cst("c")),
+            ]),
+        );
+        let parts = try_cq(&f).expect("is a CQ");
+        assert_eq!(parts.exists, vec![v("y")]);
+        assert_eq!(parts.atoms.len(), 2);
+        assert_eq!(parts.eqs.len(), 1);
+        assert_eq!(classify(&f), QueryClass::Conjunctive);
+    }
+
+    #[test]
+    fn union_of_cqs_is_positive() {
+        let f = Formula::or([atom("R", &["x"]), atom("S", &["x"])]);
+        assert!(try_cq(&f).is_none());
+        assert_eq!(classify(&f), QueryClass::Positive);
+        assert!(classify(&f).is_monotone());
+    }
+
+    #[test]
+    fn cq_with_inequality_is_existential_but_monotone() {
+        // exists y. R(x,y) & x != y — Prop 4's class.
+        let f = Formula::exists(
+            vec![v("y")],
+            Formula::and([
+                atom("R", &["x", "y"]),
+                Formula::neq(Term::var("x"), Term::var("y")),
+            ]),
+        );
+        assert_eq!(classify(&f), QueryClass::Existential);
+        assert!(!classify(&f).is_monotone());
+        assert!(is_monotone(&f), "CQ with inequalities is monotone");
+        // But negation of a relational atom is not monotone.
+        let g = Formula::and([atom("R", &["x", "y"]), Formula::not(atom("S", &["x"]))]);
+        assert!(!is_monotone(&g));
+    }
+
+    #[test]
+    fn forall_exists_detection() {
+        // forall x. exists y. R(x,y) -> S(y): ∀*∃* with QF matrix.
+        let f = Formula::forall(
+            vec![v("x")],
+            Formula::exists(
+                vec![v("y")],
+                Formula::implies(atom("R", &["x", "y"]), atom("S", &["y"])),
+            ),
+        );
+        assert_eq!(classify(&f), QueryClass::UniversalExistential);
+    }
+
+    #[test]
+    fn pure_universal_is_universal_existential() {
+        let f = Formula::forall(vec![v("x")], Formula::not(atom("Bad", &["x"])));
+        assert_eq!(classify(&f), QueryClass::UniversalExistential);
+    }
+
+    #[test]
+    fn exists_forall_is_full_fo() {
+        // ∃x ∀y: not in ∀*∃*.
+        let f = Formula::exists(
+            vec![v("x")],
+            Formula::forall(vec![v("y")], atom("R", &["x", "y"])),
+        );
+        assert_eq!(classify(&f), QueryClass::FullFirstOrder);
+    }
+
+    #[test]
+    fn quantifier_inside_matrix_is_full_fo() {
+        // forall x. (R(x) -> exists y. forall z. S(y,z)) — matrix not QF after prefix.
+        let f = Formula::forall(
+            vec![v("x")],
+            Formula::implies(
+                atom("R", &["x"]),
+                Formula::exists(vec![v("y")], Formula::forall(vec![v("z")], atom("S", &["y", "z"]))),
+            ),
+        );
+        assert_eq!(classify(&f), QueryClass::FullFirstOrder);
+    }
+
+    #[test]
+    fn negation_breaks_positive() {
+        let f = Formula::and([atom("R", &["x"]), Formula::not(atom("S", &["x"]))]);
+        assert!(!is_positive(&f));
+        assert_eq!(classify(&f), QueryClass::Existential); // QF matrix, no prefix
+    }
+}

@@ -1,0 +1,965 @@
+//! Stratified Datalog — a PTIME query language that properly contains
+//! positive FO.
+//!
+//! The paper's §6 notes that the first trichotomy theorem (Theorem 3) "is
+//! true for any query language of PTIME data complexity that contains FO".
+//! This module supplies such a language beyond FO itself: **Datalog with
+//! stratified negation and (in)equality constraints**, evaluated by the
+//! standard semi-naive fixpoint per stratum. Its data complexity is PTIME;
+//! recursion (e.g. transitive closure) is not FO-expressible, so the
+//! certain-answer engines of `dx-core` genuinely exercise the extension.
+//!
+//! Evaluation treats nulls as atomic values — exactly the paper's naive
+//! semantics (§2). For **negation-free, inequality-free** programs the query
+//! is preserved under homomorphisms of instances, so naive evaluation of the
+//! program on the canonical solution computes certain answers for every
+//! annotation (the monotone generalization of Proposition 3); the program
+//! classification methods ([`DatalogProgram::is_hom_preserved`],
+//! [`DatalogProgram::is_monotone`]) let callers pick the right regime.
+//!
+//! Syntax (reusing the workspace rule parser): rules separated by `;`,
+//! bodies are conjunctions of possibly-negated atoms and (in)equalities:
+//!
+//! ```text
+//! Path(x, y)  <- DlEdge(x, y);
+//! Path(x, z)  <- Path(x, y) & DlEdge(y, z);
+//! Isolated(x) <- DlNode(x) & !exists y. DlEdge(x, y)   # NOT Datalog: rejected
+//! ```
+//!
+//! Negation applies to whole atoms only (`!DlEdge(x, y)`); quantifiers,
+//! disjunction and function terms in rules are rejected with a
+//! [`DatalogError`].
+
+use crate::formula::Formula;
+use crate::parser::{self, ParseError};
+use crate::term::Term;
+use dx_relation::{ConstId, Instance, RelSym, Relation, Tuple, Value, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An argument of a Datalog atom: a variable or a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DlArg {
+    /// A Datalog variable.
+    Var(Var),
+    /// An interned constant.
+    Const(ConstId),
+}
+
+impl DlArg {
+    fn as_var(&self) -> Option<Var> {
+        match self {
+            DlArg::Var(v) => Some(*v),
+            DlArg::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for DlArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlArg::Var(v) => write!(f, "{v}"),
+            DlArg::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A Datalog atom `R(a₁, …, aₙ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlAtom {
+    /// The relation symbol.
+    pub rel: RelSym,
+    /// Arguments (variables or constants).
+    pub args: Vec<DlArg>,
+}
+
+impl DlAtom {
+    /// Build an atom from a relation name and arguments.
+    pub fn new(rel: impl Into<RelSym>, args: impl Into<Vec<DlArg>>) -> Self {
+        DlAtom {
+            rel: rel.into(),
+            args: args.into(),
+        }
+    }
+
+    fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|a| a.as_var())
+    }
+}
+
+impl fmt::Display for DlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An (in)equality constraint between two arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlComparison {
+    /// Left argument.
+    pub left: DlArg,
+    /// Right argument.
+    pub right: DlArg,
+    /// `true` for `=`, `false` for `≠`.
+    pub equal: bool,
+}
+
+/// A Datalog rule `head :- pos₁, …, ¬neg₁, …, comparisons`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlRule {
+    /// The head atom (its relation is an IDB predicate).
+    pub head: DlAtom,
+    /// Positive body atoms.
+    pub pos: Vec<DlAtom>,
+    /// Negated body atoms (must be over a strictly lower stratum).
+    pub neg: Vec<DlAtom>,
+    /// Equality / inequality constraints.
+    pub comparisons: Vec<DlComparison>,
+}
+
+impl DlRule {
+    /// Safety check: every variable of the head, of a negated atom, and of a
+    /// comparison must occur in some positive body atom.
+    fn check_safety(&self) -> Result<(), DatalogError> {
+        let bound: BTreeSet<Var> = self.pos.iter().flat_map(|a| a.vars()).collect();
+        let mut demand: Vec<(Var, &'static str)> = Vec::new();
+        demand.extend(self.head.vars().map(|v| (v, "head")));
+        for a in &self.neg {
+            demand.extend(a.vars().map(|v| (v, "negated atom")));
+        }
+        for c in &self.comparisons {
+            for a in [&c.left, &c.right] {
+                if let Some(v) = a.as_var() {
+                    demand.push((v, "comparison"));
+                }
+            }
+        }
+        for (v, site) in demand {
+            if !bound.contains(&v) {
+                return Err(DatalogError::Unsafe {
+                    rule: self.to_string(),
+                    var: v,
+                    site,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DlRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- ", self.head)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, " & ")?;
+            }
+            first = false;
+            Ok(())
+        };
+        for a in &self.pos {
+            sep(f)?;
+            write!(f, "{a}")?;
+        }
+        for a in &self.neg {
+            sep(f)?;
+            write!(f, "!{a}")?;
+        }
+        for c in &self.comparisons {
+            sep(f)?;
+            write!(f, "{} {} {}", c.left, if c.equal { "=" } else { "!=" }, c.right)?;
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors building or parsing a Datalog program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// The rule syntax parsed but is not Datalog (quantifier, disjunction,
+    /// function term, nested negation, …).
+    NotDatalog {
+        /// Which construct was rejected.
+        what: String,
+    },
+    /// A parse error from the shared rule parser.
+    Parse(ParseError),
+    /// An unsafe rule: a variable outside every positive atom.
+    Unsafe {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// The unbound variable.
+        var: Var,
+        /// Where it was demanded.
+        site: &'static str,
+    },
+    /// Negation through recursion: no stratification exists.
+    NotStratifiable {
+        /// A predicate on a negative cycle.
+        witness: RelSym,
+    },
+    /// Two rules (or a rule and the EDB) disagree on a predicate's arity.
+    ArityMismatch {
+        /// The predicate.
+        rel: RelSym,
+        /// First arity seen.
+        expected: usize,
+        /// Conflicting arity.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::NotDatalog { what } => write!(f, "not a Datalog construct: {what}"),
+            DatalogError::Parse(e) => write!(f, "{e}"),
+            DatalogError::Unsafe { rule, var, site } => {
+                write!(f, "unsafe rule `{rule}`: variable {var} in {site} is not bound by a positive atom")
+            }
+            DatalogError::NotStratifiable { witness } => {
+                write!(f, "program is not stratifiable: {witness} depends negatively on itself")
+            }
+            DatalogError::ArityMismatch { rel, expected, got } => {
+                write!(f, "arity mismatch for {rel}: {expected} vs {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<ParseError> for DatalogError {
+    fn from(e: ParseError) -> Self {
+        DatalogError::Parse(e)
+    }
+}
+
+/// A stratified Datalog program.
+#[derive(Clone, Debug)]
+pub struct DatalogProgram {
+    /// The rules, in source order.
+    pub rules: Vec<DlRule>,
+    /// IDB predicates (those defined by rule heads) with their arities.
+    idb: BTreeMap<RelSym, usize>,
+    /// The stratum number of each IDB predicate (0-based).
+    strata: BTreeMap<RelSym, usize>,
+    /// Number of strata.
+    stratum_count: usize,
+}
+
+impl DatalogProgram {
+    /// Build (and validate) a program from rules: checks arities, safety,
+    /// and stratifiability.
+    pub fn new(rules: Vec<DlRule>) -> Result<Self, DatalogError> {
+        // Arity table across heads and bodies.
+        let mut arity: BTreeMap<RelSym, usize> = BTreeMap::new();
+        let mut check = |rel: RelSym, n: usize| -> Result<(), DatalogError> {
+            match arity.get(&rel) {
+                Some(&m) if m != n => Err(DatalogError::ArityMismatch {
+                    rel,
+                    expected: m,
+                    got: n,
+                }),
+                _ => {
+                    arity.insert(rel, n);
+                    Ok(())
+                }
+            }
+        };
+        for r in &rules {
+            check(r.head.rel, r.head.args.len())?;
+            for a in r.pos.iter().chain(&r.neg) {
+                check(a.rel, a.args.len())?;
+            }
+            r.check_safety()?;
+        }
+        let idb: BTreeMap<RelSym, usize> = rules
+            .iter()
+            .map(|r| (r.head.rel, r.head.args.len()))
+            .collect();
+
+        // Stratification by fixpoint iteration: stratum(p) ≥ stratum(q) for
+        // positive q in a p-rule; stratum(p) ≥ stratum(q)+1 for negated q.
+        // Only IDB predicates matter (EDB is stratum 0 and never negated
+        // "through" anything).
+        let mut strata: BTreeMap<RelSym, usize> = idb.keys().map(|&r| (r, 0)).collect();
+        let bound = idb.len().max(1);
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed {
+            changed = false;
+            rounds += 1;
+            for r in &rules {
+                let head_rel = r.head.rel;
+                let mut need = strata[&head_rel];
+                for a in &r.pos {
+                    if let Some(&s) = strata.get(&a.rel) {
+                        need = need.max(s);
+                    }
+                }
+                for a in &r.neg {
+                    if let Some(&s) = strata.get(&a.rel) {
+                        need = need.max(s + 1);
+                    }
+                }
+                if need > strata[&head_rel] {
+                    if need >= bound + 1 {
+                        return Err(DatalogError::NotStratifiable { witness: head_rel });
+                    }
+                    strata.insert(head_rel, need);
+                    changed = true;
+                }
+            }
+            if rounds > bound * bound + 2 {
+                // Defensive: the per-update bound above already catches
+                // negative cycles; this cannot fire.
+                let witness = *idb.keys().next().expect("non-empty idb");
+                return Err(DatalogError::NotStratifiable { witness });
+            }
+        }
+        let stratum_count = strata.values().copied().max().map_or(0, |m| m + 1);
+        Ok(DatalogProgram {
+            rules,
+            idb,
+            strata,
+            stratum_count,
+        })
+    }
+
+    /// Parse a program in the workspace rule syntax (rules separated by
+    /// `;`). Head annotations are not part of Datalog and are rejected, as
+    /// are quantifiers, disjunction and function terms.
+    pub fn parse(src: &str) -> Result<Self, DatalogError> {
+        let parsed = parser::parse_rules(src)?;
+        let mut rules = Vec::new();
+        for pr in parsed {
+            if pr.head.len() != 1 {
+                return Err(DatalogError::NotDatalog {
+                    what: format!("{}-atom rule head (Datalog heads are single atoms)", pr.head.len()),
+                });
+            }
+            let head_atom = &pr.head[0];
+            let head = DlAtom {
+                rel: head_atom.rel,
+                args: head_atom
+                    .args
+                    .iter()
+                    .map(term_to_arg)
+                    .collect::<Result<_, _>>()?,
+            };
+            let mut rule = DlRule {
+                head,
+                pos: Vec::new(),
+                neg: Vec::new(),
+                comparisons: Vec::new(),
+            };
+            flatten_body(&pr.body, &mut rule)?;
+            rules.push(rule);
+        }
+        Self::new(rules)
+    }
+
+    /// The IDB predicates (defined by heads), with arities.
+    pub fn idb(&self) -> impl Iterator<Item = (RelSym, usize)> + '_ {
+        self.idb.iter().map(|(&r, &a)| (r, a))
+    }
+
+    /// The EDB predicates (mentioned in bodies, never in heads), with
+    /// arities.
+    pub fn edb(&self) -> BTreeMap<RelSym, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.rules {
+            for a in r.pos.iter().chain(&r.neg) {
+                if !self.idb.contains_key(&a.rel) {
+                    out.insert(a.rel, a.args.len());
+                }
+            }
+        }
+        out
+    }
+
+    /// Stratum of an IDB predicate.
+    pub fn stratum_of(&self, rel: RelSym) -> Option<usize> {
+        self.strata.get(&rel).copied()
+    }
+
+    /// Number of strata (0 for the empty program).
+    pub fn stratum_count(&self) -> usize {
+        self.stratum_count
+    }
+
+    /// All constants mentioned in rules (heads, bodies, comparisons).
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            let atoms = std::iter::once(&r.head).chain(&r.pos).chain(&r.neg);
+            for a in atoms {
+                for arg in &a.args {
+                    if let DlArg::Const(c) = arg {
+                        out.insert(*c);
+                    }
+                }
+            }
+            for c in &r.comparisons {
+                for arg in [&c.left, &c.right] {
+                    if let DlArg::Const(cc) = arg {
+                        out.insert(*cc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does any rule use negation?
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(|r| !r.neg.is_empty())
+    }
+
+    /// Does any rule use an inequality constraint?
+    pub fn has_neq(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.comparisons.iter().any(|c| !c.equal))
+    }
+
+    /// Is every query defined by this program preserved under homomorphisms
+    /// of instances (negation-free and inequality-free)? If so, naive
+    /// evaluation on the canonical solution computes certain answers for
+    /// every annotation (the monotone Proposition 3).
+    pub fn is_hom_preserved(&self) -> bool {
+        !self.has_negation() && !self.has_neq()
+    }
+
+    /// Is the program monotone (negation-free — inequalities are fine:
+    /// adding tuples never removes derivations)?
+    pub fn is_monotone(&self) -> bool {
+        !self.has_negation()
+    }
+
+    /// Evaluate the program on an EDB instance by the semi-naive fixpoint,
+    /// stratum by stratum. Returns the full instance: the EDB plus all
+    /// derived IDB relations (IDB relations are always present, possibly
+    /// empty). Nulls are treated as atomic values (naive semantics).
+    pub fn eval(&self, edb: &Instance) -> Instance {
+        let mut db = edb.clone();
+        for (&rel, &arity) in &self.idb {
+            db.declare(rel, arity);
+        }
+        for stratum in 0..self.stratum_count {
+            let stratum_rules: Vec<&DlRule> = self
+                .rules
+                .iter()
+                .filter(|r| self.strata[&r.head.rel] == stratum)
+                .collect();
+            let recursive: BTreeSet<RelSym> = stratum_rules
+                .iter()
+                .map(|r| r.head.rel)
+                .collect();
+            // Round 0: full evaluation of every rule.
+            let mut delta: BTreeMap<RelSym, Relation> = BTreeMap::new();
+            for rule in &stratum_rules {
+                for t in eval_rule(rule, &db, None, &recursive) {
+                    if db.insert(rule.head.rel, t.clone()) {
+                        delta
+                            .entry(rule.head.rel)
+                            .or_insert_with(|| Relation::new(t.arity()))
+                            .insert(t);
+                    }
+                }
+            }
+            // Semi-naive rounds: at least one recursive positive atom must
+            // match the previous round's delta.
+            while !delta.is_empty() {
+                let mut next: BTreeMap<RelSym, Relation> = BTreeMap::new();
+                for rule in &stratum_rules {
+                    for (i, atom) in rule.pos.iter().enumerate() {
+                        let Some(d) = delta.get(&atom.rel) else {
+                            continue;
+                        };
+                        for t in eval_rule(rule, &db, Some((i, d)), &recursive) {
+                            if db.insert(rule.head.rel, t.clone()) {
+                                next.entry(rule.head.rel)
+                                    .or_insert_with(|| Relation::new(t.arity()))
+                                    .insert(t);
+                            }
+                        }
+                    }
+                }
+                delta = next;
+            }
+        }
+        db
+    }
+}
+
+/// Evaluate one rule against `db`. If `delta_at = Some((i, d))`, positive
+/// atom `i` is matched against `d` instead of the full relation (the
+/// semi-naive restriction). Returns the derived head tuples.
+fn eval_rule(
+    rule: &DlRule,
+    db: &Instance,
+    delta_at: Option<(usize, &Relation)>,
+    _recursive: &BTreeSet<RelSym>,
+) -> Vec<Tuple> {
+    // Join order: the delta atom first (most selective), then remaining
+    // positive atoms greedily by number of already-bound arguments.
+    let mut order: Vec<usize> = (0..rule.pos.len()).collect();
+    if let Some((i, _)) = delta_at {
+        order.retain(|&j| j != i);
+        order.insert(0, i);
+    }
+    let mut out = Vec::new();
+    let mut env: BTreeMap<Var, Value> = BTreeMap::new();
+    join_atoms(rule, db, delta_at, &order, 0, &mut env, &mut out);
+    out
+}
+
+fn join_atoms(
+    rule: &DlRule,
+    db: &Instance,
+    delta_at: Option<(usize, &Relation)>,
+    order: &[usize],
+    depth: usize,
+    env: &mut BTreeMap<Var, Value>,
+    out: &mut Vec<Tuple>,
+) {
+    if depth == order.len() {
+        // All positive atoms matched: check comparisons, then negation,
+        // then emit.
+        for c in &rule.comparisons {
+            let l = arg_value(&c.left, env);
+            let r = arg_value(&c.right, env);
+            if (l == r) != c.equal {
+                return;
+            }
+        }
+        for a in &rule.neg {
+            let t = Tuple::new(
+                a.args
+                    .iter()
+                    .map(|arg| arg_value(arg, env))
+                    .collect::<Vec<_>>(),
+            );
+            if db.contains(a.rel, &t) {
+                return;
+            }
+        }
+        out.push(Tuple::new(
+            rule.head
+                .args
+                .iter()
+                .map(|arg| arg_value(arg, env))
+                .collect::<Vec<_>>(),
+        ));
+        return;
+    }
+    let idx = order[depth];
+    let atom = &rule.pos[idx];
+    let scan_delta;
+    let scan_full;
+    let tuples: &mut dyn Iterator<Item = &Tuple> = match delta_at {
+        Some((i, d)) if i == idx => {
+            scan_delta = d.iter();
+            &mut { scan_delta }
+        }
+        _ => {
+            scan_full = db.tuples(atom.rel);
+            &mut { scan_full }
+        }
+    };
+    'tuples: for t in tuples {
+        if t.arity() != atom.args.len() {
+            continue;
+        }
+        let mut bound: Vec<Var> = Vec::new();
+        for (arg, val) in atom.args.iter().zip(t.iter()) {
+            match arg {
+                DlArg::Const(c) => {
+                    if Value::Const(*c) != val {
+                        for v in bound.drain(..) {
+                            env.remove(&v);
+                        }
+                        continue 'tuples;
+                    }
+                }
+                DlArg::Var(v) => match env.get(v) {
+                    Some(&existing) if existing != val => {
+                        for v in bound.drain(..) {
+                            env.remove(&v);
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        env.insert(*v, val);
+                        bound.push(*v);
+                    }
+                },
+            }
+        }
+        join_atoms(rule, db, delta_at, order, depth + 1, env, out);
+        for v in bound {
+            env.remove(&v);
+        }
+    }
+}
+
+fn arg_value(arg: &DlArg, env: &BTreeMap<Var, Value>) -> Value {
+    match arg {
+        DlArg::Const(c) => Value::Const(*c),
+        DlArg::Var(v) => *env.get(v).expect("safety guarantees bound variable"),
+    }
+}
+
+fn term_to_arg(t: &Term) -> Result<DlArg, DatalogError> {
+    match t {
+        Term::Var(v) => Ok(DlArg::Var(*v)),
+        Term::Const(c) => Ok(DlArg::Const(*c)),
+        Term::App(f, _) => Err(DatalogError::NotDatalog {
+            what: format!("function term {f}(…)"),
+        }),
+    }
+}
+
+/// Flatten a parsed body formula into Datalog literals; rejects anything
+/// beyond conjunctions of (possibly negated) atoms and (in)equalities.
+fn flatten_body(f: &Formula, rule: &mut DlRule) -> Result<(), DatalogError> {
+    match f {
+        Formula::True => Ok(()),
+        Formula::And(fs) => {
+            for g in fs {
+                flatten_body(g, rule)?;
+            }
+            Ok(())
+        }
+        Formula::Atom(rel, args) => {
+            rule.pos.push(DlAtom {
+                rel: *rel,
+                args: args.iter().map(term_to_arg).collect::<Result<_, _>>()?,
+            });
+            Ok(())
+        }
+        Formula::Eq(l, r) => {
+            rule.comparisons.push(DlComparison {
+                left: term_to_arg(l)?,
+                right: term_to_arg(r)?,
+                equal: true,
+            });
+            Ok(())
+        }
+        Formula::Not(inner) => match &**inner {
+            Formula::Atom(rel, args) => {
+                rule.neg.push(DlAtom {
+                    rel: *rel,
+                    args: args.iter().map(term_to_arg).collect::<Result<_, _>>()?,
+                });
+                Ok(())
+            }
+            Formula::Eq(l, r) => {
+                rule.comparisons.push(DlComparison {
+                    left: term_to_arg(l)?,
+                    right: term_to_arg(r)?,
+                    equal: false,
+                });
+                Ok(())
+            }
+            other => Err(DatalogError::NotDatalog {
+                what: format!("negation of a non-atom: !({other})"),
+            }),
+        },
+        other => Err(DatalogError::NotDatalog {
+            what: format!("{other}"),
+        }),
+    }
+}
+
+/// A Datalog **query**: a program plus a designated output (IDB) predicate.
+#[derive(Clone, Debug)]
+pub struct DatalogQuery {
+    /// The program.
+    pub program: DatalogProgram,
+    /// The output predicate.
+    pub output: RelSym,
+    arity: usize,
+}
+
+impl DatalogQuery {
+    /// Bundle a program with its output predicate; the predicate must be
+    /// IDB.
+    pub fn new(program: DatalogProgram, output: impl Into<RelSym>) -> Result<Self, DatalogError> {
+        let output = output.into();
+        let Some(&arity) = program.idb.get(&output) else {
+            return Err(DatalogError::NotDatalog {
+                what: format!("output predicate {output} is not defined by any rule"),
+            });
+        };
+        Ok(DatalogQuery {
+            program,
+            output,
+            arity,
+        })
+    }
+
+    /// Parse a program and designate the output predicate in one step.
+    pub fn parse(output: &str, src: &str) -> Result<Self, DatalogError> {
+        Self::new(DatalogProgram::parse(src)?, output)
+    }
+
+    /// The output arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Evaluate on an instance (nulls as atomic values) and return the
+    /// output relation.
+    pub fn answers(&self, instance: &Instance) -> Relation {
+        let db = self.program.eval(instance);
+        db.relation(self.output)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(self.arity))
+    }
+
+    /// Naive certain answers: evaluate, then drop tuples containing nulls
+    /// (Imieliński–Lipski). Exact certain answers on naive tables when
+    /// [`DatalogProgram::is_hom_preserved`] holds.
+    pub fn naive_certain_answers(&self, instance: &Instance) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for t in self.answers(instance).iter() {
+            if t.is_ground() {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Does the tuple belong to the answers on this instance?
+    pub fn holds_on(&self, instance: &Instance, t: &Tuple) -> bool {
+        self.answers(instance).contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_instance(edges: &[(&str, &str)]) -> Instance {
+        let mut s = Instance::new();
+        for (a, b) in edges {
+            s.insert_names("DlEdge", &[a, b]);
+        }
+        s
+    }
+
+    const TC: &str = "DlPath(x, y) <- DlEdge(x, y); DlPath(x, z) <- DlPath(x, y) & DlEdge(y, z)";
+
+    #[test]
+    fn transitive_closure_chain() {
+        let q = DatalogQuery::parse("DlPath", TC).unwrap();
+        let s = edge_instance(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let ans = q.answers(&s);
+        assert_eq!(ans.len(), 6, "3 edges + 2 two-hop + 1 three-hop");
+        assert!(ans.contains(&Tuple::from_names(&["a", "d"])));
+        assert!(!ans.contains(&Tuple::from_names(&["d", "a"])));
+    }
+
+    #[test]
+    fn transitive_closure_cycle() {
+        let q = DatalogQuery::parse("DlPath", TC).unwrap();
+        let s = edge_instance(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let ans = q.answers(&s);
+        assert_eq!(ans.len(), 9, "complete closure on a 3-cycle");
+    }
+
+    #[test]
+    fn nulls_are_atomic_values() {
+        let q = DatalogQuery::parse("DlPath", TC).unwrap();
+        let mut s = Instance::new();
+        let e = RelSym::new("DlEdge");
+        s.insert(e, Tuple::new(vec![Value::c("a"), Value::null(1)]));
+        s.insert(e, Tuple::new(vec![Value::null(1), Value::c("b")]));
+        let ans = q.answers(&s);
+        // Path goes through the null: (a,⊥), (⊥,b), (a,b).
+        assert_eq!(ans.len(), 3);
+        assert!(ans.contains(&Tuple::from_names(&["a", "b"])));
+        // Certain answers drop the null-containing pairs.
+        let certain = q.naive_certain_answers(&s);
+        assert_eq!(certain.len(), 1);
+    }
+
+    #[test]
+    fn stratified_negation_unreachable() {
+        let prog = "DlReach(x) <- DlStart(x); \
+                    DlReach(y) <- DlReach(x) & DlEdge(x, y); \
+                    DlDead(x) <- DlNode(x) & !DlReach(x)";
+        let q = DatalogQuery::parse("DlDead", prog).unwrap();
+        assert_eq!(q.program.stratum_count(), 2);
+        assert_eq!(q.program.stratum_of(RelSym::new("DlReach")), Some(0));
+        assert_eq!(q.program.stratum_of(RelSym::new("DlDead")), Some(1));
+        let mut s = edge_instance(&[("a", "b"), ("c", "c")]);
+        for n in ["a", "b", "c"] {
+            s.insert_names("DlNode", &[n]);
+        }
+        s.insert_names("DlStart", &["a"]);
+        let ans = q.answers(&s);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&Tuple::from_names(&["c"])));
+        assert!(q.program.has_negation());
+        assert!(!q.program.is_hom_preserved());
+        assert!(!q.program.is_monotone());
+    }
+
+    #[test]
+    fn negation_through_recursion_rejected() {
+        // The win-move game: win(x) <- move(x,y) & !win(y) — not stratifiable.
+        let err = DatalogProgram::parse("DlWin(x) <- DlMove(x, y) & !DlWin(y)").unwrap_err();
+        assert!(matches!(err, DatalogError::NotStratifiable { witness } if witness == RelSym::new("DlWin")));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_stratum() {
+        let prog = DatalogProgram::parse(
+            "DlEven(x) <- DlZero(x); \
+             DlEven(y) <- DlOdd(x) & DlSucc(x, y); \
+             DlOdd(y) <- DlEven(x) & DlSucc(x, y)",
+        )
+        .unwrap();
+        assert_eq!(prog.stratum_count(), 1);
+        let mut s = Instance::new();
+        s.insert_names("DlZero", &["0"]);
+        for (a, b) in [("0", "1"), ("1", "2"), ("2", "3"), ("3", "4")] {
+            s.insert_names("DlSucc", &[a, b]);
+        }
+        let db = prog.eval(&s);
+        let even: Vec<_> = db.tuples(RelSym::new("DlEven")).cloned().collect();
+        assert_eq!(even.len(), 3, "0, 2, 4");
+        let odd: Vec<_> = db.tuples(RelSym::new("DlOdd")).cloned().collect();
+        assert_eq!(odd.len(), 2, "1, 3");
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        // Head variable not bound.
+        let e = DatalogProgram::parse("DlP(x, y) <- DlQ(x)").unwrap_err();
+        assert!(matches!(e, DatalogError::Unsafe { site: "head", .. }));
+        // Negated-atom variable not bound.
+        let e = DatalogProgram::parse("DlP(x) <- DlQ(x) & !DlR(y)").unwrap_err();
+        assert!(matches!(e, DatalogError::Unsafe { site: "negated atom", .. }));
+        // Comparison variable not bound.
+        let e = DatalogProgram::parse("DlP(x) <- DlQ(x) & y != x").unwrap_err();
+        assert!(matches!(e, DatalogError::Unsafe { site: "comparison", .. }));
+    }
+
+    #[test]
+    fn non_datalog_constructs_rejected() {
+        for src in [
+            "DlP(x) <- DlQ(x) | DlR(x)",
+            "DlP(x) <- DlQ(x) & exists y. DlR(x, y)",
+            "DlP(x) <- !(DlQ(x) & DlR(x))",
+            "DlP(f(x)) <- DlQ(x)",
+        ] {
+            let e = DatalogProgram::parse(src).unwrap_err();
+            assert!(
+                matches!(e, DatalogError::NotDatalog { .. }),
+                "{src} should be rejected, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = DatalogProgram::parse("DlP(x) <- DlQ(x); DlP(x, y) <- DlQ(x) & DlQ(y)")
+            .unwrap_err();
+        assert!(matches!(e, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn constants_and_comparisons() {
+        let prog = "DlBig(x) <- DlVal(x) & x != 'small'; DlSelf(x) <- DlPair(x, y) & x = y";
+        let p = DatalogProgram::parse(prog).unwrap();
+        assert!(p.has_neq());
+        assert!(p.is_monotone(), "inequalities keep monotonicity");
+        assert!(!p.is_hom_preserved(), "inequalities break hom-preservation");
+        let mut s = Instance::new();
+        s.insert_names("DlVal", &["small"]);
+        s.insert_names("DlVal", &["large"]);
+        s.insert_names("DlPair", &["a", "a"]);
+        s.insert_names("DlPair", &["a", "b"]);
+        let db = p.eval(&s);
+        assert_eq!(db.tuples(RelSym::new("DlBig")).count(), 1);
+        assert_eq!(db.tuples(RelSym::new("DlSelf")).count(), 1);
+    }
+
+    #[test]
+    fn output_must_be_idb() {
+        let e = DatalogQuery::parse("DlEdge", TC).unwrap_err();
+        assert!(matches!(e, DatalogError::NotDatalog { .. }));
+    }
+
+    #[test]
+    fn idb_edb_partition() {
+        let p = DatalogProgram::parse(TC).unwrap();
+        let idb: Vec<_> = p.idb().collect();
+        assert_eq!(idb, vec![(RelSym::new("DlPath"), 2)]);
+        let edb = p.edb();
+        assert_eq!(edb.get(&RelSym::new("DlEdge")), Some(&2));
+    }
+
+    #[test]
+    fn empty_program_and_empty_edb() {
+        let p = DatalogProgram::new(vec![]).unwrap();
+        assert_eq!(p.stratum_count(), 0);
+        let db = p.eval(&Instance::new());
+        assert!(db.is_empty());
+        // TC on an empty EDB: output declared but empty.
+        let q = DatalogQuery::parse("DlPath", TC).unwrap();
+        assert_eq!(q.answers(&Instance::new()).len(), 0);
+    }
+
+    /// Semi-naive evaluation agrees with a from-scratch naive fixpoint
+    /// (re-evaluating all rules until nothing changes) on random graphs.
+    #[test]
+    fn semi_naive_matches_naive_fixpoint() {
+        let q = DatalogQuery::parse("DlPath", TC).unwrap();
+        // A deterministic pseudo-random graph family.
+        for n in [3usize, 5, 7] {
+            let mut s = Instance::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if (i * 7 + j * 13) % 5 == 0 && i != j {
+                        s.insert_nums("DlEdge", &[i as i64, j as i64]);
+                    }
+                }
+            }
+            let semi = q.answers(&s);
+            // Naive fixpoint for reference.
+            let mut db = s.clone();
+            db.declare(RelSym::new("DlPath"), 2);
+            loop {
+                let mut changed = false;
+                for rule in &q.program.rules {
+                    for t in super::eval_rule(rule, &db, None, &BTreeSet::new()) {
+                        changed |= db.insert(rule.head.rel, t);
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let naive = db.relation(RelSym::new("DlPath")).unwrap();
+            assert_eq!(&semi, naive, "n = {n}");
+        }
+    }
+}

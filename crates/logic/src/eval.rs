@@ -1,0 +1,569 @@
+//! Active-domain evaluation of first-order formulas over instances.
+//!
+//! Nulls are treated as atomic values — two nulls are equal iff they are the
+//! same null. This is exactly the *naive* semantics the paper evaluates
+//! queries under (§2): for positive queries, naive evaluation followed by
+//! discarding null-containing tuples computes certain answers
+//! (Imieliński–Lipski), which Proposition 3 lifts to data exchange.
+//!
+//! Quantifiers range over an explicit finite domain, defaulting to the active
+//! domain of the instance plus the constants of the formula (the standard
+//! active-domain semantics of finite model theory, which the paper uses
+//! implicitly throughout; e.g. the `adom(x̄)` relativization in Theorem 4's
+//! reduction makes it explicit).
+
+use crate::formula::Formula;
+use crate::term::Term;
+use dx_relation::{FuncSym, Instance, Relation, Tuple, Value, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A variable environment mapping variables to values.
+#[derive(Clone, Default, Debug)]
+pub struct Assignment {
+    map: BTreeMap<Var, Value>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(var, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> Self {
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, v: Var) -> Option<Value> {
+        self.map.get(&v).copied()
+    }
+
+    /// Bind a variable, returning the previous binding.
+    pub fn bind(&mut self, v: Var, val: Value) -> Option<Value> {
+        self.map.insert(v, val)
+    }
+
+    /// Remove a binding (or restore `prev` when backtracking a shadowed
+    /// binding).
+    pub fn unbind(&mut self, v: Var, prev: Option<Value>) {
+        match prev {
+            Some(val) => {
+                self.map.insert(v, val);
+            }
+            None => {
+                self.map.remove(&v);
+            }
+        }
+    }
+
+    /// The bound variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+/// Interpretation of Skolem function symbols at evaluation time.
+///
+/// `apply` returns `None` when the interpretation is undefined on the given
+/// arguments; the evaluator treats that as a caller bug (it panics), because
+/// every search engine in `dx-solver` materializes all *relevant sites*
+/// before evaluating (see `DESIGN.md` §3.4).
+pub trait FuncInterp {
+    /// The value of `f(args)`, if defined.
+    fn apply(&self, f: FuncSym, args: &[Value]) -> Option<Value>;
+}
+
+/// The trivial interpretation for formulas without function symbols.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFuncs;
+
+impl FuncInterp for NoFuncs {
+    fn apply(&self, f: FuncSym, _args: &[Value]) -> Option<Value> {
+        panic!("formula mentions function symbol {f} but no interpretation was supplied")
+    }
+}
+
+/// A finite function table, the concrete `FuncInterp` used by SkSTD
+/// semantics (`Sol_F′(S)` of §5).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncTable {
+    map: BTreeMap<(FuncSym, Vec<Value>), Value>,
+}
+
+impl FuncTable {
+    /// The empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define `f(args) = val`, returning the previous value if any.
+    pub fn define(&mut self, f: FuncSym, args: Vec<Value>, val: Value) -> Option<Value> {
+        self.map.insert((f, args), val)
+    }
+
+    /// Remove a definition (used when backtracking).
+    pub fn undefine(&mut self, f: FuncSym, args: &[Value]) {
+        self.map.remove(&(f, args.to_vec()));
+    }
+
+    /// Look up `f(args)`.
+    pub fn get(&self, f: FuncSym, args: &[Value]) -> Option<Value> {
+        self.map.get(&(f, args.to_vec())).copied()
+    }
+
+    /// Number of defined sites.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `((f, args), value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(FuncSym, Vec<Value>), &Value)> + '_ {
+        self.map.iter()
+    }
+
+    /// All values in the range of the table.
+    pub fn range_values(&self) -> BTreeSet<Value> {
+        self.map.values().copied().collect()
+    }
+}
+
+impl FuncInterp for FuncTable {
+    fn apply(&self, f: FuncSym, args: &[Value]) -> Option<Value> {
+        self.get(f, args)
+    }
+}
+
+/// An active-domain evaluator for first-order formulas.
+pub struct Evaluator<'a, FI: FuncInterp = NoFuncs> {
+    instance: &'a Instance,
+    domain: Vec<Value>,
+    funcs: &'a FI,
+}
+
+static NO_FUNCS: NoFuncs = NoFuncs;
+
+impl<'a> Evaluator<'a, NoFuncs> {
+    /// Evaluator whose quantifiers range over the active domain of
+    /// `instance`.
+    pub fn new(instance: &'a Instance) -> Self {
+        let domain = instance.active_domain().into_iter().collect();
+        Evaluator {
+            instance,
+            domain,
+            funcs: &NO_FUNCS,
+        }
+    }
+
+    /// Evaluator whose quantifiers range over the active domain plus the
+    /// constants of `f` (the safe default for arbitrary FO formulas).
+    pub fn for_formula(instance: &'a Instance, f: &Formula) -> Self {
+        let mut dom: BTreeSet<Value> = instance.active_domain();
+        dom.extend(f.constants().into_iter().map(Value::Const));
+        Evaluator {
+            instance,
+            domain: dom.into_iter().collect(),
+            funcs: &NO_FUNCS,
+        }
+    }
+}
+
+impl<'a, FI: FuncInterp> Evaluator<'a, FI> {
+    /// Evaluator with an explicit quantifier domain and function
+    /// interpretation.
+    pub fn with_domain_and_funcs(
+        instance: &'a Instance,
+        domain: impl IntoIterator<Item = Value>,
+        funcs: &'a FI,
+    ) -> Self {
+        let domain: BTreeSet<Value> = domain.into_iter().collect();
+        Evaluator {
+            instance,
+            domain: domain.into_iter().collect(),
+            funcs,
+        }
+    }
+
+    /// The quantifier domain.
+    pub fn domain(&self) -> &[Value] {
+        &self.domain
+    }
+
+    /// Evaluate a term under an assignment. Panics on unbound variables or
+    /// undefined function applications (both are caller bugs; see the crate
+    /// docs on how search engines pre-materialize function sites).
+    pub fn eval_term(&self, t: &Term, asg: &Assignment) -> Value {
+        match t {
+            Term::Var(v) => asg
+                .get(*v)
+                .unwrap_or_else(|| panic!("unbound variable {v} during evaluation")),
+            Term::Const(c) => Value::Const(*c),
+            Term::App(f, args) => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval_term(a, asg)).collect();
+                self.funcs
+                    .apply(*f, &vals)
+                    .unwrap_or_else(|| panic!("undefined function application {f}{vals:?}"))
+            }
+        }
+    }
+
+    /// Evaluate a formula under an assignment binding all its free
+    /// variables.
+    pub fn eval(&self, f: &Formula, asg: &mut Assignment) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(r, args) => {
+                let vals: Vec<Value> = args.iter().map(|t| self.eval_term(t, asg)).collect();
+                self.instance.contains(*r, &Tuple::new(vals))
+            }
+            Formula::Eq(a, b) => self.eval_term(a, asg) == self.eval_term(b, asg),
+            Formula::Not(inner) => !self.eval(inner, asg),
+            Formula::And(fs) => fs.iter().all(|g| self.eval_clone(g, asg)),
+            Formula::Or(fs) => fs.iter().any(|g| self.eval_clone(g, asg)),
+            Formula::Exists(vars, inner) => self.eval_quant(vars, inner, asg, true),
+            Formula::Forall(vars, inner) => !self.eval_quant(vars, inner, asg, false),
+        }
+    }
+
+    // `all`/`any` need `&mut` in a closure; this wrapper keeps borrowck happy
+    // without cloning the assignment.
+    fn eval_clone(&self, f: &Formula, asg: &mut Assignment) -> bool {
+        self.eval(f, asg)
+    }
+
+    /// Shared quantifier loop. For `Exists` (`positive=true`) returns "some
+    /// extension satisfies"; for `Forall` returns "some extension
+    /// *falsifies*" (the caller negates).
+    fn eval_quant(
+        &self,
+        vars: &[Var],
+        inner: &Formula,
+        asg: &mut Assignment,
+        positive: bool,
+    ) -> bool {
+        if vars.is_empty() {
+            let r = self.eval(inner, asg);
+            return if positive { r } else { !r };
+        }
+        let (v, rest) = (vars[0], &vars[1..]);
+        for &val in &self.domain {
+            let prev = asg.bind(v, val);
+            let found = self.eval_quant(rest, inner, asg, positive);
+            asg.unbind(v, prev);
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Decide a sentence (no free variables).
+    pub fn holds(&self, f: &Formula) -> bool {
+        debug_assert!(f.free_vars().is_empty(), "sentence expected");
+        self.eval(f, &mut Assignment::new())
+    }
+
+    /// Enumerate all assignments to `vars` (over the evaluator's domain)
+    /// satisfying `f`. Uses top-level positive atoms as join drivers when
+    /// possible, falling back to domain enumeration for uncovered variables.
+    pub fn satisfying_assignments(&self, f: &Formula, vars: &[Var]) -> Vec<Vec<Value>> {
+        let mut results: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let drivers = conjunct_driver_atoms(f);
+        // Enumerate over the requested vars plus any remaining free vars of
+        // `f` (they must be bound for evaluation), then project onto `vars`.
+        let mut enum_vars: Vec<Var> = vars.to_vec();
+        for v in f.free_vars() {
+            if !enum_vars.contains(&v) {
+                enum_vars.push(v);
+            }
+        }
+        let mut asg = Assignment::new();
+        let mut full: BTreeSet<Vec<Value>> = BTreeSet::new();
+        self.drive(&drivers, 0, f, &enum_vars, &mut asg, &mut full);
+        for row in full {
+            results.insert(row[..vars.len()].to_vec());
+        }
+        results.into_iter().collect()
+    }
+
+    /// Backtracking over driver atoms, then enumeration of leftover
+    /// variables, then a final full check of `f`.
+    fn drive(
+        &self,
+        drivers: &[(dx_relation::RelSym, &Vec<Term>)],
+        i: usize,
+        f: &Formula,
+        vars: &[Var],
+        asg: &mut Assignment,
+        results: &mut BTreeSet<Vec<Value>>,
+    ) {
+        if i == drivers.len() {
+            // Bind any still-unbound target variables by domain enumeration.
+            self.enumerate_rest(f, vars, 0, asg, results);
+            return;
+        }
+        let (rel, args) = (drivers[i].0, drivers[i].1);
+        let candidates: Vec<Tuple> = self.instance.tuples(rel).cloned().collect();
+        'tuples: for t in candidates {
+            // Unify args (Var/Const only; guaranteed by driver extraction).
+            let mut bound_here: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (j, term) in args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if t.get(j) != Value::Const(*c) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match asg.get(*v) {
+                        Some(val) => {
+                            if t.get(j) != val {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            asg.bind(*v, t.get(j));
+                            bound_here.push(*v);
+                        }
+                    },
+                    Term::App(_, _) => unreachable!("driver atoms are function-free"),
+                }
+            }
+            if ok {
+                self.drive(drivers, i + 1, f, vars, asg, results);
+            }
+            for v in bound_here {
+                asg.unbind(v, None);
+            }
+            if !ok {
+                continue 'tuples;
+            }
+        }
+    }
+
+    fn enumerate_rest(
+        &self,
+        f: &Formula,
+        vars: &[Var],
+        k: usize,
+        asg: &mut Assignment,
+        results: &mut BTreeSet<Vec<Value>>,
+    ) {
+        if k == vars.len() {
+            if self.eval(f, asg) {
+                results.insert(vars.iter().map(|v| asg.get(*v).unwrap()).collect());
+            }
+            return;
+        }
+        let v = vars[k];
+        if asg.get(v).is_some() {
+            self.enumerate_rest(f, vars, k + 1, asg, results);
+            return;
+        }
+        for &val in &self.domain {
+            asg.bind(v, val);
+            self.enumerate_rest(f, vars, k + 1, asg, results);
+            asg.unbind(v, None);
+        }
+    }
+
+    /// The satisfying assignments as a [`Relation`] (one tuple per
+    /// assignment, positions following `vars`).
+    pub fn answers(&self, f: &Formula, vars: &[Var]) -> Relation {
+        let rows = self.satisfying_assignments(f, vars);
+        Relation::from_tuples(vars.len(), rows.into_iter().map(Tuple::new))
+    }
+
+    /// Ablation variant of [`Evaluator::satisfying_assignments`]: plain
+    /// domain enumeration over all variables, no join drivers. Semantically
+    /// identical; used by the `ablations` bench to quantify the value of
+    /// driver-based search.
+    pub fn satisfying_assignments_no_drivers(
+        &self,
+        f: &Formula,
+        vars: &[Var],
+    ) -> Vec<Vec<Value>> {
+        let mut enum_vars: Vec<Var> = vars.to_vec();
+        for v in f.free_vars() {
+            if !enum_vars.contains(&v) {
+                enum_vars.push(v);
+            }
+        }
+        let mut results: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut full: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut asg = Assignment::new();
+        self.enumerate_rest(f, &enum_vars, 0, &mut asg, &mut full);
+        for row in full {
+            results.insert(row[..vars.len()].to_vec());
+        }
+        results.into_iter().collect()
+    }
+}
+
+/// Extract top-level conjunct atoms with function-free arguments; these are
+/// necessary conditions for the whole formula, so they can drive the search.
+fn conjunct_driver_atoms(f: &Formula) -> Vec<(dx_relation::RelSym, &Vec<Term>)> {
+    fn go<'f>(f: &'f Formula, out: &mut Vec<(dx_relation::RelSym, &'f Vec<Term>)>) {
+        match f {
+            Formula::Atom(r, args)
+                if args.iter().all(|t| matches!(t, Term::Var(_) | Term::Const(_))) =>
+            {
+                out.push((*r, args));
+            }
+            Formula::And(fs) => {
+                for g in fs {
+                    go(g, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    go(f, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+
+    fn graph() -> Instance {
+        // a → b → c, plus self-loop d → d
+        let mut i = Instance::new();
+        i.insert_names("E", &["a", "b"]);
+        i.insert_names("E", &["b", "c"]);
+        i.insert_names("E", &["d", "d"]);
+        i
+    }
+
+    #[test]
+    fn atom_and_eq() {
+        let i = graph();
+        let ev = Evaluator::new(&i);
+        let f = F::atom("E", vec![Term::cst("a"), Term::cst("b")]);
+        assert!(ev.holds(&f));
+        let g = F::atom("E", vec![Term::cst("b"), Term::cst("a")]);
+        assert!(!ev.holds(&g));
+        assert!(ev.holds(&F::eq(Term::cst("a"), Term::cst("a"))));
+        assert!(!ev.holds(&F::eq(Term::cst("a"), Term::cst("b"))));
+    }
+
+    #[test]
+    fn quantifiers_active_domain() {
+        let i = graph();
+        let ev = Evaluator::new(&i);
+        // exists x. E(x, x)
+        let f = F::exists(vec![Var::new("x")], F::atom("E", vec![Term::var("x"), Term::var("x")]));
+        assert!(ev.holds(&f));
+        // forall x. exists y. E(x,y) — false (c has no successor)
+        let g = F::forall(
+            vec![Var::new("x")],
+            F::exists(vec![Var::new("y")], F::atom("E", vec![Term::var("x"), Term::var("y")])),
+        );
+        assert!(!ev.holds(&g));
+    }
+
+    #[test]
+    fn nulls_are_atomic_values() {
+        // E(a, ⊥0): naive semantics says exists y. E(a,y) is true,
+        // and ⊥0 = ⊥0 but ⊥0 ≠ a.
+        let mut i = Instance::new();
+        i.insert(
+            dx_relation::RelSym::new("E"),
+            Tuple::new(vec![Value::c("a"), Value::null(0)]),
+        );
+        let ev = Evaluator::new(&i);
+        let f = F::exists(vec![Var::new("y")], F::atom("E", vec![Term::cst("a"), Term::var("y")]));
+        assert!(ev.holds(&f));
+        // forall y. E(a,y) -> y != a  (⊥0 ≠ a under naive semantics)
+        let g = F::forall(
+            vec![Var::new("y")],
+            F::implies(
+                F::atom("E", vec![Term::cst("a"), Term::var("y")]),
+                F::neq(Term::var("y"), Term::cst("a")),
+            ),
+        );
+        assert!(ev.holds(&g));
+    }
+
+    #[test]
+    fn satisfying_assignments_via_drivers() {
+        let i = graph();
+        let ev = Evaluator::new(&i);
+        // E(x,y) & !exists z. E(y,z)  — edges into sinks: (b,c) only.
+        let f = F::and([
+            F::atom("E", vec![Term::var("x"), Term::var("y")]),
+            F::not(F::exists(
+                vec![Var::new("z")],
+                F::atom("E", vec![Term::var("y"), Term::var("z")]),
+            )),
+        ]);
+        let rows = ev.satisfying_assignments(&f, &[Var::new("x"), Var::new("y")]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec![Value::c("b"), Value::c("c")]);
+    }
+
+    #[test]
+    fn satisfying_assignments_fallback_enumeration() {
+        let i = graph();
+        let ev = Evaluator::new(&i);
+        // Disjunction: no driver atoms; x ranges over the whole domain.
+        let f = F::or([
+            F::atom("E", vec![Term::var("x"), Term::cst("c")]),
+            F::eq(Term::var("x"), Term::cst("a")),
+        ]);
+        let rows = ev.satisfying_assignments(&f, &[Var::new("x")]);
+        let vals: Vec<Value> = rows.into_iter().map(|r| r[0]).collect();
+        assert_eq!(vals, vec![Value::c("a"), Value::c("b")]);
+    }
+
+    #[test]
+    fn constants_outside_adom_need_for_formula() {
+        let i = graph();
+        // exists x. x = 'zebra' — only true if 'zebra' is in the domain.
+        let f = F::exists(vec![Var::new("x")], F::eq(Term::var("x"), Term::cst("zebra")));
+        assert!(!Evaluator::new(&i).holds(&f));
+        assert!(Evaluator::for_formula(&i, &f).holds(&f));
+    }
+
+    #[test]
+    fn func_table_interpretation() {
+        let mut ft = FuncTable::new();
+        let fsym = FuncSym::new("fn1");
+        ft.define(fsym, vec![Value::c("a")], Value::c("id-a"));
+        let i = graph();
+        let ev = Evaluator::with_domain_and_funcs(&i, i.active_domain(), &ft);
+        let f = F::eq(Term::app("fn1", vec![Term::cst("a")]), Term::cst("id-a"));
+        assert!(ev.holds(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined function application")]
+    fn undefined_function_panics() {
+        let ft = FuncTable::new();
+        let i = graph();
+        let ev = Evaluator::with_domain_and_funcs(&i, i.active_domain(), &ft);
+        let f = F::eq(Term::app("fn2", vec![Term::cst("a")]), Term::cst("x"));
+        ev.holds(&f);
+    }
+
+    #[test]
+    fn answers_as_relation() {
+        let i = graph();
+        let ev = Evaluator::new(&i);
+        let f = F::atom("E", vec![Term::var("x"), Term::var("y")]);
+        let rel = ev.answers(&f, &[Var::new("x"), Var::new("y")]);
+        assert_eq!(rel.len(), 3);
+    }
+}

@@ -1,0 +1,586 @@
+//! First-order formulas over a relational vocabulary.
+
+use crate::term::Term;
+use dx_relation::{ConstId, FuncSym, RelSym, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order formula.
+///
+/// The core connectives are kept minimal; implication, bi-implication,
+/// inequality and unique existence are provided as smart constructors that
+/// desugar into the core. Atoms may contain Skolem terms ([`Term::App`]),
+/// which is how SkSTD bodies express `y = f(z̄)` (§5).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// The true constant.
+    True,
+    /// The false constant.
+    False,
+    /// A relational atom `R(t₁, …, tₖ)`.
+    Atom(RelSym, Vec<Term>),
+    /// An equality atom `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = `True`).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = `False`).
+    Or(Vec<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    // ---------------------------------------------------------------- sugar
+
+    /// The atom `R(args)`.
+    pub fn atom(rel: &str, args: Vec<Term>) -> Formula {
+        Formula::Atom(RelSym::new(rel), args)
+    }
+
+    /// The equality `a = b`.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// The inequality `a ≠ b` (sugar for `¬(a = b)`).
+    pub fn neq(a: Term, b: Term) -> Formula {
+        Formula::Not(Box::new(Formula::Eq(a, b)))
+    }
+
+    /// Negation (with double-negation elimination).
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction, flattening nested `And`s and simplifying units.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested `Or`s and simplifying units.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication `a → b` (sugar for `¬a ∨ b`).
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::or([Formula::not(a), b])
+    }
+
+    /// Bi-implication `a ↔ b`.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::and([
+            Formula::implies(a.clone(), b.clone()),
+            Formula::implies(b, a),
+        ])
+    }
+
+    /// Existential quantification; merges directly-nested blocks and drops
+    /// empty blocks.
+    pub fn exists(vars: impl Into<Vec<Var>>, f: Formula) -> Formula {
+        let mut vars = vars.into();
+        if vars.is_empty() {
+            return f;
+        }
+        match f {
+            Formula::Exists(inner_vars, inner) => {
+                vars.extend(inner_vars);
+                Formula::Exists(vars, inner)
+            }
+            other => Formula::Exists(vars, Box::new(other)),
+        }
+    }
+
+    /// Universal quantification; merges directly-nested blocks and drops
+    /// empty blocks.
+    pub fn forall(vars: impl Into<Vec<Var>>, f: Formula) -> Formula {
+        let mut vars = vars.into();
+        if vars.is_empty() {
+            return f;
+        }
+        match f {
+            Formula::Forall(inner_vars, inner) => {
+                vars.extend(inner_vars);
+                Formula::Forall(vars, inner)
+            }
+            other => Formula::Forall(vars, Box::new(other)),
+        }
+    }
+
+    /// Unique existence `∃! y. f(y)`, desugared as
+    /// `∃y (f(y) ∧ ∀y′ (f[y↦y′] → y′ = y))` — used by the tiling sentence
+    /// `β31` of Theorem 3.
+    pub fn exists_unique(y: Var, f: Formula) -> Formula {
+        let y2 = Var::new(&format!("{}__u", y.name()));
+        let mut map = BTreeMap::new();
+        map.insert(y, Term::Var(y2));
+        let f2 = f.subst(&map);
+        Formula::exists(
+            vec![y],
+            Formula::and([
+                f.clone(),
+                Formula::forall(
+                    vec![y2],
+                    Formula::implies(f2, Formula::Eq(Term::Var(y2), Term::Var(y))),
+                ),
+            ]),
+        )
+    }
+
+    // ------------------------------------------------------------- analysis
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, args) => {
+                for t in args {
+                    for v in t.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for v in a.vars().into_iter().chain(b.vars()) {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let newly: Vec<Var> = vars.iter().filter(|v| bound.insert(**v)).copied().collect();
+                f.collect_free(bound, out);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All constants mentioned (the `C_φ` of Lemma 2 / Prop 5).
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        let mut out = BTreeSet::new();
+        self.walk_terms(&mut |t| {
+            out.extend(t.consts());
+        });
+        out
+    }
+
+    /// All function symbols (with arities) mentioned.
+    pub fn funcs(&self) -> BTreeSet<(FuncSym, usize)> {
+        let mut out = BTreeSet::new();
+        self.walk_terms(&mut |t| {
+            out.extend(t.funcs());
+        });
+        out
+    }
+
+    /// All relation symbols mentioned, with arities.
+    pub fn relations(&self) -> BTreeSet<(RelSym, usize)> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| {
+            if let Formula::Atom(r, args) = f {
+                out.insert((*r, args.len()));
+            }
+        });
+        out
+    }
+
+    /// Quantifier rank (max nesting depth of quantifier *blocks* counted per
+    /// variable, matching the Ehrenfeucht–Fraïssé argument of Lemma 2).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_rank()).max().unwrap_or(0)
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                vars.len() + f.quantifier_rank()
+            }
+        }
+    }
+
+    /// Visit every subformula (pre-order).
+    pub fn walk(&self, visit: &mut impl FnMut(&Formula)) {
+        visit(self);
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => {}
+            Formula::Not(f) => f.walk(visit),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.walk(visit);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.walk(visit),
+        }
+    }
+
+    /// Visit every term (in atoms and equalities).
+    pub fn walk_terms(&self, visit: &mut impl FnMut(&Term)) {
+        self.walk(&mut |f| match f {
+            Formula::Atom(_, args) => {
+                for t in args {
+                    visit(t);
+                }
+            }
+            Formula::Eq(a, b) => {
+                visit(a);
+                visit(b);
+            }
+            _ => {}
+        });
+    }
+
+    // --------------------------------------------------------- substitution
+
+    /// Simultaneous substitution of free variables by terms.
+    ///
+    /// The substitution is *not* capture-avoiding in general: callers must
+    /// rename bound variables apart first (all rewriting in this workspace —
+    /// e.g. the Lemma 5 composition algorithm — renames before substituting).
+    /// In debug builds we assert no capture can occur.
+    pub fn subst(&self, map: &BTreeMap<Var, Term>) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(r, args) => {
+                Formula::Atom(*r, args.iter().map(|t| t.subst(map)).collect())
+            }
+            Formula::Eq(a, b) => Formula::Eq(a.subst(map), b.subst(map)),
+            Formula::Not(f) => Formula::Not(Box::new(f.subst(map))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.subst(map)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.subst(map)).collect()),
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                debug_assert!(
+                    map.iter().all(|(v, t)| {
+                        !vars.contains(v) && t.vars().iter().all(|tv| !vars.contains(tv))
+                    }),
+                    "substitution would capture a bound variable; rename apart first"
+                );
+                let inner = f.subst(map);
+                match self {
+                    Formula::Exists(_, _) => Formula::Exists(vars.clone(), Box::new(inner)),
+                    _ => Formula::Forall(vars.clone(), Box::new(inner)),
+                }
+            }
+        }
+    }
+
+    /// Rename *all* variables (free and bound) according to `map`.
+    pub fn rename_vars(&self, map: &BTreeMap<Var, Var>) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(r, args) => {
+                Formula::Atom(*r, args.iter().map(|t| t.rename(map)).collect())
+            }
+            Formula::Eq(a, b) => Formula::Eq(a.rename(map), b.rename(map)),
+            Formula::Not(f) => Formula::Not(Box::new(f.rename_vars(map))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.rename_vars(map)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rename_vars(map)).collect()),
+            Formula::Exists(vars, f) => Formula::Exists(
+                vars.iter().map(|v| *map.get(v).unwrap_or(v)).collect(),
+                Box::new(f.rename_vars(map)),
+            ),
+            Formula::Forall(vars, f) => Formula::Forall(
+                vars.iter().map(|v| *map.get(v).unwrap_or(v)).collect(),
+                Box::new(f.rename_vars(map)),
+            ),
+        }
+    }
+
+    /// All variables (free and bound) occurring in the formula.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |f| match f {
+            Formula::Atom(_, args) => {
+                for t in args {
+                    out.extend(t.vars());
+                }
+            }
+            Formula::Eq(a, b) => {
+                out.extend(a.vars());
+                out.extend(b.vars());
+            }
+            Formula::Exists(vars, _) | Formula::Forall(vars, _) => {
+                out.extend(vars.iter().copied());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Replace every relational atom by `rewrite(rel, args)` when it returns
+    /// `Some` (atoms yielding `None` are kept). This is the `β_R`
+    /// substitution step of the Lemma 5 composition algorithm.
+    pub fn rewrite_atoms(
+        &self,
+        rewrite: &mut impl FnMut(RelSym, &[Term]) -> Option<Formula>,
+    ) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => self.clone(),
+            Formula::Atom(r, args) => rewrite(*r, args).unwrap_or_else(|| self.clone()),
+            Formula::Not(f) => Formula::Not(Box::new(f.rewrite_atoms(rewrite))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.rewrite_atoms(rewrite)).collect())
+            }
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rewrite_atoms(rewrite)).collect()),
+            Formula::Exists(vars, f) => {
+                Formula::Exists(vars.clone(), Box::new(f.rewrite_atoms(rewrite)))
+            }
+            Formula::Forall(vars, f) => {
+                Formula::Forall(vars.clone(), Box::new(f.rewrite_atoms(rewrite)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(r, args) => {
+                write!(f, "{r}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            // The whole quantified formula is parenthesized: the parser
+            // gives quantifiers maximal scope, so the closing paren is what
+            // delimits the body on re-parse.
+            Formula::Exists(vars, inner) => {
+                write!(f, "(exists ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ". {inner})")
+            }
+            Formula::Forall(vars, inner) => {
+                write!(f, "(forall ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ". {inner})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn and_or_simplification() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(Formula::and([Formula::True, Formula::False]), Formula::False);
+        assert_eq!(Formula::or([Formula::False, Formula::True]), Formula::True);
+        let a = Formula::atom("R", vec![Term::var("x")]);
+        assert_eq!(Formula::and([a.clone()]), a);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let a = Formula::atom("R", vec![Term::var("x")]);
+        let b = Formula::atom("S", vec![Term::var("y")]);
+        let c = Formula::atom("T", vec![Term::var("z")]);
+        let f = Formula::and([a.clone(), Formula::and([b.clone(), c.clone()])]);
+        assert_eq!(f, Formula::And(vec![a, b, c]));
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let a = Formula::atom("R", vec![Term::var("x")]);
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // exists y. R(x, y) — free: {x}
+        let f = Formula::exists(
+            vec![v("y")],
+            Formula::atom("R", vec![Term::var("x"), Term::var("y")]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains(&v("x")));
+        assert!(!fv.contains(&v("y")));
+    }
+
+    #[test]
+    fn shadowing_respected() {
+        // R(y) & exists y. S(y): y is free (from the first conjunct).
+        let f = Formula::and([
+            Formula::atom("R", vec![Term::var("y")]),
+            Formula::exists(vec![v("y")], Formula::atom("S", vec![Term::var("y")])),
+        ]);
+        assert!(f.free_vars().contains(&v("y")));
+    }
+
+    #[test]
+    fn quantifier_rank_counts_variables() {
+        // exists x y. forall z. R(x,y,z) has rank 3.
+        let f = Formula::exists(
+            vec![v("x"), v("y")],
+            Formula::forall(
+                vec![v("z")],
+                Formula::atom("R", vec![Term::var("x"), Term::var("y"), Term::var("z")]),
+            ),
+        );
+        assert_eq!(f.quantifier_rank(), 3);
+    }
+
+    #[test]
+    fn exists_merges_blocks() {
+        let f = Formula::exists(
+            vec![v("x")],
+            Formula::exists(vec![v("y")], Formula::atom("R", vec![Term::var("x")])),
+        );
+        match f {
+            Formula::Exists(vars, _) => assert_eq!(vars.len(), 2),
+            _ => panic!("expected merged Exists block"),
+        }
+    }
+
+    #[test]
+    fn subst_free_only() {
+        let mut map = BTreeMap::new();
+        map.insert(v("x"), Term::cst("a"));
+        let f = Formula::and([
+            Formula::atom("R", vec![Term::var("x")]),
+            Formula::exists(vec![v("z")], Formula::atom("S", vec![Term::var("x"), Term::var("z")])),
+        ]);
+        let g = f.subst(&map);
+        assert!(!g.free_vars().contains(&v("x")));
+        assert_eq!(g.constants().len(), 1);
+    }
+
+    #[test]
+    fn exists_unique_desugars() {
+        let f = Formula::exists_unique(v("y"), Formula::atom("P", vec![Term::var("y")]));
+        // ∃y (P(y) ∧ ∀y! (P(y!) → y! = y))
+        assert_eq!(f.quantifier_rank(), 2);
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn rewrite_atoms_substitutes() {
+        // Replace R(t) by S(t) & S(t) everywhere.
+        let f = Formula::exists(
+            vec![v("x")],
+            Formula::and([
+                Formula::atom("R", vec![Term::var("x")]),
+                Formula::atom("Keep", vec![Term::var("x")]),
+            ]),
+        );
+        let g = f.rewrite_atoms(&mut |r, args| {
+            (r == RelSym::new("R")).then(|| {
+                Formula::and([
+                    Formula::Atom(RelSym::new("S"), args.to_vec()),
+                    Formula::Atom(RelSym::new("S"), args.to_vec()),
+                ])
+            })
+        });
+        let rels: BTreeSet<_> = g.relations().into_iter().map(|(r, _)| r.name()).collect();
+        assert!(rels.contains("S") && rels.contains("Keep") && !rels.contains("R"));
+    }
+
+    #[test]
+    fn relations_and_constants_collected() {
+        let f = Formula::and([
+            Formula::atom("R", vec![Term::cst("a"), Term::var("x")]),
+            Formula::eq(Term::var("x"), Term::cst("b")),
+        ]);
+        assert_eq!(f.relations().len(), 1);
+        assert_eq!(f.constants().len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # dx-logic — first-order logic substrate for `oc-exchange`
+//!
+//! Terms and first-order formulas over relational vocabularies, their
+//! analysis (free variables, quantifier rank, query-class detection), a
+//! recursive-descent parser for the rule/formula syntax used throughout the
+//! examples, and evaluation engines:
+//!
+//! * an **active-domain FO evaluator** that treats nulls as atomic values —
+//!   this *is* the paper's naive semantics for evaluating queries over
+//!   instances with nulls (§2, "Databases with incomplete information");
+//! * a **backtracking-join evaluator** for conjunctive bodies, used to drive
+//!   satisfying-assignment enumeration efficiently;
+//! * **naive certain answers** `Q_naive(T)`: evaluate treating nulls as
+//!   values, then discard tuples containing nulls (Imieliński–Lipski), which
+//!   by Proposition 3 computes `certain_Σα(Q, S)` on the canonical solution
+//!   for every positive query and every annotation.
+//!
+//! Skolem terms (`f(x̄)`, used by SkSTDs in §5) are ordinary [`Term`]s; their
+//! interpretation is supplied at evaluation time via [`eval::FuncInterp`].
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod datalog;
+pub mod eval;
+pub mod formula;
+pub mod parser;
+pub mod query;
+pub mod term;
+
+pub use classify::QueryClass;
+pub use datalog::{DatalogError, DatalogProgram, DatalogQuery};
+pub use eval::{Assignment, Evaluator, FuncInterp, NoFuncs};
+pub use formula::Formula;
+pub use parser::{
+    parse_facts, parse_formula, parse_rule, parse_rules, ParseError, ParsedAtom, ParsedRule,
+};
+pub use query::Query;
+pub use term::Term;

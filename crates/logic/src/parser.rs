@@ -1,0 +1,791 @@
+//! A small recursive-descent parser for formulas and annotated rules.
+//!
+//! ## Syntax
+//!
+//! *Terms*: bare identifiers are **variables** (`x`, `paper`), quoted strings
+//! and numbers are **constants** (`'alice'`, `42`), `f(t, …)` is a Skolem
+//! **function application**.
+//!
+//! *Formulas* (binding strength, loosest first): `->` (right-assoc), `|`/`or`,
+//! `&`/`and`/`,`, `!`/`not`, then atoms. Quantifiers `exists x y. φ` and
+//! `forall x. φ` extend as far to the right as possible; parenthesize to
+//! limit scope. Equality `t1 = t2`, inequality `t1 != t2`, constants `true`
+//! and `false`.
+//!
+//! *Rules* (annotated STDs, as in the paper's §1 examples):
+//!
+//! ```text
+//! Submissions(x:cl, z:op) <- Papers(x, y)
+//! Reviews(x:cl, z:op)     <- Papers(x, y) & !exists r. Assignments(x, r)
+//! ```
+//!
+//! Head atoms are comma-separated; each head position may carry an
+//! annotation `:cl` / `:op` (`^cl` / `^op` also accepted; default `op`, the
+//! open-world default of [FKMP]). The body separator is `<-` or `:-`.
+//! [`parse_rules`] reads a `;`-separated list of rules.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use dx_relation::{Ann, RelSym, Var};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input where the error occurred.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A head atom of a parsed rule: relation, argument terms, per-position
+/// annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedAtom {
+    /// The target relation symbol.
+    pub rel: RelSym,
+    /// Argument terms (variables, constants, or Skolem applications).
+    pub args: Vec<Term>,
+    /// Per-position `op`/`cl` annotations.
+    pub anns: Vec<Ann>,
+}
+
+/// A parsed rule `head₁, …, headₖ <- body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedRule {
+    /// The (annotated) head atoms.
+    pub head: Vec<ParsedAtom>,
+    /// The body formula over the source vocabulary.
+    pub body: Formula,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Bang,
+    Eq,
+    Neq,
+    Arrow,     // ->
+    BodySep,   // <- or :-
+    Colon,     // : or ^
+    Semi,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                // line comment
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Ok(out);
+            }
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            let tok = match b {
+                b'(' => {
+                    self.pos += 1;
+                    Tok::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Tok::RParen
+                }
+                b',' => {
+                    self.pos += 1;
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.pos += 1;
+                    Tok::Dot
+                }
+                b'&' => {
+                    self.pos += 1;
+                    Tok::Amp
+                }
+                b'|' => {
+                    self.pos += 1;
+                    Tok::Pipe
+                }
+                b';' => {
+                    self.pos += 1;
+                    Tok::Semi
+                }
+                b'^' => {
+                    self.pos += 1;
+                    Tok::Colon
+                }
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Neq
+                    } else {
+                        self.pos += 1;
+                        Tok::Bang
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::Eq
+                }
+                b'-' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        Tok::Arrow
+                    } else if self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.pos += 1;
+                        let s = self.read_digits();
+                        Tok::Number(format!("-{s}"))
+                    } else {
+                        return Err(self.error("unexpected '-'"));
+                    }
+                }
+                b'<' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        Tok::BodySep
+                    } else {
+                        return Err(self.error("unexpected '<'"));
+                    }
+                }
+                b':' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        Tok::BodySep
+                    } else {
+                        self.pos += 1;
+                        Tok::Colon
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    let s = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.error("unterminated quoted constant"));
+                    }
+                    let content = self.src[s..self.pos].to_string();
+                    self.pos += 1; // closing quote
+                    Tok::Quoted(content)
+                }
+                c if c.is_ascii_digit() => {
+                    let s = self.read_digits();
+                    Tok::Number(s)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let s = self.pos;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos].is_ascii_alphanumeric()
+                            || self.bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    Tok::Ident(self.src[s..self.pos].to_string())
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)));
+                }
+            };
+            out.push((tok, start));
+        }
+    }
+
+    fn read_digits(&mut self) -> String {
+        let s = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.src[s..self.pos].to_string()
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let toks = Lexer::new(src).tokens()?;
+        let end = src.len();
+        Ok(Parser { toks, i: 0, end })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|(t, _)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|&(_, p)| p).unwrap_or(self.end)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    // ------------------------------------------------------------- formulas
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.implication()
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.implication()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.eat(&Tok::Pipe) || self.at_ident("or") && self.bump().is_some() {
+            parts.push(self.conjunction()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Formula::or(parts))
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        loop {
+            if self.eat(&Tok::Amp) || self.eat(&Tok::Comma) {
+                parts.push(self.unary()?);
+            } else if self.at_ident("and") {
+                self.bump();
+                parts.push(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Formula::and(parts))
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(Formula::not(self.unary()?));
+        }
+        if self.at_ident("not") {
+            self.bump();
+            return Ok(Formula::not(self.unary()?));
+        }
+        if self.at_ident("exists") || self.at_ident("forall") {
+            let is_exists = self.at_ident("exists");
+            self.bump();
+            let mut vars = Vec::new();
+            while let Some(Tok::Ident(name)) = self.peek() {
+                // Stop if this ident starts the body (no '.' yet but body
+                // could start with a keyword like 'true').
+                if name == "true" || name == "false" || name == "exists" || name == "forall" {
+                    break;
+                }
+                // `exists x. φ` — a '.' terminates the var list; an ident
+                // followed by '(' would be an atom, so the var list must end.
+                if matches!(self.peek2(), Some(Tok::LParen)) {
+                    break;
+                }
+                vars.push(Var::new(name));
+                self.bump();
+            }
+            if vars.is_empty() {
+                return Err(self.error("quantifier needs at least one variable"));
+            }
+            self.expect(&Tok::Dot, "'.' after quantified variables")?;
+            let body = self.formula()?;
+            return Ok(if is_exists {
+                Formula::exists(vars, body)
+            } else {
+                Formula::forall(vars, body)
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(s)) if s == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(_)) if matches!(self.peek2(), Some(Tok::LParen)) => {
+                // Either a relational atom or a function term in an equality.
+                let name = match self.bump() {
+                    Some(Tok::Ident(s)) => s,
+                    _ => unreachable!(),
+                };
+                self.bump(); // '('
+                let args = self.term_list()?;
+                self.expect(&Tok::RParen, "')'")?;
+                // Lookahead: equality makes it a function term.
+                if self.peek() == Some(&Tok::Eq) || self.peek() == Some(&Tok::Neq) {
+                    let lhs = Term::app(&name, args);
+                    self.finish_equality(lhs)
+                } else {
+                    Ok(Formula::atom(&name, args))
+                }
+            }
+            Some(Tok::Ident(_)) | Some(Tok::Quoted(_)) | Some(Tok::Number(_)) => {
+                let lhs = self.term()?;
+                self.finish_equality(lhs)
+            }
+            other => Err(self.error(format!("expected formula, found {other:?}"))),
+        }
+    }
+
+    fn finish_equality(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        if self.eat(&Tok::Eq) {
+            let rhs = self.term()?;
+            Ok(Formula::Eq(lhs, rhs))
+        } else if self.eat(&Tok::Neq) {
+            let rhs = self.term()?;
+            Ok(Formula::neq(lhs, rhs))
+        } else {
+            Err(self.error("expected '=' or '!=' after term"))
+        }
+    }
+
+    // ---------------------------------------------------------------- terms
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Quoted(s)) => Ok(Term::cst(&s)),
+            Some(Tok::Number(s)) => Ok(Term::cst(&s)),
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let args = self.term_list()?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Term::app(&name, args))
+                } else {
+                    Ok(Term::var(&name))
+                }
+            }
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------- rules
+
+    fn head_atom(&mut self) -> Result<ParsedAtom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            other => return Err(self.error(format!("expected head atom, found {other:?}"))),
+        };
+        self.expect(&Tok::LParen, "'(' after head relation")?;
+        let mut args = Vec::new();
+        let mut anns = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.term()?);
+                if self.eat(&Tok::Colon) {
+                    match self.bump() {
+                        Some(Tok::Ident(a)) if a == "cl" => anns.push(Ann::Closed),
+                        Some(Tok::Ident(a)) if a == "op" => anns.push(Ann::Open),
+                        other => {
+                            return Err(
+                                self.error(format!("expected 'cl' or 'op', found {other:?}"))
+                            )
+                        }
+                    }
+                } else {
+                    anns.push(Ann::Open);
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(ParsedAtom {
+            rel: RelSym::new(&name),
+            args,
+            anns,
+        })
+    }
+
+    fn rule(&mut self) -> Result<ParsedRule, ParseError> {
+        let mut head = vec![self.head_atom()?];
+        while self.eat(&Tok::Comma) {
+            head.push(self.head_atom()?);
+        }
+        self.expect(&Tok::BodySep, "'<-' or ':-'")?;
+        let body = self.formula()?;
+        Ok(ParsedRule { head, body })
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+}
+
+/// Parse a single formula.
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(src)?;
+    let f = p.formula()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+/// Parse a single rule `head <- body`.
+pub fn parse_rule(src: &str) -> Result<ParsedRule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+/// Parse a ground instance from a fact list, e.g.
+/// `E(a, b). E(b, c). V(a).` — in fact position, bare identifiers are
+/// **constants** (facts have no variables). Facts are terminated by `.` or
+/// `;`; `#` comments are skipped.
+pub fn parse_facts(src: &str) -> Result<dx_relation::Instance, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = dx_relation::Instance::new();
+    while !p.at_end() {
+        let name = match p.bump() {
+            Some(Tok::Ident(s)) => s,
+            other => {
+                return Err(p.error(format!("expected a fact, found {other:?}")));
+            }
+        };
+        p.expect(&Tok::LParen, "'(' after relation name")?;
+        let mut vals: Vec<dx_relation::Value> = Vec::new();
+        if p.peek() != Some(&Tok::RParen) {
+            loop {
+                match p.bump() {
+                    Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) | Some(Tok::Number(s)) => {
+                        vals.push(dx_relation::Value::c(&s));
+                    }
+                    other => {
+                        return Err(p.error(format!("expected a constant, found {other:?}")))
+                    }
+                }
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        p.expect(&Tok::RParen, "')'")?;
+        out.insert(dx_relation::RelSym::new(&name), dx_relation::Tuple::new(vals));
+        // Fact separator: '.' or ';' (optional before EOF).
+        if !(p.eat(&Tok::Dot) || p.eat(&Tok::Semi)) && !p.at_end() {
+            return Err(p.error("expected '.' or ';' between facts"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a `;`-separated list of rules (trailing `;` allowed, `#` comments
+/// skipped).
+pub fn parse_rules(src: &str) -> Result<Vec<ParsedRule>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.rule()?);
+        if !p.eat(&Tok::Semi) {
+            break;
+        }
+    }
+    if !p.at_end() {
+        return Err(p.error("trailing input after rules"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_and_equalities() {
+        let f = parse_formula("R(x, 'a', 42)").unwrap();
+        assert_eq!(
+            f,
+            Formula::atom("R", vec![Term::var("x"), Term::cst("a"), Term::cst("42")])
+        );
+        let g = parse_formula("x = 'b'").unwrap();
+        assert_eq!(g, Formula::eq(Term::var("x"), Term::cst("b")));
+        let h = parse_formula("x != y").unwrap();
+        assert_eq!(h, Formula::neq(Term::var("x"), Term::var("y")));
+    }
+
+    #[test]
+    fn precedence_and_connectives() {
+        // a | b & c  ==  a | (b & c)
+        let f = parse_formula("A(x) | B(x) & C(x)").unwrap();
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+        // implication is right-associative and loosest
+        let g = parse_formula("A(x) -> B(x) -> C(x)").unwrap();
+        // ¬A ∨ (¬B ∨ C)
+        assert!(matches!(g, Formula::Or(_)));
+    }
+
+    #[test]
+    fn quantifiers_maximal_scope() {
+        let f = parse_formula("exists x y. R(x, y) & S(y)").unwrap();
+        match &f {
+            Formula::Exists(vars, inner) => {
+                assert_eq!(vars.len(), 2);
+                assert!(matches!(**inner, Formula::And(_)));
+            }
+            other => panic!("expected Exists, got {other}"),
+        }
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn negation_and_keywords() {
+        let f = parse_formula("!exists r. Assignments(x, r)").unwrap();
+        assert!(matches!(f, Formula::Not(_)));
+        let g = parse_formula("not (A(x) and B(x))").unwrap();
+        assert!(matches!(g, Formula::Not(_)));
+        assert_eq!(parse_formula("true").unwrap(), Formula::True);
+        assert_eq!(parse_formula("false").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn function_terms_in_equalities() {
+        let f = parse_formula("y = f(x, 'a')").unwrap();
+        assert_eq!(
+            f,
+            Formula::eq(
+                Term::var("y"),
+                Term::app("f", vec![Term::var("x"), Term::cst("a")])
+            )
+        );
+        // Function term on the left requires lookahead past ')'.
+        let g = parse_formula("f(x) = y").unwrap();
+        assert_eq!(
+            g,
+            Formula::eq(Term::app("f", vec![Term::var("x")]), Term::var("y"))
+        );
+    }
+
+    #[test]
+    fn parses_the_papers_intro_rules() {
+        let rules = parse_rules(
+            "Submissions(x:cl, z:op) <- Papers(x, y);\n\
+             Reviews(x:cl, z:cl)     <- Assignments(x, y);\n\
+             Reviews(x:cl, z:op)     <- Papers(x, y) & !exists r. Assignments(x, r);",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].head[0].rel, RelSym::new("Submissions"));
+        assert_eq!(rules[0].head[0].anns, vec![Ann::Closed, Ann::Open]);
+        assert_eq!(rules[1].head[0].anns, vec![Ann::Closed, Ann::Closed]);
+        assert!(matches!(rules[2].body, Formula::And(_)));
+    }
+
+    #[test]
+    fn multi_atom_heads() {
+        // Theorem 2's reduction rule: C(x:op,y:op,z:op), B(x:cl), G(y:cl), H(z:cl) :- N(w)
+        let r = parse_rule("C(x:op, y:op, z:op), B(x:cl), G(y:cl), H(z:cl) :- N(w)").unwrap();
+        assert_eq!(r.head.len(), 4);
+        assert_eq!(r.head[0].anns, vec![Ann::Open, Ann::Open, Ann::Open]);
+        assert_eq!(r.head[1].anns, vec![Ann::Closed]);
+    }
+
+    #[test]
+    fn skolem_heads() {
+        // SkSTD example (8) of the paper.
+        let r = parse_rule("T(f(em):cl, em:cl, g(em, proj):op) <- S(em, proj)").unwrap();
+        assert_eq!(r.head[0].args.len(), 3);
+        assert!(matches!(r.head[0].args[0], Term::App(_, _)));
+        assert_eq!(r.head[0].anns, vec![Ann::Closed, Ann::Closed, Ann::Open]);
+    }
+
+    #[test]
+    fn caret_annotation_and_default() {
+        let r = parse_rule("R(x^cl, z) <- E(x, y)").unwrap();
+        assert_eq!(r.head[0].anns, vec![Ann::Closed, Ann::Open]);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let rules = parse_rules(
+            "# copy rule\nRp(x:cl) <- R(x); # another\nSp(x:op) <- S(x);",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn parse_facts_ground_instances() {
+        let i = parse_facts("E(a, b). E(b, c). V(a). Grade(bob, 42);").unwrap();
+        assert_eq!(i.tuple_count(), 4);
+        assert!(i.contains(
+            dx_relation::RelSym::new("E"),
+            &dx_relation::Tuple::from_names(&["a", "b"])
+        ));
+        assert!(i.contains(
+            dx_relation::RelSym::new("Grade"),
+            &dx_relation::Tuple::from_names(&["bob", "42"])
+        ));
+        assert!(i.is_ground());
+        // Nullary facts and empty input work.
+        assert_eq!(parse_facts("").unwrap().tuple_count(), 0);
+        let n = parse_facts("Flag().").unwrap();
+        assert_eq!(n.relation(dx_relation::RelSym::new("Flag")).unwrap().len(), 1);
+        // Errors: missing separator, variables make no sense here.
+        assert!(parse_facts("E(a, b) E(c, d)").is_err());
+        assert!(parse_facts("E(a,").is_err());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_formula("R(x").unwrap_err();
+        assert!(e.msg.contains("')'"), "got: {e}");
+        assert!(parse_formula("R(x) R(y)").is_err());
+        assert!(parse_rule("R(x) <- ").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let cases = [
+            "exists x y. (R(x, y) & !(S(y)))",
+            "forall x. ((A(x) | B(x)) -> exists z. C(x, z))",
+            "R('a', x) & x != 'b'",
+            "y = f(x) & g(y, y) = 'c'",
+        ];
+        for src in cases {
+            let f1 = parse_formula(src).unwrap();
+            let printed = f1.to_string();
+            let f2 = parse_formula(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(f1, f2, "round-trip mismatch for {src}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Queries: formulas with a designated tuple of output variables.
+
+use crate::classify::{classify, QueryClass};
+use crate::eval::Evaluator;
+use crate::formula::Formula;
+use dx_relation::{Instance, Relation, Tuple, Value, Var};
+use std::fmt;
+
+/// A relational query `Q(x̄) = φ(x̄)`.
+///
+/// `head` lists the output variables in order; a query with an empty head is
+/// Boolean. All free variables of the formula must appear in the head.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Output variables, in answer-tuple order.
+    pub head: Vec<Var>,
+    /// The defining formula.
+    pub formula: Formula,
+}
+
+impl Query {
+    /// Build a query; panics if the formula has free variables outside the
+    /// head (such a query has no well-defined answer relation).
+    pub fn new(head: impl Into<Vec<Var>>, formula: Formula) -> Self {
+        let head = head.into();
+        let fv = formula.free_vars();
+        assert!(
+            fv.iter().all(|v| head.contains(v)),
+            "free variables {:?} not covered by head {:?}",
+            fv,
+            head
+        );
+        Query { head, formula }
+    }
+
+    /// Build a Boolean query (sentence).
+    pub fn boolean(formula: Formula) -> Self {
+        Query::new(Vec::<Var>::new(), formula)
+    }
+
+    /// Parse the formula from source and use `heads` as the output variables.
+    pub fn parse(heads: &[&str], src: &str) -> Result<Self, crate::parser::ParseError> {
+        let formula = crate::parser::parse_formula(src)?;
+        Ok(Query::new(
+            heads.iter().map(|h| Var::new(h)).collect::<Vec<_>>(),
+            formula,
+        ))
+    }
+
+    /// The output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Is this a Boolean query?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Most specific syntactic class of the defining formula.
+    pub fn class(&self) -> QueryClass {
+        classify(&self.formula)
+    }
+
+    /// Evaluate over `instance` with nulls as atomic values (naive
+    /// semantics). Quantifiers range over the active domain plus the
+    /// formula's constants.
+    pub fn answers(&self, instance: &Instance) -> Relation {
+        let ev = Evaluator::for_formula(instance, &self.formula);
+        ev.answers(&self.formula, &self.head)
+    }
+
+    /// Naive evaluation `Q_naive(T)`: evaluate treating nulls as values, keep
+    /// only null-free answers (Imieliński–Lipski). For positive queries this
+    /// computes the certain answers `□Q(T)` of the incomplete database `T`,
+    /// and — by Proposition 3 — `certain_Σα(Q, S)` when `T = CSol(S)`.
+    pub fn naive_certain_answers(&self, instance: &Instance) -> Relation {
+        let all = self.answers(instance);
+        Relation::from_tuples(
+            self.arity(),
+            all.iter().filter(|t| t.is_ground()).cloned(),
+        )
+    }
+
+    /// Does `tuple` belong to `Q(instance)` under naive evaluation?
+    pub fn holds_on(&self, instance: &Instance, tuple: &Tuple) -> bool {
+        assert_eq!(tuple.arity(), self.arity(), "answer-tuple arity mismatch");
+        let ev = Evaluator::for_formula(instance, &self.formula);
+        let mut asg = crate::eval::Assignment::new();
+        for (v, val) in self.head.iter().zip(tuple.iter()) {
+            asg.bind(*v, val);
+        }
+        ev.eval(&self.formula, &mut asg)
+    }
+
+    /// Evaluate a Boolean query.
+    pub fn holds_boolean(&self, instance: &Instance) -> bool {
+        assert!(self.is_boolean(), "boolean query expected");
+        self.holds_on(instance, &Tuple::new(Vec::<Value>::new()))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn instance() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("R", &["a", "b"]);
+        i.insert_names("R", &["a", "c"]);
+        i.insert(
+            dx_relation::RelSym::new("R"),
+            Tuple::new(vec![Value::c("d"), Value::null(0)]),
+        );
+        i
+    }
+
+    #[test]
+    fn answers_and_naive_certain() {
+        let q = Query::new(
+            vec![Var::new("x"), Var::new("y")],
+            Formula::atom("R", vec![Term::var("x"), Term::var("y")]),
+        );
+        let i = instance();
+        assert_eq!(q.answers(&i).len(), 3);
+        // Naive certain answers drop the tuple with the null.
+        assert_eq!(q.naive_certain_answers(&i).len(), 2);
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let q = Query::boolean(Formula::exists(
+            vec![Var::new("x")],
+            Formula::atom("R", vec![Term::var("x"), Term::cst("b")]),
+        ));
+        assert!(q.is_boolean());
+        assert!(q.holds_boolean(&instance()));
+        let q2 = Query::boolean(Formula::exists(
+            vec![Var::new("x")],
+            Formula::atom("R", vec![Term::var("x"), Term::cst("nope")]),
+        ));
+        assert!(!q2.holds_boolean(&instance()));
+    }
+
+    #[test]
+    fn holds_on_single_tuple() {
+        let q = Query::new(
+            vec![Var::new("x")],
+            Formula::exists(
+                vec![Var::new("y")],
+                Formula::atom("R", vec![Term::var("x"), Term::var("y")]),
+            ),
+        );
+        let i = instance();
+        assert!(q.holds_on(&i, &Tuple::from_names(&["a"])));
+        assert!(!q.holds_on(&i, &Tuple::from_names(&["b"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "free variables")]
+    fn uncovered_free_var_panics() {
+        Query::new(
+            vec![Var::new("x")],
+            Formula::atom("R", vec![Term::var("x"), Term::var("y")]),
+        );
+    }
+
+    #[test]
+    fn classification_passthrough() {
+        let q = Query::new(
+            vec![Var::new("x")],
+            Formula::exists(
+                vec![Var::new("y")],
+                Formula::atom("R", vec![Term::var("x"), Term::var("y")]),
+            ),
+        );
+        assert_eq!(q.class(), QueryClass::Conjunctive);
+    }
+}

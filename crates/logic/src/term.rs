@@ -1,0 +1,233 @@
+//! First-order terms: variables, constants, and Skolem-function applications.
+
+use dx_relation::{ConstId, FuncSym, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term.
+///
+/// Plain STDs only use variables and constants; Skolemized STDs (§5 of the
+/// paper) additionally use applications `f(t̄)` of function symbols. Nested
+/// applications are supported (the composition algorithm of Lemma 5 can
+/// produce them when `ū_j` already contains function terms).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(ConstId),
+    /// A function application `f(t₁, …, tₖ)` (Skolem term).
+    App(FuncSym, Vec<Term>),
+}
+
+impl Term {
+    /// Shortcut: the variable named `name`.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shortcut: the constant named `name`.
+    pub fn cst(name: &str) -> Term {
+        Term::Const(ConstId::new(name))
+    }
+
+    /// Shortcut: the numeric constant `n`.
+    pub fn num(n: i64) -> Term {
+        Term::Const(ConstId::num(n))
+    }
+
+    /// Shortcut: the application `f(args)`.
+    pub fn app(f: &str, args: Vec<Term>) -> Term {
+        Term::App(FuncSym::new(f), args)
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// All variables occurring in the term (including under applications).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(*v);
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// All constants occurring in the term.
+    pub fn consts(&self) -> BTreeSet<ConstId> {
+        let mut out = BTreeSet::new();
+        self.collect_consts(&mut out);
+        out
+    }
+
+    fn collect_consts(&self, out: &mut BTreeSet<ConstId>) {
+        match self {
+            Term::Var(_) => {}
+            Term::Const(c) => {
+                out.insert(*c);
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_consts(out);
+                }
+            }
+        }
+    }
+
+    /// All function symbols (with arities) occurring in the term.
+    pub fn funcs(&self) -> BTreeSet<(FuncSym, usize)> {
+        let mut out = BTreeSet::new();
+        self.collect_funcs(&mut out);
+        out
+    }
+
+    fn collect_funcs(&self, out: &mut BTreeSet<(FuncSym, usize)>) {
+        if let Term::App(f, args) = self {
+            out.insert((*f, args.len()));
+            for a in args {
+                a.collect_funcs(out);
+            }
+        }
+    }
+
+    /// Does the term mention any function symbol?
+    pub fn has_funcs(&self) -> bool {
+        matches!(self, Term::App(_, _))
+            || match self {
+                Term::App(_, args) => args.iter().any(|a| a.has_funcs()),
+                _ => false,
+            }
+    }
+
+    /// Substitute variables by terms, simultaneously.
+    pub fn subst(&self, map: &std::collections::BTreeMap<Var, Term>) -> Term {
+        match self {
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Const(_) => self.clone(),
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| a.subst(map)).collect())
+            }
+        }
+    }
+
+    /// Rename variables according to `map` (variables not in the map are
+    /// kept).
+    pub fn rename(&self, map: &std::collections::BTreeMap<Var, Var>) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(*map.get(v).unwrap_or(v)),
+            Term::Const(_) => self.clone(),
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| a.rename(map)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => {
+                // Quote constants so the printer output re-parses as a constant.
+                write!(f, "'{c}'")
+            }
+            Term::App(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn var_collection_under_apps() {
+        let t = Term::app("f", vec![Term::var("x"), Term::app("g", vec![Term::var("y")])]);
+        let vars = t.vars();
+        assert!(vars.contains(&Var::new("x")) && vars.contains(&Var::new("y")));
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn func_collection_with_arities() {
+        let t = Term::app("f", vec![Term::var("x"), Term::app("g", vec![])]);
+        let fs = t.funcs();
+        assert!(fs.contains(&(FuncSym::new("f"), 2)));
+        assert!(fs.contains(&(FuncSym::new("g"), 0)));
+    }
+
+    #[test]
+    fn substitution() {
+        let mut map = BTreeMap::new();
+        map.insert(Var::new("x"), Term::cst("a"));
+        let t = Term::app("f", vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(
+            t.subst(&map),
+            Term::app("f", vec![Term::cst("a"), Term::var("y")])
+        );
+    }
+
+    #[test]
+    fn rename() {
+        let mut map = BTreeMap::new();
+        map.insert(Var::new("x"), Var::new("x2"));
+        let t = Term::app("f", vec![Term::var("x")]);
+        assert_eq!(t.rename(&map), Term::app("f", vec![Term::var("x2")]));
+    }
+
+    #[test]
+    fn display_quotes_constants() {
+        assert_eq!(Term::cst("a").to_string(), "'a'");
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(
+            Term::app("f", vec![Term::var("x"), Term::num(3)]).to_string(),
+            "f(x, '3')"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # dx-relation — relational substrate for `oc-exchange`
+//!
+//! This crate implements the data model underlying the reproduction of
+//! *“Data exchange and schema mappings in open and closed worlds”*
+//! (Libkin & Sirangelo, PODS 2008 / JCSS 2011):
+//!
+//! * interned **symbols** ([`ConstId`], [`RelSym`], [`FuncSym`], [`Var`]) backed
+//!   by a process-wide string table,
+//! * **values** over the two disjoint countable domains `Const` and `Null`
+//!   ([`Value`], [`NullId`], [`NullGen`]),
+//! * **tuples**, **relations** and **instances** ([`Tuple`], [`Relation`],
+//!   [`Instance`], [`Schema`]) with deterministic (`BTree`-based) iteration,
+//! * **open/closed annotations** ([`Ann`], [`Annotation`]) and annotated
+//!   instances ([`AnnTuple`], [`AnnRelation`], [`AnnInstance`]) including the
+//!   paper's *empty annotated tuples* `(_, α)`,
+//! * **valuations** of nulls ([`Valuation`]) used to define the semantics
+//!   `Rep(T)` and `Rep_A(T)`.
+//!
+//! Everything in this crate is purely structural; semantics (`Rep_A`
+//! membership, solutions, certain answers) live in `dx-solver` and `dx-core`.
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod instance;
+pub mod intern;
+pub mod relation;
+pub mod tuple;
+pub mod valuation;
+pub mod value;
+
+pub use annotation::{Ann, AnnInstance, AnnRelation, AnnTuple, Annotation};
+pub use instance::{Instance, Schema};
+pub use intern::{ConstId, FuncSym, RelSym, Var};
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use valuation::Valuation;
+pub use value::{NullGen, NullId, Value};

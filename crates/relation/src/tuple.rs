@@ -1,0 +1,178 @@
+//! Tuples of values.
+
+use crate::intern::ConstId;
+use crate::valuation::Valuation;
+use crate::value::{NullId, Value};
+use std::fmt;
+
+/// A database tuple: a fixed-arity sequence of [`Value`]s.
+///
+/// Tuples are immutable once built; transformation methods return new tuples.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple(values.into().into_boxed_slice())
+    }
+
+    /// Build a ground tuple from constants.
+    pub fn from_consts(consts: &[ConstId]) -> Self {
+        Tuple(consts.iter().map(|&c| Value::Const(c)).collect())
+    }
+
+    /// Build a ground tuple by interning each name.
+    pub fn from_names(names: &[&str]) -> Self {
+        Tuple(names.iter().map(|n| Value::c(n)).collect())
+    }
+
+    /// Build a ground tuple of numeric constants.
+    pub fn from_nums(nums: &[i64]) -> Self {
+        Tuple(nums.iter().map(|&n| Value::num(n)).collect())
+    }
+
+    /// Number of positions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at position `i` (0-based).
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// All values, in position order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The nulls occurring in this tuple (with repetitions, position order).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.0.iter().filter_map(|v| v.as_null())
+    }
+
+    /// The constants occurring in this tuple (with repetitions).
+    pub fn consts(&self) -> impl Iterator<Item = ConstId> + '_ {
+        self.0.iter().filter_map(|v| v.as_const())
+    }
+
+    /// Does this tuple mention no nulls?
+    pub fn is_ground(&self) -> bool {
+        self.0.iter().all(|v| v.is_const())
+    }
+
+    /// Apply a (possibly partial) valuation: nulls in the valuation's domain
+    /// are replaced by their constants, others are left untouched.
+    pub fn apply(&self, v: &Valuation) -> Tuple {
+        Tuple(self.0.iter().map(|&val| v.apply_value(val)).collect())
+    }
+
+    /// Project onto the given positions (used by `π_X` in composition).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v: Vec<Value> = self.0.to_vec();
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Positions at which this tuple agrees with `other`. Panics if arities
+    /// differ.
+    pub fn agreement(&self, other: &Tuple) -> Vec<usize> {
+        assert_eq!(self.arity(), other.arity(), "arity mismatch");
+        (0..self.arity()).filter(|&i| self.0[i] == other.0[i]).collect()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        let a = Tuple::from_names(&["a", "b"]);
+        let b = Tuple::new(vec![Value::c("a"), Value::c("b")]);
+        assert_eq!(a, b);
+        assert_eq!(a.arity(), 2);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Tuple::from_names(&["a"]).is_ground());
+        assert!(!Tuple::new(vec![Value::c("a"), Value::null(0)]).is_ground());
+    }
+
+    #[test]
+    fn null_and_const_extraction() {
+        let t = Tuple::new(vec![Value::c("a"), Value::null(1), Value::null(1)]);
+        assert_eq!(t.nulls().collect::<Vec<_>>(), vec![NullId(1), NullId(1)]);
+        assert_eq!(t.consts().count(), 1);
+    }
+
+    #[test]
+    fn apply_valuation_partial() {
+        let t = Tuple::new(vec![Value::null(0), Value::null(1)]);
+        let mut v = Valuation::new();
+        v.set(NullId(0), ConstId::new("x"));
+        let t2 = t.apply(&v);
+        assert_eq!(t2.get(0), Value::c("x"));
+        assert_eq!(t2.get(1), Value::null(1));
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = Tuple::from_nums(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from_nums(&[30, 10]));
+        assert_eq!(
+            t.concat(&Tuple::from_nums(&[40])),
+            Tuple::from_nums(&[10, 20, 30, 40])
+        );
+    }
+
+    #[test]
+    fn agreement_positions() {
+        let a = Tuple::from_nums(&[1, 2, 3]);
+        let b = Tuple::from_nums(&[1, 9, 3]);
+        assert_eq!(a.agreement(&b), vec![0, 2]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::c("a"), Value::null(0)]);
+        assert_eq!(t.to_string(), "(a, ⊥0)");
+    }
+}

@@ -1,0 +1,165 @@
+//! Valuations: partial maps `Null → Const`.
+//!
+//! §2 of the paper: a *valuation* `v` is a partial map from `Null` to
+//! `Const`; `v(T)` replaces each null of `T` by its image, and
+//! `Rep(T) = { v(T) | v defined on all nulls of T }`.
+
+use crate::intern::ConstId;
+use crate::value::{NullId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A partial map from nulls to constants.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: BTreeMap<NullId, ConstId>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a valuation from `(null, constant)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NullId, ConstId)>) -> Self {
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The image of `n`, if assigned.
+    pub fn get(&self, n: NullId) -> Option<ConstId> {
+        self.map.get(&n).copied()
+    }
+
+    /// Assign `n ↦ c`, returning the previous image if any.
+    pub fn set(&mut self, n: NullId, c: ConstId) -> Option<ConstId> {
+        self.map.insert(n, c)
+    }
+
+    /// Remove the assignment of `n` (used when backtracking).
+    pub fn unset(&mut self, n: NullId) -> Option<ConstId> {
+        self.map.remove(&n)
+    }
+
+    /// Is `n` in the domain of this valuation?
+    pub fn is_defined(&self, n: NullId) -> bool {
+        self.map.contains_key(&n)
+    }
+
+    /// Number of assigned nulls.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the valuation empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Apply to a single value. Constants and unassigned nulls pass through.
+    pub fn apply_value(&self, v: Value) -> Value {
+        match v {
+            Value::Const(_) => v,
+            Value::Null(n) => match self.get(n) {
+                Some(c) => Value::Const(c),
+                None => v,
+            },
+        }
+    }
+
+    /// Is this valuation defined on every null in `nulls`?
+    pub fn is_total_for(&self, nulls: impl IntoIterator<Item = NullId>) -> bool {
+        nulls.into_iter().all(|n| self.is_defined(n))
+    }
+
+    /// Iterate over `(null, constant)` assignments in null order.
+    pub fn iter(&self) -> impl Iterator<Item = (NullId, ConstId)> + '_ {
+        self.map.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// The composition `self ∘ h` for a null-to-null map `h`
+    /// (`(self ∘ h)(n) = self(h(n))`). Used in the proof of Theorem 1 where
+    /// `v ∘ h` witnesses `Rep_A` membership through a homomorphism.
+    pub fn compose_null_map(&self, h: &BTreeMap<NullId, NullId>) -> Valuation {
+        let mut out = Valuation::new();
+        for (&n, &hn) in h {
+            if let Some(c) = self.get(hn) {
+                out.set(n, c);
+            }
+        }
+        out
+    }
+
+    /// The range (set of constants used), in order.
+    pub fn range(&self) -> impl Iterator<Item = ConstId> + '_ {
+        self.map.values().copied()
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, c)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}↦{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut v = Valuation::new();
+        assert!(v.is_empty());
+        assert_eq!(v.set(NullId(0), ConstId::new("a")), None);
+        assert_eq!(v.get(NullId(0)), Some(ConstId::new("a")));
+        assert_eq!(v.set(NullId(0), ConstId::new("b")), Some(ConstId::new("a")));
+        assert_eq!(v.unset(NullId(0)), Some(ConstId::new("b")));
+        assert!(!v.is_defined(NullId(0)));
+    }
+
+    #[test]
+    fn apply_value_passthrough() {
+        let v = Valuation::from_pairs([(NullId(1), ConstId::new("c"))]);
+        assert_eq!(v.apply_value(Value::c("k")), Value::c("k"));
+        assert_eq!(v.apply_value(Value::null(1)), Value::c("c"));
+        assert_eq!(v.apply_value(Value::null(2)), Value::null(2));
+    }
+
+    #[test]
+    fn totality() {
+        let v = Valuation::from_pairs([(NullId(0), ConstId::new("a"))]);
+        assert!(v.is_total_for([NullId(0)]));
+        assert!(!v.is_total_for([NullId(0), NullId(1)]));
+    }
+
+    #[test]
+    fn compose_with_null_map() {
+        // h: ⊥0 ↦ ⊥5, v: ⊥5 ↦ a  ⇒  (v∘h): ⊥0 ↦ a
+        let v = Valuation::from_pairs([(NullId(5), ConstId::new("a"))]);
+        let mut h = BTreeMap::new();
+        h.insert(NullId(0), NullId(5));
+        let comp = v.compose_null_map(&h);
+        assert_eq!(comp.get(NullId(0)), Some(ConstId::new("a")));
+    }
+
+    #[test]
+    fn display() {
+        let v = Valuation::from_pairs([(NullId(0), ConstId::new("a"))]);
+        assert_eq!(v.to_string(), "{⊥0↦a}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Values over the two disjoint domains `Const ∪ Null`.
+//!
+//! Following §2 of the paper: *source* instances are over `Const` only, while
+//! *target* instances may also contain labelled nulls. Nulls are "existing
+//! but unknown" values; two nulls are equal iff they are the same null
+//! (naive-table semantics).
+
+use crate::intern::ConstId;
+use std::fmt;
+
+/// A labelled null `⊥ᵢ`. Fresh nulls are produced by [`NullGen`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NullId(pub u32);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// A database value: either a constant or a labelled null.
+///
+/// The ordering places all constants before all nulls; within a kind, values
+/// order by interner/null index. The ordering is only used for deterministic
+/// container iteration, never for semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An element of the domain `Const`.
+    Const(ConstId),
+    /// An element of the domain `Null`.
+    Null(NullId),
+}
+
+impl Value {
+    /// Shortcut: intern `name` as a constant value.
+    pub fn c(name: &str) -> Self {
+        Value::Const(ConstId::new(name))
+    }
+
+    /// Shortcut: the numeric constant `n`.
+    pub fn num(n: i64) -> Self {
+        Value::Const(ConstId::num(n))
+    }
+
+    /// Shortcut: the null with index `i`.
+    pub fn null(i: u32) -> Self {
+        Value::Null(NullId(i))
+    }
+
+    /// Is this a null?
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Is this a constant?
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The null inside, if any.
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+}
+
+impl From<ConstId> for Value {
+    fn from(c: ConstId) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A deterministic source of fresh nulls.
+///
+/// Canonical-solution construction (§2/§3 of the paper) invents *a fresh
+/// tuple of distinct nulls* per justification; a `NullGen` scoped to one
+/// construction keeps the resulting null ids reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct NullGen {
+    next: u32,
+}
+
+impl NullGen {
+    /// A generator starting at `⊥0`.
+    pub fn new() -> Self {
+        NullGen { next: 0 }
+    }
+
+    /// A generator whose first output is strictly greater than every null in
+    /// `used` (useful when extending an existing instance).
+    pub fn after<I: IntoIterator<Item = NullId>>(used: I) -> Self {
+        let next = used
+            .into_iter()
+            .map(|n| n.0 + 1)
+            .max()
+            .unwrap_or(0);
+        NullGen { next }
+    }
+
+    /// Produce the next fresh null.
+    pub fn fresh(&mut self) -> NullId {
+        let id = NullId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Produce `n` fresh nulls.
+    pub fn fresh_many(&mut self, n: usize) -> Vec<NullId> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+
+    /// The index the next fresh null would get.
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_before_null_ordering() {
+        let c = Value::c("zzz");
+        let n = Value::null(0);
+        assert!(c < n, "constants order before nulls");
+    }
+
+    #[test]
+    fn null_equality_is_by_label() {
+        assert_eq!(Value::null(3), Value::null(3));
+        assert_ne!(Value::null(3), Value::null(4));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Value::c("a");
+        assert!(c.is_const() && !c.is_null());
+        assert_eq!(c.as_const(), Some(ConstId::new("a")));
+        assert_eq!(c.as_null(), None);
+        let n = Value::null(7);
+        assert_eq!(n.as_null(), Some(NullId(7)));
+        assert!(n.is_null());
+    }
+
+    #[test]
+    fn nullgen_is_sequential() {
+        let mut g = NullGen::new();
+        assert_eq!(g.fresh(), NullId(0));
+        assert_eq!(g.fresh(), NullId(1));
+        assert_eq!(g.fresh_many(3), vec![NullId(2), NullId(3), NullId(4)]);
+    }
+
+    #[test]
+    fn nullgen_after_skips_used() {
+        let g = NullGen::after([NullId(5), NullId(2)]);
+        assert_eq!(g.peek(), 6);
+        let g2 = NullGen::after(std::iter::empty());
+        assert_eq!(g2.peek(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::c("bob").to_string(), "bob");
+        assert_eq!(Value::null(2).to_string(), "⊥2");
+    }
+}

@@ -1,0 +1,608 @@
+//! Bounded search over `Rep_A(T)`.
+//!
+//! The witness spaces of the paper's decidable query-answering cases all
+//! have the shape `I = V ∪ E` (Lemma 2's `V ∪ E₀ ∪ E′`, Proposition 5's
+//! `V ∪ E`): a valuation image `V = v(rel(T))` plus *extra* tuples that
+//! replicate open positions with other constants. This module enumerates
+//! exactly that space:
+//!
+//! 1. valuations `v` over a generic palette (base constants + canonically
+//!    named fresh constants, first-use symmetry breaking);
+//! 2. extra tuples drawn from the *candidate pool*: for every annotated
+//!    tuple with open positions, its closed positions fixed to `v`-values
+//!    and its open positions ranging over the extension palette (base ∪
+//!    `max_external_consts` canonical external constants); all-open empty
+//!    markers contribute arbitrary tuples of their relation;
+//! 3. subsets of the pool of size `≤ max_extra_tuples`, smallest first.
+//!
+//! For an all-closed `T` the pool is empty and the search space is exactly
+//! `Rep(rel(T))` — the coNP procedure of Theorem 3(1). With open positions
+//! the space is complete only up to the configured replication budget
+//! (the full Lemma 2 bound `(qr+arity)·2^n` is available but astronomically
+//! expensive, matching coNEXPTIME-hardness); the returned
+//! [`Completeness`] records which regime applied.
+
+use crate::palette::Palette;
+use dx_relation::{AnnInstance, ConstId, Instance, NullId, RelSym, Tuple, Valuation, Value};
+use std::collections::BTreeSet;
+
+/// Budget for the `Rep_A` search space.
+#[derive(Clone, Debug)]
+pub struct SearchBudget {
+    /// Number of canonical *external* constants available to fill open
+    /// positions in extra tuples (the `C′_X` constants of Lemma 2, the
+    /// `D_{I₀}` of Proposition 5).
+    pub max_external_consts: usize,
+    /// Maximum number of extra (replicated) tuples added on top of
+    /// `v(rel(T))`.
+    pub max_extra_tuples: usize,
+    /// Maximum extra tuples drawn from any *single* annotated tuple (or
+    /// empty marker). `None` = unlimited. This implements the paper's §6
+    /// *1-to-m* extension: an open null replicable at most `m` times
+    /// corresponds to a per-template cap of `m − 1`.
+    pub max_extra_per_template: Option<usize>,
+    /// Cap on the size of the candidate pool (combinatorial guard; if the
+    /// pool is truncated the result is flagged as bounded).
+    pub max_candidate_pool: usize,
+    /// Cap on the number of candidate instances examined; `None` = no cap.
+    pub max_leaves: Option<u64>,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_external_consts: 2,
+            max_extra_tuples: 3,
+            max_extra_per_template: None,
+            max_candidate_pool: 4096,
+            max_leaves: Some(2_000_000),
+        }
+    }
+}
+
+impl SearchBudget {
+    /// Budget for all-closed instances: no replication at all. The search is
+    /// then exact (Theorem 3, `#op = 0` — the coNP case).
+    pub fn closed_world() -> Self {
+        SearchBudget {
+            max_external_consts: 0,
+            max_extra_tuples: 0,
+            max_extra_per_template: None,
+            max_candidate_pool: 0,
+            max_leaves: None,
+        }
+    }
+
+    /// Budget sufficient for refuting a `∀*∃*` query with `l` existential
+    /// (outer, after negation) variables over a schema of maximal arity
+    /// `max_arity` (Proposition 5: the counterexample can be restricted to
+    /// `U_V ∪ D_{I₀}` with `|D_{I₀}| ≤ l · arity(τ)`).
+    pub fn universal_existential(l: usize, max_arity: usize) -> Self {
+        SearchBudget {
+            max_external_consts: l * max_arity,
+            max_extra_tuples: usize::MAX,
+            max_extra_per_template: None,
+            max_candidate_pool: usize::MAX,
+            max_leaves: None,
+        }
+    }
+
+    /// Budget for composition with **existential** `Δ`-bodies (the paper's
+    /// §6 remark: NP for every annotation). A witness intermediate `J` can
+    /// be shrunk to the values of `v(CSol) ∪ adom(W) ∪ query constants`
+    /// **plus one kept supporting match per `W`-tuple**: positive body
+    /// atoms of a kept match survive the restriction and negated atoms only
+    /// get truer, while dropped values can only remove obligations. Each
+    /// kept match contributes at most `max_body_vars` out-of-palette
+    /// values, so `w_tuples · max_body_vars` canonical external constants
+    /// (with unlimited replication over the resulting palette) are
+    /// exhaustive — a polynomial witness, hence NP.
+    pub fn existential_delta(w_tuples: usize, max_body_vars: usize) -> Self {
+        SearchBudget {
+            max_external_consts: w_tuples * max_body_vars,
+            max_extra_tuples: usize::MAX,
+            max_extra_per_template: None,
+            max_candidate_pool: usize::MAX,
+            max_leaves: None,
+        }
+    }
+
+    /// An explicit replication budget.
+    pub fn bounded(max_external_consts: usize, max_extra_tuples: usize) -> Self {
+        SearchBudget {
+            max_external_consts,
+            max_extra_tuples,
+            ..SearchBudget::default()
+        }
+    }
+
+    /// The §6 *1-to-m* budget: every open tuple may be instantiated by at
+    /// most `m` values, i.e. replicated at most `m − 1` extra times. With
+    /// `open_templates` open tuples/markers in the instance and maximal
+    /// arity `max_arity`, the witness space is finite and fully covered —
+    /// the CWA-like complexity the paper's conclusions promise.
+    pub fn one_to_m(m: usize, open_templates: usize, max_arity: usize) -> Self {
+        let extra = m.saturating_sub(1) * open_templates;
+        SearchBudget {
+            max_external_consts: extra * max_arity.max(1),
+            max_extra_tuples: extra,
+            max_extra_per_template: Some(m.saturating_sub(1)),
+            max_candidate_pool: usize::MAX,
+            max_leaves: None,
+        }
+    }
+}
+
+/// How complete the search was.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Completeness {
+    /// The entire witness space was covered: a negative answer is definitive.
+    Exact,
+    /// Open-position replication was capped; a negative answer only means
+    /// "no witness within the budget".
+    Bounded,
+    /// The leaf cap (or pool cap) was hit; the space was not exhausted.
+    Capped,
+}
+
+/// Result of a `Rep_A` search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The witness instance (and its valuation), if one was found.
+    pub witness: Option<(Instance, Valuation)>,
+    /// Completeness of the exploration (meaningful when `witness` is
+    /// `None`).
+    pub completeness: Completeness,
+    /// Number of candidate instances examined.
+    pub leaves: u64,
+}
+
+/// Does the annotated instance admit extra tuples at all (any open position
+/// on a tuple, or an all-open empty marker)?
+pub fn admits_extras(t: &AnnInstance) -> bool {
+    t.relations().any(|(_, rel)| {
+        rel.has_all_open_empty_mark() || rel.iter().any(|at| at.ann.count_open() > 0)
+    })
+}
+
+/// Search `Rep_A(T)` for an instance satisfying `check`.
+///
+/// `extra_base_consts` joins the palette (pass the constants of the query
+/// being refuted, per the paper's `C_φ`). The search enumerates valuations
+/// (with `#nulls` fresh constants — exact by genericity) and then extra
+/// tuples within `budget`.
+pub fn search_rep_a(
+    t: &AnnInstance,
+    extra_base_consts: &BTreeSet<ConstId>,
+    budget: &SearchBudget,
+    check: &mut dyn FnMut(&Instance) -> bool,
+) -> SearchOutcome {
+    let nulls: Vec<NullId> = t.nulls().into_iter().collect();
+    let mut base: BTreeSet<ConstId> = t.adom_consts();
+    base.extend(extra_base_consts.iter().copied());
+    let val_palette = Palette::new(base.iter().copied(), nulls.len(), "v");
+
+    let mut state = State {
+        t,
+        budget,
+        check,
+        extra_base: base,
+        leaves: 0,
+        capped: false,
+        pool_truncated: false,
+        witness: None,
+    };
+
+    let mut v = Valuation::new();
+    state.valuation_dfs(&nulls, 0, 0, &val_palette, &mut v);
+
+    let completeness = if state.witness.is_some() {
+        Completeness::Exact // irrelevant when a witness exists
+    } else if state.capped {
+        Completeness::Capped
+    } else if state.pool_truncated {
+        Completeness::Capped
+    } else if admits_extras(t)
+        && (budget.max_extra_tuples < usize::MAX || budget.max_external_consts < usize::MAX)
+    {
+        // Replication was possible and the budget is finite. Whether this is
+        // actually exhaustive depends on the caller's theory (e.g. Prop 5
+        // budgets are exhaustive); callers override when they know better.
+        Completeness::Bounded
+    } else {
+        Completeness::Exact
+    };
+
+    SearchOutcome {
+        witness: state.witness,
+        completeness,
+        leaves: state.leaves,
+    }
+}
+
+/// Enumerate members of `Rep_A(T)` within the budget, invoking `visit` on
+/// each; stops early if `visit` returns `true`. Returns the number of
+/// instances visited.
+pub fn enumerate_rep_a(
+    t: &AnnInstance,
+    extra_base_consts: &BTreeSet<ConstId>,
+    budget: &SearchBudget,
+    visit: &mut dyn FnMut(&Instance) -> bool,
+) -> u64 {
+    search_rep_a(t, extra_base_consts, budget, visit).leaves
+}
+
+struct State<'a> {
+    t: &'a AnnInstance,
+    budget: &'a SearchBudget,
+    check: &'a mut dyn FnMut(&Instance) -> bool,
+    extra_base: BTreeSet<ConstId>,
+    leaves: u64,
+    capped: bool,
+    pool_truncated: bool,
+    witness: Option<(Instance, Valuation)>,
+}
+
+impl<'a> State<'a> {
+    fn valuation_dfs(
+        &mut self,
+        nulls: &[NullId],
+        i: usize,
+        fresh_used: usize,
+        palette: &Palette,
+        v: &mut Valuation,
+    ) {
+        if self.witness.is_some() || self.capped {
+            return;
+        }
+        if i == nulls.len() {
+            self.extras_phase(v);
+            return;
+        }
+        let choices: Vec<ConstId> = palette.choices(fresh_used).collect();
+        for c in choices {
+            let next_fresh = fresh_used + usize::from(palette.is_next_fresh(c, fresh_used));
+            v.set(nulls[i], c);
+            self.valuation_dfs(nulls, i + 1, next_fresh, palette, v);
+            v.unset(nulls[i]);
+            if self.witness.is_some() || self.capped {
+                return;
+            }
+        }
+    }
+
+    fn extras_phase(&mut self, v: &Valuation) {
+        let valued = self.t.apply(v);
+        let base_instance = valued.rel_part();
+        debug_assert!(base_instance.is_ground());
+
+        // Extension palette: adom of the valued instance + caller constants
+        // + canonical external constants.
+        let mut ext_base: BTreeSet<ConstId> = base_instance.adom_consts();
+        ext_base.extend(self.extra_base.iter().copied());
+        let ext_palette = Palette::new(
+            ext_base.iter().copied(),
+            self.budget.max_external_consts,
+            "e",
+        );
+        let (pool, n_templates) = self.candidate_pool(&valued, &base_instance, &ext_palette);
+
+        // Subsets of the pool, by increasing size.
+        let max_k = self.budget.max_extra_tuples.min(pool.len());
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut template_counts = vec![0usize; n_templates];
+        for k in 0..=max_k {
+            self.subsets(&pool, &base_instance, v, k, 0, &mut chosen, &mut template_counts);
+            if self.witness.is_some() || self.capped {
+                return;
+            }
+        }
+    }
+
+    /// Build the extra-tuple candidate pool. Each entry carries the id of
+    /// the *template* (annotated tuple or empty marker) that licensed it,
+    /// so per-template caps (1-to-m semantics) can be enforced. Returns the
+    /// pool and the number of templates.
+    fn candidate_pool(
+        &mut self,
+        valued: &AnnInstance,
+        base: &Instance,
+        palette: &Palette,
+    ) -> (Vec<(RelSym, Tuple, usize)>, usize) {
+        let mut pool: Vec<(RelSym, Tuple, usize)> = Vec::new();
+        let mut template = 0usize;
+        if self.budget.max_extra_tuples == 0 {
+            return (pool, 0);
+        }
+        let consts: Vec<ConstId> = palette.all().collect();
+        for (rel, arel) in valued.relations() {
+            // Replications of tuples with open positions.
+            for at in arel.iter() {
+                let open: Vec<usize> = at.ann.open_positions().collect();
+                if open.is_empty() {
+                    continue;
+                }
+                let tid = template;
+                template += 1;
+                let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+                let combos = consts.len().checked_pow(open.len() as u32);
+                if combos.is_none_or(|c| pool.len() + c > self.budget.max_candidate_pool) {
+                    self.pool_truncated = true;
+                }
+                let mut idx = vec![0usize; open.len()];
+                'combo: loop {
+                    if pool.len() >= self.budget.max_candidate_pool {
+                        self.pool_truncated = true;
+                        break 'combo;
+                    }
+                    let mut vals: Vec<Value> = at.tuple.values().to_vec();
+                    for (slot, &pos) in open.iter().enumerate() {
+                        vals[pos] = Value::Const(consts[idx[slot]]);
+                    }
+                    let cand = Tuple::new(vals);
+                    if !base.contains(rel, &cand) && seen.insert(cand.clone()) {
+                        pool.push((rel, cand, tid));
+                    }
+                    // Next combination.
+                    let mut carry = 0usize;
+                    loop {
+                        if carry == idx.len() {
+                            break 'combo;
+                        }
+                        idx[carry] += 1;
+                        if idx[carry] < consts.len() {
+                            break;
+                        }
+                        idx[carry] = 0;
+                        carry += 1;
+                    }
+                }
+            }
+            // Arbitrary tuples licensed by all-open empty markers.
+            if arel.has_all_open_empty_mark() {
+                let arity = arel.arity();
+                if arity == 0 {
+                    continue;
+                }
+                let tid = template;
+                template += 1;
+                let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+                let combos = consts.len().checked_pow(arity as u32);
+                if combos.is_none_or(|c| pool.len() + c > self.budget.max_candidate_pool) {
+                    self.pool_truncated = true;
+                }
+                let mut idx = vec![0usize; arity];
+                'combo2: loop {
+                    if pool.len() >= self.budget.max_candidate_pool {
+                        self.pool_truncated = true;
+                        break 'combo2;
+                    }
+                    let vals: Vec<Value> =
+                        idx.iter().map(|&j| Value::Const(consts[j])).collect();
+                    let cand = Tuple::new(vals);
+                    if !base.contains(rel, &cand) && seen.insert(cand.clone()) {
+                        pool.push((rel, cand, tid));
+                    }
+                    let mut carry = 0usize;
+                    loop {
+                        if carry == idx.len() {
+                            break 'combo2;
+                        }
+                        idx[carry] += 1;
+                        if idx[carry] < consts.len() {
+                            break;
+                        }
+                        idx[carry] = 0;
+                        carry += 1;
+                    }
+                }
+            }
+        }
+        (pool, template)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn subsets(
+        &mut self,
+        pool: &[(RelSym, Tuple, usize)],
+        base: &Instance,
+        v: &Valuation,
+        k: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+        template_counts: &mut [usize],
+    ) {
+        if self.witness.is_some() || self.capped {
+            return;
+        }
+        if k == 0 {
+            self.leaves += 1;
+            if let Some(cap) = self.budget.max_leaves {
+                if self.leaves > cap {
+                    self.capped = true;
+                    return;
+                }
+            }
+            let mut inst = base.clone();
+            for &i in chosen.iter() {
+                let (rel, t, _) = &pool[i];
+                inst.insert(*rel, t.clone());
+            }
+            if (self.check)(&inst) {
+                self.witness = Some((inst, v.clone()));
+            }
+            return;
+        }
+        if start + k > pool.len() {
+            return;
+        }
+        let per_template = self.budget.max_extra_per_template.unwrap_or(usize::MAX);
+        for i in start..=(pool.len() - k) {
+            let tid = pool[i].2;
+            if template_counts[tid] >= per_template {
+                continue;
+            }
+            template_counts[tid] += 1;
+            chosen.push(i);
+            self.subsets(pool, base, v, k - 1, i + 1, chosen, template_counts);
+            chosen.pop();
+            template_counts[tid] -= 1;
+            if self.witness.is_some() || self.capped {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::{Ann, AnnTuple, Annotation};
+
+    fn at(vals: Vec<Value>, anns: Vec<Ann>) -> AnnTuple {
+        AnnTuple::new(Tuple::new(vals), Annotation::new(anns))
+    }
+
+    /// All-closed: the search space is exactly the valuations.
+    #[test]
+    fn closed_world_counts_valuations() {
+        let rel = RelSym::new("EnumA");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+        );
+        // Palette: base {a} + 1 fresh → 2 valuations → 2 leaves.
+        let n = enumerate_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::closed_world(),
+            &mut |_| false,
+        );
+        assert_eq!(n, 2);
+    }
+
+    /// Symmetry breaking: with two independent nulls and no base constants,
+    /// the canonical valuations are ⊥0↦f0 with ⊥1 ∈ {f0, f1}: 2 leaves,
+    /// not 4.
+    #[test]
+    fn fresh_constant_symmetry_breaking() {
+        let rel = RelSym::new("EnumB");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Closed]),
+        );
+        let n = enumerate_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::closed_world(),
+            &mut |_| false,
+        );
+        assert_eq!(n, 2);
+    }
+
+    /// Open positions produce replicated extras.
+    #[test]
+    fn open_replication_finds_bigger_instances() {
+        let rel = RelSym::new("EnumC");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]),
+        );
+        // Look for an instance with ≥ 3 tuples (requires 2 extras).
+        let outcome = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(2, 2),
+            &mut |i| i.tuple_count() >= 3,
+        );
+        let (w, _) = outcome.witness.expect("replication should reach 3 tuples");
+        assert_eq!(w.tuple_count(), 3);
+        // All tuples share the closed first coordinate.
+        for tup in w.tuples(rel) {
+            assert_eq!(tup.get(0), Value::c("a"));
+        }
+    }
+
+    /// A closed instance can never grow.
+    #[test]
+    fn closed_instances_cannot_grow() {
+        let rel = RelSym::new("EnumD");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+        );
+        let outcome = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::default(),
+            &mut |i| i.tuple_count() >= 2,
+        );
+        assert!(outcome.witness.is_none());
+        assert_eq!(outcome.completeness, Completeness::Exact);
+    }
+
+    /// Witnesses returned really are Rep_A members.
+    #[test]
+    fn witnesses_verify_via_repa_membership() {
+        let rel = RelSym::new("EnumE");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Open]),
+        );
+        let outcome = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(1, 2),
+            &mut |i| i.tuple_count() == 2,
+        );
+        let (w, _) = outcome.witness.expect("found");
+        assert!(crate::repa::rep_a_membership(&t, &w).is_some());
+    }
+
+    /// Empty markers: all-open marks generate arbitrary tuples.
+    #[test]
+    fn all_open_marks_generate() {
+        let rel = RelSym::new("EnumF");
+        let mut t = AnnInstance::new();
+        t.insert_empty_mark(rel, Annotation::all_open(1));
+        let outcome = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(2, 1),
+            &mut |i| i.tuple_count() == 1,
+        );
+        assert!(outcome.witness.is_some());
+        // And the empty instance is also in the space (first leaf).
+        let outcome2 = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(2, 1),
+            &mut |i| i.is_empty(),
+        );
+        assert!(outcome2.witness.is_some());
+    }
+
+    /// Leaf caps are honoured and reported.
+    #[test]
+    fn leaf_cap_reported() {
+        let rel = RelSym::new("EnumG");
+        let mut t = AnnInstance::new();
+        for i in 0..4 {
+            t.insert(
+                rel,
+                at(vec![Value::null(i)], vec![Ann::Closed]),
+            );
+        }
+        let budget = SearchBudget {
+            max_leaves: Some(3),
+            ..SearchBudget::closed_world()
+        };
+        let outcome = search_rep_a(&t, &BTreeSet::new(), &budget, &mut |_| false);
+        assert_eq!(outcome.completeness, Completeness::Capped);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's §1 running example: conference submissions and reviews.
+//!
+//! Source schema `σ = {Papers(paper#, title), Assignments(paper#, reviewer)}`,
+//! target schema `τ = {Reviews(paper#, review), Submissions(paper#, author)}`,
+//! with the three annotated rules from the introduction:
+//!
+//! ```text
+//! Submissions(x:cl, z:op) :- Papers(x, y)
+//! Reviews(x:cl, z:cl)     :- Assignments(x, y)
+//! Reviews(x:cl, z:op)     :- Papers(x, y) ∧ ¬∃r Assignments(x, r)
+//! ```
+
+use dx_chase::Mapping;
+use dx_logic::Query;
+use dx_relation::Instance;
+
+/// The three-rule annotated mapping of §1.
+pub fn mapping() -> Mapping {
+    Mapping::parse(
+        "Submissions(x:cl, z:op) <- Papers(x, y);\n\
+         Reviews(x:cl, z:cl)     <- Assignments(x, y);\n\
+         Reviews(x:cl, z:op)     <- Papers(x, y) & !exists r. Assignments(x, r)",
+    )
+    .expect("the running example parses")
+}
+
+/// A source with `n` papers; paper `i` is assigned to reviewer `r{i%k}` when
+/// `i % assign_every == 0` (so a mix of assigned and unassigned papers),
+/// with `k = 3` reviewers.
+pub fn source(n: usize, assign_every: usize) -> Instance {
+    let mut s = Instance::new();
+    for i in 0..n {
+        s.insert_names("Papers", &[&format!("p{i}"), &format!("title{i}")]);
+        if assign_every > 0 && i % assign_every == 0 {
+            s.insert_names("Assignments", &[&format!("p{i}"), &format!("r{}", i % 3)]);
+        }
+    }
+    s
+}
+
+/// The motivating query: *does every paper have exactly one author?* —
+/// certain-true under all-CWA (the anomaly), certain-false once the author
+/// attribute is open.
+pub fn one_author_query() -> Query {
+    Query::boolean(
+        dx_logic::parse_formula(
+            "forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2) -> a1 = a2)",
+        )
+        .expect("query parses"),
+    )
+}
+
+/// A positive query: papers that have some review (`∃z Reviews(x, z)`),
+/// answerable by naive evaluation for every annotation (Proposition 3).
+pub fn reviewed_query() -> Query {
+    Query::parse(&["x"], "exists z. Reviews(x, z)").expect("query parses")
+}
+
+/// A positive Boolean join query: is some paper both submitted and reviewed?
+pub fn submitted_and_reviewed() -> Query {
+    Query::boolean(
+        dx_logic::parse_formula("exists x a r. Submissions(x, a) & Reviews(x, r)")
+            .expect("query parses"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_chase::canonical_solution;
+    use dx_relation::RelSym;
+
+    #[test]
+    fn canonical_solution_shape() {
+        let m = mapping();
+        let s = source(4, 2); // papers p0..p3; p0, p2 assigned
+        let csol = canonical_solution(&m, &s);
+        // Submissions: one tuple per paper.
+        assert_eq!(
+            csol.instance.relation(RelSym::new("Submissions")).unwrap().len(),
+            4
+        );
+        // Reviews: one closed tuple per assignment (p0, p2) + one open-review
+        // tuple per unassigned paper (p1, p3).
+        assert_eq!(csol.instance.relation(RelSym::new("Reviews")).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn reviewed_query_is_certain_for_all_papers() {
+        let m = mapping();
+        let s = source(3, 1); // all assigned
+        let (rel, _) = dx_core::certain::certain_answers(&m, &s, &reviewed_query(), None);
+        assert_eq!(rel.len(), 3, "every paper certainly has a review");
+    }
+
+    #[test]
+    fn one_author_flips_with_annotation() {
+        let m = mapping();
+        let s = source(2, 0);
+        let q = one_author_query();
+        let empty = dx_relation::Tuple::new(Vec::<dx_relation::Value>::new());
+        let mixed = dx_core::certain::certain_contains(&m, &s, &q, &empty, None);
+        assert!(!mixed.certain, "open author admits multiple authors");
+        let cwa = dx_core::certain::certain_cwa(&m, &s, &q, &empty);
+        assert!(cwa.certain, "the CWA anomaly");
+    }
+}

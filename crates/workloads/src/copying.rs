@@ -1,0 +1,88 @@
+//! Copying mappings `R′(x̄) :– R(x̄)`.
+//!
+//! Copying mappings carry several of the paper's lower bounds (§4): even for
+//! them, OWA certain answers of FO queries are intractable, while the CWA
+//! behaves well. The builders here produce copy mappings for arbitrary
+//! schemas with a chosen annotation, plus the two-rule `#op = 1` shape
+//! `R′₁(x̄cl) :– R₁(x̄), R′₂(x̄cl, z op) :– R₂(x̄)` the paper singles out after
+//! Theorem 3.
+
+use dx_chase::{Mapping, Std, TargetAtom};
+use dx_logic::{Formula, Term};
+use dx_relation::{Ann, Annotation, RelSym, Schema, Var};
+
+/// A copying mapping for `schema`: each `R/k` gets `R′(x̄) :– R(x̄)` with
+/// every target position annotated `ann`. Target relations are named
+/// `{R}_p`.
+pub fn copy_mapping(schema: &Schema, ann: Ann) -> Mapping {
+    let stds = schema
+        .iter()
+        .map(|(rel, arity)| {
+            let vars: Vec<Var> = (0..arity).map(|i| Var::indexed("x", i)).collect();
+            let args: Vec<Term> = vars.iter().map(|&v| Term::Var(v)).collect();
+            let head = TargetAtom::new(
+                RelSym::new(&format!("{}_p", rel.name())),
+                args.clone(),
+                Annotation::new(vec![ann; arity]),
+            );
+            Std::new(vec![head], Formula::Atom(rel, args))
+        })
+        .collect();
+    Mapping::from_stds(stds)
+}
+
+/// The paper's minimal `#op = 1` hardness carrier: a copying rule plus one
+/// open-null-introducing rule,
+/// `R1p(x̄:cl) :– R1(x̄); R2p(x:cl, z:op) :– R2(x)`.
+pub fn one_open_null_mapping(arity1: usize) -> Mapping {
+    let vars: Vec<Var> = (0..arity1).map(|i| Var::indexed("x", i)).collect();
+    let args: Vec<Term> = vars.iter().map(|&v| Term::Var(v)).collect();
+    let copy = Std::new(
+        vec![TargetAtom::new(
+            RelSym::new("R1p"),
+            args.clone(),
+            Annotation::all_closed(arity1),
+        )],
+        Formula::Atom(RelSym::new("R1"), args),
+    );
+    let open = Std::parse("R2p(x:cl, z:op) <- R2(x)").expect("parses");
+    Mapping::from_stds(vec![copy, open])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::Instance;
+
+    #[test]
+    fn copy_mapping_shape() {
+        let schema = Schema::from_pairs([("E", 2), ("V", 1)]);
+        let m = copy_mapping(&schema, Ann::Closed);
+        assert!(m.is_copying());
+        assert!(m.is_all_closed());
+        assert_eq!(m.stds.len(), 2);
+        assert_eq!(m.target.arity(RelSym::new("E_p")), Some(2));
+    }
+
+    #[test]
+    fn copy_semantics_under_cwa() {
+        let schema = Schema::from_pairs([("E", 2)]);
+        let m = copy_mapping(&schema, Ann::Closed);
+        let mut s = Instance::new();
+        s.insert_names("E", &["a", "b"]);
+        let mut copy = Instance::new();
+        copy.insert_names("E_p", &["a", "b"]);
+        assert!(dx_core::semantics::is_member(&m, &s, &copy));
+        let mut bigger = copy.clone();
+        bigger.insert_names("E_p", &["c", "d"]);
+        assert!(!dx_core::semantics::is_member(&m, &s, &bigger));
+        assert!(dx_core::semantics::is_member(&m.all_open(), &s, &bigger));
+    }
+
+    #[test]
+    fn one_open_null_statistics() {
+        let m = one_open_null_mapping(2);
+        assert_eq!(m.num_op(), 1);
+        assert_eq!(m.num_cl(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! The SkSTD example (8): inventing employee ids and phones.
+//!
+//! `T(f(em):cl, em:cl, g(em, proj):op) :- S(em, proj)` — one id per employee
+//! *name* (`f` depends on the name only), one invented phone per
+//! (name, project) pair, with the phone attribute open (employees may have
+//! more phones).
+
+use dx_core::skstd::SkMapping;
+use dx_relation::Instance;
+
+/// The example (8) mapping.
+pub fn mapping() -> SkMapping {
+    SkMapping::parse("T(f(em):cl, em:cl, g(em, proj):op) <- S(em, proj)").expect("parses")
+}
+
+/// A source with `n` employees, employee `i` working on `projects_per`
+/// projects.
+pub fn source(n: usize, projects_per: usize) -> Instance {
+    let mut s = Instance::new();
+    for i in 0..n {
+        for p in 0..projects_per {
+            s.insert_names("S", &[&format!("emp{i}"), &format!("proj{p}")]);
+        }
+    }
+    s
+}
+
+/// The "intended" target: ids `id{i}`, phones `ph{i}_{p}` — a canonical
+/// member of the semantics.
+pub fn intended_target(n: usize, projects_per: usize) -> Instance {
+    let mut t = Instance::new();
+    for i in 0..n {
+        for p in 0..projects_per {
+            t.insert_names(
+                "T",
+                &[&format!("id{i}"), &format!("emp{i}"), &format!("ph{i}_{p}")],
+            );
+        }
+    }
+    t
+}
+
+/// A target violating the functional `f`: employee 0 with two ids.
+pub fn two_id_target(n: usize, projects_per: usize) -> Instance {
+    let mut t = intended_target(n, projects_per);
+    t.insert_names("T", &["otherid0", "emp0", "ph_extra"]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intended_target_is_member() {
+        let m = mapping();
+        assert!(m.membership(&source(2, 2), &intended_target(2, 2)).is_some());
+    }
+
+    #[test]
+    fn two_ids_rejected() {
+        let m = mapping();
+        assert!(m.membership(&source(2, 2), &two_id_target(2, 2)).is_none());
+    }
+
+    #[test]
+    fn extra_phone_is_fine() {
+        // The phone position is open: extra phones for an existing
+        // (id, name) pair are allowed.
+        let m = mapping();
+        let mut t = intended_target(1, 1);
+        t.insert_names("T", &["id0", "emp0", "second-phone"]);
+        assert!(m.membership(&source(1, 1), &t).is_some());
+    }
+}

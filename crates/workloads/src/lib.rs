@@ -1,0 +1,33 @@
+//! # dx-workloads — workload generators and hardness reductions
+//!
+//! Every lower bound in the paper is witnessed by an explicit reduction;
+//! this crate turns each into an executable workload, alongside the worked
+//! examples used throughout the text:
+//!
+//! * [`conference`] — the §1 running example (Papers/Assignments →
+//!   Submissions/Reviews) with scalable sources;
+//! * [`copying`] — copying mappings `R′(x̄) :– R(x̄)` (the §4 lower-bound
+//!   carriers);
+//! * [`employees`] — the SkSTD example (8) (employee ids and phones);
+//! * [`tripartite`] — tripartite matching ↔ `T ∈ ⟦S⟧_Σα` (Theorem 2's
+//!   NP-hardness), with a brute-force baseline;
+//! * [`coloring`] — 3-colorability ↔ `Comp(Σcl, Δα′)` (Theorem 4's
+//!   NP-hardness), with a brute-force baseline;
+//! * [`tiling`] — the 2ⁿ×2ⁿ tiling system behind Theorem 3's
+//!   coNEXPTIME-hardness: the fixed mapping, the sentence `β`, witness
+//!   construction from tilings, and a brute-force tiler;
+//! * [`powerset`] — the polynomial-hierarchy gadget of §4 (`Φ_p`: an open
+//!   null relation encodes a powerset) with an MSO-style worked example;
+//! * [`random_gen`] — seeded random instances/mappings/annotations for
+//!   property tests and benches.
+
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod conference;
+pub mod copying;
+pub mod employees;
+pub mod powerset;
+pub mod random_gen;
+pub mod tiling;
+pub mod tripartite;

@@ -1,0 +1,171 @@
+//! The polynomial-hierarchy gadget of §4: open nulls encode a powerset.
+//!
+//! Between Theorem 3's statement and proof, the paper sketches why `#op = 1`
+//! already escapes the polynomial hierarchy: with the two-rule mapping
+//!
+//! ```text
+//! E'(x:cl, y:cl) :- E(x, y)
+//! P(x:cl, z:op)  :- V(x)
+//! ```
+//!
+//! a sentence `Φ_p` can force `P` to encode the **powerset** of `V` (each
+//! set of vertices is the `P`-preimage of some value), after which monadic
+//! second-order quantification over `E` becomes first-order quantification
+//! over `P`-indices — and MSO over graphs is hard for every level of PH.
+//!
+//! This module builds `Φ_p`, a worked MSO→FO example (2-colourability /
+//! bipartiteness), and the powerset witness instances that make the whole
+//! argument machine-checkable.
+
+use dx_chase::Mapping;
+use dx_logic::{Evaluator, Formula, Term};
+use dx_relation::{Instance, Var};
+
+/// The fixed `#op = 1` mapping of the gadget.
+pub fn mapping() -> Mapping {
+    Mapping::parse(
+        "Ep(x:cl, y:cl) <- E(x, y);\n\
+         P(x:cl, z:op)  <- V(x)",
+    )
+    .expect("parses")
+}
+
+fn v(n: &str) -> Var {
+    Var::new(n)
+}
+
+fn atom(rel: &str, vars: &[&str]) -> Formula {
+    Formula::atom(rel, vars.iter().map(|n| Term::var(n)).collect())
+}
+
+/// `Φ_p`: `P` encodes (at least) a powerset structure over its first column:
+///
+/// * **singletons** — for each vertex `a` there is an index `c` with
+///   `P(a, c)` and no other `P(·, c)`;
+/// * **unions** — for any indices `c₁, c₂` there is an index `c` whose set
+///   is exactly the union of theirs.
+pub fn phi_p() -> Formula {
+    let singletons = Formula::forall(
+        vec![v("a")],
+        Formula::implies(
+            Formula::exists(vec![v("w")], atom("P", &["a", "w"])),
+            Formula::exists(
+                vec![v("c")],
+                Formula::and([
+                    atom("P", &["a", "c"]),
+                    Formula::forall(
+                        vec![v("a2")],
+                        Formula::implies(
+                            atom("P", &["a2", "c"]),
+                            Formula::Eq(Term::var("a2"), Term::var("a")),
+                        ),
+                    ),
+                ]),
+            ),
+        ),
+    );
+    let unions = Formula::forall(
+        vec![v("c1"), v("c2")],
+        Formula::implies(
+            Formula::and([
+                Formula::exists(vec![v("u1")], atom("P", &["u1", "c1"])),
+                Formula::exists(vec![v("u2")], atom("P", &["u2", "c2"])),
+            ]),
+            Formula::exists(
+                vec![v("c")],
+                Formula::forall(
+                    vec![v("a")],
+                    Formula::iff(
+                        atom("P", &["a", "c"]),
+                        Formula::or([atom("P", &["a", "c1"]), atom("P", &["a", "c2"])]),
+                    ),
+                ),
+            ),
+        ),
+    );
+    Formula::and([singletons, unions])
+}
+
+/// The MSO sentence "the graph is 2-colourable (bipartite)" translated to FO
+/// over `{E', P}`: `∃c ∀u ∀v (E'(u,v) → (P(u,c) ↔ ¬P(v,c)))`.
+pub fn bipartite_fo() -> Formula {
+    Formula::exists(
+        vec![v("c")],
+        Formula::forall(
+            vec![v("u"), v("w")],
+            Formula::implies(
+                atom("Ep", &["u", "w"]),
+                Formula::iff(atom("P", &["u", "c"]), Formula::not(atom("P", &["w", "c"]))),
+            ),
+        ),
+    )
+}
+
+/// Build the powerset witness: `E'` copies the edges; `P(vᵢ, s_m)` for every
+/// subset mask `m ∋ i` over `n` vertices (index values `s_0 … s_{2ⁿ−1}`;
+/// `s_0` is the empty set and gets a self-standing marker row only if
+/// `include_empty`).
+pub fn powerset_witness(n: usize, edges: &[(usize, usize)]) -> Instance {
+    let mut inst = Instance::new();
+    for &(a, b) in edges {
+        inst.insert_names("Ep", &[&format!("v{a}"), &format!("v{b}")]);
+    }
+    for mask in 0u32..(1 << n) {
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                inst.insert_names("P", &[&format!("v{i}"), &format!("s{mask}")]);
+            }
+        }
+    }
+    inst
+}
+
+/// Evaluate an FO sentence over the powerset witness of a graph — the
+/// workhorse for MSO-style properties in the experiments.
+pub fn holds_on_powerset(n: usize, edges: &[(usize, usize)], sentence: &Formula) -> bool {
+    let w = powerset_witness(n, edges);
+    Evaluator::for_formula(&w, sentence).holds(sentence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_chase::canonical_solution;
+    use dx_solver::repa::rep_a_membership;
+
+    #[test]
+    fn phi_p_holds_on_full_powerset() {
+        let w = powerset_witness(3, &[(0, 1)]);
+        assert!(Evaluator::for_formula(&w, &phi_p()).holds(&phi_p()));
+    }
+
+    #[test]
+    fn phi_p_fails_without_unions() {
+        // Only singletons: union closure fails for n ≥ 2.
+        let mut w = Instance::new();
+        w.insert_names("P", &["v0", "s1"]);
+        w.insert_names("P", &["v1", "s2"]);
+        assert!(!Evaluator::for_formula(&w, &phi_p()).holds(&phi_p()));
+    }
+
+    #[test]
+    fn witness_is_a_rep_a_member() {
+        // The powerset witness really lives in Rep_A(CSol_A(S)).
+        let mut s = Instance::new();
+        s.insert_names("V", &["v0"]);
+        s.insert_names("V", &["v1"]);
+        s.insert_names("E", &["v0", "v1"]);
+        let w = powerset_witness(2, &[(0, 1)]);
+        let csol = canonical_solution(&mapping(), &s);
+        assert!(rep_a_membership(&csol.instance, &w).is_some());
+    }
+
+    #[test]
+    fn bipartiteness_via_powerset() {
+        // Even cycle: bipartite. Odd cycle: not.
+        let even = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        assert!(holds_on_powerset(4, &even, &bipartite_fo()));
+        let odd = [(0, 1), (1, 2), (2, 0)];
+        assert!(!holds_on_powerset(3, &odd, &bipartite_fo()));
+    }
+}

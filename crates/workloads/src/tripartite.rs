@@ -1,0 +1,196 @@
+//! Tripartite matching and the Theorem 2 reduction.
+//!
+//! Theorem 2's NP-hardness: given disjoint sets `B₀, G₀, H₀` of size `n` and
+//! a compatibility relation `C₀ ⊆ B₀ × G₀ × H₀`, build source/target
+//! instances for the fixed annotated mapping
+//!
+//! ```text
+//! C(x:op, y:op, z:op), B(x:cl), G(y:cl), H(z:cl) :- N(w)
+//! C(x:op, y:op, z:op)                            :- Cp(x, y, z)
+//! ```
+//!
+//! so that `T ∈ ⟦S⟧_Σα` iff a perfect tripartite matching exists. The
+//! valuation of the `i`-th rule-1 nulls *is* the `i`-th chosen triple; the
+//! closed annotations on `B/G/H` force the chosen triples to cover all
+//! elements.
+
+use dx_chase::Mapping;
+use dx_core::semantics;
+use dx_relation::Instance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A tripartite matching instance: element universe sizes `n` and the
+/// compatibility triples (indices into `0..n` per part).
+#[derive(Clone, Debug)]
+pub struct TripartiteInstance {
+    /// Size of each part.
+    pub n: usize,
+    /// Compatible triples `(b, g, h)`.
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl TripartiteInstance {
+    /// A *planted* instance: a hidden perfect matching plus `extra` random
+    /// triples (always solvable).
+    pub fn planted(n: usize, extra: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gs: Vec<usize> = (0..n).collect();
+        let mut hs: Vec<usize> = (0..n).collect();
+        gs.shuffle(&mut rng);
+        hs.shuffle(&mut rng);
+        let mut triples: Vec<(usize, usize, usize)> =
+            (0..n).map(|b| (b, gs[b], hs[b])).collect();
+        for _ in 0..extra {
+            triples.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+            ));
+        }
+        triples.sort_unstable();
+        triples.dedup();
+        TripartiteInstance { n, triples }
+    }
+
+    /// A random instance with `m` triples (may or may not be solvable).
+    pub fn random(n: usize, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut triples: Vec<(usize, usize, usize)> = (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                )
+            })
+            .collect();
+        triples.sort_unstable();
+        triples.dedup();
+        TripartiteInstance { n, triples }
+    }
+
+    /// Brute-force baseline: find a perfect matching by backtracking.
+    pub fn solve_brute_force(&self) -> Option<Vec<(usize, usize, usize)>> {
+        let mut used_g = vec![false; self.n];
+        let mut used_h = vec![false; self.n];
+        let mut by_b: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.n];
+        for &(b, g, h) in &self.triples {
+            by_b[b].push((g, h));
+        }
+        let mut chosen = Vec::with_capacity(self.n);
+        fn go(
+            b: usize,
+            n: usize,
+            by_b: &[Vec<(usize, usize)>],
+            used_g: &mut [bool],
+            used_h: &mut [bool],
+            chosen: &mut Vec<(usize, usize, usize)>,
+        ) -> bool {
+            if b == n {
+                return true;
+            }
+            for &(g, h) in &by_b[b] {
+                if !used_g[g] && !used_h[h] {
+                    used_g[g] = true;
+                    used_h[h] = true;
+                    chosen.push((b, g, h));
+                    if go(b + 1, n, by_b, used_g, used_h, chosen) {
+                        return true;
+                    }
+                    chosen.pop();
+                    used_g[g] = false;
+                    used_h[h] = false;
+                }
+            }
+            false
+        }
+        go(0, self.n, &by_b, &mut used_g, &mut used_h, &mut chosen).then_some(chosen)
+    }
+}
+
+/// The fixed annotated mapping of the reduction (`#cl(Σα) = 1`).
+pub fn mapping() -> Mapping {
+    Mapping::parse(
+        "C(x:op, y:op, z:op), B(x:cl), G(y:cl), H(z:cl) <- N(w);\n\
+         C(x:op, y:op, z:op) <- Cp(x, y, z)",
+    )
+    .expect("the reduction mapping parses")
+}
+
+/// The source instance: `N = {1..n}`, `Cp = C₀` (elements named `b{i}`,
+/// `g{i}`, `h{i}`).
+pub fn source(inst: &TripartiteInstance) -> Instance {
+    let mut s = Instance::new();
+    for i in 1..=inst.n {
+        s.insert_names("N", &[&format!("{i}")]);
+    }
+    for &(b, g, h) in &inst.triples {
+        s.insert_names("Cp", &[&format!("b{b}"), &format!("g{g}"), &format!("h{h}")]);
+    }
+    s
+}
+
+/// The target instance: `C = C₀`, `B = B₀`, `G = G₀`, `H = H₀`.
+pub fn target(inst: &TripartiteInstance) -> Instance {
+    let mut t = Instance::new();
+    for &(b, g, h) in &inst.triples {
+        t.insert_names("C", &[&format!("b{b}"), &format!("g{g}"), &format!("h{h}")]);
+    }
+    for i in 0..inst.n {
+        t.insert_names("B", &[&format!("b{i}")]);
+        t.insert_names("G", &[&format!("g{i}")]);
+        t.insert_names("H", &[&format!("h{i}")]);
+    }
+    t
+}
+
+/// Solve tripartite matching *through the data-exchange membership problem*:
+/// `T ∈ ⟦S⟧_Σα` iff a perfect matching exists.
+pub fn solve_via_membership(inst: &TripartiteInstance) -> bool {
+    let m = mapping();
+    semantics::is_member(&m, &source(inst), &target(inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_instances_are_solvable_both_ways() {
+        for seed in 0..5 {
+            let inst = TripartiteInstance::planted(3, 2, seed);
+            assert!(inst.solve_brute_force().is_some());
+            assert!(solve_via_membership(&inst), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsolvable_instance_rejected() {
+        // Two b's forced onto the same g: no perfect matching.
+        let inst = TripartiteInstance {
+            n: 2,
+            triples: vec![(0, 0, 0), (1, 0, 1)],
+        };
+        assert!(inst.solve_brute_force().is_none());
+        assert!(!solve_via_membership(&inst));
+    }
+
+    #[test]
+    fn reduction_agrees_with_brute_force_on_random_instances() {
+        for seed in 0..12 {
+            let inst = TripartiteInstance::random(3, 5, seed);
+            let brute = inst.solve_brute_force().is_some();
+            let exchange = solve_via_membership(&inst);
+            assert_eq!(brute, exchange, "disagreement at seed {seed}: {inst:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_statistics() {
+        let m = mapping();
+        assert_eq!(m.num_cl(), 1, "#cl(Σα) = 1 as in the paper");
+        assert_eq!(m.num_op(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! A miniature complexity laboratory: watch the paper's two trichotomies
+//! appear as timing curves.
+//!
+//! ```sh
+//! cargo run --release --example complexity_lab
+//! ```
+
+use oc_exchange::chase::Mapping;
+use oc_exchange::core::{certain, compose, semantics};
+use oc_exchange::logic::Query;
+use oc_exchange::solver::SearchBudget;
+use oc_exchange::{Instance, Tuple, Value};
+use std::time::Instant;
+
+fn us(f: impl FnOnce()) -> u128 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_micros()
+}
+
+fn unary_source(n: usize) -> Instance {
+    let mut s = Instance::new();
+    for i in 0..n {
+        s.insert_names("E", &[&format!("e{i}")]);
+    }
+    s
+}
+
+fn main() {
+    println!("== Theorem 2: membership, PTIME vs NP path ==");
+    println!("{:<4} {:>16} {:>16}", "n", "all-open (µs)", "all-closed (µs)");
+    for n in [4, 8, 16, 32] {
+        let mut s = Instance::new();
+        let mut t = Instance::new();
+        for i in 0..n {
+            s.insert_names("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+            t.insert_names("Ep", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let open = Mapping::parse("Ep(x:op, y:op) <- E(x, y)").unwrap();
+        let closed = Mapping::parse("Ep(x:cl, y:cl) <- E(x, y)").unwrap();
+        let d_open = us(|| {
+            semantics::is_member(&open, &s, &t);
+        });
+        let d_closed = us(|| {
+            semantics::is_member(&closed, &s, &t);
+        });
+        println!("{n:<4} {d_open:>16} {d_closed:>16}");
+    }
+
+    println!("\n== Theorem 3: DEQA, #op = 0 (coNP) vs #op = 1 (coNEXPTIME-ish) ==");
+    let q = Query::boolean(
+        oc_exchange::logic::parse_formula(
+            "exists x. ((exists u. R(x, u)) & (forall y w. (R(y, w) & R(x, w) -> y = x)))",
+        )
+        .unwrap(),
+    );
+    let empty = Tuple::new(Vec::<Value>::new());
+    println!(
+        "{:<4} {:>14} {:>10} {:>16} {:>10}",
+        "n", "#op=0 (µs)", "leaves", "#op=1 (µs)", "leaves"
+    );
+    for n in [1, 2, 3, 4] {
+        let s = unary_source(n);
+        let closed = Mapping::parse("R(x:cl, z:cl) <- E(x)").unwrap();
+        let open = Mapping::parse("R(x:cl, z:op) <- E(x)").unwrap();
+        let mut leaves0 = 0;
+        let d0 = us(|| {
+            leaves0 = certain::certain_contains(&closed, &s, &q, &empty, None).leaves;
+        });
+        let budget = SearchBudget::bounded(2, 2);
+        let mut leaves1 = 0;
+        let d1 = us(|| {
+            leaves1 = certain::certain_contains(&open, &s, &q, &empty, Some(&budget)).leaves;
+        });
+        println!("{n:<4} {d0:>14} {leaves0:>10} {d1:>16} {leaves1:>10}");
+    }
+    println!("(#op > 1 is undecidable — Theorem 3(3): there is no sweep to run)");
+
+    println!("\n== Theorem 4 / Table 1: composition ==");
+    println!(
+        "{:<4} {:>14} {:>16} {:>20}",
+        "n", "#op=0 (µs)", "#op=1 (µs)", "monotone Δop (µs)"
+    );
+    for n in [2, 4, 8] {
+        let mut s = Instance::new();
+        let mut w = Instance::new();
+        for i in 0..n {
+            s.insert_names("E", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+            w.insert_names("F", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        }
+        let sig0 = Mapping::parse("M(x:cl, y:cl) <- E(x, y)").unwrap();
+        let sig1 = Mapping::parse("M(x:cl, z:op) <- E(x, y)").unwrap();
+        let del = Mapping::parse("F(x:cl, y:cl) <- M(x, y)").unwrap();
+        let delop = Mapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
+        let d0 = us(|| {
+            compose::comp_membership(&sig0, &del, &s, &w, None);
+        });
+        let mut w1 = Instance::new();
+        for i in 0..n.min(3) {
+            w1.insert_names("F", &[&format!("v{i}"), &format!("x{i}")]);
+        }
+        let d1 = us(|| {
+            compose::comp_membership(&sig1, &del, &s, &w1, None);
+        });
+        let d2 = us(|| {
+            compose::comp_membership(&sig1, &delop, &s, &w, None);
+        });
+        println!("{n:<4} {d0:>14} {d1:>16} {d2:>20}");
+    }
+    println!("(the monotone-Δop column is Lemma 3: Σ's annotation is irrelevant)");
+}

@@ -1,0 +1,61 @@
+//! The paper's full §1 scenario: three rules, negation in a body, and how
+//! query answers change across the OWA–CWA spectrum.
+//!
+//! ```sh
+//! cargo run --example conference_reviews
+//! ```
+
+use oc_exchange::chase::canonical_solution;
+use oc_exchange::core::certain;
+use oc_exchange::logic::Query;
+use oc_exchange::workloads::conference;
+use oc_exchange::{Tuple, Value};
+
+fn main() {
+    let mapping = conference::mapping();
+    println!("The §1 mapping:\n{mapping}");
+
+    // Two papers; p0 is assigned to a reviewer, p1 is not — small enough
+    // that the exhaustive CWA decision below stays instant.
+    let source = conference::source(2, 2);
+    println!("Source:\n{source}\n");
+
+    let csol = canonical_solution(&mapping, &source);
+    println!("Canonical solution:\n{}\n", csol.instance);
+    println!(
+        "({} justifications recorded, one per invented null)\n",
+        csol.null_origin.len()
+    );
+
+    let empty = Tuple::new(Vec::<Value>::new());
+
+    // Positive queries: one tractable answer for every annotation (Prop 3).
+    let reviewed = conference::reviewed_query();
+    let (answers, _) = certain::certain_answers(&mapping, &source, &reviewed, None);
+    println!("certain(\"papers with some review\") = {answers}");
+    println!("  — includes unassigned papers: the third rule invents their reviews.\n");
+
+    // The one-author anomaly across the spectrum.
+    let one_author = conference::one_author_query();
+    let owa = certain::certain_owa(&mapping, &source, &one_author, &empty, None);
+    let mixed = certain::certain_contains(&mapping, &source, &one_author, &empty, None);
+    let cwa = certain::certain_cwa(&mapping, &source, &one_author, &empty);
+    println!("certain(\"every paper has exactly one author\"):");
+    println!("  all-OWA : {}", owa.certain);
+    println!("  mixed   : {}   <- the paper's recommended annotation", mixed.certain);
+    println!("  all-CWA : {}   <- the §1 anomaly: CWA invents uniqueness", cwa.certain);
+
+    // A closed-world guarantee the OWA cannot give: every review belongs to
+    // a submitted paper (Submissions mirrors Papers one-to-one on paper#).
+    let no_rogue = Query::boolean(
+        oc_exchange::logic::parse_formula(
+            "forall p r. (Reviews(p, r) -> exists a. Submissions(p, a))",
+        )
+        .unwrap(),
+    );
+    let mixed2 = certain::certain_contains(&mapping, &source, &no_rogue, &empty, None);
+    let owa2 = certain::certain_owa(&mapping, &source, &no_rogue, &empty, None);
+    println!("\ncertain(\"every review belongs to a submitted paper\"):");
+    println!("  mixed   : {} (closed paper# gives the guarantee)", mixed2.certain);
+    println!("  all-OWA : {} (open world: rogue reviews may exist)", owa2.certain);
+}

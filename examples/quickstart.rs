@@ -1,0 +1,71 @@
+//! Quickstart: define an annotated mapping, exchange data, answer queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use oc_exchange::chase::{canonical_solution, Mapping};
+use oc_exchange::core::{certain, semantics};
+use oc_exchange::logic::Query;
+use oc_exchange::{Instance, Tuple, Value};
+
+fn main() {
+    // 1. A mapping with mixed open/closed annotations, in rule syntax:
+    //    paper numbers are closed (only source papers flow to the target),
+    //    authors are open (a paper may have many authors).
+    let mapping = Mapping::parse(
+        "Submissions(paper:cl, author:op) <- Papers(paper, title)",
+    )
+    .expect("rules parse");
+    println!("Mapping:\n{mapping}");
+
+    // 2. A source instance.
+    let mut source = Instance::new();
+    source.insert_names("Papers", &["p1", "Schema mappings, briefly"]);
+    source.insert_names("Papers", &["p2", "Nulls considered harmful"]);
+    println!("Source:\n{source}\n");
+
+    // 3. The annotated canonical solution: one tuple per paper, with an
+    //    open-annotated null for the unknown author.
+    let csol = canonical_solution(&mapping, &source);
+    println!("Canonical solution CSol_A(S):\n{}\n", csol.instance);
+
+    // 4. Membership in the mixed-world semantics ⟦S⟧_Σα (Theorem 2).
+    let mut target = Instance::new();
+    target.insert_names("Submissions", &["p1", "ada"]);
+    target.insert_names("Submissions", &["p1", "grace"]); // 2nd author: OK, open
+    target.insert_names("Submissions", &["p2", "edgar"]);
+    println!(
+        "T with two authors for p1 is a member: {}",
+        semantics::is_member(&mapping, &source, &target)
+    );
+    let mut rogue = target.clone();
+    rogue.insert_names("Submissions", &["p99", "nobody"]);
+    println!(
+        "T with an unknown paper p99 is a member: {} (paper# is closed)\n",
+        semantics::is_member(&mapping, &source, &rogue)
+    );
+
+    // 5. Certain answers. A positive query evaluates naively (Prop 3)…
+    let q = Query::parse(&["p"], "exists a. Submissions(p, a)").unwrap();
+    let (answers, _) = certain::certain_answers(&mapping, &source, &q, None);
+    println!("certain(\"papers with an author\") = {answers}");
+
+    // …while the one-author constraint is decided by counterexample search:
+    let one_author = Query::boolean(
+        oc_exchange::logic::parse_formula(
+            "forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2) -> a1 = a2)",
+        )
+        .unwrap(),
+    );
+    let empty = Tuple::new(Vec::<Value>::new());
+    let mixed = certain::certain_contains(&mapping, &source, &one_author, &empty, None);
+    let cwa = certain::certain_cwa(&mapping, &source, &one_author, &empty);
+    println!(
+        "certain(\"every paper has exactly one author\"): mixed = {}, all-CWA = {} (the paper's §1 anomaly)",
+        mixed.certain, cwa.certain
+    );
+    if let Some(cex) = mixed.counterexample {
+        println!("counterexample (a member with a two-author paper):\n{cex}");
+    }
+}

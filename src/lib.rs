@@ -1,0 +1,33 @@
+//! # oc-exchange — data exchange in open and closed worlds
+//!
+//! Umbrella crate re-exporting the full public API of the workspace, a Rust
+//! reproduction of *“Data exchange and schema mappings in open and closed
+//! worlds”* (Libkin & Sirangelo, PODS 2008 / JCSS 2011).
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory. The layering is:
+//!
+//! * [`relation`] — values, tuples, instances, open/closed annotations;
+//! * [`logic`] — FO formulas, parsing and evaluation over instances with nulls;
+//! * [`chase`] — annotated STDs, mappings, canonical solutions, homomorphisms;
+//! * [`solver`] — `Rep_A` membership and bounded counterexample search;
+//! * [`ctables`] — conditional tables (Imieliński–Lipski) with relational
+//!   algebra and exact certain answers;
+//! * [`core`] — the paper's results: mixed-world semantics, certain answers
+//!   (both trichotomies), and schema-mapping composition incl. SkSTDs;
+//! * [`workloads`] — generators and the hardness reductions from the proofs.
+
+#![warn(missing_docs)]
+
+pub use dx_chase as chase;
+pub use dx_ctables as ctables;
+pub use dx_core as core;
+pub use dx_logic as logic;
+pub use dx_relation as relation;
+pub use dx_solver as solver;
+pub use dx_workloads as workloads;
+
+pub use dx_relation::{
+    Ann, AnnInstance, AnnRelation, AnnTuple, Annotation, ConstId, FuncSym, Instance, NullGen,
+    NullId, RelSym, Relation, Schema, Tuple, Valuation, Value, Var,
+};

@@ -1,0 +1,101 @@
+//! Integration tests for cores of canonical solutions (the FKP \[12\]
+//! "getting to the core" machinery) against the paper's semantics: positive
+//! certain answers are invariant under taking cores, and the annotated core
+//! is itself a `Σα`-solution.
+
+use oc_exchange::chase::core::{ann_core_of, core_of, find_ann_hom, hom_equivalent};
+use oc_exchange::chase::{canonical_solution, solutions, Mapping};
+use oc_exchange::logic::Query;
+use oc_exchange::workloads::random_gen;
+use oc_exchange::{Instance, Schema};
+
+/// Positive-query certain answers (Prop 3: naive evaluation) agree between
+/// the canonical solution and its core: the two are homomorphically
+/// equivalent, and UCQ answers without nulls are hom-invariant.
+#[test]
+fn positive_certain_answers_invariant_under_core() {
+    let m = Mapping::parse(
+        "IcTgt(x:cl, z:op) <- IcSrc(x, y); IcLink(x:cl, y:cl) <- IcSrc(x, y)",
+    )
+    .unwrap();
+    let mut s = Instance::new();
+    s.insert_names("IcSrc", &["a", "p"]);
+    s.insert_names("IcSrc", &["a", "q"]);
+    s.insert_names("IcSrc", &["b", "p"]);
+    let csol = canonical_solution(&m, &s);
+    let core = ann_core_of(&csol.instance);
+    assert!(core.core.tuple_count() < csol.instance.tuple_count());
+
+    // A CQ joining the two target relations.
+    let q = Query::parse(&["x"], "(exists z. IcTgt(x, z)) & (exists y. IcLink(x, y))").unwrap();
+    let on_csol = q.naive_certain_answers(&csol.instance.rel_part());
+    let on_core = q.naive_certain_answers(&core.core.rel_part());
+    assert_eq!(on_csol, on_core);
+    assert!(!on_csol.is_empty());
+}
+
+/// The annotated core of `CSol_A(S)` is a `Σα`-solution for every sampled
+/// random mapping/source pair (Proposition 1 both ways).
+#[test]
+fn ann_core_is_solution_randomized() {
+    let schema = Schema::from_pairs([("CrA", 2), ("CrB", 1)]);
+    for seed in 0..40u64 {
+        let mut rng = random_gen::rng(seed);
+        let m = random_gen::random_mapping(&schema, 1, 0.5, &mut rng);
+        let s = random_gen::random_instance(&schema, 3, 3, &mut rng);
+        let csol = canonical_solution(&m, &s);
+        let core = ann_core_of(&csol.instance);
+        assert!(
+            solutions::is_solution(&m, &s, &core.core).is_some(),
+            "seed {seed}: annotated core must be a Σα-solution"
+        );
+        // And it stays hom-equivalent to the canonical solution.
+        assert!(find_ann_hom(&csol.instance, &core.core).is_some());
+        assert!(find_ann_hom(&core.core, &csol.instance).is_some());
+    }
+}
+
+/// FKP core can be strictly smaller than the annotated (Null→Null) core when
+/// the source supplies ground support for invented nulls.
+#[test]
+fn fkp_core_sharper_than_annotated_core() {
+    // Copy the edge AND invent a null companion: (a,b) supports ⊥ ↦ b.
+    let m = Mapping::parse(
+        "CfE(x:cl, y:cl) <- CfS(x, y); CfE(x:cl, z:cl) <- CfS(x, y)",
+    )
+    .unwrap();
+    let mut s = Instance::new();
+    s.insert_names("CfS", &["a", "b"]);
+    let csol = canonical_solution(&m, &s);
+    let ground = csol.instance.rel_part();
+    let fkp = core_of(&ground);
+    let ann = ann_core_of(&csol.instance);
+    assert_eq!(fkp.core.tuple_count(), 1, "⊥ collapses onto constant b");
+    assert_eq!(ann.core.tuple_count(), 2, "null→null maps cannot reach b");
+    assert!(hom_equivalent(&ground, &fkp.core));
+}
+
+/// Cores never change the ground part of an instance.
+#[test]
+fn core_preserves_ground_tuples() {
+    let m = Mapping::parse("CgT(x:cl, y:cl) <- CgS(x, y); CgP(x:cl, z:op) <- CgS(x, y)")
+        .unwrap();
+    let mut s = Instance::new();
+    s.insert_names("CgS", &["a", "b"]);
+    s.insert_names("CgS", &["c", "d"]);
+    let csol = canonical_solution(&m, &s);
+    let core = ann_core_of(&csol.instance);
+    let ground_before: Vec<_> = csol
+        .instance
+        .rel_part()
+        .tuples(oc_exchange::RelSym::new("CgT"))
+        .cloned()
+        .collect();
+    let ground_after: Vec<_> = core
+        .core
+        .rel_part()
+        .tuples(oc_exchange::RelSym::new("CgT"))
+        .cloned()
+        .collect();
+    assert_eq!(ground_before, ground_after);
+}
