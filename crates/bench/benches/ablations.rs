@@ -20,12 +20,12 @@ use std::time::Duration;
 
 fn bench_driver_joins(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/driver_joins");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     // Body with a selective join + negation, over a growing instance.
-    let body = dx_logic::parse_formula(
-        "Papers(x, y) & !exists r. Assignments(x, r)",
-    )
-    .unwrap();
+    let body = dx_logic::parse_formula("Papers(x, y) & !exists r. Assignments(x, r)").unwrap();
     let vars = [Var::new("x"), Var::new("y")];
     for n in [8usize, 16, 32] {
         let s = dx_workloads::conference::source(n, 2);
@@ -47,7 +47,10 @@ fn bench_driver_joins(c: &mut Criterion) {
 
 fn bench_task_ordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/task_ordering");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for n in [3usize, 4] {
         let inst = tripartite::TripartiteInstance::planted(n, n, 23);
         let m = tripartite::mapping();
@@ -80,8 +83,7 @@ fn count_valuations(k: usize, base: usize, symmetry: bool) -> u64 {
             palette.all().collect()
         };
         for c in choices {
-            let nf = fresh_used
-                + usize::from(symmetry && palette.is_next_fresh(c, fresh_used));
+            let nf = fresh_used + usize::from(symmetry && palette.is_next_fresh(c, fresh_used));
             total += go(palette, k, i + 1, nf, symmetry);
         }
         total
@@ -91,7 +93,10 @@ fn count_valuations(k: usize, base: usize, symmetry: bool) -> u64 {
 
 fn bench_symmetry_breaking(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/symmetry_breaking");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for k in [4usize, 6] {
         group.bench_with_input(BenchmarkId::new("first_use_canonical", k), &k, |b, _| {
             b.iter(|| black_box(count_valuations(k, 2, true)))

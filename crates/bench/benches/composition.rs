@@ -31,7 +31,10 @@ fn copy_target(n: usize) -> Instance {
 
 fn bench_closed_sigma(c: &mut Criterion) {
     let mut group = c.benchmark_group("composition/table1_row_op0");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     let sigma = Mapping::parse("M(x:cl, y:cl) <- E(x, y)").unwrap();
     let delta = Mapping::parse("F(x:cl, y:cl) <- M(x, y)").unwrap();
     for n in [2usize, 4, 8, 16] {
@@ -46,7 +49,10 @@ fn bench_closed_sigma(c: &mut Criterion) {
 
 fn bench_open_sigma(c: &mut Criterion) {
     let mut group = c.benchmark_group("composition/table1_row_op1");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     // Σ introduces an open null; W demands two replicated M-values. The
     // intermediate-enumeration space is the NEXPTIME exponent — keep a
     // tight explicit budget so the bench measures the budgeted search.
@@ -72,7 +78,10 @@ fn bench_open_sigma(c: &mut Criterion) {
 
 fn bench_monotone_open_delta(c: &mut Criterion) {
     let mut group = c.benchmark_group("composition/table1_col_monotone_op");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     let delta = Mapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
     for n in [2usize, 4, 8, 16] {
         let s = chain_source(n);

@@ -15,7 +15,10 @@ use std::time::Duration;
 
 fn bench_closed(c: &mut Criterion) {
     let mut group = c.benchmark_group("deqa/closed_op0");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let q = exhaust_query();
     let empty = Tuple::new(Vec::<Value>::new());
     for n in [1usize, 2, 3, 4] {
@@ -30,7 +33,10 @@ fn bench_closed(c: &mut Criterion) {
 
 fn bench_open_one(c: &mut Criterion) {
     let mut group = c.benchmark_group("deqa/open_op1");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let q = exhaust_query();
     let empty = Tuple::new(Vec::<Value>::new());
     // Fixed replication budget: the cost grows with both the instance and
@@ -42,15 +48,9 @@ fn bench_open_one(c: &mut Criterion) {
             ("budget_1x1", SearchBudget::bounded(1, 1)),
             ("budget_2x2", SearchBudget::bounded(2, 2)),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(blabel, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(certain::certain_contains(&m, &s, &q, &empty, Some(&budget)))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(blabel, n), &n, |b, _| {
+                b.iter(|| black_box(certain::certain_contains(&m, &s, &q, &empty, Some(&budget))))
+            });
         }
     }
     group.finish();

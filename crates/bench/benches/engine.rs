@@ -1,0 +1,71 @@
+//! Naive vs indexed chase engines on the three chase-heavy workload
+//! families: the membership (conference) pipeline, a composition-shaped
+//! two-hop pipeline, and the copying lower-bound carrier.
+//!
+//! The indexed engine's edge grows with instance size: trigger discovery is
+//! delta-driven instead of rescan-driven, and body matching probes hash
+//! indexes instead of nested-loop scans. Small inputs mostly measure fixed
+//! overheads — the acceptance bar there is parity, not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_bench::chase_workloads::{composition_case, conference_case, copying_case, ChaseCase};
+use dx_chase::{canonical_solution_with_deps_via, ChaseStrategy, NaiveChase};
+use dx_engine::IndexedChase;
+use std::hint::black_box;
+use std::time::Duration;
+
+const LIMIT: usize = 1_000_000;
+
+fn engines() -> [(&'static str, &'static dyn ChaseStrategy); 2] {
+    [("naive", &NaiveChase), ("indexed", &IndexedChase)]
+}
+
+fn bench_family(
+    c: &mut Criterion,
+    group_name: &str,
+    make: fn(usize) -> ChaseCase,
+    sizes: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700));
+    for &n in sizes {
+        let case = make(n);
+        for (name, engine) in engines() {
+            group.bench_with_input(BenchmarkId::new(name, n), &case, |b, case| {
+                b.iter(|| {
+                    black_box(canonical_solution_with_deps_via(
+                        engine,
+                        &case.mapping,
+                        &case.deps,
+                        &case.source,
+                        LIMIT,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_membership_chase(c: &mut Criterion) {
+    bench_family(c, "engine_membership", conference_case, &[8, 32, 96]);
+}
+
+fn bench_composition_chase(c: &mut Criterion) {
+    bench_family(c, "engine_composition", composition_case, &[8, 32, 96]);
+}
+
+fn bench_copying_chase(c: &mut Criterion) {
+    bench_family(c, "engine_copying", copying_case, &[8, 32, 96]);
+}
+
+criterion_group!(
+    benches,
+    bench_membership_chase,
+    bench_composition_chase,
+    bench_copying_chase
+);
+criterion_main!(benches);

@@ -91,7 +91,10 @@ fn bench_datalog_certain(c: &mut Criterion) {
     .unwrap();
     for n in [4usize, 8, 16, 32] {
         let s = chain_source(n);
-        for rules in ["BxE(x:cl, y:cl) <- BxSrc(x, y)", "BxE(x:cl, y:op) <- BxSrc(x, y)"] {
+        for rules in [
+            "BxE(x:cl, y:cl) <- BxSrc(x, y)",
+            "BxE(x:cl, y:op) <- BxSrc(x, y)",
+        ] {
             let m = Mapping::parse(rules).unwrap();
             let label = if m.is_all_closed() { "closed" } else { "mixed" };
             group.bench_with_input(
@@ -111,10 +114,7 @@ fn bench_ctable_vs_search(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     // Exchange inventing one null per row; Q = P ∖ Q as FO and as RA.
-    let m = Mapping::parse(
-        "BxP(x:cl) <- BxA(x, y); BxQ(z:cl) <- BxB(y, z)",
-    )
-    .unwrap();
+    let m = Mapping::parse("BxP(x:cl) <- BxA(x, y); BxQ(z:cl) <- BxB(y, z)").unwrap();
     let fo = Query::parse(&["x"], "BxP(x) & !BxQ(x)").unwrap();
     let ra = RaExpr::rel("BxP").diff(RaExpr::rel("BxQ"));
     for n in [1usize, 2, 3] {

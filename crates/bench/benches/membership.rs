@@ -14,7 +14,10 @@ use std::time::Duration;
 
 fn bench_membership_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("membership/copy");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [4usize, 8, 16, 32] {
         let s = path_source(n);
         // The target: the exact copy.
@@ -36,7 +39,10 @@ fn bench_membership_paths(c: &mut Criterion) {
 
 fn bench_membership_tripartite(c: &mut Criterion) {
     let mut group = c.benchmark_group("membership/tripartite");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for n in [2usize, 3, 4] {
         let inst = tripartite::TripartiteInstance::planted(n, n, 7);
         let s = tripartite::source(&inst);

@@ -10,19 +10,24 @@ use std::time::Duration;
 
 fn bench_positive(c: &mut Criterion) {
     let mut group = c.benchmark_group("positive/conference");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     let q = conference::reviewed_query();
     for n in [4usize, 8, 16, 32] {
         let s = conference::source(n, 2);
         let mixed = conference::mapping();
         let open = mixed.all_open();
         let closed = mixed.all_closed();
-        for (label, m) in [("mixed", &mixed), ("all_open", &open), ("all_closed", &closed)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| b.iter(|| black_box(certain::certain_answers(m, &s, &q, None))),
-            );
+        for (label, m) in [
+            ("mixed", &mixed),
+            ("all_open", &open),
+            ("all_closed", &closed),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(certain::certain_answers(m, &s, &q, None)))
+            });
         }
     }
     group.finish();
@@ -31,7 +36,10 @@ fn bench_positive(c: &mut Criterion) {
 fn bench_canonical_solution(c: &mut Criterion) {
     // The substrate cost: CSol_A(S) is polynomial-time for any annotation.
     let mut group = c.benchmark_group("positive/csol");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [8usize, 32, 128] {
         let s = conference::source(n, 2);
         let m = conference::mapping();

@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn bench_tripartite(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions/tripartite");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for n in [2usize, 3, 4] {
         let inst = tripartite::TripartiteInstance::planted(n, n, 13);
         group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
@@ -27,7 +30,10 @@ fn bench_tripartite(c: &mut Criterion) {
 
 fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions/coloring");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for n in [3usize, 4] {
         let g = coloring::Graph::cycle(n);
         group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {

@@ -13,7 +13,10 @@ use std::time::Duration;
 
 fn bench_annotation_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("order/chain");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     let chain = [
         ("cl_cl", "R(x:cl, z:cl) <- E(x, y)"),
         ("cl_op", "R(x:cl, z:op) <- E(x, y)"),

@@ -32,7 +32,10 @@ fn inputs(k: usize, a: usize) -> (SkMapping, SkMapping) {
 
 fn bench_rewrite(c: &mut Criterion) {
     let mut group = c.benchmark_group("sk_composition/cq");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for (k, a) in [(1usize, 1usize), (2, 2), (3, 3), (4, 4)] {
         let (sigma, delta) = inputs(k, a);
         group.bench_with_input(
@@ -46,7 +49,10 @@ fn bench_rewrite(c: &mut Criterion) {
 
 fn bench_fo_rewrite(c: &mut Criterion) {
     let mut group = c.benchmark_group("sk_composition/fo_closed");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     // The all-closed FO class of Theorem 5(2): no disjunct expansion, one
     // output rule per Δ rule.
     for k in [1usize, 4, 16] {
@@ -55,8 +61,7 @@ fn bench_fo_rewrite(c: &mut Criterion) {
             sigma_rules.push_str(&format!("M(x:cl, fk{i}(x):cl) <- B{i}(x);"));
         }
         let sigma = SkMapping::parse(&sigma_rules).unwrap();
-        let delta =
-            SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
+        let delta = SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
         group.bench_with_input(BenchmarkId::new("compose", k), &k, |b, _| {
             b.iter(|| black_box(compose_skstd(&sigma, &delta).unwrap()))
         });

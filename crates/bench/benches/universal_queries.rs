@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_fd_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("universal/fd");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let q = fd_query();
     let empty = Tuple::new(Vec::<Value>::new());
     for n in [1usize, 2, 3] {
@@ -31,7 +34,10 @@ fn bench_fd_query(c: &mut Criterion) {
 fn bench_inclusion_constraint(c: &mut Criterion) {
     // A genuinely ∀∃ constraint: every R-value reappears as an R-key.
     let mut group = c.benchmark_group("universal/inclusion");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     let q = dx_logic::Query::boolean(
         dx_logic::parse_formula("forall x y. (R(x, y) -> exists w. R(y, w))").unwrap(),
     );

@@ -1,14 +1,17 @@
 //! The experiment harness: regenerates, for every claim in the paper's
 //! "evaluation" (Theorems 1–5, Table 1, Propositions 2–7), the table that
-//! claim predicts. Output is markdown, ready for `EXPERIMENTS.md`.
+//! claim predicts. Output is markdown, ready for `EXPERIMENTS.md`; the
+//! chase-engine race (E15) additionally writes the machine-readable
+//! `BENCH_chase.json` perf-trajectory file.
 //!
 //! ```sh
-//! cargo run --release -p dx-bench --bin experiments
+//! cargo run --release -p dx-bench --bin experiments           # everything
+//! cargo run --release -p dx-bench --bin experiments -- chase  # E15 only
 //! ```
 
 use dx_bench::{
-    closed_null_mapping, copy2, exhaust_query, fd_query, fmt_duration, open_null_mapping, path_source,
-    timed, unary_source, Table,
+    closed_null_mapping, copy2, exhaust_query, fd_query, fmt_duration, open_null_mapping,
+    path_source, timed, unary_source, Table,
 };
 use dx_chase::Mapping;
 use dx_core::compose::comp_membership;
@@ -20,10 +23,13 @@ use dx_solver::{Completeness, SearchBudget};
 use dx_workloads::{coloring, conference, tiling, tripartite};
 
 fn main() {
+    if std::env::args().any(|a| a == "chase") {
+        println!("# oc-exchange chase-engine race (E15 only)\n");
+        e15_chase_engines();
+        return;
+    }
     println!("# oc-exchange experiment run\n");
-    println!(
-        "(release-mode sweep; every row records paper-predicted vs measured behaviour)\n"
-    );
+    println!("(release-mode sweep; every row records paper-predicted vs measured behaviour)\n");
     e1_membership();
     e2_positive();
     e3_deqa();
@@ -38,6 +44,7 @@ fn main() {
     e12_codd();
     e13_datalog();
     e14_ctables();
+    e15_chase_engines();
 }
 
 /// E1 — Theorem 2: membership is PTIME all-open, NP otherwise.
@@ -52,7 +59,11 @@ fn e1_membership() {
         }
         let (_, d_open) = timed(|| semantics::is_member(&copy2("op"), &s, &target));
         let (_, d_closed) = timed(|| semantics::is_member(&copy2("cl"), &s, &target));
-        t.row(vec![n.to_string(), fmt_duration(d_open), fmt_duration(d_closed)]);
+        t.row(vec![
+            n.to_string(),
+            fmt_duration(d_open),
+            fmt_duration(d_closed),
+        ]);
     }
     println!("{}", t.render());
     println!(
@@ -101,7 +112,8 @@ fn e3_deqa() {
     ]);
     for n in [1usize, 2, 3] {
         let s = unary_source(n);
-        let (o0, d0) = timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
+        let (o0, d0) =
+            timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
         let budget = SearchBudget {
             max_leaves: Some(200_000),
             ..SearchBudget::bounded(2, 2)
@@ -219,11 +231,18 @@ fn e6_universal() {
     println!("## E6 — Proposition 5: ∀*∃* queries under open annotations\n");
     let q = fd_query();
     let empty = Tuple::new(Vec::<Value>::new());
-    let mut t = Table::new(&["n", "closed (exact)", "open (exact, Prop 5 budget)", "certain?"]);
+    let mut t = Table::new(&[
+        "n",
+        "closed (exact)",
+        "open (exact, Prop 5 budget)",
+        "certain?",
+    ]);
     for n in [1usize, 2, 3] {
         let s = unary_source(n);
-        let (oc, dc) = timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
-        let (oo, do_) = timed(|| certain::certain_contains(&open_null_mapping(), &s, &q, &empty, None));
+        let (oc, dc) =
+            timed(|| certain::certain_contains(&closed_null_mapping(), &s, &q, &empty, None));
+        let (oo, do_) =
+            timed(|| certain::certain_contains(&open_null_mapping(), &s, &q, &empty, None));
         assert_eq!(oc.completeness, Completeness::Exact);
         assert_eq!(oo.completeness, Completeness::Exact);
         t.row(vec![
@@ -273,7 +292,10 @@ fn e8_spectrum() {
     s.insert_names("E", &["a", "b"]);
     let targets = [
         ("copy {(a,k)}", vec![vec!["a", "k"]]),
-        ("replicated {(a,k),(a,l)}", vec![vec!["a", "k"], vec!["a", "l"]]),
+        (
+            "replicated {(a,k),(a,l)}",
+            vec![vec!["a", "k"], vec!["a", "l"]],
+        ),
         ("rogue {(a,k),(x,y)}", vec![vec!["a", "k"], vec!["x", "y"]]),
     ];
     let mut t = Table::new(&["target", "cl,cl", "cl,op", "op,op"]);
@@ -386,7 +408,11 @@ fn e12_codd() {
     use dx_relation::{AnnInstance, AnnTuple, Annotation, RelSym};
     use dx_solver::repa::{codd_rep_membership, rep_a_membership_with};
     println!("## E12 — Codd tables: PTIME membership vs generic search\n");
-    let mut t = Table::new(&["n nulls / n+1 values", "generic backtracking", "Hopcroft–Karp"]);
+    let mut t = Table::new(&[
+        "n nulls / n+1 values",
+        "generic backtracking",
+        "Hopcroft–Karp",
+    ]);
     let rel = RelSym::new("XCodd");
     for n in [2usize, 4, 6, 64, 256] {
         let mut ground = Instance::new();
@@ -454,6 +480,96 @@ fn e13_datalog() {
     );
 }
 
+/// E15 — the chase-engine race: naive (rescan nested-loop) vs indexed
+/// (delta-driven, index-join) on the three chase-heavy workload families.
+/// Emits `BENCH_chase.json` — the machine-readable perf-trajectory record —
+/// next to the markdown table.
+fn e15_chase_engines() {
+    use dx_bench::chase_workloads::all_cases;
+    use dx_chase::chase_engine::ChaseOutcome;
+    use dx_chase::{canonical_solution_with_deps_via, ChaseStrategy, NaiveChase};
+    use dx_engine::IndexedChase;
+
+    println!("## E15 — chase engines: naive vs indexed (dx-engine)\n");
+    let engines: [(&str, &dyn ChaseStrategy); 2] =
+        [("naive", &NaiveChase), ("indexed", &IndexedChase)];
+    let mut t = Table::new(&[
+        "workload",
+        "n",
+        "naive",
+        "indexed",
+        "speedup",
+        "steps (idx)",
+        "tuples (idx)",
+    ]);
+    let mut records: Vec<String> = Vec::new();
+    for n in [8usize, 16, 32, 64, 96] {
+        for case in all_cases(n) {
+            let mut times = Vec::new();
+            let mut steps = 0usize;
+            let mut tuples = 0usize;
+            for (name, engine) in engines {
+                // Best of nine runs: cold-cache and scheduler noise are not
+                // the story, and at the small sizes they exceed the signal.
+                let mut best: Option<std::time::Duration> = None;
+                let mut out = None;
+                for _ in 0..9 {
+                    let (o, d) = timed(|| {
+                        canonical_solution_with_deps_via(
+                            engine,
+                            &case.mapping,
+                            &case.deps,
+                            &case.source,
+                            1_000_000,
+                        )
+                    });
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                    out = Some(o);
+                }
+                let out = out.expect("ran");
+                let best = best.expect("ran");
+                assert_eq!(
+                    out.outcome,
+                    ChaseOutcome::Satisfied,
+                    "{} n={n}",
+                    case.workload
+                );
+                steps = out.steps;
+                tuples = out.instance.tuple_count();
+                times.push(best);
+                records.push(format!(
+                    "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"n\": {}, \
+                     \"wall_time_us\": {}, \"steps\": {}, \"tuples\": {}}}",
+                    case.workload,
+                    name,
+                    n,
+                    best.as_micros(),
+                    out.steps,
+                    out.instance.tuple_count(),
+                ));
+            }
+            let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
+            t.row(vec![
+                case.workload.to_string(),
+                n.to_string(),
+                fmt_duration(times[0]),
+                fmt_duration(times[1]),
+                format!("{speedup:.1}×"),
+                steps.to_string(),
+                tuples.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    std::fs::write("BENCH_chase.json", &json).expect("write BENCH_chase.json");
+    println!(
+        "Shape check: parity at small n (fixed overheads), growing indexed \
+         advantage on the scaling workloads; machine-readable record written \
+         to BENCH_chase.json.\n"
+    );
+}
+
 /// E14 — the §2-cited Imieliński–Lipski mechanism: exact CWA certain
 /// answers for a difference query via c-tables, against the coNP valuation
 /// search (two independent exact engines).
@@ -465,7 +581,12 @@ fn e14_ctables() {
     let m = Mapping::parse("XP(x:cl) <- XA(x, y); XQ(z:cl) <- XB(y, z)").unwrap();
     let fo = Query::parse(&["x"], "XP(x) & !XQ(x)").unwrap();
     let ra = RaExpr::rel("XP").diff(RaExpr::rel("XQ"));
-    let mut t = Table::new(&["n rows/side", "coNP search", "c-table route", "answers agree"]);
+    let mut t = Table::new(&[
+        "n rows/side",
+        "coNP search",
+        "c-table route",
+        "answers agree",
+    ]);
     for n in [1usize, 2, 3] {
         let mut s = Instance::new();
         for i in 0..n {

@@ -17,6 +17,8 @@ use dx_logic::Query;
 use dx_relation::Instance;
 use std::time::{Duration, Instant};
 
+pub mod chase_workloads;
+
 /// Time a closure, returning (result, elapsed).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();

@@ -33,7 +33,11 @@ pub struct Justification {
 
 impl fmt::Display for Justification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(std#{}, {:?}, {})", self.std_idx, self.witness, self.var)
+        write!(
+            f,
+            "(std#{}, {:?}, {})",
+            self.std_idx, self.witness, self.var
+        )
     }
 }
 
@@ -282,10 +286,9 @@ mod tests {
     #[test]
     fn negation_in_body() {
         // Reviews(x:cl, z:op) for unassigned papers only.
-        let m = Mapping::parse(
-            "Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)",
-        )
-        .unwrap();
+        let m =
+            Mapping::parse("Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)")
+                .unwrap();
         let mut s = Instance::new();
         s.insert_names("Papers", &["p1", "t1"]);
         s.insert_names("Papers", &["p2", "t2"]);

@@ -15,7 +15,6 @@
 //! all-closed fragment reproduces the CWA chase of
 //! [Hernich–Schweikardt'07].
 
-use crate::canonical::CanonicalSolution;
 use crate::mapping::Mapping;
 use crate::target_deps::{Egd, TargetDep, Tgd};
 use dx_logic::Term;
@@ -117,16 +116,24 @@ pub fn chase(
 
 /// Chase the canonical solution of `mapping` on `source` with target
 /// dependencies (the data-exchange-with-constraints pipeline of §6's cited
-/// works).
+/// works), using the reference [`crate::strategy::NaiveChase`] engine.
+///
+/// Performance-sensitive callers should prefer
+/// [`crate::strategy::canonical_solution_with_deps_via`] with
+/// `dx_engine::IndexedChase`.
 pub fn canonical_solution_with_deps(
     mapping: &Mapping,
     deps: &[TargetDep],
     source: &Instance,
     max_steps: usize,
 ) -> ChaseResult {
-    let csol: CanonicalSolution = crate::canonical::canonical_solution(mapping, source);
-    let mut gen = NullGen::after(csol.instance.nulls());
-    chase(csol.instance, deps, &mut gen, max_steps)
+    crate::strategy::canonical_solution_with_deps_via(
+        &crate::strategy::NaiveChase,
+        mapping,
+        deps,
+        source,
+        max_steps,
+    )
 }
 
 /// Does the (naive-table reading of the) instance satisfy all dependencies?
@@ -139,10 +146,7 @@ pub fn satisfies_deps(instance: &AnnInstance, deps: &[TargetDep]) -> bool {
 
 /// Find an assignment satisfying the tgd's body whose head has no extension
 /// into the instance (a *restricted-chase* trigger).
-fn find_unsatisfied_trigger(
-    instance: &AnnInstance,
-    tgd: &Tgd,
-) -> Option<BTreeMap<Var, Value>> {
+fn find_unsatisfied_trigger(instance: &AnnInstance, tgd: &Tgd) -> Option<BTreeMap<Var, Value>> {
     let rel_part = instance.rel_part();
     let mut found = None;
     for_each_body_match(&rel_part, &tgd.body, &mut |asg| {
@@ -214,12 +218,7 @@ fn head_satisfiable(rel_part: &Instance, tgd: &Tgd, asg: &BTreeMap<Var, Value>) 
 
 /// Apply a tgd trigger: fresh nulls for the existential variables, insert
 /// annotated head tuples.
-fn apply_tgd(
-    instance: &mut AnnInstance,
-    tgd: &Tgd,
-    asg: &BTreeMap<Var, Value>,
-    gen: &mut NullGen,
-) {
+fn apply_tgd(instance: &mut AnnInstance, tgd: &Tgd, asg: &BTreeMap<Var, Value>, gen: &mut NullGen) {
     let mut env = asg.clone();
     for z in tgd.existential_vars() {
         env.insert(z, Value::Null(gen.fresh()));
@@ -347,7 +346,13 @@ fn merge_values(instance: &mut AnnInstance, l: Value, r: Value) {
                     let vals: Vec<Value> = at
                         .tuple
                         .iter()
-                        .map(|v| if v == Value::Null(null) { Value::Null(m) } else { v })
+                        .map(|v| {
+                            if v == Value::Null(null) {
+                                Value::Null(m)
+                            } else {
+                                v
+                            }
+                        })
                         .collect();
                     out.insert(rel, AnnTuple::new(Tuple::new(vals), at.ann.clone()));
                 }
@@ -366,7 +371,11 @@ fn merge_values(instance: &mut AnnInstance, l: Value, r: Value) {
 /// the input (diagnostics and tests).
 pub fn new_nulls(before: &AnnInstance, after: &AnnInstance) -> Vec<NullId> {
     let old = before.nulls();
-    after.nulls().into_iter().filter(|n| !old.contains(n)).collect()
+    after
+        .nulls()
+        .into_iter()
+        .filter(|n| !old.contains(n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -462,7 +471,10 @@ mod tests {
         assert_eq!(out.outcome, ChaseOutcome::Satisfied);
         let rel = out.instance.relation(r).unwrap();
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel.iter().next().unwrap().tuple, Tuple::from_names(&["a", "k"]));
+        assert_eq!(
+            rel.iter().next().unwrap().tuple,
+            Tuple::from_names(&["a", "k"])
+        );
     }
 
     #[test]
@@ -471,11 +483,17 @@ mod tests {
         let r = RelSym::new("RF");
         inst.insert(
             r,
-            AnnTuple::new(Tuple::from_names(&["a", "k"]), dx_relation::Annotation::all_closed(2)),
+            AnnTuple::new(
+                Tuple::from_names(&["a", "k"]),
+                dx_relation::Annotation::all_closed(2),
+            ),
         );
         inst.insert(
             r,
-            AnnTuple::new(Tuple::from_names(&["a", "l"]), dx_relation::Annotation::all_closed(2)),
+            AnnTuple::new(
+                Tuple::from_names(&["a", "l"]),
+                dx_relation::Annotation::all_closed(2),
+            ),
         );
         let deps = TargetDep::parse_many("y1 = y2 <- RF(x, y1) & RF(x, y2)").unwrap();
         let mut gen = NullGen::new();

@@ -239,7 +239,7 @@ pub fn find_ann_hom(from: &AnnInstance, to: &AnnInstance) -> Option<NullMap> {
     }
     let mut work: Vec<(&dx_relation::AnnTuple, Vec<&dx_relation::AnnTuple>)> = Vec::new();
     for (r, rel) in from.relations() {
-        if rel.len() == 0 {
+        if rel.is_empty() {
             continue;
         }
         let target = to.relation(r)?;
@@ -248,10 +248,14 @@ pub fn find_ann_hom(from: &AnnInstance, to: &AnnInstance) -> Option<NullMap> {
                 .iter()
                 .filter(|cand| {
                     cand.ann == at.ann
-                        && at.tuple.iter().zip(cand.tuple.iter()).all(|(a, b)| match a {
-                            Value::Const(_) => a == b,
-                            Value::Null(_) => b.is_null(),
-                        })
+                        && at
+                            .tuple
+                            .iter()
+                            .zip(cand.tuple.iter())
+                            .all(|(a, b)| match a {
+                                Value::Const(_) => a == b,
+                                Value::Null(_) => b.is_null(),
+                            })
                 })
                 .collect();
             if cands.is_empty() {
@@ -438,7 +442,7 @@ pub fn ann_isomorphic(a: &AnnInstance, b: &AnnInstance) -> Option<NullMap> {
             return None;
         }
         let Some(brel) = b.relation(r) else {
-            if rel.len() > 0 {
+            if !rel.is_empty() {
                 return None;
             }
             continue;
@@ -451,10 +455,14 @@ pub fn ann_isomorphic(a: &AnnInstance, b: &AnnInstance) -> Option<NullMap> {
                 .iter()
                 .filter(|cand| {
                     cand.ann == at.ann
-                        && at.tuple.iter().zip(cand.tuple.iter()).all(|(x, y)| match x {
-                            Value::Const(_) => x == y,
-                            Value::Null(_) => y.is_null(),
-                        })
+                        && at
+                            .tuple
+                            .iter()
+                            .zip(cand.tuple.iter())
+                            .all(|(x, y)| match x {
+                                Value::Const(_) => x == y,
+                                Value::Null(_) => y.is_null(),
+                            })
                 })
                 .collect();
             if cands.is_empty() {
@@ -543,7 +551,11 @@ mod tests {
         ann.insert(f, at(vec![Value::c("a"), Value::c("b")], cl2.clone()));
         ann.insert(f, at(vec![Value::c("a"), Value::null(7)], cl2));
         let ares = ann_core_of(&ann);
-        assert_eq!(ares.core.tuple_count(), 2, "null→null core keeps the null tuple");
+        assert_eq!(
+            ares.core.tuple_count(),
+            2,
+            "null→null core keeps the null tuple"
+        );
         assert_eq!(ares.steps, 0);
     }
 
@@ -592,10 +604,7 @@ mod tests {
     /// hom image of CSol_A + (identity) hom back, and no further shrink.
     #[test]
     fn ann_core_of_csol_is_minimal_solution() {
-        let m = Mapping::parse(
-            "CoreTgt(x:cl, z:cl) <- CoreSrc(x, y)",
-        )
-        .unwrap();
+        let m = Mapping::parse("CoreTgt(x:cl, z:cl) <- CoreSrc(x, y)").unwrap();
         let mut s = Instance::new();
         s.insert_names("CoreSrc", &["a", "c1"]);
         s.insert_names("CoreSrc", &["a", "c2"]);
@@ -618,14 +627,42 @@ mod tests {
     fn ann_core_respects_annotations() {
         let r = RelSym::new("CoreAnnR");
         let mut ann = AnnInstance::new();
-        ann.insert(r, at(vec![Value::c("a"), Value::null(1)], vec![Ann::Closed, Ann::Open]));
-        ann.insert(r, at(vec![Value::c("a"), Value::null(2)], vec![Ann::Closed, Ann::Closed]));
+        ann.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
+        ann.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(2)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
+        );
         let res = ann_core_of(&ann);
-        assert_eq!(res.core.tuple_count(), 2, "different annotations cannot merge");
+        assert_eq!(
+            res.core.tuple_count(),
+            2,
+            "different annotations cannot merge"
+        );
         // With equal annotations they do merge.
         let mut ann2 = AnnInstance::new();
-        ann2.insert(r, at(vec![Value::c("a"), Value::null(1)], vec![Ann::Closed, Ann::Open]));
-        ann2.insert(r, at(vec![Value::c("a"), Value::null(2)], vec![Ann::Closed, Ann::Open]));
+        ann2.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
+        ann2.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(2)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         let res2 = ann_core_of(&ann2);
         assert_eq!(res2.core.tuple_count(), 1);
     }
@@ -636,8 +673,20 @@ mod tests {
         let r = RelSym::new("CoreMarkR");
         let mut ann = AnnInstance::new();
         ann.insert_empty_mark(r, Annotation::all_open(2));
-        ann.insert(r, at(vec![Value::null(1), Value::null(2)], vec![Ann::Closed, Ann::Closed]));
-        ann.insert(r, at(vec![Value::null(3), Value::null(4)], vec![Ann::Closed, Ann::Closed]));
+        ann.insert(
+            r,
+            at(
+                vec![Value::null(1), Value::null(2)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
+        );
+        ann.insert(
+            r,
+            at(
+                vec![Value::null(3), Value::null(4)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
+        );
         let res = ann_core_of(&ann);
         assert_eq!(res.core.tuple_count(), 1);
         let marks: Vec<_> = res
@@ -672,7 +721,13 @@ mod tests {
         assert!(ann_isomorphic(&a, &c).is_none());
         // Different annotations: not isomorphic.
         let mut d = AnnInstance::new();
-        d.insert(r, at(vec![Value::c("a"), Value::null(7)], vec![Ann::Closed, Ann::Open]));
+        d.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(7)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         d.insert(r, at(vec![Value::null(7), Value::null(9)], cl2));
         assert!(ann_isomorphic(&a, &d).is_none());
     }

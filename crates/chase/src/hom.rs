@@ -107,11 +107,7 @@ fn compatible(from: &AnnTuple, cand: &AnnTuple) -> bool {
         })
 }
 
-fn search_onto(
-    work: &[(&AnnTuple, Vec<&AnnTuple>)],
-    i: usize,
-    h: &mut NullMap,
-) -> Option<NullMap> {
+fn search_onto(work: &[(&AnnTuple, Vec<&AnnTuple>)], i: usize, h: &mut NullMap) -> Option<NullMap> {
     if i == work.len() {
         return Some(h.clone());
     }
@@ -173,7 +169,7 @@ pub fn find_hom_into_expansion(t: &AnnInstance, csol: &AnnInstance) -> Option<Nu
         let crel = match csol.relation(r) {
             Some(c) => c,
             None => {
-                if rel.len() > 0 {
+                if !rel.is_empty() {
                     return None;
                 }
                 continue;
@@ -200,9 +196,9 @@ pub fn find_hom_into_expansion(t: &AnnInstance, csol: &AnnInstance) -> Option<Nu
                 }
                 // Consistency within one candidate.
                 let mut local: BTreeMap<NullId, NullId> = BTreeMap::new();
-                let consistent = forced.iter().all(|&(n, m)| {
-                    *local.entry(n).or_insert(m) == m
-                });
+                let consistent = forced
+                    .iter()
+                    .all(|&(n, m)| *local.entry(n).or_insert(m) == m);
                 if consistent {
                     options.push(forced);
                 }
@@ -319,24 +315,36 @@ mod tests {
         let mut csol = AnnInstance::new();
         csol.insert(
             r,
-            at(vec![Value::c("a"), Value::null(1)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         let mut t = AnnInstance::new();
         // Two tuples with different nulls at the open position: fine.
         t.insert(
             r,
-            at(vec![Value::c("a"), Value::null(10)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("a"), Value::null(10)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         t.insert(
             r,
-            at(vec![Value::c("a"), Value::null(11)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("a"), Value::null(11)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         assert!(find_hom_into_expansion(&t, &csol).is_some());
         // A tuple with a different closed value: no expansion allows it.
         let mut bad = AnnInstance::new();
         bad.insert(
             r,
-            at(vec![Value::c("b"), Value::null(12)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("b"), Value::null(12)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         assert!(find_hom_into_expansion(&bad, &csol).is_none());
     }

@@ -33,13 +33,17 @@ pub mod hom;
 pub mod mapping;
 pub mod solutions;
 pub mod std_dep;
+pub mod strategy;
 pub mod target_deps;
 
 pub use canonical::{canonical_solution, CanonicalSolution, Justification};
-pub use chase_engine::{chase, canonical_solution_with_deps, ChaseOutcome, ChaseResult};
+pub use chase_engine::{canonical_solution_with_deps, chase, ChaseOutcome, ChaseResult};
 pub use core::{ann_core_of, ann_isomorphic, core_of, AnnCoreResult, CoreResult};
 pub use hom::NullMap;
 pub use mapping::Mapping;
 pub use solutions::{is_owa_solution, is_solution, AnnotatedFact};
 pub use std_dep::{Std, TargetAtom};
+pub use strategy::{
+    canonical_solution_with_deps_via, satisfies_deps_via, ChaseStrategy, NaiveChase,
+};
 pub use target_deps::{is_weakly_acyclic, Egd, TargetDep, Tgd};

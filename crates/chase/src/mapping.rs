@@ -165,8 +165,7 @@ impl Mapping {
             s.head.len() == 1
                 && match &s.body {
                     dx_logic::Formula::Atom(_, args) => {
-                        args == &s.head[0].args
-                            && args.iter().all(|t| matches!(t, Term::Var(_)))
+                        args == &s.head[0].args && args.iter().all(|t| matches!(t, Term::Var(_)))
                     }
                     _ => false,
                 }

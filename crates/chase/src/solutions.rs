@@ -54,10 +54,7 @@ pub fn is_solution(
 }
 
 /// [`is_solution`] against a precomputed canonical solution.
-pub fn is_solution_with(
-    csol: &CanonicalSolution,
-    t: &AnnInstance,
-) -> Option<(NullMap, NullMap)> {
+pub fn is_solution_with(csol: &CanonicalSolution, t: &AnnInstance) -> Option<(NullMap, NullMap)> {
     let h1 = find_onto_hom(&csol.instance, t)?;
     let h2 = find_hom_into_expansion(t, &csol.instance)?;
     Some((h1, h2))
@@ -233,11 +230,17 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             r,
-            at(vec![Value::c("a"), Value::null(50)], vec![Ann::Open, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(50)],
+                vec![Ann::Open, Ann::Closed],
+            ),
         );
         t.insert(
             r,
-            at(vec![Value::c("b"), Value::null(50)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("b"), Value::null(50)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         assert!(
             is_solution(&m, &s, &t).is_some(),
@@ -283,11 +286,17 @@ mod tests {
         let mut csol = AnnInstance::new();
         csol.insert(
             r,
-            at(vec![Value::c("a"), Value::null(1)], vec![Ann::Open, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Open, Ann::Closed],
+            ),
         );
         csol.insert(
             r,
-            at(vec![Value::c("b"), Value::null(2)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("b"), Value::null(2)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         // Fact ∃z R(a, z) ∧ R(b, z): satisfiable in CSol_A with z = ⊥1
         // because the first atom only needs to match (a^op, ⊥1^cl) on its
@@ -310,11 +319,17 @@ mod tests {
         let mut csol_cl = AnnInstance::new();
         csol_cl.insert(
             r,
-            at(vec![Value::c("a"), Value::null(1)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         csol_cl.insert(
             r,
-            at(vec![Value::c("b"), Value::null(2)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("b"), Value::null(2)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         assert!(!fact.satisfied_cl(&csol_cl));
     }

@@ -25,7 +25,8 @@ impl TargetAtom {
     pub fn new(rel: RelSym, args: Vec<Term>, ann: Annotation) -> Self {
         assert_eq!(args.len(), ann.arity(), "annotation arity mismatch");
         assert!(
-            args.iter().all(|t| matches!(t, Term::Var(_) | Term::Const(_))),
+            args.iter()
+                .all(|t| matches!(t, Term::Var(_) | Term::Const(_))),
             "plain STD heads may not contain function terms (use SkSTDs)"
         );
         TargetAtom { rel, args, ann }
@@ -135,7 +136,11 @@ impl Std {
     /// Max number of open positions over the head atoms (the per-STD
     /// contribution to `#op(Σα)`, Theorem 3/4's classification parameter).
     pub fn max_open_per_atom(&self) -> usize {
-        self.head.iter().map(|a| a.ann.count_open()).max().unwrap_or(0)
+        self.head
+            .iter()
+            .map(|a| a.ann.count_open())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Max number of closed positions over the head atoms (`#cl`,
@@ -238,9 +243,8 @@ mod tests {
 
     #[test]
     fn negated_body_allowed() {
-        let std =
-            Std::parse("Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)")
-                .unwrap();
+        let std = Std::parse("Reviews(x:cl, z:op) <- Papers(x, y) & !exists r. Assignments(x, r)")
+            .unwrap();
         assert_eq!(std.frontier_vars(), [Var::new("x")].into());
     }
 

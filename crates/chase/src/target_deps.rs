@@ -140,7 +140,9 @@ fn conjunct_atoms(f: &Formula) -> Option<Vec<(RelSym, Vec<Term>)>> {
     fn go(f: &Formula, out: &mut Vec<(RelSym, Vec<Term>)>) -> bool {
         match f {
             Formula::Atom(r, args)
-                if args.iter().all(|t| matches!(t, Term::Var(_) | Term::Const(_))) =>
+                if args
+                    .iter()
+                    .all(|t| matches!(t, Term::Var(_) | Term::Const(_))) =>
             {
                 out.push((*r, args.clone()));
                 true
@@ -311,10 +313,9 @@ mod tests {
         assert!(matches!(t, TargetDep::Tgd(_)));
         let e = TargetDep::parse("y1 = y2 <- R(x, y1) & R(x, y2)").unwrap();
         assert!(matches!(e, TargetDep::Egd(_)));
-        let both = TargetDep::parse_many(
-            "Sym(y:cl, x:cl) <- Edge(x, y); y1 = y2 <- R(x, y1) & R(x, y2)",
-        )
-        .unwrap();
+        let both =
+            TargetDep::parse_many("Sym(y:cl, x:cl) <- Edge(x, y); y1 = y2 <- R(x, y1) & R(x, y2)")
+                .unwrap();
         assert_eq!(both.len(), 2);
     }
 
@@ -342,17 +343,13 @@ mod tests {
         assert!(is_weakly_acyclic(&ok));
         // Mutual invention where existential positions are sinks: still
         // weakly acyclic (the restricted chase terminates).
-        let sinks = TargetDep::parse_many(
-            "B(x:cl, z:cl) <- A(x, y); A(x:cl, z:cl) <- B(x, y)",
-        )
-        .unwrap();
+        let sinks =
+            TargetDep::parse_many("B(x:cl, z:cl) <- A(x, y); A(x:cl, z:cl) <- B(x, y)").unwrap();
         assert!(is_weakly_acyclic(&sinks));
         // Genuine two-step feedback: each rule feeds its invented value into
         // the position the other rule generates from.
-        let loop2 = TargetDep::parse_many(
-            "B(y:cl, z:cl) <- A(x, y); A(y:cl, z:cl) <- B(x, y)",
-        )
-        .unwrap();
+        let loop2 =
+            TargetDep::parse_many("B(y:cl, z:cl) <- A(x, y); A(y:cl, z:cl) <- B(x, y)").unwrap();
         assert!(!is_weakly_acyclic(&loop2));
     }
 

@@ -1,0 +1,226 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of criterion the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: per benchmark, one warm-up pass bounded by the warm-up
+//! time, then `sample_size` samples bounded by the measurement time; the
+//! report prints min / mean / max per-iteration wall time. This is a *smoke
+//! and trend* harness — statistically simpler than criterion proper, but the
+//! numbers are honest wall-clock means and the output is stable enough for
+//! the JSON perf trajectory in `BENCH_chase.json`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: a name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to the measured closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, recording one sample per call until the sample target or
+    /// the measurement deadline is reached (at least one sample always runs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples.push(t0.elapsed());
+            std::hint::black_box(&out);
+            drop(out);
+            if self.samples.len() >= self.target_samples || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/name/parameter`.
+    pub id: String,
+    /// Number of recorded samples.
+    pub samples: usize,
+    /// Minimum per-iteration time.
+    pub min: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Maximum per-iteration time.
+    pub max: Duration,
+}
+
+/// A named group of benchmarks with shared sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Bound the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Bound the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: run the closure against a throwaway bencher until the
+        // warm-up deadline (at least once).
+        let mut warm = Bencher {
+            samples: Vec::new(),
+            deadline: Instant::now() + self.warm_up_time,
+            target_samples: usize::MAX,
+        };
+        f(&mut warm, input);
+
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            deadline: Instant::now() + self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher, input);
+        let samples = &bencher.samples;
+        let n = samples.len().max(1);
+        let total: Duration = samples.iter().sum();
+        let m = Measurement {
+            id: format!("{}/{}", self.name, id),
+            samples: samples.len(),
+            min: samples.iter().min().copied().unwrap_or_default(),
+            mean: total / n as u32,
+            max: samples.iter().max().copied().unwrap_or_default(),
+        };
+        println!(
+            "bench {:<60} {:>12?} (min {:?}, max {:?}, {} samples)",
+            m.id, m.mean, m.min, m.max, m.samples
+        );
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// End the group (kept for API compatibility; measurements are recorded
+    /// eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded so far (inspection hook for harness code).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(5)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(50));
+            g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+                b.iter(|| n * n)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements.len(), 1);
+        let m = &c.measurements[0];
+        assert_eq!(m.id, "demo/square/7");
+        assert!(m.samples >= 1 && m.samples <= 5);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+}

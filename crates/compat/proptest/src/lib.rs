@@ -1,0 +1,160 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over tests of the form `fn name(x in a..b)`,
+//! * `#![proptest_config(ProptestConfig { cases, failure_persistence, .. })]`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Each test draws `cases` deterministic pseudo-random values from its
+//! integer-range strategy (a splitmix64 walk keyed only by the case index,
+//! so runs are reproducible) and executes the body once per value. There is
+//! no shrinking: the workspace's tests all take a single `seed` parameter
+//! that they feed to their own seeded generators, so the failing seed *is*
+//! the minimal counterexample.
+
+#![warn(missing_docs)]
+
+/// Subset of proptest's run configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+    /// Accepted and ignored (no persistence in the offline shim).
+    pub failure_persistence: Option<()>,
+    /// Accepted and ignored (no shrinking in the offline shim).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            failure_persistence: None,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Strategies the [`proptest!`] macro can draw from: integer ranges.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// The `i`-th deterministic draw.
+    fn draw(&self, i: u64) -> Self::Value;
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn draw(&self, i: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Cover the low end densely first (seeds 0..n are the most
+                // scrutinized in seeded-generator tests), then jump around.
+                let lo_span = span.min(4);
+                let offset = if (i as u128) < lo_span {
+                    i as u128
+                } else {
+                    (splitmix(i) as u128) % span
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The proptest entry macro (offline subset): a config header followed by
+/// test functions with a single `ident in strategy` parameter.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($arg:ident in $strat:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strat = $strat;
+                for case in 0..cfg.cases as u64 {
+                    let $arg = $crate::Strategy::draw(&strat, case);
+                    // One closure call per case so `prop_assume!` can bail
+                    // out of the case with a plain `return`.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion inside a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 50, failure_persistence: None, ..ProptestConfig::default()
+        })]
+
+        /// Values stay inside the strategy range; assume skips cleanly.
+        #[test]
+        fn draws_in_range(x in 10u64..20) {
+            prop_assert!((10..20).contains(&x));
+            prop_assume!(x != 13);
+            prop_assert!(x != 13);
+        }
+    }
+
+    #[test]
+    fn low_seeds_covered_first() {
+        let strat = 0u64..500;
+        let first: Vec<u64> = (0..4).map(|i| Strategy::draw(&strat, i)).collect();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        // Later draws are reproducible.
+        assert_eq!(Strategy::draw(&strat, 40), Strategy::draw(&strat, 40));
+    }
+}

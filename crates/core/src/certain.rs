@@ -156,7 +156,12 @@ pub fn certain_contains_with(
     if classify::is_monotone(&query.formula) {
         let closed = csol.instance.reannotate_all_closed();
         let mut check = |i: &Instance| !query.holds_on(i, tuple);
-        let outcome = search_rep_a(&closed, &query_consts, &SearchBudget::closed_world(), &mut check);
+        let outcome = search_rep_a(
+            &closed,
+            &query_consts,
+            &SearchBudget::closed_world(),
+            &mut check,
+        );
         return CertainOutcome {
             certain: outcome.witness.is_none(),
             completeness: outcome.completeness,
@@ -180,11 +185,7 @@ pub fn certain_contains_with(
                 true,
             )
         }
-        _ if mapping.is_all_closed() => (
-            SearchBudget::closed_world(),
-            Regime::ClosedWorld,
-            true,
-        ),
+        _ if mapping.is_all_closed() => (SearchBudget::closed_world(), Regime::ClosedWorld, true),
         _ => (
             budget.cloned().unwrap_or_default(),
             Regime::OpenBounded,
@@ -377,8 +378,7 @@ pub fn possible_contains(
     let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_some(),
-        completeness: if mapping.is_all_closed() && outcome.completeness != Completeness::Capped
-        {
+        completeness: if mapping.is_all_closed() && outcome.completeness != Completeness::Capped {
             Completeness::Exact
         } else {
             outcome.completeness
@@ -483,8 +483,13 @@ mod tests {
             let out = certain_contains(&m, &papers_source(), &q, &Tuple::from_names(&["p1"]), None);
             assert!(out.certain, "p1 has a submission under {rules}");
             assert_eq!(out.regime, Regime::NaivePositive);
-            let out2 =
-                certain_contains(&m, &papers_source(), &q, &Tuple::from_names(&["nope"]), None);
+            let out2 = certain_contains(
+                &m,
+                &papers_source(),
+                &q,
+                &Tuple::from_names(&["nope"]),
+                None,
+            );
             assert!(!out2.certain);
         }
     }
@@ -494,9 +499,7 @@ mod tests {
     /// arbitrary tuples may be added).
     #[test]
     fn copying_negation_cwa_vs_owa() {
-        let q = Query::boolean(
-            dx_logic::parse_formula("!exists x. Ep(x, 'c1')").unwrap(),
-        );
+        let q = Query::boolean(dx_logic::parse_formula("!exists x. Ep(x, 'c1')").unwrap());
         let m = Mapping::parse("Ep(x:cl, y:cl) <- E(x, y)").unwrap();
         let mut s = Instance::new();
         s.insert_names("E", &["a", "b"]);
@@ -540,10 +543,8 @@ mod tests {
         // Q: exists x y. Ep(x,y) & forall u v. (Ep(u,v) -> u = x) —
         // "all edges share one source" (not prenex ∀*∃*: full FO).
         let q = Query::boolean(
-            dx_logic::parse_formula(
-                "exists x y. (Ep(x, y) & forall u v. (Ep(u, v) -> u = x))",
-            )
-            .unwrap(),
+            dx_logic::parse_formula("exists x y. (Ep(x, y) & forall u v. (Ep(u, v) -> u = x))")
+                .unwrap(),
         );
         let m = Mapping::parse("Ep(x:cl, z:cl) <- E(x, y)").unwrap();
         let mut s = Instance::new();
@@ -565,10 +566,8 @@ mod tests {
     #[test]
     fn open_regime_reports_bounded() {
         let q = Query::boolean(
-            dx_logic::parse_formula(
-                "exists x y. (R(x, y) & forall u v. (R(u, v) -> v = y))",
-            )
-            .unwrap(),
+            dx_logic::parse_formula("exists x y. (R(x, y) & forall u v. (R(u, v) -> v = y))")
+                .unwrap(),
         );
         let m = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
         let mut s = Instance::new();

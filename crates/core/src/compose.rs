@@ -123,7 +123,11 @@ pub fn comp_membership(
     }
 
     let (search_budget, path, exact) = if sigma.is_all_closed() {
-        (SearchBudget::closed_world(), CompPath::ClosedIntermediate, true)
+        (
+            SearchBudget::closed_world(),
+            CompPath::ClosedIntermediate,
+            true,
+        )
     } else if let Some(b) = budget {
         // An explicit caller budget always wins (callers that want the
         // exhaustive existential-Δ space can pass None or build it via
@@ -196,10 +200,7 @@ fn delta_preimage(delta: &Mapping, j: &Instance) -> Option<Instance> {
         let (body_rel, body_args) = match &std.body {
             Formula::Atom(r, args)
                 if args.iter().all(|t| matches!(t, Term::Var(_)))
-                    && args
-                        .iter()
-                        .collect::<std::collections::BTreeSet<_>>()
-                        .len()
+                    && args.iter().collect::<std::collections::BTreeSet<_>>().len()
                         == args.len() =>
             {
                 (*r, args)
@@ -355,13 +356,9 @@ mod tests {
     /// non-member verdicts are definitive.
     #[test]
     fn existential_delta_exact_for_open_sigma() {
-        let sigma = Mapping::parse(
-            "M(x:cl, z:op) <- E(x); Blocked(b:cl) <- BadSrc(b)",
-        )
-        .unwrap();
+        let sigma = Mapping::parse("M(x:cl, z:op) <- E(x); Blocked(b:cl) <- BadSrc(b)").unwrap();
         // Existential body with safe negation: ∃y (M(x,y) ∧ ¬Blocked(y)).
-        let delta =
-            Mapping::parse("F(x:cl) <- M(x, y) & !Blocked(y)").unwrap();
+        let delta = Mapping::parse("F(x:cl) <- M(x, y) & !Blocked(y)").unwrap();
         let mut s = Instance::new();
         s.insert_names("E", &["a"]);
         s.insert_names("BadSrc", &["q"]);
@@ -386,8 +383,7 @@ mod tests {
     /// allowance finds it.
     #[test]
     fn existential_delta_needs_external_values() {
-        let sigma =
-            Mapping::parse("M(x:cl, y:op) <- E(x, y); G(w:cl) <- H(w)").unwrap();
+        let sigma = Mapping::parse("M(x:cl, y:op) <- E(x, y); G(w:cl) <- H(w)").unwrap();
         let delta = Mapping::parse("F(x:cl) <- M(x, y) & !G(y)").unwrap();
         let mut s = Instance::new();
         s.insert_names("E", &["a", "b"]);
@@ -414,10 +410,8 @@ mod tests {
     #[test]
     fn universal_delta_stays_bounded() {
         let sigma = Mapping::parse("M(x:cl, z:op) <- E(x)").unwrap();
-        let delta = Mapping::parse(
-            "AllSame(x:cl) <- M(x, y) & !exists u. !exists w. M(u, w)",
-        )
-        .unwrap();
+        let delta =
+            Mapping::parse("AllSame(x:cl) <- M(x, y) & !exists u. !exists w. M(u, w)").unwrap();
         let mut s = Instance::new();
         s.insert_names("E", &["a"]);
         let w = Instance::new();
@@ -430,8 +424,7 @@ mod tests {
     fn fo_delta_bodies() {
         let sigma = Mapping::parse("M(x:cl, y:cl) <- E(x, y)").unwrap();
         // Δ copies M-sources that have no outgoing M-edge from their target.
-        let delta =
-            Mapping::parse("Sink(x:cl) <- M(y, x) & !exists z. M(x, z)").unwrap();
+        let delta = Mapping::parse("Sink(x:cl) <- M(y, x) & !exists z. M(x, z)").unwrap();
         let mut s = Instance::new();
         s.insert_names("E", &["a", "b"]);
         s.insert_names("E", &["b", "c"]);

@@ -87,10 +87,7 @@ pub fn closure_class(sigma: &SkMapping, delta: &SkMapping) -> Option<ClosureClas
     if sigma.is_all_closed() {
         return Some(ClosureClass::AllClosedFo);
     }
-    if sigma.is_all_open()
-        && delta.is_all_open()
-        && sigma.has_cq_bodies()
-        && delta.has_cq_bodies()
+    if sigma.is_all_open() && delta.is_all_open() && sigma.has_cq_bodies() && delta.has_cq_bodies()
     {
         return Some(ClosureClass::AllOpenCq);
     }
@@ -133,12 +130,11 @@ pub fn compose_skstd(sigma: &SkMapping, delta: &SkMapping) -> Result<Composition
             .body
             .all_vars()
             .into_iter()
-            .chain(std.head.iter().flat_map(|a| {
-                a.args
+            .chain(
+                std.head
                     .iter()
-                    .flat_map(|t| t.vars())
-                    .collect::<Vec<_>>()
-            }))
+                    .flat_map(|a| a.args.iter().flat_map(|t| t.vars()).collect::<Vec<_>>()),
+            )
             .map(|v| (v, Var::new(&format!("sg{i}_{}", v.name()))))
             .collect();
         let body = rename_funcs_formula(&std.body.rename_vars(&var_map), &func_renames);
@@ -148,7 +144,10 @@ pub fn compose_skstd(sigma: &SkMapping, delta: &SkMapping) -> Result<Composition
                 .iter()
                 .map(|t| rename_funcs_term(&t.rename(&var_map), &func_renames))
                 .collect();
-            normal.entry(atom.rel).or_default().push((args, body.clone()));
+            normal
+                .entry(atom.rel)
+                .or_default()
+                .push((args, body.clone()));
         }
     }
 
@@ -158,9 +157,7 @@ pub fn compose_skstd(sigma: &SkMapping, delta: &SkMapping) -> Result<Composition
     let mut occurrence = 0usize;
     for dstd in &delta.stds {
         let body = dstd.body.rewrite_atoms(&mut |rel, args| {
-            if sigma.target.arity(rel).is_none() {
-                return None;
-            }
+            sigma.target.arity(rel)?;
             Some(beta_r(
                 &normal,
                 &sigma.source,
@@ -369,18 +366,13 @@ fn rename_funcs_formula(f: &Formula, map: &BTreeMap<FuncSym, FuncSym>) -> Formul
     }
     match f {
         Formula::True | Formula::False => f.clone(),
-        Formula::Atom(r, args) => Formula::Atom(
-            *r,
-            args.iter().map(|t| rename_funcs_term(t, map)).collect(),
-        ),
+        Formula::Atom(r, args) => {
+            Formula::Atom(*r, args.iter().map(|t| rename_funcs_term(t, map)).collect())
+        }
         Formula::Eq(a, b) => Formula::Eq(rename_funcs_term(a, map), rename_funcs_term(b, map)),
         Formula::Not(inner) => Formula::Not(Box::new(rename_funcs_formula(inner, map))),
-        Formula::And(fs) => {
-            Formula::And(fs.iter().map(|g| rename_funcs_formula(g, map)).collect())
-        }
-        Formula::Or(fs) => {
-            Formula::Or(fs.iter().map(|g| rename_funcs_formula(g, map)).collect())
-        }
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| rename_funcs_formula(g, map)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| rename_funcs_formula(g, map)).collect()),
         Formula::Exists(vars, inner) => {
             Formula::Exists(vars.clone(), Box::new(rename_funcs_formula(inner, map)))
         }
@@ -406,10 +398,7 @@ mod tests {
         let comp = compose_skstd(&sigma, &delta).unwrap();
         assert!(comp.cq_normalized);
         assert!(comp.mapping.has_cq_bodies(), "CQ class preserved");
-        assert_eq!(
-            closure_class(&sigma, &delta),
-            Some(ClosureClass::AllOpenCq)
-        );
+        assert_eq!(closure_class(&sigma, &delta), Some(ClosureClass::AllOpenCq));
         // One σ-rule per atom occurrence → exactly one composed rule.
         assert_eq!(comp.mapping.stds.len(), 1);
         // Γ's head is Δ's head (annotations preserved).
@@ -457,7 +446,10 @@ mod tests {
             h.define(sym, args, val);
         }
         let got = comp.mapping.sol(&s, &h);
-        assert_eq!(got, expected, "Claim 7(b): Sol_H′^Γ = Sol_G′^Δ ∘ rel ∘ Sol_F′^Σ");
+        assert_eq!(
+            got, expected,
+            "Claim 7(b): Sol_H′^Γ = Sol_G′^Δ ∘ rel ∘ Sol_F′^Σ"
+        );
     }
 
     /// Colliding function symbols between Σ and Δ are renamed apart.
@@ -483,8 +475,7 @@ mod tests {
     /// CQ case, multiple composed rules.
     #[test]
     fn multiple_rules_multiply() {
-        let sigma =
-            SkMapping::parse("M(x:op, f(x):op) <- A(x); M(x:op, h(x):op) <- B(x)").unwrap();
+        let sigma = SkMapping::parse("M(x:op, f(x):op) <- A(x); M(x:op, h(x):op) <- B(x)").unwrap();
         let delta = SkMapping::parse("F(x:op, y:op) <- M(x, y)").unwrap();
         let comp = compose_skstd(&sigma, &delta).unwrap();
         assert_eq!(comp.mapping.stds.len(), 2, "one per disjunct");
@@ -499,8 +490,7 @@ mod tests {
     #[test]
     fn fo_delta_body_composition() {
         let sigma = SkMapping::parse("M(x:cl, f(x):cl) <- E(x)").unwrap();
-        let delta =
-            SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
+        let delta = SkMapping::parse("F(x:cl) <- exists y. M(x, y) & !exists z. M(z, x)").unwrap();
         let comp = compose_skstd(&sigma, &delta).unwrap();
         assert!(!comp.cq_normalized);
         assert_eq!(comp.mapping.stds.len(), 1);
@@ -519,8 +509,7 @@ mod tests {
     #[test]
     fn claim7_with_negated_sigma_body() {
         // Σ: M(f(x)) for every x in E that is NOT blocked.
-        let sigma =
-            SkMapping::parse("M(fneg(x):cl) <- E(x) & !Blocked(x)").unwrap();
+        let sigma = SkMapping::parse("M(fneg(x):cl) <- E(x) & !Blocked(x)").unwrap();
         let delta = SkMapping::parse("F(y:cl) <- M(y)").unwrap();
         let comp = compose_skstd(&sigma, &delta).unwrap();
         assert!(!comp.cq_normalized);
@@ -555,8 +544,7 @@ mod tests {
         // x appears only under negation: without the guard, the composed
         // body's quantifier would range past Σ's active domain. A second
         // rule gives the σ-schema a domain-supplying relation D.
-        let sigma =
-            SkMapping::parse("M(gneg(x):cl) <- !Blocked(x); K(y:cl) <- D(y)").unwrap();
+        let sigma = SkMapping::parse("M(gneg(x):cl) <- !Blocked(x); K(y:cl) <- D(y)").unwrap();
         let delta = SkMapping::parse("F(y:cl) <- M(y)").unwrap();
         let comp = compose_skstd(&sigma, &delta).unwrap();
         // The composed body carries the adom disjunction: it mentions D even
@@ -617,10 +605,7 @@ mod tests {
             sigma_rules.push_str(&format!("M(x:op, fx{i}(x):op) <- A{i}(x);"));
         }
         let sigma = SkMapping::parse(&sigma_rules).unwrap();
-        let delta = SkMapping::parse(
-            "F(a:op) <- M(a, b) & M(b, c) & M(c, d) & M(d, e)",
-        )
-        .unwrap();
+        let delta = SkMapping::parse("F(a:op) <- M(a, b) & M(b, c) & M(c, d) & M(d, e)").unwrap();
         assert!(matches!(
             compose_skstd(&sigma, &delta),
             Err(ComposeError::DisjunctExplosion { .. })

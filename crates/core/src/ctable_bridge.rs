@@ -33,11 +33,7 @@ pub fn csol_as_ctable(mapping: &Mapping, source: &Instance) -> CInstance {
 /// `certain_Σcl(Q, S)` for a relational-algebra query, via conditional
 /// tables. Exact; panics if the mapping is not all-closed (the route is
 /// only sound under the CWA — see [`csol_as_ctable`]).
-pub fn certain_answers_cwa_ra(
-    mapping: &Mapping,
-    source: &Instance,
-    query: &RaExpr,
-) -> Relation {
+pub fn certain_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaExpr) -> Relation {
     assert!(
         mapping.is_all_closed(),
         "the c-table route computes certain_Σcl; re-annotate with all_closed() \
@@ -69,11 +65,7 @@ pub fn certain_answers_cwa_fo(
 /// Possible answers `◇Q(CSol(S))` under the CWA (tuples appearing in at
 /// least one `Rep(CSol(S))` member's answer), over the mentioned-constant
 /// palette.
-pub fn possible_answers_cwa_ra(
-    mapping: &Mapping,
-    source: &Instance,
-    query: &RaExpr,
-) -> Relation {
+pub fn possible_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaExpr) -> Relation {
     assert!(
         mapping.is_all_closed(),
         "the c-table route computes possible answers under the CWA only"
@@ -108,7 +100,10 @@ mod tests {
         // The author value is possible though.
         let poss = possible_answers_cwa_ra(&dropped, &source(), &q);
         assert!(poss.contains(&Tuple::from_names(&["p1"])));
-        assert!(poss.contains(&Tuple::from_names(&["p2"])), "⊥2 = alice is possible too");
+        assert!(
+            poss.contains(&Tuple::from_names(&["p2"])),
+            "⊥2 = alice is possible too"
+        );
 
         let copied = Mapping::parse("CbSub(x:cl, y:cl) <- CbSrc(x, y)").unwrap();
         let certain = certain_answers_cwa_ra(&copied, &source(), &q);
@@ -120,10 +115,8 @@ mod tests {
     /// CWA ("no unjustified tuples").
     #[test]
     fn difference_under_cwa() {
-        let m = Mapping::parse(
-            "CbAll(x:cl) <- CbSrc(x, y); CbPicked(x:cl) <- CbSrc(x, 'alice')",
-        )
-        .unwrap();
+        let m = Mapping::parse("CbAll(x:cl) <- CbSrc(x, y); CbPicked(x:cl) <- CbSrc(x, 'alice')")
+            .unwrap();
         let q = RaExpr::rel("CbAll").diff(RaExpr::rel("CbPicked"));
         let certain = certain_answers_cwa_ra(&m, &source(), &q);
         assert_eq!(certain.len(), 1);

@@ -34,17 +34,20 @@
 
 pub mod certain;
 pub mod compose;
-pub mod ctable_bridge;
 pub mod compose_alg;
+pub mod ctable_bridge;
 pub mod non_closure;
 pub mod ptime_lang;
 pub mod semantics;
 pub mod skstd;
 
-pub use certain::{certain_answers, certain_contains, certain_contains_with, possible_contains, CertainOutcome, Deqa};
-pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, PtimeQuery};
+pub use certain::{
+    certain_answers, certain_contains, certain_contains_with, possible_contains, CertainOutcome,
+    Deqa,
+};
 pub use compose::{comp_membership, CompOutcome};
-pub use ctable_bridge::{certain_answers_cwa_ra, csol_as_ctable, possible_answers_cwa_ra};
 pub use compose_alg::{compose_skstd, ComposeError};
+pub use ctable_bridge::{certain_answers_cwa_ra, csol_as_ctable, possible_answers_cwa_ra};
+pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, PtimeQuery};
 pub use semantics::{in_semantics, MembershipOutcome};
 pub use skstd::{SkAtom, SkMapping, SkStd};

@@ -124,7 +124,11 @@ pub fn certain_contains_ptime(
     tuple: &Tuple,
     budget: Option<&SearchBudget>,
 ) -> CertainOutcome {
-    assert_eq!(tuple.arity(), query.out_arity(), "answer-tuple arity mismatch");
+    assert_eq!(
+        tuple.arity(),
+        query.out_arity(),
+        "answer-tuple arity mismatch"
+    );
     assert!(tuple.is_ground(), "certain answers are tuples over Const");
     let csol = canonical_solution(mapping, source);
 
@@ -148,7 +152,12 @@ pub fn certain_contains_ptime(
     if query.monotone() {
         let closed = csol.instance.reannotate_all_closed();
         let mut check = |i: &Instance| !query.holds(i, tuple);
-        let outcome = search_rep_a(&closed, &query_consts, &SearchBudget::closed_world(), &mut check);
+        let outcome = search_rep_a(
+            &closed,
+            &query_consts,
+            &SearchBudget::closed_world(),
+            &mut check,
+        );
         return CertainOutcome {
             certain: outcome.witness.is_none(),
             completeness: outcome.completeness,
@@ -240,8 +249,7 @@ mod tests {
     use dx_logic::datalog::DatalogQuery;
     use dx_relation::Value;
 
-    const TC: &str =
-        "PlPath(x, y) <- PlEdge(x, y); PlPath(x, z) <- PlPath(x, y) & PlEdge(y, z)";
+    const TC: &str = "PlPath(x, y) <- PlEdge(x, y); PlPath(x, z) <- PlPath(x, y) & PlEdge(y, z)";
 
     fn chain_source() -> Instance {
         let mut s = Instance::new();
@@ -290,16 +298,11 @@ mod tests {
         let q = DatalogQuery::parse("PlPath", TC).unwrap();
         // Each SrcHop tuple gets ONE justification per STD, so the two STDs
         // invent two different nulls — a and b are not certainly connected.
-        let out =
-            certain_contains_ptime(&m, &s, &q, &Tuple::from_names(&["a", "b"]), None);
+        let out = certain_contains_ptime(&m, &s, &q, &Tuple::from_names(&["a", "b"]), None);
         assert!(!out.certain, "two distinct nulls do not certainly chain");
         // With a single STD producing both atoms, the null is shared:
-        let m2 = Mapping::parse(
-            "PlEdge(x:cl, z:cl), PlEdge(z:cl, y:cl) <- SrcHop(x, y)",
-        )
-        .unwrap();
-        let out2 =
-            certain_contains_ptime(&m2, &s, &q, &Tuple::from_names(&["a", "b"]), None);
+        let m2 = Mapping::parse("PlEdge(x:cl, z:cl), PlEdge(z:cl, y:cl) <- SrcHop(x, y)").unwrap();
+        let out2 = certain_contains_ptime(&m2, &s, &q, &Tuple::from_names(&["a", "b"]), None);
         assert!(out2.certain, "shared null chains a → ⊥ → b certainly");
         assert_eq!(out2.regime, Regime::NaivePositive);
     }
@@ -341,8 +344,7 @@ mod tests {
              PlStart(x:cl) <- SrcS(x)",
         )
         .unwrap();
-        let out_open =
-            certain_contains_ptime(&m_open, &s, &q, &Tuple::from_names(&["z"]), None);
+        let out_open = certain_contains_ptime(&m_open, &s, &q, &Tuple::from_names(&["z"]), None);
         assert!(!out_open.certain, "an added edge a→z defeats deadness");
         assert_eq!(out_open.regime, Regime::OpenBounded);
     }

@@ -121,7 +121,11 @@ impl SkStd {
 
     /// Max open positions per head atom.
     pub fn max_open_per_atom(&self) -> usize {
-        self.head.iter().map(|a| a.ann.count_open()).max().unwrap_or(0)
+        self.head
+            .iter()
+            .map(|a| a.ann.count_open())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Max closed positions per head atom.
@@ -190,11 +194,7 @@ struct Totalized<'a> {
 
 impl FuncInterp for Totalized<'_> {
     fn apply(&self, f: FuncSym, args: &[Value]) -> Option<Value> {
-        Some(
-            self.table
-                .get(f, args)
-                .unwrap_or(Value::Const(self.junk)),
-        )
+        Some(self.table.get(f, args).unwrap_or(Value::Const(self.junk)))
     }
 }
 
@@ -360,11 +360,8 @@ impl SkMapping {
                     asg.bind(*v, *val);
                 }
                 for atom in &std.head {
-                    let vals: Vec<Value> = atom
-                        .args
-                        .iter()
-                        .map(|t| ev.eval_term(t, &asg))
-                        .collect();
+                    let vals: Vec<Value> =
+                        atom.args.iter().map(|t| ev.eval_term(t, &asg)).collect();
                     out.insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()));
                 }
             }
@@ -515,8 +512,7 @@ pub fn satisfies_second_order_with(
                 asg.bind(*v, *val);
             }
             for atom in &std.head {
-                let vals: Vec<Value> =
-                    atom.args.iter().map(|t| tev.eval_term(t, &asg)).collect();
+                let vals: Vec<Value> = atom.args.iter().map(|t| tev.eval_term(t, &asg)).collect();
                 if !target.contains(atom.rel, &Tuple::new(vals)) {
                     return false;
                 }
@@ -564,11 +560,7 @@ mod tests {
         let mut s = Instance::new();
         s.insert_names("S", &["John", "P1"]);
         let mut ft = FuncTable::new();
-        ft.define(
-            FuncSym::new("f"),
-            vec![Value::c("John")],
-            Value::c("001"),
-        );
+        ft.define(FuncSym::new("f"), vec![Value::c("John")], Value::c("001"));
         ft.define(
             FuncSym::new("g"),
             vec![Value::c("John"), Value::c("P1")],

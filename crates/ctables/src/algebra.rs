@@ -218,10 +218,7 @@ impl RaExpr {
     }
 
     /// The output arity given a function resolving base-relation arities.
-    pub fn arity_with(
-        &self,
-        lookup: &impl Fn(RelSym) -> Option<usize>,
-    ) -> Result<usize, RaError> {
+    pub fn arity_with(&self, lookup: &impl Fn(RelSym) -> Option<usize>) -> Result<usize, RaError> {
         match self {
             RaExpr::Rel(r) => lookup(*r).ok_or(RaError::UnknownRelation(*r)),
             RaExpr::Singleton(cs) => Ok(cs.len()),
@@ -353,10 +350,7 @@ impl RaExpr {
     /// c-table represents `{ eval_ground(v(T)) | v ⊨ global }`.
     pub fn eval_conditional(&self, cinst: &CInstance) -> CTable {
         match self {
-            RaExpr::Rel(r) => cinst
-                .table(*r)
-                .cloned()
-                .unwrap_or_else(|| CTable::new(0)),
+            RaExpr::Rel(r) => cinst.table(*r).cloned().unwrap_or_else(|| CTable::new(0)),
             RaExpr::Singleton(cs) => {
                 let mut t = CTable::new(cs.len());
                 t.push(CTuple::always(Tuple::from_consts(cs)));
@@ -589,10 +583,7 @@ mod tests {
         let cond_result = q.eval_conditional(&ct);
         for (ground, v) in ct.rep_members(&BTreeSet::new()) {
             let direct = q.eval_ground(&ground);
-            let via_ctable: BTreeSet<Tuple> = cond_result
-                .apply(&v)
-                .into_iter()
-                .collect();
+            let via_ctable: BTreeSet<Tuple> = cond_result.apply(&v).into_iter().collect();
             let direct_set: BTreeSet<Tuple> = direct.iter().cloned().collect();
             assert_eq!(via_ctable, direct_set, "valuation {:?}", v);
         }
@@ -609,10 +600,7 @@ mod tests {
         let out = q.eval_conditional(&ct);
         assert_eq!(out.len(), 1);
         let row = out.rows().next().unwrap();
-        assert_eq!(
-            row.cond,
-            Condition::eq(Value::null(7), Value::c("a"))
-        );
+        assert_eq!(row.cond, Condition::eq(Value::null(7), Value::c("a")));
     }
 
     #[test]

@@ -91,10 +91,7 @@ pub fn possible_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
         }
     }
     for t in candidates {
-        let cond = Condition::and([
-            cinst.global.clone(),
-            support_condition_raw(&result, &t),
-        ]);
+        let cond = Condition::and([cinst.global.clone(), support_condition_raw(&result, &t)]);
         if cond.is_satisfiable(&extra) {
             out.insert(t);
         }
@@ -119,19 +116,15 @@ pub fn has_generic_possible_rows(query: &RaExpr, cinst: &CInstance) -> bool {
 /// `global → ⋁ (φᵢ ∧ t ≐ sᵢ)` — the condition under which `t` is in the
 /// result.
 fn support_condition(result: &CTable, t: &Tuple, global: &Condition) -> Condition {
-    Condition::or([
-        global.clone().negate(),
-        support_condition_raw(result, t),
-    ])
+    Condition::or([global.clone().negate(), support_condition_raw(result, t)])
 }
 
 fn support_condition_raw(result: &CTable, t: &Tuple) -> Condition {
-    Condition::or(result.rows().map(|row| {
-        Condition::and([
-            row.cond.clone(),
-            Condition::tuples_equal(&row.tuple, t),
-        ])
-    }))
+    Condition::or(
+        result
+            .rows()
+            .map(|row| Condition::and([row.cond.clone(), Condition::tuples_equal(&row.tuple, t)])),
+    )
 }
 
 #[cfg(test)]
@@ -190,10 +183,7 @@ mod tests {
         let r = RelSym::new("CeSel");
         let mut inst = Instance::new();
         inst.insert(r, Tuple::from_names(&["a", "x"]));
-        inst.insert(
-            r,
-            Tuple::new(vec![Value::c("a"), Value::null(1)]),
-        );
+        inst.insert(r, Tuple::new(vec![Value::c("a"), Value::null(1)]));
         let ct = CInstance::from_naive(&inst);
         let q = RaExpr::Rel(r).select(RaPred::col_is(1, "x")).project([0]);
         let certain = certain_answers_ra(&q, &ct);
@@ -212,9 +202,8 @@ mod tests {
         ct.global = Condition::eq(Value::null(1), Value::c("b"));
         ct.table_mut(r, 1)
             .push(CTuple::always(Tuple::from_names(&["b"])));
-        ct.table_mut(r, 1).push(CTuple::always(Tuple::new(vec![
-            Value::null(1),
-        ])));
+        ct.table_mut(r, 1)
+            .push(CTuple::always(Tuple::new(vec![Value::null(1)])));
         let q = RaExpr::Rel(r);
         let certain = certain_answers_ra(&q, &ct);
         // (b) is certain twice over; and ⊥1 = b globally, so the null row

@@ -202,11 +202,7 @@ impl Condition {
     /// by generic-palette enumeration.
     pub fn is_satisfiable(&self, extra_consts: &BTreeSet<ConstId>) -> bool {
         let nulls: Vec<NullId> = self.nulls().into_iter().collect();
-        let mut palette: Vec<ConstId> = self
-            .constants()
-            .union(extra_consts)
-            .copied()
-            .collect();
+        let mut palette: Vec<ConstId> = self.constants().union(extra_consts).copied().collect();
         // One fresh constant per null realizes every "new value" pattern.
         for (i, n) in nulls.iter().enumerate() {
             palette.push(ConstId::new(&format!("⋄fresh{}_{}", i, n.0)));
@@ -306,10 +302,7 @@ mod tests {
 
     #[test]
     fn eval_under_valuation() {
-        let cond = Condition::and([
-            Condition::eq(n(1), c("a")),
-            Condition::neq(n(2), c("a")),
-        ]);
+        let cond = Condition::and([Condition::eq(n(1), c("a")), Condition::neq(n(2), c("a"))]);
         let mut v = Valuation::new();
         v.set(NullId(1), ConstId::new("a"));
         v.set(NullId(2), ConstId::new("b"));
@@ -323,10 +316,7 @@ mod tests {
     #[test]
     fn validity_of_excluded_middle() {
         // ⊥1 = a ∨ ⊥1 ≠ a — valid.
-        let cond = Condition::or([
-            Condition::eq(n(1), c("a")),
-            Condition::neq(n(1), c("a")),
-        ]);
+        let cond = Condition::or([Condition::eq(n(1), c("a")), Condition::neq(n(1), c("a"))]);
         assert!(cond.is_valid(&no_extra()));
         // ⊥1 = a alone is satisfiable but not valid.
         let cond2 = Condition::eq(n(1), c("a"));
@@ -338,20 +328,14 @@ mod tests {
     fn fresh_constants_matter() {
         // ⊥1 = a ∨ ⊥1 = b is NOT valid: ⊥1 may be a third value. The fresh
         // palette constant is what detects this.
-        let cond = Condition::or([
-            Condition::eq(n(1), c("a")),
-            Condition::eq(n(1), c("b")),
-        ]);
+        let cond = Condition::or([Condition::eq(n(1), c("a")), Condition::eq(n(1), c("b"))]);
         assert!(!cond.is_valid(&no_extra()));
     }
 
     #[test]
     fn transitivity_is_valid() {
         // (⊥1=⊥2 ∧ ⊥2=⊥3) → ⊥1=⊥3.
-        let premise = Condition::and([
-            Condition::eq(n(1), n(2)),
-            Condition::eq(n(2), n(3)),
-        ]);
+        let premise = Condition::and([Condition::eq(n(1), n(2)), Condition::eq(n(2), n(3))]);
         let cond = Condition::or([premise.negate(), Condition::eq(n(1), n(3))]);
         assert!(cond.is_valid(&no_extra()));
     }
@@ -359,9 +343,7 @@ mod tests {
     #[test]
     fn pigeonhole_three_nulls_two_consts_unsat() {
         // All of ⊥1,⊥2,⊥3 pairwise distinct AND each equal to a or b — unsat.
-        let in_ab = |x: Value| {
-            Condition::or([Condition::eq(x, c("a")), Condition::eq(x, c("b"))])
-        };
+        let in_ab = |x: Value| Condition::or([Condition::eq(x, c("a")), Condition::eq(x, c("b"))]);
         let cond = Condition::and([
             Condition::neq(n(1), n(2)),
             Condition::neq(n(2), n(3)),

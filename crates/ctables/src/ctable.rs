@@ -163,10 +163,7 @@ impl CInstance {
 
     /// Declare (or fetch) a table.
     pub fn table_mut(&mut self, rel: RelSym, arity: usize) -> &mut CTable {
-        let t = self
-            .tables
-            .entry(rel)
-            .or_insert_with(|| CTable::new(arity));
+        let t = self.tables.entry(rel).or_insert_with(|| CTable::new(arity));
         assert_eq!(t.arity(), arity, "arity mismatch for {rel}");
         t
     }
@@ -206,8 +203,7 @@ impl CInstance {
 
     /// All constants in tables and the global condition.
     pub fn constants(&self) -> BTreeSet<ConstId> {
-        let mut out: BTreeSet<ConstId> =
-            self.tables.values().flat_map(|t| t.constants()).collect();
+        let mut out: BTreeSet<ConstId> = self.tables.values().flat_map(|t| t.constants()).collect();
         out.extend(self.global.constants());
         out
     }
@@ -222,11 +218,7 @@ impl CInstance {
         extra_consts: &BTreeSet<ConstId>,
     ) -> impl Iterator<Item = (Instance, Valuation)> + 'a {
         let nulls: Vec<NullId> = self.nulls().into_iter().collect();
-        let mut palette: Vec<ConstId> = self
-            .constants()
-            .union(extra_consts)
-            .copied()
-            .collect();
+        let mut palette: Vec<ConstId> = self.constants().union(extra_consts).copied().collect();
         for (i, n) in nulls.iter().enumerate() {
             palette.push(ConstId::new(&format!("⋄rep{}_{}", i, n.0)));
         }

@@ -142,10 +142,7 @@ fn translate(f: &Formula, adom: &RaExpr) -> Result<(RaExpr, Vec<Var>), Translate
                     Some(prev) => prev.union(aligned),
                 });
             }
-            Ok((
-                acc.unwrap_or(RaExpr::Empty(all_vars.len())),
-                all_vars,
-            ))
+            Ok((acc.unwrap_or(RaExpr::Empty(all_vars.len())), all_vars))
         }
         Formula::Not(inner) => {
             let (e, vars) = translate(inner, adom)?;
@@ -169,10 +166,8 @@ fn translate(f: &Formula, adom: &RaExpr) -> Result<(RaExpr, Vec<Var>), Translate
         }
         Formula::Forall(vs, inner) => {
             // ∀x̄ φ ≡ ¬∃x̄ ¬φ.
-            let rewritten = Formula::not(Formula::exists(
-                vs.clone(),
-                Formula::not((**inner).clone()),
-            ));
+            let rewritten =
+                Formula::not(Formula::exists(vs.clone(), Formula::not((**inner).clone())));
             translate(&rewritten, adom)
         }
     }
@@ -251,10 +246,7 @@ fn translate_eq(a: &Term, b: &Term, adom: &RaExpr) -> Result<(RaExpr, Vec<Var>),
 
 /// Natural join of two translated pieces on their shared variables; output
 /// columns = sorted union of the variable sets.
-fn join(
-    (le, lv): (RaExpr, Vec<Var>),
-    (re, rv): (RaExpr, Vec<Var>),
-) -> (RaExpr, Vec<Var>) {
+fn join((le, lv): (RaExpr, Vec<Var>), (re, rv): (RaExpr, Vec<Var>)) -> (RaExpr, Vec<Var>) {
     let mut preds: Vec<RaPred> = Vec::new();
     for (j, w) in rv.iter().enumerate() {
         if let Some(i) = lv.iter().position(|v| v == w) {

@@ -298,7 +298,10 @@ mod tests {
             vec![v("x")],
             Formula::implies(
                 atom("R", &["x"]),
-                Formula::exists(vec![v("y")], Formula::forall(vec![v("z")], atom("S", &["y", "z"]))),
+                Formula::exists(
+                    vec![v("y")],
+                    Formula::forall(vec![v("z")], atom("S", &["y", "z"])),
+                ),
             ),
         );
         assert_eq!(classify(&f), QueryClass::FullFirstOrder);

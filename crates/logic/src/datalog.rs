@@ -175,7 +175,13 @@ impl fmt::Display for DlRule {
         }
         for c in &self.comparisons {
             sep(f)?;
-            write!(f, "{} {} {}", c.left, if c.equal { "=" } else { "!=" }, c.right)?;
+            write!(
+                f,
+                "{} {} {}",
+                c.left,
+                if c.equal { "=" } else { "!=" },
+                c.right
+            )?;
         }
         if first {
             write!(f, "true")?;
@@ -229,7 +235,10 @@ impl fmt::Display for DatalogError {
                 write!(f, "unsafe rule `{rule}`: variable {var} in {site} is not bound by a positive atom")
             }
             DatalogError::NotStratifiable { witness } => {
-                write!(f, "program is not stratifiable: {witness} depends negatively on itself")
+                write!(
+                    f,
+                    "program is not stratifiable: {witness} depends negatively on itself"
+                )
             }
             DatalogError::ArityMismatch { rel, expected, got } => {
                 write!(f, "arity mismatch for {rel}: {expected} vs {got}")
@@ -315,7 +324,7 @@ impl DatalogProgram {
                     }
                 }
                 if need > strata[&head_rel] {
-                    if need >= bound + 1 {
+                    if need > bound {
                         return Err(DatalogError::NotStratifiable { witness: head_rel });
                     }
                     strata.insert(head_rel, need);
@@ -347,7 +356,10 @@ impl DatalogProgram {
         for pr in parsed {
             if pr.head.len() != 1 {
                 return Err(DatalogError::NotDatalog {
-                    what: format!("{}-atom rule head (Datalog heads are single atoms)", pr.head.len()),
+                    what: format!(
+                        "{}-atom rule head (Datalog heads are single atoms)",
+                        pr.head.len()
+                    ),
                 });
             }
             let head_atom = &pr.head[0];
@@ -464,10 +476,7 @@ impl DatalogProgram {
                 .iter()
                 .filter(|r| self.strata[&r.head.rel] == stratum)
                 .collect();
-            let recursive: BTreeSet<RelSym> = stratum_rules
-                .iter()
-                .map(|r| r.head.rel)
-                .collect();
+            let recursive: BTreeSet<RelSym> = stratum_rules.iter().map(|r| r.head.rel).collect();
             // Round 0: full evaluation of every rule.
             let mut delta: BTreeMap<RelSym, Relation> = BTreeMap::new();
             for rule in &stratum_rules {
@@ -825,7 +834,9 @@ mod tests {
     fn negation_through_recursion_rejected() {
         // The win-move game: win(x) <- move(x,y) & !win(y) — not stratifiable.
         let err = DatalogProgram::parse("DlWin(x) <- DlMove(x, y) & !DlWin(y)").unwrap_err();
-        assert!(matches!(err, DatalogError::NotStratifiable { witness } if witness == RelSym::new("DlWin")));
+        assert!(
+            matches!(err, DatalogError::NotStratifiable { witness } if witness == RelSym::new("DlWin"))
+        );
     }
 
     #[test]
@@ -856,10 +867,22 @@ mod tests {
         assert!(matches!(e, DatalogError::Unsafe { site: "head", .. }));
         // Negated-atom variable not bound.
         let e = DatalogProgram::parse("DlP(x) <- DlQ(x) & !DlR(y)").unwrap_err();
-        assert!(matches!(e, DatalogError::Unsafe { site: "negated atom", .. }));
+        assert!(matches!(
+            e,
+            DatalogError::Unsafe {
+                site: "negated atom",
+                ..
+            }
+        ));
         // Comparison variable not bound.
         let e = DatalogProgram::parse("DlP(x) <- DlQ(x) & y != x").unwrap_err();
-        assert!(matches!(e, DatalogError::Unsafe { site: "comparison", .. }));
+        assert!(matches!(
+            e,
+            DatalogError::Unsafe {
+                site: "comparison",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -880,8 +903,8 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let e = DatalogProgram::parse("DlP(x) <- DlQ(x); DlP(x, y) <- DlQ(x) & DlQ(y)")
-            .unwrap_err();
+        let e =
+            DatalogProgram::parse("DlP(x) <- DlQ(x); DlP(x, y) <- DlQ(x) & DlQ(y)").unwrap_err();
         assert!(matches!(e, DatalogError::ArityMismatch { .. }));
     }
 

@@ -388,11 +388,7 @@ impl<'a, FI: FuncInterp> Evaluator<'a, FI> {
     /// domain enumeration over all variables, no join drivers. Semantically
     /// identical; used by the `ablations` bench to quantify the value of
     /// driver-based search.
-    pub fn satisfying_assignments_no_drivers(
-        &self,
-        f: &Formula,
-        vars: &[Var],
-    ) -> Vec<Vec<Value>> {
+    pub fn satisfying_assignments_no_drivers(&self, f: &Formula, vars: &[Var]) -> Vec<Vec<Value>> {
         let mut enum_vars: Vec<Var> = vars.to_vec();
         for v in f.free_vars() {
             if !enum_vars.contains(&v) {
@@ -416,7 +412,9 @@ fn conjunct_driver_atoms(f: &Formula) -> Vec<(dx_relation::RelSym, &Vec<Term>)> 
     fn go<'f>(f: &'f Formula, out: &mut Vec<(dx_relation::RelSym, &'f Vec<Term>)>) {
         match f {
             Formula::Atom(r, args)
-                if args.iter().all(|t| matches!(t, Term::Var(_) | Term::Const(_))) =>
+                if args
+                    .iter()
+                    .all(|t| matches!(t, Term::Var(_) | Term::Const(_))) =>
             {
                 out.push((*r, args));
             }
@@ -464,12 +462,18 @@ mod tests {
         let i = graph();
         let ev = Evaluator::new(&i);
         // exists x. E(x, x)
-        let f = F::exists(vec![Var::new("x")], F::atom("E", vec![Term::var("x"), Term::var("x")]));
+        let f = F::exists(
+            vec![Var::new("x")],
+            F::atom("E", vec![Term::var("x"), Term::var("x")]),
+        );
         assert!(ev.holds(&f));
         // forall x. exists y. E(x,y) — false (c has no successor)
         let g = F::forall(
             vec![Var::new("x")],
-            F::exists(vec![Var::new("y")], F::atom("E", vec![Term::var("x"), Term::var("y")])),
+            F::exists(
+                vec![Var::new("y")],
+                F::atom("E", vec![Term::var("x"), Term::var("y")]),
+            ),
         );
         assert!(!ev.holds(&g));
     }
@@ -484,7 +488,10 @@ mod tests {
             Tuple::new(vec![Value::c("a"), Value::null(0)]),
         );
         let ev = Evaluator::new(&i);
-        let f = F::exists(vec![Var::new("y")], F::atom("E", vec![Term::cst("a"), Term::var("y")]));
+        let f = F::exists(
+            vec![Var::new("y")],
+            F::atom("E", vec![Term::cst("a"), Term::var("y")]),
+        );
         assert!(ev.holds(&f));
         // forall y. E(a,y) -> y != a  (⊥0 ≠ a under naive semantics)
         let g = F::forall(
@@ -532,7 +539,10 @@ mod tests {
     fn constants_outside_adom_need_for_formula() {
         let i = graph();
         // exists x. x = 'zebra' — only true if 'zebra' is in the domain.
-        let f = F::exists(vec![Var::new("x")], F::eq(Term::var("x"), Term::cst("zebra")));
+        let f = F::exists(
+            vec![Var::new("x")],
+            F::eq(Term::var("x"), Term::cst("zebra")),
+        );
         assert!(!Evaluator::new(&i).holds(&f));
         assert!(Evaluator::for_formula(&i, &f).holds(&f));
     }

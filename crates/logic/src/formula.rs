@@ -52,6 +52,7 @@ impl Formula {
     }
 
     /// Negation (with double-negation elimination).
+    #[allow(clippy::should_implement_trait)] // `not` is the paper-facing name; `ops::Not` would take `self`
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::Not(inner) => *inner,
@@ -242,9 +243,7 @@ impl Formula {
             Formula::And(fs) | Formula::Or(fs) => {
                 fs.iter().map(|f| f.quantifier_rank()).max().unwrap_or(0)
             }
-            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
-                vars.len() + f.quantifier_rank()
-            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => vars.len() + f.quantifier_rank(),
         }
     }
 
@@ -367,9 +366,7 @@ impl Formula {
             Formula::True | Formula::False | Formula::Eq(_, _) => self.clone(),
             Formula::Atom(r, args) => rewrite(*r, args).unwrap_or_else(|| self.clone()),
             Formula::Not(f) => Formula::Not(Box::new(f.rewrite_atoms(rewrite))),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|f| f.rewrite_atoms(rewrite)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.rewrite_atoms(rewrite)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rewrite_atoms(rewrite)).collect()),
             Formula::Exists(vars, f) => {
                 Formula::Exists(vars.clone(), Box::new(f.rewrite_atoms(rewrite)))
@@ -463,7 +460,10 @@ mod tests {
     fn and_or_simplification() {
         assert_eq!(Formula::and([]), Formula::True);
         assert_eq!(Formula::or([]), Formula::False);
-        assert_eq!(Formula::and([Formula::True, Formula::False]), Formula::False);
+        assert_eq!(
+            Formula::and([Formula::True, Formula::False]),
+            Formula::False
+        );
         assert_eq!(Formula::or([Formula::False, Formula::True]), Formula::True);
         let a = Formula::atom("R", vec![Term::var("x")]);
         assert_eq!(Formula::and([a.clone()]), a);
@@ -537,7 +537,10 @@ mod tests {
         map.insert(v("x"), Term::cst("a"));
         let f = Formula::and([
             Formula::atom("R", vec![Term::var("x")]),
-            Formula::exists(vec![v("z")], Formula::atom("S", vec![Term::var("x"), Term::var("z")])),
+            Formula::exists(
+                vec![v("z")],
+                Formula::atom("S", vec![Term::var("x"), Term::var("z")]),
+            ),
         ]);
         let g = f.subst(&map);
         assert!(!g.free_vars().contains(&v("x")));

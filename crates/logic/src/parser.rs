@@ -81,9 +81,9 @@ enum Tok {
     Bang,
     Eq,
     Neq,
-    Arrow,     // ->
-    BodySep,   // <- or :-
-    Colon,     // : or ^
+    Arrow,   // ->
+    BodySep, // <- or :-
+    Colon,   // : or ^
     Semi,
 }
 
@@ -184,7 +184,11 @@ impl<'a> Lexer<'a> {
                     if self.bytes.get(self.pos + 1) == Some(&b'>') {
                         self.pos += 2;
                         Tok::Arrow
-                    } else if self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    } else if self
+                        .bytes
+                        .get(self.pos + 1)
+                        .is_some_and(|c| c.is_ascii_digit())
+                    {
                         self.pos += 1;
                         let s = self.read_digits();
                         Tok::Number(format!("-{s}"))
@@ -583,9 +587,7 @@ pub fn parse_facts(src: &str) -> Result<dx_relation::Instance, ParseError> {
                     Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) | Some(Tok::Number(s)) => {
                         vals.push(dx_relation::Value::c(&s));
                     }
-                    other => {
-                        return Err(p.error(format!("expected a constant, found {other:?}")))
-                    }
+                    other => return Err(p.error(format!("expected a constant, found {other:?}"))),
                 }
                 if !p.eat(&Tok::Comma) {
                     break;
@@ -593,9 +595,12 @@ pub fn parse_facts(src: &str) -> Result<dx_relation::Instance, ParseError> {
             }
         }
         p.expect(&Tok::RParen, "')'")?;
-        out.insert(dx_relation::RelSym::new(&name), dx_relation::Tuple::new(vals));
+        out.insert(
+            dx_relation::RelSym::new(&name),
+            dx_relation::Tuple::new(vals),
+        );
         // Fact separator: '.' or ';' (optional before EOF).
-        if !(p.eat(&Tok::Dot) || p.eat(&Tok::Semi)) && !p.at_end() {
+        if !(p.eat(&Tok::Dot) || p.eat(&Tok::Semi) || p.at_end()) {
             return Err(p.error("expected '.' or ';' between facts"));
         }
     }
@@ -735,10 +740,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace() {
-        let rules = parse_rules(
-            "# copy rule\nRp(x:cl) <- R(x); # another\nSp(x:op) <- S(x);",
-        )
-        .unwrap();
+        let rules =
+            parse_rules("# copy rule\nRp(x:cl) <- R(x); # another\nSp(x:op) <- S(x);").unwrap();
         assert_eq!(rules.len(), 2);
     }
 
@@ -758,7 +761,10 @@ mod tests {
         // Nullary facts and empty input work.
         assert_eq!(parse_facts("").unwrap().tuple_count(), 0);
         let n = parse_facts("Flag().").unwrap();
-        assert_eq!(n.relation(dx_relation::RelSym::new("Flag")).unwrap().len(), 1);
+        assert_eq!(
+            n.relation(dx_relation::RelSym::new("Flag")).unwrap().len(),
+            1
+        );
         // Errors: missing separator, variables make no sense here.
         assert!(parse_facts("E(a, b) E(c, d)").is_err());
         assert!(parse_facts("E(a,").is_err());

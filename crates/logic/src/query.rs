@@ -76,10 +76,7 @@ impl Query {
     /// and — by Proposition 3 — `certain_Σα(Q, S)` when `T = CSol(S)`.
     pub fn naive_certain_answers(&self, instance: &Instance) -> Relation {
         let all = self.answers(instance);
-        Relation::from_tuples(
-            self.arity(),
-            all.iter().filter(|t| t.is_ground()).cloned(),
-        )
+        Relation::from_tuples(self.arity(), all.iter().filter(|t| t.is_ground()).cloned())
     }
 
     /// Does `tuple` belong to `Q(instance)` under naive evaluation?

@@ -134,9 +134,7 @@ impl Term {
         match self {
             Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
             Term::Const(_) => self.clone(),
-            Term::App(f, args) => {
-                Term::App(*f, args.iter().map(|a| a.subst(map)).collect())
-            }
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.subst(map)).collect()),
         }
     }
 
@@ -146,9 +144,7 @@ impl Term {
         match self {
             Term::Var(v) => Term::Var(*map.get(v).unwrap_or(v)),
             Term::Const(_) => self.clone(),
-            Term::App(f, args) => {
-                Term::App(*f, args.iter().map(|a| a.rename(map)).collect())
-            }
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.rename(map)).collect()),
         }
     }
 }
@@ -188,7 +184,10 @@ mod tests {
 
     #[test]
     fn var_collection_under_apps() {
-        let t = Term::app("f", vec![Term::var("x"), Term::app("g", vec![Term::var("y")])]);
+        let t = Term::app(
+            "f",
+            vec![Term::var("x"), Term::app("g", vec![Term::var("y")])],
+        );
         let vars = t.vars();
         assert!(vars.contains(&Var::new("x")) && vars.contains(&Var::new("y")));
         assert_eq!(vars.len(), 2);

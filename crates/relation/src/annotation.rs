@@ -118,12 +118,7 @@ impl Annotation {
     /// Pointwise annotation order `α ⪯ α′` (Theorem 1(3)): closed positions
     /// may open up, open positions must stay open.
     pub fn le(&self, other: &Annotation) -> bool {
-        self.arity() == other.arity()
-            && self
-                .0
-                .iter()
-                .zip(other.0.iter())
-                .all(|(&a, &b)| a.le(b))
+        self.arity() == other.arity() && self.0.iter().zip(other.0.iter()).all(|(&a, &b)| a.le(b))
     }
 
     /// Does `candidate` coincide with `reference` on every position this
@@ -465,16 +460,14 @@ impl AnnInstance {
     /// Is every annotation (on tuples and empty markers) all-open?
     pub fn is_all_open(&self) -> bool {
         self.rels.values().all(|r| {
-            r.iter().all(|t| t.ann.is_all_open())
-                && r.empty_marks().all(|a| a.is_all_open())
+            r.iter().all(|t| t.ann.is_all_open()) && r.empty_marks().all(|a| a.is_all_open())
         })
     }
 
     /// Is every annotation all-closed?
     pub fn is_all_closed(&self) -> bool {
         self.rels.values().all(|r| {
-            r.iter().all(|t| t.ann.is_all_closed())
-                && r.empty_marks().all(|a| a.is_all_closed())
+            r.iter().all(|t| t.ann.is_all_closed()) && r.empty_marks().all(|a| a.is_all_closed())
         })
     }
 
@@ -586,7 +579,13 @@ mod tests {
     fn rel_part_strips_annotations_and_empties() {
         let mut t = AnnInstance::new();
         let r = RelSym::new("R_annot");
-        t.insert(r, at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]));
+        t.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         t.insert_empty_mark(r, Annotation::all_open(2));
         let rp = t.rel_part();
         assert_eq!(rp.tuple_count(), 1);
@@ -598,8 +597,20 @@ mod tests {
         // CSol_A can contain (a^op, ⊥1^cl) and (a^cl, ⊥2^op) in one relation.
         let mut t = AnnInstance::new();
         let r = RelSym::new("R_coexist");
-        t.insert(r, at(vec![Value::c("a"), Value::null(1)], vec![Ann::Open, Ann::Closed]));
-        t.insert(r, at(vec![Value::c("a"), Value::null(2)], vec![Ann::Closed, Ann::Open]));
+        t.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Open, Ann::Closed],
+            ),
+        );
+        t.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::null(2)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         assert_eq!(t.tuple_count(), 2);
     }
 
@@ -607,7 +618,13 @@ mod tests {
     fn covers_instance_checks_all_relations() {
         let mut t = AnnInstance::new();
         let r = RelSym::new("CovR");
-        t.insert(r, at(vec![Value::c("a"), Value::c("b")], vec![Ann::Closed, Ann::Open]));
+        t.insert(
+            r,
+            at(
+                vec![Value::c("a"), Value::c("b")],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         let mut good = Instance::new();
         good.insert(r, Tuple::from_names(&["a", "zzz"]));
         assert!(t.covers_instance(&good));
@@ -620,7 +637,13 @@ mod tests {
     fn valuation_preserves_annotations() {
         let mut t = AnnInstance::new();
         let r = RelSym::new("ValR");
-        t.insert(r, at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Open]));
+        t.insert(
+            r,
+            at(
+                vec![Value::null(0), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
         let v = Valuation::from_pairs([
             (NullId(0), ConstId::new("p")),
             (NullId(1), ConstId::new("q")),
@@ -633,7 +656,10 @@ mod tests {
 
     #[test]
     fn display_annotated_tuple() {
-        let t = at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]);
+        let t = at(
+            vec![Value::c("a"), Value::null(0)],
+            vec![Ann::Closed, Ann::Open],
+        );
         assert_eq!(t.to_string(), "(a^cl, ⊥0^op)");
     }
 }

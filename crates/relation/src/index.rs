@@ -1,0 +1,269 @@
+//! Hash indexes over relations and instances, with stable tuple ids.
+//!
+//! The backtracking searches in `dx-solver` and the delta-driven chase in
+//! `dx-engine` both spend their time answering the same question: *which
+//! tuples of relation `R` agree with a partially known tuple on its bound
+//! positions?* The naive answer — scan the whole relation — is what the
+//! reference implementations do; this module provides the indexed answer:
+//!
+//! * every tuple gets a stable [`TupleId`] (its position in insertion
+//!   order), so matches can be exchanged as small integers instead of
+//!   cloned tuples;
+//! * a per-column hash index `(column, value) → sorted ids` supports point
+//!   probes;
+//! * [`RelationIndex::matching`] answers pattern queries by probing the
+//!   most selective bound column and post-filtering, which is the building
+//!   block of selectivity-ordered join plans.
+//!
+//! [`RelationIndex`] / [`InstanceIndex`] are *immutable snapshots* built
+//! from a [`Relation`] / [`Instance`]; the chase engine's mutable indexed
+//! store (`dx-engine`) maintains the same invariants incrementally.
+
+use crate::fxmap::FastMap;
+use crate::instance::Instance;
+use crate::intern::RelSym;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A stable identifier of a tuple inside one indexed relation: its position
+/// in insertion (iteration) order at build time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as a usize (for slot vectors).
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An immutable column index over one relation's tuples.
+pub struct RelationIndex {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    /// `by_col[c][v]` = sorted ids of tuples with value `v` at column `c`.
+    by_col: Vec<FastMap<Value, Vec<TupleId>>>,
+}
+
+impl RelationIndex {
+    /// Build the index from a relation snapshot (ids follow the relation's
+    /// deterministic iteration order).
+    pub fn build(rel: &Relation) -> Self {
+        let mut idx = RelationIndex {
+            arity: rel.arity(),
+            tuples: Vec::with_capacity(rel.len()),
+            by_col: vec![FastMap::default(); rel.arity()],
+        };
+        for t in rel.iter() {
+            let id = TupleId(idx.tuples.len() as u32);
+            for (c, v) in t.iter().enumerate() {
+                idx.by_col[c].entry(v).or_default().push(id);
+            }
+            idx.tuples.push(t.clone());
+        }
+        idx
+    }
+
+    /// The indexed relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the indexed relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple behind an id.
+    pub fn get(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.idx()]
+    }
+
+    /// All ids, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.tuples.len() as u32).map(TupleId)
+    }
+
+    /// Point probe: ids of tuples with `value` at `col` (sorted).
+    pub fn probe(&self, col: usize, value: Value) -> &[TupleId] {
+        self.by_col[col]
+            .get(&value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// An upper bound on how many tuples can match `pattern`
+    /// (`Some(v)` = position bound to `v`, `None` = free): the length of the
+    /// most selective bound column's posting list, or the relation size when
+    /// nothing is bound. This is the estimate join planners order atoms by.
+    pub fn selectivity(&self, pattern: &[Option<Value>]) -> usize {
+        debug_assert_eq!(pattern.len(), self.arity);
+        pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|v| self.probe(c, v).len()))
+            .min()
+            .unwrap_or_else(|| self.len())
+    }
+
+    /// Ids of tuples matching `pattern` exactly on all bound positions.
+    ///
+    /// Probes the most selective bound column, then post-filters the posting
+    /// list against the remaining bound positions; a pattern with no bound
+    /// position returns every id.
+    pub fn matching(&self, pattern: &[Option<Value>]) -> Vec<TupleId> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|v| (self.probe(c, v).len(), c, v)))
+            .min();
+        match best {
+            None => self.ids().collect(),
+            Some((_, col, v)) => self
+                .probe(col, v)
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let t = self.get(id);
+                    pattern
+                        .iter()
+                        .enumerate()
+                        .all(|(c, p)| p.is_none_or(|pv| t.get(c) == pv))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Immutable per-relation indexes over a whole instance.
+pub struct InstanceIndex {
+    rels: BTreeMap<RelSym, RelationIndex>,
+}
+
+impl InstanceIndex {
+    /// Index every relation of `inst`.
+    pub fn build(inst: &Instance) -> Self {
+        InstanceIndex {
+            rels: inst
+                .relations()
+                .map(|(r, rel)| (r, RelationIndex::build(rel)))
+                .collect(),
+        }
+    }
+
+    /// The index of `rel`, if the instance has it.
+    pub fn relation(&self, rel: RelSym) -> Option<&RelationIndex> {
+        self.rels.get(&rel)
+    }
+
+    /// Iterate over `(relation, index)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (RelSym, &RelationIndex)> + '_ {
+        self.rels.iter().map(|(&r, idx)| (r, idx))
+    }
+}
+
+/// The match pattern of `probe` against the index: bound positions from a
+/// tuple template with nulls treated as bound values (naive-table
+/// semantics: a null is an atomic value).
+pub fn pattern_of(t: &Tuple) -> Vec<Option<Value>> {
+    t.iter().map(Some).collect()
+}
+
+/// The pattern binding only the constant positions of `t` (used when nulls
+/// are *variables to solve for*, as in the `Rep_A` valuation search).
+pub fn const_pattern_of(t: &Tuple) -> Vec<Option<Value>> {
+    t.iter()
+        .map(|v| if v.is_const() { Some(v) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_tuples(
+            2,
+            [
+                Tuple::from_names(&["a", "x"]),
+                Tuple::from_names(&["a", "y"]),
+                Tuple::from_names(&["b", "x"]),
+                Tuple::new(vec![Value::c("b"), Value::null(3)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn probe_finds_posting_lists() {
+        let idx = RelationIndex::build(&sample());
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.probe(0, Value::c("a")).len(), 2);
+        assert_eq!(idx.probe(1, Value::c("x")).len(), 2);
+        assert_eq!(idx.probe(1, Value::null(3)).len(), 1);
+        assert!(idx.probe(0, Value::c("zzz")).is_empty());
+    }
+
+    #[test]
+    fn matching_filters_all_bound_positions() {
+        let idx = RelationIndex::build(&sample());
+        let hits = idx.matching(&[Some(Value::c("a")), Some(Value::c("x"))]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(idx.get(hits[0]), &Tuple::from_names(&["a", "x"]));
+        // Unbound pattern returns everything.
+        assert_eq!(idx.matching(&[None, None]).len(), 4);
+        // Nulls are atomic values.
+        let hits = idx.matching(&[None, Some(Value::null(3))]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn selectivity_picks_the_tightest_column() {
+        let idx = RelationIndex::build(&sample());
+        assert_eq!(idx.selectivity(&[Some(Value::c("a")), None]), 2);
+        assert_eq!(
+            idx.selectivity(&[Some(Value::c("a")), Some(Value::null(3))]),
+            1
+        );
+        assert_eq!(idx.selectivity(&[None, None]), 4);
+    }
+
+    #[test]
+    fn instance_index_covers_all_relations() {
+        let mut inst = Instance::new();
+        inst.insert_names("IdxE", &["a", "b"]);
+        inst.insert_names("IdxV", &["a"]);
+        let idx = InstanceIndex::build(&inst);
+        assert!(idx.relation(RelSym::new("IdxE")).is_some());
+        assert!(idx.relation(RelSym::new("IdxV")).is_some());
+        assert!(idx.relation(RelSym::new("Missing")).is_none());
+        assert_eq!(idx.relations().count(), 2);
+    }
+
+    #[test]
+    fn patterns_from_tuples() {
+        let t = Tuple::new(vec![Value::c("a"), Value::null(1)]);
+        assert_eq!(
+            pattern_of(&t),
+            vec![Some(Value::c("a")), Some(Value::null(1))]
+        );
+        assert_eq!(const_pattern_of(&t), vec![Some(Value::c("a")), None]);
+    }
+
+    #[test]
+    fn ids_are_stable_and_deterministic() {
+        let a = RelationIndex::build(&sample());
+        let b = RelationIndex::build(&sample());
+        for (ia, ib) in a.ids().zip(b.ids()) {
+            assert_eq!(ia, ib);
+            assert_eq!(a.get(ia), b.get(ib));
+        }
+    }
+}

@@ -175,10 +175,7 @@ impl Instance {
 
     /// The active domain `D_T`: all values occurring in some tuple.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.rels
-            .values()
-            .flat_map(|r| r.active_domain())
-            .collect()
+        self.rels.values().flat_map(|r| r.active_domain()).collect()
     }
 
     /// The constants of the active domain.
@@ -199,11 +196,7 @@ impl Instance {
     /// Relation-wise inclusion `self ⊆ other`.
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
         self.rels.iter().all(|(r, rel)| {
-            rel.is_empty()
-                || other
-                    .rels
-                    .get(r)
-                    .is_some_and(|orel| rel.is_subset(orel))
+            rel.is_empty() || other.rels.get(r).is_some_and(|orel| rel.is_subset(orel))
         })
     }
 

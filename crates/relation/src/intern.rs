@@ -10,13 +10,12 @@
 //! order of first interning. All ordered containers in this workspace iterate
 //! in id order, so test output is stable for a fixed execution path.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
-/// The global string table. `OnceLock` keeps initialization lazy and
-/// `parking_lot::RwLock` keeps the read path (resolution) cheap.
+/// The global string table. `OnceLock` keeps initialization lazy and an
+/// `RwLock` keeps the read path (resolution) cheap.
 struct Table {
     by_name: HashMap<Box<str>, u32>,
     names: Vec<Box<str>>,
@@ -34,12 +33,15 @@ fn table() -> &'static RwLock<Table> {
 }
 
 /// Intern `name`, returning its stable id.
+///
+/// Lock poisoning cannot arise in practice: no code path panics while
+/// holding the table lock. `unwrap` documents that invariant.
 fn intern(name: &str) -> u32 {
     // Fast path: already interned.
-    if let Some(&id) = table().read().by_name.get(name) {
+    if let Some(&id) = table().read().unwrap().by_name.get(name) {
         return id;
     }
-    let mut t = table().write();
+    let mut t = table().write().unwrap();
     if let Some(&id) = t.by_name.get(name) {
         return id;
     }
@@ -52,7 +54,7 @@ fn intern(name: &str) -> u32 {
 
 /// Resolve an id back to its string (cloned out of the table).
 fn resolve(id: u32) -> String {
-    table().read().names[id as usize].to_string()
+    table().read().unwrap().names[id as usize].to_string()
 }
 
 macro_rules! symbol {

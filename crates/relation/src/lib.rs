@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod annotation;
+pub mod fxmap;
+pub mod index;
 pub mod instance;
 pub mod intern;
 pub mod relation;
@@ -30,6 +32,8 @@ pub mod valuation;
 pub mod value;
 
 pub use annotation::{Ann, AnnInstance, AnnRelation, AnnTuple, Annotation};
+pub use fxmap::{FastMap, FastSet};
+pub use index::{InstanceIndex, RelationIndex, TupleId};
 pub use instance::{Instance, Schema};
 pub use intern::{ConstId, FuncSym, RelSym, Var};
 pub use relation::Relation;

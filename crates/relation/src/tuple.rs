@@ -89,7 +89,9 @@ impl Tuple {
     /// differ.
     pub fn agreement(&self, other: &Tuple) -> Vec<usize> {
         assert_eq!(self.arity(), other.arity(), "arity mismatch");
-        (0..self.arity()).filter(|&i| self.0[i] == other.0[i]).collect()
+        (0..self.arity())
+            .filter(|&i| self.0[i] == other.0[i])
+            .collect()
     }
 }
 

@@ -126,11 +126,7 @@ impl NullGen {
     /// A generator whose first output is strictly greater than every null in
     /// `used` (useful when extending an existing instance).
     pub fn after<I: IntoIterator<Item = NullId>>(used: I) -> Self {
-        let next = used
-            .into_iter()
-            .map(|n| n.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let next = used.into_iter().map(|n| n.0 + 1).max().unwrap_or(0);
         NullGen { next }
     }
 

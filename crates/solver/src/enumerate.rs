@@ -198,9 +198,7 @@ pub fn search_rep_a(
 
     let completeness = if state.witness.is_some() {
         Completeness::Exact // irrelevant when a witness exists
-    } else if state.capped {
-        Completeness::Capped
-    } else if state.pool_truncated {
+    } else if state.capped || state.pool_truncated {
         Completeness::Capped
     } else if admits_extras(t)
         && (budget.max_extra_tuples < usize::MAX || budget.max_external_consts < usize::MAX)
@@ -292,7 +290,15 @@ impl<'a> State<'a> {
         let mut chosen: Vec<usize> = Vec::new();
         let mut template_counts = vec![0usize; n_templates];
         for k in 0..=max_k {
-            self.subsets(&pool, &base_instance, v, k, 0, &mut chosen, &mut template_counts);
+            self.subsets(
+                &pool,
+                &base_instance,
+                v,
+                k,
+                0,
+                &mut chosen,
+                &mut template_counts,
+            );
             if self.witness.is_some() || self.capped {
                 return;
             }
@@ -377,8 +383,7 @@ impl<'a> State<'a> {
                         self.pool_truncated = true;
                         break 'combo2;
                     }
-                    let vals: Vec<Value> =
-                        idx.iter().map(|&j| Value::Const(consts[j])).collect();
+                    let vals: Vec<Value> = idx.iter().map(|&j| Value::Const(consts[j])).collect();
                     let cand = Tuple::new(vals);
                     if !base.contains(rel, &cand) && seen.insert(cand.clone()) {
                         pool.push((rel, cand, tid));
@@ -470,7 +475,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         // Palette: base {a} + 1 fresh → 2 valuations → 2 leaves.
         let n = enumerate_rep_a(
@@ -491,7 +499,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::null(0), Value::null(1)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         let n = enumerate_rep_a(
             &t,
@@ -509,7 +520,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         // Look for an instance with ≥ 3 tuples (requires 2 extras).
         let outcome = search_rep_a(
@@ -533,14 +547,14 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
-        let outcome = search_rep_a(
-            &t,
-            &BTreeSet::new(),
-            &SearchBudget::default(),
-            &mut |i| i.tuple_count() >= 2,
-        );
+        let outcome = search_rep_a(&t, &BTreeSet::new(), &SearchBudget::default(), &mut |i| {
+            i.tuple_count() >= 2
+        });
         assert!(outcome.witness.is_none());
         assert_eq!(outcome.completeness, Completeness::Exact);
     }
@@ -552,7 +566,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::null(0), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         let outcome = search_rep_a(
             &t,
@@ -593,10 +610,7 @@ mod tests {
         let rel = RelSym::new("EnumG");
         let mut t = AnnInstance::new();
         for i in 0..4 {
-            t.insert(
-                rel,
-                at(vec![Value::null(i)], vec![Ann::Closed]),
-            );
+            t.insert(rel, at(vec![Value::null(i)], vec![Ann::Closed]));
         }
         let budget = SearchBudget {
             max_leaves: Some(3),

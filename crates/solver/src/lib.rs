@@ -30,6 +30,9 @@ pub mod palette;
 pub mod repa;
 
 pub use enumerate::{enumerate_rep_a, search_rep_a, Completeness, SearchBudget, SearchOutcome};
-pub use palette::Palette;
 pub use matching::max_bipartite_matching;
-pub use repa::{codd_rep_membership, find_embedding_valuation, is_codd, rep_a_membership, rep_membership};
+pub use palette::Palette;
+pub use repa::{
+    codd_rep_membership, find_embedding_valuation, is_codd, rep_a_membership, rep_a_membership_via,
+    rep_membership, MatchStrategy,
+};

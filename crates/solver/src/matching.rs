@@ -26,12 +26,7 @@ pub fn max_bipartite_matching(
     let mut size = 0usize;
 
     // BFS layers from free left vertices.
-    fn bfs(
-        adj: &[Vec<usize>],
-        match_l: &[usize],
-        match_r: &[usize],
-        dist: &mut [usize],
-    ) -> bool {
+    fn bfs(adj: &[Vec<usize>], match_l: &[usize], match_r: &[usize], dist: &mut [usize]) -> bool {
         const NIL: usize = usize::MAX;
         let mut queue = std::collections::VecDeque::new();
         for (l, &m) in match_l.iter().enumerate() {

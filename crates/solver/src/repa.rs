@@ -13,8 +13,22 @@
 //! must land on *some* `R`-tuple) and the coverage condition (2) checked at
 //! each leaf.
 
+use dx_relation::index::{const_pattern_of, InstanceIndex};
 use dx_relation::{AnnInstance, Instance, NullId, Tuple, Valuation, Value};
 
+/// How candidate `R`-tuples are discovered during the `Rep_A` valuation
+/// search (and the embedding search of Lemma 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MatchStrategy {
+    /// Scan every `R`-tuple of the relation per `T`-tuple (the reference
+    /// behaviour, kept as the ablation baseline).
+    Scan,
+    /// Probe a per-column hash index ([`dx_relation::InstanceIndex`]) on the
+    /// constant positions of the `T`-tuple, post-filtering for repeated
+    /// nulls.
+    #[default]
+    Indexed,
+}
 
 /// Decide `R ∈ Rep_A(T)`; returns a witnessing valuation if one exists.
 ///
@@ -33,13 +47,25 @@ pub fn rep_a_membership(t: &AnnInstance, r: &Instance) -> Option<Valuation> {
             return codd_rep_membership(&ground_part, r);
         }
     }
-    rep_a_membership_with(t, r, true)
+    rep_a_membership_via(MatchStrategy::Indexed, t, r, true)
 }
 
 /// [`rep_a_membership`] with the most-constrained-first task ordering as an
 /// ablation switch (`order_tasks = false` keeps declaration order); used by
-/// the `ablations` bench.
+/// the `ablations` bench. Keeps the scanning candidate discovery as the
+/// second ablation baseline.
 pub fn rep_a_membership_with(
+    t: &AnnInstance,
+    r: &Instance,
+    order_tasks: bool,
+) -> Option<Valuation> {
+    rep_a_membership_via(MatchStrategy::Scan, t, r, order_tasks)
+}
+
+/// The generic `Rep_A` backtracking search with an explicit candidate
+/// [`MatchStrategy`].
+pub fn rep_a_membership_via(
+    strategy: MatchStrategy,
     t: &AnnInstance,
     r: &Instance,
     order_tasks: bool,
@@ -54,6 +80,11 @@ pub fn rep_a_membership_with(
         }
     }
 
+    let index = match strategy {
+        MatchStrategy::Indexed => Some(InstanceIndex::build(r)),
+        MatchStrategy::Scan => None,
+    };
+
     // Build the matching tasks: every non-empty annotated tuple of T must be
     // mapped (via the valuation) onto an R-tuple.
     struct Task {
@@ -63,11 +94,24 @@ pub fn rep_a_membership_with(
     let mut tasks: Vec<Task> = Vec::new();
     for (rel, trel) in t.relations() {
         for at in trel.iter() {
-            let candidates: Vec<Tuple> = r
-                .tuples(rel)
-                .filter(|cand| positionally_compatible(&at.tuple, cand))
-                .cloned()
-                .collect();
+            let candidates: Vec<Tuple> = match &index {
+                Some(idx) => idx
+                    .relation(rel)
+                    .map(|ri| {
+                        ri.matching(&const_pattern_of(&at.tuple))
+                            .into_iter()
+                            .map(|id| ri.get(id))
+                            .filter(|cand| positionally_compatible(&at.tuple, cand))
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                None => r
+                    .tuples(rel)
+                    .filter(|cand| positionally_compatible(&at.tuple, cand))
+                    .cloned()
+                    .collect(),
+            };
             if candidates.is_empty() {
                 return None;
             }
@@ -192,14 +236,21 @@ fn positionally_compatible(t: &Tuple, cand: &Tuple) -> bool {
 /// can land on, so inconsistent prefixes are pruned immediately.
 pub fn find_embedding_valuation(t: &Instance, r: &Instance) -> Option<Valuation> {
     assert!(r.is_ground(), "embedding targets are instances over Const");
+    let index = InstanceIndex::build(r);
     let mut tasks: Vec<(Tuple, Vec<Tuple>)> = Vec::new();
     for (rel, trel) in t.relations() {
         for tuple in trel.iter() {
-            let candidates: Vec<Tuple> = r
-                .tuples(rel)
-                .filter(|cand| positionally_compatible(tuple, cand))
-                .cloned()
-                .collect();
+            let candidates: Vec<Tuple> = index
+                .relation(rel)
+                .map(|ri| {
+                    ri.matching(&const_pattern_of(tuple))
+                        .into_iter()
+                        .map(|id| ri.get(id))
+                        .filter(|cand| positionally_compatible(tuple, cand))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default();
             if candidates.is_empty() {
                 return None;
             }
@@ -255,12 +306,10 @@ pub fn is_codd(t: &Instance) -> bool {
     let mut seen = std::collections::BTreeSet::new();
     t.relations().all(|(_, rel)| {
         rel.iter().all(|tuple| {
-            tuple
-                .iter()
-                .all(|v| match v {
-                    Value::Null(n) => seen.insert(n),
-                    Value::Const(_) => true,
-                })
+            tuple.iter().all(|v| match v {
+                Value::Null(n) => seen.insert(n),
+                Value::Const(_) => true,
+            })
         })
     })
 }
@@ -380,7 +429,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         let mut r = Instance::new();
         r.insert_names("RA1", &["a", "x"]);
@@ -400,7 +452,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
         );
         let mut one = Instance::new();
         one.insert_names("RA2", &["a", "b"]);
@@ -471,7 +526,10 @@ mod tests {
         let mut t = AnnInstance::new();
         t.insert(
             rel,
-            at(vec![Value::null(0), Value::null(1)], vec![Ann::Closed, Ann::Open]),
+            at(
+                vec![Value::null(0), Value::null(1)],
+                vec![Ann::Closed, Ann::Open],
+            ),
         );
         let mut r = Instance::new();
         r.insert_names("RA6", &["u", "v"]);
@@ -525,7 +583,10 @@ mod tests {
         let mut r = Instance::new();
         r.insert_names("CoddC", &["u"]);
         r.insert_names("CoddC", &["w"]);
-        assert!(codd_rep_membership(&t, &r).is_none(), "one tuple cannot be two");
+        assert!(
+            codd_rep_membership(&t, &r).is_none(),
+            "one tuple cannot be two"
+        );
         // And merging is fine the other way: two T-tuples, one R-tuple.
         let mut t2 = Instance::new();
         t2.insert(rel, Tuple::new(vec![Value::null(1)]));
@@ -590,10 +651,70 @@ mod tests {
         }
     }
 
+    /// The indexed candidate discovery is an optimization, not a semantics
+    /// change: Scan and Indexed agree on randomized naive tables (both
+    /// decisions and witness validity).
+    #[test]
+    fn indexed_and_scan_strategies_agree() {
+        let rel = RelSym::new("IdxAgree");
+        let consts = ["a", "b", "c"];
+        let mut seed = 0xD1FFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..300 {
+            let mut t = AnnInstance::new();
+            let n_t = (next() % 3 + 1) as usize;
+            for ti in 0..n_t {
+                let mk = |r: u64, nulls_from: u32| -> Value {
+                    if r.is_multiple_of(2) {
+                        Value::c(consts[(r / 2 % 3) as usize])
+                    } else {
+                        // Small null pool: repetitions across tuples likely.
+                        Value::null(nulls_from + (r / 2 % 3) as u32)
+                    }
+                };
+                let v1 = mk(next(), 0);
+                let v2 = mk(next(), if ti % 2 == 0 { 0 } else { 2 });
+                let ann = if next() % 2 == 0 {
+                    Annotation::all_closed(2)
+                } else {
+                    Annotation::new(vec![Ann::Closed, Ann::Open])
+                };
+                t.insert(rel, AnnTuple::new(Tuple::new(vec![v1, v2]), ann));
+            }
+            let mut r = Instance::new();
+            for _ in 0..(next() % 4 + 1) {
+                r.insert_names(
+                    "IdxAgree",
+                    &[consts[(next() % 3) as usize], consts[(next() % 3) as usize]],
+                );
+            }
+            let scan = rep_a_membership_via(MatchStrategy::Scan, &t, &r, true);
+            let indexed = rep_a_membership_via(MatchStrategy::Indexed, &t, &r, true);
+            assert_eq!(
+                scan.is_some(),
+                indexed.is_some(),
+                "case {case}: t = {t}, r = {r}"
+            );
+            if let Some(v) = indexed {
+                let vt = t.apply(&v);
+                assert!(vt.rel_part().is_subinstance_of(&r));
+                assert!(vt.covers_instance(&r));
+            }
+        }
+    }
+
     #[test]
     fn rep_membership_exact_equality() {
         let mut t = Instance::new();
-        t.insert(RelSym::new("RM"), Tuple::new(vec![Value::c("a"), Value::null(0)]));
+        t.insert(
+            RelSym::new("RM"),
+            Tuple::new(vec![Value::c("a"), Value::null(0)]),
+        );
         let mut r = Instance::new();
         r.insert_names("RM", &["a", "b"]);
         assert!(rep_membership(&t, &r).is_some());

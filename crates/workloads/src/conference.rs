@@ -77,12 +77,21 @@ mod tests {
         let csol = canonical_solution(&m, &s);
         // Submissions: one tuple per paper.
         assert_eq!(
-            csol.instance.relation(RelSym::new("Submissions")).unwrap().len(),
+            csol.instance
+                .relation(RelSym::new("Submissions"))
+                .unwrap()
+                .len(),
             4
         );
         // Reviews: one closed tuple per assignment (p0, p2) + one open-review
         // tuple per unassigned paper (p1, p3).
-        assert_eq!(csol.instance.relation(RelSym::new("Reviews")).unwrap().len(), 4);
+        assert_eq!(
+            csol.instance
+                .relation(RelSym::new("Reviews"))
+                .unwrap()
+                .len(),
+            4
+        );
     }
 
     #[test]

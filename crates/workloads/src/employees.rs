@@ -54,7 +54,9 @@ mod tests {
     #[test]
     fn intended_target_is_member() {
         let m = mapping();
-        assert!(m.membership(&source(2, 2), &intended_target(2, 2)).is_some());
+        assert!(m
+            .membership(&source(2, 2), &intended_target(2, 2))
+            .is_some());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! Everything is driven by an explicit seed (via `StdRng`), so failures are
 //! reproducible; no generator touches global randomness.
 
+use dx_chase::target_deps::{is_weakly_acyclic, Egd, TargetDep, Tgd};
 use dx_chase::{Mapping, Std, TargetAtom};
 use dx_logic::{Formula, Term};
 use dx_relation::{Ann, Annotation, Instance, RelSym, Schema, Var};
@@ -135,7 +136,10 @@ pub fn sample_member(
     let nulls: Vec<_> = csol.instance.nulls().into_iter().collect();
     let mut v = Valuation::new();
     for n in nulls {
-        v.set(n, dx_relation::ConstId::new(&format!("k{}", rng.gen_range(0..n_consts))));
+        v.set(
+            n,
+            dx_relation::ConstId::new(&format!("k{}", rng.gen_range(0..n_consts))),
+        );
     }
     let valued = csol.instance.apply(&v);
     let mut out = valued.rel_part();
@@ -163,6 +167,94 @@ pub fn sample_member(
     out
 }
 
+/// A random **weakly acyclic** set of target dependencies over `target`:
+/// up to `n_deps` dependencies, each an egd (a functional dependency on a
+/// relation of arity ≥ 2) with probability `p_egd`, otherwise a tgd that
+/// either symmetrizes a binary relation or projects a relation into a fresh
+/// `…_d{i}` relation with one randomly annotated existential position.
+///
+/// Candidates whose addition would break weak acyclicity are dropped, so
+/// every returned set chases to termination; the result may be shorter than
+/// `n_deps` (or empty for degenerate schemas).
+pub fn random_target_deps(
+    target: &Schema,
+    n_deps: usize,
+    p_egd: f64,
+    rng: &mut StdRng,
+) -> Vec<TargetDep> {
+    let rels: Vec<(RelSym, usize)> = target.iter().collect();
+    if rels.is_empty() {
+        return Vec::new();
+    }
+    let mut deps: Vec<TargetDep> = Vec::new();
+    for i in 0..n_deps {
+        let (rel, arity) = rels[rng.gen_range(0..rels.len())];
+        let candidate = if arity >= 2 && rng.gen_bool(p_egd) {
+            // FD: key = a random non-empty prefix of the positions,
+            // determined position = a random non-key position.
+            let key_len = rng.gen_range(1..arity);
+            let det = rng.gen_range(key_len..arity);
+            let mk_args = |side: usize| -> Vec<Term> {
+                (0..arity)
+                    .map(|p| {
+                        if p < key_len {
+                            Term::Var(Var::indexed("k", p))
+                        } else if p == det {
+                            Term::Var(Var::indexed("d", side))
+                        } else {
+                            Term::Var(Var::indexed(&format!("o{side}"), p))
+                        }
+                    })
+                    .collect()
+            };
+            TargetDep::Egd(Egd {
+                body: vec![(rel, mk_args(0)), (rel, mk_args(1))],
+                eq: (
+                    Term::Var(Var::indexed("d", 0)),
+                    Term::Var(Var::indexed("d", 1)),
+                ),
+            })
+        } else if arity == 2 && rng.gen_bool(0.5) {
+            // Symmetry tgd (no existential positions).
+            let x = Var::indexed("x", 0);
+            let y = Var::indexed("x", 1);
+            TargetDep::Tgd(Tgd {
+                body: vec![(rel, vec![Term::Var(x), Term::Var(y)])],
+                head: vec![TargetAtom::new(
+                    rel,
+                    vec![Term::Var(y), Term::Var(x)],
+                    random_annotation(2, 0.5, rng),
+                )],
+            })
+        } else {
+            // Projection into a fresh relation with one invented position.
+            let body_vars: Vec<Var> = (0..arity).map(|p| Var::indexed("x", p)).collect();
+            let kept: Vec<Var> = body_vars
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.6))
+                .collect();
+            let mut head_terms: Vec<Term> = if kept.is_empty() {
+                vec![Term::Var(body_vars[0])]
+            } else {
+                kept.into_iter().map(Term::Var).collect()
+            };
+            head_terms.push(Term::Var(Var::new(&format!("zdep{i}"))));
+            let head_rel = RelSym::new(&format!("{}_d{i}", rel.name()));
+            let ann = random_annotation(head_terms.len(), 0.5, rng);
+            TargetDep::Tgd(Tgd {
+                body: vec![(rel, body_vars.into_iter().map(Term::Var).collect())],
+                head: vec![TargetAtom::new(head_rel, head_terms, ann)],
+            })
+        };
+        deps.push(candidate);
+        if !is_weakly_acyclic(&deps) {
+            deps.pop();
+        }
+    }
+    deps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +277,19 @@ mod tests {
             // Head variables are frontier ∪ existential; construction is
             // well-formed by Mapping::from_stds validation.
             let _ = m.num_op();
+        }
+    }
+
+    #[test]
+    fn random_target_deps_are_weakly_acyclic() {
+        let target = Schema::from_pairs([("T1", 2), ("T2", 3), ("T3", 1)]);
+        for seed in 0..20 {
+            let mut r = rng(seed);
+            let deps = random_target_deps(&target, 4, 0.4, &mut r);
+            assert!(is_weakly_acyclic(&deps), "seed {seed}");
+            // Reproducible.
+            let again = random_target_deps(&target, 4, 0.4, &mut rng(seed));
+            assert_eq!(deps.len(), again.len());
         }
     }
 

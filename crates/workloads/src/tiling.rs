@@ -192,10 +192,7 @@ fn a_succ(ga: &str, gother: &str, zvar: &str, yvar: &str, uniq: &str) -> Formula
                     vec![v(&j)],
                     Formula::implies(
                         atom("Less", &[&j, &i]),
-                        Formula::and([
-                            atom(ga, &[&j, zvar]),
-                            Formula::not(atom(ga, &[&j, yvar])),
-                        ]),
+                        Formula::and([atom(ga, &[&j, zvar]), Formula::not(atom(ga, &[&j, yvar]))]),
                     ),
                 ),
                 Formula::forall(
@@ -244,10 +241,7 @@ pub fn beta(t0_name: &str) -> Formula {
                 vec![v("b31i")],
                 Formula::implies(
                     atom("N", &["b31i"]),
-                    Formula::and([
-                        atom("Gh", &["b31i", "b31y"]),
-                        atom("Gv", &["b31i", "b31y"]),
-                    ]),
+                    Formula::and([atom("Gh", &["b31i", "b31y"]), atom("Gv", &["b31i", "b31y"])]),
                 ),
             ),
         ]),
@@ -285,10 +279,7 @@ pub fn beta(t0_name: &str) -> Formula {
             Formula::not(atom("Empty", &["b41y"])),
             Formula::not(Formula::exists(
                 vec![v("b41i")],
-                Formula::or([
-                    atom("Gh", &["b41i", "b41y"]),
-                    atom("Gv", &["b41i", "b41y"]),
-                ]),
+                Formula::or([atom("Gh", &["b41i", "b41y"]), atom("Gv", &["b41i", "b41y"])]),
             )),
         ]),
     );
@@ -322,10 +313,7 @@ pub fn beta(t0_name: &str) -> Formula {
 pub fn query(sys: &TilingSystem) -> Query {
     Query::new(
         vec![v("qx")],
-        Formula::not(Formula::and([
-            beta(&sys.tiles[0]),
-            atom("Empty", &["qx"]),
-        ])),
+        Formula::not(Formula::and([beta(&sys.tiles[0]), atom("Empty", &["qx"])])),
     )
 }
 
@@ -387,9 +375,7 @@ pub fn verify_witness(sys: &TilingSystem) -> Option<Instance> {
     let f = sys.solve_brute_force()?;
     let w = witness_from_tiling(sys, &f);
     let csol = canonical_solution(&mapping(), &source(sys));
-    if rep_a_membership(&csol.instance, &w).is_none() {
-        return None;
-    }
+    rep_a_membership(&csol.instance, &w)?;
     let ev = Evaluator::for_formula(&w, &beta(&sys.tiles[0]));
     ev.holds(&beta(&sys.tiles[0])).then_some(w)
 }
@@ -415,10 +401,7 @@ mod tests {
         let sys = TilingSystem::checkerboard(1);
         let w = verify_witness(&sys).expect("2×2 checkerboard witness verifies");
         // The witness contains 4 cells, each with one tile.
-        let fcount = w
-            .relation(dx_relation::RelSym::new("F"))
-            .unwrap()
-            .len();
+        let fcount = w.relation(dx_relation::RelSym::new("F")).unwrap().len();
         assert_eq!(fcount, 4);
     }
 
@@ -454,9 +437,6 @@ mod tests {
         let q = query(&sys);
         assert_eq!(q.arity(), 1);
         // The reduction's query is genuinely full FO.
-        assert_eq!(
-            q.class(),
-            dx_logic::QueryClass::FullFirstOrder
-        );
+        assert_eq!(q.class(), dx_logic::QueryClass::FullFirstOrder);
     }
 }

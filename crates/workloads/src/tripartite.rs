@@ -40,8 +40,7 @@ impl TripartiteInstance {
         let mut hs: Vec<usize> = (0..n).collect();
         gs.shuffle(&mut rng);
         hs.shuffle(&mut rng);
-        let mut triples: Vec<(usize, usize, usize)> =
-            (0..n).map(|b| (b, gs[b], hs[b])).collect();
+        let mut triples: Vec<(usize, usize, usize)> = (0..n).map(|b| (b, gs[b], hs[b])).collect();
         for _ in 0..extra {
             triples.push((
                 rng.gen_range(0..n),
@@ -127,7 +126,10 @@ pub fn source(inst: &TripartiteInstance) -> Instance {
         s.insert_names("N", &[&format!("{i}")]);
     }
     for &(b, g, h) in &inst.triples {
-        s.insert_names("Cp", &[&format!("b{b}"), &format!("g{g}"), &format!("h{h}")]);
+        s.insert_names(
+            "Cp",
+            &[&format!("b{b}"), &format!("g{g}"), &format!("h{h}")],
+        );
     }
     s
 }

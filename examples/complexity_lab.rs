@@ -28,7 +28,10 @@ fn unary_source(n: usize) -> Instance {
 
 fn main() {
     println!("== Theorem 2: membership, PTIME vs NP path ==");
-    println!("{:<4} {:>16} {:>16}", "n", "all-open (µs)", "all-closed (µs)");
+    println!(
+        "{:<4} {:>16} {:>16}",
+        "n", "all-open (µs)", "all-closed (µs)"
+    );
     for n in [4, 8, 16, 32] {
         let mut s = Instance::new();
         let mut t = Instance::new();

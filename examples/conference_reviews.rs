@@ -42,8 +42,14 @@ fn main() {
     let cwa = certain::certain_cwa(&mapping, &source, &one_author, &empty);
     println!("certain(\"every paper has exactly one author\"):");
     println!("  all-OWA : {}", owa.certain);
-    println!("  mixed   : {}   <- the paper's recommended annotation", mixed.certain);
-    println!("  all-CWA : {}   <- the §1 anomaly: CWA invents uniqueness", cwa.certain);
+    println!(
+        "  mixed   : {}   <- the paper's recommended annotation",
+        mixed.certain
+    );
+    println!(
+        "  all-CWA : {}   <- the §1 anomaly: CWA invents uniqueness",
+        cwa.certain
+    );
 
     // A closed-world guarantee the OWA cannot give: every review belongs to
     // a submitted paper (Submissions mirrors Papers one-to-one on paper#).
@@ -56,6 +62,12 @@ fn main() {
     let mixed2 = certain::certain_contains(&mapping, &source, &no_rogue, &empty, None);
     let owa2 = certain::certain_owa(&mapping, &source, &no_rogue, &empty, None);
     println!("\ncertain(\"every review belongs to a submitted paper\"):");
-    println!("  mixed   : {} (closed paper# gives the guarantee)", mixed2.certain);
-    println!("  all-OWA : {} (open world: rogue reviews may exist)", owa2.certain);
+    println!(
+        "  mixed   : {} (closed paper# gives the guarantee)",
+        mixed2.certain
+    );
+    println!(
+        "  all-OWA : {} (open world: rogue reviews may exist)",
+        owa2.certain
+    );
 }

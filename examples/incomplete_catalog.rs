@@ -101,11 +101,8 @@ fn main() {
 
     // Cross-check with the coNP valuation search on the equivalent FO
     // query.
-    let roots_fo = Query::parse(
-        &["x"],
-        "(exists y. Link(x, y)) & !exists z. Link(z, x)",
-    )
-    .expect("query parses");
+    let roots_fo = Query::parse(&["x"], "(exists y. Link(x, y)) & !exists z. Link(z, x)")
+        .expect("query parses");
     let (roots_search, _) = certain::certain_answers(&cwa, &source, &roots_fo, None);
     assert_eq!(roots, roots_search, "two exact engines agree");
     println!("coNP search agrees: {roots_search}");

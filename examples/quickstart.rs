@@ -13,10 +13,8 @@ fn main() {
     // 1. A mapping with mixed open/closed annotations, in rule syntax:
     //    paper numbers are closed (only source papers flow to the target),
     //    authors are open (a paper may have many authors).
-    let mapping = Mapping::parse(
-        "Submissions(paper:cl, author:op) <- Papers(paper, title)",
-    )
-    .expect("rules parse");
+    let mapping = Mapping::parse("Submissions(paper:cl, author:op) <- Papers(paper, title)")
+        .expect("rules parse");
     println!("Mapping:\n{mapping}");
 
     // 2. A source instance.

@@ -16,15 +16,11 @@ use oc_exchange::{FuncSym, Instance, Value};
 
 fn main() {
     // Generation 1 → 2: invent an id per employee name (example (8) style).
-    let sigma = SkMapping::parse(
-        "Staff(id(name):cl, name:cl, dept:cl) <- Employees(name, dept)",
-    )
-    .unwrap();
+    let sigma =
+        SkMapping::parse("Staff(id(name):cl, name:cl, dept:cl) <- Employees(name, dept)").unwrap();
     // Generation 2 → 3: departments become teams with invented team codes.
-    let delta = SkMapping::parse(
-        "Member(eid:cl, team(dept):cl) <- Staff(eid, name, dept)",
-    )
-    .unwrap();
+    let delta =
+        SkMapping::parse("Member(eid:cl, team(dept):cl) <- Staff(eid, name, dept)").unwrap();
     println!("Σ (v1 → v2):\n{sigma}");
     println!("Δ (v2 → v3):\n{delta}");
     println!("Theorem 5 class: {:?}\n", closure_class(&sigma, &delta));
@@ -68,16 +64,18 @@ fn main() {
     println!("One-hop solution :\n{}", one_hop.rel_part());
     println!(
         "Claim 7(b) — solutions coincide: {}\n",
-        if one_hop == two_hop { "yes" } else { "NO (bug!)" }
+        if one_hop == two_hop {
+            "yes"
+        } else {
+            "NO (bug!)"
+        }
     );
 
     // And the negative side: plain annotated STDs do NOT compose (Prop 6).
     println!("Proposition 6 — why plain STDs cannot do this:");
     for n in 2..=4 {
         let (rect, dist) = non_closure::demonstrate(n);
-        println!(
-            "  n={n}: rectangle target ∈ Σ∘Δ: {rect}; distinct-values target ∈ Σ∘Δ: {dist}"
-        );
+        println!("  n={n}: rectangle target ∈ Σ∘Δ: {rect}; distinct-values target ∈ Σ∘Δ: {dist}");
     }
     println!(
         "  Any FO-STD Γ admits the distinct-values target once n exceeds its\n\

@@ -50,7 +50,10 @@ fn main() {
 
     let chased = canonical_solution_with_deps(&mapping, &deps, &source, 1000);
     assert_eq!(chased.outcome, ChaseOutcome::Satisfied);
-    println!("After the chase ({} steps):\n{}", chased.steps, chased.instance);
+    println!(
+        "After the chase ({} steps):\n{}",
+        chased.steps, chased.instance
+    );
 
     // Positive certain answers straight off the chased instance
     // (certain_positive_with_deps re-runs the pipeline internally).
@@ -62,14 +65,17 @@ fn main() {
 
     // A failing scenario: a key egd clashing on constants — the chase must
     // report that no solution exists rather than invent one.
-    let bad_mapping = Mapping::parse("Emp(name:cl, dept:cl) <- Assigned(name, dept)")
-        .expect("rules parse");
+    let bad_mapping =
+        Mapping::parse("Emp(name:cl, dept:cl) <- Assigned(name, dept)").expect("rules parse");
     let key: Vec<TargetDep> =
         vec![TargetDep::parse("d1 = d2 <- Emp(n, d1) & Emp(n, d2)").expect("egd parses")];
     let mut conflicted = Instance::new();
     conflicted.insert_names("Assigned", &["ada", "compilers"]);
     conflicted.insert_names("Assigned", &["ada", "verification"]);
     let failed = canonical_solution_with_deps(&bad_mapping, &key, &conflicted, 1000);
-    println!("\nConflicting assignment chase outcome: {:?}", failed.outcome);
+    println!(
+        "\nConflicting assignment chase outcome: {:?}",
+        failed.outcome
+    );
     assert!(matches!(failed.outcome, ChaseOutcome::Failed { .. }));
 }

@@ -24,14 +24,14 @@ fn main() {
 
     let brute = inst.solve_brute_force();
     println!("brute-force matching: {brute:?}");
-    println!(
-        "T ∈ ⟦S⟧_Σα (membership): {}\n",
-        solve_via_membership(&inst)
-    );
+    println!("T ∈ ⟦S⟧_Σα (membership): {}\n", solve_via_membership(&inst));
 
     // Scaling sweep: planted instances stay solvable; timing shows the
     // valuation search at work.
-    println!("{:<6} {:>10} {:>14} {:>14}", "n", "triples", "brute (µs)", "exchange (µs)");
+    println!(
+        "{:<6} {:>10} {:>14} {:>14}",
+        "n", "triples", "brute (µs)", "exchange (µs)"
+    );
     for n in 2..=6 {
         let inst = TripartiteInstance::planted(n, n, 42 + n as u64);
         let t0 = Instant::now();
@@ -41,6 +41,12 @@ fn main() {
         let e = solve_via_membership(&inst);
         let exch_us = t1.elapsed().as_micros();
         assert_eq!(b, e);
-        println!("{:<6} {:>10} {:>14} {:>14}", n, inst.triples.len(), brute_us, exch_us);
+        println!(
+            "{:<6} {:>10} {:>14} {:>14}",
+            n,
+            inst.triples.len(),
+            brute_us,
+            exch_us
+        );
     }
 }

@@ -7,9 +7,14 @@
 //! See the repository `README.md` for a tour and `DESIGN.md` for the system
 //! inventory. The layering is:
 //!
-//! * [`relation`] — values, tuples, instances, open/closed annotations;
+//! * [`relation`] — values, tuples, instances, open/closed annotations,
+//!   and hash indexes with stable tuple ids;
 //! * [`logic`] — FO formulas, parsing and evaluation over instances with nulls;
-//! * [`chase`] — annotated STDs, mappings, canonical solutions, homomorphisms;
+//! * [`chase`] — annotated STDs, mappings, canonical solutions, homomorphisms,
+//!   and the pluggable [`chase::ChaseStrategy`] contract (naive reference
+//!   engine included);
+//! * [`engine`] — the indexed, delta-driven chase engine (the fast
+//!   [`chase::ChaseStrategy`] implementation);
 //! * [`solver`] — `Rep_A` membership and bounded counterexample search;
 //! * [`ctables`] — conditional tables (Imieliński–Lipski) with relational
 //!   algebra and exact certain answers;
@@ -20,8 +25,9 @@
 #![warn(missing_docs)]
 
 pub use dx_chase as chase;
-pub use dx_ctables as ctables;
 pub use dx_core as core;
+pub use dx_ctables as ctables;
+pub use dx_engine as engine;
 pub use dx_logic as logic;
 pub use dx_relation as relation;
 pub use dx_solver as solver;

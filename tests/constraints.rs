@@ -2,8 +2,7 @@
 //! chase, then query.
 
 use oc_exchange::chase::{
-    canonical_solution_with_deps, chase_engine, is_weakly_acyclic, ChaseOutcome, Mapping,
-    TargetDep,
+    canonical_solution_with_deps, chase_engine, is_weakly_acyclic, ChaseOutcome, Mapping, TargetDep,
 };
 use oc_exchange::core::certain;
 use oc_exchange::logic::Query;
@@ -14,10 +13,9 @@ use oc_exchange::{Instance, RelSym, Tuple};
 #[test]
 fn pipeline_exchange_chase_query() {
     let m = Mapping::parse("Emp(e:cl) <- Hire(e, y)").unwrap();
-    let deps = TargetDep::parse_many(
-        "Dept(e:cl, d:op) <- Emp(e); d1 = d2 <- Dept(e, d1) & Dept(e, d2)",
-    )
-    .unwrap();
+    let deps =
+        TargetDep::parse_many("Dept(e:cl, d:op) <- Emp(e); d1 = d2 <- Dept(e, d1) & Dept(e, d2)")
+            .unwrap();
     assert!(is_weakly_acyclic(&deps));
     let mut s = Instance::new();
     s.insert_names("Hire", &["ada", "2001"]);
@@ -30,8 +28,7 @@ fn pipeline_exchange_chase_query() {
 
     // Positive certain answers on the chased instance.
     let q = Query::parse(&["e"], "exists d. Dept(e, d)").unwrap();
-    let ans = certain::certain_positive_with_deps(&m, &deps, &s, &q, 1000)
-        .expect("chase succeeds");
+    let ans = certain::certain_positive_with_deps(&m, &deps, &s, &q, 1000).expect("chase succeeds");
     assert_eq!(ans.len(), 2);
     assert!(ans.contains(&Tuple::from_names(&["ada"])));
 }

@@ -14,10 +14,8 @@ use oc_exchange::{Instance, Schema};
 /// equivalent, and UCQ answers without nulls are hom-invariant.
 #[test]
 fn positive_certain_answers_invariant_under_core() {
-    let m = Mapping::parse(
-        "IcTgt(x:cl, z:op) <- IcSrc(x, y); IcLink(x:cl, y:cl) <- IcSrc(x, y)",
-    )
-    .unwrap();
+    let m = Mapping::parse("IcTgt(x:cl, z:op) <- IcSrc(x, y); IcLink(x:cl, y:cl) <- IcSrc(x, y)")
+        .unwrap();
     let mut s = Instance::new();
     s.insert_names("IcSrc", &["a", "p"]);
     s.insert_names("IcSrc", &["a", "q"]);
@@ -60,10 +58,7 @@ fn ann_core_is_solution_randomized() {
 #[test]
 fn fkp_core_sharper_than_annotated_core() {
     // Copy the edge AND invent a null companion: (a,b) supports ⊥ ↦ b.
-    let m = Mapping::parse(
-        "CfE(x:cl, y:cl) <- CfS(x, y); CfE(x:cl, z:cl) <- CfS(x, y)",
-    )
-    .unwrap();
+    let m = Mapping::parse("CfE(x:cl, y:cl) <- CfS(x, y); CfE(x:cl, z:cl) <- CfS(x, y)").unwrap();
     let mut s = Instance::new();
     s.insert_names("CfS", &["a", "b"]);
     let csol = canonical_solution(&m, &s);
@@ -78,8 +73,7 @@ fn fkp_core_sharper_than_annotated_core() {
 /// Cores never change the ground part of an instance.
 #[test]
 fn core_preserves_ground_tuples() {
-    let m = Mapping::parse("CgT(x:cl, y:cl) <- CgS(x, y); CgP(x:cl, z:op) <- CgS(x, y)")
-        .unwrap();
+    let m = Mapping::parse("CgT(x:cl, y:cl) <- CgS(x, y); CgP(x:cl, z:op) <- CgS(x, y)").unwrap();
     let mut s = Instance::new();
     s.insert_names("CgS", &["a", "b"]);
     s.insert_names("CgS", &["c", "d"]);

@@ -29,10 +29,7 @@ fn fo_certain(m: &Mapping, s: &Instance, q: &Query) -> Relation {
 /// `Q(x) = T(x) ∧ ¬S(x)` vs `T ∖ S` on an exchange inventing nulls.
 #[test]
 fn difference_query_agreement() {
-    let m = Mapping::parse(
-        "XcT(x:cl) <- XcA(x, y); XcS(z:cl) <- XcB(y, z)",
-    )
-    .unwrap();
+    let m = Mapping::parse("XcT(x:cl) <- XcA(x, y); XcS(z:cl) <- XcB(y, z)").unwrap();
     let mut s = Instance::new();
     s.insert_names("XcA", &["a", "1"]);
     s.insert_names("XcA", &["b", "2"]);
@@ -50,17 +47,16 @@ fn difference_query_agreement() {
 /// copies and invents.
 #[test]
 fn join_selection_agreement() {
-    let m = Mapping::parse(
-        "XcR(x:cl, y:cl) <- XcE(x, y); XcR(x:cl, z:cl) <- XcLoner(x)",
-    )
-    .unwrap();
+    let m = Mapping::parse("XcR(x:cl, y:cl) <- XcE(x, y); XcR(x:cl, z:cl) <- XcLoner(x)").unwrap();
     let mut s = Instance::new();
     s.insert_names("XcE", &["a", "b"]);
     s.insert_names("XcE", &["b", "b"]);
     s.insert_names("XcLoner", &["c"]);
     // Q(x): ∃y (R(x,y) ∧ y = 'b')
     let fo = Query::parse(&["x"], "exists y. XcR(x, y) & y = 'b'").unwrap();
-    let ra = RaExpr::rel("XcR").select(RaPred::col_is(1, "b")).project([0]);
+    let ra = RaExpr::rel("XcR")
+        .select(RaPred::col_is(1, "b"))
+        .project([0]);
     assert_eq!(fo_certain(&m, &s, &fo), certain_answers_cwa_ra(&m, &s, &ra));
 }
 

@@ -97,7 +97,10 @@ fn one_to_m_thresholds() {
 #[test]
 fn embedding_valuation_shared_nulls() {
     let mut t = Instance::new();
-    t.insert(RelSym::new("A"), Tuple::new(vec![Value::c("a"), Value::null(0)]));
+    t.insert(
+        RelSym::new("A"),
+        Tuple::new(vec![Value::c("a"), Value::null(0)]),
+    );
     t.insert(RelSym::new("B"), Tuple::new(vec![Value::null(0)]));
     let mut r = Instance::new();
     r.insert_names("A", &["a", "k"]);

@@ -19,13 +19,20 @@ fn parser_reports_position() {
     assert!(err.pos > 0);
     assert!(!err.msg.is_empty());
     let err2 = parse_rules("T(x:cl) <- ").unwrap_err();
-    assert!(err2.pos >= 10, "error near the missing body, got {}", err2.pos);
+    assert!(
+        err2.pos >= 10,
+        "error near the missing body, got {}",
+        err2.pos
+    );
 }
 
 #[test]
 fn parser_rejects_dangling_annotation() {
     assert!(parse_rules("T(x:, y) <- R(x, y)").is_err());
-    assert!(parse_rules("T(x:open) <- R(x)").is_err(), "only op/cl are annotations");
+    assert!(
+        parse_rules("T(x:open) <- R(x)").is_err(),
+        "only op/cl are annotations"
+    );
 }
 
 #[test]
@@ -49,7 +56,13 @@ fn query_head_must_cover_free_vars() {
 fn certain_rejects_wrong_arity_tuple() {
     let m = Mapping::parse("T(x:cl) <- R(x)").unwrap();
     let q = Query::parse(&["x"], "T(x)").unwrap();
-    certain::certain_contains(&m, &Instance::new(), &q, &Tuple::from_names(&["a", "b"]), None);
+    certain::certain_contains(
+        &m,
+        &Instance::new(),
+        &q,
+        &Tuple::from_names(&["a", "b"]),
+        None,
+    );
 }
 
 #[test]
@@ -101,9 +114,7 @@ fn bounded_regime_never_claims_exact() {
     // #op = 2 (undecidable regime): a negative answer must carry Bounded or
     // Capped completeness.
     let m = Mapping::parse("T(x:cl, z1:op, z2:op) <- R(x)").unwrap();
-    let q = Query::boolean(
-        parse_formula("forall x y z. (T(x, y, z) -> y = z)").unwrap(),
-    );
+    let q = Query::boolean(parse_formula("forall x y z. (T(x, y, z) -> y = z)").unwrap());
     let mut s = Instance::new();
     s.insert_names("R", &["a"]);
     let out = certain::certain_contains(&m, &s, &q, &Tuple::new(Vec::<Value>::new()), None);
@@ -142,7 +153,9 @@ fn chase_step_limit_reported() {
     // step limit must trip, flagged as such.
     let m = Mapping::parse("T(x:cl, z:cl) <- R(x)").unwrap();
     let tgd = TargetDep::parse("T(y:cl, z:cl) <- T(x, y)").unwrap();
-    assert!(!oc_exchange::chase::is_weakly_acyclic(&[tgd.clone()]));
+    assert!(!oc_exchange::chase::is_weakly_acyclic(
+        std::slice::from_ref(&tgd)
+    ));
     let mut s = Instance::new();
     s.insert_names("R", &["a"]);
     let out = canonical_solution_with_deps(&m, &[tgd], &s, 10);
@@ -165,9 +178,7 @@ fn datalog_error_messages_name_the_problem() {
 
 #[test]
 fn ra_arity_errors() {
-    let lookup = |r: oc_exchange::RelSym| {
-        (r == oc_exchange::RelSym::new("FmA")).then_some(2)
-    };
+    let lookup = |r: oc_exchange::RelSym| (r == oc_exchange::RelSym::new("FmA")).then_some(2);
     // Union of arity 2 with arity 1.
     let bad = RaExpr::rel("FmA").union(RaExpr::rel("FmA").project([0]));
     assert!(bad.arity_with(&lookup).is_err());
@@ -183,6 +194,9 @@ fn ra_arity_errors() {
 fn sources_with_nulls_rejected() {
     let m = Mapping::parse("T(x:cl) <- R(x)").unwrap();
     let mut s = Instance::new();
-    s.insert(oc_exchange::RelSym::new("R"), Tuple::new(vec![Value::null(1)]));
+    s.insert(
+        oc_exchange::RelSym::new("R"),
+        Tuple::new(vec![Value::null(1)]),
+    );
     let _ = oc_exchange::core::semantics::is_member(&m, &s, &Instance::new());
 }

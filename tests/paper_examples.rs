@@ -65,7 +65,10 @@ fn section3_rep_a_semantics() {
     let mut open = AnnInstance::new();
     open.insert(
         rel,
-        at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Open]),
+        at(
+            vec![Value::c("a"), Value::null(0)],
+            vec![Ann::Closed, Ann::Open],
+        ),
     );
     let mut many = Instance::new();
     many.insert_names("RepEx", &["a", "x"]);
@@ -75,7 +78,10 @@ fn section3_rep_a_semantics() {
     let mut closed = AnnInstance::new();
     closed.insert(
         rel,
-        at(vec![Value::c("a"), Value::null(0)], vec![Ann::Closed, Ann::Closed]),
+        at(
+            vec![Value::c("a"), Value::null(0)],
+            vec![Ann::Closed, Ann::Closed],
+        ),
     );
     assert!(rep_a_membership(&closed, &many).is_none());
     let mut one = Instance::new();
@@ -110,11 +116,17 @@ fn section3_solution_example() {
     let mut t = AnnInstance::new();
     t.insert(
         r,
-        at(vec![Value::c("a"), Value::null(7)], vec![Ann::Open, Ann::Closed]),
+        at(
+            vec![Value::c("a"), Value::null(7)],
+            vec![Ann::Open, Ann::Closed],
+        ),
     );
     t.insert(
         r,
-        at(vec![Value::c("b"), Value::null(7)], vec![Ann::Closed, Ann::Closed]),
+        at(
+            vec![Value::c("b"), Value::null(7)],
+            vec![Ann::Closed, Ann::Closed],
+        ),
     );
     assert!(is_solution(&m, &s, &t).is_some());
 }
@@ -130,10 +142,7 @@ fn section1_conference_mapping() {
     // unassigned papers) fire disjointly.
     let reviews = csol.instance.relation(RelSym::new("Reviews")).unwrap();
     let n_closed = reviews.iter().filter(|t| t.ann.is_all_closed()).count();
-    let n_open_snd = reviews
-        .iter()
-        .filter(|t| t.ann.get(1) == Ann::Open)
-        .count();
+    let n_open_snd = reviews.iter().filter(|t| t.ann.get(1) == Ann::Open).count();
     assert_eq!(n_closed, 2, "p0, p2 assigned");
     assert_eq!(n_open_snd, 2, "p1, p3 unassigned");
 

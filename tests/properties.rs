@@ -235,13 +235,7 @@ fn counterexamples_always_verify() {
     ];
     for src in queries {
         let q = Query::boolean(parse_formula(src).unwrap());
-        let out = certain::certain_contains(
-            &m,
-            &s,
-            &q,
-            &Tuple::new(Vec::<Value>::new()),
-            None,
-        );
+        let out = certain::certain_contains(&m, &s, &q, &Tuple::new(Vec::<Value>::new()), None);
         if !out.certain {
             match out.counterexample {
                 Some(cex) => {
@@ -264,7 +258,11 @@ fn counterexamples_always_verify() {
 #[test]
 fn regime_selection_matrix() {
     let cases = [
-        ("R(x:cl, z:cl) <- E(x)", "exists z. R('a', z)", certain::Regime::NaivePositive),
+        (
+            "R(x:cl, z:cl) <- E(x)",
+            "exists z. R('a', z)",
+            certain::Regime::NaivePositive,
+        ),
         (
             "R(x:cl, z:cl) <- E(x)",
             "exists z w. R('a', z) & R('a', w) & z != w",

@@ -31,7 +31,10 @@ fn random_formula(rng: &mut StdRng, depth: usize) -> oc_exchange::logic::Formula
                     Term::var(vars[rng.gen_range(0..vars.len())]),
                 ],
             ),
-            1 => Formula::eq(Term::var(vars[rng.gen_range(0..vars.len())]), Term::cst("c")),
+            1 => Formula::eq(
+                Term::var(vars[rng.gen_range(0..vars.len())]),
+                Term::cst("c"),
+            ),
             _ => Formula::neq(
                 Term::var(vars[rng.gen_range(0..vars.len())]),
                 Term::var(vars[rng.gen_range(0..vars.len())]),

@@ -156,10 +156,8 @@ fn theorem3_closed_world_counterexamples_verify() {
     s.insert_names("E", &["b", "2"]);
     // "the two R-values differ" — not certain: a valuation may merge them.
     let q = Query::boolean(
-        oc_exchange::logic::parse_formula(
-            "forall y1 y2. (R('a', y1) & R('b', y2) -> y1 != y2)",
-        )
-        .unwrap(),
+        oc_exchange::logic::parse_formula("forall y1 y2. (R('a', y1) & R('b', y2) -> y1 != y2)")
+            .unwrap(),
     );
     let empty = Tuple::new(Vec::<Value>::new());
     let out = certain::certain_contains(&m, &s, &q, &empty, None);
@@ -182,10 +180,8 @@ fn theorem3_open_vs_closed_difference() {
     s.insert_names("E", &["a"]);
     // "R is a function of its first attribute".
     let q = Query::boolean(
-        oc_exchange::logic::parse_formula(
-            "forall x y1 y2. (R(x, y1) & R(x, y2) -> y1 = y2)",
-        )
-        .unwrap(),
+        oc_exchange::logic::parse_formula("forall x y1 y2. (R(x, y1) & R(x, y2) -> y1 = y2)")
+            .unwrap(),
     );
     let empty = Tuple::new(Vec::<Value>::new());
     assert!(certain::certain_contains(&closed, &s, &q, &empty, None).certain);
@@ -221,7 +217,9 @@ fn proposition5_forall_exists_exact() {
 #[test]
 fn theorem4_coloring_reduction() {
     assert!(coloring::solve_via_composition(&coloring::Graph::cycle(4)));
-    assert!(!coloring::solve_via_composition(&coloring::Graph::complete(4)));
+    assert!(!coloring::solve_via_composition(
+        &coloring::Graph::complete(4)
+    ));
     let out = compose::comp_membership(
         &coloring::sigma(),
         &coloring::delta(),
@@ -249,7 +247,10 @@ fn lemma3_sigma_annotation_irrelevant() {
     ] {
         let sigma = Mapping::parse(sigma_rules).unwrap();
         let out = compose::comp_membership(&sigma, &delta, &s, &w, None);
-        assert!(out.member, "Σα ∘ Δop is annotation-independent ({sigma_rules})");
+        assert!(
+            out.member,
+            "Σα ∘ Δop is annotation-independent ({sigma_rules})"
+        );
         assert_eq!(out.path, compose::CompPath::MonotoneOpen);
     }
 }
@@ -345,8 +346,7 @@ fn theorem5_claim7_table_grid() {
                     // H′ = F′ ∪ G′ modulo renames.
                     let mut h = FuncTable::new();
                     for ((sym, args), val) in ft.iter().map(|(k, v)| (k.clone(), *v)) {
-                        let renamed =
-                            *comp.sigma_func_renames.get(&sym).unwrap_or(&sym);
+                        let renamed = *comp.sigma_func_renames.get(&sym).unwrap_or(&sym);
                         h.define(renamed, args, val);
                     }
                     for ((sym, args), val) in gt.iter().map(|(k, v)| (k.clone(), *v)) {
