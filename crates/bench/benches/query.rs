@@ -1,0 +1,70 @@
+//! Tree-walking vs compiled (dx-query) evaluation on the query workload
+//! families: canonical-solution body evaluation and positive-query certain
+//! answering over the canonical solution.
+//!
+//! The compiled engine's edge grows with instance size: the tree walker
+//! pays an active-domain scan per negated existential per candidate row,
+//! the plan runs a single anti-join. Small inputs mostly measure fixed
+//! overheads (plan lowering, index build) — the acceptance bar there is
+//! parity, not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx_bench::query_workloads::{join_case, membership_case, QueryCase};
+use dx_chase::{canonical_solution, canonical_solution_via, NaiveBodyEval};
+use dx_query::{PlannedBodyEval, QueryEval};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_family(
+    c: &mut Criterion,
+    group_name: &str,
+    make: fn(usize) -> QueryCase,
+    sizes: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700));
+    for &n in sizes {
+        let case = make(n);
+        group.bench_with_input(BenchmarkId::new("csol-tree", n), &case, |b, case| {
+            b.iter(|| {
+                black_box(canonical_solution_via(
+                    &NaiveBodyEval,
+                    &case.mapping,
+                    &case.source,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("csol-planned", n), &case, |b, case| {
+            b.iter(|| {
+                black_box(canonical_solution_via(
+                    &PlannedBodyEval,
+                    &case.mapping,
+                    &case.source,
+                ))
+            })
+        });
+        let target = canonical_solution(&case.mapping, &case.source).rel_part();
+        let compiled = QueryEval::new(&case.query);
+        group.bench_with_input(BenchmarkId::new("answers-tree", n), &case, |b, case| {
+            b.iter(|| black_box(case.query.naive_certain_answers(&target)))
+        });
+        group.bench_with_input(BenchmarkId::new("answers-planned", n), &case, |b, _case| {
+            b.iter(|| black_box(compiled.naive_certain_answers(&target)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership_queries(c: &mut Criterion) {
+    bench_family(c, "query_membership", membership_case, &[8, 32, 96]);
+}
+
+fn bench_join_queries(c: &mut Criterion) {
+    bench_family(c, "query_join", join_case, &[8, 32, 96]);
+}
+
+criterion_group!(benches, bench_membership_queries, bench_join_queries);
+criterion_main!(benches);

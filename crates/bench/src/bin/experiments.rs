@@ -7,6 +7,9 @@
 //! ```sh
 //! cargo run --release -p dx-bench --bin experiments           # everything
 //! cargo run --release -p dx-bench --bin experiments -- chase  # E15 only
+//! cargo run --release -p dx-bench --bin experiments -- query  # E16 only
+//! cargo run --release -p dx-bench --bin experiments -- smoke  # CI smoke:
+//! #   E15 + E16 at tiny sizes, no JSON files written
 //! ```
 
 use dx_bench::{
@@ -22,10 +25,30 @@ use dx_relation::{Instance, Tuple, Value};
 use dx_solver::{Completeness, SearchBudget};
 use dx_workloads::{coloring, conference, tiling, tripartite};
 
+/// The full `BENCH_chase.json` sweep axis (ROADMAP: keep extending).
+const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128];
+/// The full `BENCH_query.json` sweep axis.
+const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192];
+/// Tiny sizes for the CI smoke run (no JSON emitted).
+const SMOKE_NS: &[usize] = &[8, 16];
+
 fn main() {
     if std::env::args().any(|a| a == "chase") {
         println!("# oc-exchange chase-engine race (E15 only)\n");
-        e15_chase_engines();
+        e15_chase_engines(CHASE_NS, true);
+        return;
+    }
+    if std::env::args().any(|a| a == "query") {
+        println!("# oc-exchange query-engine race (E16 only)\n");
+        e16_query_engines(QUERY_NS, true);
+        return;
+    }
+    if std::env::args().any(|a| a == "smoke") {
+        // The CI gate: exercise both BENCH-emitting paths end to end at
+        // small sizes, without overwriting the recorded trajectories.
+        println!("# oc-exchange bench smoke (E15 + E16, tiny sizes)\n");
+        e15_chase_engines(SMOKE_NS, false);
+        e16_query_engines(SMOKE_NS, false);
         return;
     }
     println!("# oc-exchange experiment run\n");
@@ -44,7 +67,8 @@ fn main() {
     e12_codd();
     e13_datalog();
     e14_ctables();
-    e15_chase_engines();
+    e15_chase_engines(CHASE_NS, true);
+    e16_query_engines(QUERY_NS, true);
 }
 
 /// E1 — Theorem 2: membership is PTIME all-open, NP otherwise.
@@ -484,7 +508,7 @@ fn e13_datalog() {
 /// (delta-driven, index-join) on the three chase-heavy workload families.
 /// Emits `BENCH_chase.json` — the machine-readable perf-trajectory record —
 /// next to the markdown table.
-fn e15_chase_engines() {
+fn e15_chase_engines(ns: &[usize], write_json: bool) {
     use dx_bench::chase_workloads::all_cases;
     use dx_chase::chase_engine::ChaseOutcome;
     use dx_chase::{canonical_solution_with_deps_via, ChaseStrategy, NaiveChase};
@@ -503,7 +527,7 @@ fn e15_chase_engines() {
         "tuples (idx)",
     ]);
     let mut records: Vec<String> = Vec::new();
-    for n in [8usize, 16, 32, 64, 96] {
+    for &n in ns {
         for case in all_cases(n) {
             let mut times = Vec::new();
             let mut steps = 0usize;
@@ -561,12 +585,142 @@ fn e15_chase_engines() {
         }
     }
     println!("{}", t.render());
-    let json = format!("[\n{}\n]\n", records.join(",\n"));
-    std::fs::write("BENCH_chase.json", &json).expect("write BENCH_chase.json");
+    if write_json {
+        let json = format!("[\n{}\n]\n", records.join(",\n"));
+        std::fs::write("BENCH_chase.json", &json).expect("write BENCH_chase.json");
+    }
     println!(
         "Shape check: parity at small n (fixed overheads), growing indexed \
-         advantage on the scaling workloads; machine-readable record written \
-         to BENCH_chase.json.\n"
+         advantage on the scaling workloads; machine-readable record \
+         {}.\n",
+        if write_json {
+            "written to BENCH_chase.json"
+        } else {
+            "suppressed (smoke mode)"
+        }
+    );
+}
+
+/// E16 — the query-engine race: tree-walking active-domain evaluation vs
+/// `dx-query` compiled plans, on the two FO-evaluation-bound stages of the
+/// exchange pipeline: `CSol_A(S)` construction (STD-body evaluation — the
+/// ROADMAP-flagged membership bottleneck) and positive-query certain
+/// answering over the canonical solution (Proposition 3's naive
+/// evaluation + null discard). Emits `BENCH_query.json`.
+fn e16_query_engines(ns: &[usize], write_json: bool) {
+    use dx_bench::query_workloads::all_query_cases;
+    use dx_chase::{canonical_solution, canonical_solution_via, BodyEval, NaiveBodyEval};
+    use dx_query::{PlannedBodyEval, QueryEval};
+
+    println!("## E16 — query engines: tree-walking vs compiled (dx-query)\n");
+    let mut t = Table::new(&[
+        "workload",
+        "n",
+        "csol tree",
+        "csol planned",
+        "speedup",
+        "answers tree",
+        "answers planned",
+        "speedup",
+        "rows",
+    ]);
+    let mut records: Vec<String> = Vec::new();
+    let mut record =
+        |workload: &str, stage: &str, engine: &str, n: usize, us: u128, rows: usize| {
+            records.push(format!(
+                "  {{\"workload\": \"{workload}\", \"stage\": \"{stage}\", \
+             \"engine\": \"{engine}\", \"n\": {n}, \"wall_time_us\": {us}, \
+             \"rows\": {rows}}}"
+            ));
+        };
+    for &n in ns {
+        for case in all_query_cases(n) {
+            // Stage 1: canonical-solution construction (body evaluation).
+            let evals: [(&str, &dyn BodyEval); 2] =
+                [("tree", &NaiveBodyEval), ("planned", &PlannedBodyEval)];
+            let mut csol_times = Vec::new();
+            for (name, body_eval) in evals {
+                let mut best: Option<std::time::Duration> = None;
+                for _ in 0..5 {
+                    let (_, d) =
+                        timed(|| canonical_solution_via(body_eval, &case.mapping, &case.source));
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+                let best = best.expect("ran");
+                csol_times.push(best);
+                record(case.workload, "csol", name, n, best.as_micros(), 0);
+            }
+            // The engines must agree exactly (differential guarantee).
+            let naive_csol = canonical_solution(&case.mapping, &case.source);
+            let planned_csol =
+                canonical_solution_via(&PlannedBodyEval, &case.mapping, &case.source);
+            assert_eq!(
+                naive_csol.instance, planned_csol.instance,
+                "{} n={n}: body-eval engines disagree",
+                case.workload
+            );
+
+            // Stage 2: naive certain answers over CSol(S) (Prop 3).
+            let target = naive_csol.rel_part();
+            let compiled = QueryEval::new(&case.query);
+            assert!(
+                compiled.is_compiled(),
+                "{}: workload query compiles",
+                case.workload
+            );
+            let mut ans_times = Vec::new();
+            let mut rows = 0usize;
+            for name in ["tree", "planned"] {
+                let mut best: Option<std::time::Duration> = None;
+                let mut out = None;
+                for _ in 0..5 {
+                    let (o, d) = timed(|| match name {
+                        "tree" => case.query.naive_certain_answers(&target),
+                        _ => compiled.naive_certain_answers(&target),
+                    });
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                    out = Some(o);
+                }
+                let best = best.expect("ran");
+                rows = out.as_ref().expect("ran").len();
+                ans_times.push((best, out.expect("ran")));
+                record(case.workload, "answers", name, n, best.as_micros(), rows);
+            }
+            assert_eq!(
+                ans_times[0].1, ans_times[1].1,
+                "{} n={n}: query engines disagree",
+                case.workload
+            );
+            let csol_speedup = csol_times[0].as_secs_f64() / csol_times[1].as_secs_f64().max(1e-9);
+            let ans_speedup = ans_times[0].0.as_secs_f64() / ans_times[1].0.as_secs_f64().max(1e-9);
+            t.row(vec![
+                case.workload.to_string(),
+                n.to_string(),
+                fmt_duration(csol_times[0]),
+                fmt_duration(csol_times[1]),
+                format!("{csol_speedup:.1}×"),
+                fmt_duration(ans_times[0].0),
+                fmt_duration(ans_times[1].0),
+                format!("{ans_speedup:.1}×"),
+                rows.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    if write_json {
+        let json = format!("[\n{}\n]\n", records.join(",\n"));
+        std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    }
+    println!(
+        "Shape check: parity at small n, compiled advantage growing with n \
+         on both stages (the tree walker pays an active-domain scan per \
+         negated existential, the plan one anti-join); results asserted \
+         identical across engines; machine-readable record {}.\n",
+        if write_json {
+            "written to BENCH_query.json"
+        } else {
+            "suppressed (smoke mode)"
+        }
     );
 }
 

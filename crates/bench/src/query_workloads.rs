@@ -1,0 +1,114 @@
+//! The query-evaluation workload cases shared by the query benches
+//! (`benches/query.rs`) and the `experiments` binary's `BENCH_query.json`
+//! emitter (E16): exchange problems whose cost is dominated by FO
+//! evaluation — STD-body evaluation during `CSol_A(S)` construction, and
+//! positive-query certain answering over the canonical solution.
+//!
+//! Both workloads carry a negated existential, the shape where the
+//! tree-walking evaluator pays a full active-domain scan per candidate row
+//! (O(n²) and up) while the compiled plan runs one anti-join (O(n)).
+
+use dx_chase::Mapping;
+use dx_logic::Query;
+use dx_relation::Instance;
+use dx_workloads::conference;
+
+/// One benchmarkable query-evaluation problem: a mapping + source whose
+/// canonical solution the `query` is then answered over.
+pub struct QueryCase {
+    /// Workload family name (stable key in `BENCH_query.json`).
+    pub workload: &'static str,
+    /// The scale parameter the source was built from.
+    pub n: usize,
+    /// The annotated schema mapping.
+    pub mapping: Mapping,
+    /// The ground source instance.
+    pub source: Instance,
+    /// A safe-range target query evaluated naively over `CSol(S)`; the
+    /// membership workload's query is positive (the Proposition 3 regime),
+    /// the join workload adds safe negation to exercise the anti-join path
+    /// of the same `Q_naive` evaluation operator.
+    pub query: Query,
+}
+
+/// The membership workload: the §1 conference mapping — its third rule's
+/// body `Papers(x, y) ∧ ¬∃r Assignments(x, r)` is the ROADMAP-flagged
+/// canonical-solution bottleneck — plus the reviewed-papers query.
+pub fn membership_case(n: usize) -> QueryCase {
+    QueryCase {
+        workload: "membership",
+        n,
+        mapping: conference::mapping(),
+        source: conference::source(n, 2),
+        query: conference::reviewed_query(),
+    }
+}
+
+/// The query-answering workload: copy a branching path graph and ask for
+/// two-hop pairs ending in a sink — a join pipeline with a negated
+/// existential tail.
+pub fn join_case(n: usize) -> QueryCase {
+    let mut source = Instance::new();
+    for i in 0..n {
+        source.insert_names("QwSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+        source.insert_names("QwSrc", &[&format!("v{i}"), &format!("w{i}")]);
+    }
+    QueryCase {
+        workload: "join",
+        n,
+        mapping: Mapping::parse("QwE(x:cl, y:cl) <- QwSrc(x, y)").expect("mapping parses"),
+        source,
+        query: Query::parse(
+            &["x", "z"],
+            "exists y. QwE(x, y) & QwE(y, z) & !(exists w. QwE(z, w))",
+        )
+        .expect("query parses"),
+    }
+}
+
+/// Both families at one size (the `BENCH_query.json` sweep axis).
+pub fn all_query_cases(n: usize) -> Vec<QueryCase> {
+    vec![membership_case(n), join_case(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_chase::canonical_solution;
+    use dx_logic::classify;
+    use dx_query::{CompiledQuery, QueryEval};
+
+    #[test]
+    fn cases_are_compilable() {
+        assert!(
+            classify::is_positive(&membership_case(4).query.formula),
+            "membership: Prop 3 regime requires a positive query"
+        );
+        for case in all_query_cases(6) {
+            assert!(
+                CompiledQuery::compile(&case.query).is_ok(),
+                "{}: query must lower to a plan",
+                case.workload
+            );
+            for std in &case.mapping.stds {
+                let vars = std.body_vars();
+                assert!(
+                    CompiledQuery::compile_formula(&std.body, &vars).is_ok(),
+                    "{}: STD bodies must lower to plans",
+                    case.workload
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_all_cases() {
+        for case in all_query_cases(8) {
+            let csol = canonical_solution(&case.mapping, &case.source).rel_part();
+            let tree = case.query.naive_certain_answers(&csol);
+            let planned = QueryEval::new(&case.query).naive_certain_answers(&csol);
+            assert_eq!(tree, planned, "{}", case.workload);
+            assert!(!tree.is_empty(), "{} must produce answers", case.workload);
+        }
+    }
+}

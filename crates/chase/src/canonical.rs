@@ -92,12 +92,60 @@ impl fmt::Debug for CanonicalSolution {
     }
 }
 
+/// Strategy for evaluating STD bodies over source instances — the hook
+/// that lets [`canonical_solution_via`] run its FO body evaluation on a
+/// pluggable engine (the tree-walking reference here, or `dx-query`'s
+/// compiled plans) without this crate depending on the engine.
+///
+/// **Contract:** `witnesses` must return exactly the satisfying
+/// assignments of `std.body` over `source` in [`Std::body_vars`] order,
+/// sorted ascending — the set the reference [`std_witnesses`] computes.
+/// Null numbering (and hence every downstream justification) depends on
+/// this order, so implementations are differentially tested for equality,
+/// not just equivalence.
+pub trait BodyEval {
+    /// A short engine name (bench/JSON output).
+    fn name(&self) -> &'static str;
+
+    /// The satisfying assignments of `std.body` over `source`, in
+    /// [`Std::body_vars`] order, sorted ascending.
+    fn witnesses(&self, std: &Std, source: &Instance) -> Vec<Vec<Value>>;
+}
+
+/// The reference body evaluator: the tree-walking active-domain evaluator
+/// of [`dx_logic::eval`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveBodyEval;
+
+impl BodyEval for NaiveBodyEval {
+    fn name(&self) -> &'static str {
+        "naive-walk"
+    }
+
+    fn witnesses(&self, std: &Std, source: &Instance) -> Vec<Vec<Value>> {
+        std_witnesses(std, source)
+    }
+}
+
 /// Compute the annotated canonical solution `CSol_A(S)` of `source` under
 /// `mapping`, with nulls numbered deterministically from `⊥0`.
 ///
 /// The source must be ground (a `Const`-instance), as required by the
-/// data-exchange setting.
+/// data-exchange setting. Body evaluation uses the tree-walking reference
+/// engine; see [`canonical_solution_via`] for the pluggable variant.
 pub fn canonical_solution(mapping: &Mapping, source: &Instance) -> CanonicalSolution {
+    canonical_solution_via(&NaiveBodyEval, mapping, source)
+}
+
+/// [`canonical_solution`] with a pluggable STD-body evaluation engine.
+/// Because [`BodyEval`] implementations must reproduce the reference
+/// witness order exactly, the result is identical across engines (asserted
+/// by `tests/query_differential.rs`).
+pub fn canonical_solution_via(
+    eval: &dyn BodyEval,
+    mapping: &Mapping,
+    source: &Instance,
+) -> CanonicalSolution {
     assert!(source.is_ground(), "source instances must be over Const");
     let mut gen = NullGen::new();
     let mut instance = AnnInstance::new();
@@ -107,7 +155,7 @@ pub fn canonical_solution(mapping: &Mapping, source: &Instance) -> CanonicalSolu
     // Make sure every target relation exists in the output, even if no STD
     // fires (arities retrievable; harmless for semantics).
     for std in &mapping.stds {
-        let rows = std_witnesses(std, source);
+        let rows = eval.witnesses(std, source);
 
         if rows.is_empty() {
             // Empty annotated tuples, one per head atom.

@@ -36,7 +36,10 @@ pub mod std_dep;
 pub mod strategy;
 pub mod target_deps;
 
-pub use canonical::{canonical_solution, CanonicalSolution, Justification};
+pub use canonical::{
+    canonical_solution, canonical_solution_via, BodyEval, CanonicalSolution, Justification,
+    NaiveBodyEval,
+};
 pub use chase_engine::{canonical_solution_with_deps, chase, ChaseOutcome, ChaseResult};
 pub use core::{ann_core_of, ann_isomorphic, core_of, AnnCoreResult, CoreResult};
 pub use hom::NullMap;

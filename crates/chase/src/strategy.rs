@@ -21,16 +21,27 @@
 //! (isomorphic-core) representatives. Cross-strategy comparisons should use
 //! `dx_chase::core::ann_hom_equivalent` / `ann_core_of` + `ann_isomorphic`.
 
-use crate::canonical::CanonicalSolution;
+use crate::canonical::{BodyEval, CanonicalSolution, NaiveBodyEval};
 use crate::chase_engine::{self, ChaseResult};
 use crate::mapping::Mapping;
 use crate::target_deps::TargetDep;
 use dx_relation::{AnnInstance, Instance, NullGen};
 
+static NAIVE_BODY_EVAL: NaiveBodyEval = NaiveBodyEval;
+
 /// A chase execution engine over annotated instances.
 pub trait ChaseStrategy {
     /// A short human-readable engine name (used in bench/JSON output).
     fn name(&self) -> &'static str;
+
+    /// The STD-body evaluation engine this strategy pairs with — used by
+    /// [`canonical_solution_with_deps_via`] (and the `dx-core` pipelines)
+    /// so the *whole* exchange runs on one architecture. Defaults to the
+    /// tree-walking reference; `dx_engine::IndexedChase` overrides it with
+    /// `dx-query`'s compiled plans.
+    fn body_eval(&self) -> &dyn BodyEval {
+        &NAIVE_BODY_EVAL
+    }
 
     /// Run the standard (restricted) chase of `instance` with `deps`,
     /// drawing fresh nulls from `gen`, applying at most `max_steps` steps.
@@ -72,8 +83,9 @@ impl ChaseStrategy for NaiveChase {
 }
 
 /// [`chase_engine::canonical_solution_with_deps`] routed through a strategy:
-/// compute `CSol_A(S)`, then let `strategy` repair target-constraint
-/// violations.
+/// compute `CSol_A(S)` (body evaluation on the strategy's
+/// [`ChaseStrategy::body_eval`] engine), then let `strategy` repair
+/// target-constraint violations.
 pub fn canonical_solution_with_deps_via(
     strategy: &dyn ChaseStrategy,
     mapping: &Mapping,
@@ -81,7 +93,8 @@ pub fn canonical_solution_with_deps_via(
     source: &Instance,
     max_steps: usize,
 ) -> ChaseResult {
-    let csol: CanonicalSolution = crate::canonical::canonical_solution(mapping, source);
+    let csol: CanonicalSolution =
+        crate::canonical::canonical_solution_via(strategy.body_eval(), mapping, source);
     let mut gen = NullGen::after(csol.instance.nulls());
     strategy.chase(csol.instance, deps, &mut gen, max_steps)
 }

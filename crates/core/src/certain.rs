@@ -19,9 +19,10 @@
 //! available by passing an explicit [`SearchBudget`], astronomically
 //! expensive by design (the problem is coNEXPTIME-complete).
 
-use dx_chase::{canonical_solution, Mapping};
+use dx_chase::{canonical_solution, canonical_solution_via, ChaseStrategy, Mapping};
 use dx_logic::classify::{self, QueryClass};
 use dx_logic::Query;
+use dx_query::QueryEval;
 use dx_relation::{ConstId, Instance, Relation, Tuple};
 use dx_solver::{search_rep_a, Completeness, SearchBudget};
 use std::collections::BTreeSet;
@@ -119,6 +120,24 @@ pub fn certain_contains(
     certain_contains_with(mapping, &csol, query, tuple, budget)
 }
 
+/// [`certain_contains`] with the exchange routed end to end through a
+/// [`ChaseStrategy`] — the canonical solution's FO body evaluation runs on
+/// the strategy's [`ChaseStrategy::body_eval`] engine (compiled plans for
+/// `dx_engine::IndexedChase`, the tree walker for `dx_chase::NaiveChase`).
+/// Results are identical across strategies (body evaluators must reproduce
+/// the reference witness order).
+pub fn certain_contains_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    tuple: &Tuple,
+    budget: Option<&SearchBudget>,
+) -> CertainOutcome {
+    let csol = canonical_solution_via(strategy.body_eval(), mapping, source);
+    certain_contains_with(mapping, &csol, query, tuple, budget)
+}
+
 /// [`certain_contains`] against a precomputed canonical solution —
 /// answer-set computations decide many tuples over the same `CSol_A(S)`.
 pub fn certain_contains_with(
@@ -128,13 +147,28 @@ pub fn certain_contains_with(
     tuple: &Tuple,
     budget: Option<&SearchBudget>,
 ) -> CertainOutcome {
+    certain_contains_eval(mapping, csol, &QueryEval::new(query), tuple, budget)
+}
+
+/// The worker behind [`certain_contains_with`]: query evaluation (both the
+/// Proposition 3 naive path and every `Rep_A` refutation check) runs on a
+/// prebuilt [`QueryEval`] — a `dx-query` compiled plan when the formula is
+/// safe-range, the tree-walking oracle otherwise.
+fn certain_contains_eval(
+    mapping: &Mapping,
+    csol: &dx_chase::CanonicalSolution,
+    ev: &QueryEval,
+    tuple: &Tuple,
+    budget: Option<&SearchBudget>,
+) -> CertainOutcome {
+    let query = ev.query();
     assert_eq!(tuple.arity(), query.arity(), "answer-tuple arity mismatch");
     assert!(tuple.is_ground(), "certain answers are tuples over Const");
 
     // Proposition 3: positive queries via naive evaluation — for any
     // annotation.
     if classify::is_positive(&query.formula) {
-        let certain = query.holds_on(&csol.rel_part(), tuple);
+        let certain = ev.holds_on(&csol.rel_part(), tuple);
         return CertainOutcome {
             certain,
             completeness: Completeness::Exact,
@@ -155,7 +189,7 @@ pub fn certain_contains_with(
     // decided by valuation search over Rep(CSol) (all-closed Rep_A).
     if classify::is_monotone(&query.formula) {
         let closed = csol.instance.reannotate_all_closed();
-        let mut check = |i: &Instance| !query.holds_on(i, tuple);
+        let mut check = |i: &Instance| !ev.holds_on(i, tuple);
         let outcome = search_rep_a(
             &closed,
             &query_consts,
@@ -198,7 +232,7 @@ pub fn certain_contains_with(
         _ => search_budget,
     };
 
-    let mut check = |i: &Instance| !query.holds_on(i, tuple);
+    let mut check = |i: &Instance| !ev.holds_on(i, tuple);
     let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
     let completeness = match (outcome.completeness, exact) {
         (Completeness::Capped, _) => Completeness::Capped,
@@ -223,18 +257,64 @@ pub fn certain_answers(
     query: &Query,
     budget: Option<&SearchBudget>,
 ) -> (Relation, Completeness) {
+    let csol = canonical_solution(mapping, source);
+    certain_answers_with(mapping, &csol, source, query, budget)
+}
+
+/// [`certain_answers`] routed end to end through a [`ChaseStrategy`] (see
+/// [`certain_contains_via`]).
+pub fn certain_answers_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    budget: Option<&SearchBudget>,
+) -> (Relation, Completeness) {
+    let csol = canonical_solution_via(strategy.body_eval(), mapping, source);
+    certain_answers_with(mapping, &csol, source, query, budget)
+}
+
+/// [`certain_answers`] against a precomputed canonical solution: the query
+/// compiles once ([`QueryEval`]) and every candidate tuple reuses the plan.
+///
+/// Fast path: for a *positive, safe-range* query one set-valued plan
+/// execution replaces the per-candidate loop — the compiled answers are
+/// domain independent, so membership of each candidate in the answer set
+/// coincides with the per-tuple naive check (Proposition 3), and filtering
+/// to the candidate palette keeps the result identical to the loop.
+pub fn certain_answers_with(
+    mapping: &Mapping,
+    csol: &dx_chase::CanonicalSolution,
+    source: &Instance,
+    query: &Query,
+    budget: Option<&SearchBudget>,
+) -> (Relation, Completeness) {
     let mut candidates: BTreeSet<ConstId> = source.adom_consts();
     candidates.extend(query.formula.constants());
     let consts: Vec<ConstId> = candidates.into_iter().collect();
     let arity = query.arity();
+    let ev = QueryEval::new(query);
+
+    if classify::is_positive(&query.formula) && ev.is_compiled() {
+        let const_set: BTreeSet<ConstId> = consts.iter().copied().collect();
+        let mut rel = Relation::new(arity);
+        for t in ev.naive_certain_answers(&csol.rel_part()).iter() {
+            if t.consts().all(|c| const_set.contains(&c)) {
+                rel.insert(t.clone());
+            }
+        }
+        // Boolean positive queries: the loop below would still probe the
+        // single empty candidate; the set computation already covers it.
+        return (rel, Completeness::Exact);
+    }
+
     let mut rel = Relation::new(arity);
     let mut completeness = Completeness::Exact;
-    let csol = canonical_solution(mapping, source);
 
     let mut idx = vec![0usize; arity];
     loop {
         let tuple = Tuple::from_consts(&idx.iter().map(|&i| consts[i]).collect::<Vec<_>>());
-        let out = certain_contains_with(mapping, &csol, query, &tuple, budget);
+        let out = certain_contains_eval(mapping, csol, &ev, &tuple, budget);
         if out.certain {
             rel.insert(tuple);
         }
@@ -278,10 +358,11 @@ pub fn certain_contains_one_to_m(
     assert!(m >= 1, "1-to-m needs m ≥ 1");
     assert_eq!(tuple.arity(), query.arity(), "answer-tuple arity mismatch");
     let csol = canonical_solution(mapping, source);
+    let ev = QueryEval::new(query);
     // Positive queries: naive evaluation is still exact (Prop 3 holds for
     // every solution notion between CWA and OWA).
     if classify::is_positive(&query.formula) {
-        let certain = query.holds_on(&csol.rel_part(), tuple);
+        let certain = ev.holds_on(&csol.rel_part(), tuple);
         return CertainOutcome {
             certain,
             completeness: Completeness::Exact,
@@ -307,7 +388,7 @@ pub fn certain_contains_one_to_m(
         })
         .sum();
     let budget = SearchBudget::one_to_m(m, open_templates, mapping.target.max_arity());
-    let mut check = |i: &Instance| !query.holds_on(i, tuple);
+    let mut check = |i: &Instance| !ev.holds_on(i, tuple);
     let outcome = search_rep_a(&csol.instance, &query_consts, &budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_none(),
@@ -334,14 +415,40 @@ pub fn certain_positive_with_deps(
     query: &Query,
     max_steps: usize,
 ) -> Option<Relation> {
+    certain_positive_with_deps_via(
+        &dx_chase::NaiveChase,
+        mapping,
+        deps,
+        source,
+        query,
+        max_steps,
+    )
+}
+
+/// [`certain_positive_with_deps`] routed end to end through a
+/// [`ChaseStrategy`]: the canonical solution's body evaluation, the
+/// repairing chase *and* the final naive evaluation all run on the chosen
+/// architecture (`dx_engine::IndexedChase` makes the whole pipeline
+/// indexed). Chase results differ across strategies only up to homomorphic
+/// equivalence, which preserves ground positive answers — so the returned
+/// relation is strategy independent.
+pub fn certain_positive_with_deps_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    deps: &[dx_chase::TargetDep],
+    source: &Instance,
+    query: &Query,
+    max_steps: usize,
+) -> Option<Relation> {
     assert!(
         classify::is_positive(&query.formula),
         "the chased-naive pipeline is exact for positive queries only"
     );
-    let chased = dx_chase::canonical_solution_with_deps(mapping, deps, source, max_steps);
+    let chased =
+        dx_chase::canonical_solution_with_deps_via(strategy, mapping, deps, source, max_steps);
     match chased.outcome {
         dx_chase::ChaseOutcome::Satisfied => {
-            Some(query.naive_certain_answers(&chased.instance.rel_part()))
+            Some(QueryEval::new(query).naive_certain_answers(&chased.instance.rel_part()))
         }
         _ => None,
     }
@@ -374,7 +481,8 @@ pub fn possible_contains(
     } else {
         budget.cloned().unwrap_or_default()
     };
-    let mut check = |i: &Instance| query.holds_on(i, tuple);
+    let ev = QueryEval::new(query);
+    let mut check = |i: &Instance| ev.holds_on(i, tuple);
     let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_some(),

@@ -16,7 +16,7 @@
 //!   at `#op = 1`, undecidable beyond; answers carry their completeness).
 
 use crate::semantics;
-use dx_chase::{canonical_solution, is_owa_solution, Mapping};
+use dx_chase::{canonical_solution_via, is_owa_solution, ChaseStrategy, Mapping, NaiveChase};
 use dx_relation::{AnnInstance, AnnTuple, Annotation, ConstId, Instance, Tuple};
 use dx_solver::{search_rep_a, Completeness, SearchBudget};
 use std::collections::BTreeSet;
@@ -63,6 +63,22 @@ pub fn comp_membership(
     w: &Instance,
     budget: Option<&SearchBudget>,
 ) -> CompOutcome {
+    comp_membership_via(&NaiveChase, sigma, delta, source, w, budget)
+}
+
+/// [`comp_membership`] routed end to end through a [`ChaseStrategy`]: both
+/// the `Σ`-side canonical solution and every per-intermediate `Δ`
+/// membership check evaluate their FO bodies on the strategy's engine
+/// (compiled plans for `dx_engine::IndexedChase`). The verdict is strategy
+/// independent.
+pub fn comp_membership_via(
+    strategy: &dyn ChaseStrategy,
+    sigma: &Mapping,
+    delta: &Mapping,
+    source: &Instance,
+    w: &Instance,
+    budget: Option<&SearchBudget>,
+) -> CompOutcome {
     assert!(source.is_ground() && w.is_ground(), "instances over Const");
     // Δ's source vocabulary must live in Σ's target.
     for std in &delta.stds {
@@ -75,7 +91,7 @@ pub fn comp_membership(
         }
     }
 
-    let csol = canonical_solution(sigma, source);
+    let csol = canonical_solution_via(strategy.body_eval(), sigma, source);
 
     // Constants the intermediate may need: everything W or Δ can "see".
     let mut extra: BTreeSet<ConstId> = w.adom_consts();
@@ -164,7 +180,7 @@ pub fn comp_membership(
         )
     };
 
-    let mut check = |j: &Instance| semantics::is_member(delta, j, w);
+    let mut check = |j: &Instance| semantics::is_member_via(strategy, delta, j, w);
     let out = search_rep_a(&csol.instance, &extra, &search_budget, &mut check);
     let completeness = match (out.completeness, exact) {
         (Completeness::Capped, _) => Completeness::Capped,

@@ -16,6 +16,7 @@
 
 use dx_chase::{canonical_solution, Mapping};
 use dx_ctables::{certain_answers_ra, possible_answers_ra, CInstance, RaExpr};
+use dx_query::{CompiledQuery, CompiledRa};
 use dx_relation::{Instance, Relation};
 
 /// Build the conditional-table representation of the canonical solution:
@@ -33,13 +34,23 @@ pub fn csol_as_ctable(mapping: &Mapping, source: &Instance) -> CInstance {
 /// `certain_Σcl(Q, S)` for a relational-algebra query, via conditional
 /// tables. Exact; panics if the mapping is not all-closed (the route is
 /// only sound under the CWA — see [`csol_as_ctable`]).
+///
+/// Execution runs on a `dx-query` compiled plan in conditional mode
+/// (equality selections over products unified into joins); the
+/// interpreting [`RaExpr::eval_conditional`] route remains as the fallback
+/// for expressions the planner rejects, with identical answers either way
+/// (cross-validated in `tests/query_differential.rs`).
 pub fn certain_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaExpr) -> Relation {
     assert!(
         mapping.is_all_closed(),
         "the c-table route computes certain_Σcl; re-annotate with all_closed() \
          or use certain::certain_contains for mixed annotations"
     );
-    certain_answers_ra(query, &csol_as_ctable(mapping, source))
+    let cinst = csol_as_ctable(mapping, source);
+    match CompiledRa::compile(query, &|r| mapping.target.arity(r)) {
+        Ok(compiled) => compiled.certain_answers(&cinst),
+        Err(_) => certain_answers_ra(query, &cinst),
+    }
 }
 
 /// `certain_Σcl(Q, S)` for a **first-order** query, via the Codd-theorem
@@ -57,9 +68,17 @@ pub fn certain_answers_cwa_fo(
         "the c-table route computes certain_Σcl; re-annotate with all_closed() \
          or use certain::certain_contains for mixed annotations"
     );
+    let cinst = csol_as_ctable(mapping, source);
+    // Safe-range queries skip the Codd translation entirely: the formula
+    // lowers straight to a plan and executes in conditional mode (answers
+    // are domain independent, so the active-domain relativization of
+    // `fo_to_ra` is unnecessary).
+    if let Ok(compiled) = CompiledQuery::compile(query) {
+        return Ok(compiled.certain_answers_conditional(&cinst));
+    }
     let schema: Vec<_> = mapping.target.iter().collect();
     let ra = dx_ctables::fo_to_ra(&query.formula, &query.head, &schema)?;
-    Ok(certain_answers_ra(&ra, &csol_as_ctable(mapping, source)))
+    Ok(certain_answers_ra(&ra, &cinst))
 }
 
 /// Possible answers `◇Q(CSol(S))` under the CWA (tuples appearing in at
@@ -70,7 +89,11 @@ pub fn possible_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaE
         mapping.is_all_closed(),
         "the c-table route computes possible answers under the CWA only"
     );
-    possible_answers_ra(query, &csol_as_ctable(mapping, source))
+    let cinst = csol_as_ctable(mapping, source);
+    match CompiledRa::compile(query, &|r| mapping.target.arity(r)) {
+        Ok(compiled) => compiled.possible_answers(&cinst),
+        Err(_) => possible_answers_ra(query, &cinst),
+    }
 }
 
 #[cfg(test)]

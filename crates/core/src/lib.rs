@@ -42,12 +42,13 @@ pub mod semantics;
 pub mod skstd;
 
 pub use certain::{
-    certain_answers, certain_contains, certain_contains_with, possible_contains, CertainOutcome,
-    Deqa,
+    certain_answers, certain_answers_via, certain_answers_with, certain_contains,
+    certain_contains_via, certain_contains_with, certain_positive_with_deps_via, possible_contains,
+    CertainOutcome, Deqa,
 };
-pub use compose::{comp_membership, CompOutcome};
+pub use compose::{comp_membership, comp_membership_via, CompOutcome};
 pub use compose_alg::{compose_skstd, ComposeError};
 pub use ctable_bridge::{certain_answers_cwa_ra, csol_as_ctable, possible_answers_cwa_ra};
-pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, PtimeQuery};
-pub use semantics::{in_semantics, MembershipOutcome};
+pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, CompiledFoQuery, PtimeQuery};
+pub use semantics::{in_semantics, in_semantics_via, is_member_via, MembershipOutcome};
 pub use skstd::{SkAtom, SkMapping, SkStd};

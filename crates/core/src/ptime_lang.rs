@@ -70,10 +70,20 @@ impl PtimeQuery for Query {
         self.arity()
     }
 
+    /// Routed through `dx-query`: compiled plan when safe-range, tree
+    /// walker otherwise. One compile per call — fine for the set-valued
+    /// pipelines that call `eval` once; amortized over the whole answer
+    /// set.
     fn eval(&self, instance: &Instance) -> Relation {
-        self.answers(instance)
+        dx_query::QueryEval::new(self).answers(instance)
     }
 
+    /// Deliberately the tree walker: `holds` runs once per candidate
+    /// instance inside `search_rep_a` refutation loops, where a
+    /// compile-per-call would be pure repeated work. Loops that want
+    /// compiled per-leaf checks wrap the query in a [`CompiledFoQuery`]
+    /// (one compile, many leaves) — the same hoisting
+    /// `certain::certain_contains_eval` does for plain FO queries.
     fn holds(&self, instance: &Instance, t: &Tuple) -> bool {
         self.holds_on(instance, t)
     }
@@ -88,6 +98,54 @@ impl PtimeQuery for Query {
 
     fn query_constants(&self) -> BTreeSet<ConstId> {
         self.formula.constants()
+    }
+}
+
+/// A first-order query pre-compiled by `dx-query` — the [`PtimeQuery`] to
+/// use inside refutation loops, where [`PtimeQuery::holds`] runs once per
+/// candidate instance: the plan compiles once here instead of per call.
+pub struct CompiledFoQuery {
+    query: Query,
+    eval: dx_query::QueryEval,
+}
+
+impl CompiledFoQuery {
+    /// Wrap and compile (falls back to the tree walker internally when the
+    /// formula is not safe-range).
+    pub fn new(query: Query) -> Self {
+        let eval = dx_query::QueryEval::new(&query);
+        CompiledFoQuery { query, eval }
+    }
+
+    /// Did the formula compile to a plan?
+    pub fn is_compiled(&self) -> bool {
+        self.eval.is_compiled()
+    }
+}
+
+impl PtimeQuery for CompiledFoQuery {
+    fn out_arity(&self) -> usize {
+        self.query.arity()
+    }
+
+    fn eval(&self, instance: &Instance) -> Relation {
+        self.eval.answers(instance)
+    }
+
+    fn holds(&self, instance: &Instance, t: &Tuple) -> bool {
+        self.eval.holds_on(instance, t)
+    }
+
+    fn hom_preserved(&self) -> bool {
+        dx_logic::classify::is_positive(&self.query.formula)
+    }
+
+    fn monotone(&self) -> bool {
+        dx_logic::classify::is_monotone(&self.query.formula)
+    }
+
+    fn query_constants(&self) -> BTreeSet<ConstId> {
+        self.query.formula.constants()
     }
 }
 

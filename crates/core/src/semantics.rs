@@ -5,7 +5,9 @@
 //! the NP procedure of Theorem 2. When every annotation is open, Theorem 1(2)
 //! gives the PTIME alternative: `T ∈ ⟦S⟧_Σop` iff `(S, T) |= Σ`.
 
-use dx_chase::{canonical_solution, is_owa_solution, Mapping};
+use dx_chase::{
+    canonical_solution, canonical_solution_via, is_owa_solution, ChaseStrategy, Mapping,
+};
 use dx_relation::{Instance, Valuation};
 use dx_solver::repa::rep_a_membership;
 
@@ -55,6 +57,38 @@ pub fn in_semantics(mapping: &Mapping, source: &Instance, t: &Instance) -> Membe
             witness: rep_a_membership(&csol.instance, t),
         }
     }
+}
+
+/// [`in_semantics`] with the canonical solution's body evaluation routed
+/// through a [`ChaseStrategy`]'s engine (`dx_engine::IndexedChase` runs it
+/// on `dx-query` compiled plans); the verdict is strategy independent.
+pub fn in_semantics_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    t: &Instance,
+) -> MembershipOutcome {
+    assert!(t.is_ground(), "⟦S⟧ members are instances over Const");
+    if mapping.is_all_open() {
+        MembershipOutcome::OpenWorldCheck {
+            member: is_owa_solution(mapping, source, t),
+        }
+    } else {
+        let csol = canonical_solution_via(strategy.body_eval(), mapping, source);
+        MembershipOutcome::ValuationSearch {
+            witness: rep_a_membership(&csol.instance, t),
+        }
+    }
+}
+
+/// Boolean [`in_semantics_via`].
+pub fn is_member_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    t: &Instance,
+) -> bool {
+    in_semantics_via(strategy, mapping, source, t).is_member()
 }
 
 /// Plain boolean membership (see [`in_semantics`]).

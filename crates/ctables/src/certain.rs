@@ -35,6 +35,18 @@ pub fn certain_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
     let result = query.eval_conditional(cinst);
     let mut extra: BTreeSet<ConstId> = cinst.constants();
     extra.extend(query.constants());
+    certain_answers_from(&result, &extra, &cinst.global)
+}
+
+/// Certain-answer extraction from an already-evaluated conditional result
+/// table: the ground rows whose support disjunction is valid over the
+/// `extra`-constant palette. Shared by [`certain_answers_ra`] and the
+/// plan-backed conditional executor of `dx-query`.
+pub fn certain_answers_from(
+    result: &CTable,
+    extra: &BTreeSet<ConstId>,
+    global: &Condition,
+) -> Relation {
     let mut out = Relation::new(result.arity());
     // If the global condition is unsatisfiable, Rep is empty and every
     // tuple is vacuously certain; we follow the data-exchange convention of
@@ -46,7 +58,7 @@ pub fn certain_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
         if out.contains(&row.tuple) {
             continue;
         }
-        if support_condition(&result, &row.tuple, &cinst.global).is_valid(&extra) {
+        if support_condition(result, &row.tuple, global).is_valid(extra) {
             out.insert(row.tuple.clone());
         }
     }
@@ -64,6 +76,17 @@ pub fn possible_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
     let result = query.eval_conditional(cinst);
     let mut extra: BTreeSet<ConstId> = cinst.constants();
     extra.extend(query.constants());
+    possible_answers_from(&result, &extra, &cinst.global)
+}
+
+/// Possible-answer extraction from an already-evaluated conditional result
+/// table (see [`possible_answers_ra`]); the counterpart of
+/// [`certain_answers_from`].
+pub fn possible_answers_from(
+    result: &CTable,
+    extra: &BTreeSet<ConstId>,
+    global: &Condition,
+) -> Relation {
     let consts: Vec<ConstId> = extra.iter().copied().collect();
     let mut out = Relation::new(result.arity());
     let mut candidates: BTreeSet<Tuple> = BTreeSet::new();
@@ -91,8 +114,8 @@ pub fn possible_answers_ra(query: &RaExpr, cinst: &CInstance) -> Relation {
         }
     }
     for t in candidates {
-        let cond = Condition::and([cinst.global.clone(), support_condition_raw(&result, &t)]);
-        if cond.is_satisfiable(&extra) {
+        let cond = Condition::and([global.clone(), support_condition_raw(result, &t)]);
+        if cond.is_satisfiable(extra) {
             out.insert(t);
         }
     }

@@ -37,7 +37,9 @@ pub mod ctable;
 pub mod translate;
 
 pub use algebra::{ColRef, RaExpr, RaPred};
-pub use certain::{certain_answers_ra, possible_answers_ra};
+pub use certain::{
+    certain_answers_from, certain_answers_ra, possible_answers_from, possible_answers_ra,
+};
 pub use condition::Condition;
 pub use ctable::{CInstance, CTable, CTuple};
 pub use translate::{fo_to_ra, TranslateError};

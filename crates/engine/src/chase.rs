@@ -40,9 +40,19 @@ type Asg = BTreeMap<Var, Value>;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IndexedChase;
 
+static PLANNED_BODY_EVAL: dx_query::PlannedBodyEval = dx_query::PlannedBodyEval;
+
 impl ChaseStrategy for IndexedChase {
     fn name(&self) -> &'static str {
         "indexed"
+    }
+
+    /// STD bodies evaluate on `dx-query` compiled plans (index joins), so
+    /// `canonical_solution_with_deps_via(&IndexedChase, …)` is indexed end
+    /// to end; non-safe-range bodies fall back to the tree walker inside
+    /// [`dx_query::PlannedBodyEval`].
+    fn body_eval(&self) -> &dyn dx_chase::BodyEval {
+        &PLANNED_BODY_EVAL
     }
 
     fn chase(

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod chase;
+pub mod query_store;
 pub mod store;
 
 pub use chase::{indexed_chase, IndexedChase};

@@ -21,7 +21,7 @@
 //!
 //! Head atoms are comma-separated; each head position may carry an
 //! annotation `:cl` / `:op` (`^cl` / `^op` also accepted; default `op`, the
-//! open-world default of [FKMP]). The body separator is `<-` or `:-`.
+//! open-world default of \[FKMP\]). The body separator is `<-` or `:-`.
 //! [`parse_rules`] reads a `;`-separated list of rules.
 
 use crate::formula::Formula;

@@ -1,0 +1,319 @@
+//! Consumer-facing evaluation: compiled queries, compile-or-fallback
+//! wrappers, and the chase body-evaluation plug-in.
+
+use crate::exec::{exec, exec_nonempty};
+use crate::lower::{lower_formula, LowerError};
+use crate::plan::Plan;
+use crate::store::QueryStore;
+use dx_chase::{BodyEval, Std};
+use dx_logic::{Formula, Query};
+use dx_relation::{Instance, InstanceIndex, Relation, Tuple, Value, Var};
+use std::collections::BTreeSet;
+
+/// A query compiled to a plan: the head variables plus the safe-range plan
+/// of the body. Reusable across instances — compile once, execute many.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    head: Vec<Var>,
+    plan: Plan,
+    /// Constants of the *source formula* — not recovered from the plan,
+    /// which may drop them (trivial equalities fold away, empty disjuncts
+    /// are pruned). They seed the candidate palette of the conditional
+    /// certain/possible-answer extraction.
+    consts: BTreeSet<dx_relation::ConstId>,
+}
+
+impl CompiledQuery {
+    /// Compile a formula with an explicit head. Fails when the formula is
+    /// outside the safe-range fragment or a head variable is not
+    /// range-restricted by it (then answers depend on the quantifier
+    /// domain and only the tree walker is faithful).
+    pub fn compile_formula(formula: &Formula, head: &[Var]) -> Result<Self, LowerError> {
+        let plan = lower_formula(formula)?;
+        let produced: BTreeSet<Var> = plan.vars().into_iter().collect();
+        for h in head {
+            if !produced.contains(h) {
+                return Err(LowerError::NotSafeRange(format!(
+                    "head variable {h} is not range-restricted by the body"
+                )));
+            }
+        }
+        Ok(CompiledQuery {
+            head: head.to_vec(),
+            plan,
+            consts: formula.constants(),
+        })
+    }
+
+    /// Compile a [`Query`].
+    pub fn compile(query: &Query) -> Result<Self, LowerError> {
+        Self::compile_formula(&query.formula, &query.head)
+    }
+
+    /// The compiled plan (for `EXPLAIN`-style inspection).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The head variables.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// Evaluate over any indexed store, nulls as atomic values (naive
+    /// semantics); answer tuples follow the head order.
+    pub fn answers_store(&self, store: &dyn QueryStore) -> Relation {
+        let rows = exec(&self.plan, store);
+        let cols: Vec<usize> = self
+            .head
+            .iter()
+            .map(|v| rows.col(*v).expect("head variable is produced"))
+            .collect();
+        Relation::from_tuples(
+            self.head.len(),
+            rows.rows
+                .iter()
+                .map(|r| Tuple::new(cols.iter().map(|&c| r[c]).collect::<Vec<_>>())),
+        )
+    }
+
+    /// Evaluate over an instance (builds a snapshot index).
+    pub fn answers(&self, instance: &Instance) -> Relation {
+        self.answers_store(&InstanceIndex::build(instance))
+    }
+
+    /// Naive certain answers `Q_naive(T)`: evaluate, then keep only
+    /// null-free tuples (the Imieliński–Lipski null-discard operator; exact
+    /// for positive queries by Proposition 3).
+    pub fn naive_certain_answers(&self, instance: &Instance) -> Relation {
+        let all = self.answers(instance);
+        Relation::from_tuples(
+            self.head.len(),
+            all.iter().filter(|t| t.is_ground()).cloned(),
+        )
+    }
+
+    /// Does `tuple` belong to the answers over `store`? Executes the plan
+    /// with the head variables pre-bound (single-row [`Plan::Bind`] inputs),
+    /// so the greedy join order starts from the bound values and probes.
+    pub fn holds_on_store(&self, store: &dyn QueryStore, tuple: &Tuple) -> bool {
+        assert_eq!(tuple.arity(), self.head.len(), "answer-tuple arity");
+        let mut inputs: Vec<Plan> = self
+            .head
+            .iter()
+            .zip(tuple.iter())
+            .map(|(v, val)| Plan::Bind {
+                var: *v,
+                value: val,
+            })
+            .collect();
+        inputs.push(self.plan.clone());
+        exec_nonempty(&Plan::Join { inputs }, store)
+    }
+
+    /// [`CompiledQuery::holds_on_store`] over an instance.
+    pub fn holds_on(&self, instance: &Instance, tuple: &Tuple) -> bool {
+        self.holds_on_store(&InstanceIndex::build(instance), tuple)
+    }
+
+    /// Exact CWA certain answers `□Q(T)` over a conditional instance via
+    /// the conditional execution mode ([`crate::cexec`]): evaluate the plan
+    /// with guards, then keep the ground rows whose support disjunction is
+    /// valid. The plan-backed counterpart of the `dx-ctables` route.
+    pub fn certain_answers_conditional(&self, cinst: &dx_ctables::CInstance) -> Relation {
+        let result = crate::cexec::exec_conditional_table(&self.plan, &self.head, cinst);
+        let mut extra = cinst.constants();
+        extra.extend(self.consts.iter().copied());
+        dx_ctables::certain_answers_from(&result, &extra, &cinst.global)
+    }
+
+    /// Exact possible answers `◇Q(T)` over a conditional instance (the dual
+    /// of [`CompiledQuery::certain_answers_conditional`]). The candidate
+    /// palette uses the formula's constants (the plan alone may have
+    /// folded some away — validity checking tolerates a smaller palette,
+    /// candidate *generation* does not).
+    pub fn possible_answers_conditional(&self, cinst: &dx_ctables::CInstance) -> Relation {
+        let result = crate::cexec::exec_conditional_table(&self.plan, &self.head, cinst);
+        let mut extra = cinst.constants();
+        extra.extend(self.consts.iter().copied());
+        dx_ctables::possible_answers_from(&result, &extra, &cinst.global)
+    }
+}
+
+/// Compile-or-fallback evaluation of a [`Query`]: the compiled plan when
+/// the formula is safe-range, the tree-walking active-domain evaluator
+/// otherwise — with identical results either way (safe-range answers are
+/// domain independent; differentially tested).
+///
+/// This is the type the `dx-core` pipelines hold per query: build once,
+/// evaluate against many instances (e.g. every candidate of a `Rep_A`
+/// refutation search).
+#[derive(Clone, Debug)]
+pub struct QueryEval {
+    query: Query,
+    compiled: Option<CompiledQuery>,
+}
+
+impl QueryEval {
+    /// Wrap a query, compiling when possible.
+    pub fn new(query: &Query) -> Self {
+        QueryEval {
+            query: query.clone(),
+            compiled: CompiledQuery::compile(query).ok(),
+        }
+    }
+
+    /// Did the query compile to a plan?
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Evaluate (naive semantics).
+    pub fn answers(&self, instance: &Instance) -> Relation {
+        match &self.compiled {
+            Some(c) => c.answers(instance),
+            None => self.query.answers(instance),
+        }
+    }
+
+    /// Naive certain answers (null-discarded evaluation).
+    pub fn naive_certain_answers(&self, instance: &Instance) -> Relation {
+        match &self.compiled {
+            Some(c) => c.naive_certain_answers(instance),
+            None => self.query.naive_certain_answers(instance),
+        }
+    }
+
+    /// Does `tuple` belong to the answers on `instance`?
+    pub fn holds_on(&self, instance: &Instance, tuple: &Tuple) -> bool {
+        match &self.compiled {
+            Some(c) => c.holds_on(instance, tuple),
+            None => self.query.holds_on(instance, tuple),
+        }
+    }
+
+    /// Evaluate a Boolean query.
+    pub fn holds_boolean(&self, instance: &Instance) -> bool {
+        self.holds_on(instance, &Tuple::new(Vec::<Value>::new()))
+    }
+}
+
+/// The compiled STD-body evaluator: implements [`dx_chase::BodyEval`] by
+/// lowering each body to a plan and executing it index-backed, falling
+/// back to the reference tree walker for non-safe-range bodies. Reproduces
+/// the reference witness order exactly (sorted rows in
+/// [`Std::body_vars`] order), so canonical solutions are identical across
+/// engines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlannedBodyEval;
+
+impl BodyEval for PlannedBodyEval {
+    fn name(&self) -> &'static str {
+        "planned"
+    }
+
+    fn witnesses(&self, std: &Std, source: &Instance) -> Vec<Vec<Value>> {
+        let vars = std.body_vars();
+        match CompiledQuery::compile_formula(&std.body, &vars) {
+            Ok(cq) => cq
+                .answers(source)
+                .iter()
+                .map(|t| t.values().to_vec())
+                .collect(),
+            Err(_) => dx_chase::canonical::std_witnesses(std, source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_chase::{canonical_solution, canonical_solution_via, Mapping};
+    use dx_relation::RelSym;
+
+    fn inst() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("EvR", &["a", "b"]);
+        i.insert_names("EvR", &["a", "c"]);
+        i.insert(
+            RelSym::new("EvR"),
+            Tuple::new(vec![Value::c("d"), Value::null(0)]),
+        );
+        i
+    }
+
+    #[test]
+    fn compiled_matches_oracle_on_query() {
+        let q = Query::parse(&["x"], "exists y. EvR(x, y)").unwrap();
+        let ev = QueryEval::new(&q);
+        assert!(ev.is_compiled());
+        assert_eq!(ev.answers(&inst()), q.answers(&inst()));
+        assert_eq!(
+            ev.naive_certain_answers(&inst()),
+            q.naive_certain_answers(&inst())
+        );
+    }
+
+    #[test]
+    fn holds_on_with_nulls_in_tuple() {
+        let q = Query::parse(&["x", "y"], "EvR(x, y)").unwrap();
+        let ev = QueryEval::new(&q);
+        let t = Tuple::new(vec![Value::c("d"), Value::null(0)]);
+        assert!(ev.holds_on(&inst(), &t));
+        assert!(!ev.holds_on(&inst(), &Tuple::from_names(&["b", "a"])));
+    }
+
+    #[test]
+    fn possible_answers_palette_survives_constant_folding() {
+        // 'b' = 'b' folds to Unit during lowering and vanishes from the
+        // plan, but the formula constant must still seed the candidate
+        // palette: v(⊥1) = 'b' makes ('b') a possible answer.
+        let mut i = Instance::new();
+        i.insert(RelSym::new("PcR"), Tuple::new(vec![Value::null(1)]));
+        let ct = dx_ctables::CInstance::from_naive(&i);
+        let q = Query::parse(&["x"], "PcR(x) & 'b' = 'b'").unwrap();
+        let cq = CompiledQuery::compile(&q).unwrap();
+        let possible = cq.possible_answers_conditional(&ct);
+        assert!(possible.contains(&Tuple::from_names(&["b"])));
+        assert!(cq.certain_answers_conditional(&ct).is_empty());
+    }
+
+    #[test]
+    fn unsafe_query_falls_back() {
+        // x = x is not range-restricted: tree walker handles it.
+        let q = Query::parse(&["x"], "x = x").unwrap();
+        let ev = QueryEval::new(&q);
+        assert!(!ev.is_compiled());
+        assert_eq!(ev.answers(&inst()), q.answers(&inst()));
+    }
+
+    #[test]
+    fn head_var_must_be_restricted() {
+        let f = dx_logic::parse_formula("EvR(x, x)").unwrap();
+        assert!(CompiledQuery::compile_formula(&f, &[Var::new("x")]).is_ok());
+        assert!(CompiledQuery::compile_formula(&f, &[Var::new("z")]).is_err());
+    }
+
+    #[test]
+    fn planned_body_eval_reproduces_canonical_solution() {
+        let m = Mapping::parse(
+            "EvSub(x:cl, z:op) <- EvP(x, y); \
+             EvRev(x:cl, r:cl) <- EvP(x, y) & !exists a. EvA(x, a)",
+        )
+        .unwrap();
+        let mut s = Instance::new();
+        s.insert_names("EvP", &["p1", "t1"]);
+        s.insert_names("EvP", &["p2", "t2"]);
+        s.insert_names("EvA", &["p1", "al"]);
+        let naive = canonical_solution(&m, &s);
+        let planned = canonical_solution_via(&PlannedBodyEval, &m, &s);
+        assert_eq!(naive.instance, planned.instance);
+        assert_eq!(naive.null_origin, planned.null_origin);
+        assert_eq!(naive.witnesses, planned.witnesses);
+    }
+}

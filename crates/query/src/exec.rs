@@ -1,0 +1,538 @@
+//! The ground executor: plans over [`QueryStore`]s, nulls as atomic values.
+//!
+//! Rows are vectors of values keyed by the executing node's sorted output
+//! variables. Joins are executed **greedily by index selectivity**: scans
+//! stay symbolic until joined, and at each step the executor prefers an
+//! input sharing variables with the rows built so far (so the scan becomes
+//! a per-row index probe) and, among those, the one with the smallest
+//! selectivity estimate. Materialized inputs (subplans, unions, single-row
+//! binds) join by hashing on the shared variables. Anti-/semi-joins hash
+//! the filter side once and reduce the preserved side in one pass.
+
+use crate::plan::{Plan, PlanPred, Ref};
+use crate::store::QueryStore;
+use dx_logic::Term;
+use dx_relation::{FastMap, RelSym, Value, Var};
+use std::collections::BTreeSet;
+
+/// A materialized binding table: `vars` are sorted, every row is keyed by
+/// them positionally.
+#[derive(Clone, Debug, Default)]
+pub struct Rows {
+    /// The sorted output variables.
+    pub vars: Vec<Var>,
+    /// The binding rows (a set by construction).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rows {
+    /// Position of `v` in the schema.
+    pub fn col(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+
+    fn unit() -> Rows {
+        Rows {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    fn empty(vars: Vec<Var>) -> Rows {
+        Rows {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Execute a plan against a store, materializing its binding rows.
+pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
+    match plan {
+        Plan::Unit => Rows::unit(),
+        Plan::Empty { vars } => {
+            let mut vs = vars.clone();
+            vs.sort();
+            Rows::empty(vs)
+        }
+        Plan::Bind { var, value } => Rows {
+            vars: vec![*var],
+            rows: vec![vec![*value]],
+        },
+        Plan::Scan { rel, args } => scan_all(store, *rel, args),
+        Plan::Join { inputs } => exec_join(inputs, store),
+        Plan::SemiJoin { left, right } => exec_filter_join(left, right, store, true),
+        Plan::AntiJoin { left, right } => exec_filter_join(left, right, store, false),
+        Plan::Select { input, pred } => {
+            let mut rows = exec(input, store);
+            rows.rows.retain(|r| eval_pred(pred, &rows.vars, r));
+            rows
+        }
+        Plan::Project { input, vars } => {
+            let rows = exec(input, store);
+            let mut out_vars = vars.clone();
+            out_vars.sort();
+            let cols: Vec<usize> = out_vars
+                .iter()
+                .map(|v| rows.col(*v).expect("projected variable is produced"))
+                .collect();
+            let set: BTreeSet<Vec<Value>> = rows
+                .rows
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c]).collect())
+                .collect();
+            Rows {
+                vars: out_vars,
+                rows: set.into_iter().collect(),
+            }
+        }
+        Plan::Union { inputs } => {
+            let mut out_vars: Option<Vec<Var>> = None;
+            let mut set: BTreeSet<Vec<Value>> = BTreeSet::new();
+            for p in inputs {
+                let rows = exec(p, store);
+                match &out_vars {
+                    None => out_vars = Some(rows.vars.clone()),
+                    Some(vs) => debug_assert_eq!(vs, &rows.vars, "union schema mismatch"),
+                }
+                set.extend(rows.rows);
+            }
+            Rows {
+                vars: out_vars.unwrap_or_default(),
+                rows: set.into_iter().collect(),
+            }
+        }
+        Plan::Alias { input, src, dst } => {
+            let rows = exec(input, store);
+            let src_col = rows.col(*src).expect("alias source is produced");
+            let mut vars = rows.vars.clone();
+            vars.push(*dst);
+            vars.sort();
+            let order: Vec<usize> = vars
+                .iter()
+                .map(|v| {
+                    if v == dst {
+                        usize::MAX
+                    } else {
+                        rows.col(*v).expect("existing column")
+                    }
+                })
+                .collect();
+            let out = rows
+                .rows
+                .iter()
+                .map(|r| {
+                    order
+                        .iter()
+                        .map(|&c| if c == usize::MAX { r[src_col] } else { r[c] })
+                        .collect()
+                })
+                .collect();
+            Rows { vars, rows: out }
+        }
+    }
+}
+
+/// Does the plan produce at least one row?
+pub fn exec_nonempty(plan: &Plan, store: &dyn QueryStore) -> bool {
+    !exec(plan, store).rows.is_empty()
+}
+
+fn eval_ref(r: &Ref, vars: &[Var], row: &[Value]) -> Value {
+    match r {
+        Ref::Val(v) => *v,
+        Ref::Var(v) => {
+            let i = vars.iter().position(|w| w == v).expect("bound pred var");
+            row[i]
+        }
+    }
+}
+
+fn eval_pred(p: &PlanPred, vars: &[Var], row: &[Value]) -> bool {
+    match p {
+        PlanPred::True => true,
+        PlanPred::Eq(a, b) => eval_ref(a, vars, row) == eval_ref(b, vars, row),
+        PlanPred::And(ps) => ps.iter().all(|p| eval_pred(p, vars, row)),
+        PlanPred::Or(ps) => ps.iter().any(|p| eval_pred(p, vars, row)),
+        PlanPred::Not(p) => !eval_pred(p, vars, row),
+    }
+}
+
+/// The constant-only probe pattern of an atom template.
+fn const_pattern(args: &[Term]) -> Vec<Option<Value>> {
+    args.iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(Value::Const(*c)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Unify one stored tuple against the template given some already-bound
+/// variables; returns the row over `schema` on success.
+fn unify_tuple(
+    args: &[Term],
+    tuple: &dx_relation::Tuple,
+    schema: &[Var],
+    prebound: &[(Var, Value)],
+) -> Option<Vec<Value>> {
+    let mut bound: Vec<(Var, Value)> = prebound.to_vec();
+    for (i, arg) in args.iter().enumerate() {
+        let v = tuple.get(i);
+        match arg {
+            Term::Const(c) => {
+                if v != Value::Const(*c) {
+                    return None;
+                }
+            }
+            Term::Var(x) => match bound.iter().find(|(b, _)| b == x) {
+                Some((_, bv)) => {
+                    if *bv != v {
+                        return None;
+                    }
+                }
+                None => bound.push((*x, v)),
+            },
+            Term::App(_, _) => unreachable!("plans are function-free"),
+        }
+    }
+    Some(
+        schema
+            .iter()
+            .map(|s| {
+                bound
+                    .iter()
+                    .find(|(b, _)| b == s)
+                    .map(|(_, v)| *v)
+                    .expect("schema variable bound")
+            })
+            .collect(),
+    )
+}
+
+/// Full scan of an atom template (constants pre-filtered by the index).
+fn scan_all(store: &dyn QueryStore, rel: RelSym, args: &[Term]) -> Rows {
+    let schema: Vec<Var> = {
+        let mut s: BTreeSet<Var> = BTreeSet::new();
+        for t in args {
+            if let Term::Var(v) = t {
+                s.insert(*v);
+            }
+        }
+        s.into_iter().collect()
+    };
+    let mut rows = Vec::new();
+    store.for_each_matching(rel, &const_pattern(args), &mut |t| {
+        if let Some(row) = unify_tuple(args, t, &schema, &[]) {
+            rows.push(row);
+        }
+    });
+    // Repeated scans of set-semantics relations produce no duplicates, but a
+    // live annotated store may expose the same tuple under two annotations.
+    rows.sort();
+    rows.dedup();
+    Rows { vars: schema, rows }
+}
+
+enum JoinItem<'p> {
+    Scan {
+        rel: RelSym,
+        args: &'p [Term],
+        sel: usize,
+    },
+    Mat(Rows),
+}
+
+impl JoinItem<'_> {
+    fn size(&self) -> usize {
+        match self {
+            JoinItem::Scan { sel, .. } => *sel,
+            JoinItem::Mat(rows) => rows.rows.len(),
+        }
+    }
+
+    fn vars(&self) -> Vec<Var> {
+        match self {
+            JoinItem::Scan { args, .. } => {
+                let mut s: BTreeSet<Var> = BTreeSet::new();
+                for t in *args {
+                    if let Term::Var(v) = t {
+                        s.insert(*v);
+                    }
+                }
+                s.into_iter().collect()
+            }
+            JoinItem::Mat(rows) => rows.vars.clone(),
+        }
+    }
+}
+
+/// Greedy n-ary join: repeatedly fold in the input that (a) shares
+/// variables with what is bound so far and (b) has the smallest
+/// selectivity estimate; shared-variable scans run as per-row index
+/// probes, everything else as hash joins.
+fn exec_join(inputs: &[Plan], store: &dyn QueryStore) -> Rows {
+    let mut items: Vec<JoinItem> = inputs
+        .iter()
+        .map(|p| match p {
+            Plan::Scan { rel, args } => JoinItem::Scan {
+                rel: *rel,
+                args,
+                sel: store.selectivity(*rel, &const_pattern(args)),
+            },
+            other => JoinItem::Mat(exec(other, store)),
+        })
+        .collect();
+    if items.is_empty() {
+        return Rows::unit();
+    }
+    // Start from the smallest input.
+    let start = items
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, it)| it.size())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut acc = match items.swap_remove(start) {
+        JoinItem::Scan { rel, args, .. } => scan_all(store, rel, args),
+        JoinItem::Mat(rows) => rows,
+    };
+    while !items.is_empty() {
+        let bound: BTreeSet<Var> = acc.vars.iter().copied().collect();
+        let next = items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, it)| {
+                let shares = it.vars().iter().any(|v| bound.contains(v));
+                (!shares, it.size())
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        acc = match items.swap_remove(next) {
+            JoinItem::Scan { rel, args, .. } => {
+                if args
+                    .iter()
+                    .any(|t| matches!(t, Term::Var(v) if bound.contains(v)))
+                {
+                    probe_join(acc, store, rel, args)
+                } else {
+                    hash_join(acc, scan_all(store, rel, args))
+                }
+            }
+            JoinItem::Mat(rows) => hash_join(acc, rows),
+        };
+        if acc.rows.is_empty() {
+            // Every remaining input can only keep the result empty.
+            let mut vars: BTreeSet<Var> = acc.vars.iter().copied().collect();
+            for it in &items {
+                vars.extend(it.vars());
+            }
+            return Rows::empty(vars.into_iter().collect());
+        }
+    }
+    acc
+}
+
+/// Join `acc` with a scan by probing the store once per accumulated row,
+/// with the shared variables' values folded into the probe pattern.
+fn probe_join(acc: Rows, store: &dyn QueryStore, rel: RelSym, args: &[Term]) -> Rows {
+    let mut schema: BTreeSet<Var> = acc.vars.iter().copied().collect();
+    for t in args {
+        if let Term::Var(v) = t {
+            schema.insert(*v);
+        }
+    }
+    let schema: Vec<Var> = schema.into_iter().collect();
+    // Per-argument source: constant, shared column of acc, or free.
+    let acc_cols: Vec<Option<usize>> = args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => acc.col(*v),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for row in &acc.rows {
+        let pattern: Vec<Option<Value>> = args
+            .iter()
+            .zip(&acc_cols)
+            .map(|(t, col)| match (t, col) {
+                (Term::Const(c), _) => Some(Value::Const(*c)),
+                (_, Some(c)) => Some(row[*c]),
+                _ => None,
+            })
+            .collect();
+        let prebound: Vec<(Var, Value)> =
+            acc.vars.iter().copied().zip(row.iter().copied()).collect();
+        store.for_each_matching(rel, &pattern, &mut |t| {
+            if let Some(joined) = unify_tuple(args, t, &schema, &prebound) {
+                out.push(joined);
+            }
+        });
+    }
+    out.sort();
+    out.dedup();
+    Rows {
+        vars: schema,
+        rows: out,
+    }
+}
+
+/// Hash join on the shared variables (cartesian product when none).
+fn hash_join(left: Rows, right: Rows) -> Rows {
+    let shared: Vec<Var> = left
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| right.col(*v).is_some())
+        .collect();
+    let mut schema: BTreeSet<Var> = left.vars.iter().copied().collect();
+    schema.extend(right.vars.iter().copied());
+    let schema: Vec<Var> = schema.into_iter().collect();
+    let l_shared: Vec<usize> = shared.iter().map(|v| left.col(*v).unwrap()).collect();
+    let r_shared: Vec<usize> = shared.iter().map(|v| right.col(*v).unwrap()).collect();
+    // Emit helper: schema position → (side, column).
+    let sources: Vec<(bool, usize)> = schema
+        .iter()
+        .map(|v| match left.col(*v) {
+            Some(c) => (true, c),
+            None => (false, right.col(*v).expect("var from one side")),
+        })
+        .collect();
+    let mut table: FastMap<Vec<Value>, Vec<usize>> = FastMap::default();
+    for (i, r) in right.rows.iter().enumerate() {
+        let key: Vec<Value> = r_shared.iter().map(|&c| r[c]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for l in &left.rows {
+        let key: Vec<Value> = l_shared.iter().map(|&c| l[c]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let r = &right.rows[ri];
+                out.push(
+                    sources
+                        .iter()
+                        .map(|&(from_left, c)| if from_left { l[c] } else { r[c] })
+                        .collect(),
+                );
+            }
+        }
+    }
+    Rows {
+        vars: schema,
+        rows: out,
+    }
+}
+
+/// Semi-join (`keep = true`) or anti-join (`keep = false`): hash the filter
+/// side on the shared variables, reduce the preserved side in one pass.
+fn exec_filter_join(left: &Plan, right: &Plan, store: &dyn QueryStore, keep: bool) -> Rows {
+    let mut l = exec(left, store);
+    let r = exec(right, store);
+    let shared: Vec<Var> = l
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| r.col(*v).is_some())
+        .collect();
+    if shared.is_empty() {
+        // Degenerate: the right side is a boolean gate.
+        let right_nonempty = !r.rows.is_empty();
+        if right_nonempty != keep {
+            l.rows.clear();
+        }
+        return l;
+    }
+    let l_cols: Vec<usize> = shared.iter().map(|v| l.col(*v).unwrap()).collect();
+    let r_cols: Vec<usize> = shared.iter().map(|v| r.col(*v).unwrap()).collect();
+    let keys: BTreeSet<Vec<Value>> = r
+        .rows
+        .iter()
+        .map(|row| r_cols.iter().map(|&c| row[c]).collect())
+        .collect();
+    l.rows.retain(|row| {
+        let key: Vec<Value> = l_cols.iter().map(|&c| row[c]).collect();
+        keys.contains(&key) == keep
+    });
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_formula;
+    use dx_logic::parse_formula;
+    use dx_relation::{Instance, InstanceIndex};
+
+    fn graph() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("ExE", &["a", "b"]);
+        i.insert_names("ExE", &["b", "c"]);
+        i.insert_names("ExE", &["d", "d"]);
+        i.insert_names("ExV", &["a"]);
+        i.insert_names("ExV", &["c"]);
+        i
+    }
+
+    fn run(src: &str, inst: &Instance) -> Rows {
+        let plan = lower_formula(&parse_formula(src).expect("parses")).expect("lowers");
+        exec(&plan, &InstanceIndex::build(inst))
+    }
+
+    #[test]
+    fn join_two_hops() {
+        let rows = run("exists y. ExE(x, y) & ExE(y, z)", &graph());
+        // a→b→c, d→d→d.
+        assert_eq!(rows.rows.len(), 2);
+    }
+
+    #[test]
+    fn antijoin_sinks() {
+        // Vertices of V with no outgoing edge: c.
+        let rows = run("ExV(x) & !(exists y. ExE(x, y))", &graph());
+        assert_eq!(rows.rows, vec![vec![Value::c("c")]]);
+    }
+
+    #[test]
+    fn self_loop_via_repeated_var() {
+        let rows = run("ExE(x, x)", &graph());
+        assert_eq!(rows.rows, vec![vec![Value::c("d")]]);
+    }
+
+    #[test]
+    fn bind_probes_constants() {
+        let rows = run("ExE('a', y)", &graph());
+        assert_eq!(rows.rows, vec![vec![Value::c("b")]]);
+        let rows = run("ExE(x, y) & x = 'b'", &graph());
+        assert_eq!(rows.rows.len(), 1);
+    }
+
+    #[test]
+    fn union_and_filters() {
+        let rows = run("(ExE(x, y) | ExE(y, x)) & !(x = y)", &graph());
+        // (a,b),(b,a),(b,c),(c,b) — the d-loop is filtered out.
+        assert_eq!(rows.rows.len(), 4);
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let rows = run("ExE(x, y) & ExMissing(y, z)", &graph());
+        assert!(rows.rows.is_empty());
+        let mut expected = vec![Var::new("x"), Var::new("y"), Var::new("z")];
+        expected.sort();
+        assert_eq!(rows.vars, expected);
+    }
+
+    #[test]
+    fn alias_extends_rows() {
+        let rows = run("ExV(x) & y = x", &graph());
+        let mut expected = vec![Var::new("x"), Var::new("y")];
+        expected.sort();
+        assert_eq!(rows.vars, expected);
+        assert_eq!(rows.rows.len(), 2);
+        for r in &rows.rows {
+            assert_eq!(r[0], r[1]);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # dx-query — compiled, index-backed query evaluation
+//!
+//! The paper's query-answering results (Proposition 3, Theorem 4) reduce
+//! certain answers of positive queries to *naive evaluation* over one
+//! null-carrying instance, followed by discarding null-containing tuples.
+//! The reference implementation of that semantics is the tree-walking
+//! active-domain evaluator in [`dx_logic::eval`], which rescans whole
+//! relations per quantifier. This crate is the compiled alternative:
+//!
+//! * [`lower`] — **safe-range analysis** and lowering of [`dx_logic::Formula`]
+//!   queries into relational-algebra [`plan::Plan`]s: conjunctions become
+//!   n-ary joins, constant equalities become pushed-down selections
+//!   ([`plan::Plan::Bind`] inputs that seed index probes), safe negations
+//!   become anti-joins, existentials become projections. Formulas outside
+//!   the safe-range fragment are rejected — callers fall back to the
+//!   tree-walking oracle, which stays bit-compatible by construction;
+//! * [`ra`] — the same lowering for positional relational-algebra
+//!   expressions ([`dx_ctables::RaExpr`]), with equality selections over
+//!   products unified into natural joins;
+//! * [`exec`] — the ground executor: greedy **join-order selection by index
+//!   selectivity**, index-probe joins against any [`store::QueryStore`]
+//!   (immutable [`dx_relation::InstanceIndex`] snapshots, or `dx-engine`'s
+//!   live `IndexedInstance`), hash joins for materialized inputs, and
+//!   semi-/anti-join reduction. Nulls are atomic values throughout — the
+//!   naive semantics of §2;
+//! * [`cexec`] — the **conditional execution mode**: the same plans run
+//!   over [`dx_ctables::CInstance`] conditional tables, producing guarded
+//!   [`dx_ctables::CTable`] results so the CWA certain-answer pipeline
+//!   (`dx-core::ctable_bridge`) runs on plans too;
+//! * [`eval`] — the consumer-facing bundle: [`eval::CompiledQuery`] (plan +
+//!   head), [`eval::QueryEval`] (compile-or-fallback evaluation of a
+//!   [`dx_logic::Query`]), and [`eval::PlannedBodyEval`] (the
+//!   [`dx_chase::BodyEval`] implementation that makes `canonical_solution`'s
+//!   STD-body evaluation run on indexed plans).
+//!
+//! Differential testing: `tests/query_differential.rs` at the workspace
+//! root asserts plan execution ≡ tree-walking evaluation on randomized
+//! safe formulas, workload queries, null handling and certain-answer
+//! post-filtering; `cexec` is cross-validated against
+//! [`dx_ctables::RaExpr::eval_conditional`] and brute-force `Rep`
+//! enumeration.
+
+#![warn(missing_docs)]
+
+pub mod cexec;
+pub mod eval;
+pub mod exec;
+pub mod lower;
+pub mod plan;
+pub mod ra;
+pub mod store;
+
+pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
+pub use lower::{lower_formula, LowerError};
+pub use plan::{Plan, PlanPred, Ref};
+pub use ra::CompiledRa;
+pub use store::QueryStore;

@@ -1,0 +1,400 @@
+//! Safe-range lowering of first-order formulas to plans.
+//!
+//! The compiled evaluator only accepts the **safe-range** fragment — the
+//! formulas whose answers are *domain independent*, so that relational
+//! evaluation agrees with the tree-walking active-domain semantics of
+//! [`dx_logic::eval`] (the quantifier domain there always contains the
+//! active domain plus the formula's constants, which is all a safe-range
+//! formula can see). Everything else is rejected with a [`LowerError`];
+//! callers fall back to the tree walker, keeping behaviour bit-identical.
+//!
+//! The translation is the classic one:
+//!
+//! * a conjunction becomes an n-ary [`Plan::Join`] of its positive
+//!   conjuncts, with `x = c` equalities lowered to [`Plan::Bind`] inputs
+//!   (pushed-down selections: the executor starts its greedy join order
+//!   from single-row binds, turning downstream scans into index probes);
+//! * `x = y` equalities either filter (both sides range-restricted) or
+//!   extend ([`Plan::Alias`]) the bound set, iterated to a fixpoint so
+//!   equality chains propagate range-restriction;
+//! * a negated conjunct `¬ψ` whose free variables are covered by the
+//!   positive part becomes an [`Plan::AntiJoin`]; a negated equality
+//!   becomes an inequality filter;
+//! * `∃z̄ φ` projects `z̄` away; `∀z̄ φ` is rewritten to `¬∃z̄ ¬φ` first;
+//! * a disjunction must have identically ranged disjuncts and becomes a
+//!   [`Plan::Union`].
+
+use crate::plan::{Plan, PlanPred, Ref};
+use dx_logic::{Formula, Term};
+use dx_relation::{Value, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a formula could not be lowered to a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// The formula contains Skolem/function terms (plans are function-free;
+    /// SkSTD bodies keep the tree-walking evaluator).
+    FunctionTerm,
+    /// The formula is outside the safe-range fragment; the payload names
+    /// the offending construct.
+    NotSafeRange(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::FunctionTerm => write!(f, "formula contains function terms"),
+            LowerError::NotSafeRange(what) => write!(f, "not safe-range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower a formula to a plan whose output variables are exactly the
+/// formula's free variables. Fails outside the safe-range fragment.
+pub fn lower_formula(f: &Formula) -> Result<Plan, LowerError> {
+    lower(f)
+}
+
+fn lower(f: &Formula) -> Result<Plan, LowerError> {
+    match f {
+        Formula::True => Ok(Plan::Unit),
+        Formula::False => Ok(Plan::Empty { vars: Vec::new() }),
+        Formula::Atom(rel, args) => {
+            if args.iter().any(|t| matches!(t, Term::App(_, _))) {
+                return Err(LowerError::FunctionTerm);
+            }
+            Ok(Plan::Scan {
+                rel: *rel,
+                args: args.clone(),
+            })
+        }
+        Formula::Eq(a, b) => lower_eq(a, b),
+        Formula::And(fs) => lower_and(fs),
+        Formula::Or(fs) => lower_or(fs),
+        Formula::Not(_) => lower_and(std::slice::from_ref(f)),
+        Formula::Exists(vars, inner) => {
+            let p = lower(inner)?;
+            let pv: BTreeSet<Var> = p.vars().into_iter().collect();
+            for v in vars {
+                if !pv.contains(v) {
+                    // ∃z φ with z not ranged by φ depends on the quantifier
+                    // domain being non-empty — not domain independent.
+                    return Err(LowerError::NotSafeRange(format!(
+                        "quantified variable {v} is not range-restricted"
+                    )));
+                }
+            }
+            let keep: Vec<Var> = pv.into_iter().filter(|v| !vars.contains(v)).collect();
+            Ok(Plan::Project {
+                input: Box::new(p),
+                vars: keep,
+            })
+        }
+        Formula::Forall(vars, inner) => {
+            // ∀z̄ φ ≡ ¬∃z̄ ¬φ; Formula::not collapses double negations.
+            let rewritten = Formula::Not(Box::new(Formula::Exists(
+                vars.clone(),
+                Box::new(Formula::not((**inner).clone())),
+            )));
+            lower(&rewritten)
+        }
+    }
+}
+
+/// A bare equality: only the ground-able shapes are range-restricted.
+fn lower_eq(a: &Term, b: &Term) -> Result<Plan, LowerError> {
+    match (a, b) {
+        (Term::App(_, _), _) | (_, Term::App(_, _)) => Err(LowerError::FunctionTerm),
+        (Term::Const(c), Term::Const(d)) => Ok(if c == d {
+            Plan::Unit
+        } else {
+            Plan::Empty { vars: Vec::new() }
+        }),
+        (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => Ok(Plan::Bind {
+            var: *x,
+            value: Value::Const(*c),
+        }),
+        (Term::Var(x), Term::Var(y)) => Err(LowerError::NotSafeRange(format!(
+            "bare variable equality {x} = {y}"
+        ))),
+    }
+}
+
+fn lower_or(fs: &[Formula]) -> Result<Plan, LowerError> {
+    let mut inputs = Vec::new();
+    for g in fs {
+        let p = lower(g)?;
+        // Row-free children contribute nothing regardless of schema.
+        if !matches!(p, Plan::Empty { .. }) {
+            inputs.push(p);
+        }
+    }
+    if inputs.is_empty() {
+        let vars: Vec<Var> = Formula::Or(fs.to_vec()).free_vars().into_iter().collect();
+        return Ok(Plan::Empty { vars });
+    }
+    let schema = inputs[0].vars();
+    for p in &inputs[1..] {
+        if p.vars() != schema {
+            return Err(LowerError::NotSafeRange(
+                "disjuncts range different variables".to_string(),
+            ));
+        }
+    }
+    if inputs.len() == 1 {
+        return Ok(inputs.pop_unwrap());
+    }
+    Ok(Plan::Union { inputs })
+}
+
+// Small helper so clippy accepts the single-element pop above.
+trait PopUnwrap<T> {
+    fn pop_unwrap(self) -> T;
+}
+impl<T> PopUnwrap<T> for Vec<T> {
+    fn pop_unwrap(mut self) -> T {
+        self.pop().expect("non-empty")
+    }
+}
+
+fn term_ref(t: &Term) -> Result<Ref, LowerError> {
+    match t {
+        Term::Var(v) => Ok(Ref::Var(*v)),
+        Term::Const(c) => Ok(Ref::Val(Value::Const(*c))),
+        Term::App(_, _) => Err(LowerError::FunctionTerm),
+    }
+}
+
+fn lower_and(fs: &[Formula]) -> Result<Plan, LowerError> {
+    // Flatten nested conjunctions (substitution can re-nest them).
+    let mut conjuncts: Vec<&Formula> = Vec::new();
+    fn flatten<'f>(fs: &'f [Formula], out: &mut Vec<&'f Formula>) {
+        for f in fs {
+            match f {
+                Formula::And(inner) => flatten(inner, out),
+                other => out.push(other),
+            }
+        }
+    }
+    flatten(fs, &mut conjuncts);
+
+    let free: BTreeSet<Var> = conjuncts.iter().flat_map(|f| f.free_vars()).collect();
+    let empty = || Plan::Empty {
+        vars: free.iter().copied().collect(),
+    };
+
+    let mut positives: Vec<Plan> = Vec::new();
+    let mut var_eqs: Vec<(Var, Var)> = Vec::new();
+    let mut filters: Vec<PlanPred> = Vec::new();
+    let mut negatives: Vec<Formula> = Vec::new();
+
+    for c in conjuncts {
+        match c {
+            Formula::True => {}
+            Formula::False => return Ok(empty()),
+            Formula::Eq(a, b) => match (a, b) {
+                (Term::Var(x), Term::Var(y)) if x == y => {
+                    // Trivially true wherever x is bound; the coverage check
+                    // below rejects the formula if nothing else ranges x.
+                }
+                (Term::Var(x), Term::Var(y)) => var_eqs.push((*x, *y)),
+                _ => match lower_eq(a, b)? {
+                    Plan::Empty { .. } => return Ok(empty()),
+                    p => positives.push(p),
+                },
+            },
+            Formula::Not(inner) => match &**inner {
+                Formula::Eq(a, b) => {
+                    filters.push(PlanPred::Not(Box::new(PlanPred::Eq(
+                        term_ref(a)?,
+                        term_ref(b)?,
+                    ))));
+                }
+                g => negatives.push(g.clone()),
+            },
+            // A universal conjunct is an anti-join against the *whole*
+            // conjunction's bound variables: ∀z̄ φ ≡ ¬∃z̄ ¬φ.
+            Formula::Forall(vars, inner) => negatives.push(Formula::Exists(
+                vars.clone(),
+                Box::new(Formula::not((**inner).clone())),
+            )),
+            other => positives.push(lower(other)?),
+        }
+    }
+
+    let mut plan = match positives.len() {
+        0 => Plan::Unit,
+        1 => positives.pop_unwrap(),
+        _ => Plan::Join { inputs: positives },
+    };
+    let mut avail: BTreeSet<Var> = plan.vars().into_iter().collect();
+
+    // Propagate range restriction through variable equalities to a fixpoint:
+    // both sides bound → filter; one side bound → alias (extends the bound
+    // set, possibly unblocking further equalities).
+    let mut pending = var_eqs;
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut rest = Vec::new();
+        for (x, y) in pending {
+            match (avail.contains(&x), avail.contains(&y)) {
+                (true, true) => {
+                    filters.push(PlanPred::Eq(Ref::Var(x), Ref::Var(y)));
+                    progressed = true;
+                }
+                (true, false) | (false, true) => {
+                    let (src, dst) = if avail.contains(&x) { (x, y) } else { (y, x) };
+                    plan = Plan::Alias {
+                        input: Box::new(plan),
+                        src,
+                        dst,
+                    };
+                    avail.insert(dst);
+                    progressed = true;
+                }
+                (false, false) => rest.push((x, y)),
+            }
+        }
+        if !progressed {
+            return Err(LowerError::NotSafeRange(
+                "variable equality between unrestricted variables".to_string(),
+            ));
+        }
+        pending = rest;
+    }
+
+    if !filters.is_empty() {
+        for p in &filters {
+            if let Some(v) = p.vars().iter().find(|v| !avail.contains(v)) {
+                return Err(LowerError::NotSafeRange(format!(
+                    "filter variable {v} is not range-restricted"
+                )));
+            }
+        }
+        let pred = if filters.len() == 1 {
+            filters.pop_unwrap()
+        } else {
+            PlanPred::And(filters)
+        };
+        plan = Plan::Select {
+            input: Box::new(plan),
+            pred,
+        };
+    }
+
+    for g in &negatives {
+        let p = lower(g)?;
+        if let Some(v) = p.vars().iter().find(|v| !avail.contains(v)) {
+            return Err(LowerError::NotSafeRange(format!(
+                "negated subformula ranges uncovered variable {v}"
+            )));
+        }
+        plan = Plan::AntiJoin {
+            left: Box::new(plan),
+            right: Box::new(p),
+        };
+    }
+
+    if let Some(v) = free.iter().find(|v| !avail.contains(v)) {
+        return Err(LowerError::NotSafeRange(format!(
+            "free variable {v} is not range-restricted"
+        )));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_logic::parse_formula;
+
+    fn lower_src(src: &str) -> Result<Plan, LowerError> {
+        lower_formula(&parse_formula(src).expect("parses"))
+    }
+
+    #[test]
+    fn cq_lowers_to_join_project() {
+        let p = lower_src("exists y. LoR(x, y) & LoS(y, z)").unwrap();
+        let mut expected = vec![Var::new("x"), Var::new("z")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+        assert!(matches!(p, Plan::Project { .. }));
+    }
+
+    #[test]
+    fn safe_negation_is_antijoin() {
+        let p = lower_src("LoR(x, y) & !LoS(y)").unwrap();
+        assert!(matches!(p, Plan::AntiJoin { .. }));
+        let mut expected = vec![Var::new("x"), Var::new("y")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+    }
+
+    #[test]
+    fn constant_equality_becomes_bind() {
+        let p = lower_src("LoR(x, y) & y = 'c'").unwrap();
+        // Bind joins in as a single-row input.
+        assert!(matches!(p, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn equality_chain_aliases() {
+        let p = lower_src("LoR(x) & y = x & z = y").unwrap();
+        let mut expected = vec![Var::new("x"), Var::new("y"), Var::new("z")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+    }
+
+    #[test]
+    fn forall_rewrites_to_antijoin() {
+        // sinks: LoV(x) & ∀y ¬LoE(x,y)
+        let p = lower_src("LoV(x) & (forall y. !LoE(x, y))").unwrap();
+        assert!(matches!(p, Plan::AntiJoin { .. }));
+    }
+
+    #[test]
+    fn unsafe_shapes_rejected() {
+        assert!(matches!(
+            lower_src("x = y"),
+            Err(LowerError::NotSafeRange(_))
+        ));
+        assert!(matches!(
+            lower_src("!LoR(x)"),
+            Err(LowerError::NotSafeRange(_))
+        ));
+        // Disjuncts ranging different variables.
+        assert!(matches!(
+            lower_src("LoR(x, y) | LoS(x)"),
+            Err(LowerError::NotSafeRange(_))
+        ));
+        // Unused quantified variable (domain dependent).
+        assert!(matches!(
+            lower_src("exists z. LoR(x, y)"),
+            Err(LowerError::NotSafeRange(_))
+        ));
+        // Function terms.
+        assert!(matches!(
+            lower_src("LoF(x) & x = fsk(x)"),
+            Err(LowerError::FunctionTerm)
+        ));
+    }
+
+    #[test]
+    fn union_of_same_schema_disjuncts() {
+        let p = lower_src("LoR(x, y) | LoS(x, y)").unwrap();
+        assert!(matches!(p, Plan::Union { .. }));
+        let mut expected = vec![Var::new("x"), Var::new("y")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+    }
+
+    #[test]
+    fn boolean_negation_over_sentence() {
+        let p = lower_src("!(exists x. LoR(x, x))").unwrap();
+        assert!(matches!(p, Plan::AntiJoin { .. }));
+        assert!(p.vars().is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! Relational-algebra plans over named variables.
+//!
+//! A [`Plan`] node produces a set of *binding rows*: tuples of values keyed
+//! by the node's **output variables**, which are always reported in sorted
+//! order ([`Plan::vars`]). The executor ([`crate::exec`]) materializes rows
+//! bottom-up, choosing join orders at run time from index selectivity; the
+//! conditional executor ([`crate::cexec`]) runs the same tree over
+//! conditional tables.
+//!
+//! The operator set is the safe-range target algebra:
+//!
+//! * [`Plan::Scan`] — an atom template `R(t̄)` with `Var`/`Const` arguments
+//!   (constants and repeated variables are matched by index probe +
+//!   post-filter);
+//! * [`Plan::Bind`] — a single-row constant binding, the pushed-down form
+//!   of an equality selection `x = c` (the greedy join order starts from
+//!   binds, so downstream scans become index probes);
+//! * [`Plan::Join`] — n-ary natural join; order is chosen by the executor;
+//! * [`Plan::SemiJoin`] / [`Plan::AntiJoin`] — reduction by an existence /
+//!   non-existence check on the shared variables (anti-join is how safe
+//!   negation and RA difference lower);
+//! * [`Plan::Select`], [`Plan::Project`], [`Plan::Union`], [`Plan::Alias`] —
+//!   filters, projection-with-dedup, same-schema union, and column
+//!   duplication (`y := x`, the lowering of a variable equality that
+//!   *extends* the bound set).
+
+use dx_logic::Term;
+use dx_relation::{RelSym, Value, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A value reference in a selection predicate: a variable or a literal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ref {
+    /// The value bound to a variable of the input row.
+    Var(Var),
+    /// A literal value (a constant, or — in specialized plans — a null,
+    /// which is an atomic value under the naive semantics).
+    Val(Value),
+}
+
+/// A selection predicate: boolean combinations of reference equalities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanPred {
+    /// Always true.
+    True,
+    /// Equality of two references.
+    Eq(Ref, Ref),
+    /// Conjunction.
+    And(Vec<PlanPred>),
+    /// Disjunction.
+    Or(Vec<PlanPred>),
+    /// Negation.
+    Not(Box<PlanPred>),
+}
+
+impl PlanPred {
+    /// Variables mentioned by the predicate.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            PlanPred::True => {}
+            PlanPred::Eq(a, b) => {
+                for r in [a, b] {
+                    if let Ref::Var(v) = r {
+                        out.insert(*v);
+                    }
+                }
+            }
+            PlanPred::And(ps) | PlanPred::Or(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            PlanPred::Not(p) => p.collect_vars(out),
+        }
+    }
+}
+
+/// A query plan node. See the module docs for the operator inventory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// The unit: exactly one empty row (join identity).
+    Unit,
+    /// No rows, with a fixed output schema.
+    Empty {
+        /// Output variables of the empty result.
+        vars: Vec<Var>,
+    },
+    /// A single row binding `var` to `value`.
+    Bind {
+        /// The bound variable.
+        var: Var,
+        /// Its value.
+        value: Value,
+    },
+    /// An atom scan `R(t̄)`; arguments are `Term::Var` / `Term::Const` only.
+    Scan {
+        /// The scanned relation.
+        rel: RelSym,
+        /// The atom's argument template.
+        args: Vec<Term>,
+    },
+    /// N-ary natural join (the executor picks the order).
+    Join {
+        /// Join inputs.
+        inputs: Vec<Plan>,
+    },
+    /// Rows of `left` with at least one `right` row agreeing on the shared
+    /// variables.
+    SemiJoin {
+        /// The preserved side.
+        left: Box<Plan>,
+        /// The filter side.
+        right: Box<Plan>,
+    },
+    /// Rows of `left` with **no** `right` row agreeing on the shared
+    /// variables (`right`'s variables must be a subset of `left`'s).
+    AntiJoin {
+        /// The preserved side.
+        left: Box<Plan>,
+        /// The refuting side.
+        right: Box<Plan>,
+    },
+    /// Filter by a predicate over the input's variables.
+    Select {
+        /// The filtered input.
+        input: Box<Plan>,
+        /// The predicate.
+        pred: PlanPred,
+    },
+    /// Projection onto a subset of the variables, with dedup.
+    Project {
+        /// The projected input.
+        input: Box<Plan>,
+        /// The surviving variables (sorted).
+        vars: Vec<Var>,
+    },
+    /// Union of same-schema inputs, with dedup.
+    Union {
+        /// Union inputs (identical output variables).
+        inputs: Vec<Plan>,
+    },
+    /// Extend every row with `dst := src` (the lowering of `dst = src`
+    /// when `dst` is not otherwise range-restricted).
+    Alias {
+        /// The extended input.
+        input: Box<Plan>,
+        /// The copied (already bound) variable.
+        src: Var,
+        /// The fresh output variable.
+        dst: Var,
+    },
+}
+
+impl Plan {
+    /// The node's output variables, sorted ascending.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_out_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_out_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Plan::Unit => {}
+            Plan::Empty { vars } => out.extend(vars.iter().copied()),
+            Plan::Bind { var, .. } => {
+                out.insert(*var);
+            }
+            Plan::Scan { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Plan::Join { inputs } => {
+                for p in inputs {
+                    p.collect_out_vars(out);
+                }
+            }
+            Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => left.collect_out_vars(out),
+            Plan::Select { input, .. } => input.collect_out_vars(out),
+            Plan::Project { vars, .. } => out.extend(vars.iter().copied()),
+            Plan::Union { inputs } => {
+                if let Some(first) = inputs.first() {
+                    first.collect_out_vars(out);
+                }
+            }
+            Plan::Alias { input, dst, .. } => {
+                input.collect_out_vars(out);
+                out.insert(*dst);
+            }
+        }
+    }
+
+    /// Rename every occurrence of variable `from` to `to` (used by the RA
+    /// lowering to unify equality-selected columns into natural joins;
+    /// callers guarantee `to` does not already occur with a different
+    /// meaning).
+    pub fn rename_var(&mut self, from: Var, to: Var) {
+        let fix = |v: &mut Var| {
+            if *v == from {
+                *v = to;
+            }
+        };
+        match self {
+            Plan::Unit => {}
+            Plan::Empty { vars } => vars.iter_mut().for_each(fix),
+            Plan::Bind { var, .. } => fix(var),
+            Plan::Scan { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if *v == from {
+                            *t = Term::Var(to);
+                        }
+                    }
+                }
+            }
+            Plan::Join { inputs } | Plan::Union { inputs } => {
+                for p in inputs {
+                    p.rename_var(from, to);
+                }
+            }
+            Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
+                left.rename_var(from, to);
+                right.rename_var(from, to);
+            }
+            Plan::Select { input, pred } => {
+                input.rename_var(from, to);
+                rename_pred(pred, from, to);
+            }
+            Plan::Project { input, vars } => {
+                input.rename_var(from, to);
+                vars.iter_mut().for_each(fix);
+                vars.sort();
+                vars.dedup();
+            }
+            Plan::Alias { input, src, dst } => {
+                input.rename_var(from, to);
+                fix(src);
+                fix(dst);
+            }
+        }
+    }
+
+    /// Substitute the constant `value` for every occurrence of `var` in scan
+    /// templates and predicates (the pushed-down form of `var = value`); the
+    /// variable disappears from the subtree's output schema.
+    pub fn substitute_const(&mut self, var: Var, value: dx_relation::ConstId) {
+        match self {
+            Plan::Unit => {}
+            Plan::Empty { vars } => vars.retain(|v| *v != var),
+            Plan::Bind { .. } => {}
+            Plan::Scan { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if *v == var {
+                            *t = Term::Const(value);
+                        }
+                    }
+                }
+            }
+            Plan::Join { inputs } | Plan::Union { inputs } => {
+                for p in inputs {
+                    p.substitute_const(var, value);
+                }
+            }
+            Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
+                left.substitute_const(var, value);
+                right.substitute_const(var, value);
+            }
+            Plan::Select { input, pred } => {
+                input.substitute_const(var, value);
+                subst_pred(pred, var, Value::Const(value));
+            }
+            Plan::Project { input, vars } => {
+                input.substitute_const(var, value);
+                vars.retain(|v| *v != var);
+            }
+            Plan::Alias { input, .. } => input.substitute_const(var, value),
+        }
+    }
+
+    /// All constants the plan mentions (scan templates, binds, selection
+    /// predicates) — the `C_φ` palette seed for certain-answer extraction.
+    pub fn constants(&self) -> BTreeSet<dx_relation::ConstId> {
+        fn pred_consts(p: &PlanPred, out: &mut BTreeSet<dx_relation::ConstId>) {
+            match p {
+                PlanPred::True => {}
+                PlanPred::Eq(a, b) => {
+                    for r in [a, b] {
+                        if let Ref::Val(Value::Const(c)) = r {
+                            out.insert(*c);
+                        }
+                    }
+                }
+                PlanPred::And(ps) | PlanPred::Or(ps) => {
+                    for p in ps {
+                        pred_consts(p, out);
+                    }
+                }
+                PlanPred::Not(p) => pred_consts(p, out),
+            }
+        }
+        let mut out = BTreeSet::new();
+        let mut stack = vec![self];
+        while let Some(p) = stack.pop() {
+            match p {
+                Plan::Unit | Plan::Empty { .. } => {}
+                Plan::Bind { value, .. } => {
+                    if let Value::Const(c) = value {
+                        out.insert(*c);
+                    }
+                }
+                Plan::Scan { args, .. } => {
+                    for t in args {
+                        if let Term::Const(c) = t {
+                            out.insert(*c);
+                        }
+                    }
+                }
+                Plan::Join { inputs } | Plan::Union { inputs } => stack.extend(inputs.iter()),
+                Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Plan::Select { input, pred } => {
+                    pred_consts(pred, &mut out);
+                    stack.push(input);
+                }
+                Plan::Project { input, .. } | Plan::Alias { input, .. } => stack.push(input),
+            }
+        }
+        out
+    }
+
+    /// Render the plan as an indented operator tree (`EXPLAIN` output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            Plan::Unit => out.push_str("unit\n"),
+            Plan::Empty { vars } => {
+                let _ = writeln!(out, "empty {vars:?}");
+            }
+            Plan::Bind { var, value } => {
+                let _ = writeln!(out, "bind {var} := {value}");
+            }
+            Plan::Scan { rel, args } => {
+                let args: Vec<String> = args.iter().map(|t| t.to_string()).collect();
+                let _ = writeln!(out, "scan {rel}({})", args.join(", "));
+            }
+            Plan::Join { inputs } => {
+                out.push_str("join\n");
+                for p in inputs {
+                    p.explain_into(out, depth + 1);
+                }
+            }
+            Plan::SemiJoin { left, right } => {
+                out.push_str("semijoin\n");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::AntiJoin { left, right } => {
+                out.push_str("antijoin\n");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Select { input, pred } => {
+                let _ = writeln!(out, "select {pred:?}");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, vars } => {
+                let vs: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "project [{}]", vs.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Union { inputs } => {
+                out.push_str("union\n");
+                for p in inputs {
+                    p.explain_into(out, depth + 1);
+                }
+            }
+            Plan::Alias { input, src, dst } => {
+                let _ = writeln!(out, "alias {dst} := {src}");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn rename_pred(pred: &mut PlanPred, from: Var, to: Var) {
+    match pred {
+        PlanPred::True => {}
+        PlanPred::Eq(a, b) => {
+            for r in [a, b] {
+                if let Ref::Var(v) = r {
+                    if *v == from {
+                        *r = Ref::Var(to);
+                    }
+                }
+            }
+        }
+        PlanPred::And(ps) | PlanPred::Or(ps) => {
+            for p in ps {
+                rename_pred(p, from, to);
+            }
+        }
+        PlanPred::Not(p) => rename_pred(p, from, to),
+    }
+}
+
+fn subst_pred(pred: &mut PlanPred, var: Var, value: Value) {
+    match pred {
+        PlanPred::True => {}
+        PlanPred::Eq(a, b) => {
+            for r in [a, b] {
+                if let Ref::Var(v) = r {
+                    if *v == var {
+                        *r = Ref::Val(value);
+                    }
+                }
+            }
+        }
+        PlanPred::And(ps) | PlanPred::Or(ps) => {
+            for p in ps {
+                subst_pred(p, var, value);
+            }
+        }
+        PlanPred::Not(p) => subst_pred(p, var, value),
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_are_sorted_unions() {
+        let p = Plan::Join {
+            inputs: vec![
+                Plan::Scan {
+                    rel: RelSym::new("PlR"),
+                    args: vec![Term::var("y"), Term::var("x")],
+                },
+                Plan::Bind {
+                    var: Var::new("z"),
+                    value: Value::c("a"),
+                },
+            ],
+        };
+        let mut expected = vec![Var::new("x"), Var::new("y"), Var::new("z")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+    }
+
+    #[test]
+    fn anti_join_keeps_left_schema() {
+        let left = Plan::Scan {
+            rel: RelSym::new("PlR"),
+            args: vec![Term::var("x"), Term::var("y")],
+        };
+        let right = Plan::Scan {
+            rel: RelSym::new("PlS"),
+            args: vec![Term::var("y")],
+        };
+        let p = Plan::AntiJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        let mut expected = vec![Var::new("x"), Var::new("y")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+    }
+
+    #[test]
+    fn rename_and_substitute() {
+        let mut p = Plan::Scan {
+            rel: RelSym::new("PlR"),
+            args: vec![Term::var("x"), Term::var("y")],
+        };
+        p.rename_var(Var::new("y"), Var::new("x"));
+        assert_eq!(p.vars(), vec![Var::new("x")]);
+        p.substitute_const(Var::new("x"), dx_relation::ConstId::new("a"));
+        assert!(p.vars().is_empty());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = Plan::Project {
+            input: Box::new(Plan::Scan {
+                rel: RelSym::new("PlR"),
+                args: vec![Term::var("x"), Term::cst("a")],
+            }),
+            vars: vec![Var::new("x")],
+        };
+        let text = p.explain();
+        assert!(text.contains("project"));
+        assert!(text.contains("scan PlR"));
+    }
+}

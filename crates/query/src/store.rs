@@ -1,0 +1,131 @@
+//! The storage abstraction plans execute against.
+//!
+//! [`QueryStore`] is the slice of an indexed tuple store the executor
+//! needs: per-relation cardinalities, a **selectivity estimate** for a
+//! partially bound pattern (the quantity the greedy join order minimizes),
+//! and pattern-matching scans that probe the tightest bound column.
+//!
+//! Implementations in the workspace:
+//!
+//! * [`dx_relation::InstanceIndex`] (here) — an immutable snapshot index
+//!   built per instance; the default backing of
+//!   [`crate::eval::QueryEval`];
+//! * `dx_engine::IndexedInstance` (in `dx-engine`, which depends on this
+//!   crate) — the live, incrementally maintained store behind the
+//!   delta-driven chase, so plans run against chase output without a
+//!   re-index.
+
+use dx_relation::{Instance, InstanceIndex, RelSym, Tuple, Value};
+
+/// An indexed tuple source the executor can scan and probe.
+pub trait QueryStore {
+    /// The arity of `rel`, if the store knows the relation.
+    fn rel_arity(&self, rel: RelSym) -> Option<usize>;
+
+    /// Number of tuples in `rel` (0 when absent).
+    fn rel_len(&self, rel: RelSym) -> usize;
+
+    /// Upper bound on the number of tuples of `rel` matching `pattern`
+    /// (`Some(v)` = position bound to `v`): the posting-list length of the
+    /// tightest bound column, or the relation size when nothing is bound.
+    fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize;
+
+    /// Invoke `f` on every tuple of `rel` matching `pattern` on all bound
+    /// positions.
+    fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple));
+}
+
+impl QueryStore for InstanceIndex {
+    fn rel_arity(&self, rel: RelSym) -> Option<usize> {
+        self.relation(rel).map(|idx| idx.arity())
+    }
+
+    fn rel_len(&self, rel: RelSym) -> usize {
+        self.relation(rel).map_or(0, |idx| idx.len())
+    }
+
+    fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize {
+        self.relation(rel).map_or(0, |idx| idx.selectivity(pattern))
+    }
+
+    fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
+        if let Some(idx) = self.relation(rel) {
+            for id in idx.matching(pattern) {
+                f(idx.get(id));
+            }
+        }
+    }
+}
+
+/// Un-indexed fallback: scan-and-filter directly over an [`Instance`].
+/// Used when the instance is too small for an index build to pay off.
+impl QueryStore for Instance {
+    fn rel_arity(&self, rel: RelSym) -> Option<usize> {
+        self.relation(rel).map(|r| r.arity())
+    }
+
+    fn rel_len(&self, rel: RelSym) -> usize {
+        self.relation(rel).map_or(0, |r| r.len())
+    }
+
+    fn selectivity(&self, rel: RelSym, _pattern: &[Option<Value>]) -> usize {
+        self.rel_len(rel)
+    }
+
+    fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
+        for t in self.tuples(rel) {
+            let matches = pattern
+                .iter()
+                .enumerate()
+                .all(|(c, p)| p.is_none_or(|pv| t.get(c) == pv));
+            if matches {
+                f(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("QsE", &["a", "b"]);
+        i.insert_names("QsE", &["a", "c"]);
+        i.insert_names("QsE", &["b", "c"]);
+        i
+    }
+
+    #[test]
+    fn index_and_naive_stores_agree() {
+        let inst = sample();
+        let idx = InstanceIndex::build(&inst);
+        let pattern = [Some(Value::c("a")), None];
+        let rel = RelSym::new("QsE");
+        assert_eq!(idx.rel_arity(rel), Some(2));
+        assert_eq!(inst.rel_arity(rel), Some(2));
+        assert_eq!(idx.rel_len(rel), 3);
+        assert_eq!(idx.selectivity(rel, &pattern), 2);
+        let mut via_idx = Vec::new();
+        idx.for_each_matching(rel, &pattern, &mut |t| via_idx.push(t.clone()));
+        let mut via_scan = Vec::new();
+        inst.for_each_matching(rel, &pattern, &mut |t| via_scan.push(t.clone()));
+        via_idx.sort();
+        via_scan.sort();
+        assert_eq!(via_idx, via_scan);
+        assert_eq!(via_idx.len(), 2);
+    }
+
+    #[test]
+    fn absent_relations_read_empty() {
+        let inst = sample();
+        let idx = InstanceIndex::build(&inst);
+        let rel = RelSym::new("QsMissing");
+        assert_eq!(idx.rel_arity(rel), None);
+        assert_eq!(idx.rel_len(rel), 0);
+        let mut n = 0;
+        idx.for_each_matching(rel, &[None], &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -59,7 +59,7 @@ impl Annotation {
         Annotation(anns.into().into_boxed_slice())
     }
 
-    /// The all-open annotation of the given arity (OWA semantics of [FKMP]).
+    /// The all-open annotation of the given arity (OWA semantics of \[FKMP\]).
     pub fn all_open(arity: usize) -> Self {
         Annotation(vec![Ann::Open; arity].into_boxed_slice())
     }

@@ -21,6 +21,14 @@
 //! from "none found within the budget" — essential for the coNEXPTIME and
 //! undecidable regimes (`#op ≥ 1`) where exact search is exponential or
 //! impossible.
+//!
+//! The candidate-instance `check` closures passed to
+//! [`enumerate::search_rep_a`] are supplied by `dx-core`; since PR 2 they
+//! evaluate queries through `dx-query` compiled plans (per-leaf body
+//! checks run index joins instead of tree-walking the formula), with the
+//! `dx-logic` evaluator as the automatic fallback for non-safe-range
+//! queries. The search itself is agnostic: it only sees `&dyn FnMut(&
+//! Instance) -> bool`.
 
 #![warn(missing_docs)]
 

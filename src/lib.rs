@@ -15,6 +15,9 @@
 //!   engine included);
 //! * [`engine`] — the indexed, delta-driven chase engine (the fast
 //!   [`chase::ChaseStrategy`] implementation);
+//! * [`query`] — compiled, index-backed query evaluation: safe-range
+//!   lowering of FO/RA queries to plans with hash/index joins, plus the
+//!   conditional execution mode over c-tables;
 //! * [`solver`] — `Rep_A` membership and bounded counterexample search;
 //! * [`ctables`] — conditional tables (Imieliński–Lipski) with relational
 //!   algebra and exact certain answers;
@@ -29,6 +32,7 @@ pub use dx_core as core;
 pub use dx_ctables as ctables;
 pub use dx_engine as engine;
 pub use dx_logic as logic;
+pub use dx_query as query;
 pub use dx_relation as relation;
 pub use dx_solver as solver;
 pub use dx_workloads as workloads;

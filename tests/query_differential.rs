@@ -1,0 +1,448 @@
+//! Differential testing of the compiled query-evaluation subsystem.
+//!
+//! `dx_logic::eval` (the tree-walking active-domain evaluator) is the
+//! reference oracle; `dx-query` (safe-range lowering to relational-algebra
+//! plans, greedy index joins) is the fast implementation. The harness
+//! asserts **exact result equality** — not mere equivalence — on:
+//!
+//! * randomized safe-range formulas (conjunctions, constants, repeated
+//!   variables, equalities/inequalities, safe negation, existentials,
+//!   same-schema disjunctions) over randomized instances *with nulls*
+//!   (the naive semantics treats them as atomic values);
+//! * the workload queries of the bench suite, incl. certain-answer
+//!   null-discard post-filtering;
+//! * canonical solutions: `canonical_solution_via(PlannedBodyEval)` must
+//!   reproduce the reference construction *identically* (instances, null
+//!   justifications, witness tables) on random annotated mappings;
+//! * the conditional execution mode: plan-backed `□Q`/`◇Q` against the
+//!   `RaExpr` interpreter route and brute-force `Rep` enumeration;
+//! * the end-to-end `_via` pipelines (`certain_contains_via`,
+//!   `comp_membership_via`, `in_semantics_via`) across chase strategies.
+
+use oc_exchange::chase::{
+    canonical_solution, canonical_solution_via, Mapping, NaiveBodyEval, NaiveChase,
+};
+use oc_exchange::core as dxcore;
+use oc_exchange::ctables::{certain_answers_ra, possible_answers_ra, CInstance, RaExpr, RaPred};
+use oc_exchange::engine::IndexedChase;
+use oc_exchange::logic::{Formula, Query, Term};
+use oc_exchange::query::{CompiledQuery, CompiledRa, PlannedBodyEval, QueryEval};
+use oc_exchange::workloads::random_gen;
+use oc_exchange::{Instance, RelSym, Schema, Tuple, Value, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------- generators
+
+/// A random instance over the differential schema, with nulls mixed in
+/// (nulls are atomic values under the naive semantics — the oracle and the
+/// plans must agree on them exactly).
+fn random_instance_with_nulls(rng: &mut StdRng) -> Instance {
+    let mut inst = Instance::new();
+    let n_r = rng.gen_range(0..12);
+    let n_s = rng.gen_range(0..8);
+    let n_t = rng.gen_range(0..10);
+    let value = |rng: &mut StdRng| -> Value {
+        if rng.gen_bool(0.2) {
+            Value::null(rng.gen_range(0..4) as u32)
+        } else {
+            Value::Const(oc_exchange::ConstId::new(&format!(
+                "c{}",
+                rng.gen_range(0..6)
+            )))
+        }
+    };
+    for _ in 0..n_r {
+        let t = Tuple::new(vec![value(rng), value(rng)]);
+        inst.insert(RelSym::new("QdR"), t);
+    }
+    for _ in 0..n_s {
+        inst.insert(RelSym::new("QdS"), Tuple::new(vec![value(rng)]));
+    }
+    for _ in 0..n_t {
+        let t = Tuple::new(vec![value(rng), value(rng)]);
+        inst.insert(RelSym::new("QdT"), t);
+    }
+    inst
+}
+
+fn var(i: usize) -> Var {
+    Var::new(&format!("qv{i}"))
+}
+
+/// A random *safe-range* formula: a conjunctive core of 1–3 atoms over a
+/// small variable pool (with occasional constants and repeated variables),
+/// plus optional equality binds, inequality filters, safe negations
+/// (negated atoms and negated existentials over covered variables), and an
+/// optional same-schema disjunction. By construction every formula lowers
+/// to a plan — asserted by the harness, so generator drift is caught.
+fn random_safe_formula(rng: &mut StdRng) -> Formula {
+    let rels = [("QdR", 2usize), ("QdS", 1), ("QdT", 2)];
+    let pool = 4usize;
+    let term = |rng: &mut StdRng| -> Term {
+        if rng.gen_bool(0.2) {
+            Term::cst(&format!("c{}", rng.gen_range(0..6)))
+        } else {
+            Term::Var(var(rng.gen_range(0..pool)))
+        }
+    };
+    let atom = |rng: &mut StdRng| -> Formula {
+        let (name, arity) = rels[rng.gen_range(0..rels.len())];
+        Formula::atom(name, (0..arity).map(|_| term(rng)).collect())
+    };
+    let mut conjuncts: Vec<Formula> = Vec::new();
+    let n_atoms = rng.gen_range(1..4);
+    for _ in 0..n_atoms {
+        conjuncts.push(atom(rng));
+    }
+    let covered: BTreeSet<Var> = conjuncts.iter().flat_map(|f| f.free_vars()).collect();
+    let covered: Vec<Var> = covered.into_iter().collect();
+    // Optional equality bind / alias / inequality over covered variables.
+    if !covered.is_empty() && rng.gen_bool(0.4) {
+        let v = covered[rng.gen_range(0..covered.len())];
+        match rng.gen_range(0..3) {
+            0 => conjuncts.push(Formula::eq(
+                Term::Var(v),
+                Term::cst(&format!("c{}", rng.gen_range(0..6))),
+            )),
+            1 => {
+                // Alias a fresh variable to a covered one.
+                conjuncts.push(Formula::eq(Term::Var(Var::new("qalias")), Term::Var(v)));
+            }
+            _ => {
+                let w = covered[rng.gen_range(0..covered.len())];
+                conjuncts.push(Formula::neq(Term::Var(v), Term::Var(w)));
+            }
+        }
+    }
+    // Optional safe negation.
+    if !covered.is_empty() && rng.gen_bool(0.5) {
+        let v = covered[rng.gen_range(0..covered.len())];
+        if rng.gen_bool(0.5) {
+            conjuncts.push(Formula::not(Formula::atom("QdS", vec![Term::Var(v)])));
+        } else {
+            conjuncts.push(Formula::not(Formula::exists(
+                vec![Var::new("qneg")],
+                Formula::atom("QdT", vec![Term::Var(v), Term::var("qneg")]),
+            )));
+        }
+    }
+    let core = Formula::and(conjuncts);
+    // Optional disjunction with an identically ranged second branch.
+    let with_or = if rng.gen_bool(0.25) {
+        let fv: Vec<Var> = core.free_vars().into_iter().collect();
+        if fv.len() == 2 {
+            Formula::or([
+                core.clone(),
+                Formula::atom("QdR", fv.iter().map(|&v| Term::Var(v)).collect()),
+            ])
+        } else {
+            core
+        }
+    } else {
+        core
+    };
+    // Existentially close a random subset of the free variables.
+    let fv: Vec<Var> = with_or.free_vars().into_iter().collect();
+    let close: Vec<Var> = fv.into_iter().filter(|_| rng.gen_bool(0.4)).collect();
+    Formula::exists(close, with_or)
+}
+
+// ------------------------------------------------------------- property tests
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, failure_persistence: None, ..ProptestConfig::default() })]
+
+    /// Plan execution ≡ tree-walking evaluation on randomized safe
+    /// formulas and instances with nulls: answer sets, certain-answer
+    /// null-discard post-filters, and per-tuple membership checks.
+    #[test]
+    fn compiled_matches_oracle_on_random_safe_formulas(seed in 0u64..120) {
+        let mut rng = random_gen::rng(seed);
+        let inst = random_instance_with_nulls(&mut rng);
+        let f = random_safe_formula(&mut rng);
+        let head: Vec<Var> = f.free_vars().into_iter().collect();
+        let query = Query::new(head.clone(), f);
+        let ev = QueryEval::new(&query);
+        prop_assert!(
+            ev.is_compiled(),
+            "generator must produce safe-range formulas: {}",
+            query
+        );
+        let oracle = query.answers(&inst);
+        let compiled = ev.answers(&inst);
+        prop_assert_eq!(&oracle, &compiled, "query {}", &query);
+        prop_assert_eq!(
+            query.naive_certain_answers(&inst),
+            ev.naive_certain_answers(&inst),
+            "null discard on {}",
+            &query
+        );
+        // Membership: every oracle answer holds; perturbed tuples agree.
+        for t in oracle.iter().take(5) {
+            prop_assert!(ev.holds_on(&inst, t));
+        }
+        if !head.is_empty() {
+            let probe = Tuple::new(vec![Value::c("zz-missing"); head.len()]);
+            prop_assert_eq!(query.holds_on(&inst, &probe), ev.holds_on(&inst, &probe));
+            let null_probe = Tuple::new(vec![Value::null(0); head.len()]);
+            prop_assert_eq!(
+                query.holds_on(&inst, &null_probe),
+                ev.holds_on(&inst, &null_probe)
+            );
+        }
+    }
+
+    /// `canonical_solution_via(PlannedBodyEval)` reproduces the reference
+    /// construction identically on random annotated mappings — instances,
+    /// null justifications and witness tables all equal, so every
+    /// downstream pipeline is engine independent.
+    #[test]
+    fn planned_body_eval_reproduces_canonical_solutions(seed in 0u64..60) {
+        let mut rng = random_gen::rng(seed);
+        let schema = Schema::from_pairs([("QcA", 2), ("QcB", 1), ("QcC", 3)]);
+        let source = random_gen::random_instance(&schema, 6, 5, &mut rng);
+        let mapping = random_gen::random_mapping(&schema, 2, 0.5, &mut rng);
+        let naive = canonical_solution_via(&NaiveBodyEval, &mapping, &source);
+        let planned = canonical_solution_via(&PlannedBodyEval, &mapping, &source);
+        prop_assert_eq!(naive.instance, planned.instance);
+        prop_assert_eq!(naive.null_origin, planned.null_origin);
+        prop_assert_eq!(naive.witnesses, planned.witnesses);
+    }
+
+    /// Conditional (c-table) plan execution against the `RaExpr`
+    /// interpreter route: identical certain and possible answers on random
+    /// naive tables.
+    #[test]
+    fn conditional_mode_matches_interpreter(seed in 0u64..80) {
+        let mut rng = random_gen::rng(seed);
+        // Small instances keep condition-validity checks (exponential in
+        // nulls) fast.
+        let mut inst = Instance::new();
+        for _ in 0..rng.gen_range(1..5) {
+            let value = |rng: &mut StdRng| -> Value {
+                if rng.gen_bool(0.35) {
+                    Value::null(rng.gen_range(0..3) as u32)
+                } else {
+                    Value::Const(oc_exchange::ConstId::new(&format!(
+                        "d{}",
+                        rng.gen_range(0..3)
+                    )))
+                }
+            };
+            let t = Tuple::new(vec![value(&mut rng), value(&mut rng)]);
+            inst.insert(RelSym::new("QxR"), t);
+        }
+        for _ in 0..rng.gen_range(1..4) {
+            let v = if rng.gen_bool(0.35) {
+                Value::null(rng.gen_range(0..3) as u32)
+            } else {
+                Value::Const(oc_exchange::ConstId::new(&format!("d{}", rng.gen_range(0..3))))
+            };
+            inst.insert(RelSym::new("QxS"), Tuple::new(vec![v]));
+        }
+        let ct = CInstance::from_naive(&inst);
+        let queries = [
+            RaExpr::rel("QxR").select(RaPred::col_is(0, "d0")).project([1]),
+            RaExpr::rel("QxR").project([0]).diff(RaExpr::rel("QxS")),
+            RaExpr::rel("QxR").project([1]).intersect(RaExpr::rel("QxS")),
+            RaExpr::rel("QxR")
+                .product(RaExpr::rel("QxR"))
+                .select(RaPred::cols_eq(1, 2))
+                .project([0, 3]),
+            RaExpr::rel("QxR")
+                .project([0])
+                .union(RaExpr::rel("QxS"))
+                .diff(RaExpr::rel("QxR").project([1])),
+            RaExpr::rel("QxR").select(RaPred::cols_neq(0, 1)).project([0, 0]),
+        ];
+        let arity = |r: RelSym| inst.relation(r).map(|rel| rel.arity());
+        for q in &queries {
+            let compiled = CompiledRa::compile(q, &arity).expect("battery compiles");
+            prop_assert_eq!(
+                compiled.certain_answers(&ct),
+                certain_answers_ra(q, &ct),
+                "certain answers on {:?}",
+                q
+            );
+            prop_assert_eq!(
+                compiled.possible_answers(&ct),
+                possible_answers_ra(q, &ct),
+                "possible answers on {:?}",
+                q
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------ targeted tests
+
+/// The FO conditional route against brute-force `Rep` enumeration: for a
+/// safe-range query with negation, `certain_answers_conditional` must be
+/// exactly the intersection of the ground answers over all `Rep` members.
+#[test]
+fn fo_conditional_certain_matches_brute_force() {
+    for seed in 0..20u64 {
+        let mut rng = random_gen::rng(seed);
+        let mut inst = Instance::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let a = if rng.gen_bool(0.4) {
+                Value::null(rng.gen_range(0..2) as u32)
+            } else {
+                Value::c(&format!("e{}", rng.gen_range(0..3)))
+            };
+            let b = if rng.gen_bool(0.4) {
+                Value::null(rng.gen_range(0..2) as u32)
+            } else {
+                Value::c(&format!("e{}", rng.gen_range(0..3)))
+            };
+            inst.insert(RelSym::new("QfR"), Tuple::new(vec![a, b]));
+            inst.insert(RelSym::new("QfS"), Tuple::new(vec![b]));
+        }
+        let ct = CInstance::from_naive(&inst);
+        let q = Query::parse(&["x"], "(exists y. QfR(x, y)) & !QfS(x)").unwrap();
+        let compiled = CompiledQuery::compile(&q).expect("safe-range");
+        let fast = compiled.certain_answers_conditional(&ct);
+        let mut brute: Option<BTreeSet<Tuple>> = None;
+        for (ground, _) in ct.rep_members(&BTreeSet::new()) {
+            let ans: BTreeSet<Tuple> = q.answers(&ground).iter().cloned().collect();
+            brute = Some(match brute {
+                None => ans,
+                Some(prev) => prev.intersection(&ans).cloned().collect(),
+            });
+        }
+        let brute = brute.unwrap();
+        let fast_set: BTreeSet<Tuple> = fast.iter().cloned().collect();
+        assert_eq!(fast_set, brute, "seed {seed}");
+    }
+}
+
+/// The `_via` pipelines are strategy independent: certain answers,
+/// composition and membership verdicts agree between `NaiveChase` and
+/// `IndexedChase` (whose body evaluation runs on compiled plans).
+#[test]
+fn via_pipelines_agree_across_strategies() {
+    let mapping = Mapping::parse(
+        "QvSub(x:cl, z:op) <- QvP(x, y); \
+         QvRev(x:cl, r:cl) <- QvP(x, y) & !exists a. QvA(x, a)",
+    )
+    .unwrap();
+    let mut source = Instance::new();
+    for i in 0..6 {
+        source.insert_names("QvP", &[&format!("p{i}"), &format!("t{i}")]);
+        if i % 2 == 0 {
+            source.insert_names("QvA", &[&format!("p{i}"), "rev"]);
+        }
+    }
+    // Positive and non-positive queries.
+    let positive = Query::parse(&["x"], "exists z. QvSub(x, z)").unwrap();
+    let universal = Query::boolean(
+        oc_exchange::logic::parse_formula(
+            "forall p a1 a2. (QvSub(p, a1) & QvSub(p, a2) -> a1 = a2)",
+        )
+        .unwrap(),
+    );
+    let empty = Tuple::new(Vec::<Value>::new());
+    for q in [&positive, &universal] {
+        for tuple in [&Tuple::from_names(&["p1"]), &empty] {
+            if tuple.arity() != q.arity() {
+                continue;
+            }
+            let naive =
+                dxcore::certain_contains_via(&NaiveChase, &mapping, &source, q, tuple, None);
+            let indexed =
+                dxcore::certain_contains_via(&IndexedChase, &mapping, &source, q, tuple, None);
+            assert_eq!(naive.certain, indexed.certain, "{q} on {tuple}");
+            assert_eq!(naive.regime, indexed.regime);
+        }
+    }
+    // certain_answers across strategies and against the default pipeline.
+    let (rel_naive, _) =
+        dxcore::certain_answers_via(&NaiveChase, &mapping, &source, &positive, None);
+    let (rel_indexed, _) =
+        dxcore::certain_answers_via(&IndexedChase, &mapping, &source, &positive, None);
+    let (rel_default, _) = dxcore::certain_answers(&mapping, &source, &positive, None);
+    assert_eq!(rel_naive, rel_indexed);
+    assert_eq!(rel_naive, rel_default);
+    assert_eq!(rel_naive.len(), 6, "every paper certainly has a submission");
+
+    // Membership.
+    let csol = canonical_solution(&mapping, &source);
+    let member = {
+        let mut rng = random_gen::rng(7);
+        random_gen::sample_member(&mapping, &source, 4, 1, &mut rng)
+    };
+    assert_eq!(
+        dxcore::is_member_via(&NaiveChase, &mapping, &source, &member),
+        dxcore::is_member_via(&IndexedChase, &mapping, &source, &member),
+    );
+    assert!(dxcore::is_member_via(
+        &IndexedChase,
+        &mapping,
+        &source,
+        &member
+    ));
+    drop(csol);
+
+    // Composition.
+    let sigma = Mapping::parse("QvM(x:cl, z:op) <- QvE(x)").unwrap();
+    let delta = Mapping::parse("QvF(x:cl, y:cl) <- QvM(x, y)").unwrap();
+    let mut s = Instance::new();
+    s.insert_names("QvE", &["a"]);
+    let mut w = Instance::new();
+    w.insert_names("QvF", &["a", "v1"]);
+    w.insert_names("QvF", &["a", "v2"]);
+    let out_naive = dxcore::comp_membership_via(&NaiveChase, &sigma, &delta, &s, &w, None);
+    let out_indexed = dxcore::comp_membership_via(&IndexedChase, &sigma, &delta, &s, &w, None);
+    assert_eq!(out_naive.member, out_indexed.member);
+    assert_eq!(out_naive.path, out_indexed.path);
+    assert!(out_indexed.member);
+}
+
+/// The workload queries of the bench suite, differentially, at several
+/// sizes — including the certain-answer null-discard filter over canonical
+/// solutions with nulls.
+#[test]
+fn workload_queries_differential() {
+    use oc_exchange::workloads::conference;
+    for n in [4usize, 9, 17] {
+        let mapping = conference::mapping();
+        let source = conference::source(n, 2);
+        let csol = canonical_solution(&mapping, &source).rel_part();
+        for q in [
+            conference::reviewed_query(),
+            conference::submitted_and_reviewed(),
+        ] {
+            let ev = QueryEval::new(&q);
+            assert!(ev.is_compiled(), "{q}");
+            assert_eq!(q.answers(&csol), ev.answers(&csol), "{q} n={n}");
+            assert_eq!(
+                q.naive_certain_answers(&csol),
+                ev.naive_certain_answers(&csol),
+                "{q} n={n}"
+            );
+        }
+    }
+}
+
+/// Non-safe-range queries fall back to the oracle and still answer
+/// correctly through every routed pipeline entry point.
+#[test]
+fn fallback_paths_stay_correct() {
+    let q = Query::parse(&["x"], "x = x").unwrap();
+    let ev = QueryEval::new(&q);
+    assert!(!ev.is_compiled());
+    let mut inst = Instance::new();
+    inst.insert_names("QbR", &["a", "b"]);
+    assert_eq!(ev.answers(&inst), q.answers(&inst));
+    // A domain-dependent body: the planned body eval falls back to the
+    // reference walker inside canonical_solution_via.
+    let m = Mapping::parse("QbT(x:cl) <- QbU(x) & !exists y. QbU(y) & !(x = y)").unwrap();
+    let mut s = Instance::new();
+    s.insert_names("QbU", &["only"]);
+    let naive = canonical_solution(&m, &s);
+    let planned = canonical_solution_via(&PlannedBodyEval, &m, &s);
+    assert_eq!(naive.instance, planned.instance);
+}
