@@ -9,9 +9,9 @@
 //! parity, not speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dx_bench::query_workloads::{join_case, membership_case, QueryCase};
+use dx_bench::query_workloads::{join_case, membership_case, repa_case, QueryCase};
 use dx_chase::{canonical_solution, canonical_solution_via, NaiveBodyEval};
-use dx_query::{PlannedBodyEval, QueryEval};
+use dx_query::{PlanCatalog, PlannedBodyEval};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -47,7 +47,7 @@ fn bench_family(
             })
         });
         let target = canonical_solution(&case.mapping, &case.source).rel_part();
-        let compiled = QueryEval::new(&case.query);
+        let compiled = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
         group.bench_with_input(BenchmarkId::new("answers-tree", n), &case, |b, case| {
             b.iter(|| black_box(case.query.naive_certain_answers(&target)))
         });
@@ -66,5 +66,53 @@ fn bench_join_queries(c: &mut Criterion) {
     bench_family(c, "query_join", join_case, &[8, 32, 96]);
 }
 
-criterion_group!(benches, bench_membership_queries, bench_join_queries);
+/// The `Rep_A` valuation-search race: identical searches, per-leaf check
+/// on a freshly built index per candidate ("rebuild") vs the solver's
+/// incrementally maintained store ("incremental").
+fn bench_repa_search(c: &mut Criterion) {
+    use dx_relation::{Tuple, Value};
+    use dx_solver::{search_rep_a_indexed, SearchBudget};
+    use std::collections::BTreeSet;
+    let mut group = c.benchmark_group("query_repa");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700));
+    for &n in &[8usize, 32, 96] {
+        let case = repa_case(n);
+        let csol = canonical_solution(&case.mapping, &case.source);
+        let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+        let consts: BTreeSet<dx_relation::ConstId> =
+            case.query.formula.constants().into_iter().collect();
+        let empty = Tuple::new(Vec::<Value>::new());
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &csol, |b, csol| {
+            b.iter(|| {
+                black_box(search_rep_a_indexed(
+                    &csol.instance,
+                    &consts,
+                    &SearchBudget::closed_world(),
+                    &mut |leaf| !ev.holds_on(leaf.instance(), &empty),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &csol, |b, csol| {
+            b.iter(|| {
+                black_box(search_rep_a_indexed(
+                    &csol.instance,
+                    &consts,
+                    &SearchBudget::closed_world(),
+                    &mut |leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_membership_queries,
+    bench_join_queries,
+    bench_repa_search
+);
 criterion_main!(benches);

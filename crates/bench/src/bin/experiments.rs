@@ -26,7 +26,7 @@ use dx_solver::{Completeness, SearchBudget};
 use dx_workloads::{coloring, conference, tiling, tripartite};
 
 /// The full `BENCH_chase.json` sweep axis (ROADMAP: keep extending).
-const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128];
+const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192];
 /// The full `BENCH_query.json` sweep axis.
 const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192];
 /// Tiny sizes for the CI smoke run (no JSON emitted).
@@ -603,14 +603,18 @@ fn e15_chase_engines(ns: &[usize], write_json: bool) {
 
 /// E16 — the query-engine race: tree-walking active-domain evaluation vs
 /// `dx-query` compiled plans, on the two FO-evaluation-bound stages of the
-/// exchange pipeline: `CSol_A(S)` construction (STD-body evaluation — the
-/// ROADMAP-flagged membership bottleneck) and positive-query certain
-/// answering over the canonical solution (Proposition 3's naive
-/// evaluation + null discard). Emits `BENCH_query.json`.
+/// exchange pipeline (`CSol_A(S)` construction and positive-query certain
+/// answering over the canonical solution), plus the **`Rep_A` valuation
+/// search race**: the solver's incrementally maintained candidate index
+/// vs the rebuild-per-candidate baseline on a certainly-true full-FO
+/// refutation (the `repa` rows — the per-commit `smoke` mode runs this
+/// path too). Emits `BENCH_query.json`.
 fn e16_query_engines(ns: &[usize], write_json: bool) {
-    use dx_bench::query_workloads::all_query_cases;
+    use dx_bench::query_workloads::{all_query_cases, repa_case};
     use dx_chase::{canonical_solution, canonical_solution_via, BodyEval, NaiveBodyEval};
-    use dx_query::{PlannedBodyEval, QueryEval};
+    use dx_query::{PlanCatalog, PlannedBodyEval};
+    use dx_solver::{search_rep_a_indexed, SearchBudget};
+    use std::collections::BTreeSet;
 
     println!("## E16 — query engines: tree-walking vs compiled (dx-query)\n");
     let mut t = Table::new(&[
@@ -662,7 +666,7 @@ fn e16_query_engines(ns: &[usize], write_json: bool) {
 
             // Stage 2: naive certain answers over CSol(S) (Prop 3).
             let target = naive_csol.rel_part();
-            let compiled = QueryEval::new(&case.query);
+            let compiled = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
             assert!(
                 compiled.is_compiled(),
                 "{}: workload query compiles",
@@ -707,6 +711,80 @@ fn e16_query_engines(ns: &[usize], write_json: bool) {
         }
     }
     println!("{}", t.render());
+
+    // The Rep_A valuation-search race: same search engine, same leaves —
+    // only the per-leaf check differs. "rebuild" recreates the old
+    // behaviour (an InstanceIndex::build per candidate instance inside
+    // QueryEval::holds_on); "incremental" probes the search's single
+    // delta-maintained index. Outcomes are asserted identical.
+    let mut rt = Table::new(&[
+        "workload",
+        "n",
+        "leaves",
+        "rebuild/candidate",
+        "incremental index",
+        "speedup",
+    ]);
+    for &n in ns {
+        let case = repa_case(n);
+        let csol = canonical_solution(&case.mapping, &case.source);
+        let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+        assert!(ev.is_compiled(), "repa query must run on a plan");
+        let consts: BTreeSet<dx_relation::ConstId> =
+            case.query.formula.constants().into_iter().collect();
+        let empty = Tuple::new(Vec::<Value>::new());
+        let budget = SearchBudget::closed_world();
+        let mut times = Vec::new();
+        let mut leaves = Vec::new();
+        for engine in ["rebuild", "incremental"] {
+            let mut best: Option<std::time::Duration> = None;
+            let mut out = None;
+            for _ in 0..5 {
+                let (o, d) = timed(|| {
+                    search_rep_a_indexed(&csol.instance, &consts, &budget, &mut |leaf| {
+                        if engine == "rebuild" {
+                            !ev.holds_on(leaf.instance(), &empty)
+                        } else {
+                            !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty)
+                        }
+                    })
+                });
+                best = Some(best.map_or(d, |b| b.min(d)));
+                out = Some(o);
+            }
+            let best = best.expect("ran");
+            let out = out.expect("ran");
+            assert!(
+                out.witness.is_none(),
+                "repa n={n}: certainly-true query must not be refuted"
+            );
+            times.push(best);
+            leaves.push(out.leaves);
+            record(
+                case.workload,
+                "repa",
+                engine,
+                n,
+                best.as_micros(),
+                out.leaves as usize,
+            );
+        }
+        assert_eq!(
+            leaves[0], leaves[1],
+            "repa n={n}: engines must explore identical leaf counts"
+        );
+        let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
+        rt.row(vec![
+            case.workload.to_string(),
+            n.to_string(),
+            leaves[0].to_string(),
+            fmt_duration(times[0]),
+            fmt_duration(times[1]),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    println!("{}", rt.render());
+
     if write_json {
         let json = format!("[\n{}\n]\n", records.join(",\n"));
         std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
@@ -714,8 +792,10 @@ fn e16_query_engines(ns: &[usize], write_json: bool) {
     println!(
         "Shape check: parity at small n, compiled advantage growing with n \
          on both stages (the tree walker pays an active-domain scan per \
-         negated existential, the plan one anti-join); results asserted \
-         identical across engines; machine-readable record {}.\n",
+         negated existential, the plan one anti-join); the Rep_A race pays \
+         Θ(n) index rebuilds of Θ(n) tuples per search on the baseline vs \
+         O(1) delta work per leaf on the incremental store; results \
+         asserted identical across engines; machine-readable record {}.\n",
         if write_json {
             "written to BENCH_query.json"
         } else {

@@ -66,9 +66,50 @@ pub fn join_case(n: usize) -> QueryCase {
     }
 }
 
-/// Both families at one size (the `BENCH_query.json` sweep axis).
+/// Both evaluation families at one size (the `BENCH_query.json` sweep
+/// axis); the `Rep_A` valuation-search family is separate
+/// ([`repa_case`]) — its cost profile is leaves × per-leaf check, not a
+/// single evaluation.
 pub fn all_query_cases(n: usize) -> Vec<QueryCase> {
     vec![membership_case(n), join_case(n)]
+}
+
+/// The `Rep_A` refutation workload (the `repa` rows of
+/// `BENCH_query.json`): an all-closed exchange — a copied path graph of
+/// `n` edges plus one null-producing seed rule — refuting a full-FO query
+/// that is *certainly true*, so the coNP valuation search of Theorem 3(1)
+/// must exhaust every valuation of the null. The query is chosen so its
+/// compiled plan is pure index probes per leaf (the anti-join's filter
+/// side starts from a zero-selectivity probe and short-circuits): the
+/// workload thereby isolates the cost of *providing* an index per
+/// candidate — rebuild-per-candidate (`QueryEval::holds_on`, an
+/// `InstanceIndex::build` per leaf, the pre-catalog engine) vs the
+/// solver's single incrementally maintained store (`holds_on_indexed` on
+/// `Leaf::index`, O(1) delta work per leaf). Leaves grow linearly with
+/// `n` (palette = adom + 1 fresh), so the rebuild path is Θ(n²) total
+/// and the incremental path Θ(n) — a speedup growing linearly in `n`.
+pub fn repa_case(n: usize) -> QueryCase {
+    let mut source = Instance::new();
+    for i in 0..n {
+        source.insert_names("RpSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    source.insert_names("RpSeed", &["s0"]);
+    QueryCase {
+        workload: "repa",
+        n,
+        mapping: Mapping::parse("RpE(x:cl, y:cl) <- RpSrc(x, y); RpP(u:cl, z:cl) <- RpSeed(u)")
+            .expect("mapping parses"),
+        source,
+        // ∃∀ shape (full FO): "some seeded value w has no successor that
+        // reaches rp_sink". No rp_sink edge exists, so the query is true
+        // under every valuation of ⊥ and refutation exhausts the witness
+        // space; the inner join grounds out on the empty ·→rp_sink probe.
+        query: Query::parse(
+            &[],
+            "exists u w. RpP(u, w) & (forall x. !(RpE(w, x) & RpE(x, 'rp_sink')))",
+        )
+        .expect("query parses"),
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +117,7 @@ mod tests {
     use super::*;
     use dx_chase::canonical_solution;
     use dx_logic::classify;
-    use dx_query::{CompiledQuery, QueryEval};
+    use dx_query::{CompiledQuery, PlanCatalog, QueryEval};
 
     #[test]
     fn cases_are_compilable() {
@@ -110,5 +151,33 @@ mod tests {
             assert_eq!(tree, planned, "{}", case.workload);
             assert!(!tree.is_empty(), "{} must produce answers", case.workload);
         }
+    }
+
+    /// The repa workload hits the regime it advertises: full-FO query over
+    /// an all-closed mapping (Theorem 3(1), coNP valuation search), query
+    /// compiled, certain answer true, and the incremental search agrees
+    /// with a rebuild-per-candidate check leaf for leaf.
+    #[test]
+    fn repa_case_is_closed_world_exhaustive() {
+        use dx_core::certain::{certain_contains, Regime};
+        use dx_relation::{Tuple, Value};
+        let case = repa_case(6);
+        assert!(case.mapping.is_all_closed());
+        assert!(!classify::is_positive(&case.query.formula));
+        assert!(!classify::is_monotone(&case.query.formula));
+        assert_eq!(
+            classify::classify(&case.query.formula),
+            classify::QueryClass::FullFirstOrder
+        );
+        let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+        assert!(ev.is_compiled(), "repa query must run on a plan");
+        let empty = Tuple::new(Vec::<Value>::new());
+        let out = certain_contains(&case.mapping, &case.source, &case.query, &empty, None);
+        assert!(out.certain, "the query is certainly true");
+        assert_eq!(out.regime, Regime::ClosedWorld);
+        assert!(
+            out.leaves as usize >= case.source.adom_consts().len(),
+            "refutation exhausts one leaf per palette constant"
+        );
     }
 }

@@ -22,9 +22,9 @@
 use dx_chase::{canonical_solution, canonical_solution_via, ChaseStrategy, Mapping};
 use dx_logic::classify::{self, QueryClass};
 use dx_logic::Query;
-use dx_query::QueryEval;
+use dx_query::{PlanCatalog, QueryEval};
 use dx_relation::{ConstId, Instance, Relation, Tuple};
-use dx_solver::{search_rep_a, Completeness, SearchBudget};
+use dx_solver::{search_rep_a_indexed, Completeness, Leaf, SearchBudget};
 use std::collections::BTreeSet;
 
 /// Which decision procedure handled a certain-answer query.
@@ -147,13 +147,17 @@ pub fn certain_contains_with(
     tuple: &Tuple,
     budget: Option<&SearchBudget>,
 ) -> CertainOutcome {
-    certain_contains_eval(mapping, csol, &QueryEval::new(query), tuple, budget)
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
+    certain_contains_eval(mapping, csol, &ev, tuple, budget)
 }
 
 /// The worker behind [`certain_contains_with`]: query evaluation (both the
 /// Proposition 3 naive path and every `Rep_A` refutation check) runs on a
-/// prebuilt [`QueryEval`] — a `dx-query` compiled plan when the formula is
-/// safe-range, the tree-walking oracle otherwise.
+/// [`QueryEval`] drawn from the shared [`PlanCatalog`] — a `dx-query`
+/// compiled plan when the formula is safe-range, the tree-walking oracle
+/// otherwise. Refutation checks probe the search's incrementally
+/// maintained index ([`Leaf::index`]); candidate instances are never
+/// re-indexed.
 fn certain_contains_eval(
     mapping: &Mapping,
     csol: &dx_chase::CanonicalSolution,
@@ -189,8 +193,8 @@ fn certain_contains_eval(
     // decided by valuation search over Rep(CSol) (all-closed Rep_A).
     if classify::is_monotone(&query.formula) {
         let closed = csol.instance.reannotate_all_closed();
-        let mut check = |i: &Instance| !ev.holds_on(i, tuple);
-        let outcome = search_rep_a(
+        let mut check = |leaf: &Leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), tuple);
+        let outcome = search_rep_a_indexed(
             &closed,
             &query_consts,
             &SearchBudget::closed_world(),
@@ -232,8 +236,8 @@ fn certain_contains_eval(
         _ => search_budget,
     };
 
-    let mut check = |i: &Instance| !ev.holds_on(i, tuple);
-    let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
+    let mut check = |leaf: &Leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), tuple);
+    let outcome = search_rep_a_indexed(&csol.instance, &query_consts, &search_budget, &mut check);
     let completeness = match (outcome.completeness, exact) {
         (Completeness::Capped, _) => Completeness::Capped,
         (_, true) => Completeness::Exact,
@@ -275,7 +279,8 @@ pub fn certain_answers_via(
 }
 
 /// [`certain_answers`] against a precomputed canonical solution: the query
-/// compiles once ([`QueryEval`]) and every candidate tuple reuses the plan.
+/// compiles once (via the shared [`PlanCatalog`]) and every candidate tuple
+/// reuses the plan.
 ///
 /// Fast path: for a *positive, safe-range* query one set-valued plan
 /// execution replaces the per-candidate loop — the compiled answers are
@@ -293,7 +298,7 @@ pub fn certain_answers_with(
     candidates.extend(query.formula.constants());
     let consts: Vec<ConstId> = candidates.into_iter().collect();
     let arity = query.arity();
-    let ev = QueryEval::new(query);
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
 
     if classify::is_positive(&query.formula) && ev.is_compiled() {
         let const_set: BTreeSet<ConstId> = consts.iter().copied().collect();
@@ -358,7 +363,7 @@ pub fn certain_contains_one_to_m(
     assert!(m >= 1, "1-to-m needs m ≥ 1");
     assert_eq!(tuple.arity(), query.arity(), "answer-tuple arity mismatch");
     let csol = canonical_solution(mapping, source);
-    let ev = QueryEval::new(query);
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
     // Positive queries: naive evaluation is still exact (Prop 3 holds for
     // every solution notion between CWA and OWA).
     if classify::is_positive(&query.formula) {
@@ -388,8 +393,8 @@ pub fn certain_contains_one_to_m(
         })
         .sum();
     let budget = SearchBudget::one_to_m(m, open_templates, mapping.target.max_arity());
-    let mut check = |i: &Instance| !ev.holds_on(i, tuple);
-    let outcome = search_rep_a(&csol.instance, &query_consts, &budget, &mut check);
+    let mut check = |leaf: &Leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), tuple);
+    let outcome = search_rep_a_indexed(&csol.instance, &query_consts, &budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_none(),
         completeness: match outcome.completeness {
@@ -447,9 +452,11 @@ pub fn certain_positive_with_deps_via(
     let chased =
         dx_chase::canonical_solution_with_deps_via(strategy, mapping, deps, source, max_steps);
     match chased.outcome {
-        dx_chase::ChaseOutcome::Satisfied => {
-            Some(QueryEval::new(query).naive_certain_answers(&chased.instance.rel_part()))
-        }
+        dx_chase::ChaseOutcome::Satisfied => Some(
+            PlanCatalog::shared()
+                .eval_in(query, &mapping.target)
+                .naive_certain_answers(&chased.instance.rel_part()),
+        ),
         _ => None,
     }
 }
@@ -481,9 +488,9 @@ pub fn possible_contains(
     } else {
         budget.cloned().unwrap_or_default()
     };
-    let ev = QueryEval::new(query);
-    let mut check = |i: &Instance| ev.holds_on(i, tuple);
-    let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
+    let mut check = |leaf: &Leaf| ev.holds_on_indexed(leaf.index(), leaf.instance(), tuple);
+    let outcome = search_rep_a_indexed(&csol.instance, &query_consts, &search_budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_some(),
         completeness: if mapping.is_all_closed() && outcome.completeness != Completeness::Capped {

@@ -18,7 +18,7 @@
 use crate::semantics;
 use dx_chase::{canonical_solution_via, is_owa_solution, ChaseStrategy, Mapping, NaiveChase};
 use dx_relation::{AnnInstance, AnnTuple, Annotation, ConstId, Instance, Tuple};
-use dx_solver::{search_rep_a, Completeness, SearchBudget};
+use dx_solver::{search_rep_a_indexed, Completeness, Leaf, SearchBudget};
 use std::collections::BTreeSet;
 
 /// Which path decided a composition query.
@@ -127,8 +127,8 @@ pub fn comp_membership_via(
             };
         }
         let closed = all_closed_view(&csol.instance);
-        let mut check = |j: &Instance| is_owa_solution(delta, j, w);
-        let out = search_rep_a(&closed, &extra, &SearchBudget::closed_world(), &mut check);
+        let mut check = |leaf: &Leaf| is_owa_solution(delta, leaf.instance(), w);
+        let out = search_rep_a_indexed(&closed, &extra, &SearchBudget::closed_world(), &mut check);
         return CompOutcome {
             member: out.witness.is_some(),
             completeness: Completeness::Exact,
@@ -180,8 +180,11 @@ pub fn comp_membership_via(
         )
     };
 
-    let mut check = |j: &Instance| semantics::is_member_via(strategy, delta, j, w);
-    let out = search_rep_a(&csol.instance, &extra, &search_budget, &mut check);
+    // The per-intermediate membership check chases `J` as a source, so it
+    // consumes the materialized instance view (maintained in lock-step with
+    // the index — no per-leaf clone).
+    let mut check = |leaf: &Leaf| semantics::is_member_via(strategy, delta, leaf.instance(), w);
+    let out = search_rep_a_indexed(&csol.instance, &extra, &search_budget, &mut check);
     let completeness = match (out.completeness, exact) {
         (Completeness::Capped, _) => Completeness::Capped,
         (_, true) => Completeness::Exact,

@@ -16,7 +16,7 @@
 
 use dx_chase::{canonical_solution, Mapping};
 use dx_ctables::{certain_answers_ra, possible_answers_ra, CInstance, RaExpr};
-use dx_query::{CompiledQuery, CompiledRa};
+use dx_query::PlanCatalog;
 use dx_relation::{Instance, Relation};
 
 /// Build the conditional-table representation of the canonical solution:
@@ -36,10 +36,12 @@ pub fn csol_as_ctable(mapping: &Mapping, source: &Instance) -> CInstance {
 /// only sound under the CWA — see [`csol_as_ctable`]).
 ///
 /// Execution runs on a `dx-query` compiled plan in conditional mode
-/// (equality selections over products unified into joins); the
-/// interpreting [`RaExpr::eval_conditional`] route remains as the fallback
-/// for expressions the planner rejects, with identical answers either way
-/// (cross-validated in `tests/query_differential.rs`).
+/// (equality selections over products unified into joins), drawn from the
+/// shared [`PlanCatalog`] — repeated queries over the same scenario
+/// compile once; the interpreting [`RaExpr::eval_conditional`] route
+/// remains as the fallback for expressions the planner rejects, with
+/// identical answers either way (cross-validated in
+/// `tests/query_differential.rs`).
 pub fn certain_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaExpr) -> Relation {
     assert!(
         mapping.is_all_closed(),
@@ -47,7 +49,7 @@ pub fn certain_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaEx
          or use certain::certain_contains for mixed annotations"
     );
     let cinst = csol_as_ctable(mapping, source);
-    match CompiledRa::compile(query, &|r| mapping.target.arity(r)) {
+    match PlanCatalog::shared().ra_in(query, &mapping.target) {
         Ok(compiled) => compiled.certain_answers(&cinst),
         Err(_) => certain_answers_ra(query, &cinst),
     }
@@ -70,10 +72,13 @@ pub fn certain_answers_cwa_fo(
     );
     let cinst = csol_as_ctable(mapping, source);
     // Safe-range queries skip the Codd translation entirely: the formula
-    // lowers straight to a plan and executes in conditional mode (answers
-    // are domain independent, so the active-domain relativization of
-    // `fo_to_ra` is unnecessary).
-    if let Ok(compiled) = CompiledQuery::compile(query) {
+    // lowers straight to a plan (cached in the shared catalog) and
+    // executes in conditional mode (answers are domain independent, so the
+    // active-domain relativization of `fo_to_ra` is unnecessary).
+    if let Some(compiled) = PlanCatalog::shared()
+        .eval_in(query, &mapping.target)
+        .compiled()
+    {
         return Ok(compiled.certain_answers_conditional(&cinst));
     }
     let schema: Vec<_> = mapping.target.iter().collect();
@@ -90,7 +95,7 @@ pub fn possible_answers_cwa_ra(mapping: &Mapping, source: &Instance, query: &RaE
         "the c-table route computes possible answers under the CWA only"
     );
     let cinst = csol_as_ctable(mapping, source);
-    match CompiledRa::compile(query, &|r| mapping.target.arity(r)) {
+    match PlanCatalog::shared().ra_in(query, &mapping.target) {
         Ok(compiled) => compiled.possible_answers(&cinst),
         Err(_) => possible_answers_ra(query, &cinst),
     }

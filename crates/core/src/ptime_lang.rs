@@ -28,9 +28,16 @@ use crate::certain::{CertainOutcome, Regime};
 use dx_chase::{canonical_solution, Mapping};
 use dx_logic::datalog::DatalogQuery;
 use dx_logic::Query;
+use dx_query::{PlanCatalog, QueryEval, QueryStore};
 use dx_relation::{ConstId, Instance, Relation, Tuple};
-use dx_solver::{search_rep_a, Completeness, SearchBudget};
+use dx_solver::{search_rep_a_indexed, Completeness, Leaf, SearchBudget};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The per-leaf membership check returned by [`PtimeQuery::prepared_holds`]:
+/// invoked once per candidate of a refutation search, with the solver's
+/// incremental index and its materialized instance view.
+pub type PreparedHolds<'a> = Box<dyn FnMut(&dyn QueryStore, &Instance) -> bool + 'a>;
 
 /// A query in some language of PTIME data complexity, as seen by the
 /// certain-answer engines: an evaluator over ground instances plus the two
@@ -49,6 +56,26 @@ pub trait PtimeQuery {
     /// Does `t` belong to the answers on `instance`?
     fn holds(&self, instance: &Instance, t: &Tuple) -> bool {
         self.eval(instance).contains(t)
+    }
+
+    /// [`PtimeQuery::holds`] against an already-indexed store (the
+    /// refutation loops' per-leaf check: `store` is the solver's
+    /// incrementally maintained candidate index, `instance` its
+    /// materialized view). The default ignores the index; implementors
+    /// with compiled plans override it to probe the store directly.
+    fn holds_indexed(&self, store: &dyn QueryStore, instance: &Instance, t: &Tuple) -> bool {
+        let _ = store;
+        self.holds(instance, t)
+    }
+
+    /// A per-search membership check for `t`: called **once** before a
+    /// refutation loop, invoked once per candidate leaf. The default
+    /// delegates to [`PtimeQuery::holds_indexed`] per call; implementors
+    /// whose `holds_indexed` performs per-call setup (e.g. a catalog
+    /// lookup) override this to hoist that setup out of the — potentially
+    /// exponential — leaf loop.
+    fn prepared_holds<'a>(&'a self, t: &'a Tuple) -> PreparedHolds<'a> {
+        Box::new(move |store, instance| self.holds_indexed(store, instance, t))
     }
 
     /// Is the query preserved under homomorphisms of instances? (Then naive
@@ -70,22 +97,33 @@ impl PtimeQuery for Query {
         self.arity()
     }
 
-    /// Routed through `dx-query`: compiled plan when safe-range, tree
-    /// walker otherwise. One compile per call — fine for the set-valued
-    /// pipelines that call `eval` once; amortized over the whole answer
-    /// set.
+    /// Routed through the shared [`PlanCatalog`]: compiled plan when
+    /// safe-range, tree walker otherwise — one lowering per distinct
+    /// query per process, hash-lookup cheap afterwards.
     fn eval(&self, instance: &Instance) -> Relation {
-        dx_query::QueryEval::new(self).answers(instance)
+        PlanCatalog::shared().eval(self).answers(instance)
     }
 
-    /// Deliberately the tree walker: `holds` runs once per candidate
-    /// instance inside `search_rep_a` refutation loops, where a
-    /// compile-per-call would be pure repeated work. Loops that want
-    /// compiled per-leaf checks wrap the query in a [`CompiledFoQuery`]
-    /// (one compile, many leaves) — the same hoisting
-    /// `certain::certain_contains_eval` does for plain FO queries.
+    /// Also catalog-backed: inside `search_rep_a_indexed` refutation loops
+    /// this runs once per candidate instance, and the catalog makes the
+    /// repeated lookups a structural-hash probe rather than a re-compile.
+    /// [`CompiledFoQuery`] remains as the zero-lookup variant (it holds
+    /// its catalog entry directly).
     fn holds(&self, instance: &Instance, t: &Tuple) -> bool {
-        self.holds_on(instance, t)
+        PlanCatalog::shared().eval(self).holds_on(instance, t)
+    }
+
+    fn holds_indexed(&self, store: &dyn QueryStore, instance: &Instance, t: &Tuple) -> bool {
+        PlanCatalog::shared()
+            .eval(self)
+            .holds_on_indexed(store, instance, t)
+    }
+
+    /// One catalog lookup per search, not per leaf: the `Arc<QueryEval>`
+    /// is hoisted into the returned closure.
+    fn prepared_holds<'a>(&'a self, t: &'a Tuple) -> PreparedHolds<'a> {
+        let ev = PlanCatalog::shared().eval(self);
+        Box::new(move |store, instance| ev.holds_on_indexed(store, instance, t))
     }
 
     fn hom_preserved(&self) -> bool {
@@ -101,19 +139,22 @@ impl PtimeQuery for Query {
     }
 }
 
-/// A first-order query pre-compiled by `dx-query` — the [`PtimeQuery`] to
-/// use inside refutation loops, where [`PtimeQuery::holds`] runs once per
-/// candidate instance: the plan compiles once here instead of per call.
+/// A first-order query holding its shared-catalog plan entry directly —
+/// the [`PtimeQuery`] to use inside refutation loops, where
+/// [`PtimeQuery::holds`] runs once per candidate instance: no per-call
+/// catalog lookup, and the per-leaf check probes the solver's incremental
+/// index through [`PtimeQuery::holds_indexed`].
 pub struct CompiledFoQuery {
     query: Query,
-    eval: dx_query::QueryEval,
+    eval: Arc<QueryEval>,
 }
 
 impl CompiledFoQuery {
-    /// Wrap and compile (falls back to the tree walker internally when the
-    /// formula is not safe-range).
+    /// Wrap, drawing the compiled plan from the shared [`PlanCatalog`]
+    /// (the tree walker remains the internal fallback when the formula is
+    /// not safe-range).
     pub fn new(query: Query) -> Self {
-        let eval = dx_query::QueryEval::new(&query);
+        let eval = PlanCatalog::shared().eval(&query);
         CompiledFoQuery { query, eval }
     }
 
@@ -134,6 +175,10 @@ impl PtimeQuery for CompiledFoQuery {
 
     fn holds(&self, instance: &Instance, t: &Tuple) -> bool {
         self.eval.holds_on(instance, t)
+    }
+
+    fn holds_indexed(&self, store: &dyn QueryStore, instance: &Instance, t: &Tuple) -> bool {
+        self.eval.holds_on_indexed(store, instance, t)
     }
 
     fn hom_preserved(&self) -> bool {
@@ -209,8 +254,9 @@ pub fn certain_contains_ptime(
 
     if query.monotone() {
         let closed = csol.instance.reannotate_all_closed();
-        let mut check = |i: &Instance| !query.holds(i, tuple);
-        let outcome = search_rep_a(
+        let mut holds = query.prepared_holds(tuple);
+        let mut check = |leaf: &Leaf| !holds(leaf.index(), leaf.instance());
+        let outcome = search_rep_a_indexed(
             &closed,
             &query_consts,
             &SearchBudget::closed_world(),
@@ -234,8 +280,9 @@ pub fn certain_contains_ptime(
             false,
         )
     };
-    let mut check = |i: &Instance| !query.holds(i, tuple);
-    let outcome = search_rep_a(&csol.instance, &query_consts, &search_budget, &mut check);
+    let mut holds = query.prepared_holds(tuple);
+    let mut check = |leaf: &Leaf| !holds(leaf.index(), leaf.instance());
+    let outcome = search_rep_a_indexed(&csol.instance, &query_consts, &search_budget, &mut check);
     CertainOutcome {
         certain: outcome.witness.is_none(),
         completeness: match (outcome.completeness, exact) {

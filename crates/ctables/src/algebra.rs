@@ -27,7 +27,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// A column reference or constant in a selection predicate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ColRef {
     /// The value of the `i`-th column (0-based).
     Col(usize),
@@ -53,7 +53,7 @@ impl ColRef {
 
 /// A selection predicate: boolean combinations of column/constant
 /// (in)equalities.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RaPred {
     /// Always true.
     True,
@@ -159,7 +159,7 @@ impl fmt::Display for RaError {
 impl std::error::Error for RaError {}
 
 /// A relational-algebra expression (positional).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RaExpr {
     /// A base relation.
     Rel(RelSym),

@@ -1,0 +1,381 @@
+//! The shared compiled-plan catalog.
+//!
+//! Every pipeline stage that evaluates queries — `dx-core`'s certain/
+//! possible-answer engines, composition, the 1-to-m and PTIME-language
+//! extensions, the c-table CWA routes, `dx-chase`'s planned body
+//! evaluation, and `dx-solver`'s `Rep_A` refutation closures — needs the
+//! same thing: *the compiled form of a query it has seen before*. Before
+//! this module each consumer compiled (and re-compiled) privately;
+//! [`PlanCatalog`] is the one place plans live:
+//!
+//! * entries are keyed by a **structural hash** of the query (formula +
+//!   head, or `RaExpr`) combined with a **schema fingerprint**, and
+//!   verified by full structural equality — a hash collision can cost a
+//!   recompile, never a wrong plan;
+//! * lookups are **interior-mutable** (`Mutex`) so one catalog instance —
+//!   typically [`PlanCatalog::shared`] — serves a whole pipeline, across
+//!   stages and threads, without plumbing `&mut` through every signature;
+//! * compiled artifacts are returned as [`Arc`]s: consumers hold cheap
+//!   clones, the catalog keeps the canonical copy, and repeated calls with
+//!   an equal query are hash-lookup cheap (the per-leaf cost inside a
+//!   refutation loop);
+//! * negative results (non-safe-range formulas, ill-schema'd RA) are cached
+//!   too, so fallback paths do not re-attempt lowering per call.
+//!
+//! ## Keying and invalidation
+//!
+//! The schema fingerprint ([`PlanCatalog::fingerprint`]) hashes the
+//! `(relation, arity)` pairs of the scenario's target schema. Plans are
+//! schema independent — the same formula always lowers to the same plan —
+//! but the fingerprint keeps entries *scenario scoped*: two exchange
+//! problems reusing a query text over different schemas get separate
+//! entries, so [`PlanCatalog::clear`] (the only invalidation: interned
+//! symbols never change meaning within a process, so entries cannot go
+//! stale) and [`PlanCatalog::stats`] stay attributable. Callers without a
+//! schema at hand use the unfingerprinted entry points.
+
+use crate::eval::{CompiledQuery, QueryEval};
+use crate::lower::LowerError;
+use crate::ra::CompiledRa;
+use dx_ctables::algebra::RaError;
+use dx_ctables::RaExpr;
+use dx_logic::{Formula, Query};
+use dx_relation::fxmap::FastHasher;
+use dx_relation::{FastMap, Schema, Var};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Catalog usage counters (see [`PlanCatalog::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Number of cached entries (all kinds).
+    pub entries: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that compiled.
+    pub misses: u64,
+}
+
+struct QueryEntry {
+    schema_fp: u64,
+    query: Query,
+    eval: Arc<QueryEval>,
+}
+
+struct FormulaEntry {
+    formula: Formula,
+    head: Vec<Var>,
+    compiled: Result<Arc<CompiledQuery>, LowerError>,
+}
+
+struct RaEntry {
+    schema_fp: u64,
+    expr: RaExpr,
+    compiled: Result<Arc<CompiledRa>, RaError>,
+}
+
+#[derive(Default)]
+struct Inner {
+    queries: FastMap<u64, Vec<QueryEntry>>,
+    formulas: FastMap<u64, Vec<FormulaEntry>>,
+    ras: FastMap<u64, Vec<RaEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Inner {
+    fn entries(&self) -> usize {
+        self.queries.values().map(Vec::len).sum::<usize>()
+            + self.formulas.values().map(Vec::len).sum::<usize>()
+            + self.ras.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// A shared, interior-mutable cache of compiled query plans (see the
+/// module docs).
+#[derive(Default)]
+pub struct PlanCatalog {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCatalog {
+    /// An empty catalog (for scoped pipelines and tests; most consumers use
+    /// [`PlanCatalog::shared`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide catalog: one instance serving every pipeline, so a
+    /// query compiled during, say, certain answering is reused verbatim by
+    /// the solver's refutation closures and the bench harness.
+    pub fn shared() -> &'static PlanCatalog {
+        static SHARED: OnceLock<PlanCatalog> = OnceLock::new();
+        SHARED.get_or_init(PlanCatalog::new)
+    }
+
+    /// The schema fingerprint: a structural hash of the `(relation, arity)`
+    /// pairs. Deterministic within a process (interned symbol ids are
+    /// first-use stable).
+    pub fn fingerprint(schema: &Schema) -> u64 {
+        let mut h = FastHasher::default();
+        for (rel, arity) in schema.iter() {
+            rel.hash(&mut h);
+            arity.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The compile-or-fallback evaluator for `query`, unscoped (fingerprint
+    /// 0). Compiles on first sight, hash-lookup cheap afterwards.
+    pub fn eval(&self, query: &Query) -> Arc<QueryEval> {
+        self.eval_fp(query, 0)
+    }
+
+    /// [`PlanCatalog::eval`] scoped to a target schema's fingerprint.
+    pub fn eval_in(&self, query: &Query, schema: &Schema) -> Arc<QueryEval> {
+        self.eval_fp(query, Self::fingerprint(schema))
+    }
+
+    fn eval_fp(&self, query: &Query, schema_fp: u64) -> Arc<QueryEval> {
+        let mut h = FastHasher::default();
+        query.formula.hash(&mut h);
+        query.head.hash(&mut h);
+        schema_fp.hash(&mut h);
+        let key = h.finish();
+        {
+            let mut inner = self.inner.lock().expect("catalog lock");
+            if let Some(e) = inner.queries.get(&key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.schema_fp == schema_fp && &e.query == query)
+            }) {
+                let eval = Arc::clone(&e.eval);
+                inner.hits += 1;
+                return eval;
+            }
+        }
+        // Compile outside the lock: a miss must not serialize other users
+        // (or deadlock a re-entrant lookup). Double-check before inserting —
+        // a racing thread may have compiled the same query meanwhile.
+        let eval = Arc::new(QueryEval::new(query));
+        let mut inner = self.inner.lock().expect("catalog lock");
+        let bucket = inner.queries.entry(key).or_default();
+        if let Some(e) = bucket
+            .iter()
+            .find(|e| e.schema_fp == schema_fp && &e.query == query)
+        {
+            let eval = Arc::clone(&e.eval);
+            inner.hits += 1;
+            return eval;
+        }
+        bucket.push(QueryEntry {
+            schema_fp,
+            query: query.clone(),
+            eval: Arc::clone(&eval),
+        });
+        inner.misses += 1;
+        eval
+    }
+
+    /// The compiled plan of a bare formula with an explicit head (the
+    /// STD-body shape used by [`crate::eval::PlannedBodyEval`]). Both
+    /// successful compiles and safe-range rejections are cached.
+    pub fn formula(
+        &self,
+        formula: &Formula,
+        head: &[Var],
+    ) -> Result<Arc<CompiledQuery>, LowerError> {
+        let mut h = FastHasher::default();
+        formula.hash(&mut h);
+        head.hash(&mut h);
+        let key = h.finish();
+        {
+            let mut inner = self.inner.lock().expect("catalog lock");
+            if let Some(e) = inner.formulas.get(&key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.head == head && &e.formula == formula)
+            }) {
+                let compiled = e.compiled.clone();
+                inner.hits += 1;
+                return compiled;
+            }
+        }
+        let compiled = CompiledQuery::compile_formula(formula, head).map(Arc::new);
+        let mut inner = self.inner.lock().expect("catalog lock");
+        let bucket = inner.formulas.entry(key).or_default();
+        if let Some(e) = bucket
+            .iter()
+            .find(|e| e.head == head && &e.formula == formula)
+        {
+            let compiled = e.compiled.clone();
+            inner.hits += 1;
+            return compiled;
+        }
+        bucket.push(FormulaEntry {
+            formula: formula.clone(),
+            head: head.to_vec(),
+            compiled: compiled.clone(),
+        });
+        inner.misses += 1;
+        compiled
+    }
+
+    /// The compiled plan of a positional relational-algebra expression over
+    /// `schema` (the c-table CWA route). Schema errors are cached alongside
+    /// successes — the expression is structurally invalid for that
+    /// fingerprint, so re-validation would re-fail identically.
+    pub fn ra_in(&self, expr: &RaExpr, schema: &Schema) -> Result<Arc<CompiledRa>, RaError> {
+        let schema_fp = Self::fingerprint(schema);
+        let mut h = FastHasher::default();
+        expr.hash(&mut h);
+        schema_fp.hash(&mut h);
+        let key = h.finish();
+        {
+            let mut inner = self.inner.lock().expect("catalog lock");
+            if let Some(e) = inner.ras.get(&key).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|e| e.schema_fp == schema_fp && &e.expr == expr)
+            }) {
+                let compiled = e.compiled.clone();
+                inner.hits += 1;
+                return compiled;
+            }
+        }
+        let compiled = CompiledRa::compile(expr, &|r| schema.arity(r)).map(Arc::new);
+        let mut inner = self.inner.lock().expect("catalog lock");
+        let bucket = inner.ras.entry(key).or_default();
+        if let Some(e) = bucket
+            .iter()
+            .find(|e| e.schema_fp == schema_fp && &e.expr == expr)
+        {
+            let compiled = e.compiled.clone();
+            inner.hits += 1;
+            return compiled;
+        }
+        bucket.push(RaEntry {
+            schema_fp,
+            expr: expr.clone(),
+            compiled: compiled.clone(),
+        });
+        inner.misses += 1;
+        compiled
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> CatalogStats {
+        let inner = self.inner.lock().expect("catalog lock");
+        CatalogStats {
+            entries: inner.entries(),
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+
+    /// Drop every entry (counters included).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("catalog lock");
+        *inner = Inner::default();
+    }
+}
+
+impl std::fmt::Debug for PlanCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCatalog")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::{Instance, RelSym, Tuple};
+
+    fn inst() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("CatR", &["a", "b"]);
+        i.insert_names("CatR", &["b", "c"]);
+        i
+    }
+
+    #[test]
+    fn query_entries_are_shared_and_counted() {
+        let cat = PlanCatalog::new();
+        let q = Query::parse(&["x"], "exists y. CatR(x, y)").unwrap();
+        let e1 = cat.eval(&q);
+        let e2 = cat.eval(&q);
+        assert!(Arc::ptr_eq(&e1, &e2), "same Arc from the cache");
+        let stats = cat.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Evaluation through the cached entry matches a fresh compile.
+        assert_eq!(e1.answers(&inst()), QueryEval::new(&q).answers(&inst()));
+    }
+
+    #[test]
+    fn schema_fingerprint_scopes_entries() {
+        let cat = PlanCatalog::new();
+        let q = Query::parse(&["x"], "CatR(x, x)").unwrap();
+        let s1 = Schema::from_pairs([("CatR", 2)]);
+        let s2 = Schema::from_pairs([("CatR", 2), ("CatS", 1)]);
+        assert_ne!(PlanCatalog::fingerprint(&s1), PlanCatalog::fingerprint(&s2));
+        let a = cat.eval_in(&q, &s1);
+        let b = cat.eval_in(&q, &s2);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different scenarios, separate entries"
+        );
+        assert_eq!(cat.stats().entries, 2);
+        assert!(Arc::ptr_eq(&a, &cat.eval_in(&q, &s1)));
+    }
+
+    #[test]
+    fn formula_rejections_are_cached() {
+        let cat = PlanCatalog::new();
+        let bad = dx_logic::parse_formula("x = y").unwrap();
+        let head = [dx_relation::Var::new("x"), dx_relation::Var::new("y")];
+        assert!(cat.formula(&bad, &head).is_err());
+        assert!(cat.formula(&bad, &head).is_err());
+        let stats = cat.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A good formula compiles once and is replayed.
+        let good = dx_logic::parse_formula("CatR(x, y)").unwrap();
+        let c1 = cat.formula(&good, &head).unwrap();
+        let c2 = cat.formula(&good, &head).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
+    }
+
+    #[test]
+    fn ra_entries_compile_once_per_schema() {
+        let cat = PlanCatalog::new();
+        let expr = RaExpr::rel("CatR").project([0]);
+        let schema = Schema::from_pairs([("CatR", 2)]);
+        let c1 = cat.ra_in(&expr, &schema).unwrap();
+        let c2 = cat.ra_in(&expr, &schema).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
+        // Unknown relation: the error is cached, not re-validated.
+        let bad = RaExpr::rel("CatMissing");
+        assert!(matches!(
+            cat.ra_in(&bad, &schema),
+            Err(RaError::UnknownRelation(r)) if r == RelSym::new("CatMissing")
+        ));
+        let before = cat.stats();
+        assert!(cat.ra_in(&bad, &schema).is_err());
+        assert_eq!(cat.stats().hits, before.hits + 1);
+        // The compiled entry evaluates like a fresh compile.
+        let fresh = CompiledRa::compile(&expr, &|r| schema.arity(r)).unwrap();
+        assert_eq!(c1.eval_ground(&inst()), fresh.eval_ground(&inst()));
+        assert!(c1.eval_ground(&inst()).contains(&Tuple::from_names(&["a"])));
+    }
+
+    #[test]
+    fn shared_catalog_is_one_instance() {
+        let a = PlanCatalog::shared() as *const PlanCatalog;
+        let b = PlanCatalog::shared() as *const PlanCatalog;
+        assert_eq!(a, b);
+    }
+}

@@ -253,10 +253,18 @@ fn unify_conditional(
 /// Conditional natural join: pairs whose shared positions are ground and
 /// equal combine with the conjoined condition; pairs where a shared
 /// position involves a null combine guarded by the equality; ground-vs-
-/// ground mismatches prune. Implementation is a nested loop over the row
-/// pairs — conditional inputs in the CWA pipeline are small, and any row
-/// with a null join key has to be paired against everything anyway. A
-/// hash fast path for all-ground keys is a noted ROADMAP follow-up.
+/// ground mismatches prune.
+///
+/// Execution is hash-partitioned on the join key: right rows whose shared
+/// positions are **all ground** go into a hash table and are found by one
+/// probe per ground-keyed left row, while rows carrying a null in a key
+/// position — which must be paired against everything, since any pairing
+/// is only *conditionally* equal — stay in a fallback list. A left row
+/// with a null in its key likewise scans the whole right side. Candidate
+/// lists are merged in right-row order, so emitted rows appear exactly as
+/// the nested loop produced them (downstream condition extraction is
+/// order-sensitive only in its intermediate representation, but keeping
+/// the order makes the fast path bit-identical, not just set-identical).
 fn cjoin(left: &CRows, right: &CRows) -> CRows {
     let shared: Vec<Var> = left
         .vars
@@ -273,39 +281,93 @@ fn cjoin(left: &CRows, right: &CRows) -> CRows {
         vars: schema.clone(),
         rows: Vec::new(),
     };
-    for (lrow, lcond) in &left.rows {
-        'rights: for (rrow, rcond) in &right.rows {
-            let mut conds = vec![lcond.clone(), rcond.clone()];
-            // Shared positions: ground/ground mismatches prune; anything
-            // with a null is guarded.
-            let mut merged: Vec<(Var, Value)> = Vec::new();
-            for (k, v) in shared.iter().enumerate() {
-                let (a, b) = (lrow[l_shared[k]], rrow[r_shared[k]]);
-                if a.is_const() && b.is_const() {
-                    if a != b {
-                        continue 'rights;
-                    }
-                    merged.push((*v, a));
-                } else {
-                    if a != b {
-                        conds.push(Condition::eq(a, b));
-                    }
-                    merged.push((*v, if b.is_const() { b } else { a }));
+
+    // Partition the right side: ground join keys are hash-probeable, rows
+    // with a null in a key position must see every left row.
+    let mut ground_keyed: dx_relation::FastMap<Vec<Value>, Vec<usize>> =
+        dx_relation::FastMap::default();
+    let mut null_keyed: Vec<usize> = Vec::new();
+    for (ri, (rrow, _)) in right.rows.iter().enumerate() {
+        let key: Vec<Value> = r_shared.iter().map(|&c| rrow[c]).collect();
+        if key.iter().all(|v| v.is_const()) {
+            ground_keyed.entry(key).or_default().push(ri);
+        } else {
+            null_keyed.push(ri);
+        }
+    }
+
+    // One pairing of a left row with a right row — exactly the old nested
+    // loop's inner body.
+    let mut emit = |lrow: &Vec<Value>, lcond: &Condition, ri: usize| {
+        let (rrow, rcond) = &right.rows[ri];
+        let mut conds = vec![lcond.clone(), rcond.clone()];
+        // Shared positions: ground/ground mismatches prune; anything
+        // with a null is guarded.
+        let mut merged: Vec<(Var, Value)> = Vec::new();
+        for (k, v) in shared.iter().enumerate() {
+            let (a, b) = (lrow[l_shared[k]], rrow[r_shared[k]]);
+            if a.is_const() && b.is_const() {
+                if a != b {
+                    return;
                 }
+                merged.push((*v, a));
+            } else {
+                if a != b {
+                    conds.push(Condition::eq(a, b));
+                }
+                merged.push((*v, if b.is_const() { b } else { a }));
             }
-            let row: Vec<Value> = schema
-                .iter()
-                .map(|s| {
-                    if let Some((_, v)) = merged.iter().find(|(m, _)| m == s) {
-                        *v
-                    } else if let Some(c) = left.col(*s) {
-                        lrow[c]
-                    } else {
-                        rrow[right.col(*s).expect("var from one side")]
+        }
+        let row: Vec<Value> = schema
+            .iter()
+            .map(|s| {
+                if let Some((_, v)) = merged.iter().find(|(m, _)| m == s) {
+                    *v
+                } else if let Some(c) = left.col(*s) {
+                    lrow[c]
+                } else {
+                    rrow[right.col(*s).expect("var from one side")]
+                }
+            })
+            .collect();
+        out.push(row, Condition::and(conds));
+    };
+
+    for (lrow, lcond) in &left.rows {
+        let key: Vec<Value> = l_shared.iter().map(|&c| lrow[c]).collect();
+        if key.iter().all(|v| v.is_const()) {
+            // Hash fast path: exact-key ground partners plus every
+            // null-keyed row, merged back into right-row order.
+            let ground = ground_keyed.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            let (mut gi, mut ni) = (0usize, 0usize);
+            while gi < ground.len() || ni < null_keyed.len() {
+                let next = match (ground.get(gi), null_keyed.get(ni)) {
+                    (Some(&g), Some(&n)) if g < n => {
+                        gi += 1;
+                        g
                     }
-                })
-                .collect();
-            out.push(row, Condition::and(conds));
+                    (Some(_), Some(&n)) => {
+                        ni += 1;
+                        n
+                    }
+                    (Some(&g), None) => {
+                        gi += 1;
+                        g
+                    }
+                    (None, Some(&n)) => {
+                        ni += 1;
+                        n
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                };
+                emit(lrow, lcond, next);
+            }
+        } else {
+            // A null in the left key: every right row is a conditional
+            // partner.
+            for ri in 0..right.rows.len() {
+                emit(lrow, lcond, ri);
+            }
         }
     }
     out
@@ -402,6 +464,49 @@ mod tests {
                 .collect();
             assert_eq!(via, direct_set, "valuation {v:?}");
         }
+    }
+
+    /// The hash fast path of [`cjoin`] (ground join keys probed, null keys
+    /// nested-loop) is semantics preserving: on a join whose key columns
+    /// mix ground values and nulls on both sides, applying any palette
+    /// valuation to the conditional result equals the ground execution
+    /// over the valued instance.
+    #[test]
+    fn cjoin_hash_path_commutes_with_valuations() {
+        let r = RelSym::new("CjR");
+        let s = RelSym::new("CjS");
+        let mut inst = Instance::new();
+        for (a, b) in [("a", "k"), ("b", "l"), ("c", "k")] {
+            inst.insert(r, Tuple::from_names(&[a, b]));
+        }
+        inst.insert(r, Tuple::new(vec![Value::c("d"), Value::null(1)]));
+        inst.insert(s, Tuple::from_names(&["k", "out1"]));
+        inst.insert(s, Tuple::from_names(&["l", "out2"]));
+        inst.insert(s, Tuple::new(vec![Value::null(1), Value::c("out3")]));
+        inst.insert(s, Tuple::new(vec![Value::null(2), Value::c("out4")]));
+        let ct = CInstance::from_naive(&inst);
+        let f = parse_formula("CjR(x, y) & CjS(y, z)").unwrap();
+        let plan = lower_formula(&f).unwrap();
+        let outcols = [dx_relation::Var::new("x"), dx_relation::Var::new("z")];
+        let cond_result = exec_conditional_table(&plan, &outcols, &ct);
+        let mut checked = 0usize;
+        for (ground, v) in ct.rep_members(&std::collections::BTreeSet::new()) {
+            let idx = dx_relation::InstanceIndex::build(&ground);
+            let direct: BTreeSet<Vec<Value>> = {
+                let rows = crate::exec::exec(&plan, &idx);
+                let xc = rows.col(outcols[0]).unwrap();
+                let zc = rows.col(outcols[1]).unwrap();
+                rows.rows.iter().map(|r| vec![r[xc], r[zc]]).collect()
+            };
+            let via: BTreeSet<Vec<Value>> = cond_result
+                .apply(&v)
+                .into_iter()
+                .map(|t| t.values().to_vec())
+                .collect();
+            assert_eq!(via, direct, "valuation {v:?}");
+            checked += 1;
+        }
+        assert!(checked > 1, "several rep members exercised");
     }
 
     #[test]

@@ -168,6 +168,13 @@ impl QueryEval {
         self.compiled.is_some()
     }
 
+    /// The compiled form, when the formula is safe-range (conditional-mode
+    /// consumers route through it; `None` means callers must use an
+    /// instance-level fallback).
+    pub fn compiled(&self) -> Option<&CompiledQuery> {
+        self.compiled.as_ref()
+    }
+
     /// The underlying query.
     pub fn query(&self) -> &Query {
         &self.query
@@ -197,6 +204,24 @@ impl QueryEval {
         }
     }
 
+    /// Does `tuple` belong to the answers over an already-indexed store?
+    /// Compiled queries probe `store` directly — **no index build per
+    /// call**, which is what makes the solver's incrementally maintained
+    /// candidate store pay off; non-safe-range queries tree-walk
+    /// `fallback` (the store's materialized instance view), bit-identical
+    /// to [`QueryEval::holds_on`] either way.
+    pub fn holds_on_indexed(
+        &self,
+        store: &dyn QueryStore,
+        fallback: &Instance,
+        tuple: &Tuple,
+    ) -> bool {
+        match &self.compiled {
+            Some(c) => c.holds_on_store(store, tuple),
+            None => self.query.holds_on(fallback, tuple),
+        }
+    }
+
     /// Evaluate a Boolean query.
     pub fn holds_boolean(&self, instance: &Instance) -> bool {
         self.holds_on(instance, &Tuple::new(Vec::<Value>::new()))
@@ -204,11 +229,12 @@ impl QueryEval {
 }
 
 /// The compiled STD-body evaluator: implements [`dx_chase::BodyEval`] by
-/// lowering each body to a plan and executing it index-backed, falling
-/// back to the reference tree walker for non-safe-range bodies. Reproduces
-/// the reference witness order exactly (sorted rows in
-/// [`Std::body_vars`] order), so canonical solutions are identical across
-/// engines.
+/// drawing each body's plan from the shared [`crate::PlanCatalog`] (one
+/// lowering per distinct body per process, not one per `witnesses` call)
+/// and executing it index-backed, falling back to the reference tree
+/// walker for non-safe-range bodies. Reproduces the reference witness
+/// order exactly (sorted rows in [`Std::body_vars`] order), so canonical
+/// solutions are identical across engines.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PlannedBodyEval;
 
@@ -219,7 +245,7 @@ impl BodyEval for PlannedBodyEval {
 
     fn witnesses(&self, std: &Std, source: &Instance) -> Vec<Vec<Value>> {
         let vars = std.body_vars();
-        match CompiledQuery::compile_formula(&std.body, &vars) {
+        match crate::PlanCatalog::shared().formula(&std.body, &vars) {
             Ok(cq) => cq
                 .answers(source)
                 .iter()
@@ -281,6 +307,46 @@ mod tests {
         let possible = cq.possible_answers_conditional(&ct);
         assert!(possible.contains(&Tuple::from_names(&["b"])));
         assert!(cq.certain_answers_conditional(&ct).is_empty());
+    }
+
+    /// The broadened safe-range fragment (mixed-schema disjunction filters,
+    /// the implication shape) evaluates bit-identically to the tree-walking
+    /// oracle, nulls included.
+    #[test]
+    fn broadened_fragment_matches_tree_walker() {
+        let mut i = Instance::new();
+        i.insert_names("BfR", &["a", "b"]);
+        i.insert_names("BfR", &["b", "b"]);
+        i.insert(
+            RelSym::new("BfR"),
+            Tuple::new(vec![Value::c("c"), Value::null(4)]),
+        );
+        i.insert_names("BfS", &["a"]);
+        i.insert(RelSym::new("BfS"), Tuple::new(vec![Value::null(4)]));
+        i.insert_names("BfT", &["b"]);
+        i.insert_names("BfSub", &["p1", "alice"]);
+        i.insert_names("BfSub", &["p1", "bob"]);
+        i.insert_names("BfSub", &["p2", "carol"]);
+        for (heads, src) in [
+            (vec!["x", "y"], "BfR(x, y) & (BfS(x) | BfT(y))"),
+            (vec!["x", "y"], "BfR(x, y) & (x = y | BfS(x))"),
+            (vec!["x", "y"], "BfR(x, y) & (!BfS(x) | BfT(y))"),
+            (
+                vec![],
+                "forall p a1 a2. (BfSub(p, a1) & BfSub(p, a2) -> a1 = a2)",
+            ),
+        ] {
+            let heads: Vec<&str> = heads;
+            let q = Query::parse(&heads, src).unwrap();
+            let ev = QueryEval::new(&q);
+            assert!(ev.is_compiled(), "{src} should now lower");
+            assert_eq!(ev.answers(&i), q.answers(&i), "{src}");
+            assert_eq!(
+                ev.naive_certain_answers(&i),
+                q.naive_certain_answers(&i),
+                "{src}"
+            );
+        }
     }
 
     #[test]

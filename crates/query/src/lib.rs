@@ -29,9 +29,18 @@
 //!   (`dx-core::ctable_bridge`) runs on plans too;
 //! * [`eval`] — the consumer-facing bundle: [`eval::CompiledQuery`] (plan +
 //!   head), [`eval::QueryEval`] (compile-or-fallback evaluation of a
-//!   [`dx_logic::Query`]), and [`eval::PlannedBodyEval`] (the
-//!   [`dx_chase::BodyEval`] implementation that makes `canonical_solution`'s
-//!   STD-body evaluation run on indexed plans).
+//!   [`dx_logic::Query`], with [`eval::QueryEval::holds_on_indexed`] as the
+//!   per-leaf form probing an already-maintained store), and
+//!   [`eval::PlannedBodyEval`] (the [`dx_chase::BodyEval`] implementation
+//!   that makes `canonical_solution`'s STD-body evaluation run on indexed
+//!   plans);
+//! * [`catalog`] — the shared [`catalog::PlanCatalog`]: compiled plans
+//!   cached behind interior mutability, keyed by structural hash + schema
+//!   fingerprint and verified by equality, so one catalog serves every
+//!   pipeline (certain/possible answers, composition, c-table routes, the
+//!   chase body evaluator, the solver's `Rep_A` refutation closures).
+//!   Consumers draw from [`catalog::PlanCatalog::shared`] instead of
+//!   constructing [`eval::QueryEval`]s directly.
 //!
 //! Differential testing: `tests/query_differential.rs` at the workspace
 //! root asserts plan execution ≡ tree-walking evaluation on randomized
@@ -42,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod cexec;
 pub mod eval;
 pub mod exec;
@@ -50,6 +60,7 @@ pub mod plan;
 pub mod ra;
 pub mod store;
 
+pub use catalog::{CatalogStats, PlanCatalog};
 pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
 pub use lower::{lower_formula, LowerError};
 pub use plan::{Plan, PlanPred, Ref};

@@ -19,10 +19,17 @@
 //!   equality chains propagate range-restriction;
 //! * a negated conjunct `¬ψ` whose free variables are covered by the
 //!   positive part becomes an [`Plan::AntiJoin`]; a negated equality
-//!   becomes an inequality filter;
+//!   becomes an inequality filter; a negated disjunction is expanded by
+//!   De Morgan into negated conjuncts first — which is how the implication
+//!   shape `φ → ψ` (parsed as `¬φ ∨ ψ`) under a universal quantifier (the
+//!   one-author query of §1) reaches the plan algebra;
 //! * `∃z̄ φ` projects `z̄` away; `∀z̄ φ` is rewritten to `¬∃z̄ ¬φ` first;
-//! * a disjunction must have identically ranged disjuncts and becomes a
-//!   [`Plan::Union`].
+//! * a disjunction whose disjuncts range identical variables becomes a
+//!   [`Plan::Union`]; a disjunction whose disjuncts range **different**
+//!   variable sets is accepted as a *filter* when all its free variables
+//!   are range-restricted by the surrounding conjunction — each disjunct
+//!   reduces the bound rows (semi-join, anti-join, or predicate select)
+//!   and the branches union back together.
 
 use crate::plan::{Plan, PlanPred, Ref};
 use dx_logic::{Formula, Term};
@@ -169,13 +176,26 @@ fn term_ref(t: &Term) -> Result<Ref, LowerError> {
 }
 
 fn lower_and(fs: &[Formula]) -> Result<Plan, LowerError> {
-    // Flatten nested conjunctions (substitution can re-nest them).
-    let mut conjuncts: Vec<&Formula> = Vec::new();
-    fn flatten<'f>(fs: &'f [Formula], out: &mut Vec<&'f Formula>) {
+    // Flatten nested conjunctions (substitution can re-nest them) and
+    // expand negated disjunctions by De Morgan: ¬(g₁ ∨ … ∨ gₖ) contributes
+    // the conjuncts ¬g₁, …, ¬gₖ — each handled by whichever rule fits it
+    // (inequality filter, anti-join, …). This is what admits the
+    // implication shape `ψ → x = y` (the §1 one-author query) into the
+    // safe-range fragment: under ∀-rewriting it arrives here as
+    // ¬(¬ψ ∨ x = y), i.e. the conjuncts ψ and ¬(x = y).
+    let mut conjuncts: Vec<Formula> = Vec::new();
+    fn flatten(fs: &[Formula], out: &mut Vec<Formula>) {
         for f in fs {
             match f {
                 Formula::And(inner) => flatten(inner, out),
-                other => out.push(other),
+                Formula::Not(inner) => match &**inner {
+                    Formula::Or(gs) => {
+                        let negated: Vec<Formula> = gs.iter().cloned().map(Formula::not).collect();
+                        flatten(&negated, out);
+                    }
+                    _ => out.push(f.clone()),
+                },
+                other => out.push(other.clone()),
             }
         }
     }
@@ -190,8 +210,11 @@ fn lower_and(fs: &[Formula]) -> Result<Plan, LowerError> {
     let mut var_eqs: Vec<(Var, Var)> = Vec::new();
     let mut filters: Vec<PlanPred> = Vec::new();
     let mut negatives: Vec<Formula> = Vec::new();
+    // Disjunctive conjuncts whose disjuncts range different variable sets:
+    // deferred, then applied as row filters once the bound set is known.
+    let mut or_filters: Vec<Vec<Formula>> = Vec::new();
 
-    for c in conjuncts {
+    for c in &conjuncts {
         match c {
             Formula::True => {}
             Formula::False => return Ok(empty()),
@@ -221,6 +244,14 @@ fn lower_and(fs: &[Formula]) -> Result<Plan, LowerError> {
                 vars.clone(),
                 Box::new(Formula::not((**inner).clone())),
             )),
+            Formula::Or(gs) => match lower_or(gs) {
+                // Identically ranged disjuncts: a positive union, as before.
+                Ok(p) => positives.push(p),
+                Err(LowerError::FunctionTerm) => return Err(LowerError::FunctionTerm),
+                // Differing variable sets: usable as a filter if the rest of
+                // the conjunction ranges every variable (checked below).
+                Err(LowerError::NotSafeRange(_)) => or_filters.push(gs.clone()),
+            },
             other => positives.push(lower(other)?),
         }
     }
@@ -295,6 +326,51 @@ fn lower_and(fs: &[Formula]) -> Result<Plan, LowerError> {
         plan = Plan::AntiJoin {
             left: Box::new(plan),
             right: Box::new(p),
+        };
+    }
+
+    // Deferred disjunctions with differing variable sets: every free
+    // variable must now be bound, then each disjunct filters the bound
+    // rows — semi-join for a positive disjunct, anti-join for a negated
+    // one, predicate select for (in)equalities — and the per-disjunct
+    // branches union back together (schemas agree: filters preserve the
+    // input schema).
+    for gs in &or_filters {
+        for v in Formula::Or(gs.clone()).free_vars() {
+            if !avail.contains(&v) {
+                return Err(LowerError::NotSafeRange(format!(
+                    "disjunctive filter variable {v} is not range-restricted"
+                )));
+            }
+        }
+        let mut branches: Vec<Plan> = Vec::new();
+        for g in gs {
+            let branch = match g {
+                Formula::Eq(a, b) => Plan::Select {
+                    input: Box::new(plan.clone()),
+                    pred: PlanPred::Eq(term_ref(a)?, term_ref(b)?),
+                },
+                Formula::Not(inner) => match &**inner {
+                    Formula::Eq(a, b) => Plan::Select {
+                        input: Box::new(plan.clone()),
+                        pred: PlanPred::Not(Box::new(PlanPred::Eq(term_ref(a)?, term_ref(b)?))),
+                    },
+                    neg => Plan::AntiJoin {
+                        left: Box::new(plan.clone()),
+                        right: Box::new(lower(neg)?),
+                    },
+                },
+                pos => Plan::SemiJoin {
+                    left: Box::new(plan.clone()),
+                    right: Box::new(lower(pos)?),
+                },
+            };
+            branches.push(branch);
+        }
+        plan = match branches.len() {
+            0 => empty(),
+            1 => branches.pop_unwrap(),
+            _ => Plan::Union { inputs: branches },
         };
     }
 
@@ -380,6 +456,36 @@ mod tests {
             lower_src("LoF(x) & x = fsk(x)"),
             Err(LowerError::FunctionTerm)
         ));
+    }
+
+    /// Disjuncts ranging different variable sets are accepted as filters
+    /// when the surrounding conjunction binds every variable.
+    #[test]
+    fn mixed_schema_disjunction_filters() {
+        let p = lower_src("LoR(x, y) & (LoS(x) | LoT(y))").unwrap();
+        let mut expected = vec![Var::new("x"), Var::new("y")];
+        expected.sort();
+        assert_eq!(p.vars(), expected);
+        assert!(matches!(p, Plan::Union { .. }));
+        // Equality and negated disjuncts participate too.
+        let p = lower_src("LoR(x, y) & (x = y | LoS(x))").unwrap();
+        assert_eq!(p.vars(), expected);
+        let p = lower_src("LoR(x, y) & (!LoS(x) | LoT(y))").unwrap();
+        assert_eq!(p.vars(), expected);
+        // Unbound variables still reject.
+        assert!(matches!(
+            lower_src("LoR(x, y) & (LoS(z) | LoT(y))"),
+            Err(LowerError::NotSafeRange(_))
+        ));
+    }
+
+    /// The §1 one-author query — a universally quantified implication —
+    /// lowers via the De Morgan expansion of its `¬(¬ψ ∨ x = y)` core.
+    #[test]
+    fn one_author_implication_lowers() {
+        let p = lower_src("forall p a1 a2. (LoSub(p, a1) & LoSub(p, a2) -> a1 = a2)").unwrap();
+        assert!(p.vars().is_empty(), "boolean sentence");
+        assert!(matches!(p, Plan::AntiJoin { .. }));
     }
 
     #[test]

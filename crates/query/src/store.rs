@@ -15,7 +15,7 @@
 //!   delta-driven chase, so plans run against chase output without a
 //!   re-index.
 
-use dx_relation::{Instance, InstanceIndex, RelSym, Tuple, Value};
+use dx_relation::{DeltaIndex, Instance, InstanceIndex, RelSym, Tuple, Value};
 
 /// An indexed tuple source the executor can scan and probe.
 pub trait QueryStore {
@@ -54,6 +54,29 @@ impl QueryStore for InstanceIndex {
                 f(idx.get(id));
             }
         }
+    }
+}
+
+/// The incrementally maintained store: `dx-solver`'s `Rep_A` search mutates
+/// one [`DeltaIndex`] by delta apply/undo and compiled plans probe it at
+/// every leaf — the replacement for building an [`InstanceIndex`] per
+/// candidate instance. Identical tuple sets answer identically to the
+/// snapshot index (`dx-relation`'s delta tests assert it).
+impl QueryStore for DeltaIndex {
+    fn rel_arity(&self, rel: RelSym) -> Option<usize> {
+        DeltaIndex::rel_arity(self, rel)
+    }
+
+    fn rel_len(&self, rel: RelSym) -> usize {
+        DeltaIndex::rel_len(self, rel)
+    }
+
+    fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize {
+        DeltaIndex::selectivity(self, rel, pattern)
+    }
+
+    fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
+        DeltaIndex::for_each_matching(self, rel, pattern, f)
     }
 }
 

@@ -1,0 +1,396 @@
+//! An incrementally maintained instance index with O(delta) apply/undo.
+//!
+//! [`InstanceIndex`](crate::index::InstanceIndex) is an immutable snapshot:
+//! consumers that probe many *slightly different* instances (the `Rep_A`
+//! valuation search in `dx-solver` walks thousands of candidate instances
+//! that differ from each other by a handful of tuples) pay a full rebuild
+//! per candidate. [`DeltaIndex`] is the mutable alternative:
+//!
+//! * tuples are **reference counted**, so the store keeps set semantics
+//!   while callers apply and undo overlapping deltas in any (LIFO) order —
+//!   two search branches valuing distinct nulls onto the same ground tuple
+//!   simply bump the count;
+//! * each relation keeps the same per-column hash postings as
+//!   [`RelationIndex`](crate::index::RelationIndex) (slot ids instead of
+//!   build-time ids), so pattern probes and selectivity estimates behave
+//!   identically on identical tuple sets;
+//! * a plain [`Instance`] is maintained in lock-step, giving fallback
+//!   consumers (tree-walking evaluators, witness extraction) a zero-cost
+//!   materialized view: [`DeltaIndex::instance`] is always exactly the set
+//!   of live tuples.
+//!
+//! Removal assumes the backtracking discipline of its consumers: deltas are
+//! undone newest-first, so posting-list removals probe from the tail (an
+//! O(1) hit on the LIFO path, linear only on out-of-order removals).
+
+use crate::fxmap::FastMap;
+use crate::instance::Instance;
+use crate::intern::RelSym;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// One relation's mutable index: refcounted tuples in insertion-ordered
+/// slots plus per-column postings of slot ids.
+struct DeltaRelation {
+    arity: usize,
+    /// Slot id → live tuple (`None` = freed slot, reusable).
+    slots: Vec<Option<Tuple>>,
+    /// Freed slot ids (reused newest-first).
+    free: Vec<u32>,
+    /// Live tuple → (slot id, reference count).
+    refs: FastMap<Tuple, (u32, u32)>,
+    /// `by_col[c][v]` = slot ids of live tuples with value `v` at column
+    /// `c`, in insertion order.
+    by_col: Vec<FastMap<Value, Vec<u32>>>,
+}
+
+impl DeltaRelation {
+    fn new(arity: usize) -> Self {
+        DeltaRelation {
+            arity,
+            slots: Vec::new(),
+            free: Vec::new(),
+            refs: FastMap::default(),
+            by_col: vec![FastMap::default(); arity],
+        }
+    }
+
+    /// Number of live (distinct) tuples.
+    fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Bump or insert; returns `true` when the tuple became visible
+    /// (count 0 → 1).
+    fn insert(&mut self, t: Tuple) -> bool {
+        debug_assert_eq!(t.arity(), self.arity, "tuple arity");
+        if let Some((_, count)) = self.refs.get_mut(&t) {
+            *count += 1;
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(t.clone());
+                s
+            }
+            None => {
+                self.slots.push(Some(t.clone()));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        for (c, v) in t.iter().enumerate() {
+            self.by_col[c].entry(v).or_default().push(slot);
+        }
+        self.refs.insert(t, (slot, 1));
+        true
+    }
+
+    /// Unbump or remove; returns `true` when the tuple became invisible
+    /// (count 1 → 0). Panics if the tuple is not live (an unmatched undo is
+    /// a caller bug, not a runtime condition).
+    fn remove(&mut self, t: &Tuple) -> bool {
+        let (slot, count) = self
+            .refs
+            .get_mut(t)
+            .expect("DeltaRelation::remove of a tuple that is not live");
+        if *count > 1 {
+            *count -= 1;
+            return false;
+        }
+        let slot = *slot;
+        self.refs.remove(t);
+        for (c, v) in t.iter().enumerate() {
+            let posting = self.by_col[c]
+                .get_mut(&v)
+                .expect("posting list exists for a live tuple");
+            // LIFO discipline: the undone tuple is almost always the newest
+            // entry of its posting lists.
+            let pos = posting
+                .iter()
+                .rposition(|&s| s == slot)
+                .expect("slot posted for a live tuple");
+            posting.remove(pos);
+            if posting.is_empty() {
+                self.by_col[c].remove(&v);
+            }
+        }
+        self.slots[slot as usize] = None;
+        self.free.push(slot);
+        true
+    }
+
+    fn contains(&self, t: &Tuple) -> bool {
+        self.refs.contains_key(t)
+    }
+
+    /// Posting list of `(col, value)` (empty when absent).
+    fn probe(&self, col: usize, value: Value) -> &[u32] {
+        self.by_col[col]
+            .get(&value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The selectivity estimate of [`RelationIndex`]: the tightest bound
+    /// column's posting length, or the live count when nothing is bound.
+    fn selectivity(&self, pattern: &[Option<Value>]) -> usize {
+        debug_assert_eq!(pattern.len(), self.arity);
+        pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|v| self.probe(c, v).len()))
+            .min()
+            .unwrap_or_else(|| self.len())
+    }
+
+    fn for_each_matching(&self, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
+        debug_assert_eq!(pattern.len(), self.arity);
+        let matches = |t: &Tuple| {
+            pattern
+                .iter()
+                .enumerate()
+                .all(|(c, p)| p.is_none_or(|pv| t.get(c) == pv))
+        };
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|v| (self.probe(c, v).len(), c, v)))
+            .min();
+        match best {
+            None => {
+                for t in self.slots.iter().flatten() {
+                    f(t);
+                }
+            }
+            Some((_, col, v)) => {
+                for &slot in self.probe(col, v) {
+                    let t = self.slots[slot as usize]
+                        .as_ref()
+                        .expect("posted slots are live");
+                    if matches(t) {
+                        f(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A mutable, incrementally indexed instance (see the module docs).
+#[derive(Default)]
+pub struct DeltaIndex {
+    instance: Instance,
+    rels: BTreeMap<RelSym, DeltaRelation>,
+}
+
+impl DeltaIndex {
+    /// The empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index every relation of `inst` (each tuple at count 1).
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut d = DeltaIndex::new();
+        for (rel, r) in inst.relations() {
+            d.declare(rel, r.arity());
+            for t in r.iter() {
+                d.insert(rel, t.clone());
+            }
+        }
+        d
+    }
+
+    /// Declare a relation (so its arity is known even while it is empty) —
+    /// the counterpart of [`Instance::declare`].
+    pub fn declare(&mut self, rel: RelSym, arity: usize) {
+        self.rels
+            .entry(rel)
+            .or_insert_with(|| DeltaRelation::new(arity));
+        self.instance.declare(rel, arity);
+    }
+
+    /// Apply a `+tuple` delta: bump the reference count, making the tuple
+    /// visible on count 0 → 1 (the return value).
+    pub fn insert(&mut self, rel: RelSym, t: Tuple) -> bool {
+        let arity = t.arity();
+        let entry = self
+            .rels
+            .entry(rel)
+            .or_insert_with(|| DeltaRelation::new(arity));
+        if entry.insert(t.clone()) {
+            self.instance.insert(rel, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Undo a `+tuple` delta: unbump, removing the tuple from view on
+    /// count 1 → 0 (the return value). Panics when the tuple is not live.
+    pub fn remove(&mut self, rel: RelSym, t: &Tuple) -> bool {
+        let entry = self
+            .rels
+            .get_mut(&rel)
+            .expect("DeltaIndex::remove from an undeclared relation");
+        if entry.remove(t) {
+            self.instance.remove(rel, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is `t` currently visible in `rel`?
+    pub fn contains(&self, rel: RelSym, t: &Tuple) -> bool {
+        self.rels.get(&rel).is_some_and(|r| r.contains(t))
+    }
+
+    /// The materialized view: exactly the set of live tuples, with declared
+    /// relations preserved.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The arity of `rel`, if declared.
+    pub fn rel_arity(&self, rel: RelSym) -> Option<usize> {
+        self.rels.get(&rel).map(|r| r.arity)
+    }
+
+    /// Number of live tuples in `rel` (0 when absent).
+    pub fn rel_len(&self, rel: RelSym) -> usize {
+        self.rels.get(&rel).map_or(0, |r| r.len())
+    }
+
+    /// Selectivity estimate for a partially bound pattern (see
+    /// [`RelationIndex::selectivity`](crate::index::RelationIndex::selectivity)).
+    pub fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize {
+        self.rels.get(&rel).map_or(0, |r| r.selectivity(pattern))
+    }
+
+    /// Invoke `f` on every live tuple of `rel` matching `pattern` on all
+    /// bound positions.
+    pub fn for_each_matching(
+        &self,
+        rel: RelSym,
+        pattern: &[Option<Value>],
+        f: &mut dyn FnMut(&Tuple),
+    ) {
+        if let Some(r) = self.rels.get(&rel) {
+            r.for_each_matching(pattern, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::InstanceIndex;
+
+    fn rel() -> RelSym {
+        RelSym::new("DlR")
+    }
+
+    fn sample() -> Instance {
+        let mut i = Instance::new();
+        i.insert_names("DlR", &["a", "x"]);
+        i.insert_names("DlR", &["a", "y"]);
+        i.insert(rel(), Tuple::new(vec![Value::c("b"), Value::null(3)]));
+        i
+    }
+
+    /// The delta store built from an instance answers probes exactly like a
+    /// snapshot index of the same instance.
+    #[test]
+    fn matches_snapshot_index_after_build() {
+        let inst = sample();
+        let delta = DeltaIndex::from_instance(&inst);
+        let snap = InstanceIndex::build(&inst);
+        assert_eq!(delta.instance(), &inst);
+        for pattern in [
+            vec![Some(Value::c("a")), None],
+            vec![None, Some(Value::c("x"))],
+            vec![None, Some(Value::null(3))],
+            vec![None, None],
+            vec![Some(Value::c("zzz")), None],
+        ] {
+            assert_eq!(
+                delta.selectivity(rel(), &pattern),
+                crate::index::RelationIndex::build(inst.relation(rel()).unwrap())
+                    .selectivity(&pattern)
+            );
+            let mut via_delta = Vec::new();
+            delta.for_each_matching(rel(), &pattern, &mut |t| via_delta.push(t.clone()));
+            let mut via_snap = Vec::new();
+            if let Some(ri) = snap.relation(rel()) {
+                for id in ri.matching(&pattern) {
+                    via_snap.push(ri.get(id).clone());
+                }
+            }
+            via_delta.sort();
+            via_snap.sort();
+            assert_eq!(via_delta, via_snap, "pattern {pattern:?}");
+        }
+    }
+
+    /// Insert/remove round-trips restore the exact previous state, at any
+    /// nesting depth (the backtracking protocol).
+    #[test]
+    fn lifo_apply_undo_restores_state() {
+        let inst = sample();
+        let mut delta = DeltaIndex::from_instance(&inst);
+        let t1 = Tuple::from_names(&["c", "z"]);
+        let t2 = Tuple::from_names(&["c", "w"]);
+        assert!(delta.insert(rel(), t1.clone()));
+        assert!(delta.insert(rel(), t2.clone()));
+        assert_eq!(delta.rel_len(rel()), 5);
+        assert_eq!(delta.selectivity(rel(), &[Some(Value::c("c")), None]), 2);
+        assert!(delta.remove(rel(), &t2));
+        assert!(delta.remove(rel(), &t1));
+        assert_eq!(delta.instance(), &inst);
+        assert_eq!(delta.selectivity(rel(), &[Some(Value::c("c")), None]), 0);
+    }
+
+    /// Reference counting: overlapping deltas keep set semantics.
+    #[test]
+    fn refcounts_keep_set_semantics() {
+        let mut delta = DeltaIndex::new();
+        delta.declare(rel(), 2);
+        let t = Tuple::from_names(&["a", "b"]);
+        assert!(delta.insert(rel(), t.clone()));
+        assert!(!delta.insert(rel(), t.clone()), "second insert only bumps");
+        assert_eq!(delta.rel_len(rel()), 1);
+        assert_eq!(delta.instance().tuple_count(), 1);
+        assert!(!delta.remove(rel(), &t), "first remove only unbumps");
+        assert!(delta.contains(rel(), &t));
+        assert!(delta.remove(rel(), &t));
+        assert!(!delta.contains(rel(), &t));
+        assert!(delta.instance().is_empty());
+        // The relation stays declared (mirrors `rel_part` semantics).
+        assert_eq!(delta.rel_arity(rel()), Some(2));
+        assert_eq!(delta.instance().relation(rel()).map(|r| r.arity()), Some(2));
+    }
+
+    /// Out-of-order removal still works (linear posting scan).
+    #[test]
+    fn non_lifo_removal_is_correct() {
+        let mut delta = DeltaIndex::new();
+        delta.declare(rel(), 1);
+        let ts: Vec<Tuple> = ["p", "q", "r"]
+            .iter()
+            .map(|n| Tuple::from_names(&[n]))
+            .collect();
+        for t in &ts {
+            delta.insert(rel(), t.clone());
+        }
+        delta.remove(rel(), &ts[0]);
+        let mut seen = Vec::new();
+        delta.for_each_matching(rel(), &[None], &mut |t| seen.push(t.clone()));
+        seen.sort();
+        assert_eq!(seen, vec![ts[1].clone(), ts[2].clone()]);
+        // Freed slot is reused.
+        delta.insert(rel(), Tuple::from_names(&["s"]));
+        assert_eq!(delta.rel_len(rel()), 3);
+    }
+}

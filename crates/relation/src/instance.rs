@@ -143,6 +143,13 @@ impl Instance {
         self.rels.entry(rel).or_insert_with(|| Relation::new(arity));
     }
 
+    /// Remove `t` from relation `rel`; the relation stays declared even when
+    /// it becomes empty (so arities survive, mirroring
+    /// [`AnnInstance::rel_part`](crate::annotation::AnnInstance::rel_part)).
+    pub fn remove(&mut self, rel: RelSym, t: &Tuple) -> bool {
+        self.rels.get_mut(&rel).is_some_and(|r| r.remove(t))
+    }
+
     /// The relation for `rel`, if any tuple or declaration exists.
     pub fn relation(&self, rel: RelSym) -> Option<&Relation> {
         self.rels.get(&rel)

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod annotation;
+pub mod delta;
 pub mod fxmap;
 pub mod index;
 pub mod instance;
@@ -32,6 +33,7 @@ pub mod valuation;
 pub mod value;
 
 pub use annotation::{Ann, AnnInstance, AnnRelation, AnnTuple, Annotation};
+pub use delta::DeltaIndex;
 pub use fxmap::{FastMap, FastSet};
 pub use index::{InstanceIndex, RelationIndex, TupleId};
 pub use instance::{Instance, Schema};

@@ -1,4 +1,4 @@
-//! Bounded search over `Rep_A(T)`.
+//! Bounded search over `Rep_A(T)`, on one incrementally maintained index.
 //!
 //! The witness spaces of the paper's decidable query-answering cases all
 //! have the shape `I = V ∪ E` (Lemma 2's `V ∪ E₀ ∪ E′`, Proposition 5's
@@ -21,9 +21,29 @@
 //! (the full Lemma 2 bound `(qr+arity)·2^n` is available but astronomically
 //! expensive, matching coNEXPTIME-hardness); the returned
 //! [`Completeness`] records which regime applied.
+//!
+//! ## The incremental candidate store
+//!
+//! Candidate instances are **never materialized per leaf**. The search
+//! maintains one [`DeltaIndex`] — a refcounted, column-indexed instance —
+//! and applies/undoes deltas on DFS enter/exit:
+//!
+//! * assigning a null `⊥ ↦ c` inserts the valued image of every `T`-tuple
+//!   whose nulls just became fully assigned (and un-assignment removes
+//!   exactly those images);
+//! * choosing an extra tuple inserts it; backtracking removes it.
+//!
+//! Leaf checks receive a [`Leaf`] handle exposing the live index (for
+//! compiled-plan probes — see `dx-query`), the materialized [`Instance`]
+//! view (for tree-walking fallbacks), and the current valuation. The
+//! closure-over-`&Instance` API ([`search_rep_a`]) remains as a shim; its
+//! per-leaf instance is the same live view, so even legacy checks stop
+//! paying a clone per candidate.
 
 use crate::palette::Palette;
-use dx_relation::{AnnInstance, ConstId, Instance, NullId, RelSym, Tuple, Valuation, Value};
+use dx_relation::{
+    AnnInstance, ConstId, DeltaIndex, FastMap, Instance, NullId, RelSym, Tuple, Valuation, Value,
+};
 use std::collections::BTreeSet;
 
 /// Budget for the `Rep_A` search space.
@@ -157,6 +177,34 @@ pub struct SearchOutcome {
     pub leaves: u64,
 }
 
+/// One candidate instance of the search, presented to a leaf check without
+/// materialization: the live incremental index, its instance view, and the
+/// valuation that produced it.
+pub struct Leaf<'a> {
+    delta: &'a DeltaIndex,
+    valuation: &'a Valuation,
+}
+
+impl<'a> Leaf<'a> {
+    /// The live incremental index over the candidate instance — the store
+    /// compiled `dx-query` plans execute against (it implements
+    /// `dx_query::QueryStore`).
+    pub fn index(&self) -> &'a DeltaIndex {
+        self.delta
+    }
+
+    /// The candidate instance (maintained in lock-step with the index; no
+    /// per-leaf materialization cost).
+    pub fn instance(&self) -> &'a Instance {
+        self.delta.instance()
+    }
+
+    /// The valuation of this candidate (total on the nulls of `T`).
+    pub fn valuation(&self) -> &Valuation {
+        self.valuation
+    }
+}
+
 /// Does the annotated instance admit extra tuples at all (any open position
 /// on a tuple, or an all-open empty marker)?
 pub fn admits_extras(t: &AnnInstance) -> bool {
@@ -165,22 +213,51 @@ pub fn admits_extras(t: &AnnInstance) -> bool {
     })
 }
 
-/// Search `Rep_A(T)` for an instance satisfying `check`.
+/// Search `Rep_A(T)` for an instance satisfying `check`, with the check
+/// running against the incrementally maintained candidate store (see the
+/// module docs). This is the engine behind every `Rep_A` refutation loop in
+/// `dx-core`: compiled query plans probe [`Leaf::index`] directly instead of
+/// indexing a freshly built instance per candidate.
 ///
 /// `extra_base_consts` joins the palette (pass the constants of the query
 /// being refuted, per the paper's `C_φ`). The search enumerates valuations
 /// (with `#nulls` fresh constants — exact by genericity) and then extra
 /// tuples within `budget`.
-pub fn search_rep_a(
+pub fn search_rep_a_indexed(
     t: &AnnInstance,
     extra_base_consts: &BTreeSet<ConstId>,
     budget: &SearchBudget,
-    check: &mut dyn FnMut(&Instance) -> bool,
+    check: &mut dyn FnMut(&Leaf<'_>) -> bool,
 ) -> SearchOutcome {
     let nulls: Vec<NullId> = t.nulls().into_iter().collect();
     let mut base: BTreeSet<ConstId> = t.adom_consts();
     base.extend(extra_base_consts.iter().copied());
     let val_palette = Palette::new(base.iter().copied(), nulls.len(), "v");
+
+    // The tracked tuples of rel(T): each knows how many of its (distinct)
+    // nulls are still unassigned; ground tuples enter the store up front.
+    let mut delta = DeltaIndex::new();
+    let mut tracked: Vec<TrackedTuple> = Vec::new();
+    let mut by_null: FastMap<NullId, Vec<usize>> = FastMap::default();
+    for (rel, arel) in t.relations() {
+        delta.declare(rel, arel.arity());
+        for at in arel.iter() {
+            let tuple_nulls: BTreeSet<NullId> = at.tuple.nulls().collect();
+            if tuple_nulls.is_empty() {
+                delta.insert(rel, at.tuple.clone());
+            } else {
+                let idx = tracked.len();
+                for &n in &tuple_nulls {
+                    by_null.entry(n).or_default().push(idx);
+                }
+                tracked.push(TrackedTuple {
+                    rel,
+                    tuple: at.tuple.clone(),
+                    unassigned: tuple_nulls.len(),
+                });
+            }
+        }
+    }
 
     let mut state = State {
         t,
@@ -191,6 +268,9 @@ pub fn search_rep_a(
         capped: false,
         pool_truncated: false,
         witness: None,
+        delta,
+        tracked,
+        by_null,
     };
 
     let mut v = Valuation::new();
@@ -218,6 +298,22 @@ pub fn search_rep_a(
     }
 }
 
+/// [`search_rep_a_indexed`] with a plain instance-closure check — the
+/// compatibility shim for callers that do not probe the index. The instance
+/// handed to `check` is the live view, so no per-leaf clone occurs; but a
+/// check that builds its own index per call re-creates exactly the
+/// rebuild-per-candidate baseline the indexed API exists to avoid.
+pub fn search_rep_a(
+    t: &AnnInstance,
+    extra_base_consts: &BTreeSet<ConstId>,
+    budget: &SearchBudget,
+    check: &mut dyn FnMut(&Instance) -> bool,
+) -> SearchOutcome {
+    search_rep_a_indexed(t, extra_base_consts, budget, &mut |leaf| {
+        check(leaf.instance())
+    })
+}
+
 /// Enumerate members of `Rep_A(T)` within the budget, invoking `visit` on
 /// each; stops early if `visit` returns `true`. Returns the number of
 /// instances visited.
@@ -230,18 +326,66 @@ pub fn enumerate_rep_a(
     search_rep_a(t, extra_base_consts, budget, visit).leaves
 }
 
+/// A `rel(T)` tuple containing nulls, waiting for its valuation image.
+struct TrackedTuple {
+    rel: RelSym,
+    tuple: Tuple,
+    /// Distinct nulls of `tuple` not yet assigned by the current valuation
+    /// prefix; the image enters the store when this reaches 0.
+    unassigned: usize,
+}
+
 struct State<'a> {
     t: &'a AnnInstance,
     budget: &'a SearchBudget,
-    check: &'a mut dyn FnMut(&Instance) -> bool,
+    check: &'a mut dyn FnMut(&Leaf<'_>) -> bool,
     extra_base: BTreeSet<ConstId>,
     leaves: u64,
     capped: bool,
     pool_truncated: bool,
     witness: Option<(Instance, Valuation)>,
+    /// The single candidate store, kept in sync with the DFS by the
+    /// apply/undo pairs in [`State::valuation_dfs`] / [`State::subsets`].
+    delta: DeltaIndex,
+    tracked: Vec<TrackedTuple>,
+    by_null: FastMap<NullId, Vec<usize>>,
 }
 
 impl<'a> State<'a> {
+    /// Assign `null ↦ c` and insert the images of tuples that just became
+    /// fully valued; returns the applied images for [`State::unassign`].
+    fn assign(&mut self, null: NullId, c: ConstId, v: &mut Valuation) -> Vec<(usize, Tuple)> {
+        v.set(null, c);
+        let mut applied = Vec::new();
+        if let Some(tis) = self.by_null.get(&null) {
+            for &ti in tis {
+                let tt = &mut self.tracked[ti];
+                tt.unassigned -= 1;
+                if tt.unassigned == 0 {
+                    let image = tt.tuple.apply(v);
+                    self.delta.insert(tt.rel, image.clone());
+                    applied.push((ti, image));
+                }
+            }
+        }
+        applied
+    }
+
+    /// Undo one [`State::assign`]: retract the images that entered the
+    /// store (newest-first, per the store's LIFO discipline) and restore
+    /// the unassigned-null counter of *every* tuple containing the null.
+    fn unassign(&mut self, null: NullId, applied: Vec<(usize, Tuple)>, v: &mut Valuation) {
+        for (ti, image) in applied.into_iter().rev() {
+            self.delta.remove(self.tracked[ti].rel, &image);
+        }
+        if let Some(tis) = self.by_null.get(&null) {
+            for &ti in tis {
+                self.tracked[ti].unassigned += 1;
+            }
+        }
+        v.unset(null);
+    }
+
     fn valuation_dfs(
         &mut self,
         nulls: &[NullId],
@@ -260,45 +404,58 @@ impl<'a> State<'a> {
         let choices: Vec<ConstId> = palette.choices(fresh_used).collect();
         for c in choices {
             let next_fresh = fresh_used + usize::from(palette.is_next_fresh(c, fresh_used));
-            v.set(nulls[i], c);
+            let applied = self.assign(nulls[i], c, v);
             self.valuation_dfs(nulls, i + 1, next_fresh, palette, v);
-            v.unset(nulls[i]);
+            self.unassign(nulls[i], applied, v);
             if self.witness.is_some() || self.capped {
                 return;
             }
         }
     }
 
+    /// Visit one candidate instance — the store as currently composed.
+    fn leaf(&mut self, v: &Valuation) {
+        self.leaves += 1;
+        if let Some(cap) = self.budget.max_leaves {
+            if self.leaves > cap {
+                self.capped = true;
+                return;
+            }
+        }
+        let leaf = Leaf {
+            delta: &self.delta,
+            valuation: v,
+        };
+        if (self.check)(&leaf) {
+            self.witness = Some((self.delta.instance().clone(), v.clone()));
+        }
+    }
+
     fn extras_phase(&mut self, v: &Valuation) {
-        let valued = self.t.apply(v);
-        let base_instance = valued.rel_part();
-        debug_assert!(base_instance.is_ground());
+        debug_assert!(self.delta.instance().is_ground());
+        // The bare valuation image is itself the first candidate (k = 0).
+        self.leaf(v);
+        if self.witness.is_some() || self.capped || self.budget.max_extra_tuples == 0 {
+            return;
+        }
 
         // Extension palette: adom of the valued instance + caller constants
         // + canonical external constants.
-        let mut ext_base: BTreeSet<ConstId> = base_instance.adom_consts();
+        let mut ext_base: BTreeSet<ConstId> = self.delta.instance().adom_consts();
         ext_base.extend(self.extra_base.iter().copied());
         let ext_palette = Palette::new(
             ext_base.iter().copied(),
             self.budget.max_external_consts,
             "e",
         );
-        let (pool, n_templates) = self.candidate_pool(&valued, &base_instance, &ext_palette);
+        let (pool, n_templates) = self.candidate_pool(v, &ext_palette);
 
         // Subsets of the pool, by increasing size.
         let max_k = self.budget.max_extra_tuples.min(pool.len());
         let mut chosen: Vec<usize> = Vec::new();
         let mut template_counts = vec![0usize; n_templates];
-        for k in 0..=max_k {
-            self.subsets(
-                &pool,
-                &base_instance,
-                v,
-                k,
-                0,
-                &mut chosen,
-                &mut template_counts,
-            );
+        for k in 1..=max_k {
+            self.subsets(&pool, v, k, 0, &mut chosen, &mut template_counts);
             if self.witness.is_some() || self.capped {
                 return;
             }
@@ -309,17 +466,19 @@ impl<'a> State<'a> {
     /// the *template* (annotated tuple or empty marker) that licensed it,
     /// so per-template caps (1-to-m semantics) can be enforced. Returns the
     /// pool and the number of templates.
+    ///
+    /// Pool construction runs once per complete valuation (not per leaf) on
+    /// the *valued* annotated instance `v(T)` — tuples that merge under `v`
+    /// merge their templates, exactly as the paper's replication reading
+    /// counts open tuples of the valued instance.
     fn candidate_pool(
         &mut self,
-        valued: &AnnInstance,
-        base: &Instance,
+        v: &Valuation,
         palette: &Palette,
     ) -> (Vec<(RelSym, Tuple, usize)>, usize) {
+        let valued = self.t.apply(v);
         let mut pool: Vec<(RelSym, Tuple, usize)> = Vec::new();
         let mut template = 0usize;
-        if self.budget.max_extra_tuples == 0 {
-            return (pool, 0);
-        }
         let consts: Vec<ConstId> = palette.all().collect();
         for (rel, arel) in valued.relations() {
             // Replications of tuples with open positions.
@@ -346,7 +505,7 @@ impl<'a> State<'a> {
                         vals[pos] = Value::Const(consts[idx[slot]]);
                     }
                     let cand = Tuple::new(vals);
-                    if !base.contains(rel, &cand) && seen.insert(cand.clone()) {
+                    if !self.delta.contains(rel, &cand) && seen.insert(cand.clone()) {
                         pool.push((rel, cand, tid));
                     }
                     // Next combination.
@@ -385,7 +544,7 @@ impl<'a> State<'a> {
                     }
                     let vals: Vec<Value> = idx.iter().map(|&j| Value::Const(consts[j])).collect();
                     let cand = Tuple::new(vals);
-                    if !base.contains(rel, &cand) && seen.insert(cand.clone()) {
+                    if !self.delta.contains(rel, &cand) && seen.insert(cand.clone()) {
                         pool.push((rel, cand, tid));
                     }
                     let mut carry = 0usize;
@@ -410,7 +569,6 @@ impl<'a> State<'a> {
     fn subsets(
         &mut self,
         pool: &[(RelSym, Tuple, usize)],
-        base: &Instance,
         v: &Valuation,
         k: usize,
         start: usize,
@@ -421,21 +579,7 @@ impl<'a> State<'a> {
             return;
         }
         if k == 0 {
-            self.leaves += 1;
-            if let Some(cap) = self.budget.max_leaves {
-                if self.leaves > cap {
-                    self.capped = true;
-                    return;
-                }
-            }
-            let mut inst = base.clone();
-            for &i in chosen.iter() {
-                let (rel, t, _) = &pool[i];
-                inst.insert(*rel, t.clone());
-            }
-            if (self.check)(&inst) {
-                self.witness = Some((inst, v.clone()));
-            }
+            self.leaf(v);
             return;
         }
         if start + k > pool.len() {
@@ -443,15 +587,17 @@ impl<'a> State<'a> {
         }
         let per_template = self.budget.max_extra_per_template.unwrap_or(usize::MAX);
         for i in start..=(pool.len() - k) {
-            let tid = pool[i].2;
-            if template_counts[tid] >= per_template {
+            let (rel, tuple, tid) = &pool[i];
+            if template_counts[*tid] >= per_template {
                 continue;
             }
-            template_counts[tid] += 1;
+            template_counts[*tid] += 1;
             chosen.push(i);
-            self.subsets(pool, base, v, k - 1, i + 1, chosen, template_counts);
+            self.delta.insert(*rel, tuple.clone());
+            self.subsets(pool, v, k - 1, i + 1, chosen, template_counts);
+            self.delta.remove(*rel, tuple);
             chosen.pop();
-            template_counts[tid] -= 1;
+            template_counts[*tid] -= 1;
             if self.witness.is_some() || self.capped {
                 return;
             }
@@ -618,5 +764,58 @@ mod tests {
         };
         let outcome = search_rep_a(&t, &BTreeSet::new(), &budget, &mut |_| false);
         assert_eq!(outcome.completeness, Completeness::Capped);
+    }
+
+    /// The incremental store presented to leaves is exactly the instance the
+    /// old rebuild-per-candidate engine materialized: `v(rel(T))` plus the
+    /// chosen extras — validated against a from-scratch reconstruction at
+    /// every leaf of a mixed open/closed search.
+    #[test]
+    fn leaf_store_matches_materialized_candidate() {
+        let rel = RelSym::new("EnumH");
+        let r2 = RelSym::new("EnumH2");
+        let mut t = AnnInstance::new();
+        t.insert(
+            rel,
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
+        t.insert(
+            rel,
+            at(
+                vec![Value::null(0), Value::null(1)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
+        );
+        t.insert(r2, at(vec![Value::null(1)], vec![Ann::Closed]));
+        t.insert_empty_mark(r2, Annotation::all_open(1));
+        let mut leaves = 0u64;
+        let outcome = search_rep_a_indexed(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(1, 2),
+            &mut |leaf| {
+                leaves += 1;
+                let inst = leaf.instance();
+                // The valuation is total and the view is its ground image
+                // plus extras only.
+                assert!(inst.is_ground());
+                let base = t.apply(leaf.valuation()).rel_part();
+                assert!(base.is_subinstance_of(inst), "valuation image present");
+                // Index agrees with the instance on every point probe.
+                for (r, rl) in inst.relations() {
+                    assert_eq!(leaf.index().rel_len(r), rl.len());
+                    for tu in rl.iter() {
+                        assert!(leaf.index().contains(r, tu));
+                    }
+                }
+                false
+            },
+        );
+        assert!(outcome.witness.is_none());
+        assert_eq!(outcome.leaves, leaves);
+        assert!(leaves > 10, "mixed search explores replication space");
     }
 }

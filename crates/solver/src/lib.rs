@@ -23,12 +23,14 @@
 //! impossible.
 //!
 //! The candidate-instance `check` closures passed to
-//! [`enumerate::search_rep_a`] are supplied by `dx-core`; since PR 2 they
-//! evaluate queries through `dx-query` compiled plans (per-leaf body
-//! checks run index joins instead of tree-walking the formula), with the
-//! `dx-logic` evaluator as the automatic fallback for non-safe-range
-//! queries. The search itself is agnostic: it only sees `&dyn FnMut(&
-//! Instance) -> bool`.
+//! [`enumerate::search_rep_a_indexed`] are supplied by `dx-core`; they
+//! evaluate queries through `dx-query` compiled plans probing the search's
+//! single incrementally maintained [`dx_relation::DeltaIndex`] (per-leaf
+//! body checks run index joins against a store updated by delta apply/undo
+//! on DFS enter/exit — no per-candidate materialization or re-indexing),
+//! with the `dx-logic` evaluator over [`enumerate::Leaf::instance`] as the
+//! automatic fallback for non-safe-range queries. The search itself is
+//! query agnostic: it only sees `&dyn FnMut(&Leaf) -> bool`.
 
 #![warn(missing_docs)]
 
@@ -37,7 +39,10 @@ pub mod matching;
 pub mod palette;
 pub mod repa;
 
-pub use enumerate::{enumerate_rep_a, search_rep_a, Completeness, SearchBudget, SearchOutcome};
+pub use enumerate::{
+    enumerate_rep_a, search_rep_a, search_rep_a_indexed, Completeness, Leaf, SearchBudget,
+    SearchOutcome,
+};
 pub use matching::max_bipartite_matching;
 pub use palette::Palette;
 pub use repa::{
