@@ -112,6 +112,58 @@ pub fn repa_case(n: usize) -> QueryCase {
     }
 }
 
+/// The GCWA\* workload (the `gcwa` rows of `BENCH_query.json`): a copied
+/// path graph plus one null-producing seed rule with an **open** second
+/// position (mixed annotations). The canonical solution has one null, so
+/// there are Θ(n) ⊆-minimal solutions (one per palette constant) and, at
+/// union cap 2, Θ(n²) candidate unions — the workload isolates the cost of
+/// *providing* each union to the query: materialize + `InstanceIndex::build`
+/// per union (rebuild baseline) vs one refcounted `DeltaIndex` whose
+/// per-union delta is the O(1) private remainder (`dx_solver::for_each_union`).
+/// The query carries a negated atom and is GCWA\*-certainly true (no
+/// `·→gw_sink` edge exists in any minimal solution), so the walk exhausts
+/// the whole union space.
+pub fn gcwa_case(n: usize) -> QueryCase {
+    let mut source = Instance::new();
+    for i in 0..n {
+        source.insert_names("GwSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    source.insert_names("GwSeed", &["s0"]);
+    QueryCase {
+        workload: "gcwa",
+        n,
+        mapping: Mapping::parse("GwE(x:cl, y:cl) <- GwSrc(x, y); GwP(u:cl, z:op) <- GwSeed(u)")
+            .expect("mapping parses"),
+        source,
+        query: Query::parse(&[], "exists u w. GwP(u, w) & !GwE(w, 'gw_sink')")
+            .expect("query parses"),
+    }
+}
+
+/// The approximation workload (the `approx` rows of `BENCH_query.json`):
+/// same shape with an open seed position, sampled under a small replication
+/// budget — Θ(n) valuations × Θ(n) replication extras ⇒ Θ(n²) sampled
+/// members, each evaluated by one plan probe against the sampler's live
+/// index vs an `InstanceIndex::build` per member on the rebuild baseline.
+/// The query (negated atom, certainly true on every member) keeps the
+/// upper bound nonempty so no early exit cuts the race short.
+pub fn approx_case(n: usize) -> QueryCase {
+    let mut source = Instance::new();
+    for i in 0..n {
+        source.insert_names("ApSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    source.insert_names("ApSeed", &["s0"]);
+    QueryCase {
+        workload: "approx",
+        n,
+        mapping: Mapping::parse("ApE(x:cl, y:cl) <- ApSrc(x, y); ApP(u:cl, z:op) <- ApSeed(u)")
+            .expect("mapping parses"),
+        source,
+        query: Query::parse(&[], "exists u w. ApP(u, w) & !ApE(w, 'ap_sink')")
+            .expect("query parses"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +203,42 @@ mod tests {
             assert_eq!(tree, planned, "{}", case.workload);
             assert!(!tree.is_empty(), "{} must produce answers", case.workload);
         }
+    }
+
+    /// The regime workloads hit what they advertise: mixed annotations,
+    /// compiled queries with negation, a GCWA\*-certain verdict with a
+    /// nonempty answer set, and an approximation bracket whose upper bound
+    /// stays nonempty under sampling.
+    #[test]
+    fn regime_cases_fire_their_regimes() {
+        use dx_core::regimes::{approx_certain_answers, gcwa_star_answers, RegimeBudget};
+        use dx_solver::SearchBudget;
+        for case in [gcwa_case(6), approx_case(6)] {
+            assert!(!case.mapping.is_all_closed(), "{}: mixed", case.workload);
+            assert!(case.mapping.num_op() > 0 && case.mapping.num_cl() > 0);
+            assert!(!classify::is_positive(&case.query.formula));
+            assert!(
+                CompiledQuery::compile(&case.query).is_ok(),
+                "{}: regime queries run on plans",
+                case.workload
+            );
+        }
+        let g = gcwa_case(6);
+        let out = gcwa_star_answers(&g.mapping, &g.source, &g.query, &RegimeBudget::unions_of(2));
+        assert!(!out.answers.is_empty(), "gcwa workload is GCWA*-certain");
+        assert!(out.minimal_solutions > 2 && out.unions > out.minimal_solutions as u64);
+        let a = approx_case(6);
+        let sample = SearchBudget {
+            max_leaves: None,
+            ..SearchBudget::bounded(1, 1)
+        };
+        let out = approx_certain_answers(&a.mapping, &a.source, &a.query, Some(&sample));
+        assert!(!out.upper.is_empty(), "upper bound survives sampling");
+        assert!(
+            out.lower.is_empty(),
+            "the under-rewriting erases the negation"
+        );
+        assert!(out.leaves > 0, "the sampler actually ran");
     }
 
     /// The repa workload hits the regime it advertises: full-FO query over

@@ -315,23 +315,37 @@ pub fn certain_answers_with(
 
     let mut rel = Relation::new(arity);
     let mut completeness = Completeness::Exact;
-
-    let mut idx = vec![0usize; arity];
-    loop {
-        let tuple = Tuple::from_consts(&idx.iter().map(|&i| consts[i]).collect::<Vec<_>>());
+    for tuple in candidate_tuples(&consts, arity) {
         let out = certain_contains_eval(mapping, csol, &ev, &tuple, budget);
         if out.certain {
             rel.insert(tuple);
         }
-        completeness = worse(completeness, out.completeness);
-        // Next candidate.
-        if arity == 0 {
-            break;
-        }
+        completeness = completeness.worse(out.completeness);
+    }
+    (rel, completeness)
+}
+
+/// All candidate answer tuples over the palette (`consts^arity`; the single
+/// empty tuple for Boolean queries, none when a non-Boolean query meets an
+/// empty palette). Shared by the certain-answer loop above and the regime
+/// engines in [`crate::regimes`].
+pub(crate) fn candidate_tuples(consts: &[ConstId], arity: usize) -> Vec<Tuple> {
+    if arity == 0 {
+        return vec![Tuple::new(Vec::new())];
+    }
+    if consts.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(consts.len().pow(arity as u32));
+    let mut idx = vec![0usize; arity];
+    loop {
+        out.push(Tuple::from_consts(
+            &idx.iter().map(|&i| consts[i]).collect::<Vec<_>>(),
+        ));
         let mut carry = 0usize;
         loop {
             if carry == arity {
-                return (rel, completeness);
+                return out;
             }
             idx[carry] += 1;
             if idx[carry] < consts.len() {
@@ -340,11 +354,7 @@ pub fn certain_answers_with(
             idx[carry] = 0;
             carry += 1;
         }
-        if consts.is_empty() {
-            break;
-        }
     }
-    (rel, completeness)
 }
 
 /// Certain answers under the **1-to-m** reading of open nulls (the paper's
@@ -529,15 +539,6 @@ pub fn certain_cwa(
     tuple: &Tuple,
 ) -> CertainOutcome {
     certain_contains(&mapping.all_closed(), source, query, tuple, None)
-}
-
-fn worse(a: Completeness, b: Completeness) -> Completeness {
-    use Completeness::*;
-    match (a, b) {
-        (Capped, _) | (_, Capped) => Capped,
-        (Bounded, _) | (_, Bounded) => Bounded,
-        _ => Exact,
-    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,12 @@
 //!   query languages beyond FO (instantiated for stratified Datalog);
 //! * [`ctable_bridge`] — exact, search-free CWA certain answers for full
 //!   relational algebra via the conditional tables of [`dx_ctables`]
-//!   (the §2-cited Imieliński–Lipski mechanism).
+//!   (the §2-cited Imieliński–Lipski mechanism);
+//! * [`regimes`] — the non-monotonic query-answering regimes of the
+//!   follow-up literature: GCWA\*-answers over unions of minimal solutions
+//!   (Hernich) and the under/over approximation bracket for queries with
+//!   negation (after Calautti et al.), both on compiled plans over one
+//!   incrementally maintained index.
 
 #![warn(missing_docs)]
 
@@ -38,6 +43,7 @@ pub mod compose_alg;
 pub mod ctable_bridge;
 pub mod non_closure;
 pub mod ptime_lang;
+pub mod regimes;
 pub mod semantics;
 pub mod skstd;
 
@@ -50,5 +56,10 @@ pub use compose::{comp_membership, comp_membership_via, CompOutcome};
 pub use compose_alg::{compose_skstd, ComposeError};
 pub use ctable_bridge::{certain_answers_cwa_ra, csol_as_ctable, possible_answers_cwa_ra};
 pub use ptime_lang::{certain_answers_ptime, certain_contains_ptime, CompiledFoQuery, PtimeQuery};
+pub use regimes::{
+    approx_certain_answers, approx_certain_answers_via, approx_certain_answers_with,
+    gcwa_star_answers, gcwa_star_answers_via, gcwa_star_answers_with, gcwa_star_contains,
+    under_over_queries, ApproxOutcome, GcwaMembership, GcwaOutcome, RegimeBudget,
+};
 pub use semantics::{in_semantics, in_semantics_via, is_member_via, MembershipOutcome};
 pub use skstd::{SkAtom, SkMapping, SkStd};

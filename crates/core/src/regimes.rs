@@ -1,0 +1,514 @@
+//! Non-monotonic query-answering **regimes** on compiled plans: GCWA\* and
+//! approximation semantics.
+//!
+//! The paper's certain-answer pipelines ([`crate::certain`]) quantify over
+//! *all* of `Rep_A(CSol_A(S))` — under which non-monotonic queries behave
+//! badly (the §1 anomaly: "every paper has exactly one author" is certainly
+//! TRUE under the CWA). Two ROADMAP-named follow-up works refine the
+//! solution space instead of the query class; this module ships both as
+//! first-class regimes over the same substrate:
+//!
+//! * **GCWA\*-answers** (Hernich, *Answering Non-Monotonic Queries in
+//!   Relational Data Exchange*, LMCS 2011 / arXiv:1107.1456): certain
+//!   answers over the **GCWA\*-solutions** — the unions of ⊆-minimal
+//!   solutions. Minimal solutions ignore spurious replication, and unions
+//!   re-introduce exactly the uncertainty the source justifies: the §1
+//!   anomaly flips to FALSE because two minimal solutions with different
+//!   authors union into a two-author solution. See
+//!   [`gcwa_star_answers`] / [`gcwa_star_contains`].
+//! * **Approximation semantics** (after Calautti, Greco, Molinaro &
+//!   Trubitsyna, *Querying Data Exchange Settings Beyond Positive
+//!   Queries*): for queries outside the positive fragment, bracket the
+//!   exact certain answers between a **sound under-approximation** and a
+//!   **complete over-approximation**, both obtained by monotone query
+//!   surgery ([`dx_logic::classify::monotone_under_approx`] /
+//!   [`dx_logic::classify::monotone_over_approx`]) plus an indexed sample
+//!   intersection. See [`approx_certain_answers`].
+//!
+//! ## Complexity boundaries
+//!
+//! GCWA\*-answering is **coNP-hard** already for universal queries over
+//! CWA-style mappings (Hernich); here the cost splits into (a) the minimal-
+//! solution sweep — one valuation DFS, polynomial per valuation, and
+//! PTIME in total for Codd-table canonical solutions whose null count is
+//! bounded — and (b) the union walk, `Σ_{i≤k} C(m, i)` unions for `m`
+//! minimal solutions under a union-size cap `k` (exponential in `m` when
+//! uncapped — the source of the coNP lower bound). The approximation
+//! regime is the PTIME counterpoint: the under/over rewritings land in the
+//! Proposition 3/4 classes (naive evaluation / `□Q(CSol)`), and the sample
+//! intersection costs one plan probe per (leaf, surviving candidate) on
+//! the search's incrementally maintained index.
+//!
+//! ## One index build per scenario
+//!
+//! Both regimes are **plan-first**: queries compile once through the shared
+//! [`PlanCatalog`] and every candidate evaluation probes a live
+//! [`dx_relation::DeltaIndex`] — [`dx_solver::for_each_union`] composes
+//! unions by refcounted private deltas over the minimal solutions' common
+//! base, and the sampler probes [`dx_solver::Leaf::index`]. The
+//! rebuild-per-candidate baseline (an `InstanceIndex::build` per union or
+//! leaf) exists only in the bench harness (`BENCH_query.json`, stages
+//! `gcwa`/`approx`) to keep the speedup measured.
+
+use crate::certain::{candidate_tuples, certain_answers_with};
+use dx_chase::{canonical_solution, canonical_solution_via, ChaseStrategy, Mapping};
+use dx_logic::classify::{self, monotone_over_approx, monotone_under_approx};
+use dx_logic::{Formula, Query, Term};
+use dx_query::PlanCatalog;
+use dx_relation::{ConstId, Instance, Relation, Tuple};
+use dx_solver::{
+    for_each_union, minimal_rep_a_members, search_rep_a_indexed, Completeness, SearchBudget,
+};
+use std::collections::BTreeSet;
+
+/// Budget for the GCWA\* regime.
+#[derive(Clone, Debug)]
+pub struct RegimeBudget {
+    /// Maximum number of minimal solutions per union (Hernich's answers
+    /// need unions of unbounded size in general; small caps are complete
+    /// for correspondingly shaped queries and keep the walk polynomial).
+    /// `usize::MAX` = all nonempty subsets.
+    pub max_union_size: usize,
+    /// Cap on the number of minimal solutions considered (combinatorial
+    /// guard; exceeding it marks the outcome [`Completeness::Capped`]).
+    pub max_minimal_solutions: usize,
+    /// Cap on the valuation sweep of the minimal-solution enumeration.
+    pub max_leaves: Option<u64>,
+}
+
+impl Default for RegimeBudget {
+    fn default() -> Self {
+        RegimeBudget {
+            max_union_size: usize::MAX,
+            max_minimal_solutions: 12,
+            max_leaves: Some(2_000_000),
+        }
+    }
+}
+
+impl RegimeBudget {
+    /// An explicit union-size cap with unbounded minimal-solution count —
+    /// the polynomial GCWA\* slices (`k`-bounded unions).
+    pub fn unions_of(k: usize) -> Self {
+        RegimeBudget {
+            max_union_size: k,
+            max_minimal_solutions: usize::MAX,
+            max_leaves: None,
+        }
+    }
+}
+
+/// Outcome of a GCWA\* answer-set computation.
+#[derive(Clone, Debug)]
+pub struct GcwaOutcome {
+    /// The GCWA\*-answers over the candidate palette
+    /// `(adom(S) ∪ constants(Q))^arity`.
+    pub answers: Relation,
+    /// Whether the minimal-solution space and the union space were covered
+    /// exhaustively ([`Completeness::Exact`]), truncated by the budget
+    /// ([`Completeness::Bounded`]/[`Completeness::Capped`]).
+    pub completeness: Completeness,
+    /// Number of ⊆-minimal solutions found (after the budget cap).
+    pub minimal_solutions: usize,
+    /// Number of unions evaluated.
+    pub unions: u64,
+}
+
+/// Outcome of a single GCWA\* membership decision.
+#[derive(Clone, Debug)]
+pub struct GcwaMembership {
+    /// Is the tuple a GCWA\*-answer (no falsifying union found)?
+    pub certain: bool,
+    /// Coverage of the minimal-solution/union spaces.
+    pub completeness: Completeness,
+    /// A GCWA\*-solution (union of minimal solutions) falsifying the query,
+    /// when `certain == false`.
+    pub counterexample: Option<Instance>,
+    /// Number of ⊆-minimal solutions found (after the budget cap).
+    pub minimal_solutions: usize,
+    /// Number of unions evaluated.
+    pub unions: u64,
+}
+
+/// The GCWA\*-answers of `query` on `(mapping, source)`: tuples `t̄` with
+/// `Q(t̄)` true in **every union of ⊆-minimal members** of
+/// `Rep_A(CSol_A(S))` (within `budget`). For positive queries this
+/// coincides with the certain answers (Proposition 3 both ways: positive
+/// queries are monotone, so truth on all minimal solutions, all unions and
+/// all solutions coincide); for queries with negation it is Hernich's
+/// repair of the CWA anomalies.
+pub fn gcwa_star_answers(
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    budget: &RegimeBudget,
+) -> GcwaOutcome {
+    let csol = canonical_solution(mapping, source);
+    gcwa_star_answers_with(mapping, &csol, source, query, budget)
+}
+
+/// [`gcwa_star_answers`] routed end to end through a [`ChaseStrategy`]:
+/// the canonical solution's body evaluation runs on the strategy's engine
+/// (compiled plans for `dx_engine::IndexedChase`). Answers are strategy
+/// independent (body evaluators reproduce the reference witness order).
+pub fn gcwa_star_answers_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    budget: &RegimeBudget,
+) -> GcwaOutcome {
+    let csol = canonical_solution_via(strategy.body_eval(), mapping, source);
+    gcwa_star_answers_with(mapping, &csol, source, query, budget)
+}
+
+/// [`gcwa_star_answers`] against a precomputed canonical solution. The
+/// query compiles once (shared [`PlanCatalog`]); every union probes the
+/// one refcounted [`dx_relation::DeltaIndex`] of
+/// [`dx_solver::for_each_union`].
+pub fn gcwa_star_answers_with(
+    mapping: &Mapping,
+    csol: &dx_chase::CanonicalSolution,
+    source: &Instance,
+    query: &Query,
+    budget: &RegimeBudget,
+) -> GcwaOutcome {
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
+    let palette = answer_palette(source, query);
+    let (minimal, mut completeness) = minimal_solutions(csol, &palette, budget);
+    if budget.max_union_size < minimal.len() {
+        completeness = completeness.worse(Completeness::Bounded);
+    }
+    let consts: Vec<ConstId> = palette.into_iter().collect();
+    let mut survivors = candidate_tuples(&consts, query.arity());
+    let unions = for_each_union(&minimal, budget.max_union_size, &mut |delta| {
+        survivors.retain(|t| ev.holds_on_indexed(delta, delta.instance(), t));
+        survivors.is_empty()
+    });
+    GcwaOutcome {
+        answers: Relation::from_tuples(query.arity(), survivors),
+        completeness,
+        minimal_solutions: minimal.len(),
+        unions,
+    }
+}
+
+/// Decide `t̄ ∈ GCWA*-answers(Q, S)` directly, producing the falsifying
+/// union when the answer is negative (the Hernich counterpart of
+/// [`crate::certain::certain_contains`]'s counterexample).
+pub fn gcwa_star_contains(
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    tuple: &Tuple,
+    budget: &RegimeBudget,
+) -> GcwaMembership {
+    assert_eq!(tuple.arity(), query.arity(), "answer-tuple arity mismatch");
+    assert!(tuple.is_ground(), "GCWA*-answers are tuples over Const");
+    let csol = canonical_solution(mapping, source);
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
+    let mut palette = answer_palette(source, query);
+    palette.extend(tuple.consts());
+    let (minimal, mut completeness) = minimal_solutions(&csol, &palette, budget);
+    if budget.max_union_size < minimal.len() {
+        completeness = completeness.worse(Completeness::Bounded);
+    }
+    let mut counterexample = None;
+    let unions = for_each_union(&minimal, budget.max_union_size, &mut |delta| {
+        if ev.holds_on_indexed(delta, delta.instance(), tuple) {
+            false
+        } else {
+            counterexample = Some(delta.instance().clone());
+            true
+        }
+    });
+    GcwaMembership {
+        certain: counterexample.is_none(),
+        completeness,
+        counterexample,
+        minimal_solutions: minimal.len(),
+        unions,
+    }
+}
+
+/// The budgeted minimal-solution enumeration shared by the GCWA\* entry
+/// points.
+fn minimal_solutions(
+    csol: &dx_chase::CanonicalSolution,
+    palette: &BTreeSet<ConstId>,
+    budget: &RegimeBudget,
+) -> (Vec<Instance>, Completeness) {
+    let (mut minimal, mut completeness) =
+        minimal_rep_a_members(&csol.instance, palette, budget.max_leaves);
+    if minimal.len() > budget.max_minimal_solutions {
+        minimal.truncate(budget.max_minimal_solutions);
+        completeness = Completeness::Capped;
+    }
+    (minimal, completeness)
+}
+
+/// Outcome of the approximation regime: a certain-answer **bracket**
+/// `lower ⊆ certain_Σα(Q, S) ⊆ upper`.
+#[derive(Clone, Debug)]
+pub struct ApproxOutcome {
+    /// Sound under-approximation: every tuple here is a genuine certain
+    /// answer (certain answers of the monotone under-rewriting, exact by
+    /// Propositions 3/4).
+    pub lower: Relation,
+    /// Complete over-approximation: every genuine certain answer is here
+    /// (certain answers of the monotone over-rewriting, intersected with
+    /// the answers on every sampled `Rep_A` member).
+    pub upper: Relation,
+    /// Coverage of the sampling space: [`Completeness::Exact`] means the
+    /// member space was exhausted, so `upper` *is* the exact answer set.
+    pub completeness: Completeness,
+    /// Did the bracket close (`lower == upper`)? Then both are exact.
+    pub tight: bool,
+    /// Number of members sampled by the intersection stage.
+    pub leaves: u64,
+}
+
+/// The Calautti-style approximation of `certain_Σα(Q, S)` for queries with
+/// negation: a PTIME-rewriting bracket tightened by an indexed sample
+/// intersection (see the module docs). Guarantees
+/// `lower ⊆ certain_Σα(Q, S) ⊆ upper` — w.r.t. both the true semantics and
+/// the budget-restricted member space, provided `sample` does not cap the
+/// valuation sweep.
+///
+/// Positive queries short-circuit to the exact Proposition 3 answers; for
+/// **all-closed** mappings the exact answers are computed search-free via
+/// the conditional-table route ([`crate::ctable_bridge`]) and returned as
+/// a tight bracket.
+pub fn approx_certain_answers(
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    sample: Option<&SearchBudget>,
+) -> ApproxOutcome {
+    let csol = canonical_solution(mapping, source);
+    approx_certain_answers_with(mapping, &csol, source, query, sample)
+}
+
+/// [`approx_certain_answers`] routed end to end through a
+/// [`ChaseStrategy`] (see [`gcwa_star_answers_via`]).
+pub fn approx_certain_answers_via(
+    strategy: &dyn ChaseStrategy,
+    mapping: &Mapping,
+    source: &Instance,
+    query: &Query,
+    sample: Option<&SearchBudget>,
+) -> ApproxOutcome {
+    let csol = canonical_solution_via(strategy.body_eval(), mapping, source);
+    approx_certain_answers_with(mapping, &csol, source, query, sample)
+}
+
+/// [`approx_certain_answers`] against a precomputed canonical solution.
+pub fn approx_certain_answers_with(
+    mapping: &Mapping,
+    csol: &dx_chase::CanonicalSolution,
+    source: &Instance,
+    query: &Query,
+    sample: Option<&SearchBudget>,
+) -> ApproxOutcome {
+    // Positive queries: naive evaluation is already exact (Proposition 3).
+    if classify::is_positive(&query.formula) {
+        let (rel, completeness) = certain_answers_with(mapping, csol, source, query, None);
+        return ApproxOutcome {
+            lower: rel.clone(),
+            upper: rel,
+            completeness,
+            tight: true,
+            leaves: 0,
+        };
+    }
+    // The CWA route: for all-closed mappings the Imieliński–Lipski engine
+    // answers full FO exactly and search-free — a closed bracket.
+    if mapping.is_all_closed() {
+        if let Ok(rel) = crate::ctable_bridge::certain_answers_cwa_fo(mapping, source, query) {
+            return ApproxOutcome {
+                lower: rel.clone(),
+                upper: rel,
+                completeness: Completeness::Exact,
+                tight: true,
+                leaves: 0,
+            };
+        }
+    }
+    let (under, over) = under_over_queries(query);
+    let (lower, _) = certain_answers_with(mapping, csol, source, &under, None);
+    let (upper0, _) = certain_answers_with(mapping, csol, source, &over, None);
+    let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
+    let palette = answer_palette(source, query);
+    let budget = sample.cloned().unwrap_or_default();
+    let mut survivors: Vec<Tuple> = upper0.iter().cloned().collect();
+    let outcome = search_rep_a_indexed(&csol.instance, &palette, &budget, &mut |leaf| {
+        survivors.retain(|t| ev.holds_on_indexed(leaf.index(), leaf.instance(), t));
+        survivors.is_empty()
+    });
+    let upper = Relation::from_tuples(query.arity(), survivors);
+    let tight = lower == upper;
+    ApproxOutcome {
+        lower,
+        upper,
+        completeness: outcome.completeness,
+        tight,
+        leaves: outcome.leaves,
+    }
+}
+
+/// The monotone under/over rewritings of `query`, as queries over the same
+/// head. The over-rewriting additionally keeps every constant of the
+/// original formula in scope (via trivially-true `c = c` conjuncts), so the
+/// candidate palette of its certain answers covers the original query's —
+/// erasure must not shrink the over-approximation's candidate space.
+pub fn under_over_queries(query: &Query) -> (Query, Query) {
+    let under = Query::new(query.head.clone(), monotone_under_approx(&query.formula));
+    let keep_consts = query
+        .formula
+        .constants()
+        .into_iter()
+        .map(|c| Formula::eq(Term::Const(c), Term::Const(c)));
+    let over = Query::new(
+        query.head.clone(),
+        Formula::and(std::iter::once(monotone_over_approx(&query.formula)).chain(keep_consts)),
+    );
+    (under, over)
+}
+
+/// The candidate/valuation palette of an answer computation over
+/// `(mapping, source, query)`: the source's constants plus the query's —
+/// by genericity no other constant can be a certain (or GCWA\*/bracket)
+/// answer. Per-tuple deciders additionally extend this with the probed
+/// tuple's constants.
+pub fn answer_palette(source: &Instance, query: &Query) -> BTreeSet<ConstId> {
+    let mut palette: BTreeSet<ConstId> = source.adom_consts();
+    palette.extend(query.formula.constants());
+    palette
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_relation::{Value, Var};
+
+    fn papers_source() -> Instance {
+        let mut s = Instance::new();
+        s.insert_names("RgPapers", &["p1", "title1"]);
+        s
+    }
+
+    /// The Hernich repair of the §1 anomaly: under the CWA the one-author
+    /// query is certainly TRUE (the null takes one value per solution), but
+    /// under GCWA\* two minimal solutions with different authors union into
+    /// a two-author GCWA\*-solution — the answer flips to FALSE, matching
+    /// the intuition the paper opens with.
+    #[test]
+    fn gcwa_star_defeats_the_one_author_anomaly() {
+        let q = Query::boolean(
+            dx_logic::parse_formula("forall p a1 a2. (RgSub(p, a1) & RgSub(p, a2) -> a1 = a2)")
+                .unwrap(),
+        );
+        let m = Mapping::parse("RgSub(x:cl, z:cl) <- RgPapers(x, y)").unwrap();
+        let s = papers_source();
+        let empty = Tuple::new(Vec::<Value>::new());
+        // CWA certain answer: TRUE (the anomaly).
+        let cwa = crate::certain::certain_contains(&m, &s, &q, &empty, None);
+        assert!(cwa.certain);
+        // GCWA*: FALSE, with a two-author counterexample union.
+        let out = gcwa_star_contains(&m, &s, &q, &empty, &RegimeBudget::default());
+        assert!(!out.certain, "unions of minimal solutions break uniqueness");
+        let cex = out.counterexample.expect("falsifying union produced");
+        assert!(!q.holds_boolean(&cex));
+        assert!(out.minimal_solutions >= 2);
+    }
+
+    /// Positive queries: GCWA*-answers coincide with the certain answers
+    /// (monotone truth on minimal solutions ⇔ on unions ⇔ on all members).
+    #[test]
+    fn gcwa_star_equals_certain_on_positive_queries() {
+        let q = Query::new(
+            vec![Var::new("x")],
+            dx_logic::parse_formula("exists z. RgSub(x, z)").unwrap(),
+        );
+        for rules in [
+            "RgSub(x:cl, z:cl) <- RgPapers(x, y)",
+            "RgSub(x:cl, z:op) <- RgPapers(x, y)",
+        ] {
+            let m = Mapping::parse(rules).unwrap();
+            let s = papers_source();
+            let out = gcwa_star_answers(&m, &s, &q, &RegimeBudget::default());
+            let (cert, _) = crate::certain::certain_answers(&m, &s, &q, None);
+            assert_eq!(out.answers, cert, "{rules}");
+            assert!(out.answers.contains(&Tuple::from_names(&["p1"])));
+        }
+    }
+
+    /// Negation certain under GCWA\*: a fact never produced stays absent in
+    /// every minimal solution and every union, so its negation is a
+    /// GCWA\*-answer — while under the OWA it is not certain.
+    #[test]
+    fn gcwa_star_supports_negative_facts() {
+        let q = Query::boolean(dx_logic::parse_formula("!exists x. RgSub(x, 'ghost')").unwrap());
+        let m = Mapping::parse("RgSub(x:op, y:op) <- RgPapers(x, y)").unwrap();
+        let s = papers_source();
+        let empty = Tuple::new(Vec::<Value>::new());
+        let owa = crate::certain::certain_contains(&m, &s, &q, &empty, None);
+        assert!(!owa.certain, "OWA admits arbitrary extra tuples");
+        let out = gcwa_star_contains(&m, &s, &q, &empty, &RegimeBudget::default());
+        assert!(out.certain, "no minimal solution invents (·, ghost)");
+    }
+
+    /// The approximation bracket on the one-author query with an open
+    /// author attribute: lower is empty (sound), upper is empty too once
+    /// the sampler sees a replicated two-author member — a closed bracket
+    /// agreeing with the exact answer.
+    #[test]
+    fn approx_brackets_the_open_one_author_query() {
+        let q = Query::boolean(
+            dx_logic::parse_formula("forall p a1 a2. (RgSub2(p, a1) & RgSub2(p, a2) -> a1 = a2)")
+                .unwrap(),
+        );
+        let m = Mapping::parse("RgSub2(x:cl, z:op) <- RgPapers(x, y)").unwrap();
+        let s = papers_source();
+        let out = approx_certain_answers(&m, &s, &q, None);
+        assert!(out.lower.is_empty());
+        assert!(out.upper.is_empty(), "replication falsifies uniqueness");
+        assert!(out.tight);
+        assert!(out.leaves > 0);
+    }
+
+    /// All-closed mappings take the exact conditional-table route: the
+    /// bracket closes without any sampling.
+    #[test]
+    fn approx_is_exact_under_the_cwa_route() {
+        let q = Query::parse(&["x"], "(exists y. RgT(x, y)) & !RgU(x)").unwrap();
+        let m = Mapping::parse("RgT(x:cl, y:cl) <- RgA(x, y); RgU(x:cl) <- RgB(x)").unwrap();
+        let mut s = Instance::new();
+        s.insert_names("RgA", &["a", "1"]);
+        s.insert_names("RgA", &["b", "2"]);
+        s.insert_names("RgB", &["b"]);
+        let out = approx_certain_answers(&m, &s, &q, None);
+        assert!(out.tight);
+        assert_eq!(out.completeness, Completeness::Exact);
+        assert_eq!(out.leaves, 0, "search-free c-table route");
+        assert!(out.upper.contains(&Tuple::from_names(&["a"])));
+        assert!(!out.upper.contains(&Tuple::from_names(&["b"])));
+        // Agrees with the coNP search engine.
+        let (cert, _) = crate::certain::certain_answers(&m, &s, &q, None);
+        assert_eq!(out.upper, cert);
+    }
+
+    /// Constants of erased subformulas stay in the over-approximation's
+    /// candidate palette (the `c = c` conjuncts of [`under_over_queries`]).
+    #[test]
+    fn over_rewriting_keeps_query_constants() {
+        let q = Query::parse(&["x"], "RgV(x) & !RgW('k9', x)").unwrap();
+        let (under, over) = under_over_queries(&q);
+        assert!(classify::is_monotone(&under.formula));
+        assert!(classify::is_monotone(&over.formula));
+        assert!(
+            over.formula.constants().contains(&ConstId::new("k9")),
+            "palette constant preserved: {over}"
+        );
+    }
+}

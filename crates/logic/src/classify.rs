@@ -175,6 +175,54 @@ pub fn universal_var_count(f: &Formula) -> usize {
     count(&nnf(f))
 }
 
+/// The **monotone under-approximation** `U(φ)` of a formula: `U(φ) ⇒ φ`
+/// pointwise on every instance and every binding, and `U(φ)` is
+/// syntactically monotone ([`is_monotone`]). Computed on the negation
+/// normal form by replacing every negated relational atom with `False` and
+/// every universal quantifier with `False`; inequalities (negated
+/// equalities) are themselves monotone and survive.
+///
+/// This is the query-surgery half of the Calautti-et-al.-style
+/// approximation regime (`dx-core`'s `regimes` module): certain answers of
+/// `U(φ)` are computable exactly (Propositions 3/4) and under-approximate
+/// the certain answers of `φ` — sound, possibly incomplete.
+pub fn monotone_under_approx(f: &Formula) -> Formula {
+    approx(&nnf(f), true)
+}
+
+/// The **monotone over-approximation** `O(φ)`: `φ ⇒ O(φ)` pointwise, with
+/// `O(φ)` syntactically monotone — the dual of [`monotone_under_approx`]
+/// (negated atoms and universals become `True`). Certain answers of `O(φ)`
+/// over-approximate those of `φ` — complete, possibly unsound.
+pub fn monotone_over_approx(f: &Formula) -> Formula {
+    approx(&nnf(f), false)
+}
+
+/// The U/O transform on an NNF formula (`under` picks the direction). The
+/// replacement constant is the identity of the respective lattice corner:
+/// `False ⇒ ψ` for any `ψ` (soundness of U), `ψ ⇒ True` (soundness of O).
+fn approx(f: &Formula, under: bool) -> Formula {
+    let erased = || {
+        if under {
+            Formula::False
+        } else {
+            Formula::True
+        }
+    };
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => f.clone(),
+        // NNF puts negation on atoms only; `¬(t = t′)` is monotone and kept.
+        Formula::Not(inner) => match **inner {
+            Formula::Eq(_, _) => f.clone(),
+            _ => erased(),
+        },
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| approx(g, under))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| approx(g, under))),
+        Formula::Exists(vars, inner) => Formula::exists(vars.clone(), approx(inner, under)),
+        Formula::Forall(_, _) => erased(),
+    }
+}
+
 /// Is the formula **existential**: no universal quantifier in negation
 /// normal form (so `!exists` counts as universal, `!R(x)` does not)? The
 /// class behind the paper's §6 remark that compositions with
@@ -305,6 +353,74 @@ mod tests {
             ),
         );
         assert_eq!(classify(&f), QueryClass::FullFirstOrder);
+    }
+
+    /// U/O transforms: monotone outputs, with `U(φ) ⇒ φ ⇒ O(φ)` checked
+    /// pointwise on a battery of instances (every satisfying binding of
+    /// `U(φ)` satisfies `φ`, and of `φ` satisfies `O(φ)`).
+    #[test]
+    fn under_over_approximations_bracket() {
+        use dx_relation::Instance;
+        let battery = [
+            // ∃y R(x,y) ∧ ¬S(x): negated atom erased under U, kept True in O.
+            Formula::exists(
+                vec![v("y")],
+                Formula::and([atom("ApR", &["x", "y"]), Formula::not(atom("ApS", &["x"]))]),
+            ),
+            // Negation under disjunction: U keeps the positive branch.
+            Formula::and([
+                atom("ApS", &["x"]),
+                Formula::or([atom("ApR", &["x", "x"]), Formula::not(atom("ApS", &["x"]))]),
+            ]),
+            // Inequalities survive both directions.
+            Formula::exists(
+                vec![v("y")],
+                Formula::and([
+                    atom("ApR", &["x", "y"]),
+                    Formula::neq(Term::var("x"), Term::var("y")),
+                ]),
+            ),
+            // Universals erase.
+            Formula::forall(
+                vec![v("u")],
+                Formula::implies(atom("ApS", &["u"]), atom("ApR", &["u", "u"])),
+            ),
+            // Double negation normalizes away before the transform.
+            Formula::not(Formula::not(atom("ApS", &["x"]))),
+        ];
+        let mut inst1 = Instance::new();
+        inst1.insert_names("ApR", &["a", "b"]);
+        inst1.insert_names("ApR", &["a", "a"]);
+        inst1.insert_names("ApS", &["a"]);
+        let mut inst2 = Instance::new();
+        inst2.insert_names("ApR", &["a", "b"]);
+        inst2.insert_names("ApS", &["b"]);
+        for f in &battery {
+            let under = monotone_under_approx(f);
+            let over = monotone_over_approx(f);
+            assert!(is_monotone(&under), "U({f}) = {under} must be monotone");
+            assert!(is_monotone(&over), "O({f}) = {over} must be monotone");
+            let head: Vec<Var> = f.free_vars().into_iter().collect();
+            let dom = ["a", "b"];
+            for inst in [&inst1, &inst2] {
+                // All bindings of the free variables over {a, b}.
+                for code in 0..dom.len().pow(head.len() as u32) {
+                    let names: Vec<&str> = (0..head.len())
+                        .map(|p| dom[(code / dom.len().pow(p as u32)) % dom.len()])
+                        .collect();
+                    let tuple = dx_relation::Tuple::from_names(&names);
+                    let q = |g: &Formula| {
+                        crate::Query::new(head.clone(), g.clone()).holds_on(inst, &tuple)
+                    };
+                    if q(&under) {
+                        assert!(q(f), "U ⇒ φ fails for {f} at {tuple}");
+                    }
+                    if q(f) {
+                        assert!(q(&over), "φ ⇒ O fails for {f} at {tuple}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

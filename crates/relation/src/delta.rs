@@ -372,6 +372,200 @@ mod tests {
         assert_eq!(delta.instance().relation(rel()).map(|r| r.arity()), Some(2));
     }
 
+    /// Internal-invariant checker for the fuzz test: the slot map, the
+    /// refcount table, the per-column postings and the lock-step instance
+    /// view must all describe the same set of live tuples, with the
+    /// reference counts `expected` predicts.
+    fn assert_consistent(delta: &DeltaIndex, expected: &BTreeMap<(RelSym, Tuple), u32>) {
+        for (rel, dr) in &delta.rels {
+            let live: Vec<(u32, &Tuple)> = dr
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(s, t)| t.as_ref().map(|t| (s as u32, t)))
+                .collect();
+            assert_eq!(live.len(), dr.refs.len(), "live slots == refcount entries");
+            for (slot, tuple) in &live {
+                let &(rslot, count) = dr.refs.get(*tuple).expect("live slot has a refcount");
+                assert_eq!(rslot, *slot, "refs point at the owning slot");
+                assert_eq!(
+                    Some(&count),
+                    expected.get(&(*rel, (*tuple).clone())),
+                    "refcount of {tuple} in {rel}"
+                );
+            }
+            for &f in &dr.free {
+                assert!(dr.slots[f as usize].is_none(), "free slots are vacated");
+            }
+            assert_eq!(
+                dr.free.len() + live.len(),
+                dr.slots.len(),
+                "every slot is live or free"
+            );
+            // Postings: exactly one entry per (live tuple, column), on a
+            // live slot whose tuple carries the value at that column.
+            let mut posted = 0usize;
+            for (c, col) in dr.by_col.iter().enumerate() {
+                for (v, slots) in col.iter() {
+                    assert!(!slots.is_empty(), "empty posting lists are pruned");
+                    for &s in slots {
+                        let t = dr.slots[s as usize]
+                            .as_ref()
+                            .expect("posted slots are live");
+                        assert_eq!(t.get(c), *v, "posting value matches the tuple");
+                        posted += 1;
+                    }
+                }
+            }
+            assert_eq!(posted, live.len() * dr.arity, "one posting per live cell");
+            // The instance view is exactly the live set.
+            let view: Vec<&Tuple> = delta.instance.tuples(*rel).collect();
+            assert_eq!(view.len(), live.len());
+            for t in view {
+                assert!(dr.refs.contains_key(t), "view tuple is live");
+            }
+        }
+    }
+
+    /// Probe equality against a freshly built store over the same instance:
+    /// `for_each_matching` results and selectivities agree on a pattern
+    /// battery derived from the instance's values.
+    fn assert_probes_match_fresh(delta: &DeltaIndex) {
+        let fresh = DeltaIndex::from_instance(delta.instance());
+        for (rel, r) in delta.instance().relations() {
+            let mut values: Vec<Value> = r.active_domain().into_iter().collect();
+            values.push(Value::c("fz-missing"));
+            let mut patterns: Vec<Vec<Option<Value>>> = vec![vec![None; r.arity()]];
+            for c in 0..r.arity() {
+                for &v in &values {
+                    let mut p = vec![None; r.arity()];
+                    p[c] = Some(v);
+                    patterns.push(p);
+                }
+            }
+            for p in patterns {
+                assert_eq!(delta.selectivity(rel, &p), fresh.selectivity(rel, &p));
+                let mut a = Vec::new();
+                delta.for_each_matching(rel, &p, &mut |t| a.push(t.clone()));
+                let mut b = Vec::new();
+                fresh.for_each_matching(rel, &p, &mut |t| b.push(t.clone()));
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "pattern {p:?} on {rel}");
+            }
+        }
+    }
+
+    /// Fuzz: random interleavings of apply (insert), undo and out-of-order
+    /// remove, with the journal replayed backwards at the end — the store
+    /// must return to the exact pre-state (instance view, slot/refcount/
+    /// posting invariants, probe results vs a fresh build), and stay
+    /// internally consistent at every intermediate step.
+    #[test]
+    fn randomized_apply_undo_remove_fuzz() {
+        let rel_a = RelSym::new("FzA");
+        let rel_b = RelSym::new("FzB");
+        let mut seed = 0xF77Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..60 {
+            // Value pool: constants and nulls (nulls are atomic values to
+            // the store).
+            let mk_value = |r: u64| -> Value {
+                if r.is_multiple_of(4) {
+                    Value::null((r / 4 % 3) as u32)
+                } else {
+                    Value::c(&format!("fc{}", r / 4 % 4))
+                }
+            };
+            let random_tuple = |rel: RelSym, next: &mut dyn FnMut() -> u64| -> Tuple {
+                let arity = if rel == rel_a { 2 } else { 1 };
+                Tuple::new((0..arity).map(|_| mk_value(next())).collect::<Vec<_>>())
+            };
+            // Random initial instance.
+            let mut initial = Instance::new();
+            initial.declare(rel_a, 2);
+            initial.declare(rel_b, 1);
+            for _ in 0..next() % 6 {
+                let t = random_tuple(rel_a, &mut next);
+                initial.insert(rel_a, t);
+            }
+            for _ in 0..next() % 4 {
+                let t = random_tuple(rel_b, &mut next);
+                initial.insert(rel_b, t);
+            }
+            let mut delta = DeltaIndex::from_instance(&initial);
+            let mut expected: BTreeMap<(RelSym, Tuple), u32> = initial
+                .relations()
+                .flat_map(|(rel, r)| r.iter().map(move |t| ((rel, t.clone()), 1)))
+                .collect();
+            // Random op interleaving, journaled.
+            let mut journal: Vec<(bool, RelSym, Tuple)> = Vec::new();
+            for step in 0..(next() % 40) {
+                let rel = if next() % 2 == 0 { rel_a } else { rel_b };
+                let live: Vec<Tuple> = expected
+                    .iter()
+                    .filter(|((r, _), &c)| *r == rel && c > 0)
+                    .map(|((_, t), _)| t.clone())
+                    .collect();
+                if next() % 10 < 6 || live.is_empty() {
+                    // Apply: a fresh random tuple or a re-insert of a live
+                    // one (refcount bump).
+                    let t = if !live.is_empty() && next() % 3 == 0 {
+                        live[(next() % live.len() as u64) as usize].clone()
+                    } else {
+                        random_tuple(rel, &mut next)
+                    };
+                    let count = expected.entry((rel, t.clone())).or_insert(0);
+                    let became_visible = delta.insert(rel, t.clone());
+                    assert_eq!(became_visible, *count == 0, "visibility on 0 → 1");
+                    *count += 1;
+                    journal.push((true, rel, t));
+                } else {
+                    // Remove (often out of journal order).
+                    let t = live[(next() % live.len() as u64) as usize].clone();
+                    let count = expected.get_mut(&(rel, t.clone())).expect("live");
+                    let became_invisible = delta.remove(rel, &t);
+                    assert_eq!(became_invisible, *count == 1, "invisibility on 1 → 0");
+                    *count -= 1;
+                    if *count == 0 {
+                        expected.remove(&(rel, t.clone()));
+                    }
+                    journal.push((false, rel, t));
+                }
+                if step % 7 == 0 {
+                    assert_consistent(&delta, &expected);
+                    assert_probes_match_fresh(&delta);
+                }
+            }
+            assert_consistent(&delta, &expected);
+            // Unwind the journal backwards: every apply undone, every
+            // remove re-applied — the exact pre-state must come back.
+            for (was_insert, rel, t) in journal.into_iter().rev() {
+                if was_insert {
+                    delta.remove(rel, &t);
+                } else {
+                    delta.insert(rel, t);
+                }
+            }
+            assert_eq!(
+                delta.instance(),
+                &initial,
+                "case {case}: unwound view equals the pre-state"
+            );
+            let pristine: BTreeMap<(RelSym, Tuple), u32> = initial
+                .relations()
+                .flat_map(|(rel, r)| r.iter().map(move |t| ((rel, t.clone()), 1)))
+                .collect();
+            assert_consistent(&delta, &pristine);
+            assert_probes_match_fresh(&delta);
+        }
+    }
+
     /// Out-of-order removal still works (linear posting scan).
     #[test]
     fn non_lifo_removal_is_correct() {

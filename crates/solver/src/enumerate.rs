@@ -165,6 +165,19 @@ pub enum Completeness {
     Capped,
 }
 
+impl Completeness {
+    /// The pessimistic join: the worse of two coverage reports
+    /// (`Capped > Bounded > Exact`).
+    pub fn worse(self, other: Completeness) -> Completeness {
+        use Completeness::*;
+        match (self, other) {
+            (Capped, _) | (_, Capped) => Capped,
+            (Bounded, _) | (_, Bounded) => Bounded,
+            _ => Exact,
+        }
+    }
+}
+
 /// Result of a `Rep_A` search.
 #[derive(Clone, Debug)]
 pub struct SearchOutcome {
@@ -324,6 +337,145 @@ pub fn enumerate_rep_a(
     visit: &mut dyn FnMut(&Instance) -> bool,
 ) -> u64 {
     search_rep_a(t, extra_base_consts, budget, visit).leaves
+}
+
+/// All **⊆-minimal members** of `Rep_A(T)` over the canonical valuation
+/// palette (base constants of `T` ∪ `extra_base_consts`, plus one fresh
+/// constant per null with first-use symmetry breaking).
+///
+/// Key observation: a member with extra (replicated) tuples strictly
+/// contains the extras-free image `v(rel(T))` of its own witnessing
+/// valuation, and that image is itself a member — so no member with extras
+/// is ever minimal. Minimality is therefore decided among the valuation
+/// images alone, and the enumeration runs with a zero-replication budget:
+/// one pass over the valuation DFS, one live [`DeltaIndex`], no extras
+/// phase. By genericity (the palette argument of Lemma 2), the returned set
+/// is exact up to automorphisms of `Const` fixing `adom(T) ∪
+/// extra_base_consts` — which is what any generic query over those
+/// constants can observe.
+///
+/// This is the minimal-model substrate of the GCWA\*-regime in `dx-core`
+/// (Hernich, *Answering Non-Monotonic Queries in Relational Data
+/// Exchange*). The completeness is [`Completeness::Exact`] unless the leaf
+/// cap of `max_leaves` interrupted the valuation sweep.
+pub fn minimal_rep_a_members(
+    t: &AnnInstance,
+    extra_base_consts: &BTreeSet<ConstId>,
+    max_leaves: Option<u64>,
+) -> (Vec<Instance>, Completeness) {
+    let budget = SearchBudget {
+        max_external_consts: 0,
+        max_extra_tuples: 0,
+        max_extra_per_template: None,
+        max_candidate_pool: 0,
+        max_leaves,
+    };
+    let mut images: BTreeSet<Instance> = BTreeSet::new();
+    let outcome = search_rep_a_indexed(t, extra_base_consts, &budget, &mut |leaf| {
+        images.insert(leaf.instance().clone());
+        false
+    });
+    let minimal: Vec<Instance> = images
+        .iter()
+        .filter(|i| !images.iter().any(|j| j != *i && j.is_subinstance_of(i)))
+        .cloned()
+        .collect();
+    let completeness = match outcome.completeness {
+        // The zero-replication budget makes the search report Bounded for
+        // open instances; for *minimal* members the sweep is exhaustive.
+        Completeness::Capped => Completeness::Capped,
+        _ => Completeness::Exact,
+    };
+    (minimal, completeness)
+}
+
+/// Visit every nonempty union of at most `max_union_size` of the given
+/// instances, maintained on **one** [`DeltaIndex`]: tuples shared between
+/// instances are reference counted, so entering/leaving a DFS branch costs
+/// only the chosen instance's *private* delta (its tuples outside the
+/// common intersection, inserted once up front) — not a rebuild of the
+/// union. `visit` sees the live index (compiled `dx-query` plans probe it
+/// directly; [`DeltaIndex::instance`] is the materialized view for
+/// tree-walking fallbacks) and returns `true` to stop early.
+///
+/// Returns the number of unions visited. This is the evaluation engine of
+/// the GCWA\*-answer regime: the candidate unions of minimal solutions are
+/// never materialized or re-indexed per candidate.
+pub fn for_each_union(
+    members: &[Instance],
+    max_union_size: usize,
+    visit: &mut dyn FnMut(&DeltaIndex) -> bool,
+) -> u64 {
+    if members.is_empty() || max_union_size == 0 {
+        return 0;
+    }
+    let mut delta = DeltaIndex::new();
+    for m in members {
+        for (rel, r) in m.relations() {
+            delta.declare(rel, r.arity());
+        }
+    }
+    // The common base: tuples present in every member, inserted once. Every
+    // nonempty union contains it, so per-branch deltas shrink to the
+    // member's private remainder.
+    let all_tuples = |m: &Instance| -> Vec<(RelSym, Tuple)> {
+        m.relations()
+            .flat_map(|(rel, r)| r.iter().map(move |t| (rel, t.clone())))
+            .collect()
+    };
+    let base: Vec<(RelSym, Tuple)> = all_tuples(&members[0])
+        .into_iter()
+        .filter(|(rel, t)| members[1..].iter().all(|m| m.contains(*rel, t)))
+        .collect();
+    for (rel, t) in &base {
+        delta.insert(*rel, t.clone());
+    }
+    let privates: Vec<Vec<(RelSym, Tuple)>> = members
+        .iter()
+        .map(|m| {
+            all_tuples(m)
+                .into_iter()
+                .filter(|(rel, t)| !delta.contains(*rel, t))
+                .collect()
+        })
+        .collect();
+
+    fn dfs(
+        privates: &[Vec<(RelSym, Tuple)>],
+        delta: &mut DeltaIndex,
+        visit: &mut dyn FnMut(&DeltaIndex) -> bool,
+        start: usize,
+        depth_left: usize,
+        count: &mut u64,
+    ) -> bool {
+        for i in start..privates.len() {
+            for (rel, t) in &privates[i] {
+                delta.insert(*rel, t.clone());
+            }
+            *count += 1;
+            let stop = visit(delta)
+                || (depth_left > 1 && dfs(privates, delta, visit, i + 1, depth_left - 1, count));
+            // LIFO undo keeps the store's removal on its O(1) path.
+            for (rel, t) in privates[i].iter().rev() {
+                delta.remove(*rel, t);
+            }
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut count = 0u64;
+    dfs(
+        &privates,
+        &mut delta,
+        visit,
+        0,
+        max_union_size.min(members.len()),
+        &mut count,
+    );
+    count
 }
 
 /// A `rel(T)` tuple containing nulls, waiting for its valuation image.
@@ -764,6 +916,105 @@ mod tests {
         };
         let outcome = search_rep_a(&t, &BTreeSet::new(), &budget, &mut |_| false);
         assert_eq!(outcome.completeness, Completeness::Capped);
+    }
+
+    /// Minimal members: extras never matter, merging valuations produce
+    /// ⊆-comparable images, and only the minimal ones survive.
+    #[test]
+    fn minimal_members_are_minimal_images() {
+        let rel = RelSym::new("MinA");
+        let mut t = AnnInstance::new();
+        // Two tuples sharing no nulls; ⊥0 = ⊥1 merges them into one image
+        // that is a strict subset of every non-merging image.
+        t.insert(
+            rel,
+            at(
+                vec![Value::c("a"), Value::null(0)],
+                vec![Ann::Closed, Ann::Open],
+            ),
+        );
+        t.insert(
+            rel,
+            at(
+                vec![Value::c("a"), Value::null(1)],
+                vec![Ann::Closed, Ann::Closed],
+            ),
+        );
+        let (minimal, comp) = minimal_rep_a_members(&t, &BTreeSet::new(), None);
+        assert_eq!(comp, Completeness::Exact);
+        // Merged images {(a,c)} (one per palette constant, canonically one
+        // for the fresh constant + one for "a") are the only minimal ones.
+        for m in &minimal {
+            assert_eq!(m.tuple_count(), 1, "minimal members merge the nulls: {m}");
+        }
+        assert!(!minimal.is_empty());
+        // Every minimal member is a genuine Rep_A member.
+        for m in &minimal {
+            assert!(crate::repa::rep_a_membership(&t, m).is_some());
+        }
+        // And open positions admit strictly larger members, which are not
+        // reported minimal: check by searching for a 3-tuple witness.
+        let bigger = search_rep_a(
+            &t,
+            &BTreeSet::new(),
+            &SearchBudget::bounded(1, 2),
+            &mut |i| i.tuple_count() >= 3,
+        );
+        assert!(bigger.witness.is_some());
+    }
+
+    /// The union walker visits every nonempty subset once (up to the size
+    /// cap), with the live store equal to the materialized union at every
+    /// visit.
+    #[test]
+    fn union_walker_matches_materialized_unions() {
+        let mk = |names: &[&str]| {
+            let mut i = Instance::new();
+            for n in names {
+                i.insert_names("UnW", &[n, "shared"]);
+                i.insert_names("UnW", &["common", "base"]);
+            }
+            i
+        };
+        let members = [mk(&["a"]), mk(&["b"]), mk(&["c"])];
+        let mut seen: Vec<Instance> = Vec::new();
+        let visited = for_each_union(&members, usize::MAX, &mut |delta| {
+            seen.push(delta.instance().clone());
+            // Index and view agree at every node.
+            for (r, rl) in delta.instance().relations() {
+                assert_eq!(delta.rel_len(r), rl.len());
+                for t in rl.iter() {
+                    assert!(delta.contains(r, t));
+                }
+            }
+            false
+        });
+        assert_eq!(visited, 7, "2³ − 1 nonempty subsets");
+        assert_eq!(seen.len(), 7);
+        // Each visited store is the union of a distinct subset.
+        let mut expected: Vec<Instance> = Vec::new();
+        for mask in 1u32..8 {
+            let mut u = Instance::new();
+            for (i, m) in members.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    u = u.union(m);
+                }
+            }
+            expected.push(u);
+        }
+        seen.sort();
+        expected.sort();
+        assert_eq!(seen, expected);
+        // The size cap prunes: singletons + pairs only.
+        let capped = for_each_union(&members, 2, &mut |_| false);
+        assert_eq!(capped, 6);
+        // Early stop is honoured.
+        let mut n = 0;
+        let stopped = for_each_union(&members, usize::MAX, &mut |_| {
+            n += 1;
+            n == 3
+        });
+        assert_eq!(stopped, 3);
     }
 
     /// The incremental store presented to leaves is exactly the instance the

@@ -40,8 +40,8 @@ pub mod palette;
 pub mod repa;
 
 pub use enumerate::{
-    enumerate_rep_a, search_rep_a, search_rep_a_indexed, Completeness, Leaf, SearchBudget,
-    SearchOutcome,
+    enumerate_rep_a, for_each_union, minimal_rep_a_members, search_rep_a, search_rep_a_indexed,
+    Completeness, Leaf, SearchBudget, SearchOutcome,
 };
 pub use matching::max_bipartite_matching;
 pub use palette::Palette;

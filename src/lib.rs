@@ -22,7 +22,8 @@
 //! * [`ctables`] — conditional tables (Imieliński–Lipski) with relational
 //!   algebra and exact certain answers;
 //! * [`core`] — the paper's results: mixed-world semantics, certain answers
-//!   (both trichotomies), and schema-mapping composition incl. SkSTDs;
+//!   (both trichotomies), schema-mapping composition incl. SkSTDs, and the
+//!   non-monotonic query-answering regimes (GCWA\* / approximation);
 //! * [`workloads`] — generators and the hardness reductions from the proofs.
 
 #![warn(missing_docs)]

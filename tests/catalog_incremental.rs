@@ -302,3 +302,77 @@ fn refutation_pipelines_agree_end_to_end() {
     );
     assert!(poss.certain, "any value is possible for an open null");
 }
+
+/// The catalog's **negative cache**: a formula rejected by safe-range
+/// lowering is compiled (and rejected) exactly once — every later lookup
+/// is a cache hit — and `clear()` resets positive and negative entries
+/// alike. Randomized over rejected shapes (unbound equalities, negated
+/// atoms, negation under an existential) and interleavings with compiling
+/// formulas.
+#[test]
+fn negative_cache_never_recompiles_rejections() {
+    use oc_exchange::logic::{Formula, Term};
+    use oc_exchange::Var;
+    let mut rng = StdRng::seed_from_u64(0xCA7A);
+    for case in 0..40 {
+        let cat = PlanCatalog::new();
+        let x = Var::new(&format!("ncx{}", rng.gen_range(0..4)));
+        let y = Var::new(&format!("ncy{}", rng.gen_range(0..4)));
+        let rel = format!("NcR{}", rng.gen_range(0..4));
+        // A rejected formula: all three shapes are outside the safe-range
+        // fragment for their head.
+        let (bad, bad_head): (Formula, Vec<Var>) = match rng.gen_range(0..3) {
+            0 => (Formula::eq(Term::Var(x), Term::Var(y)), vec![x, y]),
+            1 => (
+                Formula::not(Formula::atom(&rel, vec![Term::Var(x), Term::Var(y)])),
+                vec![x, y],
+            ),
+            _ => (
+                Formula::exists(
+                    vec![y],
+                    Formula::not(Formula::atom(&rel, vec![Term::Var(x), Term::Var(y)])),
+                ),
+                vec![x],
+            ),
+        };
+        assert!(
+            cat.formula(&bad, &bad_head).is_err(),
+            "case {case}: rejected"
+        );
+        let after_first = cat.stats();
+        assert_eq!(
+            (after_first.hits, after_first.misses, after_first.entries),
+            (0, 1, 1),
+            "case {case}: one rejection, one (negative) entry"
+        );
+        // Interleave with a compiling formula and repeated rejected lookups.
+        let good = Formula::atom(&rel, vec![Term::Var(x), Term::Var(y)]);
+        let repeats = rng.gen_range(2..6u64);
+        for i in 0..repeats {
+            assert!(cat.formula(&bad, &bad_head).is_err());
+            let c1 = cat.formula(&good, &[x, y]).expect("compiles");
+            let c2 = cat.formula(&good, &[x, y]).expect("compiles");
+            assert!(std::sync::Arc::ptr_eq(&c1, &c2), "positive entries shared");
+            drop((c1, c2));
+            let s = cat.stats();
+            assert_eq!(
+                s.misses, 2,
+                "case {case} round {i}: neither entry is ever recompiled"
+            );
+            assert_eq!(s.entries, 2);
+        }
+        // Per round: the rejected lookup hits, `c2` hits, and `c1` hits on
+        // every round but the first (where it compiles) — 3·repeats − 1.
+        let before_clear = cat.stats();
+        assert_eq!(before_clear.hits, repeats * 3 - 1);
+        // clear() drops positive AND negative entries (and the counters).
+        cat.clear();
+        let cleared = cat.stats();
+        assert_eq!((cleared.hits, cleared.misses, cleared.entries), (0, 0, 0));
+        // The rejection is re-attempted exactly once after the reset.
+        assert!(cat.formula(&bad, &bad_head).is_err());
+        assert!(cat.formula(&bad, &bad_head).is_err());
+        let reset = cat.stats();
+        assert_eq!((reset.hits, reset.misses, reset.entries), (1, 1, 1));
+    }
+}

@@ -427,6 +427,100 @@ fn workload_queries_differential() {
     }
 }
 
+/// Deterministic regressions for PR 3's lowering broadenings, previously
+/// exercised only through randomized search: the De Morgan expansion of
+/// negated disjunctions and the mixed-variable-set disjunction filters.
+/// The §1 one-author implication query — whose `∀`-matrix rewrites to
+/// `¬(¬(ψ₁ ∧ ψ₂) ∨ a1 = a2)`-shaped conjuncts — is pinned explicitly.
+#[test]
+fn demorgan_and_disjunction_lowering_regressions() {
+    // The §1 query: "every paper has at most one author". Must lower.
+    let one_author = Query::boolean(
+        oc_exchange::logic::parse_formula(
+            "forall p a1 a2. (Dm1Sub(p, a1) & Dm1Sub(p, a2) -> a1 = a2)",
+        )
+        .unwrap(),
+    );
+    let ev = QueryEval::new(&one_author);
+    assert!(
+        ev.is_compiled(),
+        "the §1 implication shape must lower to a plan (PR 3 De Morgan broadening)"
+    );
+    // Unique authors (incl. a null author, an atomic value) → true.
+    let mut unique = Instance::new();
+    unique.insert_names("Dm1Sub", &["p1", "alice"]);
+    unique.insert(
+        RelSym::new("Dm1Sub"),
+        Tuple::new(vec![Value::c("p2"), Value::null(7)]),
+    );
+    assert!(ev.holds_boolean(&unique));
+    assert_eq!(ev.holds_boolean(&unique), one_author.holds_boolean(&unique));
+    // A two-author paper → false; and a null vs constant author on the
+    // same paper also counts as two distinct values.
+    let mut double = unique.clone();
+    double.insert_names("Dm1Sub", &["p1", "bob"]);
+    assert!(!ev.holds_boolean(&double));
+    assert_eq!(ev.holds_boolean(&double), one_author.holds_boolean(&double));
+    let mut null_clash = Instance::new();
+    null_clash.insert_names("Dm1Sub", &["p3", "carol"]);
+    null_clash.insert(
+        RelSym::new("Dm1Sub"),
+        Tuple::new(vec![Value::c("p3"), Value::null(1)]),
+    );
+    assert!(!ev.holds_boolean(&null_clash));
+    assert_eq!(
+        ev.holds_boolean(&null_clash),
+        one_author.holds_boolean(&null_clash)
+    );
+
+    // A deterministic instance with nulls for the disjunction shapes.
+    let mut inst = Instance::new();
+    inst.insert_names("QdS", &["c0"]);
+    inst.insert_names("QdS", &["c1"]);
+    inst.insert_names("QdS", &["c2"]);
+    inst.insert_names("QdR", &["c0", "c5"]);
+    inst.insert_names("QdR", &["c2", "c2"]);
+    inst.insert(
+        RelSym::new("QdR"),
+        Tuple::new(vec![Value::c("c1"), Value::null(0)]),
+    );
+    inst.insert_names("QdT", &["c1", "c1"]);
+    inst.insert(
+        RelSym::new("QdT"),
+        Tuple::new(vec![Value::null(0), Value::null(0)]),
+    );
+
+    // Mixed-variable-set disjunction as a filter: the disjuncts range
+    // different variable sets ({x, via ∃y} vs {x}), so the disjunction
+    // lowers to a semi-join/select filter union, not a Plan::Union.
+    let filter_or = Query::parse(&["x"], "QdS(x) & ((exists y. QdR(x, y)) | QdT(x, x))").unwrap();
+    // Negated mixed disjunction: De Morgan expands ¬(ψ₁ ∨ ψ₂) into the
+    // anti-join/filter conjuncts ¬ψ₁ ∧ ¬ψ₂.
+    let neg_or = Query::parse(&["x"], "QdS(x) & !((exists y. QdR(x, y)) | QdT(x, x))").unwrap();
+    // Disjunction filter under an inequality guard.
+    let guarded = Query::parse(
+        &["x"],
+        "exists y. QdR(x, y) & (QdS(x) | !(x = y)) & !QdT(x, x)",
+    )
+    .unwrap();
+    let expectations: [(&Query, &[&str]); 3] = [
+        (&filter_or, &["c0", "c1", "c2"]),
+        (&neg_or, &[]),
+        (&guarded, &["c0", "c2"]),
+    ];
+    for (q, expected) in expectations {
+        let ev = QueryEval::new(q);
+        assert!(
+            ev.is_compiled(),
+            "{q} must lower (PR 3 disjunction filters)"
+        );
+        assert_eq!(ev.answers(&inst), q.answers(&inst), "oracle agreement: {q}");
+        let want =
+            oc_exchange::Relation::from_tuples(1, expected.iter().map(|n| Tuple::from_names(&[n])));
+        assert_eq!(ev.answers(&inst), want, "pinned answers of {q}");
+    }
+}
+
 /// Non-safe-range queries fall back to the oracle and still answer
 /// correctly through every routed pipeline entry point.
 #[test]
