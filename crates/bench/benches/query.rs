@@ -9,7 +9,7 @@
 //! parity, not speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dx_bench::query_workloads::{join_case, membership_case, repa_case, QueryCase};
+use dx_bench::query_workloads::{join_case, membership_case, repa_case, seeded_case, QueryCase};
 use dx_chase::{canonical_solution, canonical_solution_via, NaiveBodyEval};
 use dx_query::{PlanCatalog, PlannedBodyEval};
 use std::hint::black_box;
@@ -66,6 +66,31 @@ fn bench_join_queries(c: &mut Criterion) {
     bench_family(c, "query_join", join_case, &[8, 32, 96]);
 }
 
+/// The seeded anti-join race: the correlated §1 one-author query, tree
+/// walker vs the compiled `SeededAntiJoin` plan (PR 5). The walker sweeps
+/// the active domain per (p, a, b) triple; the plan re-executes the
+/// correlated branch once per distinct author.
+fn bench_seeded_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_seeded");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700));
+    for &n in &[8usize, 32, 96] {
+        let case = seeded_case(n);
+        let target = canonical_solution(&case.mapping, &case.source).rel_part();
+        let compiled = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+        assert!(compiled.is_compiled(), "seeded workload runs on a plan");
+        group.bench_with_input(BenchmarkId::new("tree", n), &case, |b, case| {
+            b.iter(|| black_box(case.query.naive_certain_answers(&target)))
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", n), &case, |b, _case| {
+            b.iter(|| black_box(compiled.naive_certain_answers(&target)))
+        });
+    }
+    group.finish();
+}
+
 /// The `Rep_A` valuation-search race: identical searches, per-leaf check
 /// on a freshly built index per candidate ("rebuild") vs the solver's
 /// incrementally maintained store ("incremental").
@@ -113,6 +138,7 @@ criterion_group!(
     benches,
     bench_membership_queries,
     bench_join_queries,
+    bench_seeded_queries,
     bench_repa_search
 );
 criterion_main!(benches);

@@ -9,8 +9,10 @@
 //! cargo run --release -p dx-bench --bin experiments -- chase  # E15 only
 //! cargo run --release -p dx-bench --bin experiments -- query  # E16 + E17 only
 //! cargo run --release -p dx-bench --bin experiments -- smoke  # CI smoke:
-//! #   E15 + E16 + E17 at tiny sizes, no JSON files written; E17 asserts
-//! #   regime answers nonempty and brute-force-oracle-identical
+//! #   E15 + E16 + E17 at tiny sizes; writes BENCH_*.smoke.json (uploaded
+//! #   as CI artifacts, the recorded trajectories stay untouched); asserts
+//! #   every indexed/compiled engine oracle-identical to its baseline AND
+//! #   at/above the parity floor (SMOKE_PARITY_FLOOR, default 0.5×)
 //! ```
 
 use dx_bench::{
@@ -25,36 +27,44 @@ use dx_core::{certain, non_closure, semantics};
 use dx_relation::{Instance, Tuple, Value};
 use dx_solver::{Completeness, SearchBudget};
 use dx_workloads::{coloring, conference, tiling, tripartite};
+use std::time::Duration;
 
 /// The full `BENCH_chase.json` sweep axis (ROADMAP: keep extending).
-const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192];
+const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192, 256];
 /// The full `BENCH_query.json` sweep axis.
-const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192];
-/// Tiny sizes for the CI smoke run (no JSON emitted).
+const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192, 256];
+/// Tiny sizes for the CI smoke run (writes `BENCH_*.smoke.json`).
 const SMOKE_NS: &[usize] = &[8, 16];
 
 fn main() {
     if std::env::args().any(|a| a == "chase") {
         println!("# oc-exchange chase-engine race (E15 only)\n");
-        e15_chase_engines(CHASE_NS, true);
+        e15_chase_engines(CHASE_NS, Some("BENCH_chase.json"), false);
         return;
     }
     if std::env::args().any(|a| a == "query") {
         println!("# oc-exchange query-engine race (E16 + E17 only)\n");
-        let mut records = e16_query_engines(QUERY_NS);
-        records.extend(e17_regimes(QUERY_NS));
-        write_query_json(&records);
+        let mut records = e16_query_engines(QUERY_NS, false);
+        records.extend(e17_regimes(QUERY_NS, false));
+        write_query_json(&records, "BENCH_query.json");
+        print_catalog_stats();
         return;
     }
     if std::env::args().any(|a| a == "smoke") {
         // The CI gate: exercise every BENCH-emitting path end to end at
-        // small sizes, without overwriting the recorded trajectories. E17
-        // additionally cross-checks the regimes against brute-force
-        // oracles at these sizes.
+        // small sizes. The recorded trajectories stay untouched — smoke
+        // rows go to `BENCH_*.smoke.json`, which CI uploads as artifacts.
+        // Every race asserts oracle identity as always; smoke mode
+        // additionally enforces the parity floor (an indexed/compiled
+        // engine dropping below `SMOKE_PARITY_FLOOR` × its baseline fails
+        // the run), and E17 cross-checks the regimes against brute-force
+        // oracles.
         println!("# oc-exchange bench smoke (E15 + E16 + E17, tiny sizes)\n");
-        e15_chase_engines(SMOKE_NS, false);
-        e16_query_engines(SMOKE_NS);
-        e17_regimes(SMOKE_NS);
+        e15_chase_engines(SMOKE_NS, Some("BENCH_chase.smoke.json"), true);
+        let mut records = e16_query_engines(SMOKE_NS, true);
+        records.extend(e17_regimes(SMOKE_NS, true));
+        write_query_json(&records, "BENCH_query.smoke.json");
+        print_catalog_stats();
         return;
     }
     println!("# oc-exchange experiment run\n");
@@ -73,10 +83,62 @@ fn main() {
     e12_codd();
     e13_datalog();
     e14_ctables();
-    e15_chase_engines(CHASE_NS, true);
-    let mut records = e16_query_engines(QUERY_NS);
-    records.extend(e17_regimes(QUERY_NS));
-    write_query_json(&records);
+    e15_chase_engines(CHASE_NS, Some("BENCH_chase.json"), false);
+    let mut records = e16_query_engines(QUERY_NS, false);
+    records.extend(e17_regimes(QUERY_NS, false));
+    write_query_json(&records, "BENCH_query.json");
+    print_catalog_stats();
+}
+
+/// The smoke-mode regression gate: an indexed/compiled engine must stay at
+/// or above `SMOKE_PARITY_FLOOR` × its baseline (default 0.5× — parity
+/// with 2× timing-noise slack; raise it to tighten the gate). Sub-noise
+/// measurements do not gate: when the baseline itself runs below
+/// `SMOKE_PARITY_MIN_BASELINE_US` (default 25 µs) a single scheduler
+/// hiccup on a shared CI runner dwarfs the signal, so the check is skipped
+/// with a note instead of failing spuriously. Full sweeps never gate: the
+/// recorded `BENCH_*.json` trajectories are the perf-trajectory story
+/// there.
+fn assert_smoke_parity(smoke: bool, what: &str, n: usize, baseline: Duration, fast: Duration) {
+    if !smoke {
+        return;
+    }
+    let env_f64 = |key: &str, default: f64| -> f64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let min_baseline_us = env_f64("SMOKE_PARITY_MIN_BASELINE_US", 25.0);
+    if (baseline.as_secs_f64() * 1e6) < min_baseline_us {
+        println!("(parity gate skipped for {what} n={n}: baseline {baseline:?} below noise floor)");
+        return;
+    }
+    let floor = env_f64("SMOKE_PARITY_FLOOR", 0.5);
+    let speedup = baseline.as_secs_f64() / fast.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= floor,
+        "{what} n={n}: speedup {speedup:.2}× fell below the smoke parity floor {floor:.2}× \
+         (baseline {baseline:?}, fast path {fast:?})"
+    );
+}
+
+/// Surface the shared `PlanCatalog`'s usage counters — including lowering
+/// rejections per reason class, so fragment gaps show up in bench/CI logs
+/// instead of silently tree-walking.
+fn print_catalog_stats() {
+    let stats = dx_query::PlanCatalog::shared().stats();
+    println!(
+        "Plan catalog: {} entries, {} hits, {} misses, {} rejections.",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.rejected()
+    );
+    for (reason, count) in &stats.rejections {
+        println!("  rejection[{reason}] = {count}");
+    }
+    println!();
 }
 
 /// One `BENCH_query.json` row (shared by E16 and E17; `rows` records the
@@ -88,11 +150,12 @@ fn query_row(workload: &str, stage: &str, engine: &str, n: usize, us: u128, rows
     )
 }
 
-/// Write the combined E16 + E17 rows to `BENCH_query.json`.
-fn write_query_json(records: &[String]) {
+/// Write the combined E16 + E17 rows to `path` (`BENCH_query.json` on full
+/// sweeps, `BENCH_query.smoke.json` — the CI artifact — in smoke mode).
+fn write_query_json(records: &[String], path: &str) {
     let json = format!("[\n{}\n]\n", records.join(",\n"));
-    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
-    println!("Machine-readable record written to BENCH_query.json.\n");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("Machine-readable record written to {path}.\n");
 }
 
 /// E1 — Theorem 2: membership is PTIME all-open, NP otherwise.
@@ -530,9 +593,10 @@ fn e13_datalog() {
 
 /// E15 — the chase-engine race: naive (rescan nested-loop) vs indexed
 /// (delta-driven, index-join) on the three chase-heavy workload families.
-/// Emits `BENCH_chase.json` — the machine-readable perf-trajectory record —
-/// next to the markdown table.
-fn e15_chase_engines(ns: &[usize], write_json: bool) {
+/// Emits the machine-readable perf-trajectory record to `json_path`
+/// (`BENCH_chase.json` on full sweeps, the smoke artifact in CI) next to
+/// the markdown table; in smoke mode the indexed engine is parity-gated.
+fn e15_chase_engines(ns: &[usize], json_path: Option<&str>, smoke: bool) {
     use dx_bench::chase_workloads::all_cases;
     use dx_chase::chase_engine::ChaseOutcome;
     use dx_chase::{canonical_solution_with_deps_via, ChaseStrategy, NaiveChase};
@@ -596,6 +660,13 @@ fn e15_chase_engines(ns: &[usize], write_json: bool) {
                     out.instance.tuple_count(),
                 ));
             }
+            assert_smoke_parity(
+                smoke,
+                &format!("chase/{}", case.workload),
+                n,
+                times[0],
+                times[1],
+            );
             let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
             t.row(vec![
                 case.workload.to_string(),
@@ -609,19 +680,15 @@ fn e15_chase_engines(ns: &[usize], write_json: bool) {
         }
     }
     println!("{}", t.render());
-    if write_json {
+    if let Some(path) = json_path {
         let json = format!("[\n{}\n]\n", records.join(",\n"));
-        std::fs::write("BENCH_chase.json", &json).expect("write BENCH_chase.json");
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     }
     println!(
         "Shape check: parity at small n (fixed overheads), growing indexed \
          advantage on the scaling workloads; machine-readable record \
-         {}.\n",
-        if write_json {
-            "written to BENCH_chase.json"
-        } else {
-            "suppressed (smoke mode)"
-        }
+         written to {}.\n",
+        json_path.unwrap_or("(nowhere)")
     );
 }
 
@@ -632,10 +699,13 @@ fn e15_chase_engines(ns: &[usize], write_json: bool) {
 /// search race**: the solver's incrementally maintained candidate index
 /// vs the rebuild-per-candidate baseline on a certainly-true full-FO
 /// refutation (the `repa` rows — the per-commit `smoke` mode runs this
-/// path too). Returns its `BENCH_query.json` rows (the caller merges them
-/// with E17's and writes the file).
-fn e16_query_engines(ns: &[usize]) -> Vec<String> {
-    use dx_bench::query_workloads::{all_query_cases, repa_case};
+/// path too), and the **seeded anti-join race** (the `seeded` rows): the
+/// correlated §1 one-author query, tree walker vs the compiled
+/// `SeededAntiJoin` plan, answers asserted identical. Returns its
+/// `BENCH_query.json` rows (the caller merges them with E17's and writes
+/// the file). Smoke mode parity-gates every fast path.
+fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
+    use dx_bench::query_workloads::{all_query_cases, repa_case, seeded_case};
     use dx_chase::{canonical_solution, canonical_solution_via, BodyEval, NaiveBodyEval};
     use dx_query::{PlanCatalog, PlannedBodyEval};
     use dx_solver::{search_rep_a_indexed, SearchBudget};
@@ -716,6 +786,20 @@ fn e16_query_engines(ns: &[usize]) -> Vec<String> {
                 "{} n={n}: query engines disagree",
                 case.workload
             );
+            assert_smoke_parity(
+                smoke,
+                &format!("csol/{}", case.workload),
+                n,
+                csol_times[0],
+                csol_times[1],
+            );
+            assert_smoke_parity(
+                smoke,
+                &format!("answers/{}", case.workload),
+                n,
+                ans_times[0].0,
+                ans_times[1].0,
+            );
             let csol_speedup = csol_times[0].as_secs_f64() / csol_times[1].as_secs_f64().max(1e-9);
             let ans_speedup = ans_times[0].0.as_secs_f64() / ans_times[1].0.as_secs_f64().max(1e-9);
             t.row(vec![
@@ -732,6 +816,67 @@ fn e16_query_engines(ns: &[usize]) -> Vec<String> {
         }
     }
     println!("{}", t.render());
+
+    // The seeded anti-join race: the correlated §1 one-author query —
+    // `∃a Sub(p,a) ∧ ∀b (Sub(p,b) → a = b)` — which PR 5's seeded lowering
+    // compiles to a `SeededAntiJoin` plan; before that, exactly the queries
+    // that distinguish OWA/CWA/GCWA* semantics ran on the tree walker. The
+    // walker sweeps the active domain per (p, a, b) triple; the plan
+    // re-executes the negated branch once per distinct author.
+    let mut st = Table::new(&[
+        "workload",
+        "n",
+        "answers tree",
+        "answers compiled",
+        "speedup",
+        "rows",
+    ]);
+    for &n in ns {
+        let case = seeded_case(n);
+        let csol = canonical_solution(&case.mapping, &case.source).rel_part();
+        let compiled = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+        assert!(
+            compiled.is_compiled(),
+            "seeded workload must compile to a plan (correlated fragment)"
+        );
+        let mut times = Vec::new();
+        let mut rows = 0usize;
+        let mut outs = Vec::new();
+        for name in ["tree", "compiled"] {
+            let mut best: Option<std::time::Duration> = None;
+            let mut out = None;
+            for _ in 0..5 {
+                let (o, d) = timed(|| match name {
+                    "tree" => case.query.naive_certain_answers(&csol),
+                    _ => compiled.naive_certain_answers(&csol),
+                });
+                best = Some(best.map_or(d, |b| b.min(d)));
+                out = Some(o);
+            }
+            let best = best.expect("ran");
+            let out = out.expect("ran");
+            rows = out.len();
+            outs.push(out);
+            times.push(best);
+            record(case.workload, "seeded", name, n, best.as_micros(), rows);
+        }
+        assert_eq!(
+            outs[0], outs[1],
+            "seeded n={n}: tree walker and compiled plan disagree"
+        );
+        assert!(rows > 0, "seeded n={n}: single-author papers must answer");
+        assert_smoke_parity(smoke, "seeded", n, times[0], times[1]);
+        let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
+        st.row(vec![
+            case.workload.to_string(),
+            n.to_string(),
+            fmt_duration(times[0]),
+            fmt_duration(times[1]),
+            format!("{speedup:.1}×"),
+            rows.to_string(),
+        ]);
+    }
+    println!("{}", st.render());
 
     // The Rep_A valuation-search race: same search engine, same leaves —
     // only the per-leaf check differs. "rebuild" recreates the old
@@ -794,6 +939,7 @@ fn e16_query_engines(ns: &[usize]) -> Vec<String> {
             leaves[0], leaves[1],
             "repa n={n}: engines must explore identical leaf counts"
         );
+        assert_smoke_parity(smoke, "repa", n, times[0], times[1]);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         rt.row(vec![
             case.workload.to_string(),
@@ -825,8 +971,9 @@ fn e16_query_engines(ns: &[usize]) -> Vec<String> {
 /// Emits the `gcwa`/`approx` rows of `BENCH_query.json`; at n ≤ 16 (the
 /// smoke sizes) both regimes are additionally asserted nonempty and
 /// identical to brute-force oracles (materialized unions / full member
-/// enumeration, tree-walking evaluation).
-fn e17_regimes(ns: &[usize]) -> Vec<String> {
+/// enumeration, tree-walking evaluation); smoke mode parity-gates the
+/// incremental engines.
+fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
     use dx_bench::query_workloads::{approx_case, gcwa_case};
     use dx_chase::canonical_solution;
     use dx_core::regimes::{self, RegimeBudget};
@@ -935,6 +1082,7 @@ fn e17_regimes(ns: &[usize]) -> Vec<String> {
                 "gcwa n={n}: regime answer must be oracle-identical"
             );
         }
+        assert_smoke_parity(smoke, "gcwa", n, times[0], times[1]);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         gt.row(vec![
             case.workload.to_string(),
@@ -973,10 +1121,15 @@ fn e17_regimes(ns: &[usize]) -> Vec<String> {
             for _ in 0..5 {
                 let (out, d) = timed(|| match engine {
                     "rebuild" => {
-                        // Same rewritings and sampling sweep, but every
-                        // member check rebuilds an index (`holds_on`).
+                        // Same rewritings (incl. the rigid-negation
+                        // tightening) and sampling sweep, but every member
+                        // check rebuilds an index (`holds_on`).
                         let csol = canonical_solution(&case.mapping, &case.source);
-                        let (_, over) = regimes::under_over_queries(&case.query);
+                        let rigid = dx_logic::classify::rigid_relations_of(
+                            &case.query.formula,
+                            &csol.instance,
+                        );
+                        let (_, over) = regimes::under_over_queries_rigid(&case.query, &rigid);
                         let (upper0, _) = dx_core::certain_answers_with(
                             &case.mapping,
                             &csol,
@@ -1051,6 +1204,7 @@ fn e17_regimes(ns: &[usize]) -> Vec<String> {
                 "approx n={n}: lower must stay sound"
             );
         }
+        assert_smoke_parity(smoke, "approx", n, times[0], times[1]);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         at.row(vec![
             case.workload.to_string(),

@@ -148,7 +148,25 @@ pub fn certain_contains_with(
     budget: Option<&SearchBudget>,
 ) -> CertainOutcome {
     let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
-    certain_contains_eval(mapping, csol, &ev, tuple, budget)
+    certain_contains_eval(
+        mapping,
+        csol,
+        &ev,
+        monotone_rigid(query, csol),
+        tuple,
+        budget,
+    )
+}
+
+/// Is the query monotone **modulo rigid relations** of this canonical
+/// solution (the Proposition 4 dispatch below, extended per
+/// [`classify::rigid_relations_of`])? Depends only on `(query, csol)` —
+/// answer-set loops compute it once, not per candidate tuple.
+fn monotone_rigid(query: &Query, csol: &dx_chase::CanonicalSolution) -> bool {
+    classify::is_monotone_rigid(
+        &query.formula,
+        &classify::rigid_relations_of(&query.formula, &csol.instance),
+    )
 }
 
 /// The worker behind [`certain_contains_with`]: query evaluation (both the
@@ -162,6 +180,7 @@ fn certain_contains_eval(
     mapping: &Mapping,
     csol: &dx_chase::CanonicalSolution,
     ev: &QueryEval,
+    monotone_rigid: bool,
     tuple: &Tuple,
     budget: Option<&SearchBudget>,
 ) -> CertainOutcome {
@@ -190,8 +209,15 @@ fn certain_contains_eval(
         .collect();
 
     // Proposition 4: monotone queries — certain_Σα(Q,S) = □Q(CSol(S)),
-    // decided by valuation search over Rep(CSol) (all-closed Rep_A).
-    if classify::is_monotone(&query.formula) {
+    // decided by valuation search over Rep(CSol) (all-closed Rep_A). The
+    // class is taken **modulo rigid relations** (ground, fully closed, no
+    // all-open marker — their extension is pinned in every member, see
+    // `dx_logic::classify::rigid_relations_of`): a negated atom over a
+    // rigid relation never changes value as members grow, so a query that
+    // is monotone apart from such atoms still has its minimal falsifiers
+    // among the extras-free valuation images, and the image sweep stays
+    // exact. With no rigid negations this is exactly Proposition 4.
+    if monotone_rigid {
         let closed = csol.instance.reannotate_all_closed();
         let mut check = |leaf: &Leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), tuple);
         let outcome = search_rep_a_indexed(
@@ -315,8 +341,9 @@ pub fn certain_answers_with(
 
     let mut rel = Relation::new(arity);
     let mut completeness = Completeness::Exact;
+    let mono_rigid = monotone_rigid(query, csol);
     for tuple in candidate_tuples(&consts, arity) {
-        let out = certain_contains_eval(mapping, csol, &ev, &tuple, budget);
+        let out = certain_contains_eval(mapping, csol, &ev, mono_rigid, &tuple, budget);
         if out.certain {
             rel.insert(tuple);
         }

@@ -52,10 +52,10 @@
 
 use crate::certain::{candidate_tuples, certain_answers_with};
 use dx_chase::{canonical_solution, canonical_solution_via, ChaseStrategy, Mapping};
-use dx_logic::classify::{self, monotone_over_approx, monotone_under_approx};
+use dx_logic::classify;
 use dx_logic::{Formula, Query, Term};
 use dx_query::PlanCatalog;
-use dx_relation::{ConstId, Instance, Relation, Tuple};
+use dx_relation::{ConstId, Instance, RelSym, Relation, Tuple};
 use dx_solver::{
     for_each_union, minimal_rep_a_members, search_rep_a_indexed, Completeness, SearchBudget,
 };
@@ -334,7 +334,16 @@ pub fn approx_certain_answers_with(
             };
         }
     }
-    let (under, over) = under_over_queries(query);
+    // Rigid-negation tightening: negated atoms over relations whose
+    // extension is pinned across the whole member space (ground + fully
+    // closed in the canonical solution — `classify::rigid_relations_of`)
+    // survive the monotone surgery instead of eroding to the lattice
+    // corners, so strictly more of the query reaches both bounds. The
+    // bounds stay exactly computable: the surgered queries are
+    // monotone-modulo-rigid, which `certain_answers_with` decides on the
+    // extras-free valuation-image sweep.
+    let rigid = classify::rigid_relations_of(&query.formula, &csol.instance);
+    let (under, over) = under_over_queries_rigid(query, &rigid);
     let (lower, _) = certain_answers_with(mapping, csol, source, &under, None);
     let (upper0, _) = certain_answers_with(mapping, csol, source, &over, None);
     let ev = PlanCatalog::shared().eval_in(query, &mapping.target);
@@ -362,7 +371,20 @@ pub fn approx_certain_answers_with(
 /// candidate palette of its certain answers covers the original query's —
 /// erasure must not shrink the over-approximation's candidate space.
 pub fn under_over_queries(query: &Query) -> (Query, Query) {
-    let under = Query::new(query.head.clone(), monotone_under_approx(&query.formula));
+    under_over_queries_rigid(query, &BTreeSet::new())
+}
+
+/// [`under_over_queries`] with **rigid negation kept**: negated atoms over
+/// the `rigid` relations (see [`dx_logic::classify::rigid_relations_of`])
+/// survive both rewritings — they are member-invariant, so keeping them is
+/// sound in both directions and tightens the bracket from both sides. The
+/// surgered queries satisfy [`classify::is_monotone_rigid`] for the same
+/// rigid set, which keeps their certain answers exactly computable.
+pub fn under_over_queries_rigid(query: &Query, rigid: &BTreeSet<RelSym>) -> (Query, Query) {
+    let under = Query::new(
+        query.head.clone(),
+        classify::monotone_under_approx_rigid(&query.formula, rigid),
+    );
     let keep_consts = query
         .formula
         .constants()
@@ -370,7 +392,10 @@ pub fn under_over_queries(query: &Query) -> (Query, Query) {
         .map(|c| Formula::eq(Term::Const(c), Term::Const(c)));
     let over = Query::new(
         query.head.clone(),
-        Formula::and(std::iter::once(monotone_over_approx(&query.formula)).chain(keep_consts)),
+        Formula::and(
+            std::iter::once(classify::monotone_over_approx_rigid(&query.formula, rigid))
+                .chain(keep_consts),
+        ),
     );
     (under, over)
 }

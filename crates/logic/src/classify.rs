@@ -9,7 +9,8 @@
 
 use crate::formula::Formula;
 use crate::term::Term;
-use dx_relation::{RelSym, Var};
+use dx_relation::{AnnInstance, RelSym, Var};
+use std::collections::BTreeSet;
 
 /// Syntactic class of a query/formula, from most to least specific.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -57,6 +58,59 @@ pub fn is_monotone(f: &Formula) -> bool {
         Formula::Forall(_, _) => false,
         Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_monotone),
         Formula::Exists(_, inner) => is_monotone(inner),
+    }
+}
+
+/// The relations mentioned by `f` that are **rigid** in the annotated
+/// instance `t`: their extension is provably identical in every member of
+/// `Rep_A(t)`, decidable from the open/closed annotations alone. A relation
+/// is rigid when every one of its tuples is ground (null-free) and fully
+/// closed, and no all-open empty marker licenses extra tuples — closed
+/// positions force each member tuple to coincide with a valuation image on
+/// *every* position, so the extension equals `t`'s verbatim. A relation `f`
+/// mentions but `t` lacks entirely is rigidly **empty** (members may not
+/// populate it at all).
+///
+/// This is the criterion behind the *rigid-negation* tightenings: a negated
+/// atom over a rigid relation is constant across the member space, so query
+/// surgery may keep it ([`monotone_under_approx_rigid`]) and the monotone
+/// certain-answer route may admit it ([`is_monotone_rigid`]).
+pub fn rigid_relations_of(f: &Formula, t: &AnnInstance) -> BTreeSet<RelSym> {
+    f.relations()
+        .into_iter()
+        .filter_map(|(rel, _)| {
+            let rigid = match t.relation(rel) {
+                None => true,
+                Some(arel) => {
+                    !arel.has_all_open_empty_mark()
+                        && arel
+                            .iter()
+                            .all(|at| at.tuple.is_ground() && at.ann.count_open() == 0)
+                }
+            };
+            rigid.then_some(rel)
+        })
+        .collect()
+}
+
+/// [`is_monotone`] **modulo rigid relations**: negation is additionally
+/// admitted directly on an atom of a relation in `rigid`. Over the member
+/// space of the instance `rigid` was computed from, such a formula is
+/// monotone — growing a member can only add tuples to *non-rigid* relations
+/// (rigid ones are pinned by their closed annotations), so the kept negated
+/// atoms never change value and answers only grow. With an empty `rigid`
+/// set this is exactly [`is_monotone`].
+pub fn is_monotone_rigid(f: &Formula, rigid: &BTreeSet<RelSym>) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::Not(inner) => match &**inner {
+            Formula::Eq(_, _) => true,
+            Formula::Atom(r, _) => rigid.contains(r),
+            _ => false,
+        },
+        Formula::Forall(_, _) => false,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| is_monotone_rigid(g, rigid)),
+        Formula::Exists(_, inner) => is_monotone_rigid(inner, rigid),
     }
 }
 
@@ -187,7 +241,7 @@ pub fn universal_var_count(f: &Formula) -> usize {
 /// `U(φ)` are computable exactly (Propositions 3/4) and under-approximate
 /// the certain answers of `φ` — sound, possibly incomplete.
 pub fn monotone_under_approx(f: &Formula) -> Formula {
-    approx(&nnf(f), true)
+    approx(&nnf(f), true, &BTreeSet::new())
 }
 
 /// The **monotone over-approximation** `O(φ)`: `φ ⇒ O(φ)` pointwise, with
@@ -195,13 +249,32 @@ pub fn monotone_under_approx(f: &Formula) -> Formula {
 /// (negated atoms and universals become `True`). Certain answers of `O(φ)`
 /// over-approximate those of `φ` — complete, possibly unsound.
 pub fn monotone_over_approx(f: &Formula) -> Formula {
-    approx(&nnf(f), false)
+    approx(&nnf(f), false, &BTreeSet::new())
+}
+
+/// [`monotone_under_approx`] with **rigid negation kept**: a negated atom
+/// over a relation in `rigid` (see [`rigid_relations_of`]) survives the
+/// transform instead of eroding to `False`. Pointwise soundness
+/// (`U(φ) ⇒ φ`) is untouched — keeping a subformula verbatim is the
+/// identity replacement — and the output satisfies
+/// [`is_monotone_rigid`], so certain answers stay exactly computable on
+/// the valuation-image space. The result is a **tighter** lower bound:
+/// strictly more of the query survives erasure.
+pub fn monotone_under_approx_rigid(f: &Formula, rigid: &BTreeSet<RelSym>) -> Formula {
+    approx(&nnf(f), true, rigid)
+}
+
+/// [`monotone_over_approx`] with rigid negation kept — the dual of
+/// [`monotone_under_approx_rigid`], shrinking the upper bound.
+pub fn monotone_over_approx_rigid(f: &Formula, rigid: &BTreeSet<RelSym>) -> Formula {
+    approx(&nnf(f), false, rigid)
 }
 
 /// The U/O transform on an NNF formula (`under` picks the direction). The
 /// replacement constant is the identity of the respective lattice corner:
 /// `False ⇒ ψ` for any `ψ` (soundness of U), `ψ ⇒ True` (soundness of O).
-fn approx(f: &Formula, under: bool) -> Formula {
+/// Negated atoms over `rigid` relations are member-invariant and kept.
+fn approx(f: &Formula, under: bool, rigid: &BTreeSet<RelSym>) -> Formula {
     let erased = || {
         if under {
             Formula::False
@@ -211,14 +284,16 @@ fn approx(f: &Formula, under: bool) -> Formula {
     };
     match f {
         Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => f.clone(),
-        // NNF puts negation on atoms only; `¬(t = t′)` is monotone and kept.
-        Formula::Not(inner) => match **inner {
+        // NNF puts negation on atoms only; `¬(t = t′)` is monotone and kept,
+        // as is `¬R(t̄)` for rigid `R` (constant across the member space).
+        Formula::Not(inner) => match &**inner {
             Formula::Eq(_, _) => f.clone(),
+            Formula::Atom(r, _) if rigid.contains(r) => f.clone(),
             _ => erased(),
         },
-        Formula::And(fs) => Formula::and(fs.iter().map(|g| approx(g, under))),
-        Formula::Or(fs) => Formula::or(fs.iter().map(|g| approx(g, under))),
-        Formula::Exists(vars, inner) => Formula::exists(vars.clone(), approx(inner, under)),
+        Formula::And(fs) => Formula::and(fs.iter().map(|g| approx(g, under, rigid))),
+        Formula::Or(fs) => Formula::or(fs.iter().map(|g| approx(g, under, rigid))),
+        Formula::Exists(vars, inner) => Formula::exists(vars.clone(), approx(inner, under, rigid)),
         Formula::Forall(_, _) => erased(),
     }
 }
@@ -421,6 +496,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Rigidity: ground + all-closed relations are rigid, anything with a
+    /// null, an open position or an all-open empty marker is not, and
+    /// absent relations are rigidly empty. The rigid-aware transforms keep
+    /// exactly the rigid negated atoms.
+    #[test]
+    fn rigid_relations_and_rigid_transforms() {
+        use dx_relation::{Ann, AnnTuple, Annotation, Instance, Tuple, Value};
+        let mut t = AnnInstance::new();
+        t.insert(
+            RelSym::new("RgdC"),
+            AnnTuple::new(Tuple::from_names(&["a"]), Annotation::all_closed(1)),
+        );
+        t.insert(
+            RelSym::new("RgdO"),
+            AnnTuple::new(Tuple::from_names(&["a"]), Annotation::new(vec![Ann::Open])),
+        );
+        t.insert(
+            RelSym::new("RgdN"),
+            AnnTuple::new(Tuple::new(vec![Value::null(1)]), Annotation::all_closed(1)),
+        );
+        t.insert_empty_mark(RelSym::new("RgdM"), Annotation::all_open(1));
+        let f = Formula::and([
+            Formula::not(atom("RgdC", &["x"])),
+            Formula::not(atom("RgdO", &["x"])),
+            Formula::not(atom("RgdN", &["x"])),
+            Formula::not(atom("RgdM", &["x"])),
+            Formula::not(atom("RgdAbsent", &["x"])),
+            atom("RgdO", &["x"]),
+        ]);
+        let rigid = rigid_relations_of(&f, &t);
+        assert!(rigid.contains(&RelSym::new("RgdC")), "ground+closed");
+        assert!(rigid.contains(&RelSym::new("RgdAbsent")), "rigidly empty");
+        assert!(!rigid.contains(&RelSym::new("RgdO")), "open position");
+        assert!(!rigid.contains(&RelSym::new("RgdN")), "null-carrying");
+        assert!(!rigid.contains(&RelSym::new("RgdM")), "all-open marker");
+
+        // The rigid under-transform keeps exactly the rigid negations (the
+        // disjunctive shape keeps erasure from collapsing the formula).
+        let g = Formula::and([
+            atom("RgdO", &["x"]),
+            Formula::not(atom("RgdC", &["x"])),
+            Formula::or([Formula::not(atom("RgdO", &["x"])), atom("RgdO", &["x"])]),
+        ]);
+        let under = monotone_under_approx_rigid(&g, &rigid);
+        assert!(is_monotone_rigid(&under, &rigid));
+        assert!(!is_monotone(&under), "rigid negations survive");
+        let plain = monotone_under_approx(&g);
+        assert!(is_monotone(&plain), "the rigid-blind transform erases");
+        let kept: BTreeSet<RelSym> = {
+            let mut out = BTreeSet::new();
+            under.walk(&mut |h| {
+                if let Formula::Not(inner) = h {
+                    if let Formula::Atom(r, _) = &**inner {
+                        out.insert(*r);
+                    }
+                }
+            });
+            out
+        };
+        assert_eq!(
+            kept,
+            [RelSym::new("RgdC")].into_iter().collect::<BTreeSet<_>>(),
+            "non-rigid negations erased, rigid ones kept"
+        );
+        // Pointwise soundness is untouched: U ⇒ φ on a spot instance.
+        let mut inst = Instance::new();
+        inst.insert_names("RgdO", &["a"]);
+        let q = |h: &Formula| {
+            crate::Query::new(vec![v("x")], h.clone()).holds_on(&inst, &Tuple::from_names(&["a"]))
+        };
+        assert!(q(&under) && q(&g), "kept negations evaluate verbatim");
+        // The rigid over-transform is tighter than the rigid-blind one.
+        let over = monotone_over_approx_rigid(&g, &rigid);
+        assert!(is_monotone_rigid(&over, &rigid));
+        assert!(q(&over));
+        // is_monotone_rigid with an empty set is plain is_monotone.
+        assert!(!is_monotone_rigid(&f, &BTreeSet::new()));
+        assert!(is_monotone_rigid(
+            &Formula::not(Formula::eq(Term::var("x"), Term::var("y"))),
+            &BTreeSet::new()
+        ));
     }
 
     #[test]

@@ -35,18 +35,19 @@
 //! schema at hand use the unfingerprinted entry points.
 
 use crate::eval::{CompiledQuery, QueryEval};
-use crate::lower::LowerError;
+use crate::lower::{LowerError, LowerReason};
 use crate::ra::CompiledRa;
 use dx_ctables::algebra::RaError;
 use dx_ctables::RaExpr;
 use dx_logic::{Formula, Query};
 use dx_relation::fxmap::FastHasher;
 use dx_relation::{FastMap, Schema, Var};
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Catalog usage counters (see [`PlanCatalog::stats`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Number of cached entries (all kinds).
     pub entries: usize,
@@ -54,6 +55,18 @@ pub struct CatalogStats {
     pub hits: u64,
     /// Lookups that compiled.
     pub misses: u64,
+    /// Lowering rejections by reason class, counted once per distinct
+    /// rejected query/formula (cache hits on a negative entry do not
+    /// re-count) — the observability hook that keeps fragment gaps visible
+    /// in bench/CI output instead of silently tree-walking.
+    pub rejections: Vec<(LowerReason, u64)>,
+}
+
+impl CatalogStats {
+    /// Total rejected compilations across all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejections.iter().map(|(_, n)| n).sum()
+    }
 }
 
 struct QueryEntry {
@@ -81,6 +94,15 @@ struct Inner {
     ras: FastMap<u64, Vec<RaEntry>>,
     hits: u64,
     misses: u64,
+    rejections: BTreeMap<LowerReason, u64>,
+}
+
+impl Inner {
+    fn note_rejection(&mut self, err: Option<&LowerError>) {
+        if let Some(err) = err {
+            *self.rejections.entry(err.reason()).or_default() += 1;
+        }
+    }
 }
 
 impl Inner {
@@ -173,6 +195,7 @@ impl PlanCatalog {
             query: query.clone(),
             eval: Arc::clone(&eval),
         });
+        inner.note_rejection(eval.lower_error());
         inner.misses += 1;
         eval
     }
@@ -217,6 +240,7 @@ impl PlanCatalog {
             head: head.to_vec(),
             compiled: compiled.clone(),
         });
+        inner.note_rejection(compiled.as_ref().err().map(|e| e as &LowerError));
         inner.misses += 1;
         compiled
     }
@@ -270,6 +294,11 @@ impl PlanCatalog {
             entries: inner.entries(),
             hits: inner.hits,
             misses: inner.misses,
+            rejections: inner
+                .rejections
+                .iter()
+                .map(|(reason, n)| (*reason, *n))
+                .collect(),
         }
     }
 
@@ -342,6 +371,13 @@ mod tests {
         assert!(cat.formula(&bad, &head).is_err());
         let stats = cat.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The rejection is attributed to its reason class, once (the cached
+        // negative replay does not re-count).
+        assert_eq!(
+            stats.rejections,
+            vec![(crate::lower::LowerReason::BareVariableEquality, 1)]
+        );
+        assert_eq!(stats.rejected(), 1);
         // A good formula compiles once and is replayed.
         let good = dx_logic::parse_formula("CatR(x, y)").unwrap();
         let c1 = cat.formula(&good, &head).unwrap();

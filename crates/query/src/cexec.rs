@@ -92,6 +92,9 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
         }
         Plan::SemiJoin { left, right } => filter_join_conditional(left, right, cinst, true),
         Plan::AntiJoin { left, right } => filter_join_conditional(left, right, cinst, false),
+        Plan::SeededAntiJoin { left, right, seed } => {
+            seeded_anti_conditional(left, right, seed, cinst)
+        }
         Plan::Select { input, pred } => {
             let rows = exec_conditional(input, cinst);
             let mut out = CRows {
@@ -411,6 +414,73 @@ fn filter_join_conditional(left: &Plan, right: &Plan, cinst: &CInstance, keep: b
     out
 }
 
+/// Conditional seeded anti-join. The left rows are hash-partitioned on the
+/// seed key (a null in the key is an atomic partition value: identical
+/// nulls share the branch execution, and the substituted plan's guards
+/// reference that null, so any valuation resolves them consistently); the
+/// correlated branch runs once per distinct key with the seeds substituted
+/// ([`Plan::bind_seed`] — predicates take the value directly, scans of a
+/// null seed gain an equality-guarded fresh column). Each left row then
+/// receives the standard Imieliński–Lipski blocker condition: the negated
+/// disjunction, over the branch's rows, of "row present ∧ shared variables
+/// equal".
+fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CInstance) -> CRows {
+    let l = exec_conditional(left, cinst);
+    let seed_cols: Vec<usize> = seed
+        .iter()
+        .map(|v| l.col(*v).expect("seed variable is bound by the left side"))
+        .collect();
+    // The shared variables are key independent: `bind_seed` removes the
+    // same seed variables from the branch schema for every key, and the
+    // reserved `$seed:` columns a null key adds never occur in `l.vars`.
+    // Only the branch-side column positions can shift per key.
+    let shared: Vec<Var> = {
+        let rv: BTreeSet<Var> = right.vars().into_iter().collect();
+        l.vars
+            .iter()
+            .copied()
+            .filter(|v| rv.contains(v) && !seed.contains(v))
+            .collect()
+    };
+    let l_cols: Vec<usize> = shared.iter().map(|v| l.col(*v).unwrap()).collect();
+    let mut branches: dx_relation::FastMap<Vec<Value>, (CRows, Vec<usize>)> =
+        dx_relation::FastMap::default();
+    let mut out = CRows {
+        vars: l.vars.clone(),
+        rows: Vec::new(),
+    };
+    for (lrow, lcond) in &l.rows {
+        let key: Vec<Value> = seed_cols.iter().map(|&c| lrow[c]).collect();
+        let (r, r_cols) = branches.entry(key.clone()).or_insert_with(|| {
+            let mut branch = right.clone();
+            for (v, val) in seed.iter().zip(&key) {
+                branch.bind_seed(*v, *val);
+            }
+            let rows = exec_conditional(&branch, cinst);
+            let r_cols: Vec<usize> = shared
+                .iter()
+                .map(|v| rows.col(*v).expect("shared variable survives seeding"))
+                .collect();
+            (rows, r_cols)
+        });
+        let support = Condition::or(r.rows.iter().map(|(rrow, rcond)| {
+            Condition::and(
+                std::iter::once(rcond.clone()).chain(
+                    shared
+                        .iter()
+                        .enumerate()
+                        .map(|(k, _)| Condition::eq(lrow[l_cols[k]], rrow[r_cols[k]])),
+                ),
+            )
+        }));
+        out.push(
+            lrow.clone(),
+            Condition::and([lcond.clone(), support.negate()]),
+        );
+    }
+    out
+}
+
 fn pred_condition(p: &PlanPred, vars: &[Var], row: &[Value]) -> Condition {
     let resolve = |r: &Ref| -> Value {
         match r {
@@ -498,6 +568,39 @@ mod tests {
                 let zc = rows.col(outcols[1]).unwrap();
                 rows.rows.iter().map(|r| vec![r[xc], r[zc]]).collect()
             };
+            let via: BTreeSet<Vec<Value>> = cond_result
+                .apply(&v)
+                .into_iter()
+                .map(|t| t.values().to_vec())
+                .collect();
+            assert_eq!(via, direct, "valuation {v:?}");
+            checked += 1;
+        }
+        assert!(checked > 1, "several rep members exercised");
+    }
+
+    /// The seeded anti-join commutes with valuations: on the correlated §1
+    /// one-author query over a table whose papers and authors both carry
+    /// nulls, applying any palette valuation to the conditional result
+    /// equals the ground execution over the valued instance.
+    #[test]
+    fn seeded_antijoin_commutes_with_valuations() {
+        let s = RelSym::new("CsSub");
+        let mut inst = Instance::new();
+        inst.insert(s, Tuple::from_names(&["p1", "alice"]));
+        inst.insert(s, Tuple::new(vec![Value::c("p1"), Value::null(1)]));
+        inst.insert(s, Tuple::new(vec![Value::null(2), Value::c("bob")]));
+        let ct = CInstance::from_naive(&inst);
+        let f =
+            parse_formula("exists a. CsSub(p, a) & (forall b. (CsSub(p, b) -> a = b))").unwrap();
+        let plan = lower_formula(&f).unwrap();
+        let outcols = [dx_relation::Var::new("p")];
+        let cond_result = exec_conditional_table(&plan, &outcols, &ct);
+        let mut checked = 0usize;
+        for (ground, v) in ct.rep_members(&std::collections::BTreeSet::new()) {
+            let idx = dx_relation::InstanceIndex::build(&ground);
+            let direct: BTreeSet<Vec<Value>> =
+                crate::exec::exec(&plan, &idx).rows.into_iter().collect();
             let via: BTreeSet<Vec<Value>> = cond_result
                 .apply(&v)
                 .into_iter()

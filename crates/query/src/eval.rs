@@ -33,9 +33,10 @@ impl CompiledQuery {
         let produced: BTreeSet<Var> = plan.vars().into_iter().collect();
         for h in head {
             if !produced.contains(h) {
-                return Err(LowerError::NotSafeRange(format!(
-                    "head variable {h} is not range-restricted by the body"
-                )));
+                return Err(LowerError::NotSafeRange(
+                    crate::lower::LowerReason::UnrestrictedHeadVar,
+                    format!("head variable {h} is not range-restricted by the body"),
+                ));
             }
         }
         Ok(CompiledQuery {
@@ -152,20 +153,33 @@ impl CompiledQuery {
 pub struct QueryEval {
     query: Query,
     compiled: Option<CompiledQuery>,
+    error: Option<LowerError>,
 }
 
 impl QueryEval {
     /// Wrap a query, compiling when possible.
     pub fn new(query: &Query) -> Self {
+        let (compiled, error) = match CompiledQuery::compile(query) {
+            Ok(c) => (Some(c), None),
+            Err(e) => (None, Some(e)),
+        };
         QueryEval {
             query: query.clone(),
-            compiled: CompiledQuery::compile(query).ok(),
+            compiled,
+            error,
         }
     }
 
     /// Did the query compile to a plan?
     pub fn is_compiled(&self) -> bool {
         self.compiled.is_some()
+    }
+
+    /// Why the query fell back to the tree walker (`None` when compiled) —
+    /// the observable rejection [`crate::PlanCatalog`] aggregates stats
+    /// over.
+    pub fn lower_error(&self) -> Option<&LowerError> {
+        self.error.as_ref()
     }
 
     /// The compiled form, when the formula is safe-range (conditional-mode

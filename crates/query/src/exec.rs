@@ -63,6 +63,7 @@ pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
         Plan::Join { inputs } => exec_join(inputs, store),
         Plan::SemiJoin { left, right } => exec_filter_join(left, right, store, true),
         Plan::AntiJoin { left, right } => exec_filter_join(left, right, store, false),
+        Plan::SeededAntiJoin { left, right, seed } => exec_seeded_anti(left, right, seed, store),
         Plan::Select { input, pred } => {
             let mut rows = exec(input, store);
             rows.rows.retain(|r| eval_pred(pred, &rows.vars, r));
@@ -458,12 +459,61 @@ fn exec_filter_join(left: &Plan, right: &Plan, store: &dyn QueryStore, keep: boo
     l
 }
 
+/// Seeded anti-join: hash-partition the preserved side on the seed key,
+/// execute the correlated branch **once per distinct key** with the seeds
+/// substituted as constants ([`Plan::bind_seed`]), and reduce each
+/// partition by the branch's rows on the remaining shared variables. With
+/// no shared variables the branch acts as a per-key boolean gate (the
+/// empty key is in the refuting set iff the branch produced rows).
+fn exec_seeded_anti(left: &Plan, right: &Plan, seed: &[Var], store: &dyn QueryStore) -> Rows {
+    let mut l = exec(left, store);
+    let seed_cols: Vec<usize> = seed
+        .iter()
+        .map(|v| l.col(*v).expect("seed variable is bound by the left side"))
+        .collect();
+    // The shared variables are key independent (`bind_seed` removes the
+    // same seed variables from the branch schema for every key, and the
+    // reserved `$seed:` columns a null key adds never occur in the left
+    // schema); only the branch-side column positions can shift per key.
+    let shared: Vec<Var> = {
+        let rv: BTreeSet<Var> = right.vars().into_iter().collect();
+        l.vars
+            .iter()
+            .copied()
+            .filter(|v| rv.contains(v) && !seed.contains(v))
+            .collect()
+    };
+    let l_cols: Vec<usize> = shared.iter().map(|v| l.col(*v).unwrap()).collect();
+    let mut partitions: FastMap<Vec<Value>, BTreeSet<Vec<Value>>> = FastMap::default();
+    l.rows.retain(|row| {
+        let key: Vec<Value> = seed_cols.iter().map(|&c| row[c]).collect();
+        let refuting = partitions.entry(key.clone()).or_insert_with(|| {
+            let mut branch = right.clone();
+            for (v, val) in seed.iter().zip(&key) {
+                branch.bind_seed(*v, *val);
+            }
+            let rows = exec(&branch, store);
+            let r_cols: Vec<usize> = shared
+                .iter()
+                .map(|v| rows.col(*v).expect("shared variable survives seeding"))
+                .collect();
+            rows.rows
+                .iter()
+                .map(|r| r_cols.iter().map(|&c| r[c]).collect())
+                .collect()
+        });
+        let probe: Vec<Value> = l_cols.iter().map(|&c| row[c]).collect();
+        !refuting.contains(&probe)
+    });
+    l
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lower::lower_formula;
     use dx_logic::parse_formula;
-    use dx_relation::{Instance, InstanceIndex};
+    use dx_relation::{Instance, InstanceIndex, RelSym, Tuple};
 
     fn graph() -> Instance {
         let mut i = Instance::new();
@@ -522,6 +572,68 @@ mod tests {
         let mut expected = vec![Var::new("x"), Var::new("y"), Var::new("z")];
         expected.sort();
         assert_eq!(rows.vars, expected);
+    }
+
+    /// The correlated §1 shape on the ground executor: papers with exactly
+    /// one author, nulls as atomic author values.
+    #[test]
+    fn seeded_antijoin_one_author() {
+        let mut i = Instance::new();
+        i.insert_names("ExSub", &["p1", "alice"]);
+        i.insert_names("ExSub", &["p2", "bob"]);
+        i.insert_names("ExSub", &["p2", "carol"]);
+        i.insert(
+            RelSym::new("ExSub"),
+            Tuple::new(vec![Value::c("p3"), Value::null(1)]),
+        );
+        let rows = run(
+            "exists a. ExSub(p, a) & (forall b. (ExSub(p, b) -> a = b))",
+            &i,
+        );
+        // p1 (one ground author) and p3 (one null author) qualify; p2 not.
+        let got: BTreeSet<Vec<Value>> = rows.rows.into_iter().collect();
+        let want: BTreeSet<Vec<Value>> = [vec![Value::c("p1")], vec![Value::c("p3")]]
+            .into_iter()
+            .collect();
+        assert_eq!(got, want);
+        // A second author for p3 — a null vs ground clash — disqualifies it.
+        i.insert_names("ExSub", &["p3", "dave"]);
+        let rows = run(
+            "exists a. ExSub(p, a) & (forall b. (ExSub(p, b) -> a = b))",
+            &i,
+        );
+        assert_eq!(rows.rows, vec![vec![Value::c("p1")]]);
+    }
+
+    /// Regression: **nested** seeded anti-joins with null seed values. The
+    /// outer node substitutes `x = ⊥1` and the inner one `b = ⊥2` into the
+    /// same scan; the reserved columns must stay distinct (`$seed:x` vs
+    /// `$seed:b`) — a shared name would force the two positions equal and
+    /// silently empty the refuting set.
+    #[test]
+    fn nested_null_seeds_do_not_collide() {
+        let mut i = Instance::new();
+        i.insert(RelSym::new("NnR"), Tuple::new(vec![Value::null(1)]));
+        i.insert(RelSym::new("NnS"), Tuple::new(vec![Value::null(2)]));
+        i.insert_names("NnV", &["v1"]);
+        // The refuting tuple pairs ⊥2 with ⊥1 — exactly the shape a merged
+        // seed column can never match (⊥1 ≠ ⊥2 atomically).
+        i.insert(
+            RelSym::new("NnW"),
+            Tuple::new(vec![Value::c("v1"), Value::null(2), Value::null(1)]),
+        );
+        let src = "NnR(x) & !(exists b. NnS(b) & !(exists d. NnV(d) & !NnW(d, b, x)))";
+        let plan = lower_formula(&parse_formula(src).unwrap()).unwrap();
+        let explained = plan.explain();
+        assert_eq!(
+            explained.matches("seeded-antijoin").count(),
+            2,
+            "the shape nests two seeded nodes:\n{explained}"
+        );
+        let rows = run(src, &i);
+        // Oracle: W(v1, ⊥2, ⊥1) holds, so d = v1 fails ¬W, ∃d fails, the
+        // b = ⊥2 witness satisfies the negated branch — ⊥1 is NOT an answer.
+        assert!(rows.rows.is_empty(), "got {:?}", rows.rows);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod store;
 
 pub use catalog::{CatalogStats, PlanCatalog};
 pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
-pub use lower::{lower_formula, LowerError};
+pub use lower::{lower_formula, LowerError, LowerReason};
 pub use plan::{Plan, PlanPred, Ref};
 pub use ra::CompiledRa;
 pub use store::QueryStore;

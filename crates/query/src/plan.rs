@@ -156,6 +156,23 @@ pub enum Plan {
         /// The fresh output variable.
         dst: Var,
     },
+    /// The lowering of **correlated negation**: rows of `left` for which the
+    /// `right` branch — re-executed with the `seed` variables bound to the
+    /// row's values ("bindings as constants") — produces no row agreeing on
+    /// the shared variables. `right` references the seed variables without
+    /// ranging them (they occur only in predicates, or in scans of nested
+    /// subtrees), so it is safe-range *given* the seeds; executors
+    /// hash-partition the left rows on the seed key and run `right` once per
+    /// distinct key via [`Plan::bind_seed`], not once per row.
+    SeededAntiJoin {
+        /// The preserved side (binds every seed variable).
+        left: Box<Plan>,
+        /// The correlated refuting branch.
+        right: Box<Plan>,
+        /// The outer-bound variables seeded into `right`; never output
+        /// columns of `right`.
+        seed: Vec<Var>,
+    },
 }
 
 impl Plan {
@@ -185,7 +202,9 @@ impl Plan {
                     p.collect_out_vars(out);
                 }
             }
-            Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => left.collect_out_vars(out),
+            Plan::SemiJoin { left, .. }
+            | Plan::AntiJoin { left, .. }
+            | Plan::SeededAntiJoin { left, .. } => left.collect_out_vars(out),
             Plan::Select { input, .. } => input.collect_out_vars(out),
             Plan::Project { vars, .. } => out.extend(vars.iter().copied()),
             Plan::Union { inputs } => {
@@ -232,6 +251,11 @@ impl Plan {
                 left.rename_var(from, to);
                 right.rename_var(from, to);
             }
+            Plan::SeededAntiJoin { left, right, seed } => {
+                left.rename_var(from, to);
+                right.rename_var(from, to);
+                seed.iter_mut().for_each(fix);
+            }
             Plan::Select { input, pred } => {
                 input.rename_var(from, to);
                 rename_pred(pred, from, to);
@@ -276,6 +300,12 @@ impl Plan {
                 left.substitute_const(var, value);
                 right.substitute_const(var, value);
             }
+            Plan::SeededAntiJoin { left, right, seed } => {
+                left.substitute_const(var, value);
+                right.substitute_const(var, value);
+                // The substitution did the seeding's job for this variable.
+                seed.retain(|s| *s != var);
+            }
             Plan::Select { input, pred } => {
                 input.substitute_const(var, value);
                 subst_pred(pred, var, Value::Const(value));
@@ -285,6 +315,109 @@ impl Plan {
                 vars.retain(|v| *v != var);
             }
             Plan::Alias { input, .. } => input.substitute_const(var, value),
+        }
+    }
+
+    /// Substitute `value` for the correlated variable `var` throughout the
+    /// subtree — the "bindings as constants" step of seeded anti-join
+    /// execution ([`Plan::SeededAntiJoin`]). Constants substitute into scan
+    /// templates (becoming index-probe positions); **nulls** — atomic values
+    /// the executors must compare exactly, but unrepresentable in a
+    /// [`Term`] — rename the scan occurrences to the reserved variable
+    /// `$seed:<var>` constrained by an equality select below the scan, so
+    /// the constraint applies before any projection. Deriving the reserved
+    /// name from the seed variable keeps substitutions collision-free
+    /// across **nested** seeded anti-joins (each variable is substituted at
+    /// most once per plan instance: an enclosing substitution strips it
+    /// from nested seed lists) and consistent across union branches. The
+    /// variable disappears from the subtree's output schema, mirroring
+    /// [`Plan::substitute_const`].
+    pub fn bind_seed(&mut self, var: Var, value: Value) {
+        match self {
+            Plan::Unit => {}
+            Plan::Empty { vars } => vars.retain(|v| *v != var),
+            Plan::Bind {
+                var: v,
+                value: bound,
+            } => {
+                if *v == var {
+                    // The branch bound the seeded variable itself (`var = c`
+                    // deep inside): the row survives exactly when the two
+                    // values agree — conditionally, under nulls.
+                    let pred = PlanPred::Eq(Ref::Val(*bound), Ref::Val(value));
+                    *self = Plan::Select {
+                        input: Box::new(Plan::Unit),
+                        pred,
+                    };
+                }
+            }
+            Plan::Scan { args, .. } => {
+                if !args.iter().any(|t| matches!(t, Term::Var(v) if *v == var)) {
+                    return;
+                }
+                match value {
+                    Value::Const(c) => {
+                        for t in args.iter_mut() {
+                            if matches!(t, Term::Var(v) if *v == var) {
+                                *t = Term::Const(c);
+                            }
+                        }
+                    }
+                    null => {
+                        let fv = Var::new(&format!("$seed:{var}"));
+                        for t in args.iter_mut() {
+                            if matches!(t, Term::Var(v) if *v == var) {
+                                *t = Term::Var(fv);
+                            }
+                        }
+                        let scan = std::mem::replace(self, Plan::Unit);
+                        *self = Plan::Select {
+                            input: Box::new(scan),
+                            pred: PlanPred::Eq(Ref::Var(fv), Ref::Val(null)),
+                        };
+                    }
+                }
+            }
+            Plan::Join { inputs } | Plan::Union { inputs } => {
+                for p in inputs {
+                    p.bind_seed(var, value);
+                }
+            }
+            Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
+                left.bind_seed(var, value);
+                right.bind_seed(var, value);
+            }
+            Plan::SeededAntiJoin { left, right, seed } => {
+                left.bind_seed(var, value);
+                right.bind_seed(var, value);
+                // An enclosing seed shadows a nested one: the substitution
+                // fixed the value everywhere, so the nested node no longer
+                // partitions on it.
+                seed.retain(|s| *s != var);
+            }
+            Plan::Select { input, pred } => {
+                input.bind_seed(var, value);
+                subst_pred(pred, var, value);
+            }
+            Plan::Project { input, vars } => {
+                input.bind_seed(var, value);
+                vars.retain(|v| *v != var);
+            }
+            Plan::Alias { input, src, dst } => {
+                debug_assert_ne!(*dst, var, "alias target cannot be a seeded variable");
+                if *src == var {
+                    // `dst := var` with `var` now a constant: materialize the
+                    // column as a single-row bind joined in.
+                    let dst = *dst;
+                    input.bind_seed(var, value);
+                    let inner = std::mem::replace(&mut **input, Plan::Unit);
+                    *self = Plan::Join {
+                        inputs: vec![inner, Plan::Bind { var: dst, value }],
+                    };
+                } else {
+                    input.bind_seed(var, value);
+                }
+            }
         }
     }
 
@@ -327,7 +460,9 @@ impl Plan {
                     }
                 }
                 Plan::Join { inputs } | Plan::Union { inputs } => stack.extend(inputs.iter()),
-                Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
+                Plan::SemiJoin { left, right }
+                | Plan::AntiJoin { left, right }
+                | Plan::SeededAntiJoin { left, right, .. } => {
                     stack.push(left);
                     stack.push(right);
                 }
@@ -378,6 +513,12 @@ impl Plan {
             }
             Plan::AntiJoin { left, right } => {
                 out.push_str("antijoin\n");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::SeededAntiJoin { left, right, seed } => {
+                let vs: Vec<String> = seed.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "seeded-antijoin [{}]", vs.join(", "));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }

@@ -307,9 +307,9 @@ fn alias_free(plan: &Plan) -> bool {
     match plan {
         Plan::Unit | Plan::Empty { .. } | Plan::Bind { .. } | Plan::Scan { .. } => true,
         Plan::Join { inputs } | Plan::Union { inputs } => inputs.iter().all(alias_free),
-        Plan::SemiJoin { left, right } | Plan::AntiJoin { left, right } => {
-            alias_free(left) && alias_free(right)
-        }
+        Plan::SemiJoin { left, right }
+        | Plan::AntiJoin { left, right }
+        | Plan::SeededAntiJoin { left, right, .. } => alias_free(left) && alias_free(right),
         Plan::Select { input, .. } | Plan::Project { input, .. } => alias_free(input),
         Plan::Alias { .. } => false,
     }

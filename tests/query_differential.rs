@@ -129,6 +129,36 @@ fn random_safe_formula(rng: &mut StdRng) -> Formula {
             )));
         }
     }
+    // Optional *correlated* negation (PR 5's seeded anti-join fragment): the
+    // negated existential constrains its local witness against an
+    // outer-bound variable — an (in)equality filter, an optional extra
+    // nested negation, and an optional equality against a constant.
+    if !covered.is_empty() && rng.gen_bool(0.5) {
+        let v = covered[rng.gen_range(0..covered.len())];
+        let w = covered[rng.gen_range(0..covered.len())];
+        let witness = Var::new("qcorr");
+        let mut body = vec![Formula::atom("QdT", vec![Term::Var(v), Term::Var(witness)])];
+        body.push(if rng.gen_bool(0.5) {
+            Formula::neq(Term::Var(witness), Term::Var(w))
+        } else {
+            Formula::eq(Term::Var(witness), Term::Var(w))
+        });
+        if rng.gen_bool(0.3) {
+            body.push(Formula::not(Formula::atom("QdS", vec![Term::Var(witness)])));
+        }
+        if rng.gen_bool(0.3) {
+            // A doubly-nested correlated scan: the outer variable occurs
+            // inside the inner negation's atom.
+            body.push(Formula::not(Formula::atom(
+                "QdR",
+                vec![Term::Var(w), Term::Var(witness)],
+            )));
+        }
+        conjuncts.push(Formula::not(Formula::exists(
+            vec![witness],
+            Formula::and(body),
+        )));
+    }
     let core = Formula::and(conjuncts);
     // Optional disjunction with an identically ranged second branch.
     let with_or = if rng.gen_bool(0.25) {
@@ -518,6 +548,101 @@ fn demorgan_and_disjunction_lowering_regressions() {
         let want =
             oc_exchange::Relation::from_tuples(1, expected.iter().map(|n| Tuple::from_names(&[n])));
         assert_eq!(ev.answers(&inst), want, "pinned answers of {q}");
+    }
+}
+
+/// The pinned §1 implication query in its **correlated** form —
+/// `Q(p) = ∃a Sub(p, a) ∧ ∀b (Sub(p, b) → a = b)`, "papers with exactly one
+/// author" — must now *compile* (PR 5's seeded anti-join lowering) instead
+/// of falling back to the tree walker, and agree with the oracle on
+/// instances mixing ground and null authors.
+#[test]
+fn correlated_one_author_query_compiles_and_agrees() {
+    let q = Query::parse(
+        &["p"],
+        "exists a. CoSub(p, a) & (forall b. (CoSub(p, b) -> a = b))",
+    )
+    .unwrap();
+    let ev = QueryEval::new(&q);
+    assert!(
+        ev.is_compiled(),
+        "the correlated §1 shape must lower to a seeded anti-join: {:?}",
+        ev.lower_error()
+    );
+    let plan = format!("{}", ev.compiled().unwrap().plan());
+    assert!(
+        plan.contains("seeded-antijoin"),
+        "plan must carry the seeded node:\n{plan}"
+    );
+    let mut inst = Instance::new();
+    inst.insert_names("CoSub", &["p1", "alice"]);
+    inst.insert_names("CoSub", &["p2", "bob"]);
+    inst.insert_names("CoSub", &["p2", "carol"]);
+    inst.insert(
+        RelSym::new("CoSub"),
+        Tuple::new(vec![Value::c("p3"), Value::null(1)]),
+    );
+    inst.insert(
+        RelSym::new("CoSub"),
+        Tuple::new(vec![Value::c("p4"), Value::null(2)]),
+    );
+    inst.insert_names("CoSub", &["p4", "dave"]);
+    assert_eq!(ev.answers(&inst), q.answers(&inst));
+    assert_eq!(
+        ev.naive_certain_answers(&inst),
+        q.naive_certain_answers(&inst)
+    );
+    assert!(ev.holds_on(&inst, &Tuple::from_names(&["p1"])));
+    assert!(!ev.holds_on(&inst, &Tuple::from_names(&["p2"])));
+    // p3's single null author counts as exactly one value (naive semantics);
+    // p4 mixes a null and a ground author — two values.
+    assert!(ev.holds_on(&inst, &Tuple::from_names(&["p3"])));
+    assert!(!ev.holds_on(&inst, &Tuple::from_names(&["p4"])));
+}
+
+/// Conditional (c-table) execution of the correlated fragment against
+/// brute-force `Rep` enumeration: certain answers of the one-author query
+/// over randomized null-carrying tables must equal the intersection of the
+/// ground answers across all members.
+#[test]
+fn correlated_conditional_certain_matches_brute_force() {
+    for seed in 0..20u64 {
+        let mut rng = random_gen::rng(900 + seed);
+        let mut inst = Instance::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let p = if rng.gen_bool(0.3) {
+                Value::null(rng.gen_range(0..2) as u32)
+            } else {
+                Value::c(&format!("cp{}", rng.gen_range(0..2)))
+            };
+            let a = if rng.gen_bool(0.5) {
+                Value::null(rng.gen_range(0..2) as u32)
+            } else {
+                Value::c(&format!("ca{}", rng.gen_range(0..2)))
+            };
+            inst.insert(RelSym::new("CcSub"), Tuple::new(vec![p, a]));
+        }
+        let ct = CInstance::from_naive(&inst);
+        let q = Query::parse(
+            &["x"],
+            "exists a. CcSub(x, a) & (forall b. (CcSub(x, b) -> a = b))",
+        )
+        .unwrap();
+        let compiled = CompiledQuery::compile(&q).expect("correlated fragment compiles");
+        let fast: BTreeSet<Tuple> = compiled
+            .certain_answers_conditional(&ct)
+            .iter()
+            .cloned()
+            .collect();
+        let mut brute: Option<BTreeSet<Tuple>> = None;
+        for (ground, _) in ct.rep_members(&BTreeSet::new()) {
+            let ans: BTreeSet<Tuple> = q.answers(&ground).iter().cloned().collect();
+            brute = Some(match brute {
+                None => ans,
+                Some(prev) => prev.intersection(&ans).cloned().collect(),
+            });
+        }
+        assert_eq!(fast, brute.unwrap(), "seed {seed} on {inst}");
     }
 }
 

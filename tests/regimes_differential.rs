@@ -54,7 +54,11 @@ fn random_scenario(rng: &mut StdRng) -> (Mapping, Instance) {
 }
 
 /// The query battery: negation in every non-positive entry, exercising
-/// anti-joins, universals and disjunction-with-negation shapes.
+/// anti-joins, universals, disjunction-with-negation shapes and — last —
+/// the *correlated* §1 implication, which PR 5's seeded anti-join lowering
+/// compiles to a plan (asserted below), so the regime engines evaluate it
+/// on the incremental index inside `for_each_union`/member sweeps instead
+/// of tree-walking.
 fn battery() -> Vec<Query> {
     vec![
         Query::parse(&["x"], "(exists y. RdT(x, y)) & !(exists w. SdT(x, w))").unwrap(),
@@ -68,7 +72,25 @@ fn battery() -> Vec<Query> {
         Query::boolean(
             oc_exchange::logic::parse_formula("exists x y. RdT(x, y) & !RdT(y, x)").unwrap(),
         ),
+        Query::parse(
+            &["p"],
+            "exists a. SdT(p, a) & (forall b. (SdT(p, b) -> a = b))",
+        )
+        .unwrap(),
     ]
+}
+
+/// Every battery entry with correlated negation runs on a compiled plan
+/// inside the regimes (the seeded anti-join fragment).
+#[test]
+fn correlated_battery_entry_compiles() {
+    let q = battery().pop().unwrap();
+    let ev = oc_exchange::query::QueryEval::new(&q);
+    assert!(
+        ev.is_compiled(),
+        "correlated §1 entry must run on a plan inside the union walks: {:?}",
+        ev.lower_error()
+    );
 }
 
 /// Candidate answer tuples over `(adom(S) ∪ constants(Q))^arity` — the
