@@ -13,7 +13,20 @@
 //! #   as CI artifacts, the recorded trajectories stay untouched); asserts
 //! #   every indexed/compiled engine oracle-identical to its baseline AND
 //! #   at/above the parity floor (SMOKE_PARITY_FLOOR, default 0.5×)
+//! cargo run --release -p dx-bench --bin experiments -- explain seeded
+//! #   EXPLAIN one query workload: print its compiled plan tree annotated
+//! #   with per-node executed-row/call (and seed partition/re-run) counts
 //! ```
+//!
+//! Observability (`dx-obs`): with `DX_OBS=1` every BENCH row additionally
+//! carries a `"counters"` object of work-metric counters captured from one
+//! untimed run of that arm (the best-of timing loops stay uninstrumented
+//! beyond dx-obs's always-compiled-in relaxed-atomic sites). Smoke mode
+//! force-enables the metrics layer, writes the final registry snapshot to
+//! `metrics.smoke.json` (a CI artifact), and asserts the work-metric
+//! counters of every oracle-identity race bit-identical across its two
+//! arms — the engines must do the *same semantic work*, not just return
+//! the same answers.
 
 use dx_bench::{
     closed_null_mapping, copy2, exhaust_query, fd_query, fmt_duration, open_null_mapping,
@@ -37,6 +50,15 @@ const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192, 256];
 const SMOKE_NS: &[usize] = &[8, 16];
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "explain") {
+        let workload = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("membership");
+        run_explain(workload);
+        return;
+    }
     if std::env::args().any(|a| a == "chase") {
         println!("# oc-exchange chase-engine race (E15 only)\n");
         e15_chase_engines(CHASE_NS, Some("BENCH_chase.json"), false);
@@ -60,11 +82,20 @@ fn main() {
         // the run), and E17 cross-checks the regimes against brute-force
         // oracles.
         println!("# oc-exchange bench smoke (E15 + E16 + E17, tiny sizes)\n");
+        // Smoke always runs with the metrics layer on: the work-identity
+        // gates and the BENCH-row counter fields depend on it, and the
+        // registry snapshot becomes the `metrics.smoke.json` CI artifact.
+        dx_obs::set_enabled(true);
         e15_chase_engines(SMOKE_NS, Some("BENCH_chase.smoke.json"), true);
         let mut records = e16_query_engines(SMOKE_NS, true);
         records.extend(e17_regimes(SMOKE_NS, true));
         write_query_json(&records, "BENCH_query.smoke.json");
         print_catalog_stats();
+        let snapshot = dx_obs::snapshot();
+        assert!(!snapshot.is_empty(), "smoke must record work metrics");
+        std::fs::write("metrics.smoke.json", snapshot.to_json())
+            .unwrap_or_else(|e| panic!("write metrics.smoke.json: {e}"));
+        println!("Metrics snapshot written to metrics.smoke.json.");
         return;
     }
     println!("# oc-exchange experiment run\n");
@@ -141,13 +172,151 @@ fn print_catalog_stats() {
     println!();
 }
 
+/// The work-metric counters attached to chase BENCH rows (`DX_OBS=1`).
+const CHASE_COUNTERS: &[&str] = &[
+    "engine.chase.triggers_discovered",
+    "engine.chase.triggers_fired",
+    "engine.chase.tuples_inserted",
+    "engine.chase.index_probes",
+    "engine.chase.merges",
+];
+/// The work-metric counters attached to query-evaluation BENCH rows.
+const QUERY_COUNTERS: &[&str] = &[
+    "query.exec.rows_scanned",
+    "query.exec.rows_joined",
+    "query.exec.rows_emitted",
+    "query.exec.index_probes",
+    "query.exec.seed_partitions",
+    "query.exec.seed_reruns",
+];
+/// The work-metric counters attached to `Rep_A`-search BENCH rows.
+const SOLVER_COUNTERS: &[&str] = &[
+    "solver.dfs.nodes",
+    "solver.dfs.leaves",
+    "solver.dfs.deltas_applied",
+    "solver.dfs.deltas_undone",
+];
+/// The work-metric counters attached to GCWA\*-regime BENCH rows.
+const UNION_COUNTERS: &[&str] = &[
+    "solver.union.unions_visited",
+    "solver.union.deltas_applied",
+    "solver.union.deltas_undone",
+    "solver.dfs.leaves",
+];
+
+/// Run `f` once and capture the work-metric counter delta it produced
+/// (`None` when the metrics layer is disabled — then no extra run-cost
+/// beyond `f` itself is paid either).
+fn captured_counters<T>(f: impl FnOnce() -> T) -> (T, Option<dx_obs::MetricsSnapshot>) {
+    if !dx_obs::enabled() {
+        return (f(), None);
+    }
+    let before = dx_obs::snapshot();
+    let out = f();
+    (out, Some(dx_obs::snapshot().diff_since(&before)))
+}
+
+/// Render the `"counters"` field of a BENCH row: the named work-metric
+/// counters with the values captured from the arm's untimed run (zero when
+/// the arm never touched a metric — the naive/tree baselines are largely
+/// uninstrumented by design). Empty when the metrics layer is disabled, so
+/// the recorded trajectory format is unchanged by default.
+fn counters_field(diff: &Option<dx_obs::MetricsSnapshot>, names: &[&str]) -> String {
+    match diff {
+        None => String::new(),
+        Some(d) => {
+            let body = names
+                .iter()
+                .map(|n| format!("\"{n}\": {}", d.counter(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(", \"counters\": {{{body}}}")
+        }
+    }
+}
+
+/// In smoke mode, assert the named work-metric counters bit-identical
+/// across the two arms of an oracle-identity race: agreeing on answers is
+/// not enough — the arms must have done the same semantic work.
+fn assert_work_identity(
+    smoke: bool,
+    what: &str,
+    n: usize,
+    names: &[&str],
+    baseline: &Option<dx_obs::MetricsSnapshot>,
+    fast: &Option<dx_obs::MetricsSnapshot>,
+) {
+    if !smoke {
+        return;
+    }
+    let (Some(b), Some(f)) = (baseline, fast) else {
+        panic!("{what} n={n}: smoke work-identity gate needs the metrics layer on");
+    };
+    for name in names {
+        assert_eq!(
+            b.counter(name),
+            f.counter(name),
+            "{what} n={n}: work metric {name} diverged across the race arms"
+        );
+    }
+}
+
 /// One `BENCH_query.json` row (shared by E16 and E17; `rows` records the
 /// stage's cardinality — answer rows for the evaluation stages, leaf/union/
-/// member counts for the search and regime races).
-fn query_row(workload: &str, stage: &str, engine: &str, n: usize, us: u128, rows: usize) -> String {
+/// member counts for the search and regime races; `counters` is the
+/// pre-rendered work-metric field, empty when dx-obs is disabled).
+fn query_row(
+    workload: &str,
+    stage: &str,
+    engine: &str,
+    n: usize,
+    us: u128,
+    rows: usize,
+    counters: &str,
+) -> String {
     format!(
-        "  {{\"workload\": \"{workload}\", \"stage\": \"{stage}\",          \"engine\": \"{engine}\", \"n\": {n}, \"wall_time_us\": {us},          \"rows\": {rows}}}"
+        "  {{\"workload\": \"{workload}\", \"stage\": \"{stage}\",          \"engine\": \"{engine}\", \"n\": {n}, \"wall_time_us\": {us},          \"rows\": {rows}{counters}}}"
     )
+}
+
+/// `experiments -- explain <workload>`: compile the workload's query, run
+/// it over the workload's canonical solution with per-node capture on, and
+/// print the plan tree annotated with executed-row/call (and seed
+/// partition/re-run) counts — the EXPLAIN face of the dx-obs layer.
+fn run_explain(workload: &str) {
+    use dx_bench::query_workloads::{
+        all_query_cases, approx_case, gcwa_case, repa_case, seeded_case,
+    };
+    use dx_chase::canonical_solution;
+
+    let n = 32;
+    let case = match workload {
+        "seeded" => seeded_case(n),
+        "repa" => repa_case(n),
+        "gcwa" => gcwa_case(n),
+        "approx" => approx_case(n),
+        other => all_query_cases(n)
+            .into_iter()
+            .find(|c| c.workload == other)
+            .unwrap_or_else(|| {
+                panic!(
+                    "unknown workload {other:?}; try membership, join, seeded, \
+                     repa, gcwa, or approx"
+                )
+            }),
+    };
+    let target = canonical_solution(&case.mapping, &case.source).rel_part();
+    let plan =
+        dx_query::lower_formula(&case.query.formula).expect("workload query lowers to a plan");
+    let idx = dx_relation::InstanceIndex::build(&target);
+    let (rows, report) = dx_query::explain_run(&plan, &idx);
+    println!("# EXPLAIN {} (n = {n})\n", case.workload);
+    println!("{}", report.render());
+    println!(
+        "\n{} result rows over CSol(S) ({} tuples).",
+        rows.rows.len(),
+        target.tuple_count()
+    );
 }
 
 /// Write the combined E16 + E17 rows to `path` (`BENCH_query.json` on full
@@ -620,6 +789,9 @@ fn e15_chase_engines(ns: &[usize], json_path: Option<&str>, smoke: bool) {
             let mut times = Vec::new();
             let mut steps = 0usize;
             let mut tuples = 0usize;
+            // Per-arm (steps, tuples): the chase's work metrics, asserted
+            // bit-identical across the race arms in smoke mode.
+            let mut work: Vec<(usize, usize)> = Vec::new();
             for (name, engine) in engines {
                 // Best of nine runs: cold-cache and scheduler noise are not
                 // the story, and at the small sizes they exceed the signal.
@@ -646,19 +818,45 @@ fn e15_chase_engines(ns: &[usize], json_path: Option<&str>, smoke: bool) {
                     "{} n={n}",
                     case.workload
                 );
+                // One untimed run per arm captures its dx-obs counter delta
+                // for the BENCH row (no-op unless DX_OBS is on).
+                let (_, diff) = captured_counters(|| {
+                    canonical_solution_with_deps_via(
+                        engine,
+                        &case.mapping,
+                        &case.deps,
+                        &case.source,
+                        1_000_000,
+                    )
+                });
                 steps = out.steps;
                 tuples = out.instance.tuple_count();
+                work.push((out.steps, tuples));
                 times.push(best);
                 records.push(format!(
                     "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"n\": {}, \
-                     \"wall_time_us\": {}, \"steps\": {}, \"tuples\": {}}}",
+                     \"wall_time_us\": {}, \"steps\": {}, \"tuples\": {}{}}}",
                     case.workload,
                     name,
                     n,
                     best.as_micros(),
                     out.steps,
-                    out.instance.tuple_count(),
+                    tuples,
+                    counters_field(&diff, CHASE_COUNTERS),
                 ));
+            }
+            if smoke {
+                // Work identity: the naive and indexed engines must run the
+                // same chase — identical step counts and result sizes, not
+                // merely both-Satisfied. (The dx-obs counter basket is
+                // indexed-engine-only — the naive walker is deliberately
+                // uninstrumented — so the gate compares the engine-reported
+                // work metrics the BENCH rows carry.)
+                assert_eq!(
+                    work[0], work[1],
+                    "chase/{} n={n}: steps/tuples diverged across the race arms",
+                    case.workload
+                );
             }
             assert_smoke_parity(
                 smoke,
@@ -724,10 +922,15 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
         "rows",
     ]);
     let mut records: Vec<String> = Vec::new();
-    let mut record =
-        |workload: &str, stage: &str, engine: &str, n: usize, us: u128, rows: usize| {
-            records.push(query_row(workload, stage, engine, n, us, rows));
-        };
+    let mut record = |workload: &str,
+                      stage: &str,
+                      engine: &str,
+                      n: usize,
+                      us: u128,
+                      rows: usize,
+                      counters: &str| {
+        records.push(query_row(workload, stage, engine, n, us, rows, counters));
+    };
     for &n in ns {
         for case in all_query_cases(n) {
             // Stage 1: canonical-solution construction (body evaluation).
@@ -742,8 +945,19 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     best = Some(best.map_or(d, |b| b.min(d)));
                 }
                 let best = best.expect("ran");
+                let (_, diff) = captured_counters(|| {
+                    canonical_solution_via(body_eval, &case.mapping, &case.source)
+                });
                 csol_times.push(best);
-                record(case.workload, "csol", name, n, best.as_micros(), 0);
+                record(
+                    case.workload,
+                    "csol",
+                    name,
+                    n,
+                    best.as_micros(),
+                    0,
+                    &counters_field(&diff, QUERY_COUNTERS),
+                );
             }
             // The engines must agree exactly (differential guarantee).
             let naive_csol = canonical_solution(&case.mapping, &case.source);
@@ -777,9 +991,21 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     out = Some(o);
                 }
                 let best = best.expect("ran");
+                let (_, diff) = captured_counters(|| match name {
+                    "tree" => case.query.naive_certain_answers(&target),
+                    _ => compiled.naive_certain_answers(&target),
+                });
                 rows = out.as_ref().expect("ran").len();
                 ans_times.push((best, out.expect("ran")));
-                record(case.workload, "answers", name, n, best.as_micros(), rows);
+                record(
+                    case.workload,
+                    "answers",
+                    name,
+                    n,
+                    best.as_micros(),
+                    rows,
+                    &counters_field(&diff, QUERY_COUNTERS),
+                );
             }
             assert_eq!(
                 ans_times[0].1, ans_times[1].1,
@@ -854,11 +1080,23 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 out = Some(o);
             }
             let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| match name {
+                "tree" => case.query.naive_certain_answers(&csol),
+                _ => compiled.naive_certain_answers(&csol),
+            });
             let out = out.expect("ran");
             rows = out.len();
             outs.push(out);
             times.push(best);
-            record(case.workload, "seeded", name, n, best.as_micros(), rows);
+            record(
+                case.workload,
+                "seeded",
+                name,
+                n,
+                best.as_micros(),
+                rows,
+                &counters_field(&diff, QUERY_COUNTERS),
+            );
         }
         assert_eq!(
             outs[0], outs[1],
@@ -902,6 +1140,7 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
         let budget = SearchBudget::closed_world();
         let mut times = Vec::new();
         let mut leaves = Vec::new();
+        let mut diffs = Vec::new();
         for engine in ["rebuild", "incremental"] {
             let mut best: Option<std::time::Duration> = None;
             let mut out = None;
@@ -919,6 +1158,15 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 out = Some(o);
             }
             let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| {
+                search_rep_a_indexed(&csol.instance, &consts, &budget, &mut |leaf| {
+                    if engine == "rebuild" {
+                        !ev.holds_on(leaf.instance(), &empty)
+                    } else {
+                        !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty)
+                    }
+                })
+            });
             let out = out.expect("ran");
             assert!(
                 out.witness.is_none(),
@@ -933,12 +1181,17 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 out.leaves as usize,
+                &counters_field(&diff, SOLVER_COUNTERS),
             );
+            diffs.push(diff);
         }
         assert_eq!(
             leaves[0], leaves[1],
             "repa n={n}: engines must explore identical leaf counts"
         );
+        // Both arms drive the identical search; only the per-leaf check
+        // differs — so every solver.dfs.* counter must agree bit-for-bit.
+        assert_work_identity(smoke, "repa", n, SOLVER_COUNTERS, &diffs[0], &diffs[1]);
         assert_smoke_parity(smoke, "repa", n, times[0], times[1]);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         rt.row(vec![
@@ -982,10 +1235,15 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
 
     println!("## E17 — non-monotonic regimes: GCWA* / approximation (dx-core)\n");
     let mut records: Vec<String> = Vec::new();
-    let mut record =
-        |workload: &str, stage: &str, engine: &str, n: usize, us: u128, rows: usize| {
-            records.push(query_row(workload, stage, engine, n, us, rows));
-        };
+    let mut record = |workload: &str,
+                      stage: &str,
+                      engine: &str,
+                      n: usize,
+                      us: u128,
+                      rows: usize,
+                      counters: &str| {
+        records.push(query_row(workload, stage, engine, n, us, rows, counters));
+    };
     let empty = Tuple::new(Vec::<Value>::new());
 
     // --- GCWA*: rebuild-per-union vs the incremental union walker. ---
@@ -1002,47 +1260,50 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
     for &n in ns {
         let case = gcwa_case(n);
         assert!(case.query.is_boolean(), "gcwa workload is a sentence");
+        let run = |engine: &str| match engine {
+            "rebuild" => {
+                // The pre-regime baseline: same minimal solutions,
+                // same union traversal, but every union evaluated
+                // through `holds_on` — one index build per union.
+                let csol = canonical_solution(&case.mapping, &case.source);
+                let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+                let palette = regimes::answer_palette(&case.source, &case.query);
+                let (minimal, _) = minimal_rep_a_members(&csol.instance, &palette, None);
+                let mut certain = true;
+                let unions = for_each_union(&minimal, 2, &mut |delta| {
+                    if ev.holds_on(delta.instance(), &empty) {
+                        false
+                    } else {
+                        certain = false;
+                        true
+                    }
+                });
+                (certain, minimal.len(), unions)
+            }
+            _ => {
+                let out = regimes::gcwa_star_answers(
+                    &case.mapping,
+                    &case.source,
+                    &case.query,
+                    &gcwa_budget,
+                );
+                (!out.answers.is_empty(), out.minimal_solutions, out.unions)
+            }
+        };
         let mut times = Vec::new();
         let mut verdicts = Vec::new();
         let mut stats = (0usize, 0u64);
+        let mut diffs = Vec::new();
         for engine in ["rebuild", "incremental"] {
             let mut best: Option<std::time::Duration> = None;
             let mut answer = None;
             for _ in 0..5 {
-                let (out, d) = timed(|| match engine {
-                    "rebuild" => {
-                        // The pre-regime baseline: same minimal solutions,
-                        // same union traversal, but every union evaluated
-                        // through `holds_on` — one index build per union.
-                        let csol = canonical_solution(&case.mapping, &case.source);
-                        let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
-                        let palette = regimes::answer_palette(&case.source, &case.query);
-                        let (minimal, _) = minimal_rep_a_members(&csol.instance, &palette, None);
-                        let mut certain = true;
-                        let unions = for_each_union(&minimal, 2, &mut |delta| {
-                            if ev.holds_on(delta.instance(), &empty) {
-                                false
-                            } else {
-                                certain = false;
-                                true
-                            }
-                        });
-                        (certain, minimal.len(), unions)
-                    }
-                    _ => {
-                        let out = regimes::gcwa_star_answers(
-                            &case.mapping,
-                            &case.source,
-                            &case.query,
-                            &gcwa_budget,
-                        );
-                        (!out.answers.is_empty(), out.minimal_solutions, out.unions)
-                    }
-                });
+                let (out, d) = timed(|| run(engine));
                 best = Some(best.map_or(d, |b| b.min(d)));
                 answer = Some(out);
             }
             let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| run(engine));
             let (certain, minimal, unions) = answer.expect("ran");
             verdicts.push(certain);
             stats = (minimal, unions);
@@ -1054,9 +1315,15 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 unions as usize,
+                &counters_field(&diff, UNION_COUNTERS),
             );
+            diffs.push(diff);
         }
         assert_eq!(verdicts[0], verdicts[1], "gcwa n={n}: engines disagree");
+        // Both arms enumerate the same minimal solutions and walk the same
+        // unions on the shared delta store; the union-walk work metrics
+        // must agree bit-for-bit.
+        assert_work_identity(smoke, "gcwa", n, UNION_COUNTERS, &diffs[0], &diffs[1]);
         assert!(
             verdicts[1],
             "gcwa n={n}: the workload query is GCWA*-certain"
@@ -1112,6 +1379,37 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
     for &n in ns {
         let case = approx_case(n);
         assert!(case.query.is_boolean(), "approx workload is a sentence");
+        let run = |engine: &str| match engine {
+            "rebuild" => {
+                // Same rewritings (incl. the rigid-negation
+                // tightening) and sampling sweep, but every member
+                // check rebuilds an index (`holds_on`).
+                let csol = canonical_solution(&case.mapping, &case.source);
+                let rigid =
+                    dx_logic::classify::rigid_relations_of(&case.query.formula, &csol.instance);
+                let (_, over) = regimes::under_over_queries_rigid(&case.query, &rigid);
+                let (upper0, _) =
+                    dx_core::certain_answers_with(&case.mapping, &csol, &case.source, &over, None);
+                let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+                let palette = regimes::answer_palette(&case.source, &case.query);
+                let mut survivors: Vec<Tuple> = upper0.iter().cloned().collect();
+                let outcome =
+                    search_rep_a_indexed(&csol.instance, &palette, &sample, &mut |leaf| {
+                        survivors.retain(|t| ev.holds_on(leaf.instance(), t));
+                        survivors.is_empty()
+                    });
+                (survivors.len(), outcome.leaves)
+            }
+            _ => {
+                let out = regimes::approx_certain_answers(
+                    &case.mapping,
+                    &case.source,
+                    &case.query,
+                    Some(&sample),
+                );
+                (out.upper.len(), out.leaves)
+            }
+        };
         let mut times = Vec::new();
         let mut uppers = Vec::new();
         let mut leaves = Vec::new();
@@ -1119,48 +1417,16 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
             let mut best: Option<std::time::Duration> = None;
             let mut answer = None;
             for _ in 0..5 {
-                let (out, d) = timed(|| match engine {
-                    "rebuild" => {
-                        // Same rewritings (incl. the rigid-negation
-                        // tightening) and sampling sweep, but every member
-                        // check rebuilds an index (`holds_on`).
-                        let csol = canonical_solution(&case.mapping, &case.source);
-                        let rigid = dx_logic::classify::rigid_relations_of(
-                            &case.query.formula,
-                            &csol.instance,
-                        );
-                        let (_, over) = regimes::under_over_queries_rigid(&case.query, &rigid);
-                        let (upper0, _) = dx_core::certain_answers_with(
-                            &case.mapping,
-                            &csol,
-                            &case.source,
-                            &over,
-                            None,
-                        );
-                        let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
-                        let palette = regimes::answer_palette(&case.source, &case.query);
-                        let mut survivors: Vec<Tuple> = upper0.iter().cloned().collect();
-                        let outcome =
-                            search_rep_a_indexed(&csol.instance, &palette, &sample, &mut |leaf| {
-                                survivors.retain(|t| ev.holds_on(leaf.instance(), t));
-                                survivors.is_empty()
-                            });
-                        (survivors.len(), outcome.leaves)
-                    }
-                    _ => {
-                        let out = regimes::approx_certain_answers(
-                            &case.mapping,
-                            &case.source,
-                            &case.query,
-                            Some(&sample),
-                        );
-                        (out.upper.len(), out.leaves)
-                    }
-                });
+                let (out, d) = timed(|| run(engine));
                 best = Some(best.map_or(d, |b| b.min(d)));
                 answer = Some(out);
             }
             let best = best.expect("ran");
+            // No cross-arm counter-identity assert here: the rebuild arm's
+            // hand-rolled pipeline need not match the regime's internal
+            // lower-bound search counter-for-counter. The `uppers`/`leaves`
+            // equality asserts below are this race's work-identity gate.
+            let (_, diff) = captured_counters(|| run(engine));
             let (upper, lv) = answer.expect("ran");
             uppers.push(upper);
             leaves.push(lv);
@@ -1172,6 +1438,7 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 lv as usize,
+                &counters_field(&diff, SOLVER_COUNTERS),
             );
         }
         assert_eq!(uppers[0], uppers[1], "approx n={n}: engines disagree");

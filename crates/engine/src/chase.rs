@@ -25,6 +25,10 @@
 //! the naive engine reports `StepLimit` (the naive engine checks the budget
 //! before looking for the next trigger; this one checks before applying
 //! one).
+//!
+//! Work metrics (`DX_OBS=1`): `engine.chase.triggers_discovered` /
+//! `.triggers_fired` / `.tuples_inserted` / `.index_probes` / `.merges`
+//! counters, plus `engine.chase` / `engine.chase.trigger_discovery` spans.
 
 use crate::store::{IndexedInstance, Inserted};
 use dx_chase::chase_engine::{ChaseOutcome, ChaseResult};
@@ -78,6 +82,7 @@ pub fn indexed_chase(
     gen: &mut NullGen,
     max_steps: usize,
 ) -> ChaseResult {
+    let _span = dx_obs::span!("engine.chase");
     let mut idx = IndexedInstance::from_ann(&instance);
     let mut queue: VecDeque<TupleId> = idx.all_ids().collect();
     let mut steps = 0usize;
@@ -247,6 +252,7 @@ fn join(
     let ai = remaining.swap_remove(pick);
     let (rel, args) = &atoms[ai];
     let mut stop = false;
+    dx_obs::count!("engine.chase.index_probes");
     for id in idx.matching(*rel, &pattern(args, asg)) {
         let Some((_, at)) = idx.get(id) else { continue };
         let mut bound: Vec<Var> = Vec::new();
@@ -279,10 +285,14 @@ fn seeded_matches(
     }
     let mut remaining: Vec<usize> = (0..body.len()).filter(|&i| i != k).collect();
     let mut out = Vec::new();
-    join(idx, body, &mut remaining, &mut asg, &mut |a| {
-        out.push(a.clone());
-        false
-    });
+    {
+        let _span = dx_obs::span!("engine.chase.trigger_discovery");
+        join(idx, body, &mut remaining, &mut asg, &mut |a| {
+            out.push(a.clone());
+            false
+        });
+    }
+    dx_obs::count!("engine.chase.triggers_discovered", out.len());
     out
 }
 
@@ -315,6 +325,7 @@ fn apply_tgd(
     gen: &mut NullGen,
     queue: &mut VecDeque<TupleId>,
 ) {
+    dx_obs::count!("engine.chase.triggers_fired");
     let mut env = asg.clone();
     for z in tgd.existential_vars() {
         env.insert(z, Value::Null(gen.fresh()));
@@ -332,6 +343,7 @@ fn apply_tgd(
         if let Inserted::Fresh(id) =
             idx.insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()))
         {
+            dx_obs::count!("engine.chase.tuples_inserted");
             queue.push_back(id);
         }
     }
@@ -342,6 +354,8 @@ fn apply_tgd(
 /// id a rewrite collided into (a collision target participates in new joins
 /// through the merged value, so it must be re-examined).
 fn merge(idx: &mut IndexedInstance, l: Value, r: Value, queue: &mut VecDeque<TupleId>) {
+    dx_obs::count!("engine.chase.triggers_fired");
+    dx_obs::count!("engine.chase.merges");
     let (null, target) = match (l, r) {
         (Value::Null(n), other) => (n, other),
         (other, Value::Null(n)) => (n, other),

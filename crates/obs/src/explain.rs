@@ -1,0 +1,146 @@
+//! EXPLAIN-style reports: a plain annotated tree that engine crates
+//! build from their own plan types (dx-obs knows nothing about plans —
+//! dependency order runs the other way).
+
+/// One node of an [`Explain`] report: a rendered label (e.g.
+/// `"scan R(x, y) -> [x, y]"`), its work annotations (counter name →
+/// value, in insertion order), and child nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExplainNode {
+    /// The node's one-line rendering, without indentation.
+    pub label: String,
+    /// Work annotations captured during a run (`("rows", 42)`, …).
+    pub annotations: Vec<(String, u64)>,
+    /// Child nodes, in plan order.
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    /// A leaf with no annotations yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        ExplainNode {
+            label: label.into(),
+            annotations: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Append an annotation (builder style).
+    pub fn annotate(mut self, key: impl Into<String>, value: u64) -> Self {
+        self.annotations.push((key.into(), value));
+        self
+    }
+}
+
+/// An annotated plan-tree report. Engine crates construct one from a
+/// plan plus counters captured during a run (see `dx_query::explain`);
+/// [`Explain::render`] produces the stable indented text form,
+/// [`Explain::to_json`] a machine-readable tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explain {
+    /// The root node.
+    pub root: ExplainNode,
+}
+
+impl Explain {
+    /// Render as indented text, one node per line, annotations in
+    /// square brackets:
+    ///
+    /// ```text
+    /// project [x] -> [x]  [rows=3]
+    ///   join -> [x, y]  [rows=5]
+    ///     scan R(x, y) -> [x, y]  [rows=4]
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Serialize the tree as nested JSON objects
+    /// (`{"label": …, "annotations": {…}, "children": […]}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        json_node(&self.root, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.render().trim_end())
+    }
+}
+
+fn render_node(node: &ExplainNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&node.label);
+    if !node.annotations.is_empty() {
+        out.push_str("  [");
+        for (i, (k, v)) in node.annotations.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{k}={v}"));
+        }
+        out.push(']');
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+fn json_node(node: &ExplainNode, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"label\": \"{}\", \"annotations\": {{",
+        crate::json_escape(&node.label)
+    ));
+    for (i, (k, v)) in node.annotations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", crate::json_escape(k), v));
+    }
+    out.push_str("}, \"children\": [");
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json_node(child, out);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Explain {
+        let scan = ExplainNode::new("scan R(x, y) -> [x, y]").annotate("rows", 4);
+        let mut join = ExplainNode::new("join -> [x, y]").annotate("rows", 5);
+        join.children.push(scan);
+        let mut root = ExplainNode::new("project [x] -> [x]").annotate("rows", 3);
+        root.children.push(join);
+        Explain { root }
+    }
+
+    #[test]
+    fn render_indents_and_annotates() {
+        let text = sample().render();
+        assert_eq!(
+            text,
+            "project [x] -> [x]  [rows=3]\n  join -> [x, y]  [rows=5]\n    scan R(x, y) -> [x, y]  [rows=4]\n"
+        );
+    }
+
+    #[test]
+    fn json_tree_shape() {
+        let json = sample().to_json();
+        assert!(json.contains("\"label\": \"project [x] -> [x]\""), "{json}");
+        assert!(json.contains("\"rows\": 3"), "{json}");
+        assert!(json.contains("\"children\": ["), "{json}");
+    }
+}

@@ -1,0 +1,234 @@
+//! # dx-obs — unified tracing/metrics substrate
+//!
+//! A hand-rolled, dependency-free instrumentation layer (the build
+//! environment is air-gapped, so the `tracing` ecosystem is off the
+//! table). Three pieces:
+//!
+//! * a process-wide [`MetricsRegistry`] of named monotonic counters and
+//!   duration histograms behind cheap atomic sinks, with JSON
+//!   snapshot/diff export ([`snapshot`], [`MetricsSnapshot::diff_since`]);
+//! * lightweight RAII spans ([`span!`]) that aggregate per-phase wall
+//!   time (count / total / max / log₂ histogram) and nest — timings are
+//!   **inclusive**, hierarchy is conveyed by dotted names
+//!   (`engine.chase` ⊃ `engine.chase.step` ⊃ `query.exec`);
+//! * a generic [`Explain`] report tree that downstream crates annotate
+//!   with per-node work counts (dx-query renders compiled `Plan`s into
+//!   it — see `dx_query::explain`).
+//!
+//! ## Zero cost when disabled
+//!
+//! Instrumentation is gated by the `DX_OBS` environment variable (unset,
+//! empty, or `0` ⇒ disabled) or an explicit [`set_enabled`] call. The
+//! [`count!`] and [`span!`] macros compile to a single relaxed atomic
+//! load on the disabled path — no clock reads, no registry access, no
+//! allocation. [`snapshot`] returns an empty snapshot while disabled, so
+//! consumers that serialize metrics write nothing.
+//!
+//! Counter *handles* ([`Counter`]) are deliberately **not** gated: a
+//! direct `handle.add(1)` always records. That is what lets always-on
+//! bookkeeping (e.g. `dx-query`'s `CatalogStats`) live on the same
+//! substrate — the registry export is gated, the handles are live.
+//!
+//! ## Naming convention
+//!
+//! `crate.component.metric`, lowercase, dot-separated:
+//! `engine.chase.tuples_inserted`, `relation.delta.applies`,
+//! `query.exec.seed_reruns`, `solver.dfs.leaves`. Adding a counter is
+//! one line at the site: `dx_obs::count!("crate.component.metric");`.
+
+#![warn(missing_docs)]
+
+mod explain;
+mod registry;
+mod span;
+
+pub use explain::{Explain, ExplainNode};
+pub use registry::{
+    registry, snapshot, Counter, CounterSite, MetricsRegistry, MetricsSnapshot, SpanSnapshot,
+};
+pub use span::{span_depth, SpanGuard, SpanSite, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        let on = match std::env::var("DX_OBS") {
+            Ok(v) => !(v.is_empty() || v == "0"),
+            Err(_) => false,
+        };
+        ENABLED.store(on, Ordering::Relaxed);
+    });
+}
+
+/// Is instrumentation live? One `Once` check plus one relaxed load —
+/// this is the *entire* cost of a [`count!`]/[`span!`] site when
+/// disabled.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Force instrumentation on/off, overriding the `DX_OBS` environment
+/// toggle (the bench harness's smoke mode enables explicitly so the
+/// work-identity gates always run).
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Bump a named monotonic counter. Usage:
+///
+/// ```
+/// dx_obs::count!("doc.example.widgets");      // += 1
+/// dx_obs::count!("doc.example.bytes", 128);   // += n
+/// ```
+///
+/// The name must be a string literal (it keys the process-wide
+/// registry). Each call site caches its [`Counter`] handle in a static
+/// [`CounterSite`], so the enabled path is one atomic add after the
+/// first hit; the disabled path is a relaxed bool load.
+#[macro_export]
+macro_rules! count {
+    ($name:literal) => {
+        $crate::count!($name, 1u64)
+    };
+    ($name:literal, $n:expr) => {
+        if $crate::enabled() {
+            static SITE: $crate::CounterSite = $crate::CounterSite::new($name);
+            SITE.add($n as u64);
+        }
+    };
+}
+
+/// Open an RAII span aggregating wall time under a dotted name:
+///
+/// ```
+/// {
+///     let _span = dx_obs::span!("doc.example.phase");
+///     // ... timed region ...
+/// } // recorded on drop
+/// ```
+///
+/// Spans nest freely (a thread-local depth is maintained — see
+/// [`span_depth`]); each records its **inclusive** elapsed time into the
+/// registry's duration histogram for that name. Disabled ⇒ no clock
+/// read, nothing recorded.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static SITE: $crate::SpanSite = $crate::SpanSite::new($name);
+        $crate::SpanGuard::enter(&SITE)
+    }};
+}
+
+/// Escape a string for embedding in a JSON document (used by the
+/// snapshot and explain serializers; exposed for the bench harness's
+/// hand-rolled row writer).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests toggle the global flag; serialize them.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_mode_is_a_no_op() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(false);
+        count!("obs.test.disabled_counter", 5);
+        {
+            let _s = span!("obs.test.disabled_span");
+        }
+        let snap = snapshot();
+        assert!(snap.is_empty(), "disabled snapshot must be empty: {snap:?}");
+        assert_eq!(snap.counter("obs.test.disabled_counter"), 0);
+        assert_eq!(snap.to_json(), "{\"counters\": {}, \"spans\": {}}");
+    }
+
+    #[test]
+    fn enabled_counters_and_spans_record() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot();
+        count!("obs.test.widgets");
+        count!("obs.test.widgets", 2);
+        {
+            let _s = span!("obs.test.phase");
+            assert_eq!(span_depth(), 1);
+            let _inner = span!("obs.test.phase.inner");
+            assert_eq!(span_depth(), 2);
+        }
+        assert_eq!(span_depth(), 0);
+        let diff = snapshot().diff_since(&before);
+        assert_eq!(diff.counter("obs.test.widgets"), 3);
+        let phase = diff.spans.get("obs.test.phase").expect("span recorded");
+        assert_eq!(phase.count, 1);
+        let inner = diff
+            .spans
+            .get("obs.test.phase.inner")
+            .expect("nested span recorded");
+        assert_eq!(inner.count, 1);
+        assert!(phase.total_ns >= inner.total_ns, "outer time is inclusive");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_diff_and_json_roundtrip_shape() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot();
+        count!("obs.test.json", 7);
+        let diff = snapshot().diff_since(&before);
+        let json = diff.to_json();
+        assert!(json.contains("\"obs.test.json\": 7"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn detached_counters_always_record() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(false);
+        let c = Counter::detached();
+        c.add(2);
+        c.incr();
+        assert_eq!(
+            c.get(),
+            3,
+            "handles are live even when the macro gate is off"
+        );
+        let snap = snapshot();
+        assert!(
+            snap.is_empty(),
+            "detached counters never reach the registry"
+        );
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,231 @@
+//! The process-wide metrics registry: named monotonic counters and
+//! duration histograms, snapshot/diff/JSON export.
+
+use crate::span::{SpanStat, HIST_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+///
+/// Handles are **always live** — `add` records unconditionally. The
+/// `DX_OBS` gate lives in the [`crate::count!`] macro (which skips the
+/// registry entirely when disabled) and in [`snapshot`] (which exports
+/// nothing when disabled). Always-on bookkeeping like `dx-query`'s
+/// catalog statistics holds handles directly.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere — a plain shared atomic for
+    /// per-instance statistics (e.g. a private `PlanCatalog`).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-call-site cache used by [`crate::count!`]: resolves the registry
+/// counter once, then every hit is a single atomic add.
+pub struct CounterSite {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl CounterSite {
+    /// Construct (const, for statics inside the macro expansion).
+    pub const fn new(name: &'static str) -> Self {
+        CounterSite {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Add `n` to the registered counter, registering on first use.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell
+            .get_or_init(|| registry().counter(self.name))
+            .add(n);
+    }
+}
+
+/// The process-wide registry. Obtain via [`registry`]; counters and span
+/// stats are created lazily on first use and live for the process.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    spans: Mutex<BTreeMap<&'static str, SpanStat>>,
+}
+
+impl MetricsRegistry {
+    /// The named counter, created on first use. The name should follow
+    /// the `crate.component.metric` convention.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The named duration histogram, created on first use.
+    pub fn span_stat(&self, name: &'static str) -> SpanStat {
+        self.spans.lock().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Read every registered metric, **ignoring** the `DX_OBS` gate.
+    /// Most consumers want [`snapshot`] instead.
+    pub fn snapshot_raw(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.get()))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Read every registered metric — empty while instrumentation is
+/// disabled (so "disabled" runs serialize nothing).
+pub fn snapshot() -> MetricsSnapshot {
+    if !crate::enabled() {
+        return MetricsSnapshot::default();
+    }
+    registry().snapshot_raw()
+}
+
+/// Aggregate of one span name: call count, total/max inclusive wall
+/// time, and a coarse log₂ histogram of per-call durations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of inclusive elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Maximum single-span elapsed nanoseconds.
+    pub max_ns: u64,
+    /// Log₂ duration buckets: bucket `i` counts spans with
+    /// `elapsed ≤ 1µs · 2^i` (last bucket is open-ended).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// A point-in-time reading of the registry: counter values plus span
+/// aggregates, ordered by name. Supports set-subtraction
+/// ([`MetricsSnapshot::diff_since`]) and JSON export.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Span name → duration aggregate.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// No metrics at all?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty()
+    }
+
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The metrics accumulated *since* `earlier`: counters and span
+    /// count/total subtract (saturating); `max_ns` keeps the later
+    /// reading (a maximum cannot be un-observed). Zero-valued counters
+    /// are kept so "touched but idle" is distinguishable from "absent".
+    pub fn diff_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, v)| {
+                    let e = earlier.spans.get(k).cloned().unwrap_or_default();
+                    let mut buckets = v.buckets;
+                    for (b, eb) in buckets.iter_mut().zip(e.buckets.iter()) {
+                        *b = b.saturating_sub(*eb);
+                    }
+                    (
+                        k.clone(),
+                        SpanSnapshot {
+                            count: v.count.saturating_sub(e.count),
+                            total_ns: v.total_ns.saturating_sub(e.total_ns),
+                            max_ns: v.max_ns,
+                            buckets,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize as a two-key JSON object:
+    /// `{"counters": {name: value, ...}, "spans": {name: {...}, ...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", crate::json_escape(k), v));
+        }
+        out.push_str("}, \"spans\": {");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let buckets: Vec<String> = s.buckets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}, \"buckets\": [{}]}}",
+                crate::json_escape(k),
+                s.count,
+                s.total_ns,
+                s.max_ns,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}

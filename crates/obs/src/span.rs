@@ -1,0 +1,138 @@
+//! RAII spans: per-phase wall-time aggregation with nesting.
+
+use crate::registry::{registry, SpanSnapshot};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Number of log₂ duration buckets in a span histogram: bucket `i`
+/// counts spans with `elapsed ≤ 1µs · 2^i`; the last bucket is
+/// open-ended (≥ ~2s).
+pub const HIST_BUCKETS: usize = 12;
+
+#[derive(Debug, Default)]
+struct SpanCells {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Aggregated timing for one span name (shared handle; cloning shares
+/// the cells). Recorded durations feed a count/total/max summary plus a
+/// coarse log₂-of-microseconds histogram — enough to tell "many fast"
+/// from "few slow" without per-event storage.
+#[derive(Clone, Debug, Default)]
+pub struct SpanStat(Arc<SpanCells>);
+
+impl SpanStat {
+    /// Fold one elapsed duration into the aggregate.
+    pub fn record(&self, elapsed: std::time::Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let c = &self.0;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.total_ns.fetch_add(ns, Ordering::Relaxed);
+        c.max_ns.fetch_max(ns, Ordering::Relaxed);
+        // Bucket i covers elapsed ≤ 1µs·2^i: i = ceil(log2(ceil(ns/1000))).
+        let us_ceil = ns.div_ceil(1000).max(1);
+        let idx = (64 - (us_ceil - 1).leading_zeros()) as usize;
+        c.buckets[idx.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read the aggregate.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        let c = &self.0;
+        SpanSnapshot {
+            count: c.count.load(Ordering::Relaxed),
+            total_ns: c.total_ns.load(Ordering::Relaxed),
+            max_ns: c.max_ns.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| c.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Per-call-site cache used by [`crate::span!`]: resolves the registry
+/// [`SpanStat`] once, then every span completion is a few atomic adds.
+pub struct SpanSite {
+    name: &'static str,
+    cell: OnceLock<SpanStat>,
+}
+
+impl SpanSite {
+    /// Construct (const, for statics inside the macro expansion).
+    pub const fn new(name: &'static str) -> Self {
+        SpanSite {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn stat(&self) -> &SpanStat {
+        self.cell.get_or_init(|| registry().span_stat(self.name))
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Current nesting depth of live spans on this thread (0 outside any
+/// span). Diagnostic — the aggregation itself keys on names, with
+/// hierarchy conveyed by the dotted naming convention.
+pub fn span_depth() -> u32 {
+    DEPTH.with(Cell::get)
+}
+
+/// The RAII guard returned by [`crate::span!`]. Records the inclusive
+/// elapsed time into the site's [`SpanStat`] on drop; a guard opened
+/// while instrumentation is disabled holds nothing and drops for free.
+#[must_use = "a span records on drop — bind it to a local (`let _span = ...`)"]
+pub struct SpanGuard {
+    live: Option<(&'static SpanSite, Instant)>,
+}
+
+impl SpanGuard {
+    /// Open a span against a call-site cache (the [`crate::span!`]
+    /// expansion). No clock read when disabled.
+    #[inline]
+    pub fn enter(site: &'static SpanSite) -> Self {
+        if !crate::enabled() {
+            return SpanGuard { live: None };
+        }
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            live: Some((site, Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((site, start)) = self.live.take() {
+            site.stat().record(start.elapsed());
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let s = SpanStat::default();
+        s.record(std::time::Duration::from_nanos(800)); // ≤ 1µs → bucket 0
+        s.record(std::time::Duration::from_micros(2)); // ≤ 2µs → bucket 1
+        s.record(std::time::Duration::from_micros(3)); // ≤ 4µs → bucket 2
+        s.record(std::time::Duration::from_secs(10)); // open-ended tail
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(snap.max_ns, 10_000_000_000);
+    }
+}

@@ -47,6 +47,13 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Catalog usage counters (see [`PlanCatalog::stats`]).
+///
+/// Since the dx-obs integration this is a *view*: hit/miss tallies live in
+/// [`dx_obs::Counter`] sinks — registered as `query.catalog.hits` /
+/// `query.catalog.misses` for [`PlanCatalog::shared`], detached (private
+/// to the instance) for [`PlanCatalog::new`] — and `stats()` reads them
+/// back out. The accessor API and its exact semantics (per-instance
+/// isolation, `clear()` resetting counts) are unchanged.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Number of cached entries (all kinds).
@@ -92,15 +99,18 @@ struct Inner {
     queries: FastMap<u64, Vec<QueryEntry>>,
     formulas: FastMap<u64, Vec<FormulaEntry>>,
     ras: FastMap<u64, Vec<RaEntry>>,
-    hits: u64,
-    misses: u64,
     rejections: BTreeMap<LowerReason, u64>,
+    // `clear()` baselines: the obs counters are monotonic, so a cleared
+    // catalog reports `counter - base` instead of resetting the sink.
+    hits_base: u64,
+    misses_base: u64,
 }
 
 impl Inner {
     fn note_rejection(&mut self, err: Option<&LowerError>) {
         if let Some(err) = err {
             *self.rejections.entry(err.reason()).or_default() += 1;
+            dx_obs::count!("query.catalog.rejections");
         }
     }
 }
@@ -115,24 +125,43 @@ impl Inner {
 
 /// A shared, interior-mutable cache of compiled query plans (see the
 /// module docs).
-#[derive(Default)]
 pub struct PlanCatalog {
     inner: Mutex<Inner>,
+    hits: dx_obs::Counter,
+    misses: dx_obs::Counter,
+}
+
+impl Default for PlanCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PlanCatalog {
     /// An empty catalog (for scoped pipelines and tests; most consumers use
-    /// [`PlanCatalog::shared`]).
+    /// [`PlanCatalog::shared`]). Its hit/miss counters are detached —
+    /// private to the instance, never visible in the global metrics
+    /// snapshot — so tests stay isolated.
     pub fn new() -> Self {
-        Self::default()
+        PlanCatalog {
+            inner: Mutex::default(),
+            hits: dx_obs::Counter::detached(),
+            misses: dx_obs::Counter::detached(),
+        }
     }
 
     /// The process-wide catalog: one instance serving every pipeline, so a
     /// query compiled during, say, certain answering is reused verbatim by
-    /// the solver's refutation closures and the bench harness.
+    /// the solver's refutation closures and the bench harness. Its hit/miss
+    /// counters are the registered `query.catalog.hits` /
+    /// `query.catalog.misses` metrics.
     pub fn shared() -> &'static PlanCatalog {
         static SHARED: OnceLock<PlanCatalog> = OnceLock::new();
-        SHARED.get_or_init(PlanCatalog::new)
+        SHARED.get_or_init(|| PlanCatalog {
+            inner: Mutex::default(),
+            hits: dx_obs::registry().counter("query.catalog.hits"),
+            misses: dx_obs::registry().counter("query.catalog.misses"),
+        })
     }
 
     /// The schema fingerprint: a structural hash of the `(relation, arity)`
@@ -165,14 +194,14 @@ impl PlanCatalog {
         schema_fp.hash(&mut h);
         let key = h.finish();
         {
-            let mut inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.lock().expect("catalog lock");
             if let Some(e) = inner.queries.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
                     .find(|e| e.schema_fp == schema_fp && &e.query == query)
             }) {
                 let eval = Arc::clone(&e.eval);
-                inner.hits += 1;
+                self.hits.incr();
                 return eval;
             }
         }
@@ -187,7 +216,7 @@ impl PlanCatalog {
             .find(|e| e.schema_fp == schema_fp && &e.query == query)
         {
             let eval = Arc::clone(&e.eval);
-            inner.hits += 1;
+            self.hits.incr();
             return eval;
         }
         bucket.push(QueryEntry {
@@ -196,7 +225,7 @@ impl PlanCatalog {
             eval: Arc::clone(&eval),
         });
         inner.note_rejection(eval.lower_error());
-        inner.misses += 1;
+        self.misses.incr();
         eval
     }
 
@@ -213,14 +242,14 @@ impl PlanCatalog {
         head.hash(&mut h);
         let key = h.finish();
         {
-            let mut inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.lock().expect("catalog lock");
             if let Some(e) = inner.formulas.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
                     .find(|e| e.head == head && &e.formula == formula)
             }) {
                 let compiled = e.compiled.clone();
-                inner.hits += 1;
+                self.hits.incr();
                 return compiled;
             }
         }
@@ -232,7 +261,7 @@ impl PlanCatalog {
             .find(|e| e.head == head && &e.formula == formula)
         {
             let compiled = e.compiled.clone();
-            inner.hits += 1;
+            self.hits.incr();
             return compiled;
         }
         bucket.push(FormulaEntry {
@@ -241,7 +270,7 @@ impl PlanCatalog {
             compiled: compiled.clone(),
         });
         inner.note_rejection(compiled.as_ref().err().map(|e| e as &LowerError));
-        inner.misses += 1;
+        self.misses.incr();
         compiled
     }
 
@@ -256,14 +285,14 @@ impl PlanCatalog {
         schema_fp.hash(&mut h);
         let key = h.finish();
         {
-            let mut inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.lock().expect("catalog lock");
             if let Some(e) = inner.ras.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
                     .find(|e| e.schema_fp == schema_fp && &e.expr == expr)
             }) {
                 let compiled = e.compiled.clone();
-                inner.hits += 1;
+                self.hits.incr();
                 return compiled;
             }
         }
@@ -275,7 +304,7 @@ impl PlanCatalog {
             .find(|e| e.schema_fp == schema_fp && &e.expr == expr)
         {
             let compiled = e.compiled.clone();
-            inner.hits += 1;
+            self.hits.incr();
             return compiled;
         }
         bucket.push(RaEntry {
@@ -283,17 +312,18 @@ impl PlanCatalog {
             expr: expr.clone(),
             compiled: compiled.clone(),
         });
-        inner.misses += 1;
+        self.misses.incr();
         compiled
     }
 
-    /// Usage counters.
+    /// Usage counters, read back out of the obs sinks (relative to the
+    /// last [`PlanCatalog::clear`]).
     pub fn stats(&self) -> CatalogStats {
         let inner = self.inner.lock().expect("catalog lock");
         CatalogStats {
             entries: inner.entries(),
-            hits: inner.hits,
-            misses: inner.misses,
+            hits: self.hits.get().saturating_sub(inner.hits_base),
+            misses: self.misses.get().saturating_sub(inner.misses_base),
             rejections: inner
                 .rejections
                 .iter()
@@ -302,10 +332,14 @@ impl PlanCatalog {
         }
     }
 
-    /// Drop every entry (counters included).
+    /// Drop every entry (counters included). The underlying obs counters
+    /// are monotonic; clearing rebases the view [`PlanCatalog::stats`]
+    /// reports.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("catalog lock");
         *inner = Inner::default();
+        inner.hits_base = self.hits.get();
+        inner.misses_base = self.misses.get();
     }
 }
 

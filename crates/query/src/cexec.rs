@@ -15,6 +15,12 @@
 //! certain-answer pipeline — cross-validated against the `RaExpr`
 //! conditional evaluator and brute-force `Rep` enumeration in
 //! `tests/query_differential.rs`.
+//!
+//! Work metrics (`query.cexec.*`, see `dx-obs`): `rows_scanned` counts
+//! stored conditional tuples examined by scans, `rows_joined` counts
+//! conditional join output rows, `seed_partitions`/`seed_reruns` mirror
+//! the ground executor's seeded anti-join counters, and `rows_emitted`
+//! counts root-level result rows.
 
 use crate::plan::{Plan, PlanPred, Ref};
 use dx_ctables::{CInstance, CTable, CTuple, Condition};
@@ -45,6 +51,13 @@ impl CRows {
 
 /// Execute a plan over a conditional instance.
 pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
+    let _span = dx_obs::span!("query.cexec");
+    let rows = cexec_node(plan, cinst);
+    dx_obs::count!("query.cexec.rows_emitted", rows.rows.len());
+    rows
+}
+
+fn cexec_node(plan: &Plan, cinst: &CInstance) -> CRows {
     match plan {
         Plan::Unit => CRows {
             vars: Vec::new(),
@@ -69,20 +82,23 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
                 rows: Vec::new(),
             };
             if let Some(table) = cinst.table(*rel) {
+                let mut scanned = 0usize;
                 for ct in table.rows() {
+                    scanned += 1;
                     if let Some((row, cond)) = unify_conditional(args, &ct.tuple, &schema) {
                         out.push(row, Condition::and([ct.cond.clone(), cond]));
                     }
                 }
+                dx_obs::count!("query.cexec.rows_scanned", scanned);
             }
             out
         }
         Plan::Join { inputs } => {
-            let mut parts: Vec<CRows> = inputs.iter().map(|p| exec_conditional(p, cinst)).collect();
+            let mut parts: Vec<CRows> = inputs.iter().map(|p| cexec_node(p, cinst)).collect();
             // Cheapest-first fold keeps intermediates small.
             parts.sort_by_key(|r| r.rows.len());
             let mut acc = match parts.first() {
-                None => return exec_conditional(&Plan::Unit, cinst),
+                None => return cexec_node(&Plan::Unit, cinst),
                 Some(_) => parts.remove(0),
             };
             for part in parts {
@@ -96,7 +112,7 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
             seeded_anti_conditional(left, right, seed, cinst)
         }
         Plan::Select { input, pred } => {
-            let rows = exec_conditional(input, cinst);
+            let rows = cexec_node(input, cinst);
             let mut out = CRows {
                 vars: rows.vars.clone(),
                 rows: Vec::new(),
@@ -108,7 +124,7 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
             out
         }
         Plan::Project { input, vars } => {
-            let rows = exec_conditional(input, cinst);
+            let rows = cexec_node(input, cinst);
             let mut out_vars = vars.clone();
             out_vars.sort();
             let cols: Vec<usize> = out_vars
@@ -127,7 +143,7 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
         Plan::Union { inputs } => {
             let mut out: Option<CRows> = None;
             for p in inputs {
-                let rows = exec_conditional(p, cinst);
+                let rows = cexec_node(p, cinst);
                 match &mut out {
                     None => out = Some(rows),
                     Some(acc) => {
@@ -139,7 +155,7 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
             out.unwrap_or_default()
         }
         Plan::Alias { input, src, dst } => {
-            let rows = exec_conditional(input, cinst);
+            let rows = cexec_node(input, cinst);
             let src_col = rows.col(*src).expect("alias source is produced");
             let mut vars = rows.vars.clone();
             vars.push(*dst);
@@ -373,13 +389,14 @@ fn cjoin(left: &CRows, right: &CRows) -> CRows {
             }
         }
     }
+    dx_obs::count!("query.cexec.rows_joined", out.rows.len());
     out
 }
 
 /// Conditional semi-join (`keep = true`) / anti-join (`keep = false`).
 fn filter_join_conditional(left: &Plan, right: &Plan, cinst: &CInstance, keep: bool) -> CRows {
-    let l = exec_conditional(left, cinst);
-    let r = exec_conditional(right, cinst);
+    let l = cexec_node(left, cinst);
+    let r = cexec_node(right, cinst);
     let shared: Vec<Var> = l
         .vars
         .iter()
@@ -425,7 +442,7 @@ fn filter_join_conditional(left: &Plan, right: &Plan, cinst: &CInstance, keep: b
 /// disjunction, over the branch's rows, of "row present ∧ shared variables
 /// equal".
 fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CInstance) -> CRows {
-    let l = exec_conditional(left, cinst);
+    let l = cexec_node(left, cinst);
     let seed_cols: Vec<usize> = seed
         .iter()
         .map(|v| l.col(*v).expect("seed variable is bound by the left side"))
@@ -449,14 +466,16 @@ fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CIns
         vars: l.vars.clone(),
         rows: Vec::new(),
     };
+    let mut reruns = 0u64;
     for (lrow, lcond) in &l.rows {
         let key: Vec<Value> = seed_cols.iter().map(|&c| lrow[c]).collect();
         let (r, r_cols) = branches.entry(key.clone()).or_insert_with(|| {
+            reruns += 1;
             let mut branch = right.clone();
             for (v, val) in seed.iter().zip(&key) {
                 branch.bind_seed(*v, *val);
             }
-            let rows = exec_conditional(&branch, cinst);
+            let rows = cexec_node(&branch, cinst);
             let r_cols: Vec<usize> = shared
                 .iter()
                 .map(|v| rows.col(*v).expect("shared variable survives seeding"))
@@ -478,6 +497,8 @@ fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CIns
             Condition::and([lcond.clone(), support.negate()]),
         );
     }
+    dx_obs::count!("query.cexec.seed_partitions", branches.len());
+    dx_obs::count!("query.cexec.seed_reruns", reruns);
     out
 }
 

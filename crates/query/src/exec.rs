@@ -8,6 +8,14 @@
 //! selectivity estimate. Materialized inputs (subplans, unions, single-row
 //! binds) join by hashing on the shared variables. Anti-/semi-joins hash
 //! the filter side once and reduce the preserved side in one pass.
+//!
+//! Work metrics (`DX_OBS=1`): `query.exec.rows_emitted` (rows returned by
+//! root [`exec`] calls), `.rows_scanned` (tuples visited by scans and
+//! probes), `.rows_joined` (rows produced by join nodes), `.index_probes`
+//! (per-row store probes), and `.seed_partitions` / `.seed_reruns` (the
+//! seeded anti-join's distinct keys / correlated branch executions).
+//! Per-node row counts for EXPLAIN reports are captured through
+//! [`crate::explain`]'s thread-local collector.
 
 use crate::plan::{Plan, PlanPred, Ref};
 use crate::store::QueryStore;
@@ -48,6 +56,22 @@ impl Rows {
 
 /// Execute a plan against a store, materializing its binding rows.
 pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
+    let _span = dx_obs::span!("query.exec");
+    let rows = exec_node(plan, store);
+    dx_obs::count!("query.exec.rows_emitted", rows.rows.len());
+    rows
+}
+
+/// One node's execution (the recursive form). Every node completion is
+/// reported to the explain collector; only root [`exec`] calls count
+/// toward `query.exec.rows_emitted`.
+fn exec_node(plan: &Plan, store: &dyn QueryStore) -> Rows {
+    let rows = exec_node_inner(plan, store);
+    crate::explain::trace::note_rows(plan, rows.rows.len());
+    rows
+}
+
+fn exec_node_inner(plan: &Plan, store: &dyn QueryStore) -> Rows {
     match plan {
         Plan::Unit => Rows::unit(),
         Plan::Empty { vars } => {
@@ -63,14 +87,16 @@ pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
         Plan::Join { inputs } => exec_join(inputs, store),
         Plan::SemiJoin { left, right } => exec_filter_join(left, right, store, true),
         Plan::AntiJoin { left, right } => exec_filter_join(left, right, store, false),
-        Plan::SeededAntiJoin { left, right, seed } => exec_seeded_anti(left, right, seed, store),
+        Plan::SeededAntiJoin { left, right, seed } => {
+            exec_seeded_anti(plan, left, right, seed, store)
+        }
         Plan::Select { input, pred } => {
-            let mut rows = exec(input, store);
+            let mut rows = exec_node(input, store);
             rows.rows.retain(|r| eval_pred(pred, &rows.vars, r));
             rows
         }
         Plan::Project { input, vars } => {
-            let rows = exec(input, store);
+            let rows = exec_node(input, store);
             let mut out_vars = vars.clone();
             out_vars.sort();
             let cols: Vec<usize> = out_vars
@@ -91,7 +117,7 @@ pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
             let mut out_vars: Option<Vec<Var>> = None;
             let mut set: BTreeSet<Vec<Value>> = BTreeSet::new();
             for p in inputs {
-                let rows = exec(p, store);
+                let rows = exec_node(p, store);
                 match &out_vars {
                     None => out_vars = Some(rows.vars.clone()),
                     Some(vs) => debug_assert_eq!(vs, &rows.vars, "union schema mismatch"),
@@ -104,7 +130,7 @@ pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
             }
         }
         Plan::Alias { input, src, dst } => {
-            let rows = exec(input, store);
+            let rows = exec_node(input, store);
             let src_col = rows.col(*src).expect("alias source is produced");
             let mut vars = rows.vars.clone();
             vars.push(*dst);
@@ -223,11 +249,15 @@ fn scan_all(store: &dyn QueryStore, rel: RelSym, args: &[Term]) -> Rows {
         s.into_iter().collect()
     };
     let mut rows = Vec::new();
+    let mut scanned = 0u64;
+    dx_obs::count!("query.exec.index_probes");
     store.for_each_matching(rel, &const_pattern(args), &mut |t| {
+        scanned += 1;
         if let Some(row) = unify_tuple(args, t, &schema, &[]) {
             rows.push(row);
         }
     });
+    dx_obs::count!("query.exec.rows_scanned", scanned);
     // Repeated scans of set-semantics relations produce no duplicates, but a
     // live annotated store may expose the same tuple under two annotations.
     rows.sort();
@@ -281,7 +311,7 @@ fn exec_join(inputs: &[Plan], store: &dyn QueryStore) -> Rows {
                 args,
                 sel: store.selectivity(*rel, &const_pattern(args)),
             },
-            other => JoinItem::Mat(exec(other, store)),
+            other => JoinItem::Mat(exec_node(other, store)),
         })
         .collect();
     if items.is_empty() {
@@ -353,6 +383,8 @@ fn probe_join(acc: Rows, store: &dyn QueryStore, rel: RelSym, args: &[Term]) -> 
         })
         .collect();
     let mut out = Vec::new();
+    let mut scanned = 0u64;
+    dx_obs::count!("query.exec.index_probes", acc.rows.len());
     for row in &acc.rows {
         let pattern: Vec<Option<Value>> = args
             .iter()
@@ -366,13 +398,16 @@ fn probe_join(acc: Rows, store: &dyn QueryStore, rel: RelSym, args: &[Term]) -> 
         let prebound: Vec<(Var, Value)> =
             acc.vars.iter().copied().zip(row.iter().copied()).collect();
         store.for_each_matching(rel, &pattern, &mut |t| {
+            scanned += 1;
             if let Some(joined) = unify_tuple(args, t, &schema, &prebound) {
                 out.push(joined);
             }
         });
     }
+    dx_obs::count!("query.exec.rows_scanned", scanned);
     out.sort();
     out.dedup();
+    dx_obs::count!("query.exec.rows_joined", out.len());
     Rows {
         vars: schema,
         rows: out,
@@ -420,6 +455,7 @@ fn hash_join(left: Rows, right: Rows) -> Rows {
             }
         }
     }
+    dx_obs::count!("query.exec.rows_joined", out.len());
     Rows {
         vars: schema,
         rows: out,
@@ -429,8 +465,8 @@ fn hash_join(left: Rows, right: Rows) -> Rows {
 /// Semi-join (`keep = true`) or anti-join (`keep = false`): hash the filter
 /// side on the shared variables, reduce the preserved side in one pass.
 fn exec_filter_join(left: &Plan, right: &Plan, store: &dyn QueryStore, keep: bool) -> Rows {
-    let mut l = exec(left, store);
-    let r = exec(right, store);
+    let mut l = exec_node(left, store);
+    let r = exec_node(right, store);
     let shared: Vec<Var> = l
         .vars
         .iter()
@@ -465,8 +501,14 @@ fn exec_filter_join(left: &Plan, right: &Plan, store: &dyn QueryStore, keep: boo
 /// partition by the branch's rows on the remaining shared variables. With
 /// no shared variables the branch acts as a per-key boolean gate (the
 /// empty key is in the refuting set iff the branch produced rows).
-fn exec_seeded_anti(left: &Plan, right: &Plan, seed: &[Var], store: &dyn QueryStore) -> Rows {
-    let mut l = exec(left, store);
+fn exec_seeded_anti(
+    node: &Plan,
+    left: &Plan,
+    right: &Plan,
+    seed: &[Var],
+    store: &dyn QueryStore,
+) -> Rows {
+    let mut l = exec_node(left, store);
     let seed_cols: Vec<usize> = seed
         .iter()
         .map(|v| l.col(*v).expect("seed variable is bound by the left side"))
@@ -485,14 +527,16 @@ fn exec_seeded_anti(left: &Plan, right: &Plan, seed: &[Var], store: &dyn QuerySt
     };
     let l_cols: Vec<usize> = shared.iter().map(|v| l.col(*v).unwrap()).collect();
     let mut partitions: FastMap<Vec<Value>, BTreeSet<Vec<Value>>> = FastMap::default();
+    let mut reruns = 0u64;
     l.rows.retain(|row| {
         let key: Vec<Value> = seed_cols.iter().map(|&c| row[c]).collect();
         let refuting = partitions.entry(key.clone()).or_insert_with(|| {
+            reruns += 1;
             let mut branch = right.clone();
             for (v, val) in seed.iter().zip(&key) {
                 branch.bind_seed(*v, *val);
             }
-            let rows = exec(&branch, store);
+            let rows = exec_node(&branch, store);
             let r_cols: Vec<usize> = shared
                 .iter()
                 .map(|v| rows.col(*v).expect("shared variable survives seeding"))
@@ -505,6 +549,9 @@ fn exec_seeded_anti(left: &Plan, right: &Plan, seed: &[Var], store: &dyn QuerySt
         let probe: Vec<Value> = l_cols.iter().map(|&c| row[c]).collect();
         !refuting.contains(&probe)
     });
+    dx_obs::count!("query.exec.seed_partitions", partitions.len());
+    dx_obs::count!("query.exec.seed_reruns", reruns);
+    crate::explain::trace::note_seed(node, partitions.len() as u64, reruns);
     l
 }
 

@@ -1,0 +1,205 @@
+//! EXPLAIN with run annotations: execute a [`Plan`] while a per-node
+//! collector is active, then render the tree (one node per line, stable
+//! [`Plan::node_label`] form) annotated with the executed-row / call /
+//! seed-partition counts each node actually incurred.
+//!
+//! Node identity is the node's address inside the borrowed plan tree —
+//! stable for the duration of one [`explain_run`]. The correlated branch
+//! of a seeded anti-join executes *clones* ([`Plan::bind_seed`] rewrites
+//! a fresh copy per distinct seed key), so branch-internal work is
+//! aggregated at the seeded node itself (`partitions` / `reruns`) rather
+//! than attributed to the pristine branch subtree, whose own counters
+//! stay zero.
+
+use crate::exec::{exec, Rows};
+use crate::plan::Plan;
+use crate::store::QueryStore;
+use dx_obs::{Explain, ExplainNode};
+use dx_relation::FastMap;
+
+/// Work observed at one plan node during a traced run.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct NodeStats {
+    /// Times the node was executed.
+    calls: u64,
+    /// Total rows the node produced across those executions.
+    rows: u64,
+    /// Seeded anti-join only: distinct seed keys partitioned.
+    partitions: u64,
+    /// Seeded anti-join only: correlated branch executions.
+    reruns: u64,
+}
+
+/// The thread-local collector the executor reports into (see
+/// [`trace::note_rows`]). Active only inside [`explain_run`].
+pub(crate) mod trace {
+    use super::NodeStats;
+    use crate::plan::Plan;
+    use dx_relation::FastMap;
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Number of live collectors across all threads — the executor's fast
+    /// path is one relaxed load of this when no EXPLAIN capture runs.
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        static COLLECT: RefCell<Option<FastMap<usize, NodeStats>>> =
+            const { RefCell::new(None) };
+    }
+
+    fn key(plan: &Plan) -> usize {
+        plan as *const Plan as usize
+    }
+
+    /// Record one execution of `plan` producing `rows` rows.
+    #[inline]
+    pub(crate) fn note_rows(plan: &Plan, rows: usize) {
+        if ACTIVE.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        COLLECT.with(|c| {
+            if let Some(map) = c.borrow_mut().as_mut() {
+                let stats = map.entry(key(plan)).or_default();
+                stats.calls += 1;
+                stats.rows += rows as u64;
+            }
+        });
+    }
+
+    /// Record a seeded anti-join's partition/re-run counts at `plan`.
+    #[inline]
+    pub(crate) fn note_seed(plan: &Plan, partitions: u64, reruns: u64) {
+        if ACTIVE.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        COLLECT.with(|c| {
+            if let Some(map) = c.borrow_mut().as_mut() {
+                let stats = map.entry(key(plan)).or_default();
+                stats.partitions += partitions;
+                stats.reruns += reruns;
+            }
+        });
+    }
+
+    /// RAII activation of this thread's collector.
+    pub(super) struct CollectorGuard;
+
+    impl CollectorGuard {
+        pub(super) fn start() -> Self {
+            COLLECT.with(|c| *c.borrow_mut() = Some(FastMap::default()));
+            ACTIVE.fetch_add(1, Ordering::Relaxed);
+            CollectorGuard
+        }
+
+        pub(super) fn finish(self) -> FastMap<usize, NodeStats> {
+            COLLECT.with(|c| c.borrow_mut().take()).unwrap_or_default()
+        }
+    }
+
+    impl Drop for CollectorGuard {
+        fn drop(&mut self) {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+            COLLECT.with(|c| *c.borrow_mut() = None);
+        }
+    }
+}
+
+/// Execute `plan` against `store` with per-node capture on, returning the
+/// result rows together with the annotated [`Explain`] report. Always
+/// captures, independent of the `DX_OBS` toggle — an EXPLAIN request *is*
+/// the opt-in.
+pub fn explain_run(plan: &Plan, store: &dyn QueryStore) -> (Rows, Explain) {
+    let guard = trace::CollectorGuard::start();
+    let rows = exec(plan, store);
+    let stats = guard.finish();
+    (rows, annotate(plan, &stats))
+}
+
+fn annotate(plan: &Plan, stats: &FastMap<usize, NodeStats>) -> Explain {
+    Explain {
+        root: annotate_node(plan, stats),
+    }
+}
+
+fn annotate_node(plan: &Plan, stats: &FastMap<usize, NodeStats>) -> ExplainNode {
+    let s = stats
+        .get(&(plan as *const Plan as usize))
+        .copied()
+        .unwrap_or_default();
+    let mut node = ExplainNode::new(plan.node_label())
+        .annotate("rows", s.rows)
+        .annotate("calls", s.calls);
+    if matches!(plan, Plan::SeededAntiJoin { .. }) {
+        node = node
+            .annotate("partitions", s.partitions)
+            .annotate("reruns", s.reruns);
+    }
+    node.children = plan
+        .children()
+        .into_iter()
+        .map(|c| annotate_node(c, stats))
+        .collect();
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_formula;
+    use dx_logic::parse_formula;
+    use dx_relation::{Instance, InstanceIndex, RelSym, Tuple, Value};
+
+    #[test]
+    fn explain_run_annotates_rows_per_node() {
+        let mut i = Instance::new();
+        i.insert_names("XpE", &["a", "b"]);
+        i.insert_names("XpE", &["b", "c"]);
+        let plan = lower_formula(&parse_formula("exists y. XpE(x, y) & XpE(y, z)").unwrap())
+            .expect("lowers");
+        let (rows, report) = explain_run(&plan, &InstanceIndex::build(&i));
+        assert_eq!(rows.rows.len(), 1, "a→b→c");
+        let text = report.render();
+        assert!(text.contains("rows=1"), "root row count:\n{text}");
+        assert!(text.contains("calls="), "call counts present:\n{text}");
+        // Every line of the rendering carries an annotation block.
+        for line in text.lines() {
+            assert!(line.contains('['), "unannotated line: {line}");
+        }
+    }
+
+    #[test]
+    fn seeded_node_reports_partitions_and_reruns() {
+        let mut i = Instance::new();
+        i.insert_names("XsSub", &["p1", "alice"]);
+        i.insert_names("XsSub", &["p2", "bob"]);
+        i.insert_names("XsSub", &["p2", "carol"]);
+        let plan = lower_formula(
+            &parse_formula("exists a. XsSub(p, a) & (forall b. (XsSub(p, b) -> a = b))").unwrap(),
+        )
+        .expect("lowers");
+        let (rows, report) = explain_run(&plan, &InstanceIndex::build(&i));
+        assert_eq!(rows.rows, vec![vec![Value::c("p1")]]);
+        let text = report.render();
+        assert!(
+            text.contains("partitions=3") && text.contains("reruns=3"),
+            "three distinct authors seed the correlated branch:\n{text}"
+        );
+    }
+
+    #[test]
+    fn capture_is_inert_outside_explain_run() {
+        let mut i = Instance::new();
+        i.insert(RelSym::new("XpT"), Tuple::from_names(&["v"]));
+        let plan = lower_formula(&parse_formula("XpT(x)").unwrap()).unwrap();
+        // A plain exec with no collector active must not capture anything;
+        // a following explain_run starts from a clean slate.
+        let _ = exec(&plan, &InstanceIndex::build(&i));
+        let (_, report) = explain_run(&plan, &InstanceIndex::build(&i));
+        let line = report.render();
+        assert!(
+            line.contains("rows=1") && line.contains("calls=1"),
+            "{line}"
+        );
+    }
+}

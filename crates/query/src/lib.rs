@@ -55,6 +55,7 @@ pub mod catalog;
 pub mod cexec;
 pub mod eval;
 pub mod exec;
+pub mod explain;
 pub mod lower;
 pub mod plan;
 pub mod ra;
@@ -62,6 +63,7 @@ pub mod store;
 
 pub use catalog::{CatalogStats, PlanCatalog};
 pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
+pub use explain::explain_run;
 pub use lower::{lower_formula, LowerError, LowerReason};
 pub use plan::{Plan, PlanPred, Ref};
 pub use ra::CompiledRa;

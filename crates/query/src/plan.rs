@@ -476,7 +476,58 @@ impl Plan {
         out
     }
 
-    /// Render the plan as an indented operator tree (`EXPLAIN` output).
+    /// The node's direct children, in plan order (the tree-walk order the
+    /// EXPLAIN renderers use).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Unit | Plan::Empty { .. } | Plan::Bind { .. } | Plan::Scan { .. } => Vec::new(),
+            Plan::Join { inputs } | Plan::Union { inputs } => inputs.iter().collect(),
+            Plan::SemiJoin { left, right }
+            | Plan::AntiJoin { left, right }
+            | Plan::SeededAntiJoin { left, right, .. } => vec![left, right],
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Alias { input, .. } => vec![input],
+        }
+    }
+
+    /// One line describing this node alone — operator, operator arguments,
+    /// and the output schema (`-> [vars]`). [`Plan::explain`] indents these
+    /// into a tree; `dx_query::explain` annotates them with run counts. The
+    /// rendering is stable: one node per line, seed keys in brackets.
+    pub fn node_label(&self) -> String {
+        let schema = {
+            let vs: Vec<String> = self.vars().iter().map(|v| v.to_string()).collect();
+            format!("-> [{}]", vs.join(", "))
+        };
+        match self {
+            Plan::Unit => format!("unit {schema}"),
+            Plan::Empty { .. } => format!("empty {schema}"),
+            Plan::Bind { var, value } => format!("bind {var} := {value} {schema}"),
+            Plan::Scan { rel, args } => {
+                let args: Vec<String> = args.iter().map(|t| t.to_string()).collect();
+                format!("scan {rel}({}) {schema}", args.join(", "))
+            }
+            Plan::Join { .. } => format!("join {schema}"),
+            Plan::SemiJoin { .. } => format!("semijoin {schema}"),
+            Plan::AntiJoin { .. } => format!("antijoin {schema}"),
+            Plan::SeededAntiJoin { seed, .. } => {
+                let vs: Vec<String> = seed.iter().map(|v| v.to_string()).collect();
+                format!("seeded-antijoin [{}] {schema}", vs.join(", "))
+            }
+            Plan::Select { pred, .. } => format!("select {pred:?} {schema}"),
+            Plan::Project { vars, .. } => {
+                let vs: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+                format!("project [{}] {schema}", vs.join(", "))
+            }
+            Plan::Union { .. } => format!("union {schema}"),
+            Plan::Alias { src, dst, .. } => format!("alias {dst} := {src} {schema}"),
+        }
+    }
+
+    /// Render the plan as an indented operator tree (`EXPLAIN` output):
+    /// one node per line via [`Plan::node_label`], children indented two
+    /// spaces per level.
     pub fn explain(&self) -> String {
         let mut out = String::new();
         self.explain_into(&mut out, 0);
@@ -484,63 +535,13 @@ impl Plan {
     }
 
     fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
         for _ in 0..depth {
             out.push_str("  ");
         }
-        match self {
-            Plan::Unit => out.push_str("unit\n"),
-            Plan::Empty { vars } => {
-                let _ = writeln!(out, "empty {vars:?}");
-            }
-            Plan::Bind { var, value } => {
-                let _ = writeln!(out, "bind {var} := {value}");
-            }
-            Plan::Scan { rel, args } => {
-                let args: Vec<String> = args.iter().map(|t| t.to_string()).collect();
-                let _ = writeln!(out, "scan {rel}({})", args.join(", "));
-            }
-            Plan::Join { inputs } => {
-                out.push_str("join\n");
-                for p in inputs {
-                    p.explain_into(out, depth + 1);
-                }
-            }
-            Plan::SemiJoin { left, right } => {
-                out.push_str("semijoin\n");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            Plan::AntiJoin { left, right } => {
-                out.push_str("antijoin\n");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            Plan::SeededAntiJoin { left, right, seed } => {
-                let vs: Vec<String> = seed.iter().map(|v| v.to_string()).collect();
-                let _ = writeln!(out, "seeded-antijoin [{}]", vs.join(", "));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            Plan::Select { input, pred } => {
-                let _ = writeln!(out, "select {pred:?}");
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Project { input, vars } => {
-                let vs: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
-                let _ = writeln!(out, "project [{}]", vs.join(", "));
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Union { inputs } => {
-                out.push_str("union\n");
-                for p in inputs {
-                    p.explain_into(out, depth + 1);
-                }
-            }
-            Plan::Alias { input, src, dst } => {
-                let _ = writeln!(out, "alias {dst} := {src}");
-                input.explain_into(out, depth + 1);
-            }
+        out.push_str(&self.node_label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
         }
     }
 }

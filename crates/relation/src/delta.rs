@@ -22,6 +22,11 @@
 //! Removal assumes the backtracking discipline of its consumers: deltas are
 //! undone newest-first, so posting-list removals probe from the tail (an
 //! O(1) hit on the LIFO path, linear only on out-of-order removals).
+//!
+//! Work metrics (`DX_OBS=1`): `relation.delta.applies` / `.undos` count
+//! apply/undo deltas, `.refcount_churn` the bumps that did not change
+//! visibility, `.postings_touched` the per-column posting updates, and
+//! `.probes` the indexed pattern probes.
 
 use crate::fxmap::FastMap;
 use crate::instance::Instance;
@@ -214,15 +219,18 @@ impl DeltaIndex {
     /// Apply a `+tuple` delta: bump the reference count, making the tuple
     /// visible on count 0 → 1 (the return value).
     pub fn insert(&mut self, rel: RelSym, t: Tuple) -> bool {
+        dx_obs::count!("relation.delta.applies");
         let arity = t.arity();
         let entry = self
             .rels
             .entry(rel)
             .or_insert_with(|| DeltaRelation::new(arity));
         if entry.insert(t.clone()) {
+            dx_obs::count!("relation.delta.postings_touched", arity);
             self.instance.insert(rel, t);
             true
         } else {
+            dx_obs::count!("relation.delta.refcount_churn");
             false
         }
     }
@@ -230,14 +238,17 @@ impl DeltaIndex {
     /// Undo a `+tuple` delta: unbump, removing the tuple from view on
     /// count 1 → 0 (the return value). Panics when the tuple is not live.
     pub fn remove(&mut self, rel: RelSym, t: &Tuple) -> bool {
+        dx_obs::count!("relation.delta.undos");
         let entry = self
             .rels
             .get_mut(&rel)
             .expect("DeltaIndex::remove from an undeclared relation");
         if entry.remove(t) {
+            dx_obs::count!("relation.delta.postings_touched", t.arity());
             self.instance.remove(rel, t);
             true
         } else {
+            dx_obs::count!("relation.delta.refcount_churn");
             false
         }
     }
@@ -277,6 +288,7 @@ impl DeltaIndex {
         pattern: &[Option<Value>],
         f: &mut dyn FnMut(&Tuple),
     ) {
+        dx_obs::count!("relation.delta.probes");
         if let Some(r) = self.rels.get(&rel) {
             r.for_each_matching(pattern, f);
         }

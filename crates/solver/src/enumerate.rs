@@ -39,6 +39,14 @@
 //! closure-over-`&Instance` API ([`search_rep_a`]) remains as a shim; its
 //! per-leaf instance is the same live view, so even legacy checks stop
 //! paying a clone per candidate.
+//!
+//! Work metrics (see `dx-obs`): `solver.dfs.{nodes, leaves}` count search
+//! tree nodes and candidate instances, `solver.dfs.deltas_applied` /
+//! `solver.dfs.deltas_undone` count store mutations from the DFS
+//! apply/undo pairs (balanced by construction, even on early witness
+//! stops — the invariant the randomized counter tests assert), and
+//! `solver.union.{unions_visited, deltas_applied, deltas_undone}` mirror
+//! the same for [`for_each_union`].
 
 use crate::palette::Palette;
 use dx_relation::{
@@ -242,6 +250,7 @@ pub fn search_rep_a_indexed(
     budget: &SearchBudget,
     check: &mut dyn FnMut(&Leaf<'_>) -> bool,
 ) -> SearchOutcome {
+    let _span = dx_obs::span!("solver.search_rep_a");
     let nulls: Vec<NullId> = t.nulls().into_iter().collect();
     let mut base: BTreeSet<ConstId> = t.adom_consts();
     base.extend(extra_base_consts.iter().copied());
@@ -409,6 +418,7 @@ pub fn for_each_union(
     if members.is_empty() || max_union_size == 0 {
         return 0;
     }
+    let _span = dx_obs::span!("solver.for_each_union");
     let mut delta = DeltaIndex::new();
     for m in members {
         for (rel, r) in m.relations() {
@@ -449,13 +459,16 @@ pub fn for_each_union(
         count: &mut u64,
     ) -> bool {
         for i in start..privates.len() {
+            dx_obs::count!("solver.union.deltas_applied", privates[i].len());
             for (rel, t) in &privates[i] {
                 delta.insert(*rel, t.clone());
             }
             *count += 1;
+            dx_obs::count!("solver.union.unions_visited");
             let stop = visit(delta)
                 || (depth_left > 1 && dfs(privates, delta, visit, i + 1, depth_left - 1, count));
             // LIFO undo keeps the store's removal on its O(1) path.
+            dx_obs::count!("solver.union.deltas_undone", privates[i].len());
             for (rel, t) in privates[i].iter().rev() {
                 delta.remove(*rel, t);
             }
@@ -520,6 +533,7 @@ impl<'a> State<'a> {
                 }
             }
         }
+        dx_obs::count!("solver.dfs.deltas_applied", applied.len());
         applied
     }
 
@@ -527,6 +541,7 @@ impl<'a> State<'a> {
     /// store (newest-first, per the store's LIFO discipline) and restore
     /// the unassigned-null counter of *every* tuple containing the null.
     fn unassign(&mut self, null: NullId, applied: Vec<(usize, Tuple)>, v: &mut Valuation) {
+        dx_obs::count!("solver.dfs.deltas_undone", applied.len());
         for (ti, image) in applied.into_iter().rev() {
             self.delta.remove(self.tracked[ti].rel, &image);
         }
@@ -549,6 +564,7 @@ impl<'a> State<'a> {
         if self.witness.is_some() || self.capped {
             return;
         }
+        dx_obs::count!("solver.dfs.nodes");
         if i == nulls.len() {
             self.extras_phase(v);
             return;
@@ -567,6 +583,7 @@ impl<'a> State<'a> {
 
     /// Visit one candidate instance — the store as currently composed.
     fn leaf(&mut self, v: &Valuation) {
+        dx_obs::count!("solver.dfs.leaves");
         self.leaves += 1;
         if let Some(cap) = self.budget.max_leaves {
             if self.leaves > cap {
@@ -730,6 +747,7 @@ impl<'a> State<'a> {
         if self.witness.is_some() || self.capped {
             return;
         }
+        dx_obs::count!("solver.dfs.nodes");
         if k == 0 {
             self.leaf(v);
             return;
@@ -745,8 +763,10 @@ impl<'a> State<'a> {
             }
             template_counts[*tid] += 1;
             chosen.push(i);
+            dx_obs::count!("solver.dfs.deltas_applied");
             self.delta.insert(*rel, tuple.clone());
             self.subsets(pool, v, k - 1, i + 1, chosen, template_counts);
+            dx_obs::count!("solver.dfs.deltas_undone");
             self.delta.remove(*rel, tuple);
             chosen.pop();
             template_counts[*tid] -= 1;

@@ -25,6 +25,8 @@
 //!   (both trichotomies), schema-mapping composition incl. SkSTDs, and the
 //!   non-monotonic query-answering regimes (GCWA\* / approximation);
 //! * [`workloads`] — generators and the hardness reductions from the proofs.
+//! * [`obs`] — the zero-cost-when-disabled metrics/tracing layer behind the
+//!   `DX_OBS` switch (work-metric counters, RAII spans, `EXPLAIN` reports).
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub use dx_core as core;
 pub use dx_ctables as ctables;
 pub use dx_engine as engine;
 pub use dx_logic as logic;
+pub use dx_obs as obs;
 pub use dx_query as query;
 pub use dx_relation as relation;
 pub use dx_solver as solver;

@@ -1,0 +1,272 @@
+//! Counter-invariant tests for the `dx-obs` metrics layer.
+//!
+//! The work-metric counters are only trustworthy if they track the
+//! *algorithms*, not an instrumentation accident. Each test here pins a
+//! counter to an independently observable quantity on randomized inputs:
+//!
+//! * **solver balance** — every delta the `Rep_A` valuation search applies
+//!   is undone (`solver.dfs.deltas_applied == solver.dfs.deltas_undone`),
+//!   including searches stopped early by a witness; likewise for the
+//!   union-walk (`solver.union.*`), and `solver.dfs.leaves` equals the
+//!   engine's own `SearchOutcome::leaves`;
+//! * **chase delta** — on tgd-only dependencies, `engine.chase.tuples_inserted`
+//!   equals the growth of the chased instance (and `merges` stays zero);
+//! * **root rows** — `query.exec.rows_emitted` counts exactly the rows a
+//!   compiled plan returns at its root, and those rows agree with the
+//!   tree-walking evaluator;
+//! * **disabled mode** — with the layer off, the same workloads leave the
+//!   registry snapshot empty.
+//!
+//! The registry is process-global, so every test serializes on one lock and
+//! scopes its measurement to a snapshot diff.
+
+use oc_exchange::chase::chase_engine::DEFAULT_CHASE_LIMIT;
+use oc_exchange::chase::{canonical_solution, canonical_solution_with_deps_via};
+use oc_exchange::engine::IndexedChase;
+use oc_exchange::logic::Query;
+use oc_exchange::obs::MetricsSnapshot;
+use oc_exchange::query::lower_formula;
+use oc_exchange::relation::InstanceIndex;
+use oc_exchange::solver::{
+    for_each_union, minimal_rep_a_members, search_rep_a_indexed, SearchBudget,
+};
+use oc_exchange::{obs, Ann, AnnInstance, AnnTuple, Annotation, RelSym, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use dx_bench::chase_workloads::conference_case;
+use dx_bench::query_workloads::{all_query_cases, gcwa_case};
+
+/// One lock for the process-global registry: tests in this binary run on
+/// parallel threads, and a concurrent workload would bleed into another
+/// test's snapshot diff.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with metrics enabled and return its result plus the counter diff
+/// it produced. Leaves the layer disabled afterwards.
+fn measured<T>(f: impl FnOnce() -> T) -> (T, MetricsSnapshot) {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    let before = obs::snapshot();
+    let out = f();
+    let diff = obs::snapshot().diff_since(&before);
+    obs::set_enabled(false);
+    (out, diff)
+}
+
+/// A random mixed-annotation instance over a binary and a unary relation
+/// (the same family the solver differential tests use).
+fn random_ann_instance(rng: &mut StdRng) -> AnnInstance {
+    let rel_e = RelSym::new("ObE");
+    let rel_v = RelSym::new("ObV");
+    let consts = ["a", "b", "c"];
+    let mut t = AnnInstance::new();
+    let val = |rng: &mut StdRng| -> Value {
+        if rng.gen_bool(0.4) {
+            Value::null(rng.gen_range(1..4) as u32)
+        } else {
+            Value::c(consts[rng.gen_range(0..consts.len())])
+        }
+    };
+    let ann = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            Ann::Open
+        } else {
+            Ann::Closed
+        }
+    };
+    for _ in 0..rng.gen_range(1..4) {
+        let tuple = Tuple::new(vec![val(rng), val(rng)]);
+        t.insert(
+            rel_e,
+            AnnTuple::new(tuple, Annotation::new(vec![ann(rng), ann(rng)])),
+        );
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        let tuple = Tuple::new(vec![val(rng)]);
+        t.insert(rel_v, AnnTuple::new(tuple, Annotation::new(vec![ann(rng)])));
+    }
+    t
+}
+
+/// `solver.dfs.*`: applied and undone deltas balance on every search —
+/// exhaustive sweeps and early witness stops alike — and the leaf counter
+/// matches the engine's own accounting.
+#[test]
+fn solver_dfs_deltas_balance_randomized() {
+    let mut rng = StdRng::seed_from_u64(0x0B5_D1F5);
+    for case in 0..32 {
+        let t = random_ann_instance(&mut rng);
+        let budget = SearchBudget::bounded(1, 2);
+        // Half the cases stop at the first leaf (witness found), half sweep
+        // the whole space: the balance must hold either way, because the
+        // DFS unwinds its stack even on early return.
+        let stop_early = case % 2 == 0;
+        let (outcome, diff) =
+            measured(|| search_rep_a_indexed(&t, &BTreeSet::new(), &budget, &mut |_| stop_early));
+        assert_eq!(
+            diff.counter("solver.dfs.deltas_applied"),
+            diff.counter("solver.dfs.deltas_undone"),
+            "case {case}: unbalanced deltas on t = {t}"
+        );
+        assert_eq!(
+            diff.counter("solver.dfs.leaves"),
+            outcome.leaves,
+            "case {case}: leaf counter disagrees with SearchOutcome"
+        );
+        assert!(
+            diff.counter("solver.dfs.nodes") >= outcome.leaves,
+            "case {case}: every leaf is a visited node"
+        );
+    }
+}
+
+/// `solver.union.*`: the union-walk's reference-counted deltas balance and
+/// the visit counter matches `for_each_union`'s return value.
+#[test]
+fn union_walk_deltas_balance() {
+    let case = gcwa_case(8);
+    let csol = canonical_solution(&case.mapping, &case.source);
+    let palette = oc_exchange::core::regimes::answer_palette(&case.source, &case.query);
+    let (minimal, _) = minimal_rep_a_members(&csol.instance, &palette, None);
+    assert!(!minimal.is_empty(), "gcwa workload has minimal members");
+    let (unions, diff) = measured(|| for_each_union(&minimal, 2, &mut |_| false));
+    assert!(unions > 0, "walk visits unions");
+    assert_eq!(
+        diff.counter("solver.union.unions_visited"),
+        unions,
+        "visit counter disagrees with for_each_union"
+    );
+    assert_eq!(
+        diff.counter("solver.union.deltas_applied"),
+        diff.counter("solver.union.deltas_undone"),
+        "unbalanced private deltas across the union walk"
+    );
+}
+
+/// `engine.chase.tuples_inserted`: on tgd-only dependencies the counter
+/// equals the instance growth the chase produced, and no merges happen.
+#[test]
+fn chase_insert_counter_matches_instance_delta() {
+    let mut rng = StdRng::seed_from_u64(0x0B5_C4A5E);
+    for _ in 0..4 {
+        let n = rng.gen_range(2..12);
+        let case = conference_case(n);
+        // Keep only the tgds: egd merges retract tuples, which is exactly
+        // the case this invariant excludes.
+        let tgds_only: Vec<_> = case
+            .deps
+            .iter()
+            .filter(|d| matches!(d, oc_exchange::chase::target_deps::TargetDep::Tgd(_)))
+            .cloned()
+            .collect();
+        assert!(!tgds_only.is_empty(), "conference case has a tgd");
+        let base = canonical_solution_with_deps_via(
+            &IndexedChase,
+            &case.mapping,
+            &[],
+            &case.source,
+            DEFAULT_CHASE_LIMIT,
+        );
+        let (out, diff) = measured(|| {
+            canonical_solution_with_deps_via(
+                &IndexedChase,
+                &case.mapping,
+                &tgds_only,
+                &case.source,
+                DEFAULT_CHASE_LIMIT,
+            )
+        });
+        assert_eq!(
+            diff.counter("engine.chase.tuples_inserted"),
+            (out.instance.tuple_count() - base.instance.tuple_count()) as u64,
+            "n = {n}: insert counter disagrees with the chased-instance growth"
+        );
+        assert_eq!(
+            diff.counter("engine.chase.merges"),
+            0,
+            "n = {n}: tgd-only chase must not merge"
+        );
+        assert!(
+            diff.counter("engine.chase.triggers_discovered")
+                >= diff.counter("engine.chase.triggers_fired"),
+            "n = {n}: fired triggers were discovered first"
+        );
+    }
+}
+
+/// `query.exec.rows_emitted`: the counter is exactly the root row count of
+/// each compiled execution, and those rows agree with the tree-walking
+/// evaluator on the same instance.
+#[test]
+fn compiled_root_rows_match_counter_and_tree_walker() {
+    for case in all_query_cases(16) {
+        let target = canonical_solution(&case.mapping, &case.source).rel_part();
+        let plan = match lower_formula(&case.query.formula) {
+            Ok(plan) => plan,
+            Err(_) => continue, // non-safe-range workloads have no plan
+        };
+        let idx = InstanceIndex::build(&target);
+        let (rows, diff) = measured(|| oc_exchange::query::exec::exec(&plan, &idx));
+        assert_eq!(
+            diff.counter("query.exec.rows_emitted"),
+            rows.rows.len() as u64,
+            "{}: rows_emitted must count root rows only",
+            case.workload
+        );
+        let tree: BTreeSet<Tuple> = reorder_to_head(&case.query, &rows);
+        let oracle: BTreeSet<Tuple> = case.query.answers(&target).iter().cloned().collect();
+        assert_eq!(tree, oracle, "{}: compiled vs tree rows", case.workload);
+    }
+}
+
+/// Project the executed rows onto the query head order (plans emit their
+/// own schema order).
+fn reorder_to_head(query: &Query, rows: &oc_exchange::query::exec::Rows) -> BTreeSet<Tuple> {
+    let positions: Vec<usize> = query
+        .head
+        .iter()
+        .map(|v| {
+            rows.vars
+                .iter()
+                .position(|s| s == v)
+                .expect("head var in plan schema")
+        })
+        .collect();
+    rows.rows
+        .iter()
+        .map(|t| Tuple::new(positions.iter().map(|&i| t[i]).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// With the layer disabled, the same workloads record nothing: the
+/// snapshot stays empty end to end.
+#[test]
+fn disabled_mode_records_nothing() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(false);
+    let case = conference_case(4);
+    let out = canonical_solution_with_deps_via(
+        &IndexedChase,
+        &case.mapping,
+        &case.deps,
+        &case.source,
+        DEFAULT_CHASE_LIMIT,
+    );
+    let qcase = gcwa_case(4);
+    let csol = canonical_solution(&qcase.mapping, &qcase.source);
+    let palette = oc_exchange::core::regimes::answer_palette(&qcase.source, &qcase.query);
+    search_rep_a_indexed(
+        &csol.instance,
+        &palette,
+        &SearchBudget::bounded(1, 2),
+        &mut |_| false,
+    );
+    assert!(out.instance.tuple_count() > 0, "chase produced tuples");
+    assert!(
+        obs::snapshot().is_empty(),
+        "disabled layer must not register counters"
+    );
+}
