@@ -9,24 +9,41 @@
 //! cargo run --release -p dx-bench --bin experiments -- chase  # E15 only
 //! cargo run --release -p dx-bench --bin experiments -- query  # E16 + E17 only
 //! cargo run --release -p dx-bench --bin experiments -- smoke  # CI smoke:
-//! #   E15 + E16 + E17 at tiny sizes; writes BENCH_*.smoke.json (uploaded
-//! #   as CI artifacts, the recorded trajectories stay untouched); asserts
-//! #   every indexed/compiled engine oracle-identical to its baseline AND
-//! #   at/above the parity floor (SMOKE_PARITY_FLOOR, default 0.5×)
+//! #   E15 + E16 + E17 at tiny sizes; writes target/smoke/BENCH_*.smoke.json
+//! #   (uploaded as CI artifacts, the recorded trajectories stay untouched);
+//! #   asserts every indexed/compiled engine oracle-identical to its
+//! #   baseline AND at/above the parity floor (SMOKE_PARITY_FLOOR, default
+//! #   0.5×); also writes metrics.smoke.json + trace.smoke.json there
 //! cargo run --release -p dx-bench --bin experiments -- explain seeded
 //! #   EXPLAIN one query workload: print its compiled plan tree annotated
-//! #   with per-node executed-row/call (and seed partition/re-run) counts
+//! #   with per-node executed-row/call (and seed partition/re-run) counts;
+//! #   repa/gcwa/approx additionally get a conditional (c-table) report and
+//! #   their regime sweep; with DX_TRACE=1 the run writes a Chrome
+//! #   trace_event timeline to trace.explain.json
+//! cargo run --release -p dx-bench --bin experiments -- trace  # dedicated
+//! #   timeline capture: one representative slice of every subsystem
+//! #   (indexed chase, compiled query, Rep_A search) with the trace gate
+//! #   forced on; writes trace.json (chrome://tracing / ui.perfetto.dev)
+//! cargo run --release -p dx-bench --bin experiments -- report # cross-run
+//! #   regression analytics: committed BENCH_chase.json/BENCH_query.json as
+//! #   baseline vs the freshest smoke rows as candidate, joined on
+//! #   (workload, stage, engine, n); writes target/smoke/report.smoke.{md,
+//! #   json} and exits nonzero on hard regressions (BENCH_REGRESSION_FACTOR)
 //! ```
 //!
 //! Observability (`dx-obs`): with `DX_OBS=1` every BENCH row additionally
 //! carries a `"counters"` object of work-metric counters captured from one
 //! untimed run of that arm (the best-of timing loops stay uninstrumented
-//! beyond dx-obs's always-compiled-in relaxed-atomic sites). Smoke mode
-//! force-enables the metrics layer, writes the final registry snapshot to
-//! `metrics.smoke.json` (a CI artifact), and asserts the work-metric
-//! counters of every oracle-identity race bit-identical across its two
-//! arms — the engines must do the *same semantic work*, not just return
-//! the same answers.
+//! beyond dx-obs's always-compiled-in relaxed-atomic sites) and a
+//! `"gauges"` object of memory-accounting readings (instance tuples/nulls,
+//! delta-store slots/postings/refcounts, plan-catalog entries/bytes; see
+//! `dx_obs::mem`). Smoke mode force-enables the metrics layer, writes the
+//! final registry snapshot to `target/smoke/metrics.smoke.json` (a CI
+//! artifact), and asserts the work-metric counters of every oracle-identity
+//! race bit-identical across its two arms — the engines must do the *same
+//! semantic work*, not just return the same answers. The trace gate stays
+//! off during the timed races (the parity gates measure the engines, not
+//! the tracer); the smoke timeline comes from a separate traced slice.
 
 use dx_bench::{
     closed_null_mapping, copy2, exhaust_query, fd_query, fmt_duration, open_null_mapping,
@@ -48,6 +65,9 @@ const CHASE_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192, 256];
 const QUERY_NS: &[usize] = &[8, 16, 32, 64, 96, 128, 192, 256];
 /// Tiny sizes for the CI smoke run (writes `BENCH_*.smoke.json`).
 const SMOKE_NS: &[usize] = &[8, 16];
+/// Where the smoke run drops its CI artifacts (records, metrics, trace,
+/// regression report) — under `target/` so the repo root stays clean.
+const SMOKE_DIR: &str = "target/smoke";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,6 +77,26 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("membership");
         run_explain(workload);
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "report") {
+        let chase_cand = args
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| format!("{SMOKE_DIR}/BENCH_chase.smoke.json"));
+        let query_cand = args
+            .get(pos + 2)
+            .cloned()
+            .unwrap_or_else(|| format!("{SMOKE_DIR}/BENCH_query.smoke.json"));
+        run_report(&chase_cand, &query_cand);
+        return;
+    }
+    if std::env::args().any(|a| a == "trace") {
+        println!("# oc-exchange timeline trace (representative slice, DX_TRACE forced on)\n");
+        dx_obs::set_trace_enabled(true);
+        run_traced_pipeline();
+        dx_obs::set_trace_enabled(false);
+        write_trace("trace.json");
         return;
     }
     if std::env::args().any(|a| a == "chase") {
@@ -83,19 +123,35 @@ fn main() {
         // oracles.
         println!("# oc-exchange bench smoke (E15 + E16 + E17, tiny sizes)\n");
         // Smoke always runs with the metrics layer on: the work-identity
-        // gates and the BENCH-row counter fields depend on it, and the
-        // registry snapshot becomes the `metrics.smoke.json` CI artifact.
+        // gates and the BENCH-row counter/gauge fields depend on it, and
+        // the registry snapshot becomes the `metrics.smoke.json` CI
+        // artifact. Every smoke output lands under `target/smoke/`.
         dx_obs::set_enabled(true);
-        e15_chase_engines(SMOKE_NS, Some("BENCH_chase.smoke.json"), true);
+        std::fs::create_dir_all(SMOKE_DIR).unwrap_or_else(|e| panic!("create {SMOKE_DIR}: {e}"));
+        let chase_path = format!("{SMOKE_DIR}/BENCH_chase.smoke.json");
+        e15_chase_engines(SMOKE_NS, Some(&chase_path), true);
         let mut records = e16_query_engines(SMOKE_NS, true);
         records.extend(e17_regimes(SMOKE_NS, true));
-        write_query_json(&records, "BENCH_query.smoke.json");
+        write_query_json(&records, &format!("{SMOKE_DIR}/BENCH_query.smoke.json"));
         print_catalog_stats();
         let snapshot = dx_obs::snapshot();
         assert!(!snapshot.is_empty(), "smoke must record work metrics");
-        std::fs::write("metrics.smoke.json", snapshot.to_json())
-            .unwrap_or_else(|e| panic!("write metrics.smoke.json: {e}"));
-        println!("Metrics snapshot written to metrics.smoke.json.");
+        assert!(
+            snapshot.gauge(dx_obs::mem::names::INSTANCE_TUPLES) > 0
+                && snapshot.gauge(dx_obs::mem::names::DELTA_LIVE_SLOTS) > 0
+                && snapshot.gauge(dx_obs::mem::names::CATALOG_ENTRIES) > 0,
+            "smoke must record memory gauges for every accounted subsystem"
+        );
+        let metrics_path = format!("{SMOKE_DIR}/metrics.smoke.json");
+        std::fs::write(&metrics_path, snapshot.to_json())
+            .unwrap_or_else(|e| panic!("write {metrics_path}: {e}"));
+        println!("Metrics snapshot written to {metrics_path}.");
+        // The smoke timeline: a traced slice of every subsystem, captured
+        // *after* the races so the tracer never skews the parity gates.
+        dx_obs::set_trace_enabled(true);
+        run_traced_pipeline();
+        dx_obs::set_trace_enabled(false);
+        write_trace(&format!("{SMOKE_DIR}/trace.smoke.json"));
         return;
     }
     println!("# oc-exchange experiment run\n");
@@ -204,15 +260,38 @@ const UNION_COUNTERS: &[&str] = &[
     "solver.dfs.leaves",
 ];
 
+/// The memory gauges attached to chase BENCH rows: the chased instance's
+/// footprint, published by `dx-engine` when a run completes.
+const CHASE_GAUGES: &[&str] = &[
+    dx_obs::mem::names::INSTANCE_TUPLES,
+    dx_obs::mem::names::INSTANCE_NULLS,
+];
+/// The memory gauges attached to query-evaluation BENCH rows: the shared
+/// plan catalog's footprint (refreshed by [`captured_counters`]).
+const QUERY_GAUGES: &[&str] = &[
+    dx_obs::mem::names::CATALOG_ENTRIES,
+    dx_obs::mem::names::CATALOG_EST_BYTES,
+];
+/// The memory gauges attached to search/regime BENCH rows: the solver's
+/// delta-store footprint, published when a sweep unwinds.
+const SOLVER_GAUGES: &[&str] = &[
+    dx_obs::mem::names::DELTA_LIVE_SLOTS,
+    dx_obs::mem::names::DELTA_POSTING_ENTRIES,
+    dx_obs::mem::names::DELTA_REFCOUNT_TOTAL,
+];
+
 /// Run `f` once and capture the work-metric counter delta it produced
 /// (`None` when the metrics layer is disabled — then no extra run-cost
-/// beyond `f` itself is paid either).
+/// beyond `f` itself is paid either). Also refreshes the plan catalog's
+/// footprint gauges so the captured snapshot carries current readings
+/// (instance/delta gauges are published by the engines inside `f`).
 fn captured_counters<T>(f: impl FnOnce() -> T) -> (T, Option<dx_obs::MetricsSnapshot>) {
     if !dx_obs::enabled() {
         return (f(), None);
     }
     let before = dx_obs::snapshot();
     let out = f();
+    let _ = dx_query::PlanCatalog::shared().stats();
     (out, Some(dx_obs::snapshot().diff_since(&before)))
 }
 
@@ -231,6 +310,24 @@ fn counters_field(diff: &Option<dx_obs::MetricsSnapshot>, names: &[&str]) -> Str
                 .collect::<Vec<_>>()
                 .join(", ");
             format!(", \"counters\": {{{body}}}")
+        }
+    }
+}
+
+/// Render the `"gauges"` field of a BENCH row: the named memory-accounting
+/// gauges at their last-published reading (current footprint, not a delta —
+/// see `dx_obs::mem`). Empty when the metrics layer is disabled, keeping
+/// the recorded trajectory format unchanged by default.
+fn gauges_field(diff: &Option<dx_obs::MetricsSnapshot>, names: &[&str]) -> String {
+    match diff {
+        None => String::new(),
+        Some(d) => {
+            let body = names
+                .iter()
+                .map(|n| format!("\"{n}\": {}", d.gauge(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(", \"gauges\": {{{body}}}")
         }
     }
 }
@@ -282,12 +379,20 @@ fn query_row(
 /// `experiments -- explain <workload>`: compile the workload's query, run
 /// it over the workload's canonical solution with per-node capture on, and
 /// print the plan tree annotated with executed-row/call (and seed
-/// partition/re-run) counts — the EXPLAIN face of the dx-obs layer.
+/// partition/re-run) counts — the EXPLAIN face of the dx-obs layer. The
+/// canonical solution is built through the indexed chase engine, so a
+/// `DX_TRACE=1` run records the chase-round spans in front of the plan
+/// execution; the regime workloads (`repa`/`gcwa`/`approx`) additionally
+/// get a conditional (c-table) report over `CSol_A(S)` and their regime
+/// sweep (the solver phases). With the trace gate on the whole run is
+/// exported to `trace.explain.json` (Chrome trace_event format).
 fn run_explain(workload: &str) {
     use dx_bench::query_workloads::{
         all_query_cases, approx_case, gcwa_case, repa_case, seeded_case,
     };
-    use dx_chase::canonical_solution;
+    use dx_chase::canonical_solution_with_deps_via;
+    use dx_chase::chase_engine::ChaseOutcome;
+    use dx_engine::IndexedChase;
 
     let n = 32;
     let case = match workload {
@@ -305,18 +410,561 @@ fn run_explain(workload: &str) {
                 )
             }),
     };
-    let target = canonical_solution(&case.mapping, &case.source).rel_part();
+    let chased = canonical_solution_with_deps_via(
+        &IndexedChase,
+        &case.mapping,
+        &[],
+        &case.source,
+        1_000_000,
+    );
+    assert_eq!(chased.outcome, ChaseOutcome::Satisfied, "{workload} chase");
+    let ann = chased.instance;
+    let target = ann.rel_part();
     let plan =
         dx_query::lower_formula(&case.query.formula).expect("workload query lowers to a plan");
     let idx = dx_relation::InstanceIndex::build(&target);
     let (rows, report) = dx_query::explain_run(&plan, &idx);
     println!("# EXPLAIN {} (n = {n})\n", case.workload);
+    println!("## Ground execution over CSol(S)\n");
     println!("{}", report.render());
     println!(
         "\n{} result rows over CSol(S) ({} tuples).",
         rows.rows.len(),
         target.tuple_count()
     );
+
+    if matches!(workload, "repa" | "gcwa" | "approx") {
+        // The regime workloads carry nulls (and, for gcwa/approx, open
+        // annotations): the same plan also runs in conditional mode, where
+        // per-node rows bound the per-world row counts instead of equalling
+        // them (guards travel with the tuples).
+        let cinst = dx_ctables::CInstance::from_naive(&target);
+        let (crows, creport) = dx_query::explain_run_conditional(&plan, &cinst);
+        println!("\n## Conditional (c-table) execution over CSol_A(S)\n");
+        println!("{}", creport.render());
+        println!(
+            "\n{} conditional rows ({} nulls in CSol_A(S)).",
+            crows.rows.len(),
+            ann.nulls().len()
+        );
+        explain_regime_sweep(workload, &case, &ann);
+    }
+
+    if dx_obs::trace_enabled() {
+        let events_before_export = dx_obs::trace::len();
+        write_trace("trace.explain.json");
+        println!("({events_before_export} timeline events captured during this EXPLAIN.)");
+    }
+}
+
+/// The regime phase of an EXPLAIN: run the sweep the workload's BENCH rows
+/// actually race (the solver side the per-node plan report cannot see) and
+/// summarize its work — with `DX_TRACE=1` this is what puts the solver-DFS
+/// and union-walk phases on the exported timeline.
+fn explain_regime_sweep(
+    workload: &str,
+    case: &dx_bench::query_workloads::QueryCase,
+    ann: &dx_relation::AnnInstance,
+) {
+    use dx_core::regimes::{self, RegimeBudget};
+    use dx_query::PlanCatalog;
+    use dx_solver::search_rep_a_indexed;
+    use std::collections::BTreeSet;
+
+    match workload {
+        "repa" => {
+            let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+            let consts: BTreeSet<dx_relation::ConstId> =
+                case.query.formula.constants().into_iter().collect();
+            let empty = Tuple::new(Vec::<Value>::new());
+            let out =
+                search_rep_a_indexed(ann, &consts, &SearchBudget::closed_world(), &mut |leaf| {
+                    !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty)
+                });
+            println!(
+                "\n## Rep_A refutation sweep\n\n{} leaves explored, witness found: {} \
+                 (certainly-true query — the sweep must exhaust).",
+                out.leaves,
+                out.witness.is_some()
+            );
+        }
+        "gcwa" => {
+            let out = regimes::gcwa_star_answers(
+                &case.mapping,
+                &case.source,
+                &case.query,
+                &RegimeBudget::unions_of(2),
+            );
+            println!(
+                "\n## GCWA* union walk\n\n{} minimal solutions, {} unions visited, \
+                 {} certain answer(s).",
+                out.minimal_solutions,
+                out.unions,
+                out.answers.len()
+            );
+        }
+        _ => {
+            let sample = SearchBudget {
+                max_leaves: None,
+                ..SearchBudget::bounded(1, 1)
+            };
+            let out = regimes::approx_certain_answers(
+                &case.mapping,
+                &case.source,
+                &case.query,
+                Some(&sample),
+            );
+            println!(
+                "\n## Approximation sweep\n\n{} sampled members, bracket: {} lower / \
+                 {} upper answer(s), tight: {}.",
+                out.leaves,
+                out.lower.len(),
+                out.upper.len(),
+                out.tight
+            );
+        }
+    }
+}
+
+/// One representative, deliberately small slice of every traced subsystem:
+/// the indexed chase over each chase workload (chase-round instants,
+/// fire/insert/merge spans), a compiled query execution (plan spans +
+/// root-row instants), and a `Rep_A` refutation search (solver-DFS depth
+/// milestones, delta-store spans). Used by the `trace` subcommand and the
+/// smoke run's timeline artifact; callers turn the trace gate on first.
+fn run_traced_pipeline() {
+    use dx_bench::chase_workloads::all_cases;
+    use dx_bench::query_workloads::{repa_case, seeded_case};
+    use dx_chase::chase_engine::ChaseOutcome;
+    use dx_chase::{canonical_solution, canonical_solution_with_deps_via};
+    use dx_engine::IndexedChase;
+    use dx_query::PlanCatalog;
+    use dx_solver::search_rep_a_indexed;
+    use std::collections::BTreeSet;
+
+    let n = 16;
+    for case in all_cases(n) {
+        let out = canonical_solution_with_deps_via(
+            &IndexedChase,
+            &case.mapping,
+            &case.deps,
+            &case.source,
+            1_000_000,
+        );
+        assert_eq!(out.outcome, ChaseOutcome::Satisfied, "{}", case.workload);
+    }
+    let case = seeded_case(n);
+    let csol = canonical_solution(&case.mapping, &case.source).rel_part();
+    let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+    let answers = ev.naive_certain_answers(&csol);
+    assert!(!answers.is_empty(), "seeded trace slice must answer");
+    let case = repa_case(n);
+    let csol = canonical_solution(&case.mapping, &case.source);
+    let ev = PlanCatalog::shared().eval_in(&case.query, &case.mapping.target);
+    let consts: BTreeSet<dx_relation::ConstId> =
+        case.query.formula.constants().into_iter().collect();
+    let empty = Tuple::new(Vec::<Value>::new());
+    let out = search_rep_a_indexed(
+        &csol.instance,
+        &consts,
+        &SearchBudget::closed_world(),
+        &mut |leaf| !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty),
+    );
+    assert!(out.witness.is_none(), "repa trace slice stays certain");
+}
+
+/// Drain the trace ring and write it as Chrome `trace_event` JSON — load
+/// the file at `chrome://tracing` or <https://ui.perfetto.dev>.
+fn write_trace(path: &str) {
+    let dropped = dx_obs::trace::dropped();
+    let events = dx_obs::trace::take_events();
+    let json = dx_obs::trace::chrome_trace_json(&events);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let drop_note = if dropped > 0 {
+        format!(" ({dropped} earlier events evicted by the bounded ring)")
+    } else {
+        String::new()
+    };
+    println!(
+        "Chrome trace with {} events{drop_note} written to {path}.",
+        events.len()
+    );
+}
+
+/// One bench record, as parsed back from a `BENCH_*.json` file. Chase
+/// files carry no `stage` field; the parser synthesizes `"chase"` so both
+/// trajectories join on the same `(workload, stage, engine, n)` key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BenchRecord {
+    workload: String,
+    stage: String,
+    engine: String,
+    n: u64,
+    us: u64,
+}
+
+/// Parse a machine-readable BENCH file back into records. The input is the
+/// harness's own hand-rolled JSON (an array of flat objects with optional
+/// nested `"counters"`/`"gauges"` objects), so this is a small depth-aware
+/// scanner, not a general JSON reader — the workspace is dependency-free
+/// by constraint, and machine-written keys/values never contain escapes.
+fn parse_bench_records(src: &str, synth_stage: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' if !in_str => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(rec) = parse_bench_object(&src[start..=i], synth_stage) {
+                        out.push(rec);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// One `{...}` bench row: collect the scalar fields at the row's own
+/// depth, skipping nested objects wholesale.
+fn parse_bench_object(row: &str, synth_stage: &str) -> Option<BenchRecord> {
+    let bytes = row.as_bytes();
+    let mut fields: Vec<(String, String)> = Vec::new();
+    let mut i = 1; // past the opening '{'
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let ks = i + 1;
+        let mut j = ks;
+        while j < bytes.len() && bytes[j] != b'"' {
+            j += 1;
+        }
+        let key = row.get(ks..j)?.to_string();
+        i = j + 1;
+        while i < bytes.len() && bytes[i] != b':' {
+            i += 1;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i] == b' ' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        match bytes[i] {
+            b'{' => {
+                let mut d = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'{' => d += 1,
+                        b'}' => {
+                            d -= 1;
+                            if d == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let vs = i + 1;
+                let mut j = vs;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                fields.push((key, row.get(vs..j)?.to_string()));
+                i = j + 1;
+            }
+            _ => {
+                let vs = i;
+                let mut j = vs;
+                while j < bytes.len() && !matches!(bytes[j], b',' | b'}' | b' ' | b'\n') {
+                    j += 1;
+                }
+                fields.push((key, row.get(vs..j)?.to_string()));
+                i = j;
+            }
+        }
+    }
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+    };
+    Some(BenchRecord {
+        workload: get("workload")?,
+        stage: get("stage").unwrap_or_else(|| synth_stage.to_string()),
+        engine: get("engine")?,
+        n: get("n")?.parse().ok()?,
+        us: get("wall_time_us")?.parse().ok()?,
+    })
+}
+
+/// `experiments -- report [candidate_chase] [candidate_query]`: cross-run
+/// regression analytics. The committed `BENCH_chase.json`/`BENCH_query.json`
+/// trajectories are the baseline; the candidate defaults to the freshest
+/// smoke rows under `target/smoke/`. Rows join on `(workload, stage,
+/// engine, n)`; a matched row regresses when the candidate exceeds
+/// `BENCH_REGRESSION_FACTOR` × baseline (default 5× — the baseline was
+/// recorded on a different machine, so the tolerance is deliberately
+/// generous) and the baseline itself is above
+/// `BENCH_REGRESSION_MIN_BASELINE_US` (default 50 µs — sub-noise rows are
+/// reported but never gate). Baseline rows missing from the candidate *at
+/// sizes the candidate ran* also gate: a recorded series silently dropping
+/// out of the harness is a regression of coverage. Writes
+/// `target/smoke/report.smoke.{md,json}` and exits nonzero on any gate hit.
+fn run_report(chase_cand: &str, query_cand: &str) {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let env_f64 = |key: &str, default: f64| -> f64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let factor = env_f64("BENCH_REGRESSION_FACTOR", 5.0);
+    let floor_us = env_f64("BENCH_REGRESSION_MIN_BASELINE_US", 50.0);
+    let read = |path: &str, role: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!(
+                "read {role} {path}: {e} (run `experiments -- smoke` first \
+                 to produce the default candidate rows)"
+            )
+        })
+    };
+    let mut baseline = parse_bench_records(&read("BENCH_chase.json", "baseline"), "chase");
+    baseline.extend(parse_bench_records(
+        &read("BENCH_query.json", "baseline"),
+        "chase",
+    ));
+    let mut candidate = parse_bench_records(&read(chase_cand, "candidate"), "chase");
+    candidate.extend(parse_bench_records(&read(query_cand, "candidate"), "chase"));
+    assert!(!baseline.is_empty(), "baseline trajectories parse to rows");
+    assert!(!candidate.is_empty(), "candidate rows parse");
+
+    type Key = (String, String, String, u64);
+    let key = |r: &BenchRecord| (r.workload.clone(), r.stage.clone(), r.engine.clone(), r.n);
+    let base_map: BTreeMap<Key, u64> = baseline.iter().map(|r| (key(r), r.us)).collect();
+    let cand_map: BTreeMap<Key, u64> = candidate.iter().map(|r| (key(r), r.us)).collect();
+    let covered_ns: BTreeSet<u64> = candidate.iter().map(|r| r.n).collect();
+
+    struct MatchedRow {
+        key: Key,
+        base_us: u64,
+        cand_us: u64,
+        ratio: f64,
+        gated: bool,
+        regressed: bool,
+    }
+    let mut matched: Vec<MatchedRow> = Vec::new();
+    for (k, &cand_us) in &cand_map {
+        if let Some(&base_us) = base_map.get(k) {
+            let ratio = cand_us as f64 / (base_us as f64).max(1e-9);
+            let gated = base_us as f64 >= floor_us;
+            matched.push(MatchedRow {
+                key: k.clone(),
+                base_us,
+                cand_us,
+                ratio,
+                gated,
+                regressed: gated && ratio > factor,
+            });
+        }
+    }
+    let new_rows: Vec<&Key> = cand_map
+        .keys()
+        .filter(|k| !base_map.contains_key(*k))
+        .collect();
+    let missing_rows: Vec<&Key> = base_map
+        .keys()
+        .filter(|k| !cand_map.contains_key(*k) && covered_ns.contains(&k.3))
+        .collect();
+    let regressions = matched.iter().filter(|m| m.regressed).count();
+    let mut worst: BTreeMap<String, &MatchedRow> = BTreeMap::new();
+    for m in matched.iter().filter(|m| m.gated) {
+        worst
+            .entry(m.key.1.clone())
+            .and_modify(|w| {
+                if m.ratio > w.ratio {
+                    *w = m;
+                }
+            })
+            .or_insert(m);
+    }
+
+    // --- Markdown report. ---
+    let mut md = String::new();
+    md.push_str("# Bench regression report\n\n");
+    md.push_str(&format!(
+        "Baseline: committed `BENCH_chase.json` + `BENCH_query.json`.\n\
+         Candidate: `{chase_cand}` + `{query_cand}`.\n\
+         Gate: candidate ≤ {factor:.2}× baseline (`BENCH_REGRESSION_FACTOR`); \
+         rows with baseline < {floor_us:.0} µs \
+         (`BENCH_REGRESSION_MIN_BASELINE_US`) never gate.\n\n"
+    ));
+    let mut t = Table::new(&[
+        "workload",
+        "stage",
+        "engine",
+        "n",
+        "baseline µs",
+        "candidate µs",
+        "ratio",
+        "status",
+    ]);
+    for m in &matched {
+        t.row(vec![
+            m.key.0.clone(),
+            m.key.1.clone(),
+            m.key.2.clone(),
+            m.key.3.to_string(),
+            m.base_us.to_string(),
+            m.cand_us.to_string(),
+            format!("{:.2}×", m.ratio),
+            if m.regressed {
+                "REGRESSION".to_string()
+            } else if m.gated {
+                "ok".to_string()
+            } else {
+                "sub-noise".to_string()
+            },
+        ]);
+    }
+    md.push_str(&t.render());
+    md.push_str(&format!(
+        "\n{} matched rows, {} regression(s), {} new row(s), {} missing row(s) \
+         at candidate-covered sizes.\n",
+        matched.len(),
+        regressions,
+        new_rows.len(),
+        missing_rows.len()
+    ));
+    if !worst.is_empty() {
+        md.push_str("\n## Worst ratio per stage\n\n");
+        let mut wt = Table::new(&["stage", "workload", "engine", "n", "ratio"]);
+        for (stage, m) in &worst {
+            wt.row(vec![
+                stage.clone(),
+                m.key.0.clone(),
+                m.key.2.clone(),
+                m.key.3.to_string(),
+                format!("{:.2}×", m.ratio),
+            ]);
+        }
+        md.push_str(&wt.render());
+    }
+    let fmt_keys = |keys: &[&Key]| {
+        keys.iter()
+            .map(|k| format!("{}/{}/{} n={}", k.0, k.1, k.2, k.3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !new_rows.is_empty() {
+        md.push_str(&format!(
+            "\nNew rows (no baseline yet): {}.\n",
+            fmt_keys(&new_rows)
+        ));
+    }
+    if !missing_rows.is_empty() {
+        md.push_str(&format!(
+            "\nMISSING rows (recorded series absent from the candidate): {}.\n",
+            fmt_keys(&missing_rows)
+        ));
+    }
+
+    // --- JSON report (hand-rolled, same constraint as everywhere). ---
+    let row_json = |m: &MatchedRow| {
+        format!(
+            "  {{\"workload\": \"{}\", \"stage\": \"{}\", \"engine\": \"{}\", \
+             \"n\": {}, \"baseline_us\": {}, \"candidate_us\": {}, \
+             \"ratio\": {:.4}, \"status\": \"{}\"}}",
+            m.key.0,
+            m.key.1,
+            m.key.2,
+            m.key.3,
+            m.base_us,
+            m.cand_us,
+            m.ratio,
+            if m.regressed {
+                "regression"
+            } else if m.gated {
+                "ok"
+            } else {
+                "sub_noise"
+            }
+        )
+    };
+    let key_json = |k: &Key| {
+        format!(
+            "  {{\"workload\": \"{}\", \"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}}}",
+            k.0, k.1, k.2, k.3
+        )
+    };
+    let worst_json = worst
+        .iter()
+        .map(|(stage, m)| {
+            format!(
+                "  \"{stage}\": {{\"workload\": \"{}\", \"engine\": \"{}\", \
+                 \"n\": {}, \"ratio\": {:.4}}}",
+                m.key.0, m.key.2, m.key.3, m.ratio
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n\"factor\": {factor:.2},\n\"min_baseline_us\": {floor_us:.0},\n\
+         \"matched\": {},\n\"regressions\": {},\n\"rows\": [\n{}\n],\n\
+         \"new\": [\n{}\n],\n\"missing\": [\n{}\n],\n\
+         \"worst_per_stage\": {{\n{worst_json}\n}}\n}}\n",
+        matched.len(),
+        regressions,
+        matched.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+        new_rows
+            .iter()
+            .map(|k| key_json(k))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        missing_rows
+            .iter()
+            .map(|k| key_json(k))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+
+    std::fs::create_dir_all(SMOKE_DIR).unwrap_or_else(|e| panic!("create {SMOKE_DIR}: {e}"));
+    let md_path = format!("{SMOKE_DIR}/report.smoke.md");
+    let json_path = format!("{SMOKE_DIR}/report.smoke.json");
+    std::fs::write(&md_path, &md).unwrap_or_else(|e| panic!("write {md_path}: {e}"));
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!("{md}");
+    println!("Report written to {md_path} and {json_path}.");
+    if regressions > 0 || !missing_rows.is_empty() {
+        eprintln!(
+            "REGRESSION GATE: {regressions} regression(s), {} missing row(s) — \
+             see {md_path}.",
+            missing_rows.len()
+        );
+        std::process::exit(1);
+    }
+    println!("Regression gate: clean.");
 }
 
 /// Write the combined E16 + E17 rows to `path` (`BENCH_query.json` on full
@@ -835,7 +1483,7 @@ fn e15_chase_engines(ns: &[usize], json_path: Option<&str>, smoke: bool) {
                 times.push(best);
                 records.push(format!(
                     "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"n\": {}, \
-                     \"wall_time_us\": {}, \"steps\": {}, \"tuples\": {}{}}}",
+                     \"wall_time_us\": {}, \"steps\": {}, \"tuples\": {}{}{}}}",
                     case.workload,
                     name,
                     n,
@@ -843,6 +1491,7 @@ fn e15_chase_engines(ns: &[usize], json_path: Option<&str>, smoke: bool) {
                     out.steps,
                     tuples,
                     counters_field(&diff, CHASE_COUNTERS),
+                    gauges_field(&diff, CHASE_GAUGES),
                 ));
             }
             if smoke {
@@ -956,7 +1605,11 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     n,
                     best.as_micros(),
                     0,
-                    &counters_field(&diff, QUERY_COUNTERS),
+                    &format!(
+                        "{}{}",
+                        counters_field(&diff, QUERY_COUNTERS),
+                        gauges_field(&diff, QUERY_GAUGES)
+                    ),
                 );
             }
             // The engines must agree exactly (differential guarantee).
@@ -1004,7 +1657,11 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     n,
                     best.as_micros(),
                     rows,
-                    &counters_field(&diff, QUERY_COUNTERS),
+                    &format!(
+                        "{}{}",
+                        counters_field(&diff, QUERY_COUNTERS),
+                        gauges_field(&diff, QUERY_GAUGES)
+                    ),
                 );
             }
             assert_eq!(
@@ -1095,7 +1752,11 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 rows,
-                &counters_field(&diff, QUERY_COUNTERS),
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, QUERY_COUNTERS),
+                    gauges_field(&diff, QUERY_GAUGES)
+                ),
             );
         }
         assert_eq!(
@@ -1181,7 +1842,11 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 out.leaves as usize,
-                &counters_field(&diff, SOLVER_COUNTERS),
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, SOLVER_COUNTERS),
+                    gauges_field(&diff, SOLVER_GAUGES)
+                ),
             );
             diffs.push(diff);
         }
@@ -1315,7 +1980,11 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 unions as usize,
-                &counters_field(&diff, UNION_COUNTERS),
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, UNION_COUNTERS),
+                    gauges_field(&diff, SOLVER_GAUGES)
+                ),
             );
             diffs.push(diff);
         }
@@ -1438,7 +2107,11 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 n,
                 best.as_micros(),
                 lv as usize,
-                &counters_field(&diff, SOLVER_COUNTERS),
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, SOLVER_COUNTERS),
+                    gauges_field(&diff, SOLVER_GAUGES)
+                ),
             );
         }
         assert_eq!(uppers[0], uppers[1], "approx n={n}: engines disagree");

@@ -28,7 +28,11 @@
 //!
 //! Work metrics (`DX_OBS=1`): `engine.chase.triggers_discovered` /
 //! `.triggers_fired` / `.tuples_inserted` / `.index_probes` / `.merges`
-//! counters, plus `engine.chase` / `engine.chase.trigger_discovery` spans.
+//! counters, plus `engine.chase` / `engine.chase.trigger_discovery` /
+//! `.fire` / `.insert` / `.merge` spans. With `DX_TRACE=1` every span
+//! also lands on the timeline, and each dequeued delta emits an
+//! `engine.chase.round` instant carrying the queue depth and step count
+//! — the per-round phase structure the Chrome trace viewer nests.
 
 use crate::store::{IndexedInstance, Inserted};
 use dx_chase::chase_engine::{ChaseOutcome, ChaseResult};
@@ -88,6 +92,11 @@ pub fn indexed_chase(
     let mut steps = 0usize;
 
     'queue: while let Some(seed) = queue.pop_front() {
+        dx_obs::trace_instant!(
+            "engine.chase.round",
+            "queue_depth" = queue.len(),
+            "steps" = steps
+        );
         let Some((seed_rel, seed_at)) = idx.get(seed) else {
             continue; // retracted by an earlier merge
         };
@@ -170,8 +179,19 @@ pub fn indexed_chase(
         }
     }
 
+    let instance = idx.to_ann();
+    dx_obs::mem::publish_all(&[
+        (
+            dx_obs::mem::names::INSTANCE_TUPLES,
+            instance.tuple_count() as u64,
+        ),
+        (
+            dx_obs::mem::names::INSTANCE_NULLS,
+            instance.nulls().len() as u64,
+        ),
+    ]);
     ChaseResult {
-        instance: idx.to_ann(),
+        instance,
         steps,
         outcome: ChaseOutcome::Satisfied,
     }
@@ -325,11 +345,13 @@ fn apply_tgd(
     gen: &mut NullGen,
     queue: &mut VecDeque<TupleId>,
 ) {
+    let _span = dx_obs::span!("engine.chase.fire");
     dx_obs::count!("engine.chase.triggers_fired");
     let mut env = asg.clone();
     for z in tgd.existential_vars() {
         env.insert(z, Value::Null(gen.fresh()));
     }
+    let _insert_span = dx_obs::span!("engine.chase.insert");
     for atom in &tgd.head {
         let vals: Vec<Value> = atom
             .args
@@ -354,6 +376,7 @@ fn apply_tgd(
 /// id a rewrite collided into (a collision target participates in new joins
 /// through the merged value, so it must be re-examined).
 fn merge(idx: &mut IndexedInstance, l: Value, r: Value, queue: &mut VecDeque<TupleId>) {
+    let _span = dx_obs::span!("engine.chase.merge");
     dx_obs::count!("engine.chase.triggers_fired");
     dx_obs::count!("engine.chase.merges");
     let (null, target) = match (l, r) {

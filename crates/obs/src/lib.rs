@@ -2,27 +2,36 @@
 //!
 //! A hand-rolled, dependency-free instrumentation layer (the build
 //! environment is air-gapped, so the `tracing` ecosystem is off the
-//! table). Three pieces:
+//! table). Five pieces:
 //!
-//! * a process-wide [`MetricsRegistry`] of named monotonic counters and
-//!   duration histograms behind cheap atomic sinks, with JSON
-//!   snapshot/diff export ([`snapshot`], [`MetricsSnapshot::diff_since`]);
+//! * a process-wide [`MetricsRegistry`] of named monotonic counters,
+//!   last-value gauges and duration histograms behind cheap atomic
+//!   sinks, with JSON snapshot/diff export ([`snapshot`],
+//!   [`MetricsSnapshot::diff_since`]);
 //! * lightweight RAII spans ([`span!`]) that aggregate per-phase wall
 //!   time (count / total / max / log₂ histogram) and nest — timings are
 //!   **inclusive**, hierarchy is conveyed by dotted names
 //!   (`engine.chase` ⊃ `engine.chase.step` ⊃ `query.exec`);
+//! * timeline tracing ([`trace`]): the same `span!` sites feed a
+//!   bounded in-memory event ring buffer when the separate `DX_TRACE`
+//!   gate is on, plus [`trace_instant!`] point milestones — exportable
+//!   as Chrome `trace_event` JSON (Perfetto) or a plain-text timeline;
+//! * memory accounting ([`mem`]): the standard gauge vocabulary for
+//!   instance / delta-index / plan-catalog footprints;
 //! * a generic [`Explain`] report tree that downstream crates annotate
 //!   with per-node work counts (dx-query renders compiled `Plan`s into
 //!   it — see `dx_query::explain`).
 //!
 //! ## Zero cost when disabled
 //!
-//! Instrumentation is gated by the `DX_OBS` environment variable (unset,
-//! empty, or `0` ⇒ disabled) or an explicit [`set_enabled`] call. The
-//! [`count!`] and [`span!`] macros compile to a single relaxed atomic
-//! load on the disabled path — no clock reads, no registry access, no
-//! allocation. [`snapshot`] returns an empty snapshot while disabled, so
-//! consumers that serialize metrics write nothing.
+//! Aggregation is gated by the `DX_OBS` environment variable (unset,
+//! empty, or `0` ⇒ disabled) or an explicit [`set_enabled`] call;
+//! timelines by `DX_TRACE` / [`set_trace_enabled`]. Both gates share
+//! one atomic flag word, so the [`count!`], [`gauge!`], [`span!`] and
+//! [`trace_instant!`] macros compile to a single relaxed atomic load on
+//! the fully-disabled path — no clock reads, no registry access, no
+//! allocation. [`snapshot`] returns an empty snapshot while disabled,
+//! so consumers that serialize metrics write nothing.
 //!
 //! Counter *handles* ([`Counter`]) are deliberately **not** gated: a
 //! direct `handle.add(1)` always records. That is what lets always-on
@@ -39,46 +48,95 @@
 #![warn(missing_docs)]
 
 mod explain;
+pub mod mem;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use explain::{Explain, ExplainNode};
 pub use registry::{
-    registry, snapshot, Counter, CounterSite, MetricsRegistry, MetricsSnapshot, SpanSnapshot,
+    registry, snapshot, Counter, CounterSite, Gauge, GaugeSite, MetricsRegistry, MetricsSnapshot,
+    SpanSnapshot,
 };
 pub use span::{span_depth, SpanGuard, SpanSite, SpanStat};
+pub use trace::{TraceEvent, TracePhase};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Once;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit in [`flags`] for the `DX_OBS` aggregate gate.
+pub(crate) const FLAG_OBS: u8 = 1;
+/// Bit in [`flags`] for the `DX_TRACE` timeline gate.
+pub(crate) const FLAG_TRACE: u8 = 2;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
 static ENV_INIT: Once = Once::new();
+
+fn env_on(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    }
+}
 
 fn init_from_env() {
     ENV_INIT.call_once(|| {
-        let on = match std::env::var("DX_OBS") {
-            Ok(v) => !(v.is_empty() || v == "0"),
-            Err(_) => false,
-        };
-        ENABLED.store(on, Ordering::Relaxed);
+        let mut f = 0;
+        if env_on("DX_OBS") {
+            f |= FLAG_OBS;
+        }
+        if env_on("DX_TRACE") {
+            f |= FLAG_TRACE;
+        }
+        FLAGS.store(f, Ordering::Relaxed);
     });
 }
 
-/// Is instrumentation live? One `Once` check plus one relaxed load —
-/// this is the *entire* cost of a [`count!`]/[`span!`] site when
-/// disabled.
+/// Both gate bits in one relaxed load — the shared fast path for sites
+/// that serve aggregation *and* tracing (`span!`). With both gates off
+/// an instrumented site costs exactly this one load.
 #[inline]
-pub fn enabled() -> bool {
+pub(crate) fn flags() -> u8 {
     init_from_env();
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed)
 }
 
-/// Force instrumentation on/off, overriding the `DX_OBS` environment
-/// toggle (the bench harness's smoke mode enables explicitly so the
-/// work-identity gates always run).
+/// Is aggregate instrumentation (`DX_OBS`) live? One `Once` check plus
+/// one relaxed load — this is the *entire* cost of a [`count!`]/
+/// [`span!`] site when disabled.
+#[inline]
+pub fn enabled() -> bool {
+    flags() & FLAG_OBS != 0
+}
+
+/// Is timeline tracing (`DX_TRACE`) live? Same single-relaxed-load cost
+/// as [`enabled`] — both gates share one flag word.
+#[inline]
+pub fn trace_enabled() -> bool {
+    flags() & FLAG_TRACE != 0
+}
+
+/// Force aggregate instrumentation on/off, overriding the `DX_OBS`
+/// environment toggle (the bench harness's smoke mode enables
+/// explicitly so the work-identity gates always run).
 pub fn set_enabled(on: bool) {
     init_from_env();
-    ENABLED.store(on, Ordering::Relaxed);
+    if on {
+        FLAGS.fetch_or(FLAG_OBS, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!FLAG_OBS, Ordering::Relaxed);
+    }
+}
+
+/// Force timeline tracing on/off, overriding the `DX_TRACE` environment
+/// toggle.
+pub fn set_trace_enabled(on: bool) {
+    init_from_env();
+    if on {
+        FLAGS.fetch_or(FLAG_TRACE, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!FLAG_TRACE, Ordering::Relaxed);
+    }
 }
 
 /// Bump a named monotonic counter. Usage:
@@ -116,14 +174,59 @@ macro_rules! count {
 ///
 /// Spans nest freely (a thread-local depth is maintained — see
 /// [`span_depth`]); each records its **inclusive** elapsed time into the
-/// registry's duration histogram for that name. Disabled ⇒ no clock
-/// read, nothing recorded.
+/// registry's duration histogram for that name. With the `DX_TRACE`
+/// gate on, the same guard also emits begin/end events into the
+/// [`trace`] ring buffer. Both gates disabled ⇒ one relaxed load, no
+/// clock read, nothing recorded.
 #[macro_export]
 macro_rules! span {
     ($name:literal) => {{
         static SITE: $crate::SpanSite = $crate::SpanSite::new($name);
         $crate::SpanGuard::enter(&SITE)
     }};
+}
+
+/// Set a named last-value gauge (see [`Gauge`]). Usage:
+///
+/// ```
+/// dx_obs::gauge!("doc.example.live_widgets", 42u64);
+/// ```
+///
+/// Gated like [`count!`]: a single relaxed load when `DX_OBS` is off.
+/// Gauges report the **latest** reading in snapshots and diffs — they
+/// are for sizes, not work totals.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $v:expr) => {
+        if $crate::enabled() {
+            static SITE: $crate::GaugeSite = $crate::GaugeSite::new($name);
+            SITE.set($v as u64);
+        }
+    };
+}
+
+/// Emit an instant milestone into the [`trace`] ring buffer with an
+/// optional static-key argument list:
+///
+/// ```
+/// dx_obs::trace_instant!("doc.example.milestone");
+/// dx_obs::trace_instant!("doc.example.depth_mark", "depth" = 3u32, "fanout" = 8u32);
+/// ```
+///
+/// Gated on `DX_TRACE` alone — a single relaxed load when tracing is
+/// off, regardless of the `DX_OBS` setting.
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:literal) => {
+        if $crate::trace_enabled() {
+            $crate::trace::instant($name, &[]);
+        }
+    };
+    ($name:literal, $($k:literal = $v:expr),+ $(,)?) => {
+        if $crate::trace_enabled() {
+            $crate::trace::instant($name, &[$(($k, $v as u64)),+]);
+        }
+    };
 }
 
 /// Escape a string for embedding in a JSON document (used by the
@@ -157,14 +260,166 @@ mod tests {
     fn disabled_mode_is_a_no_op() {
         let _g = GUARD.lock().unwrap();
         set_enabled(false);
+        set_trace_enabled(false);
+        trace::clear();
         count!("obs.test.disabled_counter", 5);
+        gauge!("obs.test.disabled_gauge", 9);
+        trace_instant!("obs.test.disabled_instant", "k" = 1u64);
         {
             let _s = span!("obs.test.disabled_span");
         }
         let snap = snapshot();
         assert!(snap.is_empty(), "disabled snapshot must be empty: {snap:?}");
         assert_eq!(snap.counter("obs.test.disabled_counter"), 0);
-        assert_eq!(snap.to_json(), "{\"counters\": {}, \"spans\": {}}");
+        assert_eq!(snap.gauge("obs.test.disabled_gauge"), 0);
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\": {}, \"gauges\": {}, \"spans\": {}}"
+        );
+        assert_eq!(
+            trace::len(),
+            0,
+            "disabled trace sites must not buffer events"
+        );
+    }
+
+    #[test]
+    fn trace_gate_buffers_span_and_instant_events() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(false); // timelines alone — no aggregation
+        set_trace_enabled(true);
+        trace::clear();
+        {
+            let _s = span!("obs.test.traced_phase");
+            assert_eq!(span_depth(), 0, "DX_OBS off ⇒ no aggregate depth");
+            trace_instant!("obs.test.traced_mark", "depth" = 2u32);
+        }
+        set_trace_enabled(false);
+        let evs = trace::take_events();
+        let phases: Vec<(TracePhase, &str)> = evs
+            .iter()
+            .filter(|e| e.name.starts_with("obs.test.traced"))
+            .map(|e| (e.phase, e.name))
+            .collect();
+        assert_eq!(
+            phases,
+            vec![
+                (TracePhase::Begin, "obs.test.traced_phase"),
+                (TracePhase::Instant, "obs.test.traced_mark"),
+                (TracePhase::End, "obs.test.traced_phase"),
+            ]
+        );
+        let mark = evs
+            .iter()
+            .find(|e| e.name == "obs.test.traced_mark")
+            .unwrap();
+        assert_eq!(mark.args, vec![("depth", 2u64)]);
+        assert!(
+            snapshot().is_empty(),
+            "DX_TRACE alone must not populate the aggregate registry"
+        );
+        let json = trace::chrome_trace_json(&evs);
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_counts_drops() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(false);
+        set_trace_enabled(true);
+        trace::clear();
+        trace::set_capacity(4);
+        for _ in 0..10 {
+            trace_instant!("obs.test.cap");
+        }
+        assert_eq!(trace::len(), 4, "ring holds at most its capacity");
+        assert_eq!(trace::dropped(), 6, "evictions are counted");
+        let evs = trace::take_events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(trace::dropped(), 0, "take_events resets the counter");
+        trace::set_capacity(trace::DEFAULT_CAPACITY);
+        set_trace_enabled(false);
+    }
+
+    #[test]
+    fn span_guard_panic_leaves_depth_balanced_and_trace_usable() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        set_trace_enabled(true);
+        trace::clear();
+        let unwound = std::panic::catch_unwind(|| {
+            let _outer = span!("obs.test.panic_outer");
+            let _inner = span!("obs.test.panic_inner");
+            panic!("unwind through two live spans");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(
+            span_depth(),
+            0,
+            "unwinding drops must rebalance the span depth"
+        );
+        // The buffer stays usable: both spans closed during unwind, and
+        // new events still land.
+        trace_instant!("obs.test.panic_after");
+        set_trace_enabled(false);
+        set_enabled(false);
+        let evs = trace::take_events();
+        let ends = evs
+            .iter()
+            .filter(|e| e.phase == TracePhase::End && e.name.starts_with("obs.test.panic_"))
+            .count();
+        assert_eq!(ends, 2, "both spans emitted End during unwind: {evs:?}");
+        assert!(
+            evs.iter().any(|e| e.name == "obs.test.panic_after"),
+            "trace buffer must not be poisoned by the panic"
+        );
+    }
+
+    #[test]
+    fn diff_since_keeps_later_only_sites() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot();
+        // These sites did not exist when `before` was taken — a fresh
+        // site registered mid-window must survive the diff.
+        count!("obs.test.later_only_counter", 4);
+        {
+            let _s = span!("obs.test.later_only_span");
+        }
+        let diff = snapshot().diff_since(&before);
+        assert_eq!(diff.counter("obs.test.later_only_counter"), 4);
+        let span = diff
+            .spans
+            .get("obs.test.later_only_span")
+            .expect("later-only span survives diff_since");
+        assert_eq!(span.count, 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn gauges_report_last_value_not_delta() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        gauge!("obs.test.gauge_lv", 100);
+        let before = snapshot();
+        assert_eq!(before.gauge("obs.test.gauge_lv"), 100);
+        gauge!("obs.test.gauge_lv", 40); // shrinks — gauges may go down
+        let after = snapshot();
+        let diff = after.diff_since(&before);
+        assert_eq!(
+            diff.gauge("obs.test.gauge_lv"),
+            40,
+            "diff carries the later reading, not a subtraction"
+        );
+        let json = diff.to_json();
+        assert!(
+            json.contains("\"gauges\": {") && json.contains("\"obs.test.gauge_lv\": 40"),
+            "{json}"
+        );
+        // mem::publish goes through the same registry path.
+        mem::publish(mem::names::INSTANCE_TUPLES, 7);
+        assert_eq!(snapshot().gauge(mem::names::INSTANCE_TUPLES), 7);
+        set_enabled(false);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The process-wide metrics registry: named monotonic counters and
-//! duration histograms, snapshot/diff/JSON export.
+//! The process-wide metrics registry: named monotonic counters, gauges
+//! and duration histograms, snapshot/diff/JSON export.
 
 use crate::span::{SpanStat, HIST_BUCKETS};
 use std::collections::BTreeMap;
@@ -42,6 +42,60 @@ impl Counter {
     }
 }
 
+/// A gauge handle: a last-value cell for quantities that go up *and*
+/// down (live tuples, index slots, catalog entries). Cloning shares the
+/// underlying cell.
+///
+/// Like [`Counter`] handles, gauges are always live — `set` records
+/// unconditionally; the `DX_OBS` gate lives in the [`crate::gauge!`]
+/// macro and in [`snapshot`]. Unlike counters, a gauge diff reports the
+/// **later reading**, not a subtraction — see
+/// [`MetricsSnapshot::diff_since`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere — a plain shared atomic.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the reading.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-call-site cache used by [`crate::gauge!`]: resolves the registry
+/// gauge once, then every hit is a single atomic store.
+pub struct GaugeSite {
+    name: &'static str,
+    cell: OnceLock<Gauge>,
+}
+
+impl GaugeSite {
+    /// Construct (const, for statics inside the macro expansion).
+    pub const fn new(name: &'static str) -> Self {
+        GaugeSite {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Set the registered gauge, registering on first use.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.get_or_init(|| registry().gauge(self.name)).set(v);
+    }
+}
+
 /// Per-call-site cache used by [`crate::count!`]: resolves the registry
 /// counter once, then every hit is a single atomic add.
 pub struct CounterSite {
@@ -72,6 +126,7 @@ impl CounterSite {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
     spans: Mutex<BTreeMap<&'static str, SpanStat>>,
 }
 
@@ -87,6 +142,11 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges.lock().unwrap().entry(name).or_default().clone()
+    }
+
     /// The named duration histogram, created on first use.
     pub fn span_stat(&self, name: &'static str) -> SpanStat {
         self.spans.lock().unwrap().entry(name).or_default().clone()
@@ -98,6 +158,13 @@ impl MetricsRegistry {
         MetricsSnapshot {
             counters: self
                 .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
                 .lock()
                 .unwrap()
                 .iter()
@@ -151,6 +218,8 @@ pub struct SpanSnapshot {
 pub struct MetricsSnapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last reading.
+    pub gauges: BTreeMap<String, u64>,
     /// Span name → duration aggregate.
     pub spans: BTreeMap<String, SpanSnapshot>,
 }
@@ -158,7 +227,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// No metrics at all?
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.spans.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
     }
 
     /// The named counter's value (0 when absent).
@@ -166,10 +235,18 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The named gauge's reading (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// The metrics accumulated *since* `earlier`: counters and span
     /// count/total subtract (saturating); `max_ns` keeps the later
     /// reading (a maximum cannot be un-observed). Zero-valued counters
     /// are kept so "touched but idle" is distinguishable from "absent".
+    /// Gauges are **last-value**, not monotonic — the diff carries the
+    /// later reading unchanged (a window over a gauge answers "how big
+    /// was it at the end", not "how much did it grow").
     pub fn diff_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
@@ -177,6 +254,7 @@ impl MetricsSnapshot {
                 .iter()
                 .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
                 .collect(),
+            gauges: self.gauges.clone(),
             spans: self
                 .spans
                 .iter()
@@ -200,11 +278,19 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Serialize as a two-key JSON object:
-    /// `{"counters": {name: value, ...}, "spans": {name: {...}, ...}}`.
+    /// Serialize as a three-key JSON object:
+    /// `{"counters": {name: value, ...}, "gauges": {name: value, ...},
+    /// "spans": {name: {...}, ...}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\": {");
         for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", crate::json_escape(k), v));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }

@@ -85,25 +85,45 @@ pub fn span_depth() -> u32 {
 }
 
 /// The RAII guard returned by [`crate::span!`]. Records the inclusive
-/// elapsed time into the site's [`SpanStat`] on drop; a guard opened
-/// while instrumentation is disabled holds nothing and drops for free.
+/// elapsed time into the site's [`SpanStat`] on drop (when `DX_OBS` is
+/// on) and emits begin/end events into the [`crate::trace`] ring
+/// buffer (when `DX_TRACE` is on); a guard opened with both gates off
+/// holds nothing and drops for free.
+///
+/// The drop runs during unwinding too, so a panic inside a span still
+/// balances [`span_depth`] and closes the trace event.
 #[must_use = "a span records on drop — bind it to a local (`let _span = ...`)"]
 pub struct SpanGuard {
     live: Option<(&'static SpanSite, Instant)>,
+    traced: Option<&'static SpanSite>,
 }
 
 impl SpanGuard {
     /// Open a span against a call-site cache (the [`crate::span!`]
-    /// expansion). No clock read when disabled.
+    /// expansion). One relaxed load, no clock read, when both gates are
+    /// disabled.
     #[inline]
     pub fn enter(site: &'static SpanSite) -> Self {
-        if !crate::enabled() {
-            return SpanGuard { live: None };
+        let flags = crate::flags();
+        if flags == 0 {
+            return SpanGuard {
+                live: None,
+                traced: None,
+            };
         }
-        DEPTH.with(|d| d.set(d.get() + 1));
-        SpanGuard {
-            live: Some((site, Instant::now())),
-        }
+        let traced = if flags & crate::FLAG_TRACE != 0 {
+            crate::trace::emit_begin(site.name);
+            Some(site)
+        } else {
+            None
+        };
+        let live = if flags & crate::FLAG_OBS != 0 {
+            DEPTH.with(|d| d.set(d.get() + 1));
+            Some((site, Instant::now()))
+        } else {
+            None
+        };
+        SpanGuard { live, traced }
     }
 }
 
@@ -112,6 +132,9 @@ impl Drop for SpanGuard {
         if let Some((site, start)) = self.live.take() {
             site.stat().record(start.elapsed());
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+        if let Some(site) = self.traced.take() {
+            crate::trace::emit_end(site.name);
         }
     }
 }

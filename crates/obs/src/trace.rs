@@ -1,0 +1,337 @@
+//! `DX_TRACE` timeline tracing: a bounded in-memory event ring buffer
+//! fed by the [`crate::span!`] machinery (begin/end pairs) and by
+//! explicit [`crate::trace_instant!`] milestones, exportable as Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` / Perfetto) or as
+//! a plain-text per-thread phase timeline.
+//!
+//! ## Gate
+//!
+//! Tracing has its own toggle — the `DX_TRACE` environment variable or
+//! [`crate::set_trace_enabled`] — independent of the `DX_OBS` aggregate
+//! gate. Both gates share one atomic flag word, so an instrumented site
+//! with *both* off still costs exactly one relaxed load (see
+//! `crate::flags`). Aggregation without timelines (`DX_OBS=1` alone)
+//! stays allocation-free; timelines without aggregation (`DX_TRACE=1`
+//! alone) skip the clock-read/histogram path entirely.
+//!
+//! ## Event model
+//!
+//! Three phases, mirroring the Chrome `trace_event` duration model:
+//!
+//! * **Begin**/**End** — emitted by [`crate::SpanGuard`] on enter/drop
+//!   for every `span!` site, carrying the span's static name;
+//! * **Instant** — point milestones ([`crate::trace_instant!`]) with a
+//!   small list of `(static key, u64)` arguments, e.g. solver DFS depth
+//!   marks or chase-round boundaries.
+//!
+//! Timestamps are microseconds from a process-wide monotonic base;
+//! thread ids are small dense integers assigned on first emission.
+//!
+//! ## Bounding
+//!
+//! The buffer is a ring of at most [`set_capacity`]-many events (default
+//! [`DEFAULT_CAPACITY`]); when full, the *oldest* events are dropped
+//! and counted in [`dropped`], so a long run keeps its most recent
+//! window rather than aborting or growing without bound. The buffer
+//! lock is only ever touched with the gate on — and is taken with
+//! poison-recovery, so a panic unwinding through a span cannot wedge
+//! later tracing (see the `catch_unwind` regression test).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Default ring-buffer capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Which kind of timeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened (`ph: "B"` in Chrome trace format).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point milestone (`ph: "i"`, thread-scoped).
+    Instant,
+}
+
+/// One timeline event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Begin / End / Instant.
+    pub phase: TracePhase,
+    /// The span or milestone name (static — no per-event allocation
+    /// for the name itself).
+    pub name: &'static str,
+    /// Microseconds since the process-wide monotonic base.
+    pub ts_us: u64,
+    /// Dense per-thread id (assigned on the thread's first event).
+    pub tid: u64,
+    /// Small static-key argument list (empty for span begin/end).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+}
+
+fn ring() -> MutexGuard<'static, Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    // Poison-recovery: a panic unwinding while the lock is held (the
+    // SpanGuard drop emits the End event during unwind) must not wedge
+    // every later trace emission.
+    RING.get_or_init(|| Mutex::new(Ring::default()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn base() -> Instant {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    *BASE.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-wide monotonic trace epoch.
+pub fn now_us() -> u64 {
+    u64::try_from(base().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// This thread's dense trace id (assigned on first call).
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+fn push(phase: TracePhase, name: &'static str, args: Vec<(&'static str, u64)>) {
+    let ev = TraceEvent {
+        phase,
+        name,
+        ts_us: now_us(),
+        tid: thread_id(),
+        args,
+    };
+    let mut r = ring();
+    if r.events.len() >= r.capacity {
+        r.events.pop_front();
+        r.dropped += 1;
+    }
+    r.events.push_back(ev);
+}
+
+/// Record a span-begin event (called by [`crate::SpanGuard::enter`]
+/// after the gate check — callers outside the span machinery should
+/// prefer `span!`).
+#[inline]
+pub fn emit_begin(name: &'static str) {
+    push(TracePhase::Begin, name, Vec::new());
+}
+
+/// Record a span-end event (called by the [`crate::SpanGuard`] drop).
+#[inline]
+pub fn emit_end(name: &'static str) {
+    push(TracePhase::End, name, Vec::new());
+}
+
+/// Record an instant milestone with static-key args. Callers should go
+/// through [`crate::trace_instant!`], which performs the gate check.
+#[inline]
+pub fn instant(name: &'static str, args: &[(&'static str, u64)]) {
+    push(TracePhase::Instant, name, args.to_vec());
+}
+
+/// Resize the ring (trimming oldest events if shrinking below the
+/// current length).
+pub fn set_capacity(capacity: usize) {
+    let mut r = ring();
+    r.capacity = capacity.max(1);
+    while r.events.len() > r.capacity {
+        r.events.pop_front();
+        r.dropped += 1;
+    }
+}
+
+/// Number of buffered events.
+pub fn len() -> usize {
+    ring().events.len()
+}
+
+/// Events evicted because the ring was full (cumulative until
+/// [`clear`]/[`take_events`]).
+pub fn dropped() -> u64 {
+    ring().dropped
+}
+
+/// Drop all buffered events and reset the dropped counter.
+pub fn clear() {
+    let mut r = ring();
+    r.events.clear();
+    r.dropped = 0;
+}
+
+/// Drain the buffer, returning the events in emission order and
+/// resetting the dropped counter.
+pub fn take_events() -> Vec<TraceEvent> {
+    let mut r = ring();
+    r.dropped = 0;
+    r.events.drain(..).collect()
+}
+
+/// Serialize events as a Chrome `trace_event` JSON document — an object
+/// with a `traceEvents` array — loadable in `chrome://tracing` and
+/// [Perfetto](https://ui.perfetto.dev). Begin/End events use the
+/// duration phases `B`/`E`; instants use the thread-scoped `i` phase.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = match ev.phase {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ph\": \"{}\", \"ts\": {}, \"pid\": 1, \"tid\": {}",
+            crate::json_escape(ev.name),
+            ph,
+            ev.ts_us,
+            ev.tid
+        ));
+        if ev.phase == TracePhase::Instant {
+            out.push_str(", \"s\": \"t\"");
+        }
+        if !ev.args.is_empty() {
+            out.push_str(", \"args\": {");
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", crate::json_escape(k), v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render events as a plain-text per-thread timeline: one line per
+/// event, indented by that thread's current span nesting depth, with
+/// `>`/`<` markers for begin/end and `*` for instants.
+pub fn text_timeline(events: &[TraceEvent]) -> String {
+    use std::collections::BTreeMap;
+    let mut depth: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut begin_ts: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut out = String::new();
+    for ev in events {
+        let d = depth.entry(ev.tid).or_insert(0);
+        match ev.phase {
+            TracePhase::Begin => {
+                out.push_str(&format!(
+                    "{:>10}µs t{} {}> {}\n",
+                    ev.ts_us,
+                    ev.tid,
+                    "  ".repeat(*d),
+                    ev.name
+                ));
+                begin_ts.entry(ev.tid).or_default().push(ev.ts_us);
+                *d += 1;
+            }
+            TracePhase::End => {
+                *d = d.saturating_sub(1);
+                let took = begin_ts
+                    .get_mut(&ev.tid)
+                    .and_then(Vec::pop)
+                    .map(|b| ev.ts_us.saturating_sub(b));
+                let took = match took {
+                    Some(us) => format!(" ({us} µs)"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{:>10}µs t{} {}< {}{}\n",
+                    ev.ts_us,
+                    ev.tid,
+                    "  ".repeat(*d),
+                    ev.name,
+                    took
+                ));
+            }
+            TracePhase::Instant => {
+                let mut line = format!(
+                    "{:>10}µs t{} {}* {}",
+                    ev.ts_us,
+                    ev.tid,
+                    "  ".repeat(*d),
+                    ev.name
+                );
+                for (k, v) in &ev.args {
+                    line.push_str(&format!(" {k}={v}"));
+                }
+                line.push('\n');
+                out.push_str(&line);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exporters_render_events() {
+        let evs = vec![
+            TraceEvent {
+                phase: TracePhase::Begin,
+                name: "t.a",
+                ts_us: 1,
+                tid: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                phase: TracePhase::Instant,
+                name: "t.mark",
+                ts_us: 2,
+                tid: 1,
+                args: vec![("depth", 3)],
+            },
+            TraceEvent {
+                phase: TracePhase::End,
+                name: "t.a",
+                ts_us: 5,
+                tid: 1,
+                args: vec![],
+            },
+        ];
+        let json = chrome_trace_json(&evs);
+        assert!(json.contains("\"ph\": \"B\""), "{json}");
+        assert!(json.contains("\"ph\": \"E\""), "{json}");
+        assert!(
+            json.contains("\"ph\": \"i\", \"ts\": 2, \"pid\": 1, \"tid\": 1, \"s\": \"t\""),
+            "{json}"
+        );
+        assert!(json.contains("\"args\": {\"depth\": 3}"), "{json}");
+        let text = text_timeline(&evs);
+        assert!(text.contains("> t.a"), "{text}");
+        assert!(text.contains("* t.mark depth=3"), "{text}");
+        assert!(text.contains("< t.a (4 µs)"), "{text}");
+    }
+}

@@ -58,6 +58,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub struct CatalogStats {
     /// Number of cached entries (all kinds).
     pub entries: usize,
+    /// Estimated resident bytes of the cached entries (struct + compiled
+    /// artifact shells per entry kind — an order-of-magnitude gauge for
+    /// `mem.catalog.est_bytes`, not an allocator audit).
+    pub est_bytes: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that compiled.
@@ -120,6 +124,21 @@ impl Inner {
         self.queries.values().map(Vec::len).sum::<usize>()
             + self.formulas.values().map(Vec::len).sum::<usize>()
             + self.ras.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Order-of-magnitude resident size: per-entry struct shells plus the
+    /// Arc'd compiled artifact for each entry kind. Deliberately cheap —
+    /// no plan-tree traversal — so it can run on every bench row.
+    fn estimated_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let q = self.queries.values().map(Vec::len).sum::<usize>()
+            * (size_of::<QueryEntry>() + size_of::<QueryEval>());
+        let f = self.formulas.values().map(Vec::len).sum::<usize>()
+            * (size_of::<FormulaEntry>() + size_of::<CompiledQuery>());
+        let r = self.ras.values().map(Vec::len).sum::<usize>()
+            * (size_of::<RaEntry>() + size_of::<CompiledRa>());
+        let rej = self.rejections.len() * size_of::<(LowerReason, u64)>();
+        (q + f + r + rej) as u64
     }
 }
 
@@ -320,8 +339,9 @@ impl PlanCatalog {
     /// last [`PlanCatalog::clear`]).
     pub fn stats(&self) -> CatalogStats {
         let inner = self.inner.lock().expect("catalog lock");
-        CatalogStats {
+        let stats = CatalogStats {
             entries: inner.entries(),
+            est_bytes: inner.estimated_bytes(),
             hits: self.hits.get().saturating_sub(inner.hits_base),
             misses: self.misses.get().saturating_sub(inner.misses_base),
             rejections: inner
@@ -329,7 +349,15 @@ impl PlanCatalog {
                 .iter()
                 .map(|(reason, n)| (*reason, *n))
                 .collect(),
-        }
+        };
+        // Reading the stats refreshes the catalog's footprint gauges, so
+        // snapshots (and bench rows) carry the current entry count and
+        // size estimate (last-value semantics; see `dx_obs::mem`).
+        dx_obs::mem::publish_all(&[
+            (dx_obs::mem::names::CATALOG_ENTRIES, stats.entries as u64),
+            (dx_obs::mem::names::CATALOG_EST_BYTES, stats.est_bytes),
+        ]);
+        stats
     }
 
     /// Drop every entry (counters included). The underlying obs counters
@@ -375,6 +403,12 @@ mod tests {
         assert!(Arc::ptr_eq(&e1, &e2), "same Arc from the cache");
         let stats = cat.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(
+            stats.est_bytes > 0,
+            "a populated catalog reports a nonzero size estimate"
+        );
+        cat.clear();
+        assert_eq!(cat.stats().est_bytes, 0, "cleared catalog holds nothing");
         // Evaluation through the cached entry matches a fresh compile.
         assert_eq!(e1.answers(&inst()), QueryEval::new(&q).answers(&inst()));
     }

@@ -54,10 +54,17 @@ pub fn exec_conditional(plan: &Plan, cinst: &CInstance) -> CRows {
     let _span = dx_obs::span!("query.cexec");
     let rows = cexec_node(plan, cinst);
     dx_obs::count!("query.cexec.rows_emitted", rows.rows.len());
+    dx_obs::trace_instant!("query.cexec.root_done", "rows" = rows.rows.len());
     rows
 }
 
 fn cexec_node(plan: &Plan, cinst: &CInstance) -> CRows {
+    let rows = cexec_node_inner(plan, cinst);
+    crate::explain::trace::note_rows(plan, rows.rows.len());
+    rows
+}
+
+fn cexec_node_inner(plan: &Plan, cinst: &CInstance) -> CRows {
     match plan {
         Plan::Unit => CRows {
             vars: Vec::new(),
@@ -109,7 +116,7 @@ fn cexec_node(plan: &Plan, cinst: &CInstance) -> CRows {
         Plan::SemiJoin { left, right } => filter_join_conditional(left, right, cinst, true),
         Plan::AntiJoin { left, right } => filter_join_conditional(left, right, cinst, false),
         Plan::SeededAntiJoin { left, right, seed } => {
-            seeded_anti_conditional(left, right, seed, cinst)
+            seeded_anti_conditional(plan, left, right, seed, cinst)
         }
         Plan::Select { input, pred } => {
             let rows = cexec_node(input, cinst);
@@ -441,7 +448,13 @@ fn filter_join_conditional(left: &Plan, right: &Plan, cinst: &CInstance, keep: b
 /// receives the standard Imieliński–Lipski blocker condition: the negated
 /// disjunction, over the branch's rows, of "row present ∧ shared variables
 /// equal".
-fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CInstance) -> CRows {
+fn seeded_anti_conditional(
+    node: &Plan,
+    left: &Plan,
+    right: &Plan,
+    seed: &[Var],
+    cinst: &CInstance,
+) -> CRows {
     let l = cexec_node(left, cinst);
     let seed_cols: Vec<usize> = seed
         .iter()
@@ -499,6 +512,7 @@ fn seeded_anti_conditional(left: &Plan, right: &Plan, seed: &[Var], cinst: &CIns
     }
     dx_obs::count!("query.cexec.seed_partitions", branches.len());
     dx_obs::count!("query.cexec.seed_reruns", reruns);
+    crate::explain::trace::note_seed(node, branches.len() as u64, reruns);
     out
 }
 

@@ -59,6 +59,7 @@ pub fn exec(plan: &Plan, store: &dyn QueryStore) -> Rows {
     let _span = dx_obs::span!("query.exec");
     let rows = exec_node(plan, store);
     dx_obs::count!("query.exec.rows_emitted", rows.rows.len());
+    dx_obs::trace_instant!("query.exec.root_done", "rows" = rows.rows.len());
     rows
 }
 

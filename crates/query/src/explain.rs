@@ -11,9 +11,11 @@
 //! than attributed to the pristine branch subtree, whose own counters
 //! stay zero.
 
+use crate::cexec::{exec_conditional, CRows};
 use crate::exec::{exec, Rows};
 use crate::plan::Plan;
 use crate::store::QueryStore;
+use dx_ctables::CInstance;
 use dx_obs::{Explain, ExplainNode};
 use dx_relation::FastMap;
 
@@ -116,6 +118,19 @@ pub fn explain_run(plan: &Plan, store: &dyn QueryStore) -> (Rows, Explain) {
     (rows, annotate(plan, &stats))
 }
 
+/// The conditional-mode counterpart of [`explain_run`]: execute `plan`
+/// over a [`CInstance`] with per-node capture on, returning the guarded
+/// result rows together with the annotated report. Row counts are
+/// *conditional* rows (each present only under its condition), so a
+/// node's `rows` annotation bounds — rather than equals — the rows any
+/// one possible world sees.
+pub fn explain_run_conditional(plan: &Plan, cinst: &CInstance) -> (CRows, Explain) {
+    let guard = trace::CollectorGuard::start();
+    let rows = exec_conditional(plan, cinst);
+    let stats = guard.finish();
+    (rows, annotate(plan, &stats))
+}
+
 fn annotate(plan: &Plan, stats: &FastMap<usize, NodeStats>) -> Explain {
     Explain {
         root: annotate_node(plan, stats),
@@ -180,6 +195,53 @@ mod tests {
         .expect("lowers");
         let (rows, report) = explain_run(&plan, &InstanceIndex::build(&i));
         assert_eq!(rows.rows, vec![vec![Value::c("p1")]]);
+        let text = report.render();
+        assert!(
+            text.contains("partitions=3") && text.contains("reruns=3"),
+            "three distinct authors seed the correlated branch:\n{text}"
+        );
+    }
+
+    #[test]
+    fn conditional_explain_annotates_nodes() {
+        use dx_ctables::CInstance;
+        let mut i = Instance::new();
+        i.insert_names("XcE", &["a", "b"]);
+        i.insert(
+            RelSym::new("XcE"),
+            Tuple::new(vec![Value::c("b"), Value::null(1)]),
+        );
+        let cinst = CInstance::from_naive(&i);
+        let plan = lower_formula(&parse_formula("exists y. XcE(x, y) & XcE(y, z)").unwrap())
+            .expect("lowers");
+        let (rows, report) = explain_run_conditional(&plan, &cinst);
+        assert!(!rows.rows.is_empty(), "conditional rows produced");
+        let text = report.render();
+        assert!(text.contains("rows="), "row counts present:\n{text}");
+        assert!(text.contains("calls="), "call counts present:\n{text}");
+        // The root annotation matches the conditional row count.
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .contains(&format!("rows={}", rows.rows.len())),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn conditional_seeded_node_reports_partitions() {
+        use dx_ctables::CInstance;
+        let mut i = Instance::new();
+        i.insert_names("XcSub", &["p1", "alice"]);
+        i.insert_names("XcSub", &["p2", "bob"]);
+        i.insert_names("XcSub", &["p2", "carol"]);
+        let cinst = CInstance::from_naive(&i);
+        let plan = lower_formula(
+            &parse_formula("exists a. XcSub(p, a) & (forall b. (XcSub(p, b) -> a = b))").unwrap(),
+        )
+        .expect("lowers");
+        let (_, report) = explain_run_conditional(&plan, &cinst);
         let text = report.render();
         assert!(
             text.contains("partitions=3") && text.contains("reruns=3"),

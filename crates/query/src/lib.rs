@@ -63,7 +63,7 @@ pub mod store;
 
 pub use catalog::{CatalogStats, PlanCatalog};
 pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
-pub use explain::explain_run;
+pub use explain::{explain_run, explain_run_conditional};
 pub use lower::{lower_formula, LowerError, LowerReason};
 pub use plan::{Plan, PlanPred, Ref};
 pub use ra::CompiledRa;

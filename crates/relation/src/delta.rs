@@ -182,6 +182,19 @@ impl DeltaRelation {
     }
 }
 
+/// A [`DeltaIndex`] footprint reading (see [`DeltaIndex::mem_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaMemStats {
+    /// Live (distinct) tuples across all relations.
+    pub live_slots: u64,
+    /// Posting-list entries across all per-column maps (= live tuples ×
+    /// arity, summed per relation).
+    pub posting_entries: u64,
+    /// Sum of tuple reference counts (≥ `live_slots`; the excess is
+    /// overlap between un-undone deltas).
+    pub refcount_total: u64,
+}
+
 /// A mutable, incrementally indexed instance (see the module docs).
 #[derive(Default)]
 pub struct DeltaIndex {
@@ -278,6 +291,26 @@ impl DeltaIndex {
     /// [`RelationIndex::selectivity`](crate::index::RelationIndex::selectivity)).
     pub fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize {
         self.rels.get(&rel).map_or(0, |r| r.selectivity(pattern))
+    }
+
+    /// Current footprint of the index, for memory-accounting gauges
+    /// (`mem.delta.*` — see `dx_obs::mem`): live (distinct) tuples
+    /// across all relations, posting-list entries across all per-column
+    /// maps, and the sum of reference counts. All three are O(relations
+    /// + posting lists) reads of maintained state — no tuple scans.
+    pub fn mem_stats(&self) -> DeltaMemStats {
+        let mut stats = DeltaMemStats::default();
+        for r in self.rels.values() {
+            stats.live_slots += r.refs.len() as u64;
+            stats.posting_entries += r
+                .by_col
+                .iter()
+                .flat_map(|col| col.values())
+                .map(|posting| posting.len() as u64)
+                .sum::<u64>();
+            stats.refcount_total += r.refs.values().map(|&(_, count)| count as u64).sum::<u64>();
+        }
+        stats
     }
 
     /// Invoke `f` on every live tuple of `rel` matching `pattern` on all
@@ -576,6 +609,43 @@ mod tests {
             assert_consistent(&delta, &pristine);
             assert_probes_match_fresh(&delta);
         }
+    }
+
+    /// `mem_stats` tracks live slots, postings and refcounts through
+    /// overlapping apply/undo.
+    #[test]
+    fn mem_stats_track_footprint() {
+        let mut delta = DeltaIndex::from_instance(&sample());
+        // 3 live binary tuples: 3 slots, 6 postings, 3 refs.
+        assert_eq!(
+            delta.mem_stats(),
+            DeltaMemStats {
+                live_slots: 3,
+                posting_entries: 6,
+                refcount_total: 3,
+            }
+        );
+        // A refcount bump adds no slot/posting, only a ref.
+        let t = Tuple::from_names(&["a", "x"]);
+        assert!(!delta.insert(rel(), t.clone()));
+        assert_eq!(
+            delta.mem_stats(),
+            DeltaMemStats {
+                live_slots: 3,
+                posting_entries: 6,
+                refcount_total: 4,
+            }
+        );
+        assert!(!delta.remove(rel(), &t));
+        assert!(delta.remove(rel(), &t));
+        assert_eq!(
+            delta.mem_stats(),
+            DeltaMemStats {
+                live_slots: 2,
+                posting_entries: 4,
+                refcount_total: 2,
+            }
+        );
     }
 
     /// Out-of-order removal still works (linear posting scan).

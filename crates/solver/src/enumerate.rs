@@ -298,6 +298,19 @@ pub fn search_rep_a_indexed(
     let mut v = Valuation::new();
     state.valuation_dfs(&nulls, 0, 0, &val_palette, &mut v);
 
+    // Resident footprint of the candidate store once the sweep unwound:
+    // the ground tuples stay, so this gauges what the search keeps alive
+    // between invocations (last-value semantics; see `dx_obs::mem`).
+    let mem = state.delta.mem_stats();
+    dx_obs::mem::publish_all(&[
+        (dx_obs::mem::names::DELTA_LIVE_SLOTS, mem.live_slots),
+        (
+            dx_obs::mem::names::DELTA_POSTING_ENTRIES,
+            mem.posting_entries,
+        ),
+        (dx_obs::mem::names::DELTA_REFCOUNT_TOTAL, mem.refcount_total),
+    ]);
+
     let completeness = if state.witness.is_some() {
         Completeness::Exact // irrelevant when a witness exists
     } else if state.capped || state.pool_truncated {
@@ -459,6 +472,11 @@ pub fn for_each_union(
         count: &mut u64,
     ) -> bool {
         for i in start..privates.len() {
+            dx_obs::trace_instant!(
+                "solver.union.branch",
+                "member" = i,
+                "depth_left" = depth_left
+            );
             dx_obs::count!("solver.union.deltas_applied", privates[i].len());
             for (rel, t) in &privates[i] {
                 delta.insert(*rel, t.clone());
@@ -488,6 +506,17 @@ pub fn for_each_union(
         max_union_size.min(members.len()),
         &mut count,
     );
+    // The walk unwound back to the common base — gauge what the shared
+    // store held throughout (base slots + postings; last-value semantics).
+    let mem = delta.mem_stats();
+    dx_obs::mem::publish_all(&[
+        (dx_obs::mem::names::DELTA_LIVE_SLOTS, mem.live_slots),
+        (
+            dx_obs::mem::names::DELTA_POSTING_ENTRIES,
+            mem.posting_entries,
+        ),
+        (dx_obs::mem::names::DELTA_REFCOUNT_TOTAL, mem.refcount_total),
+    ]);
     count
 }
 
@@ -565,6 +594,7 @@ impl<'a> State<'a> {
             return;
         }
         dx_obs::count!("solver.dfs.nodes");
+        dx_obs::trace_instant!("solver.dfs.depth", "depth" = i, "fresh_used" = fresh_used);
         if i == nulls.len() {
             self.extras_phase(v);
             return;
