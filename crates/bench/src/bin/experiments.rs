@@ -27,9 +27,19 @@
 //! cargo run --release -p dx-bench --bin experiments -- report # cross-run
 //! #   regression analytics: committed BENCH_chase.json/BENCH_query.json as
 //! #   baseline vs the freshest smoke rows as candidate, joined on
-//! #   (workload, stage, engine, n); writes target/smoke/report.smoke.{md,
-//! #   json} and exits nonzero on hard regressions (BENCH_REGRESSION_FACTOR)
+//! #   (workload, stage, engine, n, threads); writes target/smoke/
+//! #   report.smoke.{md,json} and exits nonzero on hard regressions
+//! #   (BENCH_REGRESSION_FACTOR)
 //! ```
+//!
+//! Threads axis (`DX_THREADS`): the engine races and their work-identity
+//! gates pin the work-stealing pool to one worker (the sequential
+//! semantics every counter invariant is stated against); the
+//! `repa`/`gcwa`/`seeded` races then re-run their pool-backed arm at
+//! `threads ∈ {2, 4}`, assert the output bit-identical to the pinned run
+//! (the determinism contract), and emit rows carrying a `"threads"` field
+//! (1 on every other row). Everything outside those races runs at the
+//! ambient width — `DX_THREADS` if set, else the machine's parallelism.
 //!
 //! Observability (`dx-obs`): with `DX_OBS=1` every BENCH row additionally
 //! carries a `"counters"` object of work-metric counters captured from one
@@ -68,6 +78,10 @@ const SMOKE_NS: &[usize] = &[8, 16];
 /// Where the smoke run drops its CI artifacts (records, metrics, trace,
 /// regression report) — under `target/` so the repo root stays clean.
 const SMOKE_DIR: &str = "target/smoke";
+/// The threads bench axis: pool widths the `repa`/`gcwa`/`seeded` races
+/// re-run their pool-backed arm at (beyond the pinned `threads = 1` arm
+/// every row records by default).
+const THREAD_WIDTHS: &[usize] = &[2, 4];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -106,6 +120,11 @@ fn main() {
     }
     if std::env::args().any(|a| a == "query") {
         println!("# oc-exchange query-engine race (E16 + E17 only)\n");
+        println!(
+            "(pool: {} ambient worker(s) via DX_THREADS; engine races pin to 1, \
+             threads axis sweeps {THREAD_WIDTHS:?})\n",
+            rayon::current_num_threads()
+        );
         let mut records = e16_query_engines(QUERY_NS, false);
         records.extend(e17_regimes(QUERY_NS, false));
         write_query_json(&records, "BENCH_query.json");
@@ -122,6 +141,11 @@ fn main() {
         // the run), and E17 cross-checks the regimes against brute-force
         // oracles.
         println!("# oc-exchange bench smoke (E15 + E16 + E17, tiny sizes)\n");
+        println!(
+            "(pool: {} ambient worker(s) via DX_THREADS; engine races pin to 1, \
+             threads axis sweeps {THREAD_WIDTHS:?})\n",
+            rayon::current_num_threads()
+        );
         // Smoke always runs with the metrics layer on: the work-identity
         // gates and the BENCH-row counter/gauge fields depend on it, and
         // the registry snapshot becomes the `metrics.smoke.json` CI
@@ -207,6 +231,49 @@ fn assert_smoke_parity(smoke: bool, what: &str, n: usize, baseline: Duration, fa
         speedup >= floor,
         "{what} n={n}: speedup {speedup:.2}× fell below the smoke parity floor {floor:.2}× \
          (baseline {baseline:?}, fast path {fast:?})"
+    );
+}
+
+/// The threads-axis smoke gate: a pool-backed arm at `threads > 1` must
+/// stay at or above `SMOKE_THREADS_PARITY_FLOOR` × the pinned
+/// (`threads = 1`) arm. The default floor is 0.2× — deliberately looser
+/// than the engine-race floor, because a single-core CI runner cannot
+/// realise any parallel win and pays pure spawn/steal overhead per sweep;
+/// the gate bounds that overhead (≤ 5×) rather than demanding a speedup.
+/// On a multi-core host the same gate passes with headroom, and the
+/// recorded rows carry the honest wall-clock either way. Shares the
+/// sub-noise skip with [`assert_smoke_parity`].
+fn assert_threads_parity(
+    smoke: bool,
+    what: &str,
+    n: usize,
+    threads: usize,
+    pinned: Duration,
+    pooled: Duration,
+) {
+    if !smoke {
+        return;
+    }
+    let env_f64 = |key: &str, default: f64| -> f64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let min_baseline_us = env_f64("SMOKE_PARITY_MIN_BASELINE_US", 25.0);
+    if (pinned.as_secs_f64() * 1e6) < min_baseline_us {
+        println!(
+            "(threads parity gate skipped for {what} n={n} threads={threads}: \
+             pinned arm {pinned:?} below noise floor)"
+        );
+        return;
+    }
+    let floor = env_f64("SMOKE_THREADS_PARITY_FLOOR", 0.2);
+    let ratio = pinned.as_secs_f64() / pooled.as_secs_f64().max(1e-9);
+    assert!(
+        ratio >= floor,
+        "{what} n={n} threads={threads}: pool ratio {ratio:.2}× fell below the threads \
+         parity floor {floor:.2}× (pinned {pinned:?}, pooled {pooled:?})"
     );
 }
 
@@ -360,19 +427,22 @@ fn assert_work_identity(
 
 /// One `BENCH_query.json` row (shared by E16 and E17; `rows` records the
 /// stage's cardinality — answer rows for the evaluation stages, leaf/union/
-/// member counts for the search and regime races; `counters` is the
-/// pre-rendered work-metric field, empty when dx-obs is disabled).
+/// member counts for the search and regime races; `threads` is the pool
+/// width the arm ran at (1 = the pinned sequential semantics); `counters`
+/// is the pre-rendered work-metric field, empty when dx-obs is disabled).
+#[allow(clippy::too_many_arguments)]
 fn query_row(
     workload: &str,
     stage: &str,
     engine: &str,
     n: usize,
+    threads: usize,
     us: u128,
     rows: usize,
     counters: &str,
 ) -> String {
     format!(
-        "  {{\"workload\": \"{workload}\", \"stage\": \"{stage}\",          \"engine\": \"{engine}\", \"n\": {n}, \"wall_time_us\": {us},          \"rows\": {rows}{counters}}}"
+        "  {{\"workload\": \"{workload}\", \"stage\": \"{stage}\",          \"engine\": \"{engine}\", \"n\": {n}, \"threads\": {threads}, \"wall_time_us\": {us},          \"rows\": {rows}{counters}}}"
     )
 }
 
@@ -593,13 +663,17 @@ fn write_trace(path: &str) {
 
 /// One bench record, as parsed back from a `BENCH_*.json` file. Chase
 /// files carry no `stage` field; the parser synthesizes `"chase"` so both
-/// trajectories join on the same `(workload, stage, engine, n)` key.
+/// trajectories join on the same `(workload, stage, engine, n, threads)`
+/// key. Rows recorded before the threads axis existed carry no
+/// `"threads"` field; the parser defaults it to 1 (they were sequential
+/// runs), so old baselines keep joining against new candidates.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct BenchRecord {
     workload: String,
     stage: String,
     engine: String,
     n: u64,
+    threads: u64,
     us: u64,
 }
 
@@ -714,6 +788,7 @@ fn parse_bench_object(row: &str, synth_stage: &str) -> Option<BenchRecord> {
         stage: get("stage").unwrap_or_else(|| synth_stage.to_string()),
         engine: get("engine")?,
         n: get("n")?.parse().ok()?,
+        threads: get("threads").and_then(|v| v.parse().ok()).unwrap_or(1),
         us: get("wall_time_us")?.parse().ok()?,
     })
 }
@@ -722,14 +797,19 @@ fn parse_bench_object(row: &str, synth_stage: &str) -> Option<BenchRecord> {
 /// regression analytics. The committed `BENCH_chase.json`/`BENCH_query.json`
 /// trajectories are the baseline; the candidate defaults to the freshest
 /// smoke rows under `target/smoke/`. Rows join on `(workload, stage,
-/// engine, n)`; a matched row regresses when the candidate exceeds
+/// engine, n, threads)`; a matched row regresses when the candidate exceeds
 /// `BENCH_REGRESSION_FACTOR` × baseline (default 5× — the baseline was
 /// recorded on a different machine, so the tolerance is deliberately
 /// generous) and the baseline itself is above
 /// `BENCH_REGRESSION_MIN_BASELINE_US` (default 50 µs — sub-noise rows are
-/// reported but never gate). Baseline rows missing from the candidate *at
-/// sizes the candidate ran* also gate: a recorded series silently dropping
-/// out of the harness is a regression of coverage. Writes
+/// reported but never gate). Baseline rows missing from the candidate gate
+/// only *at axis values the candidate actually ran* (both the `n` and the
+/// `threads` coordinate): a recorded series silently dropping out of the
+/// harness is a regression of coverage, but a baseline recorded on an axis
+/// the candidate never swept (an old full run's `threads: 4` rows against
+/// a quick sequential candidate, or vice versa) is not. Symmetrically, a
+/// candidate row with no baseline yet — the first run after a new axis
+/// value lands — is reported as a new series, never a failure. Writes
 /// `target/smoke/report.smoke.{md,json}` and exits nonzero on any gate hit.
 fn run_report(chase_cand: &str, query_cand: &str) {
     use std::collections::{BTreeMap, BTreeSet};
@@ -760,11 +840,20 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     assert!(!baseline.is_empty(), "baseline trajectories parse to rows");
     assert!(!candidate.is_empty(), "candidate rows parse");
 
-    type Key = (String, String, String, u64);
-    let key = |r: &BenchRecord| (r.workload.clone(), r.stage.clone(), r.engine.clone(), r.n);
+    type Key = (String, String, String, u64, u64);
+    let key = |r: &BenchRecord| {
+        (
+            r.workload.clone(),
+            r.stage.clone(),
+            r.engine.clone(),
+            r.n,
+            r.threads,
+        )
+    };
     let base_map: BTreeMap<Key, u64> = baseline.iter().map(|r| (key(r), r.us)).collect();
     let cand_map: BTreeMap<Key, u64> = candidate.iter().map(|r| (key(r), r.us)).collect();
     let covered_ns: BTreeSet<u64> = candidate.iter().map(|r| r.n).collect();
+    let covered_threads: BTreeSet<u64> = candidate.iter().map(|r| r.threads).collect();
 
     struct MatchedRow {
         key: Key,
@@ -795,7 +884,11 @@ fn run_report(chase_cand: &str, query_cand: &str) {
         .collect();
     let missing_rows: Vec<&Key> = base_map
         .keys()
-        .filter(|k| !cand_map.contains_key(*k) && covered_ns.contains(&k.3))
+        .filter(|k| {
+            !cand_map.contains_key(*k)
+                && covered_ns.contains(&k.3)
+                && covered_threads.contains(&k.4)
+        })
         .collect();
     let regressions = matched.iter().filter(|m| m.regressed).count();
     let mut worst: BTreeMap<String, &MatchedRow> = BTreeMap::new();
@@ -825,6 +918,7 @@ fn run_report(chase_cand: &str, query_cand: &str) {
         "stage",
         "engine",
         "n",
+        "threads",
         "baseline µs",
         "candidate µs",
         "ratio",
@@ -836,6 +930,7 @@ fn run_report(chase_cand: &str, query_cand: &str) {
             m.key.1.clone(),
             m.key.2.clone(),
             m.key.3.to_string(),
+            m.key.4.to_string(),
             m.base_us.to_string(),
             m.cand_us.to_string(),
             format!("{:.2}×", m.ratio),
@@ -851,7 +946,7 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     md.push_str(&t.render());
     md.push_str(&format!(
         "\n{} matched rows, {} regression(s), {} new row(s), {} missing row(s) \
-         at candidate-covered sizes.\n",
+         at candidate-covered axes (n and threads).\n",
         matched.len(),
         regressions,
         new_rows.len(),
@@ -859,13 +954,14 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     ));
     if !worst.is_empty() {
         md.push_str("\n## Worst ratio per stage\n\n");
-        let mut wt = Table::new(&["stage", "workload", "engine", "n", "ratio"]);
+        let mut wt = Table::new(&["stage", "workload", "engine", "n", "threads", "ratio"]);
         for (stage, m) in &worst {
             wt.row(vec![
                 stage.clone(),
                 m.key.0.clone(),
                 m.key.2.clone(),
                 m.key.3.to_string(),
+                m.key.4.to_string(),
                 format!("{:.2}×", m.ratio),
             ]);
         }
@@ -873,7 +969,7 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     }
     let fmt_keys = |keys: &[&Key]| {
         keys.iter()
-            .map(|k| format!("{}/{}/{} n={}", k.0, k.1, k.2, k.3))
+            .map(|k| format!("{}/{}/{} n={} threads={}", k.0, k.1, k.2, k.3, k.4))
             .collect::<Vec<_>>()
             .join(", ")
     };
@@ -894,12 +990,13 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     let row_json = |m: &MatchedRow| {
         format!(
             "  {{\"workload\": \"{}\", \"stage\": \"{}\", \"engine\": \"{}\", \
-             \"n\": {}, \"baseline_us\": {}, \"candidate_us\": {}, \
+             \"n\": {}, \"threads\": {}, \"baseline_us\": {}, \"candidate_us\": {}, \
              \"ratio\": {:.4}, \"status\": \"{}\"}}",
             m.key.0,
             m.key.1,
             m.key.2,
             m.key.3,
+            m.key.4,
             m.base_us,
             m.cand_us,
             m.ratio,
@@ -914,8 +1011,9 @@ fn run_report(chase_cand: &str, query_cand: &str) {
     };
     let key_json = |k: &Key| {
         format!(
-            "  {{\"workload\": \"{}\", \"stage\": \"{}\", \"engine\": \"{}\", \"n\": {}}}",
-            k.0, k.1, k.2, k.3
+            "  {{\"workload\": \"{}\", \"stage\": \"{}\", \"engine\": \"{}\", \
+             \"n\": {}, \"threads\": {}}}",
+            k.0, k.1, k.2, k.3, k.4
         )
     };
     let worst_json = worst
@@ -923,8 +1021,8 @@ fn run_report(chase_cand: &str, query_cand: &str) {
         .map(|(stage, m)| {
             format!(
                 "  \"{stage}\": {{\"workload\": \"{}\", \"engine\": \"{}\", \
-                 \"n\": {}, \"ratio\": {:.4}}}",
-                m.key.0, m.key.2, m.key.3, m.ratio
+                 \"n\": {}, \"threads\": {}, \"ratio\": {:.4}}}",
+                m.key.0, m.key.2, m.key.3, m.key.4, m.ratio
             )
         })
         .collect::<Vec<_>>()
@@ -1559,6 +1657,12 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
     use std::collections::BTreeSet;
 
     println!("## E16 — query engines: tree-walking vs compiled (dx-query)\n");
+    // The engine races (and smoke's work-identity gates) are stated
+    // against the sequential semantics: pin the pool to one worker for
+    // the baseline arms, then race the work-stealing substrate explicitly
+    // on the threads axis below. Restored to the ambient width
+    // (`DX_THREADS` or the machine) on exit.
+    rayon::set_threads(1);
     let mut t = Table::new(&[
         "workload",
         "n",
@@ -1575,10 +1679,13 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                       stage: &str,
                       engine: &str,
                       n: usize,
+                      threads: usize,
                       us: u128,
                       rows: usize,
                       counters: &str| {
-        records.push(query_row(workload, stage, engine, n, us, rows, counters));
+        records.push(query_row(
+            workload, stage, engine, n, threads, us, rows, counters,
+        ));
     };
     for &n in ns {
         for case in all_query_cases(n) {
@@ -1603,6 +1710,7 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     "csol",
                     name,
                     n,
+                    1,
                     best.as_micros(),
                     0,
                     &format!(
@@ -1655,6 +1763,7 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                     "answers",
                     name,
                     n,
+                    1,
                     best.as_micros(),
                     rows,
                     &format!(
@@ -1714,6 +1823,9 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
         "speedup",
         "rows",
     ]);
+    // The threads bench axis: each pool-backed arm re-run at the widths in
+    // `THREAD_WIDTHS`, raced against its own pinned (threads = 1) time.
+    let mut tt = Table::new(&["stage", "n", "threads", "pinned (1)", "pooled", "ratio"]);
     for &n in ns {
         let case = seeded_case(n);
         let csol = canonical_solution(&case.mapping, &case.source).rel_part();
@@ -1750,6 +1862,7 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 "seeded",
                 name,
                 n,
+                1,
                 best.as_micros(),
                 rows,
                 &format!(
@@ -1765,6 +1878,54 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
         );
         assert!(rows > 0, "seeded n={n}: single-author papers must answer");
         assert_smoke_parity(smoke, "seeded", n, times[0], times[1]);
+        // Threads axis: the compiled arm re-run on the work-stealing pool
+        // (the seeded anti-join partitions its distinct-key branch runs).
+        // Answers must stay bit-identical at every width — the
+        // determinism contract the parallel substrate ships with.
+        for &w in THREAD_WIDTHS {
+            rayon::set_threads(w);
+            let mut best: Option<std::time::Duration> = None;
+            let mut out = None;
+            for _ in 0..3 {
+                let (o, d) = timed(|| compiled.naive_certain_answers(&csol));
+                best = Some(best.map_or(d, |b| b.min(d)));
+                out = Some(o);
+            }
+            let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| compiled.naive_certain_answers(&csol));
+            let out = out.expect("ran");
+            assert_eq!(
+                out, outs[1],
+                "seeded n={n} threads={w}: pooled answers diverged from the pinned run"
+            );
+            record(
+                case.workload,
+                "seeded",
+                "compiled",
+                n,
+                w,
+                best.as_micros(),
+                out.len(),
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, QUERY_COUNTERS),
+                    gauges_field(&diff, QUERY_GAUGES)
+                ),
+            );
+            assert_threads_parity(smoke, "seeded", n, w, times[1], best);
+            tt.row(vec![
+                "seeded".to_string(),
+                n.to_string(),
+                w.to_string(),
+                fmt_duration(times[1]),
+                fmt_duration(best),
+                format!(
+                    "{:.1}×",
+                    times[1].as_secs_f64() / best.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+        rayon::set_threads(1);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         st.row(vec![
             case.workload.to_string(),
@@ -1840,6 +2001,7 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
                 "repa",
                 engine,
                 n,
+                1,
                 best.as_micros(),
                 out.leaves as usize,
                 &format!(
@@ -1858,6 +2020,66 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
         // differs — so every solver.dfs.* counter must agree bit-for-bit.
         assert_work_identity(smoke, "repa", n, SOLVER_COUNTERS, &diffs[0], &diffs[1]);
         assert_smoke_parity(smoke, "repa", n, times[0], times[1]);
+        // Threads axis: the incremental arm re-run on the pool (the
+        // compiled per-leaf plans fan their hash joins out above the row
+        // threshold). The search itself stays sequential, so witness
+        // absence and the leaf count must be identical at every width.
+        for &w in THREAD_WIDTHS {
+            rayon::set_threads(w);
+            let mut best: Option<std::time::Duration> = None;
+            let mut out = None;
+            for _ in 0..3 {
+                let (o, d) = timed(|| {
+                    search_rep_a_indexed(&csol.instance, &consts, &budget, &mut |leaf| {
+                        !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty)
+                    })
+                });
+                best = Some(best.map_or(d, |b| b.min(d)));
+                out = Some(o);
+            }
+            let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| {
+                search_rep_a_indexed(&csol.instance, &consts, &budget, &mut |leaf| {
+                    !ev.holds_on_indexed(leaf.index(), leaf.instance(), &empty)
+                })
+            });
+            let out = out.expect("ran");
+            assert!(
+                out.witness.is_none(),
+                "repa n={n} threads={w}: certainly-true query must not be refuted"
+            );
+            assert_eq!(
+                out.leaves, leaves[1],
+                "repa n={n} threads={w}: leaf count diverged from the pinned run"
+            );
+            record(
+                case.workload,
+                "repa",
+                "incremental",
+                n,
+                w,
+                best.as_micros(),
+                out.leaves as usize,
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, SOLVER_COUNTERS),
+                    gauges_field(&diff, SOLVER_GAUGES)
+                ),
+            );
+            assert_threads_parity(smoke, "repa", n, w, times[1], best);
+            tt.row(vec![
+                "repa".to_string(),
+                n.to_string(),
+                w.to_string(),
+                fmt_duration(times[1]),
+                fmt_duration(best),
+                format!(
+                    "{:.1}×",
+                    times[1].as_secs_f64() / best.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+        rayon::set_threads(1);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         rt.row(vec![
             case.workload.to_string(),
@@ -1870,14 +2092,21 @@ fn e16_query_engines(ns: &[usize], smoke: bool) -> Vec<String> {
     }
     println!("{}", rt.render());
 
+    println!("### Threads axis (pool-backed arms vs their pinned runs)\n");
+    println!("{}", tt.render());
+
     println!(
         "Shape check: parity at small n, compiled advantage growing with n \
          on both stages (the tree walker pays an active-domain scan per \
          negated existential, the plan one anti-join); the Rep_A race pays \
          Θ(n) index rebuilds of Θ(n) tuples per search on the baseline vs \
          O(1) delta work per leaf on the incremental store; results \
-         asserted identical across engines.\n"
+         asserted identical across engines. The threads rows record the \
+         same arms on the work-stealing pool — bit-identical output at \
+         every width; the ratio only exceeds 1× when the host has the \
+         cores to back the width.\n"
     );
+    rayon::set_threads(0);
     records
 }
 
@@ -1899,15 +2128,22 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
     use dx_solver::{for_each_union, minimal_rep_a_members, search_rep_a, search_rep_a_indexed};
 
     println!("## E17 — non-monotonic regimes: GCWA* / approximation (dx-core)\n");
+    // Same pinning discipline as E16: sequential semantics for the engine
+    // races and their union-walk work-identity gates, explicit widths for
+    // the threads axis, ambient width restored on exit.
+    rayon::set_threads(1);
     let mut records: Vec<String> = Vec::new();
     let mut record = |workload: &str,
                       stage: &str,
                       engine: &str,
                       n: usize,
+                      threads: usize,
                       us: u128,
                       rows: usize,
                       counters: &str| {
-        records.push(query_row(workload, stage, engine, n, us, rows, counters));
+        records.push(query_row(
+            workload, stage, engine, n, threads, us, rows, counters,
+        ));
     };
     let empty = Tuple::new(Vec::<Value>::new());
 
@@ -1922,6 +2158,7 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
         "incremental",
         "speedup",
     ]);
+    let mut gtt = Table::new(&["stage", "n", "threads", "pinned (1)", "pooled", "ratio"]);
     for &n in ns {
         let case = gcwa_case(n);
         assert!(case.query.is_boolean(), "gcwa workload is a sentence");
@@ -1978,6 +2215,7 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 "gcwa",
                 engine,
                 n,
+                1,
                 best.as_micros(),
                 unions as usize,
                 &format!(
@@ -2019,6 +2257,56 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
             );
         }
         assert_smoke_parity(smoke, "gcwa", n, times[0], times[1]);
+        // Threads axis: the incremental regime re-run on the pool — the
+        // union retain/refute sweeps chunk the union space across workers
+        // and reconstruct the sequential early-stop semantics, so the
+        // verdict, the minimal-solution count, AND the reported union
+        // count must all be bit-identical to the pinned run.
+        for &w in THREAD_WIDTHS {
+            rayon::set_threads(w);
+            let mut best: Option<std::time::Duration> = None;
+            let mut answer = None;
+            for _ in 0..3 {
+                let (out, d) = timed(|| run("incremental"));
+                best = Some(best.map_or(d, |b| b.min(d)));
+                answer = Some(out);
+            }
+            let best = best.expect("ran");
+            let (_, diff) = captured_counters(|| run("incremental"));
+            let (certain, minimal, unions) = answer.expect("ran");
+            assert_eq!(
+                (certain, minimal, unions),
+                (verdicts[1], stats.0, stats.1),
+                "gcwa n={n} threads={w}: pooled sweep diverged from the pinned run"
+            );
+            record(
+                case.workload,
+                "gcwa",
+                "incremental",
+                n,
+                w,
+                best.as_micros(),
+                unions as usize,
+                &format!(
+                    "{}{}",
+                    counters_field(&diff, UNION_COUNTERS),
+                    gauges_field(&diff, SOLVER_GAUGES)
+                ),
+            );
+            assert_threads_parity(smoke, "gcwa", n, w, times[1], best);
+            gtt.row(vec![
+                "gcwa".to_string(),
+                n.to_string(),
+                w.to_string(),
+                fmt_duration(times[1]),
+                fmt_duration(best),
+                format!(
+                    "{:.1}×",
+                    times[1].as_secs_f64() / best.as_secs_f64().max(1e-9)
+                ),
+            ]);
+        }
+        rayon::set_threads(1);
         let speedup = times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9);
         gt.row(vec![
             case.workload.to_string(),
@@ -2031,6 +2319,9 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
         ]);
     }
     println!("{}", gt.render());
+
+    println!("### Threads axis (GCWA* union sweep on the pool)\n");
+    println!("{}", gtt.render());
 
     // --- Approximation: rebuild-per-member vs the incremental sampler. ---
     let sample = SearchBudget {
@@ -2105,6 +2396,7 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
                 "approx",
                 engine,
                 n,
+                1,
                 best.as_micros(),
                 lv as usize,
                 &format!(
@@ -2161,8 +2453,11 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
          union (O(1) for this family) against a Θ(n) index rebuild per \
          union on the baseline — likewise per sampled member in the \
          approximation sweep; verdicts asserted identical across engines \
-         and against brute-force oracles at the smoke sizes.\n"
+         and against brute-force oracles at the smoke sizes. The threads \
+         rows re-run the incremental regime on the work-stealing pool with \
+         verdict, minimal count, and union count asserted bit-identical.\n"
     );
+    rayon::set_threads(0);
     records
 }
 

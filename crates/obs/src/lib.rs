@@ -375,6 +375,64 @@ mod tests {
         );
     }
 
+    /// Concurrent span guards from a fleet of worker threads keep the
+    /// shared ring consistent: every thread's events form a properly
+    /// nested LIFO Begin/End sequence under its own dense tid, instants
+    /// land at the expected per-thread depth, and each thread's aggregate
+    /// span depth rebalances to zero — regardless of how the threads'
+    /// emissions interleave in the buffer.
+    #[test]
+    fn concurrent_span_guards_keep_pairing_and_depth() {
+        let _g = GUARD.lock().unwrap();
+        set_enabled(true);
+        set_trace_enabled(true);
+        trace::clear();
+        const WORKERS: usize = 8;
+        const ITERS: usize = 40;
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        let _outer = span!("obs.test.cc_outer");
+                        trace_instant!("obs.test.cc_mark", "w" = 1u64);
+                        {
+                            let _inner = span!("obs.test.cc_inner");
+                        }
+                    }
+                    assert_eq!(span_depth(), 0, "worker depth rebalanced");
+                });
+            }
+        });
+        set_trace_enabled(false);
+        set_enabled(false);
+        let events: Vec<TraceEvent> = trace::take_events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("obs.test.cc_"))
+            .collect();
+        assert_eq!(
+            events.len(),
+            WORKERS * ITERS * 5,
+            "2 begins + 2 ends + 1 instant per iteration, none lost"
+        );
+        let mut stacks: std::collections::BTreeMap<u64, Vec<&'static str>> = Default::default();
+        for ev in &events {
+            let stack = stacks.entry(ev.tid).or_default();
+            match ev.phase {
+                TracePhase::Begin => stack.push(ev.name),
+                TracePhase::End => {
+                    assert_eq!(stack.pop(), Some(ev.name), "per-tid LIFO pairing");
+                }
+                TracePhase::Instant => {
+                    assert_eq!(stack.as_slice(), ["obs.test.cc_outer"], "instant depth");
+                }
+            }
+        }
+        assert_eq!(stacks.len(), WORKERS, "one dense tid per worker");
+        for (tid, stack) in &stacks {
+            assert!(stack.is_empty(), "tid {tid} ends at depth 0");
+        }
+    }
+
     #[test]
     fn diff_since_keeps_later_only_sites() {
         let _g = GUARD.lock().unwrap();

@@ -12,9 +12,14 @@
 //!   head, or `RaExpr`) combined with a **schema fingerprint**, and
 //!   verified by full structural equality — a hash collision can cost a
 //!   recompile, never a wrong plan;
-//! * lookups are **interior-mutable** (`Mutex`) so one catalog instance —
-//!   typically [`PlanCatalog::shared`] — serves a whole pipeline, across
-//!   stages and threads, without plumbing `&mut` through every signature;
+//! * lookups are **interior-mutable** behind a read-mostly `RwLock`: the
+//!   hit path — the overwhelmingly common case inside refutation loops,
+//!   and the one parallel workers hammer concurrently — takes a shared
+//!   read lock, so lookups of already-compiled plans never serialize;
+//!   only inserting a freshly compiled plan takes the write lock. One
+//!   catalog instance — typically [`PlanCatalog::shared`] — serves a
+//!   whole pipeline, across stages and threads, without plumbing
+//!   `&mut` through every signature;
 //! * compiled artifacts are returned as [`Arc`]s: consumers hold cheap
 //!   clones, the catalog keeps the canonical copy, and repeated calls with
 //!   an equal query are hash-lookup cheap (the per-leaf cost inside a
@@ -44,7 +49,7 @@ use dx_relation::fxmap::FastHasher;
 use dx_relation::{FastMap, Schema, Var};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Catalog usage counters (see [`PlanCatalog::stats`]).
 ///
@@ -145,7 +150,7 @@ impl Inner {
 /// A shared, interior-mutable cache of compiled query plans (see the
 /// module docs).
 pub struct PlanCatalog {
-    inner: Mutex<Inner>,
+    inner: RwLock<Inner>,
     hits: dx_obs::Counter,
     misses: dx_obs::Counter,
 }
@@ -163,7 +168,7 @@ impl PlanCatalog {
     /// snapshot — so tests stay isolated.
     pub fn new() -> Self {
         PlanCatalog {
-            inner: Mutex::default(),
+            inner: RwLock::default(),
             hits: dx_obs::Counter::detached(),
             misses: dx_obs::Counter::detached(),
         }
@@ -177,7 +182,7 @@ impl PlanCatalog {
     pub fn shared() -> &'static PlanCatalog {
         static SHARED: OnceLock<PlanCatalog> = OnceLock::new();
         SHARED.get_or_init(|| PlanCatalog {
-            inner: Mutex::default(),
+            inner: RwLock::default(),
             hits: dx_obs::registry().counter("query.catalog.hits"),
             misses: dx_obs::registry().counter("query.catalog.misses"),
         })
@@ -213,7 +218,7 @@ impl PlanCatalog {
         schema_fp.hash(&mut h);
         let key = h.finish();
         {
-            let inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.read().expect("catalog lock");
             if let Some(e) = inner.queries.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
@@ -228,7 +233,7 @@ impl PlanCatalog {
         // (or deadlock a re-entrant lookup). Double-check before inserting —
         // a racing thread may have compiled the same query meanwhile.
         let eval = Arc::new(QueryEval::new(query));
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.write().expect("catalog lock");
         let bucket = inner.queries.entry(key).or_default();
         if let Some(e) = bucket
             .iter()
@@ -261,7 +266,7 @@ impl PlanCatalog {
         head.hash(&mut h);
         let key = h.finish();
         {
-            let inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.read().expect("catalog lock");
             if let Some(e) = inner.formulas.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
@@ -273,7 +278,7 @@ impl PlanCatalog {
             }
         }
         let compiled = CompiledQuery::compile_formula(formula, head).map(Arc::new);
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.write().expect("catalog lock");
         let bucket = inner.formulas.entry(key).or_default();
         if let Some(e) = bucket
             .iter()
@@ -304,7 +309,7 @@ impl PlanCatalog {
         schema_fp.hash(&mut h);
         let key = h.finish();
         {
-            let inner = self.inner.lock().expect("catalog lock");
+            let inner = self.inner.read().expect("catalog lock");
             if let Some(e) = inner.ras.get(&key).and_then(|bucket| {
                 bucket
                     .iter()
@@ -316,7 +321,7 @@ impl PlanCatalog {
             }
         }
         let compiled = CompiledRa::compile(expr, &|r| schema.arity(r)).map(Arc::new);
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.write().expect("catalog lock");
         let bucket = inner.ras.entry(key).or_default();
         if let Some(e) = bucket
             .iter()
@@ -338,7 +343,7 @@ impl PlanCatalog {
     /// Usage counters, read back out of the obs sinks (relative to the
     /// last [`PlanCatalog::clear`]).
     pub fn stats(&self) -> CatalogStats {
-        let inner = self.inner.lock().expect("catalog lock");
+        let inner = self.inner.read().expect("catalog lock");
         let stats = CatalogStats {
             entries: inner.entries(),
             est_bytes: inner.estimated_bytes(),
@@ -364,7 +369,7 @@ impl PlanCatalog {
     /// are monotonic; clearing rebases the view [`PlanCatalog::stats`]
     /// reports.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = self.inner.write().expect("catalog lock");
         *inner = Inner::default();
         inner.hits_base = self.hits.get();
         inner.misses_base = self.misses.get();
@@ -474,6 +479,43 @@ mod tests {
         let fresh = CompiledRa::compile(&expr, &|r| schema.arity(r)).unwrap();
         assert_eq!(c1.eval_ground(&inst()), fresh.eval_ground(&inst()));
         assert!(c1.eval_ground(&inst()).contains(&Tuple::from_names(&["a"])));
+    }
+
+    /// Parallel workers hammering one catalog entry: lookups stay exact —
+    /// every call is either a hit or a miss, the entry is compiled at
+    /// most once per racing thread (double-checked insert), and all
+    /// callers share one canonical `Arc`.
+    #[test]
+    fn concurrent_lookups_keep_stats_exact() {
+        let cat = PlanCatalog::new();
+        let q = Query::parse(&["x"], "exists y. CatR(x, y)").unwrap();
+        const THREADS: usize = 8;
+        const CALLS: usize = 50;
+        let evals: Vec<Arc<QueryEval>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut last = None;
+                        for _ in 0..CALLS {
+                            last = Some(cat.eval(&q));
+                        }
+                        last.unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in &evals {
+            assert!(Arc::ptr_eq(e, &evals[0]), "one canonical compiled plan");
+        }
+        let stats = cat.stats();
+        assert_eq!(stats.entries, 1, "double-checked insert keeps one entry");
+        assert_eq!(
+            stats.hits + stats.misses,
+            (THREADS * CALLS) as u64,
+            "every lookup is counted exactly once"
+        );
+        assert!(stats.misses >= 1 && stats.misses <= THREADS as u64);
     }
 
     #[test]

@@ -473,27 +473,48 @@ fn seeded_anti_conditional(
             .collect()
     };
     let l_cols: Vec<usize> = shared.iter().map(|v| l.col(*v).unwrap()).collect();
+    let run_branch = |key: &[Value]| -> (CRows, Vec<usize>) {
+        let mut branch = right.clone();
+        for (v, val) in seed.iter().zip(key) {
+            branch.bind_seed(*v, *val);
+        }
+        let rows = cexec_node(&branch, cinst);
+        let r_cols: Vec<usize> = shared
+            .iter()
+            .map(|v| rows.col(*v).expect("shared variable survives seeding"))
+            .collect();
+        (rows, r_cols)
+    };
     let mut branches: dx_relation::FastMap<Vec<Value>, (CRows, Vec<usize>)> =
         dx_relation::FastMap::default();
+    let mut reruns = 0u64;
+    if rayon::current_num_threads() > 1 {
+        // Parallel form: distinct keys up front (first-occurrence order),
+        // every correlated branch on the pool, then the per-row blocker
+        // conditions sequentially — identical output and rerun count to
+        // the lazy form below.
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut seen: dx_relation::FastSet<Vec<Value>> = dx_relation::FastSet::default();
+        for (lrow, _) in &l.rows {
+            let key: Vec<Value> = seed_cols.iter().map(|&c| lrow[c]).collect();
+            if seen.insert(key.clone()) {
+                keys.push(key);
+            }
+        }
+        let results: Vec<(CRows, Vec<usize>)> =
+            rayon::par_map(keys.len(), |i| run_branch(&keys[i]));
+        reruns = keys.len() as u64;
+        branches = keys.into_iter().zip(results).collect();
+    }
     let mut out = CRows {
         vars: l.vars.clone(),
         rows: Vec::new(),
     };
-    let mut reruns = 0u64;
     for (lrow, lcond) in &l.rows {
         let key: Vec<Value> = seed_cols.iter().map(|&c| lrow[c]).collect();
         let (r, r_cols) = branches.entry(key.clone()).or_insert_with(|| {
             reruns += 1;
-            let mut branch = right.clone();
-            for (v, val) in seed.iter().zip(&key) {
-                branch.bind_seed(*v, *val);
-            }
-            let rows = cexec_node(&branch, cinst);
-            let r_cols: Vec<usize> = shared
-                .iter()
-                .map(|v| rows.col(*v).expect("shared variable survives seeding"))
-                .collect();
-            (rows, r_cols)
+            run_branch(&key)
         });
         let support = Condition::or(r.rows.iter().map(|(rrow, rcond)| {
             Condition::and(

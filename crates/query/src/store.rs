@@ -15,10 +15,14 @@
 //!   delta-driven chase, so plans run against chase output without a
 //!   re-index.
 
-use dx_relation::{DeltaIndex, Instance, InstanceIndex, RelSym, Tuple, Value};
+use dx_relation::{DeltaIndex, Instance, InstanceIndex, OverlayIndex, RelSym, Tuple, Value};
 
 /// An indexed tuple source the executor can scan and probe.
-pub trait QueryStore {
+///
+/// `Sync` is a supertrait so the parallel executors can share one store
+/// across pool workers; every implementation in the workspace is plain
+/// data (no interior mutability), so the bound costs nothing.
+pub trait QueryStore: Sync {
     /// The arity of `rel`, if the store knows the relation.
     fn rel_arity(&self, rel: RelSym) -> Option<usize>;
 
@@ -77,6 +81,27 @@ impl QueryStore for DeltaIndex {
 
     fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
         DeltaIndex::for_each_matching(self, rel, pattern, f)
+    }
+}
+
+/// A per-worker overlay over a shared frozen snapshot: what parallel
+/// sweeps probe. Same visible set ⇒ same (set-normalized) answers as the
+/// sequential [`DeltaIndex`] it was frozen from.
+impl QueryStore for OverlayIndex {
+    fn rel_arity(&self, rel: RelSym) -> Option<usize> {
+        OverlayIndex::rel_arity(self, rel)
+    }
+
+    fn rel_len(&self, rel: RelSym) -> usize {
+        OverlayIndex::rel_len(self, rel)
+    }
+
+    fn selectivity(&self, rel: RelSym, pattern: &[Option<Value>]) -> usize {
+        OverlayIndex::selectivity(self, rel, pattern)
+    }
+
+    fn for_each_matching(&self, rel: RelSym, pattern: &[Option<Value>], f: &mut dyn FnMut(&Tuple)) {
+        OverlayIndex::for_each_matching(self, rel, pattern, f)
     }
 }
 

@@ -33,7 +33,7 @@ pub mod valuation;
 pub mod value;
 
 pub use annotation::{Ann, AnnInstance, AnnRelation, AnnTuple, Annotation};
-pub use delta::{DeltaIndex, DeltaMemStats};
+pub use delta::{DeltaIndex, DeltaMemStats, FrozenIndex, OverlayIndex};
 pub use fxmap::{FastMap, FastSet};
 pub use index::{InstanceIndex, RelationIndex, TupleId};
 pub use instance::{Instance, Schema};

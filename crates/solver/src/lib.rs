@@ -41,7 +41,7 @@ pub mod repa;
 
 pub use enumerate::{
     enumerate_rep_a, for_each_union, minimal_rep_a_members, search_rep_a, search_rep_a_indexed,
-    Completeness, Leaf, SearchBudget, SearchOutcome,
+    union_refute_sweep, union_retain_sweep, Completeness, Leaf, SearchBudget, SearchOutcome,
 };
 pub use matching::max_bipartite_matching;
 pub use palette::Palette;
