@@ -1,0 +1,286 @@
+//! `dx` — the scenario-language command line.
+//!
+//! ```text
+//! dx check <file.dx>                    parse + validate, report diagnostics
+//! dx gen --seed S --grade G             print a generated scenario
+//! dx corpus [--seeds N] [--grades 0,3] [--out PATH]
+//!                                       run the differential corpus race
+//! dx <file.dx> [--query NAME] [--chase|--certain|--gcwa|--approx|--all]
+//!              [--explain]              run pipelines over a scenario
+//! ```
+//!
+//! A `.dx` run loads the scenario, chases it (both engines, constraints
+//! included), and answers its queries under the selected regimes through
+//! the shared `PlanCatalog`. `--explain` additionally prints the compiled
+//! plan of each query with per-node executed-row counts (the dx-obs
+//! EXPLAIN face).
+
+use dx_bench::corpus::{run_corpus, CorpusStats};
+use dx_chase::chase_engine::{ChaseOutcome, DEFAULT_CHASE_LIMIT};
+use dx_chase::{canonical_solution_with_deps_via, NaiveChase};
+use dx_core::certain::certain_answers;
+use dx_core::regimes::{approx_certain_answers, gcwa_star_answers, RegimeBudget};
+use dx_engine::IndexedChase;
+use dx_solver::{Completeness, SearchBudget};
+use dx_text::{gen_text, Grade, Scenario};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  dx check <file.dx>
+  dx gen --seed <S> [--grade <0..3>]
+  dx corpus [--seeds <N>] [--grades <lo,hi>] [--out <path.json>]
+  dx <file.dx> [--query <NAME>] [--chase|--certain|--gcwa|--approx|--all] [--explain]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some(path) if path.ends_with(".dx") => cmd_run(path, &args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Flag-value lookup: `--name value`.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load(path: &str) -> Result<Scenario, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("dx: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    Scenario::parse(&text).map_err(|e| {
+        eprintln!("{path}: {}", e.render(&text));
+        ExitCode::FAILURE
+    })
+}
+
+/// `dx check`: parse + validate, print a one-line summary.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Ok(sc) => {
+            println!(
+                "{path}: ok — scenario \"{}\": {} rules, {} constraints, {} facts, {} queries",
+                sc.name,
+                sc.mapping.stds.len(),
+                sc.constraints.len(),
+                sc.source.tuple_count(),
+                sc.queries.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+/// `dx gen`: print the canonical text of a generated scenario.
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let grade: u8 = flag_value(args, "--grade")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    print!("{}", gen_text(seed, Grade::new(grade)));
+    ExitCode::SUCCESS
+}
+
+/// `dx corpus`: race `seeds × grades` generated scenarios and emit the
+/// aggregated statistics as JSON (stdout, plus `--out` when given).
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let seeds: u64 = flag_value(args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let grades: Vec<Grade> = match flag_value(args, "--grades") {
+        Some(spec) => {
+            let parts: Vec<u8> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+            match parts[..] {
+                [lo, hi] if lo <= hi => (lo..=hi).map(Grade::new).collect(),
+                [only] => vec![Grade::new(only)],
+                _ => {
+                    eprintln!("dx: --grades wants `lo,hi` or a single level");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => Grade::ALL.to_vec(),
+    };
+    let stats: CorpusStats = run_corpus(0..seeds, &grades);
+    let json = stats.to_json();
+    print!("{json}");
+    if let Some(out) = flag_value(args, "--out") {
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("dx: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("corpus stats written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `dx <file.dx>`: chase + query pipelines (+ `--explain`).
+fn cmd_run(path: &str, args: &[String]) -> ExitCode {
+    let sc = match load(path) {
+        Ok(sc) => sc,
+        Err(code) => return code,
+    };
+    let all = args.iter().any(|a| a == "--all");
+    let wants = |flag: &str| all || args.iter().any(|a| a == flag);
+    let default_run = !args.iter().any(|a| {
+        matches!(
+            a.as_str(),
+            "--chase" | "--certain" | "--gcwa" | "--approx" | "--all"
+        )
+    });
+    let explain = args.iter().any(|a| a == "--explain");
+    let query_filter = flag_value(args, "--query");
+
+    println!("# {path} — scenario \"{}\"", sc.name);
+
+    if wants("--chase") || default_run {
+        run_chase(&sc);
+    }
+
+    // Interactive budgets: tighter leaf caps than the library defaults so a
+    // pathological scenario degrades to a `capped` report, not a long sweep.
+    let budget = SearchBudget {
+        max_leaves: Some(100_000),
+        ..SearchBudget::default()
+    };
+    let regime_budget = RegimeBudget {
+        max_union_size: 2,
+        max_minimal_solutions: 12,
+        max_leaves: Some(5_000),
+    };
+    for nq in &sc.queries {
+        if query_filter.is_some_and(|want| want != nq.name) {
+            continue;
+        }
+        println!("\n## query {}", nq.name);
+        if explain {
+            print_explain(&sc, &nq.query);
+        }
+        if wants("--certain") || default_run {
+            let (rel, comp) = certain_answers(&sc.mapping, &sc.source, &nq.query, Some(&budget));
+            println!("certain   [{}]: {}", comp_label(comp), render_rel(&rel));
+        }
+        if wants("--gcwa") {
+            let out = gcwa_star_answers(&sc.mapping, &sc.source, &nq.query, &regime_budget);
+            println!(
+                "gcwa*     [{}]: {} ({} minimal solutions, {} unions)",
+                comp_label(out.completeness),
+                render_rel(&out.answers),
+                out.minimal_solutions,
+                out.unions
+            );
+        }
+        if wants("--approx") {
+            let out = approx_certain_answers(&sc.mapping, &sc.source, &nq.query, Some(&budget));
+            println!(
+                "approx    [{}]: lower {} / upper {} (tight: {})",
+                comp_label(out.completeness),
+                render_rel(&out.lower),
+                render_rel(&out.upper),
+                out.tight
+            );
+        }
+    }
+
+    if query_filter.is_some_and(|want| sc.query(want).is_none()) {
+        eprintln!("dx: no query named {:?} in {path}", query_filter.unwrap());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The chase phase of a `.dx` run: both engines, constraints included,
+/// differentially checked exactly as the corpus harness does.
+fn run_chase(sc: &Scenario) {
+    let naive = canonical_solution_with_deps_via(
+        &NaiveChase,
+        &sc.mapping,
+        &sc.constraints,
+        &sc.source,
+        DEFAULT_CHASE_LIMIT,
+    );
+    let indexed = canonical_solution_with_deps_via(
+        &IndexedChase,
+        &sc.mapping,
+        &sc.constraints,
+        &sc.source,
+        DEFAULT_CHASE_LIMIT,
+    );
+    assert_eq!(
+        std::mem::discriminant(&naive.outcome),
+        std::mem::discriminant(&indexed.outcome),
+        "chase engines disagree on {}",
+        sc.name
+    );
+    println!("\n## chase (naive & indexed agree)");
+    match indexed.outcome {
+        ChaseOutcome::Satisfied => {
+            println!(
+                "satisfied — CSol_A(S) has {} tuples, {} nulls:",
+                indexed.instance.tuple_count(),
+                indexed.instance.nulls().len()
+            );
+            print!("{}", indexed.instance);
+        }
+        ChaseOutcome::Failed { .. } => {
+            println!("failed — an egd equates distinct constants; no solution exists");
+        }
+        ChaseOutcome::StepLimit => println!("step limit reached (non-terminating chase?)"),
+    }
+}
+
+/// The `--explain` face: compile the query through the same lowering the
+/// `PlanCatalog` uses and print the per-node executed-row report over the
+/// constraint-free canonical solution.
+fn print_explain(sc: &Scenario, query: &dx_logic::Query) {
+    let csol = dx_chase::canonical_solution(&sc.mapping, &sc.source);
+    let target = csol.rel_part();
+    match dx_query::lower_formula(&query.formula) {
+        Ok(plan) => {
+            let idx = dx_relation::InstanceIndex::build(&target);
+            let (rows, report) = dx_query::explain_run(&plan, &idx);
+            println!("{}", report.render());
+            println!(
+                "{} result rows over CSol(S) ({} tuples).",
+                rows.rows.len(),
+                target.tuple_count()
+            );
+        }
+        Err(e) => println!("(not safe-range; tree-walking oracle evaluates it: {e:?})"),
+    }
+}
+
+fn comp_label(c: Completeness) -> &'static str {
+    match c {
+        Completeness::Exact => "exact",
+        Completeness::Bounded => "bounded",
+        Completeness::Capped => "capped",
+    }
+}
+
+/// Render a relation as `{(a, b), (c, d)}` on one line.
+fn render_rel(rel: &dx_relation::Relation) -> String {
+    let mut rows: Vec<String> = rel.iter().map(|t| t.to_string()).collect();
+    rows.sort();
+    format!("{{{}}}", rows.join(", "))
+}

@@ -464,6 +464,14 @@ fn run_explain(workload: &str) {
     use dx_chase::chase_engine::ChaseOutcome;
     use dx_engine::IndexedChase;
 
+    // A `.dx` scenario file works anywhere a workload name does: every
+    // query in the file gets the same ground EXPLAIN over its canonical
+    // solution.
+    if workload.ends_with(".dx") {
+        run_explain_dx(workload);
+        return;
+    }
+
     let n = 32;
     let case = match workload {
         "seeded" => seeded_case(n),
@@ -524,6 +532,58 @@ fn run_explain(workload: &str) {
         let events_before_export = dx_obs::trace::len();
         write_trace("trace.explain.json");
         println!("({events_before_export} timeline events captured during this EXPLAIN.)");
+    }
+}
+
+/// EXPLAIN over a `.dx` scenario file: chase it (constraints included) and
+/// print the ground per-node executed-row report for every query in the
+/// file. Queries outside the safe-range fragment are reported, not planned.
+fn run_explain_dx(path: &str) {
+    use dx_chase::canonical_solution_with_deps_via;
+    use dx_chase::chase_engine::ChaseOutcome;
+    use dx_engine::IndexedChase;
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let sc =
+        dx_text::Scenario::parse(&text).unwrap_or_else(|e| panic!("{path}: {}", e.render(&text)));
+    let chased = canonical_solution_with_deps_via(
+        &IndexedChase,
+        &sc.mapping,
+        &sc.constraints,
+        &sc.source,
+        1_000_000,
+    );
+    println!("# EXPLAIN {path} — scenario \"{}\"\n", sc.name);
+    match chased.outcome {
+        ChaseOutcome::Satisfied => {}
+        ChaseOutcome::Failed { .. } => {
+            println!("chase failed: an egd equates distinct constants; no solution exists.");
+            return;
+        }
+        ChaseOutcome::StepLimit => {
+            println!("chase hit its step limit; EXPLAIN has no solution to run over.");
+            return;
+        }
+    }
+    let ann = chased.instance;
+    let target = ann.rel_part();
+    for nq in &sc.queries {
+        println!("## query {}\n", nq.name);
+        match dx_query::lower_formula(&nq.query.formula) {
+            Ok(plan) => {
+                let idx = dx_relation::InstanceIndex::build(&target);
+                let (rows, report) = dx_query::explain_run(&plan, &idx);
+                println!("{}", report.render());
+                println!(
+                    "{} result rows over CSol(S) ({} tuples).\n",
+                    rows.rows.len(),
+                    target.tuple_count()
+                );
+            }
+            Err(e) => {
+                println!("(not safe-range; tree-walking oracle evaluates it: {e:?})\n");
+            }
+        }
     }
 }
 

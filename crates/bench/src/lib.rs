@@ -18,6 +18,7 @@ use dx_relation::Instance;
 use std::time::{Duration, Instant};
 
 pub mod chase_workloads;
+pub mod corpus;
 pub mod query_workloads;
 
 /// Time a closure, returning (result, elapsed).

@@ -243,11 +243,14 @@ fn certain_contains_eval(
             // counterexample needs at most l·arity(τ) external constants.
             let l = classify::universal_var_count(&query.formula);
             let max_arity = mapping.target.max_arity().max(1);
-            (
-                SearchBudget::universal_existential(l.max(1), max_arity),
-                Regime::UniversalExistential,
-                true,
-            )
+            let mut prop5 = SearchBudget::universal_existential(l.max(1), max_arity);
+            // The Prop 5 space is exhaustive but exponential in the extras
+            // pool (every subset of the replicated tuples is a member), so a
+            // certain tuple over a pool of n extras costs 2^n leaves. Honor
+            // the caller's leaf cap — or the default cap when none is given —
+            // and let the Capped completeness report the truncation.
+            prop5.max_leaves = budget.map_or(SearchBudget::default().max_leaves, |b| b.max_leaves);
+            (prop5, Regime::UniversalExistential, true)
         }
         _ if mapping.is_all_closed() => (SearchBudget::closed_world(), Regime::ClosedWorld, true),
         _ => (

@@ -514,6 +514,11 @@ impl Parser {
                             )
                         }
                     }
+                    if self.peek() == Some(&Tok::Colon) {
+                        return Err(self.error(
+                            "duplicate annotation: each head position takes a single ':cl' or ':op'",
+                        ));
+                    }
                 } else {
                     anns.push(Ann::Open);
                 }

@@ -405,9 +405,25 @@ pub fn minimal_rep_a_members(
         Some(images) => (images, Completeness::Exact),
         None => minimal_images_sequential(t, extra_base_consts, max_leaves),
     };
+    // Minimality filter. The images are pairwise distinct, so a strict
+    // subinstance has strictly fewer tuples — bucket by tuple count and
+    // compare each image only against strictly smaller ones. When every
+    // valuation image has the same size (no tuples merge under any
+    // valuation — the common case) the filter does no instance
+    // comparisons at all, where the naive all-pairs scan is quadratic in
+    // the image count.
+    let mut by_count: std::collections::BTreeMap<usize, Vec<&Instance>> =
+        std::collections::BTreeMap::new();
+    for i in &images {
+        by_count.entry(i.tuple_count()).or_default().push(i);
+    }
     let minimal: Vec<Instance> = images
         .iter()
-        .filter(|i| !images.iter().any(|j| j != *i && j.is_subinstance_of(i)))
+        .filter(|i| {
+            by_count
+                .range(..i.tuple_count())
+                .all(|(_, smaller)| smaller.iter().all(|j| !j.is_subinstance_of(i)))
+        })
         .cloned()
         .collect();
     (minimal, completeness)

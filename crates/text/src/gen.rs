@@ -1,0 +1,343 @@
+//! Seeded, graded scenario generator.
+//!
+//! [`gen`]`(seed, grade)` deterministically produces a valid [`Scenario`]:
+//! the same `(seed, grade)` pair yields byte-identical canonical text on
+//! every run, on every thread count (the generator draws from the xoshiro
+//! [`StdRng`] in a fixed order and never consults ambient state).
+//!
+//! The [`Grade`] dial controls scenario difficulty along the axes the
+//! open/closed semantics care about:
+//!
+//! | grade | relations | max arity | body shapes | queries | constraints |
+//! |-------|-----------|-----------|-------------|---------|-------------|
+//! | 0 | copy + null-inventing | 2 | positive | ∃-positive, FD-universal | — |
+//! | 1 | + join partner | 2 | + join | + anti-join | — |
+//! | 2 | + negated guard | 2 | + `¬∃` bodies | + correlated §1 shape | — |
+//! | 3 | + ternary, multi-head | 3 | + nested `¬∃¬∃` | + disjunction/negation | egd/tgd (probabilistic) |
+//!
+//! The annotation mix (probability a head position is closed) is drawn per
+//! scenario from `{0.2, 0.5, 0.8}`; null-producing source rows are capped at
+//! two so brute-force `Rep_A` enumeration stays feasible for the corpus
+//! differential oracles.
+
+use crate::ast::{NamedQuery, Scenario};
+use dx_chase::{Egd, Mapping, Std, TargetAtom, TargetDep, Tgd};
+use dx_logic::{Formula, Query, Term};
+use dx_relation::{Ann, Annotation, Instance, RelSym, Schema, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scenario difficulty grade, clamped to `0..=3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Grade(u8);
+
+impl Grade {
+    /// All grades, in increasing difficulty.
+    pub const ALL: [Grade; 4] = [Grade(0), Grade(1), Grade(2), Grade(3)];
+
+    /// Build a grade; levels above 3 clamp to 3.
+    pub fn new(level: u8) -> Grade {
+        Grade(level.min(3))
+    }
+
+    /// The grade level (0–3).
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+/// One random annotation at closed-probability `p_cl`.
+fn ann(rng: &mut StdRng, p_cl: f64) -> Ann {
+    if rng.gen_bool(p_cl) {
+        Ann::Closed
+    } else {
+        Ann::Open
+    }
+}
+
+fn annotation(rng: &mut StdRng, p_cl: f64, arity: usize) -> Annotation {
+    Annotation::new((0..arity).map(|_| ann(rng, p_cl)).collect::<Vec<_>>())
+}
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Deterministically generate a valid scenario for `(seed, grade)`.
+pub fn gen(seed: u64, grade: Grade) -> Scenario {
+    let g = grade.level();
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(g)),
+    );
+    let p_cl = [0.2, 0.5, 0.8][rng.gen_range(0..3usize)];
+
+    // Schemas grow with the grade.
+    let mut source = Schema::new();
+    source.add(RelSym::new("R"), 2);
+    source.add(RelSym::new("U"), 1);
+    if g >= 1 {
+        source.add(RelSym::new("J"), 2);
+    }
+    if g >= 3 {
+        source.add(RelSym::new("W"), 3);
+    }
+    let mut target = Schema::new();
+    target.add(RelSym::new("TR"), 2);
+    target.add(RelSym::new("TU"), 2);
+    if g >= 1 {
+        target.add(RelSym::new("TJ"), 2);
+    }
+    if g >= 2 {
+        target.add(RelSym::new("TN"), 2);
+    }
+    if g >= 3 {
+        target.add(RelSym::new("TW"), 3);
+        target.add(RelSym::new("TM"), 1);
+    }
+
+    // STDs. `TU` invents a null per `U` row (existential z); the rest copy.
+    let mut stds = Vec::new();
+    stds.push(Std::new(
+        vec![TargetAtom::new(
+            RelSym::new("TR"),
+            vec![v("x"), v("y")],
+            annotation(&mut rng, p_cl, 2),
+        )],
+        Formula::Atom(RelSym::new("R"), vec![v("x"), v("y")]),
+    ));
+    stds.push(Std::new(
+        vec![TargetAtom::new(
+            RelSym::new("TU"),
+            vec![v("x"), v("z")],
+            annotation(&mut rng, p_cl, 2),
+        )],
+        Formula::Atom(RelSym::new("U"), vec![v("x")]),
+    ));
+    if g >= 1 {
+        stds.push(Std::new(
+            vec![TargetAtom::new(
+                RelSym::new("TJ"),
+                vec![v("x"), v("y")],
+                annotation(&mut rng, p_cl, 2),
+            )],
+            Formula::And(vec![
+                Formula::Atom(RelSym::new("R"), vec![v("x"), v("w")]),
+                Formula::Atom(RelSym::new("J"), vec![v("w"), v("y")]),
+            ]),
+        ));
+    }
+    if g >= 2 {
+        stds.push(Std::new(
+            vec![TargetAtom::new(
+                RelSym::new("TN"),
+                vec![v("x"), v("y")],
+                annotation(&mut rng, p_cl, 2),
+            )],
+            Formula::And(vec![
+                Formula::Atom(RelSym::new("R"), vec![v("x"), v("y")]),
+                Formula::Not(Box::new(Formula::Exists(
+                    vec![Var::new("r")],
+                    Box::new(Formula::Atom(RelSym::new("J"), vec![v("x"), v("r")])),
+                ))),
+            ]),
+        ));
+    }
+    if g >= 3 {
+        // Multi-atom head over the ternary relation…
+        stds.push(Std::new(
+            vec![
+                TargetAtom::new(
+                    RelSym::new("TW"),
+                    vec![v("x"), v("y"), v("z")],
+                    annotation(&mut rng, p_cl, 3),
+                ),
+                TargetAtom::new(
+                    RelSym::new("TM"),
+                    vec![v("x")],
+                    annotation(&mut rng, p_cl, 1),
+                ),
+            ],
+            Formula::Atom(RelSym::new("W"), vec![v("x"), v("y"), v("z")]),
+        ));
+        // …and a negation-depth-2 body (`¬∃ (J ∧ ¬∃ R)`).
+        stds.push(Std::new(
+            vec![TargetAtom::new(
+                RelSym::new("TM"),
+                vec![v("x")],
+                annotation(&mut rng, p_cl, 1),
+            )],
+            Formula::And(vec![
+                Formula::Atom(RelSym::new("R"), vec![v("x"), v("y")]),
+                Formula::Not(Box::new(Formula::Exists(
+                    vec![Var::new("r")],
+                    Box::new(Formula::And(vec![
+                        Formula::Atom(RelSym::new("J"), vec![v("y"), v("r")]),
+                        Formula::Not(Box::new(Formula::Exists(
+                            vec![Var::new("s")],
+                            Box::new(Formula::Atom(RelSym::new("R"), vec![v("r"), v("s")])),
+                        ))),
+                    ])),
+                ))),
+            ]),
+        ));
+    }
+
+    // Target constraints (grade 3 only, probabilistic): a functional
+    // dependency on the null-inventing relation and/or a copying tgd into a
+    // fresh closed relation. Both are weakly acyclic by construction.
+    let mut constraints = Vec::new();
+    if g >= 3 {
+        if rng.gen_bool(0.5) {
+            constraints.push(TargetDep::Egd(Egd {
+                body: vec![
+                    (RelSym::new("TU"), vec![v("x"), v("a")]),
+                    (RelSym::new("TU"), vec![v("x"), v("b")]),
+                ],
+                eq: (v("a"), v("b")),
+            }));
+        }
+        if rng.gen_bool(0.34) {
+            target.add(RelSym::new("TS"), 2);
+            constraints.push(TargetDep::Tgd(Tgd {
+                body: vec![(RelSym::new("TR"), vec![v("x"), v("y")])],
+                head: vec![TargetAtom::new(
+                    RelSym::new("TS"),
+                    vec![v("y"), v("x")],
+                    Annotation::all_closed(2),
+                )],
+            }));
+        }
+    }
+
+    // Ground source instance: small enough for exhaustive Rep_A oracles.
+    // Every source relation is declared up front (possibly empty) so the
+    // generated scenario equals its parse(print(·)) round-trip, which
+    // declares the full source schema.
+    let mut instance = Instance::new();
+    for (rel, arity) in source.iter() {
+        instance.declare(rel, arity);
+    }
+    let n_consts = 2 + usize::from(g >= 2);
+    let c = |i: usize| format!("c{i}");
+    for _ in 0..rng.gen_range(1..(3 + usize::from(g))) {
+        let a = c(rng.gen_range(0..n_consts));
+        let b = c(rng.gen_range(0..n_consts));
+        instance.insert_names("R", &[&a, &b]);
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        instance.insert_names("U", &[&c(rng.gen_range(0..n_consts))]);
+    }
+    if g >= 1 {
+        for _ in 0..rng.gen_range(1..3usize) {
+            let a = c(rng.gen_range(0..n_consts));
+            let b = c(rng.gen_range(0..n_consts));
+            instance.insert_names("J", &[&a, &b]);
+        }
+    }
+    if g >= 3 {
+        for _ in 0..rng.gen_range(1..3usize) {
+            let a = c(rng.gen_range(0..n_consts));
+            let b = c(rng.gen_range(0..n_consts));
+            let d = c(rng.gen_range(0..n_consts));
+            instance.insert_names("W", &[&a, &b, &d]);
+        }
+    }
+
+    // Query battery, growing with the grade.
+    let mut queries = vec![
+        NamedQuery {
+            name: "q_pos".into(),
+            query: Query::new(
+                vec![Var::new("x")],
+                Formula::Exists(
+                    vec![Var::new("y")],
+                    Box::new(Formula::Atom(RelSym::new("TR"), vec![v("x"), v("y")])),
+                ),
+            ),
+        },
+        NamedQuery {
+            name: "q_fd".into(),
+            query: Query::boolean(Formula::Forall(
+                vec![Var::new("x"), Var::new("a"), Var::new("b")],
+                Box::new(Formula::implies(
+                    Formula::And(vec![
+                        Formula::Atom(RelSym::new("TU"), vec![v("x"), v("a")]),
+                        Formula::Atom(RelSym::new("TU"), vec![v("x"), v("b")]),
+                    ]),
+                    Formula::Eq(v("a"), v("b")),
+                )),
+            )),
+        },
+    ];
+    if g >= 1 {
+        queries.push(NamedQuery {
+            name: "q_anti".into(),
+            query: Query::new(
+                vec![Var::new("x")],
+                Formula::And(vec![
+                    Formula::Exists(
+                        vec![Var::new("y")],
+                        Box::new(Formula::Atom(RelSym::new("TR"), vec![v("x"), v("y")])),
+                    ),
+                    Formula::Not(Box::new(Formula::Exists(
+                        vec![Var::new("w")],
+                        Box::new(Formula::Atom(RelSym::new("TU"), vec![v("x"), v("w")])),
+                    ))),
+                ]),
+            ),
+        });
+    }
+    if g >= 2 {
+        queries.push(NamedQuery {
+            name: "q_one".into(),
+            query: Query::new(
+                vec![Var::new("p")],
+                Formula::Exists(
+                    vec![Var::new("a")],
+                    Box::new(Formula::And(vec![
+                        Formula::Atom(RelSym::new("TU"), vec![v("p"), v("a")]),
+                        Formula::Forall(
+                            vec![Var::new("b")],
+                            Box::new(Formula::implies(
+                                Formula::Atom(RelSym::new("TU"), vec![v("p"), v("b")]),
+                                Formula::Eq(v("a"), v("b")),
+                            )),
+                        ),
+                    ])),
+                ),
+            ),
+        });
+    }
+    if g >= 3 {
+        queries.push(NamedQuery {
+            name: "q_mix".into(),
+            query: Query::boolean(Formula::Exists(
+                vec![Var::new("x"), Var::new("y")],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(RelSym::new("TR"), vec![v("x"), v("y")]),
+                    Formula::Or(vec![
+                        Formula::Atom(RelSym::new("TJ"), vec![v("y"), v("x")]),
+                        Formula::Not(Box::new(Formula::Atom(
+                            RelSym::new("TU"),
+                            vec![v("y"), v("y")],
+                        ))),
+                    ]),
+                ])),
+            )),
+        });
+    }
+
+    Scenario {
+        name: format!("gen-{seed}-g{g}"),
+        mapping: Mapping::new(source, target, stds),
+        constraints,
+        source: instance,
+        queries,
+    }
+}
+
+/// [`gen`] rendered to canonical `.dx` text.
+pub fn gen_text(seed: u64, grade: Grade) -> String {
+    gen(seed, grade).to_text()
+}

@@ -1,0 +1,472 @@
+//! Hand-rolled recursive-descent parser for the `.dx` scenario format.
+//!
+//! The grammar (see DESIGN.md for the full EBNF):
+//!
+//! ```text
+//! scenario "name" {
+//!   source  { R/2; S/1; }                 # relation/arity declarations
+//!   target  { T/2; }
+//!   mapping { T(x:cl, z:op) <- R(x, y); } # st-tgds, dx-logic rule syntax
+//!   constraints { egd z1 = z2 <- T(x, z1) & T(x, z2); tgd U(x) <- T(x, y); }
+//!   instance { R(a, ?0); R('two words', ?n1); }
+//!   query q(x) <- exists z. T(x, z);
+//! }
+//! ```
+//!
+//! This module produces a *raw* scenario: every construct is syntactically
+//! parsed (rule/constraint/query bodies are delegated to the `dx-logic`
+//! parser) but nothing is checked against the schemas yet. Each raw item
+//! carries the byte [`Span`] it came from so [`crate::validate`] can report
+//! typed errors at the exact offending position.
+
+use crate::ast::{Span, TextError};
+use dx_chase::{Egd, TargetDep, Tgd};
+use dx_logic::{parse_formula, parse_rule, ParsedRule};
+
+/// A source-instance value before null resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawValue {
+    /// A constant, by name (quoted or bare).
+    Const(String),
+    /// An explicitly numbered labeled null `?3`.
+    NullNum(u32),
+    /// A named labeled null `?x`; numbered by first occurrence during
+    /// validation, skipping explicitly used ids.
+    NullLabel(String),
+}
+
+/// A syntactically parsed, not yet validated scenario.
+#[derive(Clone, Debug)]
+pub struct RawScenario {
+    /// Scenario name from the header.
+    pub name: String,
+    /// Span of the `scenario` header (anchor for whole-file errors).
+    pub header: Span,
+    /// Source relation declarations `(name, arity, span)`.
+    pub source_decls: Vec<(String, usize, Span)>,
+    /// Target relation declarations `(name, arity, span)`.
+    pub target_decls: Vec<(String, usize, Span)>,
+    /// STD rules in declaration order.
+    pub rules: Vec<(ParsedRule, Span)>,
+    /// Target constraints in declaration order.
+    pub constraints: Vec<(TargetDep, Span)>,
+    /// Source facts `(relation, values, span)` in declaration order.
+    pub facts: Vec<(String, Vec<RawValue>, Span)>,
+    /// Queries `(name, head vars, body text span + formula)` in order.
+    pub queries: Vec<(String, Vec<String>, dx_logic::Formula, Span)>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> TextError {
+        TextError::new(msg, Span::point(self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), TextError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    /// Next char is `b` (after whitespace)? Consume it and return true.
+    fn eat_opt(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        let first = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("expected identifier, found end of input"))?;
+        if !(first.is_ascii_alphabetic() || first == b'_') {
+            return Err(self.err(format!("expected identifier, found `{}`", first as char)));
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        Ok((
+            self.src[start..self.pos].to_string(),
+            Span::new(start, self.pos),
+        ))
+    }
+
+    fn number(&mut self) -> Result<(u64, Span), TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        let text = &self.src[start..self.pos];
+        let n = text
+            .parse::<u64>()
+            .map_err(|_| TextError::new("number out of range", Span::new(start, self.pos)))?;
+        Ok((n, Span::new(start, self.pos)))
+    }
+
+    /// A `"…"` string literal (no escapes).
+    fn string_lit(&mut self) -> Result<(String, Span), TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected a `\"…\"` string"));
+        }
+        self.pos += 1;
+        let content_start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = self.src[content_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok((s, Span::new(start, self.pos)));
+            }
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        Err(TextError::new(
+            "unterminated string literal",
+            Span::new(start, self.pos),
+        ))
+    }
+
+    /// Slice from the current position to the next top-level `;`, skipping
+    /// `'…'` quotes and `#` comments. Consumes the `;`. Errors if `{`, `}`,
+    /// or end of input appears first (a statement is missing its `;`).
+    fn statement_slice(&mut self) -> Result<(&'a str, Span), TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b';' => {
+                    let span = Span::new(start, self.pos);
+                    let text = &self.src[start..self.pos];
+                    self.pos += 1;
+                    return Ok((text, span));
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&c| c != b'\'' && c != b'\n')
+                    {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) == Some(&b'\'') {
+                        self.pos += 1;
+                    }
+                }
+                b'#' => {
+                    while self.bytes.get(self.pos).is_some_and(|&c| c != b'\n') {
+                        self.pos += 1;
+                    }
+                }
+                b'{' | b'}' => {
+                    return Err(self.err("expected `;` to end the statement"));
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("expected `;` to end the statement, found end of input"))
+    }
+}
+
+/// Rebase a `dx-logic` parse error from a statement slice to file offsets.
+fn rebase(e: dx_logic::ParseError, slice_start: usize) -> TextError {
+    TextError::new(e.msg, Span::point(slice_start + e.pos))
+}
+
+/// Parse a `.dx` file into a [`RawScenario`]. Purely syntactic: schema
+/// conformance is checked later by [`crate::validate::validate`].
+pub fn parse_scenario(src: &str) -> Result<RawScenario, TextError> {
+    let mut c = Cursor::new(src);
+    c.skip_ws();
+    let header_start = c.pos;
+    let (kw, _) = c.ident()?;
+    if kw != "scenario" {
+        return Err(TextError::new(
+            format!("expected `scenario`, found `{kw}`"),
+            Span::new(header_start, c.pos),
+        ));
+    }
+    let (name, _) = c.string_lit()?;
+    let header = Span::new(header_start, c.pos);
+    c.eat(b'{')?;
+
+    let mut raw = RawScenario {
+        name,
+        header,
+        source_decls: Vec::new(),
+        target_decls: Vec::new(),
+        rules: Vec::new(),
+        constraints: Vec::new(),
+        facts: Vec::new(),
+        queries: Vec::new(),
+    };
+    let mut seen_blocks: Vec<String> = Vec::new();
+
+    loop {
+        match c.peek() {
+            Some(b'}') => {
+                c.pos += 1;
+                break;
+            }
+            None => return Err(c.err("expected `}` to close the scenario")),
+            _ => {}
+        }
+        let (kw, kw_span) = c.ident()?;
+        match kw.as_str() {
+            "source" | "target" | "mapping" | "constraints" | "instance" => {
+                if seen_blocks.iter().any(|b| b == &kw) {
+                    return Err(TextError::new(format!("duplicate `{kw}` block"), kw_span));
+                }
+                seen_blocks.push(kw.clone());
+                c.eat(b'{')?;
+                match kw.as_str() {
+                    "source" => parse_decl_block(&mut c, &mut raw.source_decls)?,
+                    "target" => parse_decl_block(&mut c, &mut raw.target_decls)?,
+                    "mapping" => parse_rule_block(&mut c, &mut raw.rules)?,
+                    "constraints" => parse_constraint_block(&mut c, &mut raw.constraints)?,
+                    "instance" => parse_fact_block(&mut c, &mut raw.facts)?,
+                    _ => unreachable!(),
+                }
+            }
+            "query" => {
+                parse_query(&mut c, &mut raw.queries)?;
+            }
+            other => {
+                return Err(TextError::new(
+                    format!(
+                        "unknown block `{other}` (expected `source`, `target`, `mapping`, \
+                         `constraints`, `instance`, or `query`)"
+                    ),
+                    kw_span,
+                ));
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos < c.bytes.len() {
+        return Err(c.err("unexpected trailing input after the scenario"));
+    }
+    Ok(raw)
+}
+
+fn parse_decl_block(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<(String, usize, Span)>,
+) -> Result<(), TextError> {
+    loop {
+        if c.eat_opt(b'}') {
+            return Ok(());
+        }
+        let (name, name_span) = c.ident()?;
+        c.eat(b'/')?;
+        let (arity, arity_span) = c.number()?;
+        c.eat(b';')?;
+        out.push((
+            name,
+            arity as usize,
+            Span::new(name_span.start, arity_span.end),
+        ));
+    }
+}
+
+fn parse_rule_block(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<(ParsedRule, Span)>,
+) -> Result<(), TextError> {
+    loop {
+        if c.eat_opt(b'}') {
+            return Ok(());
+        }
+        let (text, span) = c.statement_slice()?;
+        let rule = parse_rule(text).map_err(|e| rebase(e, span.start))?;
+        out.push((rule, span));
+    }
+}
+
+fn parse_constraint_block(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<(TargetDep, Span)>,
+) -> Result<(), TextError> {
+    loop {
+        if c.eat_opt(b'}') {
+            return Ok(());
+        }
+        let (kw, kw_span) = c.ident()?;
+        let (text, span) = c.statement_slice()?;
+        let dep = match kw.as_str() {
+            "tgd" => TargetDep::Tgd(Tgd::parse(text).map_err(|e| rebase(e, span.start))?),
+            "egd" => TargetDep::Egd(Egd::parse(text).map_err(|e| rebase(e, span.start))?),
+            other => {
+                return Err(TextError::new(
+                    format!("expected `tgd` or `egd`, found `{other}`"),
+                    kw_span,
+                ));
+            }
+        };
+        out.push((dep, Span::new(kw_span.start, span.end)));
+    }
+}
+
+fn parse_fact_block(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<(String, Vec<RawValue>, Span)>,
+) -> Result<(), TextError> {
+    loop {
+        if c.eat_opt(b'}') {
+            return Ok(());
+        }
+        let (rel, rel_span) = c.ident()?;
+        c.eat(b'(')?;
+        let mut values = Vec::new();
+        if !c.eat_opt(b')') {
+            loop {
+                values.push(parse_value(c)?);
+                if c.eat_opt(b')') {
+                    break;
+                }
+                c.eat(b',')?;
+            }
+        }
+        let end = c.pos;
+        c.eat(b';')?;
+        out.push((rel, values, Span::new(rel_span.start, end)));
+    }
+}
+
+fn parse_value(c: &mut Cursor<'_>) -> Result<RawValue, TextError> {
+    match c.peek() {
+        Some(b'?') => {
+            c.pos += 1;
+            if c.bytes.get(c.pos).is_some_and(|b| b.is_ascii_digit()) {
+                let (n, span) = c.number()?;
+                let n =
+                    u32::try_from(n).map_err(|_| TextError::new("null id out of range", span))?;
+                Ok(RawValue::NullNum(n))
+            } else {
+                let (label, _) = c.ident()?;
+                Ok(RawValue::NullLabel(label))
+            }
+        }
+        Some(b'\'') => {
+            let start = c.pos;
+            c.pos += 1;
+            let content_start = c.pos;
+            while c
+                .bytes
+                .get(c.pos)
+                .is_some_and(|&b| b != b'\'' && b != b'\n')
+            {
+                c.pos += 1;
+            }
+            if c.bytes.get(c.pos) != Some(&b'\'') {
+                return Err(TextError::new(
+                    "unterminated `'…'` constant",
+                    Span::new(start, c.pos),
+                ));
+            }
+            let s = c.src[content_start..c.pos].to_string();
+            c.pos += 1;
+            Ok(RawValue::Const(s))
+        }
+        Some(b) if b.is_ascii_digit() || b == b'-' => {
+            let start = c.pos;
+            if b == b'-' {
+                c.pos += 1;
+            }
+            while c.bytes.get(c.pos).is_some_and(|b| b.is_ascii_digit()) {
+                c.pos += 1;
+            }
+            if c.pos == start + usize::from(b == b'-') {
+                return Err(c.err("expected a value"));
+            }
+            Ok(RawValue::Const(c.src[start..c.pos].to_string()))
+        }
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+            let (name, _) = c.ident()?;
+            Ok(RawValue::Const(name))
+        }
+        _ => Err(c.err("expected a value (constant, number, `'…'`, or `?null`)")),
+    }
+}
+
+fn parse_query(
+    c: &mut Cursor<'_>,
+    out: &mut Vec<(String, Vec<String>, dx_logic::Formula, Span)>,
+) -> Result<(), TextError> {
+    let (name, name_span) = c.ident()?;
+    c.eat(b'(')?;
+    let mut head = Vec::new();
+    if !c.eat_opt(b')') {
+        loop {
+            let (v, _) = c.ident()?;
+            head.push(v);
+            if c.eat_opt(b')') {
+                break;
+            }
+            c.eat(b',')?;
+        }
+    }
+    // `<-` separates head from body.
+    c.eat(b'<')?;
+    c.eat(b'-')?;
+    let (text, span) = c.statement_slice()?;
+    let formula = parse_formula(text).map_err(|e| rebase(e, span.start))?;
+    out.push((name, head, formula, Span::new(name_span.start, span.end)));
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Canonical pretty-printer for scenarios.
+//!
+//! The output is deterministic *text*: relation declarations are sorted by
+//! name and facts by their rendered form (interned symbol ids depend on
+//! process-global intern order, so sorting by id would not be stable across
+//! processes). `parse(print(s))` reconstructs `s` exactly — the round-trip
+//! property the corpus harness checks on every generated scenario.
+
+use crate::ast::Scenario;
+use dx_chase::TargetDep;
+use dx_relation::Value;
+use std::fmt::Write;
+
+/// `true` if `name` prints unquoted: an identifier (`[A-Za-z_][A-Za-z0-9_]*`)
+/// or an integer literal. Anything else is quoted `'…'`.
+fn bare(name: &str) -> bool {
+    let ident = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let number = {
+        let digits = name.strip_prefix('-').unwrap_or(name);
+        !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit())
+    };
+    ident || number
+}
+
+fn render_value(v: Value) -> String {
+    match v {
+        Value::Const(c) => {
+            let name = c.name();
+            if bare(&name) {
+                name
+            } else {
+                format!("'{name}'")
+            }
+        }
+        Value::Null(n) => format!("?{}", n.0),
+    }
+}
+
+/// Pretty-print a scenario to canonical `.dx` text.
+pub fn print(sc: &Scenario) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario \"{}\" {{", sc.name);
+
+    for (block, schema) in [
+        ("source", &sc.mapping.source),
+        ("target", &sc.mapping.target),
+    ] {
+        let _ = writeln!(out, "  {block} {{");
+        let mut decls: Vec<(String, usize)> =
+            schema.iter().map(|(rel, ar)| (rel.name(), ar)).collect();
+        decls.sort();
+        for (name, arity) in decls {
+            let _ = writeln!(out, "    {name}/{arity};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    let _ = writeln!(out, "  mapping {{");
+    for std in &sc.mapping.stds {
+        let _ = writeln!(out, "    {std};");
+    }
+    let _ = writeln!(out, "  }}");
+
+    if !sc.constraints.is_empty() {
+        let _ = writeln!(out, "  constraints {{");
+        for dep in &sc.constraints {
+            let kw = match dep {
+                TargetDep::Tgd(_) => "tgd",
+                TargetDep::Egd(_) => "egd",
+            };
+            let _ = writeln!(out, "    {kw} {dep};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    if !sc.source.is_empty() {
+        let _ = writeln!(out, "  instance {{");
+        let mut facts: Vec<String> = Vec::new();
+        for (rel, relation) in sc.source.relations() {
+            let name = rel.name();
+            for t in relation.iter() {
+                let vals: Vec<String> = t.iter().map(render_value).collect();
+                facts.push(format!("{name}({})", vals.join(", ")));
+            }
+        }
+        facts.sort();
+        for fact in facts {
+            let _ = writeln!(out, "    {fact};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for q in &sc.queries {
+        let head: Vec<String> = q.query.head.iter().map(|v| v.name()).collect();
+        let _ = writeln!(
+            out,
+            "  query {}({}) <- {};",
+            q.name,
+            head.join(", "),
+            q.query.formula
+        );
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}

@@ -25,6 +25,8 @@
 //!   (both trichotomies), schema-mapping composition incl. SkSTDs, and the
 //!   non-monotonic query-answering regimes (GCWA\* / approximation);
 //! * [`workloads`] — generators and the hardness reductions from the proofs.
+//! * [`text`] — the `.dx` scenario language: parser, validator, printer, and
+//!   the seeded corpus generator behind the `dx` CLI;
 //! * [`obs`] — the zero-cost-when-disabled metrics/tracing layer behind the
 //!   `DX_OBS` switch (work-metric counters, RAII spans, `EXPLAIN` reports).
 
@@ -39,6 +41,7 @@ pub use dx_obs as obs;
 pub use dx_query as query;
 pub use dx_relation as relation;
 pub use dx_solver as solver;
+pub use dx_text as text;
 pub use dx_workloads as workloads;
 
 pub use dx_relation::{
