@@ -6,20 +6,26 @@
 //! dx corpus [--seeds N] [--grades 0,3] [--out PATH]
 //!                                       run the differential corpus race
 //! dx <file.dx> [--query NAME] [--chase|--certain|--gcwa|--approx|--all]
-//!              [--explain]              run pipelines over a scenario
+//!              [--updates] [--explain]  run pipelines over a scenario
 //! ```
 //!
 //! A `.dx` run loads the scenario, chases it (both engines, constraints
 //! included), and answers its queries under the selected regimes through
-//! the shared `PlanCatalog`. `--explain` additionally prints the compiled
+//! the shared `PlanCatalog`. `--updates` then streams the file's `update`
+//! blocks through a `dx_core::StreamSession`, reporting per batch how each
+//! registered query was serviced (delta plan / recompute / skip) and its
+//! refreshed certain answers. `--explain` additionally prints the compiled
 //! plan of each query with per-node executed-row counts (the dx-obs
-//! EXPLAIN face).
+//! EXPLAIN face) and, when the file carries `update` blocks, the derived
+//! delta plan per batch — `R$delta` scans mark the recomputed frontier,
+//! every other node re-reads maintained state.
 
 use dx_bench::corpus::{run_corpus, CorpusStats};
 use dx_chase::chase_engine::{ChaseOutcome, DEFAULT_CHASE_LIMIT};
 use dx_chase::{canonical_solution_with_deps_via, NaiveChase};
 use dx_core::certain::certain_answers;
 use dx_core::regimes::{approx_certain_answers, gcwa_star_answers, RegimeBudget};
+use dx_core::streaming::{affected_target_rels, QueryPath, StreamRegime, StreamSession};
 use dx_engine::IndexedChase;
 use dx_solver::{Completeness, SearchBudget};
 use dx_text::{gen_text, Grade, Scenario};
@@ -29,7 +35,7 @@ const USAGE: &str = "usage:
   dx check <file.dx>
   dx gen --seed <S> [--grade <0..3>]
   dx corpus [--seeds <N>] [--grades <lo,hi>] [--out <path.json>]
-  dx <file.dx> [--query <NAME>] [--chase|--certain|--gcwa|--approx|--all] [--explain]";
+  dx <file.dx> [--query <NAME>] [--chase|--certain|--gcwa|--approx|--all] [--updates] [--explain]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -202,11 +208,65 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
         }
     }
 
+    if args.iter().any(|a| a == "--updates") {
+        run_updates(&sc, &budget);
+    }
+
     if query_filter.is_some_and(|want| sc.query(want).is_none()) {
         eprintln!("dx: no query named {:?} in {path}", query_filter.unwrap());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `--updates`: stream the scenario's `update` blocks through one
+/// [`StreamSession`], reporting per batch how the canonical solution moved
+/// and how each registered query was serviced — the CLI face of the delta
+/// protocol (`DESIGN.md §Streaming data exchange`).
+fn run_updates(sc: &Scenario, budget: &SearchBudget) {
+    println!("\n## updates (streaming session)");
+    if sc.updates.is_empty() {
+        println!("(no `update` blocks in this scenario)");
+        return;
+    }
+    if !sc.constraints.is_empty() {
+        println!("(note: target constraints re-chase via the merged-taint fallback when touched)");
+    }
+    let mut sess = StreamSession::new(
+        sc.mapping.clone(),
+        sc.constraints.clone(),
+        sc.source.clone(),
+    );
+    sess.set_search_budget(Some(budget.clone()));
+    for nq in &sc.queries {
+        sess.register(&nq.name, nq.query.clone(), StreamRegime::Certain);
+    }
+    for nu in &sc.updates {
+        let report = sess.update(&nu.update);
+        println!(
+            "\nbatch \"{}\": csol +{} / -{} annotated tuples",
+            nu.name,
+            report.update.added.len(),
+            report.update.removed.len()
+        );
+        for (name, path) in &report.queries {
+            let how = match path {
+                QueryPath::Skipped => "skipped (unaffected)".to_string(),
+                QueryPath::DeltaPlan { delta_answers } => {
+                    format!("delta plan (+{delta_answers} candidate rows)")
+                }
+                QueryPath::Recomputed => "recomputed (fallback)".to_string(),
+            };
+            match sess.answers(name) {
+                Some((rel, comp)) => println!(
+                    "  {name}: {how} -> [{}] {}",
+                    comp_label(comp),
+                    render_rel(&rel)
+                ),
+                None => println!("  {name}: {how}"),
+            }
+        }
+    }
 }
 
 /// The chase phase of a `.dx` run: both engines, constraints included,
@@ -267,6 +327,40 @@ fn print_explain(sc: &Scenario, query: &dx_logic::Query) {
             );
         }
         Err(e) => println!("(not safe-range; tree-walking oracle evaluates it: {e:?})"),
+    }
+    // The delta face: when the scenario carries update blocks, show how
+    // each batch would be serviced for this query — the derived delta plan
+    // (`R$delta` scans are the recomputed frontier, everything else
+    // re-reads maintained state) or the documented fallback.
+    if sc.updates.is_empty() {
+        return;
+    }
+    let Ok(plan) = dx_query::lower_formula(&query.formula) else {
+        return;
+    };
+    for nu in &sc.updates {
+        let changed = affected_target_rels(&sc.mapping, &nu.update);
+        let names: Vec<String> = changed.iter().map(|r| r.to_string()).collect();
+        println!(
+            "delta plan for update \"{}\" (touches {{{}}}):",
+            nu.name,
+            names.join(", ")
+        );
+        if nu.update.retracts().count() > 0 {
+            println!("  retraction present -> recompute (maintained sets cannot shrink by union)");
+            continue;
+        }
+        match dx_query::delta_plan(&plan, &changed) {
+            None => println!("  non-monotone occurrence -> recompute"),
+            Some(dx_query::Plan::Empty { .. }) => {
+                println!("  query reads none of the changed relations -> maintained as-is (skip)")
+            }
+            Some(dp) => {
+                for line in format!("{dp}").lines() {
+                    println!("  {line}");
+                }
+            }
+        }
     }
 }
 

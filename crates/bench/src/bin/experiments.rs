@@ -118,8 +118,15 @@ fn main() {
         e15_chase_engines(CHASE_NS, Some("BENCH_chase.json"), false);
         return;
     }
+    if std::env::args().any(|a| a == "stream") {
+        // E18 alone, full sizes, no JSON rewrite — the debugging face for
+        // the streaming race (the recorded rows come from `query`).
+        println!("# oc-exchange streaming race (E18 only, full sizes)\n");
+        e18_stream(QUERY_NS, false);
+        return;
+    }
     if std::env::args().any(|a| a == "query") {
-        println!("# oc-exchange query-engine race (E16 + E17 only)\n");
+        println!("# oc-exchange query-engine race (E16 + E17 + E18 only)\n");
         println!(
             "(pool: {} ambient worker(s) via DX_THREADS; engine races pin to 1, \
              threads axis sweeps {THREAD_WIDTHS:?})\n",
@@ -127,6 +134,7 @@ fn main() {
         );
         let mut records = e16_query_engines(QUERY_NS, false);
         records.extend(e17_regimes(QUERY_NS, false));
+        records.extend(e18_stream(QUERY_NS, false));
         write_query_json(&records, "BENCH_query.json");
         print_catalog_stats();
         return;
@@ -140,7 +148,7 @@ fn main() {
         // engine dropping below `SMOKE_PARITY_FLOOR` × its baseline fails
         // the run), and E17 cross-checks the regimes against brute-force
         // oracles.
-        println!("# oc-exchange bench smoke (E15 + E16 + E17, tiny sizes)\n");
+        println!("# oc-exchange bench smoke (E15 + E16 + E17 + E18, tiny sizes)\n");
         println!(
             "(pool: {} ambient worker(s) via DX_THREADS; engine races pin to 1, \
              threads axis sweeps {THREAD_WIDTHS:?})\n",
@@ -156,6 +164,7 @@ fn main() {
         e15_chase_engines(SMOKE_NS, Some(&chase_path), true);
         let mut records = e16_query_engines(SMOKE_NS, true);
         records.extend(e17_regimes(SMOKE_NS, true));
+        records.extend(e18_stream(SMOKE_NS, true));
         write_query_json(&records, &format!("{SMOKE_DIR}/BENCH_query.smoke.json"));
         print_catalog_stats();
         let snapshot = dx_obs::snapshot();
@@ -197,6 +206,7 @@ fn main() {
     e15_chase_engines(CHASE_NS, Some("BENCH_chase.json"), false);
     let mut records = e16_query_engines(QUERY_NS, false);
     records.extend(e17_regimes(QUERY_NS, false));
+    records.extend(e18_stream(QUERY_NS, false));
     write_query_json(&records, "BENCH_query.json");
     print_catalog_stats();
 }
@@ -471,6 +481,10 @@ fn run_explain(workload: &str) {
         run_explain_dx(workload);
         return;
     }
+    if workload == "stream" {
+        run_explain_stream();
+        return;
+    }
 
     let n = 32;
     let case = match workload {
@@ -484,7 +498,7 @@ fn run_explain(workload: &str) {
             .unwrap_or_else(|| {
                 panic!(
                     "unknown workload {other:?}; try membership, join, seeded, \
-                     repa, gcwa, or approx"
+                     repa, gcwa, approx, or stream"
                 )
             }),
     };
@@ -532,6 +546,69 @@ fn run_explain(workload: &str) {
         let events_before_export = dx_obs::trace::len();
         write_trace("trace.explain.json");
         println!("({events_before_export} timeline events captured during this EXPLAIN.)");
+    }
+}
+
+/// EXPLAIN for the stream workload: the ground plan over the initial
+/// `CSol(S)`, then the delta protocol's per-batch decision — the derived
+/// delta plan (`Δ`-scans are the recomputed frontier; every other node
+/// re-reads the incrementally maintained store) or one of the documented
+/// fallbacks (retraction / non-monotone occurrence / untouched skip).
+fn run_explain_stream() {
+    use dx_bench::query_workloads::stream_case;
+    use dx_chase::canonical_solution;
+    use dx_core::streaming::affected_target_rels;
+
+    let n = 32;
+    let case = stream_case(n);
+    let csol = canonical_solution(&case.mapping, &case.source);
+    let target = csol.rel_part();
+    let plan = dx_query::lower_formula(&case.query.formula).expect("stream query lowers");
+    let idx = dx_relation::InstanceIndex::build(&target);
+    let (rows, report) = dx_query::explain_run(&plan, &idx);
+    println!("# EXPLAIN stream (n = {n})\n");
+    println!("## Ground execution over the initial CSol(S)\n");
+    println!("{}", report.render());
+    println!(
+        "\n{} result rows over CSol(S) ({} tuples).",
+        rows.rows.len(),
+        target.tuple_count()
+    );
+    println!("\n## Delta plans per update batch\n");
+    println!(
+        "Node labels: a scan on an `R$delta` symbol reads the batch's fresh\n\
+         tuples — the *recomputed* frontier; every other node *maintains*:\n\
+         it re-reads the incrementally kept post-update store. The union of\n\
+         one redirected copy per changed-scan occurrence finds every answer\n\
+         a new tuple can witness.\n"
+    );
+    for (i, up) in case.updates.iter().enumerate() {
+        let changed = affected_target_rels(&case.mapping, up);
+        let names: Vec<String> = changed.iter().map(|r| r.to_string()).collect();
+        let kind = if up.retracts().count() == 0 {
+            "insert-only"
+        } else {
+            "churn"
+        };
+        println!("### batch {i} ({kind}; touches {{{}}})\n", names.join(", "));
+        if up.retracts().count() > 0 {
+            println!(
+                "retraction present: a maintained answer set cannot shrink by\n\
+                 union, so the session recomputes this batch (fallback arm of\n\
+                 the delta protocol).\n"
+            );
+            continue;
+        }
+        match dx_query::delta_plan(&plan, &changed) {
+            None => println!(
+                "changed relation under a refuting anti-join branch: delta\n\
+                 maintenance is unsound here — fallback = recompute.\n"
+            ),
+            Some(dx_query::Plan::Empty { .. }) => {
+                println!("query reads none of the changed relations: maintained as-is (skip).\n");
+            }
+            Some(dp) => println!("{dp}\n"),
+        }
     }
 }
 
@@ -2516,6 +2593,147 @@ fn e17_regimes(ns: &[usize], smoke: bool) -> Vec<String> {
          and against brute-force oracles at the smoke sizes. The threads \
          rows re-run the incremental regime on the work-stealing pool with \
          verdict, minimal count, and union count asserted bit-identical.\n"
+    );
+    rayon::set_threads(0);
+    records
+}
+
+/// E18 — streaming exchange: the delta protocol raced end to end. The
+/// incremental arm holds one `StreamSession` across the workload's whole
+/// update trace (incrementally maintained canonical solution + delta-plan
+/// answer maintenance, recompute fallback on the retraction batch); the
+/// rebuild arm re-chases the rolling source and re-answers from scratch
+/// after every batch. Per-batch answer identity is asserted on every run
+/// (not just smoke); smoke mode parity-gates the incremental arm, and the
+/// full sweep enforces the ≥2× incremental speedup at n ≥ 64 — the
+/// headline claim of `DESIGN.md §Streaming data exchange`. Emits the
+/// `stream` rows of `BENCH_query.json`.
+fn e18_stream(ns: &[usize], smoke: bool) -> Vec<String> {
+    use dx_bench::query_workloads::stream_case;
+    use dx_core::certain::certain_answers;
+    use dx_core::streaming::{QueryPath, StreamRegime, StreamSession};
+
+    println!("## E18 — streaming exchange: incremental maintenance vs recompute (dx-core)\n");
+    rayon::set_threads(1);
+    let mut records: Vec<String> = Vec::new();
+    let mut t = Table::new(&[
+        "workload",
+        "n",
+        "batches",
+        "delta paths",
+        "rebuild/batch",
+        "incremental",
+        "speedup",
+    ]);
+    for &n in ns {
+        let case = stream_case(n);
+        let batches = case.updates.len();
+        // The rebuild baseline: the pre-streaming batch entry point, run
+        // once per batch over the rolling source.
+        let run_rebuild = || {
+            let mut rolling = case.source.clone();
+            let mut per_batch = Vec::with_capacity(batches);
+            for up in &case.updates {
+                up.apply(&mut rolling);
+                let (rel, _) = certain_answers(&case.mapping, &rolling, &case.query, None);
+                per_batch.push(rel);
+            }
+            per_batch
+        };
+        let run_incremental = || {
+            let mut sess =
+                StreamSession::new(case.mapping.clone(), Vec::new(), case.source.clone());
+            sess.register("q", case.query.clone(), StreamRegime::Certain);
+            let mut per_batch = Vec::with_capacity(batches);
+            let mut delta_paths = 0usize;
+            for up in &case.updates {
+                let report = sess.update(up);
+                delta_paths += report
+                    .queries
+                    .iter()
+                    .filter(|(_, p)| matches!(p, QueryPath::DeltaPlan { .. }))
+                    .count();
+                per_batch.push(sess.answers("q").expect("registered").0);
+            }
+            (per_batch, delta_paths)
+        };
+        let mut best_rebuild: Option<Duration> = None;
+        let mut rebuild_answers = None;
+        let mut best_incr: Option<Duration> = None;
+        let mut incr_out = None;
+        for _ in 0..5 {
+            let (out, d) = timed(run_rebuild);
+            best_rebuild = Some(best_rebuild.map_or(d, |b| b.min(d)));
+            rebuild_answers = Some(out);
+            let (out, d) = timed(run_incremental);
+            best_incr = Some(best_incr.map_or(d, |b| b.min(d)));
+            incr_out = Some(out);
+        }
+        let (best_rebuild, best_incr) = (best_rebuild.expect("ran"), best_incr.expect("ran"));
+        let rebuild_answers = rebuild_answers.expect("ran");
+        let (incr_answers, delta_paths) = incr_out.expect("ran");
+        // The differential gate: after EVERY batch the maintained answer
+        // set must equal recompute-from-scratch.
+        for (i, (a, b)) in rebuild_answers.iter().zip(&incr_answers).enumerate() {
+            assert_eq!(
+                a, b,
+                "stream n={n} batch {i}: maintained answers diverge from recompute"
+            );
+        }
+        // All insert-only batches must actually ride delta plans (only the
+        // final retraction batch is allowed to fall back).
+        assert!(
+            delta_paths >= batches - 1,
+            "stream n={n}: only {delta_paths}/{batches} batches rode the delta plan"
+        );
+        let final_rows = incr_answers.last().map_or(0, |r| r.len());
+        records.push(query_row(
+            case.workload,
+            "stream",
+            "rebuild",
+            n,
+            1,
+            best_rebuild.as_micros(),
+            final_rows,
+            "",
+        ));
+        records.push(query_row(
+            case.workload,
+            "stream",
+            "incremental",
+            n,
+            1,
+            best_incr.as_micros(),
+            final_rows,
+            "",
+        ));
+        assert_smoke_parity(smoke, "stream", n, best_rebuild, best_incr);
+        let speedup = best_rebuild.as_secs_f64() / best_incr.as_secs_f64().max(1e-9);
+        if !smoke && n >= 64 {
+            assert!(
+                speedup >= 2.0,
+                "stream n={n}: incremental maintenance must beat per-batch \
+                 recompute by ≥2× (measured {speedup:.2}×)"
+            );
+        }
+        t.row(vec![
+            case.workload.to_string(),
+            n.to_string(),
+            batches.to_string(),
+            format!("{delta_paths}/{batches}"),
+            fmt_duration(best_rebuild),
+            fmt_duration(best_incr),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: the rebuild arm re-chases all n edges and re-answers \
+         the two-hop query per batch (Θ(n) per batch, Θ(n·B) total); the \
+         session arm chases only each batch's delta and unions the delta \
+         plan's new answers into the maintained raw set (O(|Δ|) per \
+         insert-only batch), recomputing once on the final retraction. \
+         Answer sets asserted identical batch for batch.\n"
     );
     rayon::set_threads(0);
     records

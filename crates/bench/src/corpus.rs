@@ -22,7 +22,14 @@
 //!    positive-query-collapse checks;
 //! 6. **Approximation bracket** — `lower ⊆ exact ⊆ upper` against the
 //!    brute-force member space, closing to equality under exhaustive
-//!    sampling.
+//!    sampling;
+//! 7. **Streaming race** — the scenario's `update` batches replay through
+//!    [`StreamSession`] (incremental chase + incrementally maintained
+//!    certain answers); after *every* batch the maintained canonical
+//!    solution must be hom-equivalent to a recompute-from-scratch, the
+//!    chased target must agree in outcome kind and hom-equivalence, and
+//!    every registered query's answer set must be identical to the batch
+//!    pipeline on the updated source.
 //!
 //! Any disagreement panics with the scenario text embedded, so a corpus
 //! failure is immediately reproducible from the seed.
@@ -34,6 +41,7 @@ use dx_core::certain::{certain_answers, certain_answers_via, possible_contains};
 use dx_core::regimes::{
     approx_certain_answers, gcwa_star_answers, gcwa_star_contains, RegimeBudget,
 };
+use dx_core::streaming::{QueryPath, StreamRegime, StreamSession};
 use dx_engine::IndexedChase;
 use dx_logic::{classify, Query};
 use dx_relation::{ConstId, Instance, Tuple, Value};
@@ -52,6 +60,10 @@ pub struct ScenarioReport {
     pub queries: usize,
     /// `Rep_A` members enumerated by the brute-force oracles.
     pub members: usize,
+    /// Update batches replayed through the streaming race.
+    pub updates: usize,
+    /// Query maintenance steps that rode a delta plan (vs recompute/skip).
+    pub delta_paths: usize,
 }
 
 /// Aggregated corpus statistics (serialized to JSON by [`CorpusStats::to_json`]).
@@ -69,6 +81,10 @@ pub struct CorpusStats {
     pub queries: usize,
     /// Total brute-force `Rep_A` members enumerated.
     pub members: usize,
+    /// Total update batches replayed through the streaming race.
+    pub updates: usize,
+    /// Total delta-plan maintenance steps across all streaming races.
+    pub delta_paths: usize,
     /// Total canonical `.dx` bytes round-tripped.
     pub text_bytes: usize,
 }
@@ -82,6 +98,8 @@ impl CorpusStats {
         self.chase_failed += usize::from(r.chase_failed);
         self.queries += r.queries;
         self.members += r.members;
+        self.updates += r.updates;
+        self.delta_paths += r.delta_paths;
         self.text_bytes += text_bytes;
     }
 
@@ -90,7 +108,8 @@ impl CorpusStats {
         format!(
             "{{\n  \"scenarios\": {},\n  \"per_grade\": [{}, {}, {}, {}],\n  \
              \"chase_satisfied\": {},\n  \"chase_failed\": {},\n  \"queries\": {},\n  \
-             \"members\": {},\n  \"text_bytes\": {}\n}}\n",
+             \"members\": {},\n  \"updates\": {},\n  \"delta_paths\": {},\n  \
+             \"text_bytes\": {}\n}}\n",
             self.scenarios,
             self.per_grade[0],
             self.per_grade[1],
@@ -100,6 +119,8 @@ impl CorpusStats {
             self.chase_failed,
             self.queries,
             self.members,
+            self.updates,
+            self.delta_paths,
             self.text_bytes,
         )
     }
@@ -410,6 +431,95 @@ pub fn race_scenario(sc: &Scenario) -> ScenarioReport {
         }
     }
 
+    // 7. Streaming race: replay the scenario's update batches through the
+    // incremental pipeline, racing every maintained artifact against a
+    // recompute-from-scratch after each batch. (Sources with labeled nulls
+    // sit outside the streaming contract — `IncrementalExchange` requires
+    // ground sources — so those scenarios skip this leg.)
+    if !sc.updates.is_empty() && sc.source.is_ground() {
+        let mut sess = StreamSession::new(
+            sc.mapping.clone(),
+            sc.constraints.clone(),
+            sc.source.clone(),
+        );
+        sess.set_search_budget(Some(budget.clone()));
+        for nq in &sc.queries {
+            sess.register(&nq.name, nq.query.clone(), StreamRegime::Certain);
+        }
+        let mut rolling = sc.source.clone();
+        for nu in &sc.updates {
+            report.updates += 1;
+            let rep = sess.update(&nu.update);
+            report.delta_paths += rep
+                .queries
+                .iter()
+                .filter(|(_, p)| matches!(p, QueryPath::DeltaPlan { .. }))
+                .count();
+            nu.update.apply(&mut rolling);
+
+            // Maintained canonical solution vs scratch recompute.
+            let scratch = canonical_solution(&sc.mapping, &rolling);
+            assert!(
+                ann_hom_equivalent(sess.exchange().csol(), &scratch.instance),
+                "{label} update {:?}: maintained csol is not hom-equivalent to recompute\n\
+                 maintained:\n{}\nscratch:\n{}\n{text}",
+                nu.name,
+                sess.exchange().csol(),
+                scratch.instance,
+            );
+
+            // Chased target (constraints): outcome kind + hom-equivalence.
+            if !sc.constraints.is_empty() {
+                let scratch_deps = canonical_solution_with_deps_via(
+                    &IndexedChase,
+                    &sc.mapping,
+                    &sc.constraints,
+                    &rolling,
+                    DEFAULT_CHASE_LIMIT,
+                );
+                let inc_outcome = sess.exchange().chase_outcome();
+                assert_eq!(
+                    std::mem::discriminant(&inc_outcome),
+                    std::mem::discriminant(&scratch_deps.outcome),
+                    "{label} update {:?}: chase outcomes diverge: incremental {:?} vs \
+                     scratch {:?}\n{text}",
+                    nu.name,
+                    inc_outcome,
+                    scratch_deps.outcome,
+                );
+                if matches!(scratch_deps.outcome, ChaseOutcome::Satisfied) {
+                    let chased = sess.exchange().chased();
+                    assert!(
+                        ann_hom_equivalent(&chased, &scratch_deps.instance),
+                        "{label} update {:?}: chased targets are not hom-equivalent\n\
+                         maintained:\n{chased}\nscratch:\n{}\n{text}",
+                        nu.name,
+                        scratch_deps.instance,
+                    );
+                }
+            }
+
+            // Maintained certain answers vs the batch pipeline, per query.
+            // Capped sweeps are cut off mid-enumeration and the order is
+            // legitimately permuted by the maintained csol's renamed nulls
+            // (DRed re-derivation mints fresh ids), so identity holds —
+            // and is asserted — only when both sides complete.
+            for nq in &sc.queries {
+                let (got, gc) = sess.answers(&nq.name).expect("registered");
+                let (want, wc) = certain_answers(&sc.mapping, &rolling, &nq.query, Some(&budget));
+                if gc == Completeness::Capped || wc == Completeness::Capped {
+                    continue;
+                }
+                assert_eq!(
+                    got, want,
+                    "{label} update {:?} {}: maintained certain answers diverge from \
+                     recompute\n{text}",
+                    nu.name, nq.name,
+                );
+            }
+        }
+    }
+
     report
 }
 
@@ -438,6 +548,7 @@ mod tests {
         assert_eq!(stats.scenarios, 8);
         assert!(stats.queries >= 16);
         assert!(stats.members > 0);
+        assert_eq!(stats.updates, 16, "every scenario replays its two batches");
     }
 
     #[test]

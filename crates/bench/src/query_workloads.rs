@@ -10,7 +10,7 @@
 
 use dx_chase::Mapping;
 use dx_logic::Query;
-use dx_relation::Instance;
+use dx_relation::{Instance, Update};
 use dx_workloads::conference;
 
 /// One benchmarkable query-evaluation problem: a mapping + source whose
@@ -197,6 +197,67 @@ pub fn approx_case(n: usize) -> QueryCase {
     }
 }
 
+/// One streaming-exchange problem (the `stream` rows of
+/// `BENCH_query.json`): an initial source, a positive two-hop target query,
+/// and a trace of source [`Update`] batches. The race pits
+/// `dx_core::StreamSession` (delta plans over the incrementally maintained
+/// canonical solution) against recompute-from-scratch (`certain_answers`
+/// over a fresh chase per batch). All but the last batch are insert-only —
+/// the regime delta plans are sound in — so the incremental arm does
+/// O(|Δ|) work per batch while the rebuild arm re-chases all n edges; the
+/// final batch retracts a tuple to exercise the documented
+/// fall-back-to-recompute arm of the delta protocol.
+pub struct StreamCase {
+    /// Workload family name (stable key in `BENCH_query.json`).
+    pub workload: &'static str,
+    /// The scale parameter (initial path length).
+    pub n: usize,
+    /// The annotated schema mapping (a closed copy rule).
+    pub mapping: Mapping,
+    /// The initial ground source instance.
+    pub source: Instance,
+    /// The positive two-hop query both arms maintain/recompute.
+    pub query: Query,
+    /// The update trace, applied in order.
+    pub updates: Vec<Update>,
+}
+
+/// Build the streaming workload at path length `n`: 7 insert-only growth
+/// batches (extend the path tip, branch off the prefix) followed by 1
+/// churn batch whose retraction forces the recompute fallback.
+pub fn stream_case(n: usize) -> StreamCase {
+    let mut source = Instance::new();
+    for i in 0..n {
+        source.insert_names("StSrc", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    let mut updates = Vec::new();
+    for b in 0..7usize {
+        let tip = n + 2 * b;
+        updates.push(
+            Update::new()
+                .insert_names("StSrc", &[&format!("v{tip}"), &format!("v{}", tip + 1)])
+                .insert_names(
+                    "StSrc",
+                    &[&format!("v{}", tip + 1), &format!("v{}", tip + 2)],
+                )
+                .insert_names("StSrc", &[&format!("v{b}"), &format!("w{b}")]),
+        );
+    }
+    updates.push(
+        Update::new()
+            .retract_names("StSrc", &["v0", "v1"])
+            .insert_names("StSrc", &["w0", "v2"]),
+    );
+    StreamCase {
+        workload: "stream",
+        n,
+        mapping: Mapping::parse("StE(x:cl, y:cl) <- StSrc(x, y)").expect("mapping parses"),
+        source,
+        query: Query::parse(&["x", "z"], "exists y. StE(x, y) & StE(y, z)").expect("query parses"),
+        updates,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +359,44 @@ mod tests {
              under-rewriting and the bracket closes"
         );
         assert!(out.leaves > 0, "the sampler actually ran");
+    }
+
+    /// The stream workload hits what it advertises: a positive compiled
+    /// query that rides delta plans on every insert-only batch, falls back
+    /// to recompute on the churn batch's retraction, and stays
+    /// answer-identical to recompute-from-scratch throughout.
+    #[test]
+    fn stream_case_rides_delta_plans_and_matches_recompute() {
+        use dx_core::certain::certain_answers;
+        use dx_core::streaming::{QueryPath, StreamRegime, StreamSession};
+        let case = stream_case(8);
+        assert!(classify::is_positive(&case.query.formula));
+        assert!(QueryEval::new(&case.query).is_compiled());
+        let (growth, churn) = case.updates.split_at(case.updates.len() - 1);
+        assert!(growth.iter().all(|u| u.retracts().count() == 0));
+        assert!(churn[0].retracts().count() > 0, "churn batch retracts");
+        let mut sess = StreamSession::new(case.mapping.clone(), Vec::new(), case.source.clone());
+        sess.register("q", case.query.clone(), StreamRegime::Certain);
+        let mut rolling = case.source.clone();
+        for (i, up) in case.updates.iter().enumerate() {
+            let report = sess.update(up);
+            let (_, path) = &report.queries[0];
+            if i < growth.len() {
+                assert!(
+                    matches!(path, QueryPath::DeltaPlan { .. }),
+                    "batch {i}: insert-only batches ride the delta plan, got {path:?}"
+                );
+            } else {
+                assert!(
+                    matches!(path, QueryPath::Recomputed),
+                    "batch {i}: the retraction must fall back to recompute, got {path:?}"
+                );
+            }
+            up.apply(&mut rolling);
+            let (maintained, _) = sess.answers("q").expect("registered");
+            let (oracle, _) = certain_answers(&case.mapping, &rolling, &case.query, None);
+            assert_eq!(maintained, oracle, "batch {i}: answers diverge");
+        }
     }
 
     /// The repa workload hits the regime it advertises: full-FO query over

@@ -200,8 +200,10 @@ pub fn std_witnesses(std: &Std, source: &Instance) -> Vec<Vec<Value>> {
 
 /// Build the head environment for one witness row: frontier variables get
 /// their witness values, existential variables get fresh nulls (reported to
-/// `on_null`).
-fn head_env(
+/// `on_null`). Public so incremental maintainers (`dx-engine`'s streaming
+/// layer) can re-instantiate heads witness-by-witness with *recorded* null
+/// bookkeeping instead of re-running the whole construction.
+pub fn head_env(
     std: &Std,
     row: &[Value],
     gen: &mut NullGen,
@@ -221,7 +223,7 @@ fn head_env(
 }
 
 /// Instantiate head-atom arguments under an environment.
-fn instantiate_atom(args: &[Term], env: &BTreeMap<Var, Value>) -> Tuple {
+pub fn instantiate_atom(args: &[Term], env: &BTreeMap<Var, Value>) -> Tuple {
     Tuple::new(
         args.iter()
             .map(|t| match t {

@@ -37,8 +37,8 @@ pub mod strategy;
 pub mod target_deps;
 
 pub use canonical::{
-    canonical_solution, canonical_solution_via, BodyEval, CanonicalSolution, Justification,
-    NaiveBodyEval,
+    canonical_solution, canonical_solution_via, head_env, instantiate_atom, BodyEval,
+    CanonicalSolution, Justification, NaiveBodyEval,
 };
 pub use chase_engine::{canonical_solution_with_deps, chase, ChaseOutcome, ChaseResult};
 pub use core::{ann_core_of, ann_isomorphic, core_of, AnnCoreResult, CoreResult};

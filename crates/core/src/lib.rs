@@ -29,6 +29,9 @@
 //! * [`ctable_bridge`] — exact, search-free CWA certain answers for full
 //!   relational algebra via the conditional tables of [`dx_ctables`]
 //!   (the §2-cited Imieliński–Lipski mechanism);
+//! * [`streaming`] — streaming data exchange: [`streaming::StreamSession`]
+//!   keeps registered queries' answers current under source update batches
+//!   (delta plans where sound, recompute-on-maintained-csol elsewhere);
 //! * [`regimes`] — the non-monotonic query-answering regimes of the
 //!   follow-up literature: GCWA\*-answers over unions of minimal solutions
 //!   (Hernich) and the under/over approximation bracket for queries with
@@ -46,6 +49,7 @@ pub mod ptime_lang;
 pub mod regimes;
 pub mod semantics;
 pub mod skstd;
+pub mod streaming;
 
 pub use certain::{
     certain_answers, certain_answers_via, certain_answers_with, certain_contains,
@@ -63,3 +67,4 @@ pub use regimes::{
 };
 pub use semantics::{in_semantics, in_semantics_via, is_member_via, MembershipOutcome};
 pub use skstd::{SkAtom, SkMapping, SkStd};
+pub use streaming::{affected_target_rels, QueryPath, SessionReport, StreamRegime, StreamSession};

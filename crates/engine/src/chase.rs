@@ -42,7 +42,7 @@ use dx_logic::Term;
 use dx_relation::{AnnTuple, NullGen, RelSym, Tuple, TupleId, Value, Var};
 use std::collections::{BTreeMap, VecDeque};
 
-type Asg = BTreeMap<Var, Value>;
+pub(crate) type Asg = BTreeMap<Var, Value>;
 
 /// The indexed, delta-driven chase strategy.
 #[derive(Clone, Copy, Debug, Default)]
@@ -198,7 +198,7 @@ pub fn indexed_chase(
 }
 
 /// Positions of `rel` among the body atoms.
-fn atom_positions(body: &[(RelSym, Vec<Term>)], rel: RelSym) -> Vec<usize> {
+pub(crate) fn atom_positions(body: &[(RelSym, Vec<Term>)], rel: RelSym) -> Vec<usize> {
     body.iter()
         .enumerate()
         .filter(|(_, (r, _))| *r == rel)
@@ -207,7 +207,7 @@ fn atom_positions(body: &[(RelSym, Vec<Term>)], rel: RelSym) -> Vec<usize> {
 }
 
 /// The index probe pattern of `args` under a partial assignment.
-fn pattern(args: &[Term], asg: &Asg) -> Vec<Option<Value>> {
+pub(crate) fn pattern(args: &[Term], asg: &Asg) -> Vec<Option<Value>> {
     args.iter()
         .map(|t| match t {
             Term::Const(c) => Some(Value::Const(*c)),
@@ -219,7 +219,12 @@ fn pattern(args: &[Term], asg: &Asg) -> Vec<Option<Value>> {
 
 /// Unify `args` with a concrete tuple, extending `asg`; newly bound
 /// variables are pushed onto `bound` for backtracking.
-fn match_tuple(tuple: &Tuple, args: &[Term], asg: &mut Asg, bound: &mut Vec<Var>) -> bool {
+pub(crate) fn match_tuple(
+    tuple: &Tuple,
+    args: &[Term],
+    asg: &mut Asg,
+    bound: &mut Vec<Var>,
+) -> bool {
     for (j, term) in args.iter().enumerate() {
         let val = tuple.get(j);
         match term {
@@ -248,7 +253,7 @@ fn match_tuple(tuple: &Tuple, args: &[Term], asg: &mut Asg, bound: &mut Vec<Var>
 /// Index-driven join of the `remaining` atoms (most selective first), calling
 /// `visit` on every complete assignment; `visit` returning `true` stops the
 /// enumeration.
-fn join(
+pub(crate) fn join(
     idx: &IndexedInstance,
     atoms: &[(RelSym, Vec<Term>)],
     remaining: &mut Vec<usize>,
@@ -292,7 +297,7 @@ fn join(
 }
 
 /// All body matches in which the seed tuple plays body atom `k`.
-fn seeded_matches(
+pub(crate) fn seeded_matches(
     idx: &IndexedInstance,
     body: &[(RelSym, Vec<Term>)],
     k: usize,
@@ -318,7 +323,11 @@ fn seeded_matches(
 
 /// Is a materialized body match still realized by live tuples (used to
 /// re-validate egd matches after a merge)?
-fn match_still_live(idx: &IndexedInstance, body: &[(RelSym, Vec<Term>)], asg: &Asg) -> bool {
+pub(crate) fn match_still_live(
+    idx: &IndexedInstance,
+    body: &[(RelSym, Vec<Term>)],
+    asg: &Asg,
+) -> bool {
     body.iter().all(|(rel, args)| {
         let pat = pattern(args, asg);
         debug_assert!(pat.iter().all(|p| p.is_some()), "match is total");
@@ -328,7 +337,7 @@ fn match_still_live(idx: &IndexedInstance, body: &[(RelSym, Vec<Term>)], asg: &A
 
 /// Can the tgd's head be extended into the instance under `asg` (restricted
 /// chase check), with existential variables drawn from live tuples?
-fn head_satisfiable(idx: &IndexedInstance, tgd: &Tgd, asg: &Asg) -> bool {
+pub(crate) fn head_satisfiable(idx: &IndexedInstance, tgd: &Tgd, asg: &Asg) -> bool {
     let atoms: Vec<(RelSym, Vec<Term>)> =
         tgd.head.iter().map(|a| (a.rel, a.args.clone())).collect();
     let mut remaining: Vec<usize> = (0..atoms.len()).collect();
@@ -375,7 +384,7 @@ fn apply_tgd(
 /// the other value across the store, enqueueing every rewritten id and every
 /// id a rewrite collided into (a collision target participates in new joins
 /// through the merged value, so it must be re-examined).
-fn merge(idx: &mut IndexedInstance, l: Value, r: Value, queue: &mut VecDeque<TupleId>) {
+pub(crate) fn merge(idx: &mut IndexedInstance, l: Value, r: Value, queue: &mut VecDeque<TupleId>) {
     let _span = dx_obs::span!("engine.chase.merge");
     dx_obs::count!("engine.chase.triggers_fired");
     dx_obs::count!("engine.chase.merges");
@@ -392,7 +401,7 @@ fn merge(idx: &mut IndexedInstance, l: Value, r: Value, queue: &mut VecDeque<Tup
 /// Search the whole store for a trigger of `dep` (used by
 /// [`IndexedChase::satisfies`]): an unsatisfied-head tgd match or a violated
 /// egd match.
-fn find_trigger(idx: &IndexedInstance, dep: &TargetDep) -> Option<Asg> {
+pub(crate) fn find_trigger(idx: &IndexedInstance, dep: &TargetDep) -> Option<Asg> {
     fn search(
         idx: &IndexedInstance,
         body: &[(RelSym, Vec<Term>)],
@@ -419,7 +428,7 @@ fn find_trigger(idx: &IndexedInstance, dep: &TargetDep) -> Option<Asg> {
     }
 }
 
-fn eval_term(t: &Term, asg: &Asg) -> Value {
+pub(crate) fn eval_term(t: &Term, asg: &Asg) -> Value {
     match t {
         Term::Var(v) => asg[v],
         Term::Const(c) => Value::Const(*c),

@@ -17,12 +17,19 @@
 //! differentially tested on randomized workloads in
 //! `tests/engine_differential.rs`, and raced in
 //! `crates/bench/benches/engine.rs` (results land in `BENCH_chase.json`).
+//!
+//! For sustained update traffic, [`stream::IncrementalExchange`] maintains
+//! the canonical solution (and its chased closure) under source
+//! [`dx_relation::Update`] batches instead of re-running the pipeline —
+//! see `DESIGN.md §Streaming data exchange` for the delta protocol.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chase;
 pub mod query_store;
 pub mod store;
+pub mod stream;
 
 pub use chase::{indexed_chase, IndexedChase};
 pub use store::{IndexedInstance, Inserted, Rewrite};
+pub use stream::{IncrementalExchange, StdPath, TargetPath, UpdateReport};

@@ -1,0 +1,1221 @@
+//! Incremental data exchange: maintain the canonical solution under
+//! source [`Update`] batches instead of re-chasing from scratch.
+//!
+//! [`IncrementalExchange`] owns a ground source instance and keeps two
+//! layers of derived state consistent with it across update batches:
+//!
+//! **Layer 1 — the annotated canonical solution `CSol_A(S)`.** For every
+//! STD the engine maintains the set of body *witnesses* (satisfying
+//! assignments over the source) together with the nulls each witness
+//! minted. Conjunctive bodies are maintained by **seeded semi-naive
+//! diffing**: a retracted source tuple is unified against each body atom
+//! over the *old* source index to enumerate exactly the dying witnesses,
+//! and an inserted tuple is seeded the same way over the *new* index to
+//! enumerate exactly the newborn ones (on a ground source a full body
+//! assignment determines its atom tuples, so the dead and born sets are
+//! disjoint and exact). Non-CQ bodies (negation, disjunction, explicit
+//! quantifiers) are re-evaluated and diffed against the stored witness
+//! set. Head tuples are reference-counted across witnesses (`(rel,
+//! annotated-tuple) → producer count`) so a shared ground head tuple
+//! survives until its *last* witness dies, while null-bearing head tuples
+//! (unique to their witness, since nulls are fresh) are removed — and
+//! their nulls garbage-collected from the justification table — exactly
+//! when their witness dies. Empty-annotated-tuple markers `(_, α)` are
+//! likewise counted per `(relation, annotation)` across the STD head
+//! atoms whose witness set is empty.
+//!
+//! **Layer 2 — the chased target (when target constraints are present).**
+//! The engine runs the same indexed restricted chase as
+//! [`crate::indexed_chase`], but *records derivations*: each tgd firing
+//! logs the tuple ids its body matched and the head ids it produced.
+//! Retraction uses **overdelete + re-derive** (DRed-style), not
+//! derivation counting — counting alone is unsound for recursive tgds,
+//! where a cycle of derivations (e.g. a symmetry tgd) keeps tuples alive
+//! with no surviving base support. A base deletion kills every firing
+//! whose recorded body contains a deleted id, transitively overdeleting
+//! their heads; overdeleted tuples still present in Layer 1 are
+//! re-inserted, the rest get a **head-seeded re-derivation** pass (unify
+//! the lost tuple with each tgd head, join the body under the surviving
+//! frontier bindings, re-fire if the head became unsatisfiable), and a
+//! final semi-naive closure restores satisfaction. Egd merges rewrite
+//! tuple ids wholesale, which stales the derivation log — the engine
+//! tracks a `merged` taint and falls back to a full **rebuild** of the
+//! target layer (a from-scratch re-chase of the maintained `CSol_A`) on
+//! the next deleting batch, as it does after `Failed`/`StepLimit`
+//! outcomes or empty-marker transitions. The rebuild shares the recording
+//! closure with the incremental path, so there is a single code path to
+//! trust.
+//!
+//! The full protocol — including the per-regime soundness table for
+//! certain/possible/GCWA*/approx answers — is documented in
+//! `DESIGN.md §Streaming data exchange`; the query-layer maintenance
+//! built on top of this type lives in `dx-core`'s `StreamSession`.
+
+use crate::chase::{self, Asg};
+use crate::store::{IndexedInstance, Inserted};
+use dx_chase::chase_engine::{ChaseOutcome, DEFAULT_CHASE_LIMIT};
+use dx_chase::target_deps::{TargetDep, Tgd};
+use dx_chase::{
+    head_env, instantiate_atom, BodyEval, CanonicalSolution, Justification, Mapping, Std,
+};
+use dx_logic::{Formula, Term};
+use dx_relation::{
+    AnnInstance, AnnTuple, Annotation, FastMap, Instance, NullGen, NullId, RelSym, Tuple, TupleId,
+    Update, Value, Var,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+static PLANNED_BODY_EVAL: dx_query::PlannedBodyEval = dx_query::PlannedBodyEval;
+
+/// How one STD was maintained during an update batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StdPath {
+    /// Body relations disjoint from the delta — nothing to do.
+    Skipped,
+    /// Conjunctive body: dead/born witnesses enumerated by seeding the
+    /// changed tuples into the body join.
+    Seeded,
+    /// Non-CQ body: witnesses re-evaluated from scratch and diffed.
+    Recomputed,
+}
+
+/// How the chased target layer was maintained during an update batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetPath {
+    /// No target constraints (or the canonical solution did not change) —
+    /// the target layer is the canonical solution itself.
+    None,
+    /// Overdelete + re-derive + semi-naive closure over the recorded
+    /// derivation log.
+    Incremental {
+        /// Tuples removed by the overdelete cascade (including those
+        /// subsequently re-inserted or re-derived).
+        overdeleted: usize,
+        /// Chase steps spent by re-derivation and the closing run.
+        steps: usize,
+    },
+    /// Full re-chase of the maintained canonical solution (egd-merge
+    /// taint, a non-`Satisfied` prior outcome, or an empty-marker
+    /// transition).
+    Rebuilt {
+        /// Chase steps spent by the rebuild.
+        steps: usize,
+    },
+}
+
+/// What one [`IncrementalExchange::update`] call did.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Source tuples whose membership actually flipped.
+    pub effective_ops: usize,
+    /// Per-STD maintenance path taken, by STD index.
+    pub std_paths: Vec<StdPath>,
+    /// Witnesses that died across all STDs.
+    pub witnesses_died: usize,
+    /// Witnesses born across all STDs.
+    pub witnesses_born: usize,
+    /// Annotated tuples removed from the canonical solution.
+    pub csol_removed: usize,
+    /// Annotated tuples added to the canonical solution.
+    pub csol_added: usize,
+    /// Nulls garbage-collected (all their derivations died).
+    pub nulls_collected: usize,
+    /// The annotated tuples the batch added to the canonical solution —
+    /// the csol-level delta downstream consumers (e.g. delta-plan query
+    /// maintenance) feed forward.
+    pub added: Vec<(RelSym, AnnTuple)>,
+    /// The annotated tuples the batch removed from the canonical solution.
+    pub removed: Vec<(RelSym, AnnTuple)>,
+    /// Did any STD's empty-marker set flip (a witness set became empty or
+    /// non-empty)? Markers are invisible to `rel(·)` but shape the
+    /// representation space `Rep_A`, so search-based consumers must
+    /// recompute when this is set even if no tuple changed.
+    pub marks_changed: bool,
+    /// How the chased target layer was maintained.
+    pub target: TargetPath,
+}
+
+impl UpdateReport {
+    /// Target relations whose canonical-solution contents changed.
+    pub fn changed_rels(&self) -> BTreeSet<RelSym> {
+        self.added
+            .iter()
+            .chain(self.removed.iter())
+            .map(|(rel, _)| *rel)
+            .collect()
+    }
+}
+
+/// Per-STD incremental state: the maintained witness set and the nulls
+/// each witness minted.
+struct StdState {
+    /// Body atoms when the body is a pure conjunctive query (the seeded
+    /// diffing fast path); `None` forces recompute-and-diff.
+    cq: Option<Vec<(RelSym, Vec<Term>)>>,
+    /// Relations the body reads — used to skip untouched STDs.
+    body_rels: BTreeSet<RelSym>,
+    /// Free variables of the body, in [`Std::body_vars`] order.
+    body_vars: Vec<Var>,
+    /// witness row (in `body_vars` order) → nulls it minted, as
+    /// `(existential var, null)` pairs.
+    witnesses: BTreeMap<Vec<Value>, Vec<(Var, NullId)>>,
+}
+
+/// One recorded tgd firing in the target-layer derivation log.
+struct Firing {
+    /// Ids of the head tuples this firing produced (or found already
+    /// present — overdeleting a duplicate is conservative but sound,
+    /// since re-derivation restores independently supported tuples).
+    heads: Vec<TupleId>,
+    /// Is this firing still supported (no recorded body tuple deleted)?
+    alive: bool,
+}
+
+/// The chased target layer: index, derivation log, and taint flags.
+struct TargetState {
+    idx: IndexedInstance,
+    outcome: ChaseOutcome,
+    /// Ids of the Layer-1 (canonical-solution) tuples inside `idx`,
+    /// keyed by their annotated content.
+    base_ids: FastMap<(RelSym, AnnTuple), TupleId>,
+    firings: Vec<Firing>,
+    /// body tuple id → indices of firings that matched it.
+    by_body: FastMap<TupleId, Vec<usize>>,
+    /// An egd merge rewrote ids — the derivation log is stale, so the
+    /// next deleting batch must rebuild.
+    merged: bool,
+}
+
+/// Incrementally maintained data exchange over a mutable ground source
+/// (see the module docs for the delta protocol).
+///
+/// ```
+/// use dx_chase::Mapping;
+/// use dx_engine::IncrementalExchange;
+/// use dx_relation::{Instance, Update};
+///
+/// let mapping = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+/// let mut source = Instance::new();
+/// source.insert_names("E", &["a", "b"]);
+///
+/// let mut inc = IncrementalExchange::new(mapping, Vec::new(), source);
+/// assert_eq!(inc.csol().tuple_count(), 1);
+///
+/// let report = inc.update(
+///     &Update::new()
+///         .insert_names("E", &["b", "c"])
+///         .retract_names("E", &["a", "b"]),
+/// );
+/// assert_eq!(report.witnesses_born, 1);
+/// assert_eq!(report.witnesses_died, 1);
+/// assert_eq!(report.nulls_collected, 1);
+/// assert_eq!(inc.csol().tuple_count(), 1);
+/// ```
+pub struct IncrementalExchange {
+    mapping: Mapping,
+    constraints: Vec<TargetDep>,
+    source: Instance,
+    /// The source mirrored into a column-indexed store (with dummy
+    /// all-closed annotations) so the chase's seeded join machinery can
+    /// enumerate witnesses.
+    src_idx: IndexedInstance,
+    gen: NullGen,
+    stds: Vec<StdState>,
+    /// `(rel, annotated head tuple) → number of witnesses producing it`.
+    head_counts: FastMap<(RelSym, AnnTuple), u32>,
+    /// `(rel, annotation) → number of empty-witness STD head atoms
+    /// producing the empty marker `(_, α)``.
+    mark_counts: FastMap<(RelSym, Annotation), u32>,
+    csol: AnnInstance,
+    null_origin: BTreeMap<NullId, Justification>,
+    target: Option<TargetState>,
+    max_steps: usize,
+}
+
+/// Flatten a pure conjunctive body into its atom list; `None` when the
+/// body uses negation, disjunction, equality, or explicit quantifiers.
+fn cq_atoms(f: &Formula) -> Option<Vec<(RelSym, Vec<Term>)>> {
+    fn go(f: &Formula, out: &mut Vec<(RelSym, Vec<Term>)>) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::Atom(rel, args) => {
+                if args.iter().any(|t| t.has_funcs()) {
+                    return false;
+                }
+                out.push((*rel, args.clone()));
+                true
+            }
+            Formula::And(fs) => fs.iter().all(|g| go(g, out)),
+            _ => false,
+        }
+    }
+    let mut out = Vec::new();
+    (go(f, &mut out) && !out.is_empty()).then_some(out)
+}
+
+/// Mirror a ground source tuple into the indexed store (the annotation is
+/// a placeholder; source tuples carry no open/closed semantics).
+fn src_ann(t: &Tuple) -> AnnTuple {
+    AnnTuple::new(t.clone(), Annotation::all_closed(t.arity()))
+}
+
+impl IncrementalExchange {
+    /// Build the exchange state for `source` under `mapping` and target
+    /// `constraints`, chasing with the default step limit.
+    ///
+    /// Panics if the source is not ground (the data-exchange setting).
+    pub fn new(mapping: Mapping, constraints: Vec<TargetDep>, source: Instance) -> Self {
+        Self::with_step_limit(mapping, constraints, source, DEFAULT_CHASE_LIMIT)
+    }
+
+    /// [`IncrementalExchange::new`] with an explicit per-batch chase step
+    /// budget.
+    pub fn with_step_limit(
+        mapping: Mapping,
+        constraints: Vec<TargetDep>,
+        source: Instance,
+        max_steps: usize,
+    ) -> Self {
+        assert!(source.is_ground(), "source instances must be over Const");
+        let mut src_idx = IndexedInstance::new();
+        for (rel, r) in source.relations() {
+            for t in r.iter() {
+                src_idx.insert(rel, src_ann(t));
+            }
+        }
+        let mut inc = IncrementalExchange {
+            stds: mapping
+                .stds
+                .iter()
+                .map(|std| StdState {
+                    cq: cq_atoms(&std.body),
+                    body_rels: std.body.relations().into_iter().map(|(r, _)| r).collect(),
+                    body_vars: std.body_vars(),
+                    witnesses: BTreeMap::new(),
+                })
+                .collect(),
+            mapping,
+            constraints,
+            source,
+            src_idx,
+            gen: NullGen::new(),
+            head_counts: FastMap::default(),
+            mark_counts: FastMap::default(),
+            csol: AnnInstance::new(),
+            null_origin: BTreeMap::new(),
+            target: None,
+            max_steps,
+        };
+        // Initial build = the canonical-solution construction, executed
+        // through the same birth path updates use (so null numbering
+        // follows witness order exactly like `canonical_solution`).
+        for i in 0..inc.stds.len() {
+            let rows = PLANNED_BODY_EVAL.witnesses(&inc.mapping.stds[i], &inc.source);
+            if rows.is_empty() {
+                let Self {
+                    mapping,
+                    mark_counts,
+                    csol,
+                    ..
+                } = &mut inc;
+                for atom in &mapping.stds[i].head {
+                    let slot = mark_counts.entry((atom.rel, atom.ann.clone())).or_insert(0);
+                    *slot += 1;
+                    if *slot == 1 {
+                        csol.insert_empty_mark(atom.rel, atom.ann.clone());
+                    }
+                }
+            }
+            let mut report = UpdateReport::empty(0);
+            let mut added = Vec::new();
+            for row in rows {
+                inc.birth_witness(i, row, &mut report, &mut added);
+            }
+        }
+        if !inc.constraints.is_empty() {
+            inc.rebuild_target();
+        }
+        inc
+    }
+
+    /// The current source instance.
+    pub fn source(&self) -> &Instance {
+        &self.source
+    }
+
+    /// The maintained annotated canonical solution `CSol_A(S)`.
+    pub fn csol(&self) -> &AnnInstance {
+        &self.csol
+    }
+
+    /// Assemble the maintained state into a [`CanonicalSolution`]
+    /// (instance + null justifications + per-STD witness lists). Null
+    /// *ids* differ from a from-scratch `canonical_solution` run after
+    /// retractions (freshness is monotone; ids are never reused), but the
+    /// result is isomorphic to it — the differential harness checks
+    /// exactly that.
+    pub fn canonical(&self) -> CanonicalSolution {
+        CanonicalSolution {
+            instance: self.csol.clone(),
+            null_origin: self.null_origin.clone(),
+            witnesses: self
+                .stds
+                .iter()
+                .map(|st| st.witnesses.keys().cloned().collect())
+                .collect(),
+        }
+    }
+
+    /// The chased target instance: the canonical solution chased with the
+    /// target constraints (or the canonical solution itself when there
+    /// are none).
+    pub fn chased(&self) -> AnnInstance {
+        match &self.target {
+            Some(ts) => ts.idx.to_ann(),
+            None => self.csol.clone(),
+        }
+    }
+
+    /// Outcome of the most recent target chase (`Satisfied` when there
+    /// are no constraints).
+    pub fn chase_outcome(&self) -> ChaseOutcome {
+        match &self.target {
+            Some(ts) => ts.outcome.clone(),
+            None => ChaseOutcome::Satisfied,
+        }
+    }
+
+    /// Apply one update batch and propagate it through both layers.
+    pub fn update(&mut self, up: &Update) -> UpdateReport {
+        let applied = up.apply(&mut self.source);
+        let mut report = UpdateReport::empty(self.stds.len());
+        report.effective_ops = applied.inserted.len() + applied.retracted.len();
+        if applied.is_noop() {
+            return report;
+        }
+        let touched = applied.touched_rels();
+
+        // Phase A: enumerate dying witnesses of CQ bodies by seeding each
+        // retracted tuple into the body join over the OLD source index.
+        let mut dead: Vec<BTreeSet<Vec<Value>>> = vec![BTreeSet::new(); self.stds.len()];
+        let mut born: Vec<BTreeSet<Vec<Value>>> = vec![BTreeSet::new(); self.stds.len()];
+        for (i, st) in self.stds.iter().enumerate() {
+            if st.body_rels.is_disjoint(&touched) {
+                continue;
+            }
+            if let Some(atoms) = &st.cq {
+                report.std_paths[i] = StdPath::Seeded;
+                for (rel, t) in &applied.retracted {
+                    for k in chase::atom_positions(atoms, *rel) {
+                        for asg in chase::seeded_matches(&self.src_idx, atoms, k, t) {
+                            dead[i].insert(st.row_of(&asg));
+                        }
+                    }
+                }
+            } else {
+                report.std_paths[i] = StdPath::Recomputed;
+            }
+        }
+
+        // Mutate the mirrored source index to the new source.
+        for (rel, t) in &applied.retracted {
+            let pat: Vec<Option<Value>> = (0..t.arity()).map(|j| Some(t.get(j))).collect();
+            for id in self.src_idx.matching(*rel, &pat) {
+                self.src_idx.retract(id);
+            }
+        }
+        for (rel, t) in &applied.inserted {
+            self.src_idx.insert(*rel, src_ann(t));
+        }
+
+        // Phase B: newborn witnesses — seeded over the NEW index for CQ
+        // bodies, recompute-and-diff for everything else.
+        for (i, st) in self.stds.iter().enumerate() {
+            match report.std_paths[i] {
+                StdPath::Skipped => {}
+                StdPath::Seeded => {
+                    let atoms = st.cq.as_ref().expect("seeded path implies CQ");
+                    for (rel, t) in &applied.inserted {
+                        for k in chase::atom_positions(atoms, *rel) {
+                            for asg in chase::seeded_matches(&self.src_idx, atoms, k, t) {
+                                let row = st.row_of(&asg);
+                                if !st.witnesses.contains_key(&row) {
+                                    born[i].insert(row);
+                                }
+                            }
+                        }
+                    }
+                }
+                StdPath::Recomputed => {
+                    let rows: BTreeSet<Vec<Value>> = PLANNED_BODY_EVAL
+                        .witnesses(&self.mapping.stds[i], &self.source)
+                        .into_iter()
+                        .collect();
+                    dead[i] = st
+                        .witnesses
+                        .keys()
+                        .filter(|w| !rows.contains(*w))
+                        .cloned()
+                        .collect();
+                    born[i] = rows
+                        .into_iter()
+                        .filter(|w| !st.witnesses.contains_key(w))
+                        .collect();
+                }
+            }
+        }
+
+        // Apply witness deaths and births to the canonical solution.
+        let mut marks_changed = false;
+        let mut added_tuples: Vec<(RelSym, AnnTuple)> = Vec::new();
+        let mut removed_tuples: Vec<(RelSym, AnnTuple)> = Vec::new();
+        for i in 0..self.stds.len() {
+            let was_empty = self.stds[i].witnesses.is_empty();
+            for row in std::mem::take(&mut dead[i]) {
+                self.kill_witness(i, &row, &mut report, &mut removed_tuples);
+            }
+            for row in std::mem::take(&mut born[i]) {
+                self.birth_witness(i, row, &mut report, &mut added_tuples);
+            }
+            let now_empty = self.stds[i].witnesses.is_empty();
+            if was_empty != now_empty {
+                marks_changed = true;
+                self.shift_marks(i, now_empty);
+            }
+        }
+
+        // Propagate the canonical-solution delta into the chased target.
+        if self.target.is_some()
+            && (!added_tuples.is_empty() || !removed_tuples.is_empty() || marks_changed)
+        {
+            report.target = self.update_target(&added_tuples, &removed_tuples, marks_changed);
+        }
+        report.added = added_tuples;
+        report.removed = removed_tuples;
+        report.marks_changed = marks_changed;
+        report
+    }
+
+    /// Kill one witness of STD `i`: decrement its head tuples' producer
+    /// counts (removing tuples whose last producer died) and
+    /// garbage-collect the nulls it minted.
+    fn kill_witness(
+        &mut self,
+        i: usize,
+        row: &[Value],
+        report: &mut UpdateReport,
+        removed: &mut Vec<(RelSym, AnnTuple)>,
+    ) {
+        let Self {
+            mapping,
+            stds,
+            head_counts,
+            csol,
+            null_origin,
+            ..
+        } = self;
+        let st = &mut stds[i];
+        let Some(minted) = st.witnesses.remove(row) else {
+            return;
+        };
+        report.witnesses_died += 1;
+        let mut env: BTreeMap<Var, Value> = st
+            .body_vars
+            .iter()
+            .copied()
+            .zip(row.iter().copied())
+            .collect();
+        for (var, null) in &minted {
+            env.insert(*var, Value::Null(*null));
+        }
+        for atom in &mapping.stds[i].head {
+            let at = AnnTuple::new(instantiate_atom(&atom.args, &env), atom.ann.clone());
+            let key = (atom.rel, at);
+            let slot = head_counts
+                .get_mut(&key)
+                .expect("every witness head tuple is counted");
+            *slot -= 1;
+            if *slot == 0 {
+                head_counts.remove(&key);
+                csol.remove(key.0, &key.1);
+                report.csol_removed += 1;
+                removed.push(key);
+            }
+        }
+        for (_, null) in minted {
+            null_origin.remove(&null);
+            report.nulls_collected += 1;
+        }
+    }
+
+    /// Birth one witness of STD `i`: mint fresh nulls for its existential
+    /// variables (recording justifications) and insert its head tuples.
+    fn birth_witness(
+        &mut self,
+        i: usize,
+        row: Vec<Value>,
+        report: &mut UpdateReport,
+        added: &mut Vec<(RelSym, AnnTuple)>,
+    ) {
+        let Self {
+            mapping,
+            stds,
+            head_counts,
+            csol,
+            null_origin,
+            gen,
+            ..
+        } = self;
+        let std: &Std = &mapping.stds[i];
+        let mut minted: Vec<(Var, NullId)> = Vec::new();
+        let env = head_env(std, &row, gen, |var, null| {
+            null_origin.insert(
+                null,
+                Justification {
+                    std_idx: i,
+                    witness: row.clone(),
+                    var,
+                },
+            );
+            minted.push((var, null));
+        });
+        report.witnesses_born += 1;
+        for atom in &std.head {
+            let at = AnnTuple::new(instantiate_atom(&atom.args, &env), atom.ann.clone());
+            let key = (atom.rel, at);
+            let slot = head_counts.entry(key.clone()).or_insert(0);
+            *slot += 1;
+            if *slot == 1 {
+                csol.insert(key.0, key.1.clone());
+                report.csol_added += 1;
+                added.push(key);
+            }
+        }
+        stds[i].witnesses.insert(row, minted);
+    }
+
+    /// STD `i`'s witness set crossed the empty/non-empty boundary: shift
+    /// the empty-marker counts of its head atoms accordingly.
+    fn shift_marks(&mut self, i: usize, now_empty: bool) {
+        let Self {
+            mapping,
+            mark_counts,
+            csol,
+            ..
+        } = self;
+        for atom in &mapping.stds[i].head {
+            let key = (atom.rel, atom.ann.clone());
+            if now_empty {
+                let slot = mark_counts.entry(key.clone()).or_insert(0);
+                *slot += 1;
+                if *slot == 1 {
+                    csol.insert_empty_mark(key.0, key.1);
+                }
+            } else {
+                let slot = mark_counts
+                    .get_mut(&key)
+                    .expect("non-empty transition implies a counted marker");
+                *slot -= 1;
+                if *slot == 0 {
+                    mark_counts.remove(&key);
+                    csol.remove_empty_mark(key.0, &key.1);
+                }
+            }
+        }
+    }
+
+    /// Re-chase the maintained canonical solution from scratch (with
+    /// derivation recording) — the fallback path, and the initial build.
+    fn rebuild_target(&mut self) -> usize {
+        let mut ts = TargetState {
+            idx: IndexedInstance::new(),
+            outcome: ChaseOutcome::Satisfied,
+            base_ids: FastMap::default(),
+            firings: Vec::new(),
+            by_body: FastMap::default(),
+            merged: false,
+        };
+        let mut queue = VecDeque::new();
+        for (rel, r) in self.csol.relations() {
+            for ann in r.empty_marks() {
+                ts.idx.insert_empty_mark(rel, ann.clone());
+            }
+            for at in r.iter() {
+                let id = ts.idx.insert(rel, at.clone()).id();
+                ts.base_ids.insert((rel, at.clone()), id);
+                queue.push_back(id);
+            }
+        }
+        let steps = run_closure(
+            &mut ts,
+            &self.constraints,
+            &mut self.gen,
+            self.max_steps,
+            0,
+            queue,
+        );
+        self.target = Some(ts);
+        steps
+    }
+
+    /// Propagate a canonical-solution delta into the chased target:
+    /// overdelete + re-derive when the derivation log is trustworthy,
+    /// full rebuild otherwise.
+    fn update_target(
+        &mut self,
+        added: &[(RelSym, AnnTuple)],
+        removed: &[(RelSym, AnnTuple)],
+        marks_changed: bool,
+    ) -> TargetPath {
+        let stale = {
+            let ts = self.target.as_ref().expect("target layer present");
+            marks_changed
+                || ts.outcome != ChaseOutcome::Satisfied
+                || (ts.merged && !removed.is_empty())
+        };
+        if stale {
+            let steps = self.rebuild_target();
+            return TargetPath::Rebuilt { steps };
+        }
+        let ts = self.target.as_mut().expect("target layer present");
+
+        // Overdelete: kill every firing a deleted tuple fed, cascading
+        // through the derivation log.
+        let mut dq: VecDeque<TupleId> = removed
+            .iter()
+            .filter_map(|key| ts.base_ids.remove(key))
+            .collect();
+        let mut deleted: Vec<(RelSym, AnnTuple)> = Vec::new();
+        while let Some(id) = dq.pop_front() {
+            let Some((rel, at)) = ts.idx.retract(id) else {
+                continue; // already overdeleted via another firing
+            };
+            deleted.push((rel, at));
+            if let Some(fids) = ts.by_body.get(&id) {
+                for &fi in fids {
+                    let f = &mut ts.firings[fi];
+                    if f.alive {
+                        f.alive = false;
+                        dq.extend(f.heads.iter().copied());
+                    }
+                }
+            }
+        }
+        let overdeleted = deleted.len();
+
+        // Re-insert overdeleted tuples that are still canonical-solution
+        // (Layer 1) tuples — their base support is independent of the
+        // killed firings.
+        let mut queue = VecDeque::new();
+        let mut reinserted: BTreeSet<(RelSym, AnnTuple)> = BTreeSet::new();
+        for (rel, at) in &deleted {
+            if self.csol.contains(*rel, at) {
+                let id = ts.idx.insert(*rel, at.clone()).id();
+                ts.base_ids.insert((*rel, at.clone()), id);
+                queue.push_back(id);
+                reinserted.insert((*rel, at.clone()));
+            }
+        }
+
+        // Head-seeded re-derivation: a lost derived tuple may have other
+        // live derivations the (conservative) overdelete destroyed. Unify
+        // it with every tgd head, join the body under the surviving
+        // frontier bindings, and re-fire where the head became
+        // unsatisfiable. Fresh nulls replace the lost ones — the result
+        // is homomorphically equivalent, which is all a chase result
+        // promises.
+        let mut steps = 0usize;
+        for (rel, at) in &deleted {
+            if reinserted.contains(&(*rel, at.clone())) {
+                continue;
+            }
+            for dep in &self.constraints {
+                let TargetDep::Tgd(tgd) = dep else { continue };
+                let body_vars: BTreeSet<Var> = tgd
+                    .body
+                    .iter()
+                    .flat_map(|(_, args)| args.iter().flat_map(|t| t.vars()))
+                    .collect();
+                for atom in &tgd.head {
+                    if atom.rel != *rel || atom.args.len() != at.tuple.arity() {
+                        continue;
+                    }
+                    let mut asg = Asg::new();
+                    let mut bound = Vec::new();
+                    if !chase::match_tuple(&at.tuple, &atom.args, &mut asg, &mut bound) {
+                        continue;
+                    }
+                    asg.retain(|v, _| body_vars.contains(v));
+                    let mut remaining: Vec<usize> = (0..tgd.body.len()).collect();
+                    let mut matches = Vec::new();
+                    chase::join(&ts.idx, &tgd.body, &mut remaining, &mut asg, &mut |a| {
+                        matches.push(a.clone());
+                        false
+                    });
+                    for m in matches {
+                        if chase::head_satisfiable(&ts.idx, tgd, &m) {
+                            continue;
+                        }
+                        if steps >= self.max_steps {
+                            ts.outcome = ChaseOutcome::StepLimit;
+                            return TargetPath::Incremental { overdeleted, steps };
+                        }
+                        fire_recorded(ts, tgd, &m, &mut self.gen, &mut queue);
+                        steps += 1;
+                    }
+                }
+            }
+        }
+
+        // Insert the new base tuples and close under the constraints.
+        for (rel, at) in added {
+            match ts.idx.insert(*rel, at.clone()) {
+                Inserted::Fresh(id) => {
+                    ts.base_ids.insert((*rel, at.clone()), id);
+                    queue.push_back(id);
+                }
+                Inserted::Duplicate(id) => {
+                    ts.base_ids.insert((*rel, at.clone()), id);
+                }
+            }
+        }
+        steps = run_closure(
+            ts,
+            &self.constraints,
+            &mut self.gen,
+            self.max_steps,
+            steps,
+            queue,
+        );
+        TargetPath::Incremental { overdeleted, steps }
+    }
+}
+
+impl StdState {
+    /// Project a full body assignment onto the witness row (body-vars
+    /// order).
+    fn row_of(&self, asg: &Asg) -> Vec<Value> {
+        self.body_vars.iter().map(|v| asg[v]).collect()
+    }
+}
+
+impl UpdateReport {
+    fn empty(num_stds: usize) -> UpdateReport {
+        UpdateReport {
+            effective_ops: 0,
+            std_paths: vec![StdPath::Skipped; num_stds],
+            witnesses_died: 0,
+            witnesses_born: 0,
+            csol_removed: 0,
+            csol_added: 0,
+            nulls_collected: 0,
+            added: Vec::new(),
+            removed: Vec::new(),
+            marks_changed: false,
+            target: TargetPath::None,
+        }
+    }
+}
+
+/// Fire a tgd trigger with derivation recording: log the body tuple ids
+/// the match rests on and the head ids it produced.
+fn fire_recorded(
+    ts: &mut TargetState,
+    tgd: &Tgd,
+    asg: &Asg,
+    gen: &mut NullGen,
+    queue: &mut VecDeque<TupleId>,
+) {
+    let fi = ts.firings.len();
+    let mut body_ids = Vec::with_capacity(tgd.body.len());
+    for (rel, args) in &tgd.body {
+        // The match is total, so the pattern is fully ground; every id
+        // carrying these values supports the match (recording all of them
+        // overdeletes conservatively, which re-derivation repairs).
+        body_ids.extend(ts.idx.matching(*rel, &chase::pattern(args, asg)));
+    }
+    let mut env = asg.clone();
+    for z in tgd.existential_vars() {
+        env.insert(z, Value::Null(gen.fresh()));
+    }
+    let mut heads = Vec::with_capacity(tgd.head.len());
+    for atom in &tgd.head {
+        let vals: Vec<Value> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => env[v],
+                Term::Const(c) => Value::Const(*c),
+                Term::App(_, _) => unreachable!("tgd heads are function-free"),
+            })
+            .collect();
+        match ts
+            .idx
+            .insert(atom.rel, AnnTuple::new(Tuple::new(vals), atom.ann.clone()))
+        {
+            Inserted::Fresh(id) => {
+                queue.push_back(id);
+                heads.push(id);
+            }
+            Inserted::Duplicate(id) => heads.push(id),
+        }
+    }
+    for id in &body_ids {
+        ts.by_body.entry(*id).or_default().push(fi);
+    }
+    ts.firings.push(Firing { heads, alive: true });
+}
+
+/// The recording semi-naive closure: the [`crate::indexed_chase`] loop,
+/// but every tgd firing lands in the derivation log and egd merges taint
+/// it. Returns the cumulative step count; sets `ts.outcome`.
+fn run_closure(
+    ts: &mut TargetState,
+    deps: &[TargetDep],
+    gen: &mut NullGen,
+    max_steps: usize,
+    start_steps: usize,
+    mut queue: VecDeque<TupleId>,
+) -> usize {
+    let mut steps = start_steps;
+    ts.outcome = ChaseOutcome::Satisfied;
+    'queue: while let Some(seed) = queue.pop_front() {
+        let Some((seed_rel, seed_at)) = ts.idx.get(seed) else {
+            continue; // retracted by an earlier merge
+        };
+        let seed_rel: RelSym = seed_rel;
+        let seed_tuple: Tuple = seed_at.tuple.clone();
+
+        for dep in deps {
+            match dep {
+                TargetDep::Tgd(tgd) => {
+                    for k in chase::atom_positions(&tgd.body, seed_rel) {
+                        let matches = chase::seeded_matches(&ts.idx, &tgd.body, k, &seed_tuple);
+                        for asg in matches {
+                            if chase::head_satisfiable(&ts.idx, tgd, &asg) {
+                                continue;
+                            }
+                            if steps >= max_steps {
+                                ts.outcome = ChaseOutcome::StepLimit;
+                                return steps;
+                            }
+                            fire_recorded(ts, tgd, &asg, gen, &mut queue);
+                            steps += 1;
+                        }
+                    }
+                }
+                TargetDep::Egd(egd) => {
+                    for k in chase::atom_positions(&egd.body, seed_rel) {
+                        let matches = chase::seeded_matches(&ts.idx, &egd.body, k, &seed_tuple);
+                        for asg in matches {
+                            if !chase::match_still_live(&ts.idx, &egd.body, &asg) {
+                                continue;
+                            }
+                            let l = chase::eval_term(&egd.eq.0, &asg);
+                            let r = chase::eval_term(&egd.eq.1, &asg);
+                            if l == r {
+                                continue;
+                            }
+                            match (l, r) {
+                                (Value::Const(_), Value::Const(_)) => {
+                                    ts.outcome = ChaseOutcome::Failed { left: l, right: r };
+                                    return steps;
+                                }
+                                _ => {
+                                    if steps >= max_steps {
+                                        ts.outcome = ChaseOutcome::StepLimit;
+                                        return steps;
+                                    }
+                                    chase::merge(&mut ts.idx, l, r, &mut queue);
+                                    ts.merged = true;
+                                    steps += 1;
+                                    if ts.idx.get(seed).is_some() {
+                                        queue.push_back(seed);
+                                    }
+                                    continue 'queue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx_chase::core::{ann_hom_equivalent, ann_isomorphic};
+    use dx_chase::{canonical_solution, canonical_solution_with_deps};
+
+    fn src(facts: &[(&str, &[&str])]) -> Instance {
+        let mut s = Instance::new();
+        for (rel, names) in facts {
+            s.insert_names(rel, names);
+        }
+        s
+    }
+
+    /// Incremental csol vs from-scratch recompute, up to null renaming.
+    fn assert_csol_matches(inc: &IncrementalExchange) {
+        let oracle = canonical_solution(&inc.mapping, &inc.source);
+        assert!(
+            ann_isomorphic(inc.csol(), &oracle.instance).is_some(),
+            "incremental csol diverged:\nincr:\n{}\noracle:\n{}",
+            inc.csol(),
+            oracle.instance
+        );
+    }
+
+    /// Incremental chased target vs from-scratch recompute (hom-equivalence
+    /// — restricted-chase results are only canonical up to homomorphism).
+    fn assert_chased_matches(inc: &IncrementalExchange) {
+        let oracle = canonical_solution_with_deps(
+            &inc.mapping,
+            &inc.constraints,
+            &inc.source,
+            DEFAULT_CHASE_LIMIT,
+        );
+        assert_eq!(
+            std::mem::discriminant(&inc.chase_outcome()),
+            std::mem::discriminant(&oracle.outcome),
+            "outcome diverged: {:?} vs {:?}",
+            inc.chase_outcome(),
+            oracle.outcome
+        );
+        if inc.chase_outcome() == ChaseOutcome::Satisfied {
+            let chased = inc.chased();
+            assert!(
+                ann_hom_equivalent(&chased, &oracle.instance),
+                "chased target diverged:\nincr:\n{chased}\noracle:\n{}",
+                oracle.instance
+            );
+        }
+    }
+
+    #[test]
+    fn initial_build_matches_canonical_solution_exactly() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y)").unwrap();
+        let s = src(&[("StrE", &["a", "c1"]), ("StrE", &["a", "c2"])]);
+        let inc = IncrementalExchange::new(m.clone(), Vec::new(), s.clone());
+        let oracle = canonical_solution(&m, &s);
+        // The initial build mints nulls in witness order from ⊥0, so the
+        // result is *identical*, not merely isomorphic.
+        assert_eq!(inc.csol(), &oracle.instance);
+        assert_eq!(inc.canonical().null_origin, oracle.null_origin);
+        assert_eq!(inc.canonical().witnesses, oracle.witnesses);
+    }
+
+    #[test]
+    fn insert_and_retract_maintain_csol() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y) & StrF(y)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            Vec::new(),
+            src(&[("StrE", &["a", "b"]), ("StrF", &["b"])]),
+        );
+        assert_csol_matches(&inc);
+
+        // Insert a second witness for the same head tuple (shared ground
+        // part differs — fresh nulls make heads distinct).
+        let r1 = inc.update(&Update::new().insert_names("StrE", &["c", "b"]));
+        assert_eq!(r1.witnesses_born, 1);
+        assert_csol_matches(&inc);
+
+        // Retract the join partner: both witnesses die, nulls collected.
+        let r2 = inc.update(&Update::new().retract_names("StrF", &["b"]));
+        assert_eq!(r2.witnesses_died, 2);
+        assert_eq!(r2.nulls_collected, 2);
+        assert_eq!(inc.csol().tuple_count(), 0);
+        assert_csol_matches(&inc);
+    }
+
+    #[test]
+    fn shared_ground_head_survives_until_last_witness_dies() {
+        // Both witnesses of StrE(a, _) produce the *same* ground head
+        // StrP(a): the head must survive the first retraction.
+        let m = Mapping::parse("StrP(x:cl) <- StrE(x, y)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            Vec::new(),
+            src(&[("StrE", &["a", "b1"]), ("StrE", &["a", "b2"])]),
+        );
+        let r1 = inc.update(&Update::new().retract_names("StrE", &["a", "b1"]));
+        assert_eq!(r1.witnesses_died, 1);
+        assert_eq!(r1.csol_removed, 0, "other witness still produces StrP(a)");
+        assert_csol_matches(&inc);
+        let r2 = inc.update(&Update::new().retract_names("StrE", &["a", "b2"]));
+        assert_eq!(r2.csol_removed, 1);
+        assert_csol_matches(&inc);
+    }
+
+    #[test]
+    fn empty_marks_flip_on_witness_set_transitions() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y)").unwrap();
+        let mut inc = IncrementalExchange::new(m, Vec::new(), src(&[]));
+        assert_eq!(
+            inc.csol()
+                .relation(RelSym::new("StrR"))
+                .unwrap()
+                .empty_marks()
+                .count(),
+            1
+        );
+        inc.update(&Update::new().insert_names("StrE", &["a", "b"]));
+        assert_eq!(
+            inc.csol()
+                .relation(RelSym::new("StrR"))
+                .unwrap()
+                .empty_marks()
+                .count(),
+            0
+        );
+        assert_csol_matches(&inc);
+        inc.update(&Update::new().retract_names("StrE", &["a", "b"]));
+        assert_eq!(
+            inc.csol()
+                .relation(RelSym::new("StrR"))
+                .unwrap()
+                .empty_marks()
+                .count(),
+            1
+        );
+        assert_csol_matches(&inc);
+    }
+
+    #[test]
+    fn non_cq_body_recompute_diff() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y) & !exists r. StrA(x, r)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            Vec::new(),
+            src(&[("StrE", &["p1", "t"]), ("StrE", &["p2", "t"])]),
+        );
+        assert_eq!(inc.csol().tuple_count(), 2);
+        // Inserting into StrA *kills* a witness — anti-monotone body.
+        let r = inc.update(&Update::new().insert_names("StrA", &["p1", "rev"]));
+        assert_eq!(r.std_paths, vec![StdPath::Recomputed]);
+        assert_eq!(r.witnesses_died, 1);
+        assert_csol_matches(&inc);
+        // And retracting from StrA births one back.
+        let r = inc.update(&Update::new().retract_names("StrA", &["p1", "rev"]));
+        assert_eq!(r.witnesses_born, 1);
+        assert_csol_matches(&inc);
+    }
+
+    #[test]
+    fn recursive_tgd_retraction_needs_rederive_not_counting() {
+        // The support-cycle case that makes derivation *counting* unsound:
+        // a symmetry tgd lets StrG(a,b) and StrG(b,a) justify each other
+        // after the base tuple is gone. Overdelete + re-derive must remove
+        // both.
+        let m = Mapping::parse("StrG(x:cl, y:cl) <- StrE(x, y)").unwrap();
+        let deps = TargetDep::parse_many("StrG(y:cl, x:cl) <- StrG(x, y)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            deps,
+            src(&[("StrE", &["a", "b"]), ("StrE", &["c", "d"])]),
+        );
+        assert_chased_matches(&inc);
+        let r = inc.update(&Update::new().retract_names("StrE", &["a", "b"]));
+        assert!(
+            matches!(r.target, TargetPath::Incremental { .. }),
+            "no merges happened — must take the incremental path, got {:?}",
+            r.target
+        );
+        let g = inc.chased();
+        let grel = g.relation(RelSym::new("StrG")).unwrap();
+        assert_eq!(grel.len(), 2, "only c→d and d→c survive:\n{g}");
+        assert_chased_matches(&inc);
+    }
+
+    #[test]
+    fn rederive_restores_alternately_supported_tuples() {
+        // StrG(b,c) is derivable from two base edges via transitivity; the
+        // conservative overdelete may kill tuples the surviving edge still
+        // derives — head-seeded re-derivation must restore them.
+        let m = Mapping::parse("StrG(x:cl, y:cl) <- StrE(x, y)").unwrap();
+        let deps = TargetDep::parse_many("StrT(x:cl, z:cl) <- StrG(x, y) & StrG(y, z)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            deps,
+            src(&[
+                ("StrE", &["a", "b"]),
+                ("StrE", &["b", "c"]),
+                ("StrE", &["c", "d"]),
+            ]),
+        );
+        assert_chased_matches(&inc);
+        let r = inc.update(&Update::new().retract_names("StrE", &["a", "b"]));
+        assert!(matches!(r.target, TargetPath::Incremental { .. }));
+        let t = inc.chased();
+        let trel = t.relation(RelSym::new("StrT")).unwrap();
+        assert_eq!(trel.len(), 1, "b→d survives via StrG(b,c), StrG(c,d):\n{t}");
+        assert_chased_matches(&inc);
+    }
+
+    #[test]
+    fn retraction_after_merge_rebuilds() {
+        // The egd merges the STD's fresh null with a constant; the
+        // derivation log is then stale, so a retraction must rebuild.
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y); StrR(x:cl, y:cl) <- StrK(x, y)")
+            .unwrap();
+        let deps = TargetDep::parse_many("y1 = y2 <- StrR(x, y1) & StrR(x, y2)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            deps,
+            src(&[("StrE", &["a", "t"]), ("StrK", &["a", "k"])]),
+        );
+        assert_chased_matches(&inc);
+        // Retract the tuple that fed the merged null.
+        let r = inc.update(&Update::new().retract_names("StrE", &["a", "t"]));
+        assert!(
+            matches!(r.target, TargetPath::Rebuilt { .. }),
+            "merge taints the log, got {:?}",
+            r.target
+        );
+        assert_chased_matches(&inc);
+    }
+
+    #[test]
+    fn retract_then_reinsert_round_trips() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y)").unwrap();
+        let deps = TargetDep::parse_many("StrS(z:op, x:cl) <- StrR(x, z)").unwrap();
+        let mut inc = IncrementalExchange::new(
+            m,
+            deps,
+            src(&[("StrE", &["a", "b"]), ("StrE", &["b", "c"])]),
+        );
+        let before = inc.chased();
+        inc.update(&Update::new().retract_names("StrE", &["a", "b"]));
+        inc.update(&Update::new().insert_names("StrE", &["a", "b"]));
+        let after = inc.chased();
+        assert!(
+            ann_hom_equivalent(&before, &after),
+            "round trip must be hom-equivalent:\nbefore:\n{before}\nafter:\n{after}"
+        );
+        assert_csol_matches(&inc);
+        assert_chased_matches(&inc);
+    }
+
+    #[test]
+    fn empty_update_is_identity() {
+        let m = Mapping::parse("StrR(x:cl, z:op) <- StrE(x, y)").unwrap();
+        let mut inc = IncrementalExchange::new(m, Vec::new(), src(&[("StrE", &["a", "b"])]));
+        let before = inc.csol().clone();
+        let r = inc.update(&Update::new());
+        assert_eq!(r.effective_ops, 0);
+        assert_eq!(r.target, TargetPath::None);
+        assert_eq!(inc.csol(), &before);
+        // A no-op batch (retract absent / insert present) is also identity.
+        let r = inc.update(
+            &Update::new()
+                .insert_names("StrE", &["a", "b"])
+                .retract_names("StrE", &["x", "y"]),
+        );
+        assert_eq!(r.witnesses_born + r.witnesses_died, 0);
+        assert_eq!(inc.csol(), &before);
+    }
+}

@@ -39,15 +39,17 @@
 //! stale) and [`PlanCatalog::stats`] stay attributable. Callers without a
 //! schema at hand use the unfingerprinted entry points.
 
+use crate::delta::delta_plan;
 use crate::eval::{CompiledQuery, QueryEval};
 use crate::lower::{LowerError, LowerReason};
+use crate::plan::Plan;
 use crate::ra::CompiledRa;
 use dx_ctables::algebra::RaError;
 use dx_ctables::RaExpr;
 use dx_logic::{Formula, Query};
 use dx_relation::fxmap::FastHasher;
-use dx_relation::{FastMap, Schema, Var};
-use std::collections::BTreeMap;
+use dx_relation::{FastMap, RelSym, Schema, Var};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -103,11 +105,22 @@ struct RaEntry {
     compiled: Result<Arc<CompiledRa>, RaError>,
 }
 
+struct DeltaEntry {
+    schema_fp: u64,
+    query: Query,
+    changed: BTreeSet<RelSym>,
+    /// `None` = the query is non-monotone in the changed relations (or not
+    /// compiled) — the negative result is cached so streaming sessions do
+    /// not re-derive the refusal per batch.
+    variant: Option<Arc<Plan>>,
+}
+
 #[derive(Default)]
 struct Inner {
     queries: FastMap<u64, Vec<QueryEntry>>,
     formulas: FastMap<u64, Vec<FormulaEntry>>,
     ras: FastMap<u64, Vec<RaEntry>>,
+    deltas: FastMap<u64, Vec<DeltaEntry>>,
     rejections: BTreeMap<LowerReason, u64>,
     // `clear()` baselines: the obs counters are monotonic, so a cleared
     // catalog reports `counter - base` instead of resetting the sink.
@@ -129,6 +142,7 @@ impl Inner {
         self.queries.values().map(Vec::len).sum::<usize>()
             + self.formulas.values().map(Vec::len).sum::<usize>()
             + self.ras.values().map(Vec::len).sum::<usize>()
+            + self.deltas.values().map(Vec::len).sum::<usize>()
     }
 
     /// Order-of-magnitude resident size: per-entry struct shells plus the
@@ -142,8 +156,10 @@ impl Inner {
             * (size_of::<FormulaEntry>() + size_of::<CompiledQuery>());
         let r = self.ras.values().map(Vec::len).sum::<usize>()
             * (size_of::<RaEntry>() + size_of::<CompiledRa>());
+        let d = self.deltas.values().map(Vec::len).sum::<usize>()
+            * (size_of::<DeltaEntry>() + size_of::<Plan>());
         let rej = self.rejections.len() * size_of::<(LowerReason, u64)>();
-        (q + f + r + rej) as u64
+        (q + f + r + d + rej) as u64
     }
 }
 
@@ -251,6 +267,61 @@ impl PlanCatalog {
         inner.note_rejection(eval.lower_error());
         self.misses.incr();
         eval
+    }
+
+    /// The **delta-plan variant** of `query` with respect to the `changed`
+    /// relations, scoped to a schema fingerprint: the cached result of
+    /// [`crate::delta::delta_plan`] over the query's compiled plan.
+    /// `None` means incremental maintenance is unsound for this
+    /// (query, changed) pair — the query is non-monotone in a changed
+    /// relation, or not compilable — and the caller must recompute; the
+    /// refusal is cached like any other entry.
+    pub fn delta_in(
+        &self,
+        query: &Query,
+        schema: &Schema,
+        changed: &BTreeSet<RelSym>,
+    ) -> Option<Arc<Plan>> {
+        let schema_fp = Self::fingerprint(schema);
+        let mut h = FastHasher::default();
+        query.formula.hash(&mut h);
+        query.head.hash(&mut h);
+        schema_fp.hash(&mut h);
+        changed.hash(&mut h);
+        let key = h.finish();
+        {
+            let inner = self.inner.read().expect("catalog lock");
+            if let Some(e) = inner.deltas.get(&key).and_then(|bucket| {
+                bucket.iter().find(|e| {
+                    e.schema_fp == schema_fp && &e.query == query && &e.changed == changed
+                })
+            }) {
+                self.hits.incr();
+                return e.variant.clone();
+            }
+        }
+        let variant = self
+            .eval_fp(query, schema_fp)
+            .compiled()
+            .and_then(|cq| delta_plan(cq.plan(), changed))
+            .map(Arc::new);
+        let mut inner = self.inner.write().expect("catalog lock");
+        let bucket = inner.deltas.entry(key).or_default();
+        if let Some(e) = bucket
+            .iter()
+            .find(|e| e.schema_fp == schema_fp && &e.query == query && &e.changed == changed)
+        {
+            self.hits.incr();
+            return e.variant.clone();
+        }
+        bucket.push(DeltaEntry {
+            schema_fp,
+            query: query.clone(),
+            changed: changed.clone(),
+            variant: variant.clone(),
+        });
+        self.misses.incr();
+        variant
     }
 
     /// The compiled plan of a bare formula with an explicit head (the
@@ -456,6 +527,27 @@ mod tests {
         let c1 = cat.formula(&good, &head).unwrap();
         let c2 = cat.formula(&good, &head).unwrap();
         assert!(Arc::ptr_eq(&c1, &c2));
+    }
+
+    #[test]
+    fn delta_variants_are_cached_per_changed_set() {
+        let cat = PlanCatalog::new();
+        let q = Query::parse(&["x"], "exists y. CatR(x, y)").unwrap();
+        let schema = Schema::from_pairs([("CatR", 2), ("CatS", 2)]);
+        let changed: BTreeSet<RelSym> = [RelSym::new("CatR")].into();
+        let d1 = cat.delta_in(&q, &schema, &changed).expect("monotone");
+        let d2 = cat.delta_in(&q, &schema, &changed).expect("monotone");
+        assert!(Arc::ptr_eq(&d1, &d2), "one canonical delta variant");
+        // An unrelated changed set is a distinct (cached) entry, and a
+        // non-monotone query caches its refusal.
+        let other: BTreeSet<RelSym> = [RelSym::new("CatS")].into();
+        let empty = cat.delta_in(&q, &schema, &other).expect("still monotone");
+        assert!(matches!(*empty, Plan::Empty { .. }));
+        let neg = Query::parse(&["x"], "exists y. CatR(x, y) & !CatS(y, x)").unwrap();
+        assert!(cat.delta_in(&neg, &schema, &other).is_none());
+        let before = cat.stats().hits;
+        assert!(cat.delta_in(&neg, &schema, &other).is_none());
+        assert_eq!(cat.stats().hits, before + 1, "negative result replayed");
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod catalog;
 pub mod cexec;
+pub mod delta;
 pub mod eval;
 pub mod exec;
 pub mod explain;
@@ -62,6 +63,7 @@ pub mod ra;
 pub mod store;
 
 pub use catalog::{CatalogStats, PlanCatalog};
+pub use delta::{delta_plan, delta_sym, DeltaStore};
 pub use eval::{CompiledQuery, PlannedBodyEval, QueryEval};
 pub use explain::{explain_run, explain_run_conditional};
 pub use lower::{lower_formula, LowerError, LowerReason};

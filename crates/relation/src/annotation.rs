@@ -230,6 +230,25 @@ impl AnnRelation {
         self.empty_marks.insert(ann)
     }
 
+    /// Remove an annotated tuple; `true` if it was present. Used by the
+    /// incrementally maintained canonical solution when a tuple's last
+    /// derivation dies.
+    pub fn remove(&mut self, t: &AnnTuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Remove an empty marker `(_, α)`; `true` if it was present (the
+    /// streaming counterpart of [`AnnRelation::insert_empty_mark`], fired
+    /// when an STD's witness set transitions from empty to non-empty).
+    pub fn remove_empty_mark(&mut self, ann: &Annotation) -> bool {
+        self.empty_marks.remove(ann)
+    }
+
+    /// Is the annotated tuple present?
+    pub fn contains(&self, t: &AnnTuple) -> bool {
+        self.tuples.contains(t)
+    }
+
     /// Iterate over the (non-empty) annotated tuples.
     pub fn iter(&self) -> impl Iterator<Item = &AnnTuple> + '_ {
         self.tuples.iter()
@@ -351,6 +370,25 @@ impl AnnInstance {
             .entry(rel)
             .or_insert_with(|| AnnRelation::new(ann.arity()))
             .insert_empty_mark(ann)
+    }
+
+    /// Remove an annotated tuple from `rel`; `true` if it was present. The
+    /// (possibly now-empty) relation stays declared so arities survive —
+    /// matching [`AnnInstance::rel_part`]'s declaration behaviour.
+    pub fn remove(&mut self, rel: RelSym, t: &AnnTuple) -> bool {
+        self.rels.get_mut(&rel).is_some_and(|r| r.remove(t))
+    }
+
+    /// Remove an empty marker `(_, α)` from `rel`; `true` if present.
+    pub fn remove_empty_mark(&mut self, rel: RelSym, ann: &Annotation) -> bool {
+        self.rels
+            .get_mut(&rel)
+            .is_some_and(|r| r.remove_empty_mark(ann))
+    }
+
+    /// Is the annotated tuple present in `rel`?
+    pub fn contains(&self, rel: RelSym, t: &AnnTuple) -> bool {
+        self.rels.get(&rel).is_some_and(|r| r.contains(t))
     }
 
     /// The annotated relation for `rel`, if present.

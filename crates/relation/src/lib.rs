@@ -19,7 +19,7 @@
 //! Everything in this crate is purely structural; semantics (`Rep_A`
 //! membership, solutions, certain answers) live in `dx-solver` and `dx-core`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod annotation;
 pub mod delta;
@@ -29,6 +29,7 @@ pub mod instance;
 pub mod intern;
 pub mod relation;
 pub mod tuple;
+pub mod update;
 pub mod valuation;
 pub mod value;
 
@@ -40,5 +41,6 @@ pub use instance::{Instance, Schema};
 pub use intern::{ConstId, FuncSym, RelSym, Var};
 pub use relation::Relation;
 pub use tuple::Tuple;
+pub use update::{AppliedUpdate, Update};
 pub use valuation::Valuation;
 pub use value::{NullGen, NullId, Value};

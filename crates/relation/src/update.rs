@@ -1,0 +1,241 @@
+//! Source-delta batches for streaming data exchange.
+//!
+//! An [`Update`] is a *batch* of insertions and retractions against a ground
+//! source instance — the unit of work the incremental exchange pipeline
+//! (`dx-engine`'s `IncrementalExchange`, `dx-core`'s `StreamSession`)
+//! propagates through the chase and the compiled query plans. Batches are
+//! **sets**, not sequences: applying an update to a source `S` produces
+//! `S' = (S \ retracts) ∪ inserts`, so a tuple listed on both sides is
+//! present afterwards (the insert wins), and listing a tuple twice is the
+//! same as listing it once.
+//!
+//! [`Update::apply`] reports the *effective* delta — the tuples whose
+//! membership actually changed — which is what the incremental maintenance
+//! layers key their work off: a retraction of an absent tuple, or an insert
+//! of a present one, is a no-op and triggers no propagation.
+
+use crate::instance::Instance;
+use crate::intern::RelSym;
+use crate::tuple::Tuple;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A batch of source insertions and retractions (set semantics; see the
+/// module docs for how overlapping inserts and retracts resolve).
+///
+/// ```
+/// use dx_relation::{Instance, RelSym, Tuple, Update};
+///
+/// let mut source = Instance::new();
+/// source.insert_names("E", &["a", "b"]);
+///
+/// let mut up = Update::new();
+/// up.insert(RelSym::new("E"), Tuple::from_names(&["b", "c"]));
+/// up.retract(RelSym::new("E"), Tuple::from_names(&["a", "b"]));
+///
+/// let applied = up.apply(&mut source);
+/// assert_eq!(applied.inserted.len(), 1);
+/// assert_eq!(applied.retracted.len(), 1);
+/// assert!(source.contains(RelSym::new("E"), &Tuple::from_names(&["b", "c"])));
+/// assert!(!source.contains(RelSym::new("E"), &Tuple::from_names(&["a", "b"])));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Update {
+    /// Tuples to insert, as a set of `(relation, tuple)` pairs.
+    inserts: BTreeSet<(RelSym, Tuple)>,
+    /// Tuples to retract, as a set of `(relation, tuple)` pairs.
+    retracts: BTreeSet<(RelSym, Tuple)>,
+}
+
+/// The effective delta an [`Update::apply`] call produced: only the tuples
+/// whose source membership actually flipped.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedUpdate {
+    /// Tuples newly present after the batch (absent before).
+    pub inserted: Vec<(RelSym, Tuple)>,
+    /// Tuples newly absent after the batch (present before).
+    pub retracted: Vec<(RelSym, Tuple)>,
+}
+
+impl AppliedUpdate {
+    /// Did the batch change anything at all?
+    pub fn is_noop(&self) -> bool {
+        self.inserted.is_empty() && self.retracted.is_empty()
+    }
+
+    /// The source relations touched by the effective delta, deduplicated.
+    pub fn touched_rels(&self) -> BTreeSet<RelSym> {
+        self.inserted
+            .iter()
+            .chain(self.retracted.iter())
+            .map(|(r, _)| *r)
+            .collect()
+    }
+}
+
+impl Update {
+    /// The empty batch.
+    pub fn new() -> Update {
+        Update::default()
+    }
+
+    /// Queue a tuple for insertion. If the same `(rel, tuple)` pair is also
+    /// queued for retraction, the insert wins (the tuple is present after
+    /// the batch).
+    pub fn insert(&mut self, rel: RelSym, t: Tuple) -> &mut Update {
+        self.inserts.insert((rel, t));
+        self
+    }
+
+    /// Queue a tuple for retraction (see [`Update::insert`] for how
+    /// overlapping inserts resolve).
+    pub fn retract(&mut self, rel: RelSym, t: Tuple) -> &mut Update {
+        self.retracts.insert((rel, t));
+        self
+    }
+
+    /// Builder-style [`Update::insert`] taking names.
+    pub fn insert_names(mut self, rel: &str, names: &[&str]) -> Update {
+        self.inserts
+            .insert((RelSym::new(rel), Tuple::from_names(names)));
+        self
+    }
+
+    /// Builder-style [`Update::retract`] taking names.
+    pub fn retract_names(mut self, rel: &str, names: &[&str]) -> Update {
+        self.retracts
+            .insert((RelSym::new(rel), Tuple::from_names(names)));
+        self
+    }
+
+    /// The queued insertions, in `(relation, tuple)` order.
+    pub fn inserts(&self) -> impl Iterator<Item = &(RelSym, Tuple)> + '_ {
+        self.inserts.iter()
+    }
+
+    /// The queued retractions, in `(relation, tuple)` order. Pairs that are
+    /// also queued for insertion are reported here too, but never take
+    /// effect (the insert wins at [`Update::apply`] time).
+    pub fn retracts(&self) -> impl Iterator<Item = &(RelSym, Tuple)> + '_ {
+        self.retracts.iter()
+    }
+
+    /// Number of queued operations (inserts + retracts, before
+    /// cancellation).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    /// Is the batch syntactically empty (no queued operations)?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+
+    /// Every source relation named by a queued operation.
+    pub fn rels(&self) -> BTreeSet<RelSym> {
+        self.inserts
+            .iter()
+            .chain(self.retracts.iter())
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Apply the batch to `source` with set semantics (retractions first,
+    /// then insertions, so an overlapping pair nets to "present") and
+    /// return the effective delta.
+    pub fn apply(&self, source: &mut Instance) -> AppliedUpdate {
+        let mut out = AppliedUpdate::default();
+        for (rel, t) in &self.retracts {
+            if self.inserts.contains(&(*rel, t.clone())) {
+                continue; // the insert wins; membership cannot flip to absent
+            }
+            if source.remove(*rel, t) {
+                out.retracted.push((*rel, t.clone()));
+            }
+        }
+        for (rel, t) in &self.inserts {
+            if !source.contains(*rel, t) {
+                source.insert(*rel, t.clone());
+                out.inserted.push((*rel, t.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (kw, set) in [("-", &self.retracts), ("+", &self.inserts)] {
+            for (rel, t) in set {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                write!(f, "{kw}{rel}{t}")?;
+            }
+        }
+        if first {
+            write!(f, "(empty update)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: &str, b: &str) -> (RelSym, Tuple) {
+        (RelSym::new("UpE"), Tuple::from_names(&[a, b]))
+    }
+
+    #[test]
+    fn apply_reports_effective_delta_only() {
+        let mut s = Instance::new();
+        let (r, ab) = e("a", "b");
+        s.insert(r, ab.clone());
+        let up = Update::new()
+            .insert_names("UpE", &["a", "b"]) // already present → no-op
+            .insert_names("UpE", &["b", "c"]) // fresh → inserted
+            .retract_names("UpE", &["x", "y"]); // absent → no-op
+        let applied = up.apply(&mut s);
+        assert_eq!(applied.inserted, vec![e("b", "c")]);
+        assert!(applied.retracted.is_empty());
+        assert_eq!(applied.touched_rels().len(), 1);
+    }
+
+    #[test]
+    fn insert_wins_over_retract_of_same_tuple() {
+        let mut s = Instance::new();
+        let (r, ab) = e("a", "b");
+        s.insert(r, ab.clone());
+        let up = Update::new()
+            .insert_names("UpE", &["a", "b"])
+            .retract_names("UpE", &["a", "b"]);
+        let applied = up.apply(&mut s);
+        assert!(applied.is_noop(), "present before, present after");
+        assert!(s.contains(r, &ab));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut s = Instance::new();
+        s.insert(e("a", "b").0, e("a", "b").1);
+        let before = s.clone();
+        assert!(Update::new().apply(&mut s).is_noop());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn display_lists_retracts_then_inserts() {
+        let up = Update::new()
+            .insert_names("UpE", &["b", "c"])
+            .retract_names("UpE", &["a", "b"]);
+        let txt = up.to_string();
+        assert!(
+            txt.contains("-UpE(a, b)") && txt.contains("+UpE(b, c)"),
+            "{txt}"
+        );
+    }
+}

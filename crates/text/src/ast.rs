@@ -1,14 +1,15 @@
 //! The typed scenario AST and span-carrying errors.
 //!
 //! A [`Scenario`] is the fully validated form of a `.dx` file: an annotated
-//! schema mapping, optional target constraints, a source instance, and a set
-//! of named queries over the target schema. Everything downstream (chase,
+//! schema mapping, optional target constraints, a source instance, a set
+//! of named queries over the target schema, and optional named source
+//! update batches (the scenario's streaming workload). Everything downstream (chase,
 //! certain answers, GCWA\*, approximation) consumes these exact types, so a
 //! parsed scenario is indistinguishable from a hand-built one.
 
 use dx_chase::{Mapping, TargetDep};
 use dx_logic::Query;
-use dx_relation::Instance;
+use dx_relation::{Instance, Update};
 use std::fmt;
 
 /// A half-open byte range `[start, end)` into the source text.
@@ -93,6 +94,15 @@ pub struct NamedQuery {
     pub query: Query,
 }
 
+/// An update batch with the name it was declared under in the `.dx` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NamedUpdate {
+    /// Declared name (`update "name" { … }`).
+    pub name: String,
+    /// The validated ground source-delta batch.
+    pub update: Update,
+}
+
 /// A fully validated scenario: everything the pipelines need to run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -106,6 +116,9 @@ pub struct Scenario {
     pub source: Instance,
     /// Named queries over the target schema, in declaration order.
     pub queries: Vec<NamedQuery>,
+    /// Named source update batches, in declaration order — the streaming
+    /// workload the scenario ships with (`dx run --updates`).
+    pub updates: Vec<NamedUpdate>,
 }
 
 impl Scenario {
@@ -126,6 +139,14 @@ impl Scenario {
             .iter()
             .find(|q| q.name == name)
             .map(|q| &q.query)
+    }
+
+    /// Look up an update batch by declared name.
+    pub fn update(&self, name: &str) -> Option<&Update> {
+        self.updates
+            .iter()
+            .find(|u| u.name == name)
+            .map(|u| &u.update)
     }
 }
 

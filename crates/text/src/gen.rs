@@ -20,10 +20,10 @@
 //! two so brute-force `Rep_A` enumeration stays feasible for the corpus
 //! differential oracles.
 
-use crate::ast::{NamedQuery, Scenario};
+use crate::ast::{NamedQuery, NamedUpdate, Scenario};
 use dx_chase::{Egd, Mapping, Std, TargetAtom, TargetDep, Tgd};
 use dx_logic::{Formula, Query, Term};
-use dx_relation::{Ann, Annotation, Instance, RelSym, Schema, Var};
+use dx_relation::{Ann, Annotation, Instance, RelSym, Schema, Tuple, Update, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -328,12 +328,62 @@ pub fn gen(seed: u64, grade: Grade) -> Scenario {
         });
     }
 
+    // Update batches: a growth batch (inserts only) and a churn batch
+    // (retract + insert, possibly of absent/present tuples — set semantics
+    // make those no-ops, which the streaming layers must also handle).
+    // Targets are drawn from the same constant palette as the instance, not
+    // read back from it, so the emitted text is independent of ambient
+    // symbol-interning order.
+    let mut updates = Vec::new();
+    {
+        let mut grow = Update::new();
+        for _ in 0..rng.gen_range(1..3usize) {
+            let a = c(rng.gen_range(0..n_consts));
+            let b = c(rng.gen_range(0..n_consts));
+            grow.insert(RelSym::new("R"), Tuple::from_names(&[&a, &b]));
+        }
+        if rng.gen_bool(0.5) {
+            grow.insert(
+                RelSym::new("U"),
+                Tuple::from_names(&[&c(rng.gen_range(0..n_consts))]),
+            );
+        }
+        updates.push(NamedUpdate {
+            name: "u_grow".into(),
+            update: grow,
+        });
+
+        let mut churn = Update::new();
+        let a = c(rng.gen_range(0..n_consts));
+        let b = c(rng.gen_range(0..n_consts));
+        churn.retract(RelSym::new("R"), Tuple::from_names(&[&a, &b]));
+        let a = c(rng.gen_range(0..n_consts));
+        let b = c(rng.gen_range(0..n_consts));
+        churn.insert(RelSym::new("R"), Tuple::from_names(&[&a, &b]));
+        if rng.gen_bool(0.5) {
+            churn.retract(
+                RelSym::new("U"),
+                Tuple::from_names(&[&c(rng.gen_range(0..n_consts))]),
+            );
+        }
+        if g >= 1 {
+            let a = c(rng.gen_range(0..n_consts));
+            let b = c(rng.gen_range(0..n_consts));
+            churn.retract(RelSym::new("J"), Tuple::from_names(&[&a, &b]));
+        }
+        updates.push(NamedUpdate {
+            name: "u_churn".into(),
+            update: churn,
+        });
+    }
+
     Scenario {
         name: format!("gen-{seed}-g{g}"),
         mapping: Mapping::new(source, target, stds),
         constraints,
         source: instance,
         queries,
+        updates,
     }
 }
 

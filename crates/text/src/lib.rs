@@ -34,7 +34,7 @@ pub mod parser;
 pub mod printer;
 pub mod validate;
 
-pub use ast::{NamedQuery, Scenario, Span, TextError};
+pub use ast::{NamedQuery, NamedUpdate, Scenario, Span, TextError};
 pub use gen::{gen, gen_text, Grade};
 
 #[cfg(test)]
@@ -58,6 +58,10 @@ scenario "one-author" {
   }
   query one_author() <- forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2) -> a1 = a2);
   query reviewed(x) <- exists z. Reviews(x, z);
+  update "late-submission" {
+    insert Papers(p2, title2);
+    retract Assignments(p0, r0);
+  }
 }
 "#;
 
@@ -67,6 +71,9 @@ scenario "one-author" {
         assert_eq!(sc.name, "one-author");
         assert_eq!(sc.mapping.stds.len(), 3);
         assert_eq!(sc.queries.len(), 2);
+        let up = sc.update("late-submission").expect("update block parsed");
+        assert_eq!(up.inserts().count(), 1);
+        assert_eq!(up.retracts().count(), 1);
         assert_eq!(sc.source.tuples(RelSym::new("Papers")).count(), 2);
         let printed = sc.to_text();
         let again = Scenario::parse(&printed).expect("printed text parses");
@@ -217,6 +224,67 @@ scenario "bad" {
             rendered.starts_with("error at 4:"),
             "span must land on the mapping line: {rendered}"
         );
+    }
+
+    #[test]
+    fn update_blocks_validate_against_the_source_schema() {
+        let base = |block: &str| {
+            format!(
+                "scenario \"u\" {{\n  source {{ S/2; }}\n  target {{ T/2; }}\n  \
+                 mapping {{ T(x:cl, y:cl) <- S(x, y); }}\n  {block}\n}}\n"
+            )
+        };
+        // Unknown relation.
+        let err = Scenario::parse(&base("update \"u\" { insert Nope(a, b); }")).unwrap_err();
+        assert!(
+            err.msg.contains("unknown relation `Nope`"),
+            "got: {}",
+            err.msg
+        );
+        // Arity mismatch.
+        let err = Scenario::parse(&base("update \"u\" { retract S(a); }")).unwrap_err();
+        assert!(err.msg.contains("arity mismatch"), "got: {}", err.msg);
+        // Nulls rejected.
+        let err = Scenario::parse(&base("update \"u\" { insert S(a, ?0); }")).unwrap_err();
+        assert!(err.msg.contains("must be ground"), "got: {}", err.msg);
+        // Duplicate names rejected.
+        let err = Scenario::parse(&base(
+            "update \"u\" { insert S(a, b); }\n  update \"u\" { insert S(b, c); }",
+        ))
+        .unwrap_err();
+        assert!(
+            err.msg.contains("duplicate update name"),
+            "got: {}",
+            err.msg
+        );
+        // A bad op keyword is a parse error.
+        let err = Scenario::parse(&base("update \"u\" { upsert S(a, b); }")).unwrap_err();
+        assert!(
+            err.msg.contains("expected `insert` or `retract`"),
+            "got: {}",
+            err.msg
+        );
+        // Happy path round-trips.
+        let sc = Scenario::parse(&base(
+            "update \"grow\" { insert S(a, b); }\n  update \"shrink\" { retract S(a, b); }",
+        ))
+        .unwrap();
+        assert_eq!(sc.updates.len(), 2);
+        let again = Scenario::parse(&sc.to_text()).expect("round trip");
+        assert_eq!(sc, again);
+    }
+
+    #[test]
+    fn generated_updates_ride_the_corpus() {
+        for grade in Grade::ALL {
+            let sc = gen(3, grade);
+            assert!(!sc.updates.is_empty(), "every grade ships update batches");
+            for u in &sc.updates {
+                for (_, t) in u.update.inserts().chain(u.update.retracts()) {
+                    assert!(t.is_ground(), "generated updates are ground");
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   constraints { egd z1 = z2 <- T(x, z1) & T(x, z2); tgd U(x) <- T(x, y); }
 //!   instance { R(a, ?0); R('two words', ?n1); }
 //!   query q(x) <- exists z. T(x, z);
+//!   update "grow" { insert R(b, c); retract S(d); }
 //! }
 //! ```
 //!
@@ -35,6 +36,18 @@ pub enum RawValue {
     NullLabel(String),
 }
 
+/// A raw `update` block: a named batch of `insert`/`retract` fact
+/// statements, unchecked against the source schema.
+#[derive(Clone, Debug)]
+pub struct RawUpdate {
+    /// Batch name from the `update "…"` header.
+    pub name: String,
+    /// Operations `(is_insert, relation, values, span)` in order.
+    pub ops: Vec<(bool, String, Vec<RawValue>, Span)>,
+    /// Span of the `update "…"` header.
+    pub span: Span,
+}
+
 /// A syntactically parsed, not yet validated scenario.
 #[derive(Clone, Debug)]
 pub struct RawScenario {
@@ -54,6 +67,8 @@ pub struct RawScenario {
     pub facts: Vec<(String, Vec<RawValue>, Span)>,
     /// Queries `(name, head vars, body text span + formula)` in order.
     pub queries: Vec<(String, Vec<String>, dx_logic::Formula, Span)>,
+    /// Update batches in declaration order.
+    pub updates: Vec<RawUpdate>,
 }
 
 struct Cursor<'a> {
@@ -255,6 +270,7 @@ pub fn parse_scenario(src: &str) -> Result<RawScenario, TextError> {
         constraints: Vec::new(),
         facts: Vec::new(),
         queries: Vec::new(),
+        updates: Vec::new(),
     };
     let mut seen_blocks: Vec<String> = Vec::new();
 
@@ -287,11 +303,14 @@ pub fn parse_scenario(src: &str) -> Result<RawScenario, TextError> {
             "query" => {
                 parse_query(&mut c, &mut raw.queries)?;
             }
+            "update" => {
+                parse_update(&mut c, kw_span, &mut raw.updates)?;
+            }
             other => {
                 return Err(TextError::new(
                     format!(
                         "unknown block `{other}` (expected `source`, `target`, `mapping`, \
-                         `constraints`, `instance`, or `query`)"
+                         `constraints`, `instance`, `query`, or `update`)"
                     ),
                     kw_span,
                 ));
@@ -371,22 +390,61 @@ fn parse_fact_block(
         if c.eat_opt(b'}') {
             return Ok(());
         }
-        let (rel, rel_span) = c.ident()?;
-        c.eat(b'(')?;
-        let mut values = Vec::new();
-        if !c.eat_opt(b')') {
-            loop {
-                values.push(parse_value(c)?);
-                if c.eat_opt(b')') {
-                    break;
-                }
-                c.eat(b',')?;
-            }
-        }
-        let end = c.pos;
-        c.eat(b';')?;
-        out.push((rel, values, Span::new(rel_span.start, end)));
+        out.push(parse_fact(c)?);
     }
+}
+
+/// One `R(v, …);` fact statement (shared by `instance` and `update` blocks).
+fn parse_fact(c: &mut Cursor<'_>) -> Result<(String, Vec<RawValue>, Span), TextError> {
+    let (rel, rel_span) = c.ident()?;
+    c.eat(b'(')?;
+    let mut values = Vec::new();
+    if !c.eat_opt(b')') {
+        loop {
+            values.push(parse_value(c)?);
+            if c.eat_opt(b')') {
+                break;
+            }
+            c.eat(b',')?;
+        }
+    }
+    let end = c.pos;
+    c.eat(b';')?;
+    Ok((rel, values, Span::new(rel_span.start, end)))
+}
+
+fn parse_update(
+    c: &mut Cursor<'_>,
+    kw_span: Span,
+    out: &mut Vec<RawUpdate>,
+) -> Result<(), TextError> {
+    let (name, name_span) = c.string_lit()?;
+    c.eat(b'{')?;
+    let mut ops = Vec::new();
+    loop {
+        if c.eat_opt(b'}') {
+            break;
+        }
+        let (op, op_span) = c.ident()?;
+        let is_insert = match op.as_str() {
+            "insert" => true,
+            "retract" => false,
+            other => {
+                return Err(TextError::new(
+                    format!("expected `insert` or `retract`, found `{other}`"),
+                    op_span,
+                ));
+            }
+        };
+        let (rel, values, span) = parse_fact(c)?;
+        ops.push((is_insert, rel, values, span));
+    }
+    out.push(RawUpdate {
+        name,
+        ops,
+        span: Span::new(kw_span.start, name_span.end),
+    });
+    Ok(())
 }
 
 fn parse_value(c: &mut Cursor<'_>) -> Result<RawValue, TextError> {

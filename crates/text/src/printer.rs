@@ -105,6 +105,25 @@ pub fn print(sc: &Scenario) -> String {
         );
     }
 
+    for u in &sc.updates {
+        let _ = writeln!(out, "  update \"{}\" {{", u.name);
+        let mut ops: Vec<String> = Vec::new();
+        for (kw, it) in [
+            ("insert", u.update.inserts().collect::<Vec<_>>()),
+            ("retract", u.update.retracts().collect::<Vec<_>>()),
+        ] {
+            for (rel, t) in it {
+                let vals: Vec<String> = t.iter().map(render_value).collect();
+                ops.push(format!("{kw} {}({})", rel.name(), vals.join(", ")));
+            }
+        }
+        ops.sort();
+        for op in ops {
+            let _ = writeln!(out, "    {op};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
     let _ = writeln!(out, "}}");
     out
 }

@@ -4,11 +4,11 @@
 //! declaration, rule, fact, or query — this is where "unknown relation",
 //! "arity mismatch", and "unsafe tgd" diagnostics come from.
 
-use crate::ast::{NamedQuery, Scenario, Span, TextError};
+use crate::ast::{NamedQuery, NamedUpdate, Scenario, Span, TextError};
 use crate::parser::{RawScenario, RawValue};
 use dx_chase::{is_weakly_acyclic, Mapping, Std, TargetAtom, TargetDep};
 use dx_logic::{Formula, Query, Term};
-use dx_relation::{Annotation, Instance, RelSym, Schema, Value, Var};
+use dx_relation::{Annotation, Instance, RelSym, Schema, Tuple, Update, Value, Var};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Variables guaranteed a binding by a *positive* atom whenever the formula
@@ -332,11 +332,72 @@ pub fn validate(raw: &RawScenario) -> Result<Scenario, TextError> {
         });
     }
 
+    // Update batches: ground facts over the source schema; the incremental
+    // pipeline ([`dx_engine::IncrementalExchange`]) requires ground sources,
+    // so labeled nulls are rejected here rather than at run time.
+    let mut updates: Vec<NamedUpdate> = Vec::with_capacity(raw.updates.len());
+    for ru in &raw.updates {
+        if updates.iter().any(|u| u.name == ru.name) {
+            return Err(TextError::new(
+                format!("duplicate update name `{}`", ru.name),
+                ru.span,
+            ));
+        }
+        let mut up = Update::new();
+        for (is_insert, rel_name, values, span) in &ru.ops {
+            let rel = RelSym::new(rel_name);
+            match source_schema.arity(rel) {
+                None => {
+                    return Err(TextError::new(
+                        format!(
+                            "unknown relation `{rel_name}` (not declared in the source schema)"
+                        ),
+                        *span,
+                    ));
+                }
+                Some(declared) if declared != values.len() => {
+                    return Err(TextError::new(
+                        format!(
+                            "arity mismatch: `{rel_name}` is declared with arity {declared} \
+                             but used with {} arguments",
+                            values.len()
+                        ),
+                        *span,
+                    ));
+                }
+                Some(_) => {}
+            }
+            let mut tuple = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    RawValue::Const(name) => tuple.push(Value::c(name)),
+                    RawValue::NullNum(_) | RawValue::NullLabel(_) => {
+                        return Err(TextError::new(
+                            "update batches must be ground (labeled nulls are not allowed)",
+                            *span,
+                        ));
+                    }
+                }
+            }
+            let t = Tuple::new(tuple);
+            if *is_insert {
+                up.insert(rel, t);
+            } else {
+                up.retract(rel, t);
+            }
+        }
+        updates.push(NamedUpdate {
+            name: ru.name.clone(),
+            update: up,
+        });
+    }
+
     Ok(Scenario {
         name: raw.name.clone(),
         mapping: Mapping::new(source_schema, target_schema, stds),
         constraints,
         source,
         queries,
+        updates,
     })
 }

@@ -1,0 +1,27 @@
+//! The README "Streaming updates" example, verbatim — keeps the snippet
+//! in the README honest (the same code also lives as the
+//! `IncrementalExchange` doctest in `dx-engine`, with crate-local paths).
+
+#[test]
+fn readme_streaming_example_runs() {
+    use oc_exchange::chase::Mapping;
+    use oc_exchange::engine::IncrementalExchange;
+    use oc_exchange::relation::{Instance, Update};
+
+    let mapping = Mapping::parse("R(x:cl, z:op) <- E(x, y)").unwrap();
+    let mut source = Instance::new();
+    source.insert_names("E", &["a", "b"]);
+
+    let mut inc = IncrementalExchange::new(mapping, Vec::new(), source);
+    assert_eq!(inc.csol().tuple_count(), 1);
+
+    let report = inc.update(
+        &Update::new()
+            .insert_names("E", &["b", "c"])
+            .retract_names("E", &["a", "b"]),
+    );
+    assert_eq!(report.witnesses_born, 1);
+    assert_eq!(report.witnesses_died, 1);
+    assert_eq!(report.nulls_collected, 1);
+    assert_eq!(inc.csol().tuple_count(), 1);
+}
